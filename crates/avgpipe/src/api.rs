@@ -1,0 +1,220 @@
+//! The ergonomic front door: configure and run AvgPipe in a few lines.
+//!
+//! ```
+//! use avgpipe::{AvgPipe, TuneMethod};
+//! use ea_models::Workload;
+//!
+//! let system = AvgPipe::builder(Workload::Awd)
+//!     .memory_limit_gib(16)
+//!     .tuner(TuneMethod::ProfilingBased)
+//!     .max_pipelines(2)
+//!     .build();
+//! let report = system.report();
+//! assert!(report.time_per_batch_s.is_finite());
+//! assert!(system.degrees().0 >= 1);
+//! ```
+
+use crate::{run_avgpipe, SystemReport, TuneMethod};
+use ea_models::{ModelSpec, Workload};
+use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+use ea_sim::{chrome_trace_json, ClusterConfig, Simulator};
+
+/// Builder for an [`AvgPipe`] system.
+pub struct AvgPipeBuilder {
+    spec: ModelSpec,
+    cluster: ClusterConfig,
+    batch: usize,
+    opt_state_per_param: usize,
+    mem_limit: u64,
+    method: TuneMethod,
+    max_n: usize,
+}
+
+impl AvgPipeBuilder {
+    /// Overrides the cluster (default: the paper's testbed sized to the
+    /// workload).
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Overrides the batch size (default: the workload's paper setting).
+    pub fn batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1);
+        self.batch = batch;
+        self
+    }
+
+    /// Optimizer state bytes per parameter (8 = Adam, 4 = momentum/ASGD,
+    /// 0 = SGD). Default: Adam.
+    pub fn optimizer_state_bytes(mut self, bytes: usize) -> Self {
+        self.opt_state_per_param = bytes;
+        self
+    }
+
+    /// Per-device memory budget in GiB (default 16).
+    pub fn memory_limit_gib(mut self, gib: u64) -> Self {
+        self.mem_limit = gib * (1 << 30);
+        self
+    }
+
+    /// Per-device memory budget in bytes.
+    pub fn memory_limit_bytes(mut self, bytes: u64) -> Self {
+        self.mem_limit = bytes;
+        self
+    }
+
+    /// Tuning strategy (default: the paper's profiling-based method).
+    pub fn tuner(mut self, method: TuneMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Maximum parallel pipelines considered (default 4).
+    pub fn max_pipelines(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.max_n = n;
+        self
+    }
+
+    /// Tunes the parallelism degrees, adapts the advance depth with
+    /// Algorithm 1, and measures the resulting system.
+    pub fn build(self) -> AvgPipe {
+        let report = run_avgpipe(
+            &self.spec,
+            &self.cluster,
+            self.batch,
+            self.opt_state_per_param,
+            self.mem_limit,
+            self.method,
+            self.max_n,
+        );
+        AvgPipe {
+            spec: self.spec,
+            cluster: self.cluster,
+            batch: self.batch,
+            opt_state_per_param: self.opt_state_per_param,
+            report,
+        }
+    }
+}
+
+/// A tuned, measured AvgPipe configuration for one workload on one
+/// cluster.
+pub struct AvgPipe {
+    spec: ModelSpec,
+    cluster: ClusterConfig,
+    batch: usize,
+    opt_state_per_param: usize,
+    report: SystemReport,
+}
+
+impl AvgPipe {
+    /// Starts configuring AvgPipe for one of the paper's workloads.
+    pub fn builder(workload: Workload) -> AvgPipeBuilder {
+        let spec = workload.spec();
+        let cluster = if workload == Workload::Awd {
+            ClusterConfig::paper_testbed_two_nodes()
+        } else {
+            ClusterConfig::paper_testbed()
+        };
+        AvgPipeBuilder {
+            batch: spec.default_batch,
+            spec,
+            cluster,
+            opt_state_per_param: 8,
+            mem_limit: 16 * (1 << 30),
+            method: TuneMethod::ProfilingBased,
+            max_n: 4,
+        }
+    }
+
+    /// Starts configuring AvgPipe for a custom workload cost model.
+    pub fn builder_for(spec: ModelSpec, cluster: ClusterConfig) -> AvgPipeBuilder {
+        AvgPipeBuilder {
+            batch: spec.default_batch,
+            spec,
+            cluster,
+            opt_state_per_param: 8,
+            mem_limit: 16 * (1 << 30),
+            method: TuneMethod::ProfilingBased,
+            max_n: 4,
+        }
+    }
+
+    /// The measured performance report.
+    pub fn report(&self) -> &SystemReport {
+        &self.report
+    }
+
+    /// The tuned parallelism degrees `(M, N, advance depth)`.
+    pub fn degrees(&self) -> (usize, usize, usize) {
+        (self.report.m, self.report.n, self.report.advance)
+    }
+
+    /// Renders one training batch as a Chrome-tracing JSON timeline
+    /// (open in `chrome://tracing` or Perfetto).
+    pub fn chrome_trace(&self) -> String {
+        let partition = partition_model(&self.spec, self.cluster.num_devices());
+        let plan = PipelinePlan::new(
+            self.spec.clone(),
+            self.cluster.clone(),
+            partition,
+            self.batch,
+            self.report.m,
+            self.opt_state_per_param,
+        );
+        let prog = pipeline_program(
+            &plan,
+            &PipeStyle::avgpipe(self.report.n, self.report.advance),
+            1,
+        );
+        let sim = Simulator::new(self.cluster.clone());
+        let (_, spans) = sim.run_traced(&prog).expect("tuned program must run");
+        chrome_trace_json(&prog, &spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_feasible_system() {
+        let sys = AvgPipe::builder(Workload::Awd)
+            .memory_limit_gib(16)
+            .max_pipelines(2)
+            .build();
+        let r = sys.report();
+        assert!(!r.oom);
+        assert!(r.time_per_batch_s > 0.0 && r.time_per_batch_s.is_finite());
+        let (m, n, a) = sys.degrees();
+        assert!(m >= 1 && n >= 1 && n <= 2);
+        assert!(a >= sys.cluster.num_devices() - 1 || m == 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_parseable_json() {
+        let sys = AvgPipe::builder(Workload::Awd).max_pipelines(2).build();
+        let json = sys.chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn custom_spec_builder_works() {
+        let spec = ea_models::awd_spec();
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let sys = AvgPipe::builder_for(spec, cluster).batch(40).build();
+        assert!(sys.report().time_per_batch_s.is_finite());
+    }
+
+    #[test]
+    fn tight_budget_reports_oom_instead_of_panicking() {
+        let sys = AvgPipe::builder(Workload::Awd)
+            .memory_limit_bytes(1 << 20) // 1 MiB: nothing fits
+            .build();
+        assert!(sys.report().oom);
+        assert!(sys.report().time_per_batch_s.is_infinite());
+    }
+}

@@ -1,0 +1,35 @@
+//! AvgPipe: elastic averaging for efficient pipelined DNN training.
+//!
+//! This is the paper's system (PPoPP'23), reassembled from the substrate
+//! crates. The architecture mirrors the paper's Figure 10:
+//!
+//! * **partitioner** — `ea_sched::partition_model` (PipeDream's method).
+//! * **profiler** — [`Profiler`]: runs one setting of the parallelism
+//!   degrees for a few batches on the cluster simulator and records
+//!   per-GPU compute time, total communication time, the utilization
+//!   curve φᵏ(t) and the model/data memory split (§5.2.1).
+//! * **predictor** — [`predict`]: Equations (1)–(8), extrapolating batch
+//!   time and memory to any `(M*, N*)` (§5.2.2–5.2.3).
+//! * **tuner** — [`tune`]: picks parallelism degrees by the
+//!   profiling-based method, exhaustive traversal, or the max-num /
+//!   max-size guidelines (§5, Figures 18–19).
+//! * **scheduler** — `ea_sched::pipeline_program` with advance forward
+//!   propagation, adapted online by `ea_sched::AdvanceController`
+//!   (Algorithm 1).
+//! * **runtime** — the cluster simulator for performance, and
+//!   `ea_runtime::ElasticTrainer` for real training.
+//!
+//! [`run_baseline`] / [`run_avgpipe`] are the entry points the benchmark
+//! harness uses to regenerate the paper's figures.
+
+mod api;
+mod predictor;
+mod profiler;
+mod system;
+mod tuner;
+
+pub use api::{AvgPipe, AvgPipeBuilder};
+pub use predictor::{predict, Prediction};
+pub use profiler::{DeviceProfile, Profile, Profiler};
+pub use system::{run_avgpipe, run_baseline, BaselineKind, SystemReport};
+pub use tuner::{tune, TuneMethod, TuneOutcome};

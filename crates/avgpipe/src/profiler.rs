@@ -1,0 +1,187 @@
+//! The profiling phase of the tuning method (§5.2.1).
+
+use ea_models::ModelSpec;
+use ea_sched::{pipeline_program, Partition, PipelinePlan, PipeStyle, WarmupPolicy};
+use ea_sim::{ClusterConfig, Simulator, UtilTrace};
+
+/// Per-GPU measurements from a profiling run, normalized per batch.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    /// Compute time per batch, `T_gpu` (µs).
+    pub t_gpu_us: f64,
+    /// Total communication service time per batch, `𝕋ᵏ` (µs).
+    pub t_comm_total_us: f64,
+    /// Model memory: weights + gradients + optimizer state + reference
+    /// replica (bytes), `F_mod`.
+    pub f_mod: u64,
+    /// Data/activation memory at peak (bytes), `F_dat`.
+    pub f_dat: u64,
+    /// The utilization curve φᵏ(t) over the whole profiling run.
+    pub trace: UtilTrace,
+    /// Profiling-run horizon (µs), for normalizing trace integrals.
+    pub horizon_us: f64,
+}
+
+/// The complete profile of one parallelism-degree setting.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// The workload being profiled (the predictor reads its demand curve
+    /// and stash geometry).
+    pub spec: ModelSpec,
+    /// Samples per batch.
+    pub batch: usize,
+    /// Micro-batch count `m` used while profiling.
+    pub m: usize,
+    /// Pipeline count `n` used while profiling.
+    pub n: usize,
+    /// Batches simulated.
+    pub batches: usize,
+    /// Per-device measurements.
+    pub per_device: Vec<DeviceProfile>,
+    /// Wall time of the profiling run itself (µs of simulated time) —
+    /// the tuning cost reported in Figure 18.
+    pub profiling_cost_us: f64,
+}
+
+/// Runs profiling experiments against the cluster simulator.
+pub struct Profiler {
+    spec: ModelSpec,
+    cluster: ClusterConfig,
+    partition: Partition,
+    batch: usize,
+    opt_state_per_param: usize,
+}
+
+impl Profiler {
+    /// A profiler for one workload on one cluster.
+    pub fn new(
+        spec: ModelSpec,
+        cluster: ClusterConfig,
+        partition: Partition,
+        batch: usize,
+        opt_state_per_param: usize,
+    ) -> Self {
+        Profiler { spec, cluster, partition, batch, opt_state_per_param }
+    }
+
+    /// The workload spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Builds the plan for a setting.
+    pub fn plan(&self, m: usize, n_unused: usize) -> PipelinePlan {
+        let _ = n_unused;
+        PipelinePlan::new(
+            self.spec.clone(),
+            self.cluster.clone(),
+            self.partition.clone(),
+            self.batch,
+            m,
+            self.opt_state_per_param,
+        )
+    }
+
+    /// Profiles setting `(m, n)` over `batches` batches using the AFAB
+    /// schedule (the predictor reasons about AFAB; see §5.2.2). Following
+    /// the paper, pick a large `m` and small `n` so no GPU saturates —
+    /// [`Profiler::profile_default`] does this automatically.
+    pub fn profile(&self, m: usize, n: usize, batches: usize) -> Profile {
+        let plan = self.plan(m, n);
+        let style = PipeStyle::avgpipe_with(n, WarmupPolicy::Afab);
+        let prog = pipeline_program(&plan, &style, batches);
+        let sim = Simulator::new(self.cluster.clone());
+        let result = sim.run(&prog).expect("profiling run must execute");
+
+        let kk = plan.stages();
+        let per_device = (0..kk)
+            .map(|k| {
+                let d = &result.devices[k];
+                // Model memory from the plan (deterministic); the rest of
+                // the peak is data/activations.
+                let f_mod = plan.stage_weight_footprint(k) * n as u64
+                    + plan.stage_param_bytes(k); // reference replica
+                let f_dat = d.peak_mem.saturating_sub(f_mod);
+                DeviceProfile {
+                    t_gpu_us: d.busy_us / batches as f64,
+                    t_comm_total_us: d.total_comm_us / batches as f64,
+                    f_mod,
+                    f_dat,
+                    trace: d.trace.clone(),
+                    horizon_us: result.makespan_us,
+                }
+            })
+            .collect();
+
+        Profile {
+            spec: self.spec.clone(),
+            batch: self.batch,
+            m,
+            n,
+            batches,
+            per_device,
+            profiling_cost_us: result.makespan_us,
+        }
+    }
+
+    /// The paper's default profiling setting: one pipeline, `m` as large
+    /// as possible (micro-batch of one sample) so utilization stays far
+    /// from 100%, twenty batches.
+    pub fn profile_default(&self) -> Profile {
+        self.profile(self.batch, 1, 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_models::awd_spec;
+    use ea_sched::partition_model;
+
+    fn profiler() -> Profiler {
+        let spec = awd_spec();
+        let part = partition_model(&spec, 4);
+        Profiler::new(spec, ClusterConfig::paper_testbed_two_nodes(), part, 40, 4)
+    }
+
+    #[test]
+    fn profile_has_sane_shape() {
+        let p = profiler().profile(8, 1, 4);
+        assert_eq!(p.per_device.len(), 4);
+        for d in &p.per_device {
+            assert!(d.t_gpu_us > 0.0);
+            assert!(d.f_mod > 0);
+            assert!(d.horizon_us > 0.0);
+        }
+        // Interior devices both receive activations and gradients.
+        assert!(p.per_device[1].t_comm_total_us > 0.0);
+    }
+
+    #[test]
+    fn default_profile_keeps_utilization_low() {
+        let prof = profiler();
+        let p = prof.profile_default();
+        for d in &p.per_device {
+            let mean = d.trace.mean_over(d.horizon_us);
+            assert!(mean < 0.9, "profiling setting must not saturate: {mean}");
+        }
+    }
+
+    #[test]
+    fn per_batch_numbers_scale_with_batches() {
+        let prof = profiler();
+        let p2 = prof.profile(8, 1, 2);
+        let p6 = prof.profile(8, 1, 6);
+        // Per-batch compute time is batch-count independent (±20% from
+        // fill/drain amortization).
+        for (a, b) in p2.per_device.iter().zip(&p6.per_device) {
+            let ratio = a.t_gpu_us / b.t_gpu_us;
+            assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

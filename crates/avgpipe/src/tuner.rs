@@ -1,0 +1,263 @@
+//! Tuning parallelism degrees (§5): profiling-based method, exhaustive
+//! traversal, and the two naive guidelines of Figure 19.
+
+use crate::{predict, Profiler};
+use ea_models::ModelSpec;
+use ea_sched::{pipeline_program, Partition, PipeStyle};
+use ea_sim::{ClusterConfig, Simulator};
+
+/// The tuning strategies compared in Figures 18–19.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuneMethod {
+    /// Profile one setting, predict the rest (the paper's method).
+    ProfilingBased,
+    /// Simulate every setting for a few batches (ground truth, slow).
+    Traversal,
+    /// Maximize the micro-batch number (micro-batch size 1), then the
+    /// pipeline count.
+    MaxNum,
+    /// Maximize the micro-batch size (one micro-batch), then the
+    /// pipeline count.
+    MaxSize,
+}
+
+impl TuneMethod {
+    /// Display name used in the figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TuneMethod::ProfilingBased => "profiling",
+            TuneMethod::Traversal => "traversal",
+            TuneMethod::MaxNum => "max-num",
+            TuneMethod::MaxSize => "max-size",
+        }
+    }
+}
+
+/// The outcome of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// Chosen micro-batch count M.
+    pub m: usize,
+    /// Chosen pipeline count N.
+    pub n: usize,
+    /// Tuning cost in simulated seconds (what Figure 18 reports as
+    /// minutes/hours of cluster time).
+    pub tuning_cost_s: f64,
+    /// Settings evaluated.
+    pub evaluated: usize,
+}
+
+/// Divisors of `batch`, the candidate micro-batch counts.
+fn divisors(batch: usize) -> Vec<usize> {
+    (1..=batch).filter(|d| batch.is_multiple_of(*d)).collect()
+}
+
+/// Tunes `(M, N)` for AvgPipe on the given workload under a per-device
+/// memory limit. `max_n` bounds the pipeline count considered.
+#[allow(clippy::too_many_arguments)]
+pub fn tune(
+    spec: &ModelSpec,
+    cluster: &ClusterConfig,
+    partition: &Partition,
+    batch: usize,
+    opt_state_per_param: usize,
+    mem_limit: u64,
+    method: TuneMethod,
+    max_n: usize,
+) -> TuneOutcome {
+    let profiler = Profiler::new(
+        spec.clone(),
+        cluster.clone(),
+        partition.clone(),
+        batch,
+        opt_state_per_param,
+    );
+    let sim = Simulator::new(cluster.clone());
+    let kk = partition.len();
+
+    // Measured per-batch time of a candidate, `None` if it overflows.
+    let measure = |m: usize, n: usize, batches: usize| -> (Option<f64>, f64) {
+        let plan = profiler.plan(m, n);
+        // Feasibility and ranking at the 1F1B floor depth; Algorithm 1
+        // deepens the advance within the memory budget at run time.
+        let a = kk - 1;
+        let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, a), batches);
+        match sim.run(&prog) {
+            Ok(r) => {
+                let per_batch = r.makespan_us / (batches as f64 * n as f64);
+                let fits = r.devices.iter().all(|d| d.peak_mem <= mem_limit);
+                (fits.then_some(per_batch), r.makespan_us)
+            }
+            Err(_) => (None, 0.0),
+        }
+    };
+
+    match method {
+        TuneMethod::ProfilingBased => {
+            let profile = profiler.profile_default();
+            let mut best: Option<(f64, usize, usize)> = None;
+            let mut smallest: Option<(u64, usize, usize)> = None;
+            let mut evaluated = 0;
+            for &m in &divisors(batch) {
+                for n in 1..=max_n {
+                    evaluated += 1;
+                    let pred = predict(&profile, m, n);
+                    let peak = pred.per_device_mem.iter().copied().max().unwrap_or(0);
+                    if smallest.is_none_or(|(bp, _, _)| peak < bp) {
+                        smallest = Some((peak, m, n));
+                    }
+                    if !pred.fits(mem_limit) {
+                        continue;
+                    }
+                    // Per batch of data: the predicted iteration time is
+                    // already per-batch (Equation 2 normalizes by n*).
+                    let t = pred.t_us;
+                    if best.is_none_or(|(bt, _, _)| t < bt) {
+                        best = Some((t, m, n));
+                    }
+                }
+            }
+            // When nothing fits (a budget below even one replica plus the
+            // reference model), fall back to the smallest-footprint
+            // setting; the caller reports the overflow honestly.
+            let (_, m, n) = best.unwrap_or_else(|| {
+                let (_, m, n) = smallest.expect("at least one candidate");
+                (0.0, m, n)
+            });
+            TuneOutcome {
+                m,
+                n,
+                tuning_cost_s: profile.profiling_cost_us * 1e-6,
+                evaluated,
+            }
+        }
+        TuneMethod::Traversal => {
+            let mut best: Option<(f64, usize, usize)> = None;
+            let mut cost = 0.0;
+            let mut evaluated = 0;
+            for &m in &divisors(batch) {
+                for n in 1..=max_n {
+                    evaluated += 1;
+                    let (t, spent) = measure(m, n, 10);
+                    cost += spent;
+                    if let Some(t) = t {
+                        if best.is_none_or(|(bt, _, _)| t < bt) {
+                            best = Some((t, m, n));
+                        }
+                    }
+                }
+            }
+            let (_, m, n) = best.unwrap_or((0.0, batch, 1));
+            TuneOutcome { m, n, tuning_cost_s: cost * 1e-6, evaluated }
+        }
+        TuneMethod::MaxNum | TuneMethod::MaxSize => {
+            let m = if method == TuneMethod::MaxNum { batch } else { 1 };
+            // Grow N while the setting still fits.
+            let mut n_best = 1;
+            let mut cost = 0.0;
+            let mut evaluated = 0;
+            for n in 1..=max_n {
+                evaluated += 1;
+                let (t, spent) = measure(m, n, 2);
+                cost += spent;
+                if t.is_some() {
+                    n_best = n;
+                } else {
+                    break;
+                }
+            }
+            TuneOutcome { m, n: n_best, tuning_cost_s: cost * 1e-6, evaluated }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_models::{awd_spec, gnmt_spec};
+    use ea_sched::partition_model;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn divisors_of_128() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+
+    #[test]
+    fn profiling_tuner_is_much_cheaper_than_traversal() {
+        let spec = awd_spec();
+        let part = partition_model(&spec, 4);
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let p = tune(&spec, &cluster, &part, 40, 4, 16 * GB, TuneMethod::ProfilingBased, 4);
+        let t = tune(&spec, &cluster, &part, 40, 4, 16 * GB, TuneMethod::Traversal, 4);
+        assert!(
+            p.tuning_cost_s * 5.0 < t.tuning_cost_s,
+            "profiling {} s vs traversal {} s",
+            p.tuning_cost_s,
+            t.tuning_cost_s
+        );
+    }
+
+    #[test]
+    fn profiling_choice_is_near_traversal_quality() {
+        let spec = awd_spec();
+        let part = partition_model(&spec, 4);
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let p = tune(&spec, &cluster, &part, 40, 4, 16 * GB, TuneMethod::ProfilingBased, 4);
+        let t = tune(&spec, &cluster, &part, 40, 4, 16 * GB, TuneMethod::Traversal, 4);
+
+        // Evaluate both choices with the simulator.
+        let profiler = Profiler::new(spec, cluster.clone(), part, 40, 4);
+        let sim = Simulator::new(cluster);
+        let eval = |m: usize, n: usize| {
+            let plan = profiler.plan(m, n);
+            let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, 3 + m.min(8)), 4);
+            let r = sim.run(&prog).unwrap();
+            r.makespan_us / (4.0 * n as f64)
+        };
+        let tp = eval(p.m, p.n);
+        let tt = eval(t.m, t.n);
+        assert!(
+            tp <= tt * 1.6,
+            "profiling pick ({}, {}) {tp} µs vs traversal ({}, {}) {tt} µs",
+            p.m,
+            p.n,
+            t.m,
+            t.n
+        );
+    }
+
+    #[test]
+    fn max_size_wins_on_awd_and_max_num_is_catastrophic() {
+        // Figure 19's AWD column: max-size is near-optimal, max-num 15×
+        // worse.
+        let spec = awd_spec();
+        let part = partition_model(&spec, 4);
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let size = tune(&spec, &cluster, &part, 40, 4, 16 * GB, TuneMethod::MaxSize, 4);
+        let num = tune(&spec, &cluster, &part, 40, 4, 16 * GB, TuneMethod::MaxNum, 4);
+        assert_eq!(size.m, 1, "max-size takes the whole batch as one micro-batch");
+        assert_eq!(num.m, 40);
+        let profiler = Profiler::new(spec, cluster.clone(), part, 40, 4);
+        let sim = Simulator::new(cluster);
+        let eval = |m: usize, n: usize| {
+            let plan = profiler.plan(m, n);
+            let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, 3 + m.min(8)), 4);
+            sim.run(&prog).unwrap().makespan_us / (4.0 * n as f64)
+        };
+        assert!(eval(size.m, size.n) < eval(num.m, num.n));
+    }
+
+    #[test]
+    fn gnmt_profiling_tuner_prefers_many_micros() {
+        // Figure 19's GNMT column: the bubble issue dominates, so the
+        // tuned micro-batch number should be large (micro size small).
+        let spec = gnmt_spec();
+        let part = partition_model(&spec, 6);
+        let cluster = ClusterConfig::paper_testbed();
+        let p = tune(&spec, &cluster, &part, 128, 8, 16 * GB, TuneMethod::ProfilingBased, 4);
+        assert!(p.m >= 16, "expected many micro-batches, got M={}", p.m);
+        assert!(p.n >= 2, "expected parallel pipelines, got N={}", p.n);
+    }
+}

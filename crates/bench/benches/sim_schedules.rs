@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the cluster simulator executing each system's
+//! schedule — one benchmark per Figure 11 row family, measuring *our*
+//! simulator's throughput (instructions simulated per second), which
+//! bounds how fast the figure harness and the traversal tuner can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_models::Workload;
+use ea_sched::{
+    data_parallel_program, partition_model, pipeline_program, PipelinePlan, PipeStyle,
+};
+use ea_sim::{ClusterConfig, Simulator};
+
+fn plan_for(w: Workload, micros: usize) -> (PipelinePlan, Simulator) {
+    let spec = w.spec();
+    let cluster = if w == Workload::Awd {
+        ClusterConfig::paper_testbed_two_nodes()
+    } else {
+        ClusterConfig::paper_testbed()
+    };
+    let partition = partition_model(&spec, cluster.num_devices());
+    let batch = spec.default_batch;
+    let plan = PipelinePlan::new(spec, cluster.clone(), partition, batch, micros, 8);
+    (plan, Simulator::new(cluster))
+}
+
+fn bench_pipeline_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for w in Workload::all() {
+        let micros = if w == Workload::Awd { 4 } else { 16 };
+        let (plan, sim) = plan_for(w, micros);
+        for (name, style) in [
+            ("gpipe", PipeStyle::gpipe()),
+            ("dapple", PipeStyle::dapple()),
+            ("pipedream2bw", PipeStyle::pipedream_2bw()),
+            ("avgpipe_n2", PipeStyle::avgpipe(2, plan.stages() + 3)),
+        ] {
+            let prog = pipeline_program(&plan, &style, 2);
+            group.bench_with_input(
+                BenchmarkId::new(name, w.name()),
+                &prog,
+                |b, prog| b.iter(|| sim.run(std::hint::black_box(prog)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_data_parallel(c: &mut Criterion) {
+    let spec = Workload::Gnmt.spec();
+    let cluster = ClusterConfig::paper_testbed();
+    let prog = data_parallel_program(&spec, &cluster, 128, 2, 8);
+    let sim = Simulator::new(cluster);
+    c.bench_function("simulate/ddp/GNMT", |b| {
+        b.iter(|| sim.run(std::hint::black_box(&prog)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipeline_styles, bench_data_parallel);
+criterion_main!(benches);

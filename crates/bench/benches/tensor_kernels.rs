@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the numeric substrate: the kernels that bound
+//! the real-execution (threads-as-GPUs) experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, uniform, TensorRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for size in [32usize, 128, 256] {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let a = uniform(&[size, size], -1.0, 1.0, &mut rng);
+        let b = uniform(&[size, size], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ab", size), &size, |bench, _| {
+            bench.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", size), &size, |bench, _| {
+            bench.iter(|| matmul_a_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b", size), &size, |bench, _| {
+            bench.iter(|| matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from_u64(1);
+    let x = uniform(&[256, 512], -2.0, 2.0, &mut rng);
+    c.bench_function("softmax_rows/256x512", |b| {
+        b.iter(|| softmax_rows(std::hint::black_box(&x)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax);
+criterion_main!(benches);

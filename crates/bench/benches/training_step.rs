@@ -1,0 +1,45 @@
+//! Criterion benchmarks of real training: one synchronous step and one
+//! elastic-averaging round on the analogue models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ea_data::SyntheticTask;
+use ea_models::{gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::{train_step, ElasticSemantic};
+use ea_tensor::TensorRng;
+
+const CFG: AnalogueConfig = AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 3, stages: 3 };
+
+fn adam() -> Vec<Box<dyn Optimizer>> {
+    (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect()
+}
+
+fn bench_sync_step(c: &mut Criterion) {
+    let mut model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0));
+    let mut opts = adam();
+    let task = SyntheticTask::copy_translate(32, 8, 1);
+    let batch = task.batch(16, 0);
+    let mut step = 0u64;
+    c.bench_function("train_step/gnmt_analogue_b16_m4", |b| {
+        b.iter(|| {
+            step += 1;
+            train_step(&mut model, &mut opts, &batch, 4, step)
+        })
+    });
+}
+
+fn bench_elastic_round(c: &mut Criterion) {
+    let replicas = (0..2).map(|_| gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0))).collect();
+    let opts = (0..2).map(|_| adam()).collect();
+    let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0));
+    let mut ea = ElasticSemantic::with_eval_replica(replicas, opts, 4, None, eval);
+    let task = SyntheticTask::copy_translate(32, 8, 2);
+    let b0 = task.batch(16, 0);
+    let b1 = task.batch(16, 1);
+    c.bench_function("elastic_round/n2_b16_m4", |b| {
+        b.iter(|| ea.round(std::hint::black_box(&[b0.clone(), b1.clone()])))
+    });
+}
+
+criterion_group!(benches, bench_sync_step, bench_elastic_round);
+criterion_main!(benches);

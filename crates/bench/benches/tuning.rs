@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the tuning pipeline: the profiling run, the
+//! analytic predictor sweep, and the full profiling-based tuner — the
+//! wall-clock costs behind Figure 18.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use avgpipe::{predict, tune, Profiler, TuneMethod};
+use ea_models::awd_spec;
+use ea_sched::partition_model;
+use ea_sim::ClusterConfig;
+
+fn bench_profile(c: &mut Criterion) {
+    let spec = awd_spec();
+    let cluster = ClusterConfig::paper_testbed_two_nodes();
+    let part = partition_model(&spec, 4);
+    let profiler = Profiler::new(spec, cluster, part, 40, 4);
+    c.bench_function("profiler/awd_20_batches", |b| {
+        b.iter(|| profiler.profile_default())
+    });
+}
+
+fn bench_predict_sweep(c: &mut Criterion) {
+    let spec = awd_spec();
+    let cluster = ClusterConfig::paper_testbed_two_nodes();
+    let part = partition_model(&spec, 4);
+    let profiler = Profiler::new(spec, cluster, part, 40, 4);
+    let profile = profiler.profile_default();
+    c.bench_function("predict/awd_full_sweep", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for m in (1..=40usize).filter(|d| 40 % d == 0) {
+                for n in 1..=4 {
+                    best = best.min(predict(std::hint::black_box(&profile), m, n).t_us);
+                }
+            }
+            best
+        })
+    });
+}
+
+fn bench_tuners(c: &mut Criterion) {
+    let spec = awd_spec();
+    let cluster = ClusterConfig::paper_testbed_two_nodes();
+    let part = partition_model(&spec, 4);
+    let cap = 16 * (1u64 << 30);
+    c.bench_function("tune/profiling_based_awd", |b| {
+        b.iter(|| tune(&spec, &cluster, &part, 40, 4, cap, TuneMethod::ProfilingBased, 4))
+    });
+}
+
+criterion_group!(benches, bench_profile, bench_predict_sweep, bench_tuners);
+criterion_main!(benches);

@@ -1,0 +1,276 @@
+//! Regenerates every figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- all
+//! cargo run -p bench --release --bin repro -- fig11 fig14
+//! ```
+//!
+//! Each experiment prints a human-readable table and writes
+//! `results/<fig>.json`.
+
+use bench::*;
+use ea_models::Workload;
+use serde::Serialize;
+use std::fs;
+
+fn save<T: Serialize>(name: &str, value: &T) {
+    fs::create_dir_all("results").expect("create results dir");
+    let path = format!("results/{name}.json");
+    fs::write(&path, serde_json::to_string_pretty(value).unwrap()).expect("write results");
+    println!("  [saved {path}]");
+}
+
+fn fig2() {
+    println!("== Figure 2: GPU-1 time breakdown, BERT ==");
+    let f = fig2_utilization();
+    for (name, busy, comm, idle, _) in &f.systems {
+        println!("  {name:<16} busy {:>5.1}%  comm {:>5.1}%  idle {:>5.1}%", busy * 100.0, comm * 100.0, idle * 100.0);
+    }
+    save("fig2", &f);
+}
+
+fn fig7() {
+    println!("== Figure 7: one-batch schedules (K=2, M=4) ==");
+    let f = fig7_toy_schedules();
+    for r in &f.rows {
+        println!(
+            "  {:<12} t = {:>8.1} ms   stash(GPU1) = {}   mem/AFAB = {:.2}",
+            r.schedule,
+            r.makespan_us / 1000.0,
+            r.stash_gpu1,
+            r.mem_vs_afab
+        );
+    }
+    save("fig7", &f);
+}
+
+fn fig11_12_13_all() {
+    println!("== Figures 11/12/13: time, memory, utilization ==");
+    let mut all = Vec::new();
+    for w in Workload::all() {
+        let m = fig11_12_13(w);
+        println!("-- {} --", m.workload);
+        println!(
+            "  {:<14} {:>4} {:>2} {:>10} {:>10} {:>9} {:>6} {:>5}",
+            "system", "M", "N", "s/batch", "hours", "totalGiB", "util", "OOM"
+        );
+        for r in &m.rows {
+            println!(
+                "  {:<14} {:>4} {:>2} {:>10.3} {:>10.1} {:>9.2} {:>6.2} {:>5}",
+                r.system,
+                r.m,
+                r.n,
+                r.time_per_batch_s,
+                r.train_hours,
+                r.total_mem_gib,
+                r.mean_util,
+                if r.oom { "OOM" } else { "" }
+            );
+        }
+        for base in ["PyTorch", "GPipe", "PipeDream", "PipeDream-2BW", "Dapple"] {
+            let short = match base {
+                "PyTorch" => "P",
+                "GPipe" => "G",
+                "PipeDream" => "PD",
+                "PipeDream-2BW" => "2BW",
+                _ => "D",
+            };
+            if let Some(s) = m.speedup(&format!("AvgPipe({short})"), base) {
+                println!("  speedup AvgPipe({short}) vs {base}: {s:.2}x");
+            }
+        }
+        all.push(m);
+    }
+    save("fig11_12_13", &all);
+}
+
+fn fig14() {
+    println!("== Figure 14: statistical efficiency (real training) ==");
+    let mut all = Vec::new();
+    for w in Workload::all() {
+        let f = fig14_statistical(w, 11, 71);
+        println!(
+            "-- {} (target {} {}) --",
+            f.workload,
+            if f.by_accuracy { "accuracy ≥" } else { "loss ≤" },
+            f.target
+        );
+        for r in &f.rows {
+            match r.epochs {
+                Some(e) => println!(
+                    "  {:<14} {:>6.2} epochs  (final acc {:.3}, loss {:.3})",
+                    r.system, e, r.final_accuracy, r.final_loss
+                ),
+                None => println!(
+                    "  {:<14} target NOT reached (final acc {:.3}, loss {:.3})",
+                    r.system, r.final_accuracy, r.final_loss
+                ),
+            }
+        }
+        all.push(f);
+    }
+    save("fig14", &all);
+}
+
+fn fig15() {
+    println!("== Figure 15: GNMT epoch time vs batch size ==");
+    let f = fig15_batch_sweep();
+    for r in &f.rows {
+        println!(
+            "  batch {:>4}: GPipe {:>6.2} h/epoch   AvgPipe(G) {:>6.2} h/epoch (M={}, N={})  speedup {:.2}x",
+            r.batch,
+            r.gpipe_epoch_h,
+            r.avgpipe_epoch_h,
+            r.m,
+            r.n,
+            r.gpipe_epoch_h / r.avgpipe_epoch_h
+        );
+    }
+    save("fig15", &f);
+}
+
+fn fig16() {
+    println!("== Figure 16: GPU-1 utilization over time, GNMT ==");
+    let f = fig16_util_traces();
+    for (name, series) in &f.series {
+        let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
+        let peak = series.iter().cloned().fold(0.0, f64::max);
+        let spark: String = series
+            .iter()
+            .map(|&u| {
+                let levels = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                levels[((u * 8.0).round() as usize).min(8)]
+            })
+            .collect();
+        println!("  {name:<16} mean {mean:.2} peak {peak:.2}  |{spark}|");
+    }
+    save("fig16", &f);
+}
+
+fn fig17() {
+    println!("== Figure 17: schedule ablation (AFAB / 1F1B / advance-FP) ==");
+    let mut all = Vec::new();
+    for w in Workload::all() {
+        let f = fig17_schedule_ablation(w);
+        println!("-- {} --", f.workload);
+        for r in &f.rows {
+            println!(
+                "  {:<12} {:>8.3} s/batch   last-GPU idle {:>7.3} s   peak {:>6.2} GiB",
+                r.schedule, r.time_per_batch_s, r.last_gpu_idle_s, r.peak_mem_gib
+            );
+        }
+        if f.workload == "BERT" {
+            println!("  per-GPU memory (GiB), Figure 17(c):");
+            for r in &f.rows {
+                let cells: Vec<String> =
+                    r.per_gpu_mem_gib.iter().map(|g| format!("{g:>6.2}")).collect();
+                println!("    {:<12} {}", r.schedule, cells.join(" "));
+            }
+        }
+        all.push(f);
+    }
+    save("fig17", &all);
+}
+
+fn fig18_19() {
+    println!("== Figures 18/19: tuning cost and tuned training time ==");
+    let mut all = Vec::new();
+    for w in Workload::all() {
+        let rows = fig18_19_tuning(w);
+        println!("-- {} --", w.name());
+        for r in &rows {
+            println!(
+                "  {:<12} cost {:>8.1} min   chose (M={:>3}, N={})   {:>8.3} s/batch",
+                r.method, r.tuning_cost_min, r.m, r.n, r.time_per_batch_s
+            );
+        }
+        all.push((w.name().to_string(), rows));
+    }
+    save("fig18_19", &all);
+}
+
+fn extensions() {
+    println!("== Extension: Chimera (bidirectional pipelines), GNMT ==");
+    let rows = ext_chimera();
+    for r in &rows {
+        println!(
+            "  {:<28} Chimera {:>7.3} s/batch {:>6.2} GiB   Dapple {:>7.3} s/batch {:>6.2} GiB",
+            r.interconnect, r.chimera_s, r.chimera_mem_gib, r.dapple_s, r.dapple_mem_gib
+        );
+    }
+    save("ext_chimera", &rows);
+    println!("== Extension: activation recomputation (GPipe) ==");
+    let rows = ext_recompute();
+    for r in &rows {
+        println!(
+            "  {:<6} plain {:>7.3} s / {:>6.2} GiB   recompute {:>7.3} s / {:>6.2} GiB",
+            r.workload, r.plain_s, r.plain_mem_gib, r.recompute_s, r.recompute_mem_gib
+        );
+    }
+    save("ext_recompute", &rows);
+    println!("== Extension: straggler study (GNMT, GPipe) ==");
+    let rows = ext_straggler();
+    for r in &rows {
+        println!("  {:<44} {:>7.3} s/batch", r.scenario, r.gpipe_s);
+    }
+    save("ext_straggler", &rows);
+    println!("== Extension: elastic-averaging ablations (real training) ==");
+    let rows = ext_elastic_ablation();
+    for r in &rows {
+        match r.epochs {
+            Some(e) => println!("  {:<36} {:>6.2} epochs (acc {:.3})", r.config, e, r.final_accuracy),
+            None => println!("  {:<36} target NOT reached (acc {:.3})", r.config, r.final_accuracy),
+        }
+    }
+    save("ext_elastic", &rows);
+}
+
+fn trace() {
+    use avgpipe::AvgPipe;
+    println!("== Chrome-tracing timelines (open in chrome://tracing) ==");
+    for w in Workload::all() {
+        let sys = AvgPipe::builder(w).max_pipelines(2).build();
+        let json = sys.chrome_trace();
+        fs::create_dir_all("results").expect("create results dir");
+        let path = format!("results/trace_{}.json", w.name().to_lowercase());
+        fs::write(&path, json).expect("write trace");
+        let (m, n, a) = sys.degrees();
+        println!("  {} (M={m}, N={n}, advance={a}) -> {path}", w.name());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig7") {
+        fig7();
+    }
+    if want("fig11") || want("fig12") || want("fig13") {
+        fig11_12_13_all();
+    }
+    if want("fig14") {
+        fig14();
+    }
+    if want("fig15") {
+        fig15();
+    }
+    if want("fig16") {
+        fig16();
+    }
+    if want("fig17") {
+        fig17();
+    }
+    if want("fig18") || want("fig19") {
+        fig18_19();
+    }
+    if want("ext") {
+        extensions();
+    }
+    if args.iter().any(|a| a == "trace") {
+        trace();
+    }
+}

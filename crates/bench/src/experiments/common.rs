@@ -1,0 +1,61 @@
+//! Shared per-workload experiment environment.
+
+use ea_models::{ModelSpec, Workload};
+use ea_sim::ClusterConfig;
+
+/// Everything an experiment needs about one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadEnv {
+    /// The workload.
+    pub workload: Workload,
+    /// Its cost model.
+    pub spec: ModelSpec,
+    /// The cluster it runs on (AWD uses two nodes, §7).
+    pub cluster: ClusterConfig,
+    /// Batch size from the paper.
+    pub batch: usize,
+    /// Optimizer state bytes per parameter (Adam = 8, ASGD = 4).
+    pub opt_state_per_param: usize,
+    /// Batches per epoch at the paper's dataset scale (WMT16 ≈ 4.5 M
+    /// pairs, QQP ≈ 364 k pairs, PTB ≈ 930 k tokens / (seq × batch)).
+    pub batches_per_epoch: u64,
+}
+
+/// Builds the paper's setup for a workload.
+pub fn workload_env(w: Workload) -> WorkloadEnv {
+    let spec = w.spec();
+    let batch = spec.default_batch;
+    let (cluster, opt_bytes, batches_per_epoch) = match w {
+        Workload::Gnmt => (ClusterConfig::paper_testbed(), 8, 4_500_000 / batch as u64),
+        Workload::Bert => (ClusterConfig::paper_testbed(), 8, 364_000 / batch as u64),
+        Workload::Awd => (
+            ClusterConfig::paper_testbed_two_nodes(),
+            4,
+            930_000 / (70 * batch as u64),
+        ),
+    };
+    WorkloadEnv {
+        workload: w,
+        spec,
+        cluster,
+        batch,
+        opt_state_per_param: opt_bytes,
+        batches_per_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envs_match_paper_setup() {
+        let g = workload_env(Workload::Gnmt);
+        assert_eq!(g.batch, 128);
+        assert_eq!(g.cluster.num_devices(), 6);
+        let a = workload_env(Workload::Awd);
+        assert_eq!(a.batch, 40);
+        assert_eq!(a.cluster.num_devices(), 4);
+        assert!(a.batches_per_epoch > 100);
+    }
+}

@@ -1,0 +1,179 @@
+//! Figure 14: statistical efficiency — epochs to reach the target metric
+//! under each training semantics, measured by *real* training of the
+//! analogue models on the synthetic tasks.
+
+use ea_data::SyntheticTask;
+use ea_models::{awd_analogue, bert_analogue, gnmt_analogue, AnalogueConfig, Workload};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::{
+    epochs_to_target, ElasticSemantic, StaleTrainer, SyncTrainer, Trainer,
+};
+use ea_tensor::TensorRng;
+use serde::Serialize;
+
+/// One system's statistical efficiency on one workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig14Row {
+    /// System name.
+    pub system: String,
+    /// Epochs to target (`None` = target not reached in the budget).
+    pub epochs: Option<f64>,
+    /// Final held-out accuracy.
+    pub final_accuracy: f64,
+    /// Final held-out loss.
+    pub final_loss: f64,
+}
+
+/// The statistical-efficiency table of one workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig14 {
+    /// Workload name.
+    pub workload: String,
+    /// Metric target used.
+    pub target: f64,
+    /// True if the target is an accuracy (else a loss).
+    pub by_accuracy: bool,
+    /// PyTorch / PipeDream / PipeDream-2BW / AvgPipe rows.
+    pub rows: Vec<Fig14Row>,
+}
+
+struct StatSetup {
+    task: SyntheticTask,
+    cfg: AnalogueConfig,
+    opt: OptKind,
+    target: f64,
+    by_accuracy: bool,
+    batch: usize,
+    batches_per_epoch: usize,
+    max_epochs: usize,
+    stages: usize,
+}
+
+fn setup(w: Workload, seed: u64) -> StatSetup {
+    match w {
+        // GNMT analogue: seq transduction, Adam, accuracy target standing
+        // in for the BLEU 21.8 target.
+        Workload::Gnmt => StatSetup {
+            task: SyntheticTask::copy_translate(16, 6, seed),
+            cfg: AnalogueConfig { vocab: 16, seq: 6, hidden: 24, blocks: 3, stages: 3 },
+            opt: OptKind::Adam { lr: 1e-2 },
+            target: 0.85,
+            by_accuracy: true,
+            batch: 4,
+            batches_per_epoch: 96,
+            max_epochs: 40,
+            stages: 3,
+        },
+        // BERT analogue: masked denoising, Adam, top-1 accuracy ≥ 0.67
+        // (the paper's QQP target).
+        Workload::Bert => StatSetup {
+            task: SyntheticTask::masked_denoise(24, 8, 0.3, seed),
+            cfg: AnalogueConfig { vocab: 24, seq: 8, hidden: 24, blocks: 2, stages: 3 },
+            opt: OptKind::Adam { lr: 2e-3 },
+            target: 0.67,
+            by_accuracy: true,
+            batch: 2,
+            batches_per_epoch: 192,
+            max_epochs: 40,
+            stages: 3,
+        },
+        // AWD analogue: next-token LM, SGD, validation-loss target.
+        Workload::Awd => StatSetup {
+            task: SyntheticTask::next_token(16, 10, seed),
+            cfg: AnalogueConfig { vocab: 16, seq: 10, hidden: 24, blocks: 2, stages: 2 },
+            opt: OptKind::Momentum { lr: 0.2, beta: 0.9 },
+            target: 1.74,
+            by_accuracy: false,
+            batch: 4,
+            batches_per_epoch: 96,
+            max_epochs: 60,
+            stages: 2,
+        },
+    }
+}
+
+fn build_model(w: Workload, cfg: AnalogueConfig, seed: u64) -> ea_autograd::StagedModel {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    match w {
+        Workload::Gnmt => gnmt_analogue(cfg, &mut rng),
+        Workload::Bert => bert_analogue(cfg, &mut rng),
+        Workload::Awd => awd_analogue(cfg, &mut rng),
+    }
+}
+
+fn opts(s: &StatSetup) -> Vec<Box<dyn Optimizer>> {
+    (0..s.stages).map(|_| s.opt.build()).collect()
+}
+
+/// Measures the Figure 14 table for one workload. `model_seed` fixes the
+/// initial weights (identical across systems); `data_seed` fixes the task.
+pub fn fig14_statistical(w: Workload, model_seed: u64, data_seed: u64) -> Fig14 {
+    let s = setup(w, data_seed);
+    let kk_cluster = if w == Workload::Awd { 4 } else { 6 };
+    let mut rows = Vec::new();
+
+    let run = |trainer: &mut dyn Trainer, name: &str| -> Fig14Row {
+        let r = epochs_to_target(
+            trainer,
+            &s.task,
+            s.batch,
+            s.batches_per_epoch,
+            s.max_epochs,
+            s.target,
+            s.by_accuracy,
+            4,
+        );
+        Fig14Row {
+            system: name.to_string(),
+            epochs: r.epochs,
+            final_accuracy: r.final_eval.accuracy,
+            final_loss: r.final_eval.loss,
+        }
+    };
+
+    // PyTorch (and all synchronous pipeline schedules share semantics).
+    let mut sync = SyncTrainer::new(build_model(w, s.cfg, model_seed), opts(&s), 4);
+    rows.push(run(&mut sync, "PyTorch"));
+
+    // PipeDream: gradients K−1 versions stale.
+    let mut pd = StaleTrainer::new(build_model(w, s.cfg, model_seed), opts(&s), 4, kk_cluster - 1);
+    rows.push(run(&mut pd, "PipeDream"));
+
+    // PipeDream-2BW: one-step staleness.
+    let mut bw = StaleTrainer::new(build_model(w, s.cfg, model_seed), opts(&s), 4, 1);
+    rows.push(run(&mut bw, "PipeDream-2BW"));
+
+    // AvgPipe: elastic averaging over N = 2 replicas.
+    let n = 2;
+    let replicas = (0..n).map(|_| build_model(w, s.cfg, model_seed)).collect();
+    let replica_opts = (0..n).map(|_| opts(&s)).collect();
+    let eval = build_model(w, s.cfg, model_seed);
+    let mut ea = ElasticSemantic::with_eval_replica(replicas, replica_opts, 4, None, eval);
+    rows.push(run(&mut ea, "AvgPipe"));
+
+    Fig14 {
+        workload: w.name().to_string(),
+        target: s.target,
+        by_accuracy: s.by_accuracy,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnmt_stat_efficiency_shape() {
+        let f = fig14_statistical(Workload::Gnmt, 11, 71);
+        let by = |n: &str| f.rows.iter().find(|r| r.system == n).unwrap().clone();
+        let sync = by("PyTorch");
+        let avg = by("AvgPipe");
+        assert!(sync.epochs.is_some(), "PyTorch must reach target: {sync:?}");
+        assert!(avg.epochs.is_some(), "AvgPipe must reach target: {avg:?}");
+        // AvgPipe within 2× of synchronous epochs ("similar statistical
+        // efficiency", §7.1.3).
+        let ratio = avg.epochs.unwrap() / sync.epochs.unwrap();
+        assert!(ratio < 2.0, "AvgPipe/PyTorch epoch ratio {ratio}");
+    }
+}

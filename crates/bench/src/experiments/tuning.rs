@@ -1,0 +1,155 @@
+//! Figures 15, 18 and 19: batch-size scaling and tuning-method quality.
+
+use crate::experiments::common::workload_env;
+use crate::{EFFECTIVE_GPU_MEM, MAX_PIPELINES};
+use avgpipe::{run_avgpipe, run_baseline, tune, BaselineKind, TuneMethod};
+use ea_models::Workload;
+use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+use ea_sim::Simulator;
+use serde::Serialize;
+
+/// One batch-size point of Figure 15.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig15Row {
+    /// Batch size.
+    pub batch: usize,
+    /// GPipe's per-epoch training time (hours).
+    pub gpipe_epoch_h: f64,
+    /// AvgPipe(G)'s per-epoch training time (hours).
+    pub avgpipe_epoch_h: f64,
+    /// AvgPipe's chosen `(M, N)`.
+    pub m: usize,
+    /// Chosen pipeline count.
+    pub n: usize,
+}
+
+/// Figure 15: varying the GNMT batch size from 64 to 256.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig15 {
+    /// One row per batch size.
+    pub rows: Vec<Fig15Row>,
+}
+
+/// Regenerates Figure 15.
+pub fn fig15_batch_sweep() -> Fig15 {
+    let env = workload_env(Workload::Gnmt);
+    let dataset_pairs = 4_500_000f64;
+    let rows = [64usize, 128, 256]
+        .into_iter()
+        .map(|batch| {
+            let gpipe = run_baseline(
+                BaselineKind::GPipe,
+                &env.spec,
+                &env.cluster,
+                batch,
+                env.opt_state_per_param,
+                EFFECTIVE_GPU_MEM,
+            );
+            // Ground-truth (traversal) tuning per batch size — this
+            // figure studies batch-size scaling, not tuner quality.
+            let avg = run_avgpipe(
+                &env.spec,
+                &env.cluster,
+                batch,
+                env.opt_state_per_param,
+                (gpipe.max_peak_mem as f64 * 1.05) as u64,
+                TuneMethod::Traversal,
+                MAX_PIPELINES,
+            );
+            let batches = dataset_pairs / batch as f64;
+            Fig15Row {
+                batch,
+                gpipe_epoch_h: gpipe.time_per_batch_s * batches / 3600.0,
+                avgpipe_epoch_h: avg.time_per_batch_s * batches / 3600.0,
+                m: avg.m,
+                n: avg.n,
+            }
+        })
+        .collect();
+    Fig15 { rows }
+}
+
+/// One tuning method's outcome (Figures 18 and 19 combined).
+#[derive(Clone, Debug, Serialize)]
+pub struct TuningRow {
+    /// Method name.
+    pub method: String,
+    /// Tuning cost in simulated cluster minutes (Figure 18).
+    pub tuning_cost_min: f64,
+    /// Chosen `(M, N)`.
+    pub m: usize,
+    /// Chosen pipeline count.
+    pub n: usize,
+    /// Measured per-batch time of the chosen setting, seconds (Fig. 19).
+    pub time_per_batch_s: f64,
+}
+
+/// Regenerates Figures 18 and 19 for one workload.
+pub fn fig18_19_tuning(w: Workload) -> Vec<TuningRow> {
+    let env = workload_env(w);
+    let part = partition_model(&env.spec, env.cluster.num_devices());
+    let sim = Simulator::new(env.cluster.clone());
+    let evaluate = |m: usize, n: usize| -> f64 {
+        let plan = PipelinePlan::new(
+            env.spec.clone(),
+            env.cluster.clone(),
+            part.clone(),
+            env.batch,
+            m,
+            env.opt_state_per_param,
+        );
+        let kk = part.len();
+        let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, kk - 1), 4);
+        match sim.run(&prog) {
+            Ok(r) => r.makespan_us * 1e-6 / (4.0 * n as f64),
+            Err(_) => f64::INFINITY,
+        }
+    };
+    [
+        TuneMethod::Traversal,
+        TuneMethod::MaxNum,
+        TuneMethod::MaxSize,
+        TuneMethod::ProfilingBased,
+    ]
+    .into_iter()
+    .map(|method| {
+        let o = tune(
+            &env.spec,
+            &env.cluster,
+            &part,
+            env.batch,
+            env.opt_state_per_param,
+            EFFECTIVE_GPU_MEM,
+            method,
+            MAX_PIPELINES,
+        );
+        TuningRow {
+            method: method.name().to_string(),
+            tuning_cost_min: o.tuning_cost_s / 60.0,
+            m: o.m,
+            n: o.n,
+            time_per_batch_s: evaluate(o.m, o.n),
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awd_tuning_shapes() {
+        let rows = fig18_19_tuning(Workload::Awd);
+        let by = |n: &str| rows.iter().find(|r| r.method == n).unwrap().clone();
+        let traversal = by("traversal");
+        let profiling = by("profiling");
+        let max_num = by("max-num");
+        // Figure 18: profiling is far cheaper than traversal.
+        assert!(profiling.tuning_cost_min * 3.0 < traversal.tuning_cost_min);
+        // Figure 19: profiling is near traversal; max-num is much worse
+        // on AWD.
+        assert!(profiling.time_per_batch_s <= traversal.time_per_batch_s * 2.0);
+        assert!(max_num.time_per_batch_s > traversal.time_per_batch_s * 2.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! The benchmark harness: one module per figure of the paper's §7.
+//!
+//! Every experiment is a pure function returning a serializable result,
+//! so the `repro` binary can print tables and dump JSON, and the
+//! integration tests can assert the paper's qualitative claims hold.
+//!
+//! Conventions shared by all experiments:
+//!
+//! * Cluster: the paper's testbed (3 nodes × 2 V100, 1 Gbps Ethernet;
+//!   AWD uses 2 nodes × 2).
+//! * Memory cap: [`EFFECTIVE_GPU_MEM`] = 16 GiB of the V100's 32 GB —
+//!   the usable budget after framework reserves, fragmentation and NCCL
+//!   buffers (the paper's artifact runs in 10 GB).
+//! * Optimizers: Adam for GNMT/BERT (8 state bytes/param), ASGD for AWD
+//!   (4 bytes/param), matching §7's setups.
+
+pub mod experiments;
+
+/// Usable bytes per GPU in all performance experiments.
+pub const EFFECTIVE_GPU_MEM: u64 = 16 * (1 << 30);
+
+/// Maximum parallel pipelines the tuner may consider.
+pub const MAX_PIPELINES: usize = 4;
+
+pub use experiments::*;

@@ -1,0 +1,140 @@
+//! Element-wise activation layers.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::Tensor;
+
+/// The supported element-wise nonlinearities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Gaussian error linear unit (tanh approximation, as used by BERT).
+    Gelu,
+}
+
+/// A parameter-free element-wise activation.
+pub struct Activation {
+    kind: ActivationKind,
+}
+
+impl Activation {
+    /// Creates an activation of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation { kind }
+    }
+
+    fn apply(&self, x: f32) -> f32 {
+        match self.kind {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActivationKind::Gelu => {
+                let c = (2.0 / std::f32::consts::PI).sqrt();
+                0.5 * x * (1.0 + (c * (x + 0.044_715 * x * x * x)).tanh())
+            }
+        }
+    }
+
+    /// d(activation)/dx expressed in terms of the input x.
+    fn derivative(&self, x: f32) -> f32 {
+        match self.kind {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            ActivationKind::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            ActivationKind::Gelu => {
+                let c = (2.0 / std::f32::consts::PI).sqrt();
+                let inner = c * (x + 0.044_715 * x * x * x);
+                let t = inner.tanh();
+                let d_inner = c * (1.0 + 3.0 * 0.044_715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner
+            }
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let y = x.map(|v| self.apply(v));
+        (y, Saved::new(vec![x.clone()]))
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let x = saved.get(0);
+        x.zip(dy, |xv, g| self.derivative(xv) * g)
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "Relu",
+            ActivationKind::Tanh => "Tanh",
+            ActivationKind::Sigmoid => "Sigmoid",
+            ActivationKind::Gelu => "Gelu",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_layer;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = Activation::new(ActivationKind::Relu);
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let (y, _) = a.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let a = Activation::new(ActivationKind::Sigmoid);
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]);
+        let (y, _) = a.forward(&x, &ForwardCtx::eval());
+        assert!(y.data()[0] < 1e-4);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn gelu_is_close_to_identity_for_large_x() {
+        let a = Activation::new(ActivationKind::Gelu);
+        let x = Tensor::from_vec(vec![5.0], &[1]);
+        let (y, _) = a.forward(&x, &ForwardCtx::eval());
+        assert!((y.data()[0] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        gradcheck_layer(Activation::new(ActivationKind::Tanh), &[3, 4], 1e-2, 7);
+    }
+
+    #[test]
+    fn gelu_gradcheck() {
+        gradcheck_layer(Activation::new(ActivationKind::Gelu), &[3, 4], 1e-2, 8);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        gradcheck_layer(Activation::new(ActivationKind::Sigmoid), &[2, 5], 1e-2, 9);
+    }
+}

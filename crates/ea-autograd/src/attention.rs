@@ -1,0 +1,240 @@
+//! Multi-head self-attention.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, xavier_uniform, Tensor, TensorRng};
+
+/// Bidirectional (unmasked) multi-head self-attention, as in a BERT
+/// encoder block.
+///
+/// Inputs are `[batch*seq, dim]` in the matrix view with a fixed `seq`
+/// supplied at construction; `batch` is inferred from the row count.
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    seq: usize,
+    dim: usize,
+    heads: usize,
+}
+
+impl SelfAttention {
+    /// Creates an attention layer; `dim` must be divisible by `heads`.
+    pub fn new(seq: usize, dim: usize, heads: usize, rng: &mut TensorRng) -> Self {
+        assert!(dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
+        SelfAttention {
+            wq: Param::new("attn.wq", xavier_uniform(dim, dim, rng)),
+            wk: Param::new("attn.wk", xavier_uniform(dim, dim, rng)),
+            wv: Param::new("attn.wv", xavier_uniform(dim, dim, rng)),
+            wo: Param::new("attn.wo", xavier_uniform(dim, dim, rng)),
+            seq,
+            dim,
+            heads,
+        }
+    }
+
+    fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Extracts columns `[h*dh, (h+1)*dh)` of rows `[r0, r0+seq)`.
+    fn head_slice(&self, t: &Tensor, r0: usize, h: usize) -> Tensor {
+        let dh = self.head_dim();
+        let mut out = Vec::with_capacity(self.seq * dh);
+        for r in r0..r0 + self.seq {
+            let row = &t.data()[r * self.dim..(r + 1) * self.dim];
+            out.extend_from_slice(&row[h * dh..(h + 1) * dh]);
+        }
+        Tensor::from_vec(out, &[self.seq, dh])
+    }
+
+    /// Adds `block` (`[seq, dh]`) into columns of head `h`, rows from `r0`,
+    /// of flat buffer `dst` laid out as `[rows, dim]`.
+    fn add_head_slice(&self, dst: &mut [f32], block: &Tensor, r0: usize, h: usize) {
+        let dh = self.head_dim();
+        for (i, r) in (r0..r0 + self.seq).enumerate() {
+            let src = &block.data()[i * dh..(i + 1) * dh];
+            let drow = &mut dst[r * self.dim + h * dh..r * self.dim + (h + 1) * dh];
+            for (d, &s) in drow.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let (rows, c) = x.shape().as_matrix();
+        assert_eq!(c, self.dim, "attention width mismatch");
+        assert_eq!(rows % self.seq, 0, "rows must be a multiple of seq");
+        let batch = rows / self.seq;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = matmul(x, &self.wq.value);
+        let k = matmul(x, &self.wk.value);
+        let v = matmul(x, &self.wv.value);
+
+        let mut ctx_buf = vec![0.0f32; rows * self.dim];
+        let mut attn_rows: Vec<f32> = Vec::with_capacity(batch * self.heads * self.seq * self.seq);
+        for b in 0..batch {
+            let r0 = b * self.seq;
+            for h in 0..self.heads {
+                let qh = self.head_slice(&q, r0, h);
+                let kh = self.head_slice(&k, r0, h);
+                let vh = self.head_slice(&v, r0, h);
+                let scores = matmul_a_bt(&qh, &kh).scale(scale);
+                let a = softmax_rows(&scores);
+                let ctxh = matmul(&a, &vh);
+                self.add_head_slice(&mut ctx_buf, &ctxh, r0, h);
+                attn_rows.extend_from_slice(a.data());
+            }
+        }
+        let ctx_t = Tensor::from_vec(ctx_buf, &[rows, self.dim]);
+        let y = matmul(&ctx_t, &self.wo.value);
+        let attn = Tensor::from_vec(attn_rows, &[batch * self.heads * self.seq, self.seq]);
+        (y, Saved::new(vec![x.clone(), q, k, v, attn, ctx_t]))
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let x = saved.get(0);
+        let q = saved.get(1);
+        let k = saved.get(2);
+        let v = saved.get(3);
+        let attn = saved.get(4);
+        let ctx_t = saved.get(5);
+        let (rows, _) = x.shape().as_matrix();
+        let batch = rows / self.seq;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Output projection.
+        self.wo.accumulate_grad(&matmul_at_b(ctx_t, dy));
+        let dctx = matmul_a_bt(dy, &self.wo.value);
+
+        let mut dq = vec![0.0f32; rows * self.dim];
+        let mut dk = vec![0.0f32; rows * self.dim];
+        let mut dv = vec![0.0f32; rows * self.dim];
+
+        for b in 0..batch {
+            let r0 = b * self.seq;
+            for h in 0..self.heads {
+                let qh = self.head_slice(q, r0, h);
+                let kh = self.head_slice(k, r0, h);
+                let vh = self.head_slice(v, r0, h);
+                let dctx_h = self.head_slice(&dctx, r0, h);
+                let a_off = (b * self.heads + h) * self.seq * self.seq;
+                let a = Tensor::from_vec(
+                    attn.data()[a_off..a_off + self.seq * self.seq].to_vec(),
+                    &[self.seq, self.seq],
+                );
+                // dA = dCtx · Vᵀ ; dV = Aᵀ · dCtx
+                let da = matmul_a_bt(&dctx_h, &vh);
+                let dvh = matmul_at_b(&a, &dctx_h);
+                // Softmax backward per row: dS = A ⊙ (dA - rowdot(dA, A)).
+                let mut ds = vec![0.0f32; self.seq * self.seq];
+                for i in 0..self.seq {
+                    let arow = &a.data()[i * self.seq..(i + 1) * self.seq];
+                    let darow = &da.data()[i * self.seq..(i + 1) * self.seq];
+                    let dot: f32 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
+                    for j in 0..self.seq {
+                        ds[i * self.seq + j] = arow[j] * (darow[j] - dot);
+                    }
+                }
+                let ds = Tensor::from_vec(ds, &[self.seq, self.seq]).scale(scale);
+                let dqh = matmul(&ds, &kh);
+                let dkh = matmul_at_b(&ds, &qh);
+                self.add_head_slice(&mut dq, &dqh, r0, h);
+                self.add_head_slice(&mut dk, &dkh, r0, h);
+                self.add_head_slice(&mut dv, &dvh, r0, h);
+            }
+        }
+
+        let dq = Tensor::from_vec(dq, &[rows, self.dim]);
+        let dk = Tensor::from_vec(dk, &[rows, self.dim]);
+        let dv = Tensor::from_vec(dv, &[rows, self.dim]);
+        self.wq.accumulate_grad(&matmul_at_b(x, &dq));
+        self.wk.accumulate_grad(&matmul_at_b(x, &dk));
+        self.wv.accumulate_grad(&matmul_at_b(x, &dv));
+
+        let mut dx = matmul_a_bt(&dq, &self.wq.value);
+        dx.add_assign(&matmul_a_bt(&dk, &self.wk.value));
+        dx.add_assign(&matmul_a_bt(&dv, &self.wv.value));
+        dx
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.wq);
+        f(&self.wk);
+        f(&self.wv);
+        f(&self.wo);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
+    }
+
+    fn name(&self) -> &'static str {
+        "SelfAttention"
+    }
+
+    fn flops_per_row(&self) -> u64 {
+        // 4 projections + 2 seq-length score/context matmuls per row.
+        (8 * self.dim * self.dim + 4 * self.seq * self.dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_layer;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let attn = SelfAttention::new(4, 8, 2, &mut rng);
+        let x = ea_tensor::uniform(&[2 * 4, 8], -1.0, 1.0, &mut rng);
+        let (y, s) = attn.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[8, 8]);
+        // Stash: x, q, k, v, attn, ctx.
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let attn = SelfAttention::new(3, 6, 3, &mut rng);
+        let x = ea_tensor::uniform(&[3, 6], -1.0, 1.0, &mut rng);
+        let (_, s) = attn.forward(&x, &ForwardCtx::eval());
+        let a = s.get(4);
+        for v in ea_tensor::row_sums(a).data() {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck_single_head() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let attn = SelfAttention::new(3, 4, 1, &mut rng);
+        gradcheck_layer(attn, &[3, 4], 5e-2, 13);
+    }
+
+    #[test]
+    fn gradcheck_multi_head_multi_batch() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let attn = SelfAttention::new(2, 6, 2, &mut rng);
+        gradcheck_layer(attn, &[4, 6], 5e-2, 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_row_count_not_multiple_of_seq() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let attn = SelfAttention::new(4, 8, 2, &mut rng);
+        let x = Tensor::zeros(&[6, 8]);
+        attn.forward(&x, &ForwardCtx::eval());
+    }
+}

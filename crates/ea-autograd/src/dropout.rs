@@ -1,0 +1,142 @@
+//! Deterministic dropout (and the AWD-LSTM "weight drop" variant).
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::Tensor;
+
+/// Inverted dropout with a counter-based deterministic mask.
+///
+/// The mask for element `i` of micro-batch `micro` at step `step` is a pure
+/// function of `(layer_seed, step, micro, i)`, so reruns — and the backward
+/// pass, which regenerates the mask instead of stashing it — are exact.
+/// Regenerating instead of stashing also means dropout adds *zero* bytes to
+/// the activation stash, matching how fused dropout behaves on real GPUs.
+pub struct Dropout {
+    p: f32,
+    seed: u64,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout { p, seed }
+    }
+
+    /// SplitMix64-style hash: uniform in [0,1).
+    fn unit(&self, step: u64, micro: u64, i: u64) -> f32 {
+        let mut z = self
+            .seed
+            .wrapping_add(step.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(micro.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(i.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    fn keep(&self, step: u64, micro: u64, i: u64) -> bool {
+        self.unit(step, micro, i) >= self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, Saved) {
+        if !ctx.train || self.p == 0.0 {
+            return (x.clone(), Saved::empty());
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mut y = x.clone();
+        for (i, v) in y.data_mut().iter_mut().enumerate() {
+            if self.keep(ctx.step, ctx.micro, i as u64) {
+                *v *= scale;
+            } else {
+                *v = 0.0;
+            }
+        }
+        // Only the ctx coordinates are needed to regenerate the mask.
+        let coords = Tensor::from_vec(vec![ctx.step as f32, ctx.micro as f32], &[2]);
+        (y, Saved::new(vec![coords]))
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        if saved.is_empty() {
+            return dy.clone();
+        }
+        let step = saved.get(0).data()[0] as u64;
+        let micro = saved.get(0).data()[1] as u64;
+        let scale = 1.0 / (1.0 - self.p);
+        let mut dx = dy.clone();
+        for (i, v) in dx.data_mut().iter_mut().enumerate() {
+            if self.keep(step, micro, i as u64) {
+                *v *= scale;
+            } else {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[4, 4]);
+        let (y, s) = d.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y, x);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[100, 100]);
+        let (y, _) = d.forward(&x, &ForwardCtx::train(0, 0));
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+        // Kept values are scaled by 1/(1-p).
+        let kept = y.data().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((kept - 1.0 / 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn masks_differ_across_steps_but_not_reruns() {
+        let d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[10, 10]);
+        let (y1, _) = d.forward(&x, &ForwardCtx::train(1, 0));
+        let (y2, _) = d.forward(&x, &ForwardCtx::train(1, 0));
+        let (y3, _) = d.forward(&x, &ForwardCtx::train(2, 0));
+        assert_eq!(y1, y2);
+        assert_ne!(y1, y3);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = ea_tensor::uniform(&[6, 6], -1.0, 1.0, &mut ea_tensor::TensorRng::seed_from_u64(0));
+        let ctx = ForwardCtx::train(7, 3);
+        let (y, s) = d.forward(&x, &ctx);
+        let dy = Tensor::ones(&[6, 6]);
+        let dx = d.backward(&s, &dy);
+        // dx must be zero exactly where y is zero, and 1/(1-p) elsewhere.
+        for (yv, dv) in y.data().iter().zip(dx.data()) {
+            if *yv == 0.0 {
+                assert_eq!(*dv, 0.0);
+            } else {
+                assert!((dv - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+}

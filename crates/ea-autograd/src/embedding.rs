@@ -1,0 +1,136 @@
+//! Token-embedding lookup layer.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::{uniform, Tensor, TensorRng};
+
+/// Embedding table `[vocab, dim]`.
+///
+/// The input tensor carries token ids encoded as `f32` values (rounded to
+/// the nearest integer). This keeps every stage boundary a plain `Tensor`,
+/// which is what lets the pipeline runtime treat all stages uniformly; the
+/// first stage of each analogue model starts with an `Embedding`.
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding table with small uniform initialization.
+    pub fn new(vocab: usize, dim: usize, rng: &mut TensorRng) -> Self {
+        let bound = (1.0 / dim as f32).sqrt();
+        Embedding {
+            table: Param::new("embedding.table", uniform(&[vocab, dim], -bound, bound, rng)),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn ids(&self, x: &Tensor) -> Vec<usize> {
+        x.data()
+            .iter()
+            .map(|&v| {
+                let id = v.round();
+                assert!(
+                    id >= 0.0 && (id as usize) < self.vocab,
+                    "token id {v} outside vocabulary of {}",
+                    self.vocab
+                );
+                id as usize
+            })
+            .collect()
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let ids = self.ids(x);
+        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        for &id in &ids {
+            out.extend_from_slice(&self.table.value.data()[id * self.dim..(id + 1) * self.dim]);
+        }
+        let y = Tensor::from_vec(out, &[ids.len(), self.dim]);
+        // Stash the ids (as the original input tensor) for backward.
+        (y, Saved::new(vec![x.clone()]))
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let x = saved.get(0);
+        let ids = self.ids(x);
+        let (rows, cols) = dy.shape().as_matrix();
+        assert_eq!(rows, ids.len(), "embedding backward row mismatch");
+        assert_eq!(cols, self.dim, "embedding backward width mismatch");
+        for (r, &id) in ids.iter().enumerate() {
+            let g = &dy.data()[r * self.dim..(r + 1) * self.dim];
+            let dst = &mut self.table.grad.data_mut()[id * self.dim..(id + 1) * self.dim];
+            for (d, &gv) in dst.iter_mut().zip(g) {
+                *d += gv;
+            }
+        }
+        // Token ids receive no gradient.
+        Tensor::zeros(x.dims())
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.table);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+
+    fn name(&self) -> &'static str {
+        "Embedding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_selects_rows() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let e = Embedding::new(5, 3, &mut rng);
+        let x = Tensor::from_vec(vec![2.0, 0.0], &[2]);
+        let (y, _) = e.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(y.row(0).data(), &e.table.value.data()[6..9]);
+        assert_eq!(y.row(1).data(), &e.table.value.data()[0..3]);
+    }
+
+    #[test]
+    fn backward_scatters_gradient_and_handles_repeats() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut e = Embedding::new(4, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 3.0], &[3]);
+        let (_, s) = e.forward(&x, &ForwardCtx::eval());
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let dx = e.backward(&s, &dy);
+        assert_eq!(dx.dims(), &[3]);
+        assert_eq!(dx.sum(), 0.0);
+        // Token 1 appears twice: gradients sum.
+        assert_eq!(&e.table.grad.data()[2..4], &[1.0 + 3.0, 2.0 + 4.0]);
+        assert_eq!(&e.table.grad.data()[6..8], &[5.0, 6.0]);
+        assert_eq!(&e.table.grad.data()[0..2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_vocab_id_panics() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let e = Embedding::new(4, 2, &mut rng);
+        let x = Tensor::from_vec(vec![4.0], &[1]);
+        e.forward(&x, &ForwardCtx::eval());
+    }
+}

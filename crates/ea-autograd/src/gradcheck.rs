@@ -1,0 +1,102 @@
+//! Finite-difference gradient checking, used across the test-suites.
+
+use crate::{ForwardCtx, Layer, Saved};
+use ea_tensor::{Tensor, TensorRng};
+
+/// Scalar objective used by the checks: `L = Σ y² / 2`, whose gradient
+/// w.r.t. `y` is simply `y`.
+fn objective(y: &Tensor) -> f32 {
+    y.data().iter().map(|v| v * v).sum::<f32>() / 2.0
+}
+
+fn objective_grad(y: &Tensor) -> Tensor {
+    y.clone()
+}
+
+/// Computes the analytic parameter gradients of `layer` on a random input
+/// of shape `dims`, and compares each against a central finite difference.
+/// Also checks the input gradient `dx`. Panics with a diagnostic if any
+/// component deviates by more than `tol` (relative).
+///
+/// The layer is exercised in eval mode so that dropout does not interfere;
+/// dropout has its own dedicated check.
+pub fn gradcheck_layer<L: Layer>(mut layer: L, dims: &[usize], tol: f32, seed: u64) {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    let x = ea_tensor::uniform(dims, -1.0, 1.0, &mut rng);
+    let ctx = ForwardCtx::eval();
+
+    // Analytic pass.
+    layer.visit_params_mut(&mut |p| p.zero_grad());
+    let (y, saved): (Tensor, Saved) = layer.forward(&x, &ctx);
+    let dy = objective_grad(&y);
+    let dx = layer.backward(&saved, &dy);
+
+    // Input gradient check.
+    let eps = 1e-2f32;
+    for i in (0..x.numel()).step_by((x.numel() / 24).max(1)) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let (yp, _) = layer.forward(&xp, &ctx);
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let (ym, _) = layer.forward(&xm, &ctx);
+        let fd = (objective(&yp) - objective(&ym)) / (2.0 * eps);
+        let an = dx.data()[i];
+        assert!(
+            (fd - an).abs() <= tol * (1.0 + fd.abs().max(an.abs())),
+            "{}: dx[{i}] analytic {an} vs finite-diff {fd}",
+            layer.name()
+        );
+    }
+
+    // Parameter gradient check. Collect analytic grads first.
+    let mut analytic: Vec<(String, Vec<f32>)> = Vec::new();
+    layer.visit_params(&mut |p| analytic.push((p.name.clone(), p.grad.data().to_vec())));
+
+    for (pi, (pname, agrad)) in analytic.iter().enumerate() {
+        let n = agrad.len();
+        for i in (0..n).step_by((n / 16).max(1)) {
+            let fd = finite_diff_param_grad(&mut layer, &x, pi, i, eps);
+            let an = agrad[i];
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs().max(an.abs())),
+                "{}: d{}[{i}] analytic {an} vs finite-diff {fd}",
+                layer.name(),
+                pname
+            );
+        }
+    }
+}
+
+/// Central finite difference of the test objective w.r.t. scalar `i` of
+/// parameter number `pi` of `layer`.
+pub fn finite_diff_param_grad<L: Layer>(
+    layer: &mut L,
+    x: &Tensor,
+    pi: usize,
+    i: usize,
+    eps: f32,
+) -> f32 {
+    let ctx = ForwardCtx::eval();
+    let mut eval_with = |delta: f32| -> f32 {
+        let mut idx = 0;
+        layer.visit_params_mut(&mut |p| {
+            if idx == pi {
+                p.value.data_mut()[i] += delta;
+            }
+            idx += 1;
+        });
+        let (y, _) = layer.forward(x, &ctx);
+        let mut idx = 0;
+        layer.visit_params_mut(&mut |p| {
+            if idx == pi {
+                p.value.data_mut()[i] -= delta;
+            }
+            idx += 1;
+        });
+        objective(&y)
+    };
+    let lp = eval_with(eps);
+    let lm = eval_with(-eps);
+    (lp - lm) / (2.0 * eps)
+}

@@ -1,0 +1,264 @@
+//! Sequence GRU layer with in-layer BPTT — the lighter-weight sibling of
+//! [`crate::LstmSeq`], useful for seq2seq variants of the analogue
+//! models.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::{col_sums, matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor, TensorRng};
+
+/// A single-direction GRU unrolled over a fixed sequence length.
+///
+/// Same interface and layout as [`crate::LstmSeq`]: inputs
+/// `[batch*seq, in_dim]` batch-major, outputs `[batch*seq, hidden]`.
+///
+/// Gate equations (gate order within the 3h width: `[r, z, n]`):
+///
+/// ```text
+/// r_t = σ(x_t·W_xr + h_{t-1}·W_hr + b_r)
+/// z_t = σ(x_t·W_xz + h_{t-1}·W_hz + b_z)
+/// n_t = tanh(x_t·W_xn + r_t ⊙ (h_{t-1}·W_hn) + b_n)
+/// h_t = (1 − z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+/// ```
+pub struct GruSeq {
+    wx: Param,
+    wh: Param,
+    b: Param,
+    seq: usize,
+    in_dim: usize,
+    hidden: usize,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl GruSeq {
+    /// Creates a GRU over sequences of length `seq`.
+    pub fn new(seq: usize, in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
+        GruSeq {
+            wx: Param::new("gru.wx", xavier_uniform(in_dim, 3 * hidden, rng)),
+            wh: Param::new("gru.wh", xavier_uniform(hidden, 3 * hidden, rng)),
+            b: Param::new("gru.b", Tensor::zeros(&[3 * hidden])),
+            seq,
+            in_dim,
+            hidden,
+        }
+    }
+
+    fn gather_t(&self, x: &Tensor, t: usize, batch: usize, width: usize) -> Tensor {
+        let mut out = Vec::with_capacity(batch * width);
+        for b in 0..batch {
+            let r = b * self.seq + t;
+            out.extend_from_slice(&x.data()[r * width..(r + 1) * width]);
+        }
+        Tensor::from_vec(out, &[batch, width])
+    }
+
+    fn scatter_t(&self, dst: &mut [f32], block: &Tensor, t: usize, batch: usize, width: usize) {
+        for b in 0..batch {
+            let r = b * self.seq + t;
+            dst[r * width..(r + 1) * width]
+                .copy_from_slice(&block.data()[b * width..(b + 1) * width]);
+        }
+    }
+}
+
+impl Layer for GruSeq {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let (rows, c) = x.shape().as_matrix();
+        assert_eq!(c, self.in_dim, "gru input width mismatch");
+        assert_eq!(rows % self.seq, 0, "rows must be a multiple of seq");
+        let batch = rows / self.seq;
+        let h = self.hidden;
+
+        let mut h_prev = Tensor::zeros(&[batch, h]);
+        let mut h_all = vec![0.0f32; rows * h];
+        // Stash post-activation gates [r, z, n] and the raw h-side
+        // contribution to the candidate gate (needed for backward).
+        let mut gates_all = vec![0.0f32; rows * 3 * h];
+        let mut hn_all = vec![0.0f32; rows * h];
+
+        for t in 0..self.seq {
+            let xt = self.gather_t(x, t, batch, self.in_dim);
+            let xpre = matmul(&xt, &self.wx.value).add_row_broadcast(&self.b.value);
+            let hpre = matmul(&h_prev, &self.wh.value);
+            let mut gates = Tensor::zeros(&[batch, 3 * h]);
+            let mut ht = Tensor::zeros(&[batch, h]);
+            let mut hn = Tensor::zeros(&[batch, h]);
+            for bi in 0..batch {
+                for j in 0..h {
+                    let base = bi * 3 * h;
+                    let r = sigmoid(xpre.data()[base + j] + hpre.data()[base + j]);
+                    let z = sigmoid(xpre.data()[base + h + j] + hpre.data()[base + h + j]);
+                    let hn_j = hpre.data()[base + 2 * h + j];
+                    let n = (xpre.data()[base + 2 * h + j] + r * hn_j).tanh();
+                    gates.data_mut()[base + j] = r;
+                    gates.data_mut()[base + h + j] = z;
+                    gates.data_mut()[base + 2 * h + j] = n;
+                    hn.data_mut()[bi * h + j] = hn_j;
+                    ht.data_mut()[bi * h + j] =
+                        (1.0 - z) * n + z * h_prev.data()[bi * h + j];
+                }
+            }
+            self.scatter_t(&mut h_all, &ht, t, batch, h);
+            self.scatter_t(&mut gates_all, &gates, t, batch, 3 * h);
+            self.scatter_t(&mut hn_all, &hn, t, batch, h);
+            h_prev = ht;
+        }
+
+        let y = Tensor::from_vec(h_all, &[rows, h]);
+        let saved = Saved::new(vec![
+            x.clone(),
+            y.clone(),
+            Tensor::from_vec(gates_all, &[rows, 3 * h]),
+            Tensor::from_vec(hn_all, &[rows, h]),
+        ]);
+        (y, saved)
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let x = saved.get(0);
+        let h_all = saved.get(1);
+        let gates_all = saved.get(2);
+        let hn_all = saved.get(3);
+        let (rows, _) = x.shape().as_matrix();
+        let batch = rows / self.seq;
+        let h = self.hidden;
+
+        let mut dx = vec![0.0f32; rows * self.in_dim];
+        let mut dh_next = Tensor::zeros(&[batch, h]);
+
+        for t in (0..self.seq).rev() {
+            let gates = self.gather_t(gates_all, t, batch, 3 * h);
+            let hn = self.gather_t(hn_all, t, batch, h);
+            let h_prev = if t == 0 {
+                Tensor::zeros(&[batch, h])
+            } else {
+                self.gather_t(h_all, t - 1, batch, h)
+            };
+            let dy_t = self.gather_t(dy, t, batch, h);
+
+            // Gradients w.r.t. the x-side and h-side pre-activations.
+            let mut dxpre = Tensor::zeros(&[batch, 3 * h]);
+            let mut dhpre = Tensor::zeros(&[batch, 3 * h]);
+            let mut dh_prev_direct = Tensor::zeros(&[batch, h]);
+            for bi in 0..batch {
+                for j in 0..h {
+                    let base = bi * 3 * h;
+                    let r = gates.data()[base + j];
+                    let z = gates.data()[base + h + j];
+                    let n = gates.data()[base + 2 * h + j];
+                    let hn_j = hn.data()[bi * h + j];
+                    let hp = h_prev.data()[bi * h + j];
+                    let dh = dy_t.data()[bi * h + j] + dh_next.data()[bi * h + j];
+
+                    let dn = dh * (1.0 - z);
+                    let dz = dh * (hp - n);
+                    let dpre_n = dn * (1.0 - n * n);
+                    let dr = dpre_n * hn_j;
+                    let dpre_r = dr * r * (1.0 - r);
+                    let dpre_z = dz * z * (1.0 - z);
+
+                    dxpre.data_mut()[base + j] = dpre_r;
+                    dxpre.data_mut()[base + h + j] = dpre_z;
+                    dxpre.data_mut()[base + 2 * h + j] = dpre_n;
+                    // h-side: r and z share pre-activations with x-side;
+                    // the candidate's h contribution is gated by r.
+                    dhpre.data_mut()[base + j] = dpre_r;
+                    dhpre.data_mut()[base + h + j] = dpre_z;
+                    dhpre.data_mut()[base + 2 * h + j] = dpre_n * r;
+                    dh_prev_direct.data_mut()[bi * h + j] = dh * z;
+                }
+            }
+
+            let xt = self.gather_t(x, t, batch, self.in_dim);
+            self.wx.accumulate_grad(&matmul_at_b(&xt, &dxpre));
+            self.wh.accumulate_grad(&matmul_at_b(&h_prev, &dhpre));
+            self.b.accumulate_grad(&col_sums(&dxpre));
+            let dxt = matmul_a_bt(&dxpre, &self.wx.value);
+            self.scatter_t(&mut dx, &dxt, t, batch, self.in_dim);
+            let mut dhp = matmul_a_bt(&dhpre, &self.wh.value);
+            dhp.add_assign(&dh_prev_direct);
+            dh_next = dhp;
+        }
+
+        Tensor::from_vec(dx, x.dims())
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.wx);
+        f(&self.wh);
+        f(&self.b);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "GruSeq"
+    }
+
+    fn flops_per_row(&self) -> u64 {
+        2 * 3 * self.hidden as u64 * (self.in_dim + self.hidden) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_layer;
+
+    #[test]
+    fn forward_shapes_and_bounded_state() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let gru = GruSeq::new(4, 3, 5, &mut rng);
+        let x = ea_tensor::uniform(&[2 * 4, 3], -1.0, 1.0, &mut rng);
+        let (y, s) = gru.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[8, 5]);
+        assert_eq!(s.len(), 4);
+        // GRU hidden state is a convex combination of tanh outputs and
+        // stays in (-1, 1).
+        assert!(y.abs_max() <= 1.0);
+    }
+
+    #[test]
+    fn state_propagates_through_time() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let gru = GruSeq::new(3, 2, 4, &mut rng);
+        // Constant inputs: outputs still differ across time because the
+        // hidden state evolves.
+        let x = Tensor::ones(&[3, 2]);
+        let (y, _) = gru.forward(&x, &ForwardCtx::eval());
+        assert_ne!(y.row(0), y.row(1));
+        assert_ne!(y.row(1), y.row(2));
+    }
+
+    #[test]
+    fn gradcheck_short_sequence() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let gru = GruSeq::new(2, 3, 2, &mut rng);
+        gradcheck_layer(gru, &[2 * 2, 3], 5e-2, 23);
+    }
+
+    #[test]
+    fn gradcheck_longer_sequence_multi_batch() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let gru = GruSeq::new(3, 2, 3, &mut rng);
+        gradcheck_layer(gru, &[2 * 3, 2], 5e-2, 24);
+    }
+
+    #[test]
+    fn gru_has_three_quarters_of_lstm_parameters() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let gru = GruSeq::new(4, 8, 8, &mut rng);
+        let lstm = crate::LstmSeq::new(4, 8, 8, &mut rng);
+        let count = |l: &dyn Layer| {
+            let mut n = 0;
+            l.visit_params(&mut |p| n += p.numel());
+            n
+        };
+        assert_eq!(4 * count(&gru), 3 * count(&lstm));
+    }
+}

@@ -1,0 +1,134 @@
+//! The [`Layer`] abstraction shared by every NN module.
+
+use crate::Param;
+use ea_tensor::Tensor;
+
+/// Per-micro-batch forward context.
+///
+/// `train` toggles dropout; `step`/`micro` seed the deterministic dropout
+/// masks so that a rerun of an experiment draws identical masks.
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardCtx {
+    /// Training mode (enables dropout).
+    pub train: bool,
+    /// Global optimizer-step counter.
+    pub step: u64,
+    /// Micro-batch index within the current batch.
+    pub micro: u64,
+}
+
+impl ForwardCtx {
+    /// Training-mode context.
+    pub fn train(step: u64, micro: u64) -> Self {
+        ForwardCtx { train: true, step, micro }
+    }
+
+    /// Evaluation-mode context (dropout disabled).
+    pub fn eval() -> Self {
+        ForwardCtx { train: false, step: 0, micro: 0 }
+    }
+}
+
+/// Opaque activation stash produced by `forward` and consumed by
+/// `backward`. Its byte size is exactly what the pipeline schedules trade
+/// against time.
+#[derive(Clone, Debug, Default)]
+pub struct Saved {
+    tensors: Vec<Tensor>,
+}
+
+impl Saved {
+    /// Stash with the given tensors.
+    pub fn new(tensors: Vec<Tensor>) -> Self {
+        Saved { tensors }
+    }
+
+    /// Stash holding nothing (stateless layers in eval mode).
+    pub fn empty() -> Self {
+        Saved { tensors: Vec::new() }
+    }
+
+    /// Tensor `i` of the stash.
+    pub fn get(&self, i: usize) -> &Tensor {
+        &self.tensors[i]
+    }
+
+    /// Number of stashed tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True if nothing is stashed.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total stashed bytes (f32 elements × 4).
+    pub fn bytes(&self) -> usize {
+        self.tensors.iter().map(|t| t.numel() * 4).sum()
+    }
+}
+
+/// A differentiable module with explicit activation stashing.
+///
+/// Contract:
+/// * `forward` must not mutate parameters.
+/// * `backward(saved, dy)` must (a) add this layer's parameter gradients
+///   into its [`Param::grad`] accumulators and (b) return `dx`, the
+///   gradient w.r.t. the layer input, given `saved` produced by a
+///   `forward` call on that same input with the same [`ForwardCtx`].
+pub trait Layer: Send {
+    /// Runs the layer on `x`, returning the output and the activation
+    /// stash needed for the matching `backward`.
+    fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, Saved);
+
+    /// Backpropagates `dy` through the layer using `saved`, accumulating
+    /// parameter gradients and returning the input gradient.
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor;
+
+    /// Visits all parameters (read-only).
+    fn visit_params(&self, f: &mut dyn FnMut(&Param));
+
+    /// Visits all parameters mutably.
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Short type name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Approximate forward FLOPs for a micro-batch of `rows` matrix-view
+    /// rows. Used only by tests and diagnostics; the performance
+    /// experiments use the cost specs in `ea-models` instead.
+    fn flops_per_row(&self) -> u64 {
+        0
+    }
+}
+
+/// Convenience: a layer with no parameters visits nothing.
+#[macro_export]
+macro_rules! no_params {
+    () => {
+        fn visit_params(&self, _f: &mut dyn FnMut(&$crate::Param)) {}
+        fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut $crate::Param)) {}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_bytes_counts_f32() {
+        let s = Saved::new(vec![Tensor::zeros(&[2, 3]), Tensor::zeros(&[4])]);
+        assert_eq!(s.bytes(), (6 + 4) * 4);
+        assert_eq!(s.len(), 2);
+        assert!(Saved::empty().is_empty());
+    }
+
+    #[test]
+    fn ctx_constructors() {
+        let c = ForwardCtx::train(5, 2);
+        assert!(c.train);
+        assert_eq!((c.step, c.micro), (5, 2));
+        assert!(!ForwardCtx::eval().train);
+    }
+}

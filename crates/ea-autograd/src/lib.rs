@@ -1,0 +1,42 @@
+//! Tape-free, stage-oriented reverse-mode autodiff and NN modules.
+//!
+//! Pipeline-parallel training has an unusual autodiff access pattern: a
+//! stage runs `forward` on a micro-batch, *stashes* the intermediate
+//! activations, forwards the output to the next stage, and only later (when
+//! the gradient arrives back) runs `backward` against the stash. A global
+//! tape is a poor fit for that; instead every [`Layer`] here returns an
+//! explicit [`Saved`] activation stash from `forward`, and `backward`
+//! consumes it. The stash *is* the activation memory the paper's schedules
+//! (AFAB / 1F1B / advance forward propagation) trade against time, so the
+//! runtime can count stashed bytes directly.
+//!
+//! Gradients accumulate into [`Param::grad`]; optimizers in `ea-optim`
+//! consume them through the flat-parameter helpers on [`Stage`].
+
+mod act;
+mod attention;
+mod dropout;
+mod embedding;
+mod gradcheck;
+mod gru;
+mod layer;
+mod linear;
+mod loss;
+mod lstm;
+mod norm;
+mod param;
+mod stage;
+
+pub use act::{Activation, ActivationKind};
+pub use attention::SelfAttention;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gradcheck::{finite_diff_param_grad, gradcheck_layer};
+pub use gru::GruSeq;
+pub use layer::{ForwardCtx, Layer, Saved};
+pub use linear::Linear;
+pub use loss::{cross_entropy_loss, mse_loss, LossOutput};
+pub use lstm::LstmSeq;
+pub use norm::LayerNorm;
+pub use param::Param;
+pub use stage::{Residual, Stage, StageSaved, StagedModel};

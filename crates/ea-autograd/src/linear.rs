@@ -1,0 +1,113 @@
+//! Fully-connected layer.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::{col_sums, matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor, TensorRng};
+
+/// `y = x · W + b`, with `W: [in, out]`, `b: [out]`.
+///
+/// Inputs of higher rank are treated through the matrix view, so a
+/// `[batch, seq, in]` activation maps to `[batch*seq, out]`.
+pub struct Linear {
+    w: Param,
+    b: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
+        Linear {
+            w: Param::new("linear.w", xavier_uniform(in_dim, out_dim, rng)),
+            b: Param::new("linear.b", Tensor::zeros(&[out_dim])),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let (_, c) = x.shape().as_matrix();
+        assert_eq!(c, self.in_dim, "linear input width mismatch");
+        let y = matmul(x, &self.w.value).add_row_broadcast(&self.b.value);
+        (y, Saved::new(vec![x.clone()]))
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let x = saved.get(0);
+        self.w.accumulate_grad(&matmul_at_b(x, dy));
+        self.b.accumulate_grad(&col_sums(dy));
+        matmul_a_bt(dy, &self.w.value)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn flops_per_row(&self) -> u64 {
+        2 * self.in_dim as u64 * self.out_dim as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_layer;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        // Make weights zero; output should equal the bias everywhere.
+        l.w.value.data_mut().fill(0.0);
+        l.b.value = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        let x = Tensor::ones(&[4, 3]);
+        let (y, _) = l.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[4, 2]);
+        for i in 0..4 {
+            assert_eq!(y.at(&[i, 0]), 1.0);
+            assert_eq!(y.at(&[i, 1]), -1.0);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let layer = Linear::new(4, 3, &mut rng);
+        gradcheck_layer(layer, &[5, 4], 2e-2, 42);
+    }
+
+    #[test]
+    fn backward_accumulates_over_micro_batches() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let dy = Tensor::ones(&[1, 2]);
+        let (_, s) = l.forward(&x, &ForwardCtx::eval());
+        l.backward(&s, &dy);
+        let g1 = l.w.grad.clone();
+        l.backward(&s, &dy);
+        assert!(ea_tensor::allclose(&l.w.grad, &g1.scale(2.0), 1e-6));
+    }
+}

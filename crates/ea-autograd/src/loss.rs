@@ -1,0 +1,103 @@
+//! Loss functions returning the value and the gradient of the logits.
+
+use ea_tensor::{log_softmax_rows, softmax_rows, Tensor};
+
+/// A loss value together with the gradient w.r.t. the network output —
+/// exactly what the last pipeline stage feeds back into `backward`.
+pub struct LossOutput {
+    /// Mean loss over the micro-batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits/outputs (same shape).
+    pub grad: Tensor,
+}
+
+/// Mean softmax cross-entropy over rows of the matrix view, with integer
+/// class targets. The gradient is normalized by the row count, so
+/// accumulating micro-batch gradients and dividing by the micro-batch
+/// count reproduces full-batch semantics.
+pub fn cross_entropy_loss(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    let (r, c) = logits.shape().as_matrix();
+    assert_eq!(r, targets.len(), "target count must equal rows");
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target class {t} out of range {c}");
+        loss -= logp.data()[i * c + t];
+    }
+    loss /= r as f32;
+    // grad = (softmax - onehot) / r
+    let mut grad = softmax_rows(logits);
+    let scale = 1.0 / r as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        grad.data_mut()[i * c + t] -= 1.0;
+    }
+    grad.map_inplace(|v| v * scale);
+    LossOutput { loss, grad: grad.reshape(logits.dims()) }
+}
+
+/// Mean squared error `mean((y - target)²)`.
+pub fn mse_loss(y: &Tensor, target: &Tensor) -> LossOutput {
+    assert_eq!(y.shape(), target.shape(), "mse shapes must match");
+    let n = y.numel() as f32;
+    let diff = y.sub(target);
+    let loss = diff.data().iter().map(|v| v * v).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    LossOutput { loss, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]);
+        let out = cross_entropy_loss(&logits, &[0, 1]);
+        assert!(out.loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let out = cross_entropy_loss(&logits, &[0, 1, 2]);
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_diff() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.7], &[2, 3]);
+        let targets = [2usize, 0];
+        let out = cross_entropy_loss(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fd = (cross_entropy_loss(&lp, &targets).loss
+                - cross_entropy_loss(&lm, &targets).loss)
+                / (2.0 * eps);
+            assert!(
+                (fd - out.grad.data()[i]).abs() < 1e-3,
+                "grad[{i}] {} vs fd {fd}",
+                out.grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let out = cross_entropy_loss(&logits, &[1]);
+        assert!(out.grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let y = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let out = mse_loss(&y, &t);
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Sequence LSTM layer with in-layer BPTT.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::{col_sums, matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor, TensorRng};
+
+/// A single-direction LSTM unrolled over a fixed sequence length.
+///
+/// Inputs are `[batch*seq, in_dim]` laid out batch-major (row `b*seq + t`
+/// is token `t` of sample `b`); outputs are `[batch*seq, hidden]` with the
+/// hidden state at every step. Truncated BPTT runs inside the layer, so a
+/// pipeline stage can treat an LSTM exactly like any feed-forward layer —
+/// this mirrors how GNMT/AWD stages are pipelined in the paper.
+pub struct LstmSeq {
+    wx: Param,
+    wh: Param,
+    b: Param,
+    seq: usize,
+    in_dim: usize,
+    hidden: usize,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl LstmSeq {
+    /// Creates an LSTM over sequences of length `seq`.
+    pub fn new(seq: usize, in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
+        LstmSeq {
+            wx: Param::new("lstm.wx", xavier_uniform(in_dim, 4 * hidden, rng)),
+            wh: Param::new("lstm.wh", xavier_uniform(hidden, 4 * hidden, rng)),
+            b: Param::new("lstm.b", Tensor::zeros(&[4 * hidden])),
+            seq,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Gathers the rows of timestep `t` into a `[batch, width]` block.
+    fn gather_t(&self, x: &Tensor, t: usize, batch: usize, width: usize) -> Tensor {
+        let mut out = Vec::with_capacity(batch * width);
+        for b in 0..batch {
+            let r = b * self.seq + t;
+            out.extend_from_slice(&x.data()[r * width..(r + 1) * width]);
+        }
+        Tensor::from_vec(out, &[batch, width])
+    }
+
+    /// Scatters a `[batch, width]` block back into rows of timestep `t`.
+    fn scatter_t(&self, dst: &mut [f32], block: &Tensor, t: usize, batch: usize, width: usize) {
+        for b in 0..batch {
+            let r = b * self.seq + t;
+            dst[r * width..(r + 1) * width]
+                .copy_from_slice(&block.data()[b * width..(b + 1) * width]);
+        }
+    }
+}
+
+impl Layer for LstmSeq {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let (rows, c) = x.shape().as_matrix();
+        assert_eq!(c, self.in_dim, "lstm input width mismatch");
+        assert_eq!(rows % self.seq, 0, "rows must be a multiple of seq");
+        let batch = rows / self.seq;
+        let h = self.hidden;
+
+        let mut h_prev = Tensor::zeros(&[batch, h]);
+        let mut c_prev = Tensor::zeros(&[batch, h]);
+        let mut h_all = vec![0.0f32; rows * h];
+        let mut c_all = vec![0.0f32; rows * h];
+        let mut gates_all = vec![0.0f32; rows * 4 * h];
+
+        for t in 0..self.seq {
+            let xt = self.gather_t(x, t, batch, self.in_dim);
+            let mut pre = matmul(&xt, &self.wx.value).add_row_broadcast(&self.b.value);
+            pre.add_assign(&matmul(&h_prev, &self.wh.value));
+            // Gate order within the 4h width: [i, f, g, o].
+            let mut gates = pre;
+            let mut ct = Tensor::zeros(&[batch, h]);
+            let mut ht = Tensor::zeros(&[batch, h]);
+            for bi in 0..batch {
+                for j in 0..h {
+                    let base = bi * 4 * h;
+                    let i = sigmoid(gates.data()[base + j]);
+                    let f = sigmoid(gates.data()[base + h + j]);
+                    let g = gates.data()[base + 2 * h + j].tanh();
+                    let o = sigmoid(gates.data()[base + 3 * h + j]);
+                    gates.data_mut()[base + j] = i;
+                    gates.data_mut()[base + h + j] = f;
+                    gates.data_mut()[base + 2 * h + j] = g;
+                    gates.data_mut()[base + 3 * h + j] = o;
+                    let cv = f * c_prev.data()[bi * h + j] + i * g;
+                    ct.data_mut()[bi * h + j] = cv;
+                    ht.data_mut()[bi * h + j] = o * cv.tanh();
+                }
+            }
+            self.scatter_t(&mut h_all, &ht, t, batch, h);
+            self.scatter_t(&mut c_all, &ct, t, batch, h);
+            self.scatter_t(&mut gates_all, &gates, t, batch, 4 * h);
+            h_prev = ht;
+            c_prev = ct;
+        }
+
+        let y = Tensor::from_vec(h_all, &[rows, h]);
+        let saved = Saved::new(vec![
+            x.clone(),
+            y.clone(),
+            Tensor::from_vec(c_all, &[rows, h]),
+            Tensor::from_vec(gates_all, &[rows, 4 * h]),
+        ]);
+        (y, saved)
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let x = saved.get(0);
+        let h_all = saved.get(1);
+        let c_all = saved.get(2);
+        let gates_all = saved.get(3);
+        let (rows, _) = x.shape().as_matrix();
+        let batch = rows / self.seq;
+        let h = self.hidden;
+
+        let mut dx = vec![0.0f32; rows * self.in_dim];
+        let mut dh_next = Tensor::zeros(&[batch, h]);
+        let mut dc_next = Tensor::zeros(&[batch, h]);
+
+        for t in (0..self.seq).rev() {
+            let gates = self.gather_t(gates_all, t, batch, 4 * h);
+            let ct = self.gather_t(c_all, t, batch, h);
+            let c_prev = if t == 0 {
+                Tensor::zeros(&[batch, h])
+            } else {
+                self.gather_t(c_all, t - 1, batch, h)
+            };
+            let h_prev = if t == 0 {
+                Tensor::zeros(&[batch, h])
+            } else {
+                self.gather_t(h_all, t - 1, batch, h)
+            };
+            let dy_t = self.gather_t(dy, t, batch, h);
+
+            let mut dpre = Tensor::zeros(&[batch, 4 * h]);
+            let mut dc_prev = Tensor::zeros(&[batch, h]);
+            for bi in 0..batch {
+                for j in 0..h {
+                    let gbase = bi * 4 * h;
+                    let i = gates.data()[gbase + j];
+                    let f = gates.data()[gbase + h + j];
+                    let g = gates.data()[gbase + 2 * h + j];
+                    let o = gates.data()[gbase + 3 * h + j];
+                    let cv = ct.data()[bi * h + j];
+                    let tc = cv.tanh();
+                    let dh = dy_t.data()[bi * h + j] + dh_next.data()[bi * h + j];
+                    let mut dc = dc_next.data()[bi * h + j] + dh * o * (1.0 - tc * tc);
+                    let d_o = dh * tc;
+                    let d_i = dc * g;
+                    let d_g = dc * i;
+                    let d_f = dc * c_prev.data()[bi * h + j];
+                    dc *= f;
+                    dc_prev.data_mut()[bi * h + j] = dc;
+                    dpre.data_mut()[gbase + j] = d_i * i * (1.0 - i);
+                    dpre.data_mut()[gbase + h + j] = d_f * f * (1.0 - f);
+                    dpre.data_mut()[gbase + 2 * h + j] = d_g * (1.0 - g * g);
+                    dpre.data_mut()[gbase + 3 * h + j] = d_o * o * (1.0 - o);
+                }
+            }
+
+            let xt = self.gather_t(x, t, batch, self.in_dim);
+            self.wx.accumulate_grad(&matmul_at_b(&xt, &dpre));
+            self.wh.accumulate_grad(&matmul_at_b(&h_prev, &dpre));
+            self.b.accumulate_grad(&col_sums(&dpre));
+            let dxt = matmul_a_bt(&dpre, &self.wx.value);
+            self.scatter_t(&mut dx, &dxt, t, batch, self.in_dim);
+            dh_next = matmul_a_bt(&dpre, &self.wh.value);
+            dc_next = dc_prev;
+        }
+
+        Tensor::from_vec(dx, x.dims())
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.wx);
+        f(&self.wh);
+        f(&self.b);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "LstmSeq"
+    }
+
+    fn flops_per_row(&self) -> u64 {
+        2 * 4 * self.hidden as u64 * (self.in_dim + self.hidden) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_layer;
+
+    #[test]
+    fn forward_shapes_and_state_propagation() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let lstm = LstmSeq::new(3, 2, 4, &mut rng);
+        let x = ea_tensor::uniform(&[2 * 3, 2], -1.0, 1.0, &mut rng);
+        let (y, s) = lstm.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[6, 4]);
+        assert_eq!(s.len(), 4);
+        // Hidden state at t=1 differs from t=0 (state actually propagates).
+        assert_ne!(y.row(0), y.row(1));
+    }
+
+    #[test]
+    fn zero_input_keeps_bounded_output() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let lstm = LstmSeq::new(5, 3, 3, &mut rng);
+        let x = Tensor::zeros(&[5, 3]);
+        let (y, _) = lstm.forward(&x, &ForwardCtx::eval());
+        assert!(y.abs_max() <= 1.0, "lstm hidden state must stay in (-1,1)");
+    }
+
+    #[test]
+    fn gradcheck_short_sequence() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let lstm = LstmSeq::new(2, 3, 2, &mut rng);
+        gradcheck_layer(lstm, &[2 * 2, 3], 5e-2, 21);
+    }
+
+    #[test]
+    fn gradcheck_longer_sequence_multi_batch() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let lstm = LstmSeq::new(3, 2, 3, &mut rng);
+        gradcheck_layer(lstm, &[2 * 3, 2], 5e-2, 22);
+    }
+}

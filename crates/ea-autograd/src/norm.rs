@@ -1,0 +1,133 @@
+//! Layer normalization.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// LayerNorm over the last dimension of the matrix view, with learned
+/// per-feature gain and bias.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new("ln.gamma", Tensor::ones(&[dim])),
+            beta: Param::new("ln.beta", Tensor::zeros(&[dim])),
+            dim,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let (r, c) = x.shape().as_matrix();
+        assert_eq!(c, self.dim, "layernorm width mismatch");
+        let mut y = vec![0.0f32; r * c];
+        // Stash normalized activations and inverse std per row.
+        let mut xhat = vec![0.0f32; r * c];
+        let mut inv_std = vec![0.0f32; r];
+        for i in 0..r {
+            let row = &x.data()[i * c..(i + 1) * c];
+            let mean = row.iter().sum::<f32>() / c as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+            let inv = 1.0 / (var + EPS).sqrt();
+            inv_std[i] = inv;
+            for j in 0..c {
+                let h = (row[j] - mean) * inv;
+                xhat[i * c + j] = h;
+                y[i * c + j] = h * self.gamma.value.data()[j] + self.beta.value.data()[j];
+            }
+        }
+        (
+            Tensor::from_vec(y, x.dims()),
+            Saved::new(vec![
+                Tensor::from_vec(xhat, &[r, c]),
+                Tensor::from_vec(inv_std, &[r]),
+            ]),
+        )
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let xhat = saved.get(0);
+        let inv_std = saved.get(1);
+        let (r, c) = xhat.shape().as_matrix();
+        let mut dx = vec![0.0f32; r * c];
+        let gamma = self.gamma.value.data();
+        for i in 0..r {
+            let hy = &dy.data()[i * c..(i + 1) * c];
+            let hx = &xhat.data()[i * c..(i + 1) * c];
+            // dxhat = dy * gamma
+            // dx = inv_std/c * (c*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+            let mut sum_dxh = 0.0f32;
+            let mut sum_dxh_h = 0.0f32;
+            for j in 0..c {
+                let dxh = hy[j] * gamma[j];
+                sum_dxh += dxh;
+                sum_dxh_h += dxh * hx[j];
+            }
+            let scale = inv_std.data()[i] / c as f32;
+            for j in 0..c {
+                let dxh = hy[j] * gamma[j];
+                dx[i * c + j] = scale * (c as f32 * dxh - sum_dxh - hx[j] * sum_dxh_h);
+            }
+            // Parameter gradients.
+            for j in 0..c {
+                self.gamma.grad.data_mut()[j] += hy[j] * hx[j];
+                self.beta.grad.data_mut()[j] += hy[j];
+            }
+        }
+        Tensor::from_vec(dx, dy.dims())
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "LayerNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck_layer;
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let ln = LayerNorm::new(8);
+        let x = ea_tensor::uniform(&[4, 8], -2.0, 3.0, &mut ea_tensor::TensorRng::seed_from_u64(0));
+        let (y, _) = ln.forward(&x, &ForwardCtx::eval());
+        for i in 0..4 {
+            let row = y.row(i);
+            assert!(row.mean().abs() < 1e-5);
+            let var = row.data().iter().map(|v| v * v).sum::<f32>() / 8.0;
+            assert!((var - 1.0).abs() < 1e-3, "row variance {var}");
+        }
+    }
+
+    #[test]
+    fn gradcheck() {
+        gradcheck_layer(LayerNorm::new(6), &[3, 6], 3e-2, 11);
+    }
+
+    #[test]
+    fn constant_row_is_stable() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::full(&[1, 4], 3.0);
+        let (y, _) = ln.forward(&x, &ForwardCtx::eval());
+        assert!(!y.has_non_finite());
+    }
+}

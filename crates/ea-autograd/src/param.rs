@@ -1,0 +1,63 @@
+//! Trainable parameters.
+
+use ea_tensor::Tensor;
+
+/// A named trainable parameter with its gradient accumulator.
+///
+/// `grad` always has the same shape as `value`; `backward` passes add into
+/// it and the optimizer consumes and clears it once per local step.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Human-readable name, unique within a stage (used in tests and dumps).
+    pub name: String,
+    /// Current weight values.
+    pub value: Tensor,
+    /// Accumulated gradient of the current batch.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { name: name.into(), value, grad }
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_starts_zero_and_accumulates() {
+        let mut p = Param::new("w", Tensor::ones(&[2, 2]));
+        assert_eq!(p.grad.sum(), 0.0);
+        p.accumulate_grad(&Tensor::full(&[2, 2], 0.5));
+        p.accumulate_grad(&Tensor::full(&[2, 2], 0.25));
+        assert_eq!(p.grad.sum(), 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut p = Param::new("w", Tensor::ones(&[2, 2]));
+        p.accumulate_grad(&Tensor::ones(&[4]));
+    }
+}

@@ -1,0 +1,357 @@
+//! Stages: the unit a pipeline places on one GPU.
+
+use crate::{ForwardCtx, Layer, Param, Saved};
+use ea_tensor::Tensor;
+
+/// A sequential block of layers — the partition of a model assigned to one
+/// (simulated) GPU.
+pub struct Stage {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// The activation stash of a whole stage for one micro-batch.
+#[derive(Default)]
+pub struct StageSaved {
+    saves: Vec<Saved>,
+}
+
+impl StageSaved {
+    /// Total stashed bytes for this micro-batch.
+    pub fn bytes(&self) -> usize {
+        self.saves.iter().map(Saved::bytes).sum()
+    }
+}
+
+impl Stage {
+    /// Creates a stage from a layer list.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Stage { layers }
+    }
+
+    /// An empty, pass-through stage (used by tests).
+    pub fn empty() -> Self {
+        Stage { layers: Vec::new() }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the stage forward, returning output and the activation stash.
+    pub fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, StageSaved) {
+        let mut cur = x.clone();
+        let mut saves = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (y, s) = layer.forward(&cur, ctx);
+            saves.push(s);
+            cur = y;
+        }
+        (cur, StageSaved { saves })
+    }
+
+    /// Forward without keeping the stash (validation / inference).
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let ctx = ForwardCtx::eval();
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (y, _) = layer.forward(&cur, &ctx);
+            cur = y;
+        }
+        cur
+    }
+
+    /// Backpropagates `dy` through the stage, consuming `saved` and
+    /// accumulating parameter gradients; returns the input gradient.
+    pub fn backward(&mut self, saved: &StageSaved, dy: &Tensor) -> Tensor {
+        assert_eq!(saved.saves.len(), self.layers.len(), "stash/layer count mismatch");
+        let mut cur = dy.clone();
+        for (layer, s) in self.layers.iter_mut().zip(&saved.saves).rev() {
+            cur = layer.backward(s, &cur);
+        }
+        cur
+    }
+
+    /// Visits all parameters of all layers.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Visits all parameters mutably.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Flattens all parameter values into one vector (layer order).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+        out
+    }
+
+    /// Writes a flat vector produced by [`Stage::params_flat`] back into
+    /// the parameters.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        let mut off = 0;
+        self.visit_params_mut(&mut |p| {
+            let n = p.numel();
+            p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+        assert_eq!(off, flat.len(), "flat parameter length mismatch");
+    }
+
+    /// Flattens all gradient accumulators.
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+        out
+    }
+
+    /// Clears every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+}
+
+/// Residual wrapper: `y = x + f(x)` where `f` is a sub-stage. Used to build
+/// transformer blocks.
+pub struct Residual {
+    inner: Stage,
+}
+
+impl Residual {
+    /// Wraps a layer list in a residual connection.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Residual { inner: Stage::new(layers) }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, Saved) {
+        let (fx, saved) = self.inner.forward(x, ctx);
+        let y = x.add(&fx);
+        // Flatten the sub-stage stash into a single Saved: the residual
+        // contributes no extra tensors of its own.
+        let mut tensors = Vec::new();
+        for s in &saved.saves {
+            for i in 0..s.len() {
+                tensors.push(s.get(i).clone());
+            }
+        }
+        // Record per-layer stash lengths so backward can re-chunk.
+        let lens: Vec<f32> = saved.saves.iter().map(|s| s.len() as f32).collect();
+        tensors.push(Tensor::from_vec(lens, &[saved.saves.len()]));
+        (y, Saved::new(tensors))
+    }
+
+    fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
+        let lens = saved.get(saved.len() - 1);
+        let mut saves = Vec::new();
+        let mut idx = 0;
+        for &l in lens.data() {
+            let l = l as usize;
+            let mut tensors = Vec::with_capacity(l);
+            for _ in 0..l {
+                tensors.push(saved.get(idx).clone());
+                idx += 1;
+            }
+            saves.push(Saved::new(tensors));
+        }
+        let stage_saved = StageSaved { saves };
+        let dfx = self.inner.backward(&stage_saved, dy);
+        dy.add(&dfx)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.inner.visit_params(f);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.inner.visit_params_mut(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+}
+
+/// A model partitioned into consecutive stages.
+pub struct StagedModel {
+    stages: Vec<Stage>,
+}
+
+impl StagedModel {
+    /// Creates a model from its stages.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        StagedModel { stages }
+    }
+
+    /// Number of stages (== pipeline depth K).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage `k`.
+    pub fn stage(&self, k: usize) -> &Stage {
+        &self.stages[k]
+    }
+
+    /// Mutable stage `k`.
+    pub fn stage_mut(&mut self, k: usize) -> &mut Stage {
+        &mut self.stages[k]
+    }
+
+    /// Consumes the model, yielding its stages (to hand to stage workers).
+    pub fn into_stages(self) -> Vec<Stage> {
+        self.stages
+    }
+
+    /// Full-model forward in training mode, stashing per-stage.
+    pub fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, Vec<StageSaved>) {
+        let mut cur = x.clone();
+        let mut saves = Vec::with_capacity(self.stages.len());
+        for st in &self.stages {
+            let (y, s) = st.forward(&cur, ctx);
+            saves.push(s);
+            cur = y;
+        }
+        (cur, saves)
+    }
+
+    /// Full-model eval forward.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for st in &self.stages {
+            cur = st.forward_eval(&cur);
+        }
+        cur
+    }
+
+    /// Full-model backward, consuming the stash from [`StagedModel::forward`].
+    pub fn backward(&mut self, saves: &[StageSaved], dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for (st, s) in self.stages.iter_mut().zip(saves).rev() {
+            cur = st.backward(s, &cur);
+        }
+        cur
+    }
+
+    /// Total scalar parameter count over all stages.
+    pub fn num_params(&self) -> usize {
+        self.stages.iter().map(Stage::num_params).sum()
+    }
+
+    /// Clears every gradient accumulator in every stage.
+    pub fn zero_grads(&mut self) {
+        for st in &mut self.stages {
+            st.zero_grads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, ActivationKind, Linear};
+    use ea_tensor::TensorRng;
+
+    fn small_stage(seed: u64) -> Stage {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        Stage::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Tanh)),
+            Box::new(Linear::new(5, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_through_stage() {
+        let mut st = small_stage(0);
+        let x = Tensor::ones(&[4, 3]);
+        let (y, saved) = st.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[4, 2]);
+        assert!(saved.bytes() > 0);
+        let dx = st.backward(&saved, &Tensor::ones(&[4, 2]));
+        assert_eq!(dx.dims(), &[4, 3]);
+        // Gradients landed in the parameters.
+        let g = st.grads_flat();
+        assert!(g.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_params() {
+        let mut st = small_stage(1);
+        let flat = st.params_flat();
+        assert_eq!(flat.len(), st.num_params());
+        let mut modified = flat.clone();
+        for v in &mut modified {
+            *v += 1.0;
+        }
+        st.set_params_flat(&modified);
+        let back = st.params_flat();
+        assert_eq!(back, modified);
+        st.set_params_flat(&flat);
+        assert_eq!(st.params_flat(), flat);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut st = small_stage(2);
+        let x = Tensor::ones(&[2, 3]);
+        let (y, saved) = st.forward(&x, &ForwardCtx::eval());
+        st.backward(&saved, &y);
+        assert!(st.grads_flat().iter().any(|&v| v != 0.0));
+        st.zero_grads();
+        assert!(st.grads_flat().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn residual_is_identity_plus_f() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let lin = Linear::new(4, 4, &mut rng);
+        // Keep a copy of the plain layer output for comparison.
+        let x = ea_tensor::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        let (fx, _) = lin.forward(&x, &ForwardCtx::eval());
+        let res = Residual::new(vec![Box::new(lin)]);
+        let (y, _) = res.forward(&x, &ForwardCtx::eval());
+        assert!(ea_tensor::allclose(&y, &x.add(&fx), 1e-6));
+    }
+
+    #[test]
+    fn residual_gradcheck() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let res = Residual::new(vec![
+            Box::new(Linear::new(4, 4, &mut rng)),
+            Box::new(Activation::new(ActivationKind::Tanh)),
+        ]);
+        crate::gradcheck_layer(res, &[3, 4], 3e-2, 31);
+    }
+
+    #[test]
+    fn staged_model_matches_manual_chain() {
+        let mut model = StagedModel::new(vec![small_stage(5), small_stage_23()]);
+        let x = Tensor::ones(&[2, 3]);
+        let (y, saves) = model.forward(&x, &ForwardCtx::eval());
+        let manual = model.stage(1).forward_eval(&model.stage(0).forward_eval(&x));
+        assert!(ea_tensor::allclose(&y, &manual, 1e-6));
+        let dx = model.backward(&saves, &y);
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    fn small_stage_23() -> Stage {
+        let mut rng = TensorRng::seed_from_u64(6);
+        Stage::new(vec![Box::new(Linear::new(2, 3, &mut rng))])
+    }
+}

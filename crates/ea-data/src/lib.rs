@@ -1,0 +1,342 @@
+//! Synthetic datasets standing in for WMT16, QQP and Penn Treebank.
+//!
+//! The paper's statistical-efficiency comparison (Figure 14) measures
+//! *relative* epochs-to-target between training semantics — sequential
+//! (PyTorch), multi-version stale (PipeDream), bounded-stale
+//! (PipeDream-2BW) and elastic averaging (AvgPipe). The real corpora are
+//! multi-gigabyte downloads, so each workload gets a synthetic task over
+//! the same interface with a reachable target metric:
+//!
+//! * **Copy-translation** (GNMT stand-in): the target of token `t` is the
+//!   *previous* token `x[t−1]` (`x[0]` for the first position) — solvable
+//!   only by carrying state through the recurrence, so it genuinely
+//!   exercises the LSTM stack, while staying learnable at analogue scale.
+//! * **Masked-token denoising** (BERT stand-in): tokens are drawn from a
+//!   sparse Markov chain and a fraction are replaced by `MASK`; the model
+//!   reconstructs the originals from bidirectional context.
+//! * **Next-token language modeling** (AWD stand-in): predict the Markov
+//!   chain's next token.
+
+mod metrics;
+
+pub use metrics::{perplexity, top_k_accuracy};
+
+use ea_tensor::{Tensor, TensorRng};
+
+/// Reserved mask token id for the masked-denoising task.
+pub const MASK_TOKEN: usize = 0;
+
+/// One batch of token data, laid out batch-major (`row = b*seq + t`) as
+/// the sequence layers expect.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Token ids encoded as f32, shape `[batch*seq]`.
+    pub input: Tensor,
+    /// Per-row target class.
+    pub targets: Vec<usize>,
+    /// Samples in the batch.
+    pub batch_size: usize,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+impl Batch {
+    /// Slices this batch into micro-batches of up to `micro` samples,
+    /// preserving sample boundaries.
+    pub fn split_micro(&self, micro: usize) -> Vec<Batch> {
+        assert!(micro > 0, "micro-batch size must be positive");
+        let mut out = Vec::new();
+        let mut b0 = 0;
+        while b0 < self.batch_size {
+            let bs = micro.min(self.batch_size - b0);
+            let rows = bs * self.seq;
+            let r0 = b0 * self.seq;
+            out.push(Batch {
+                input: Tensor::from_vec(
+                    self.input.data()[r0..r0 + rows].to_vec(),
+                    &[rows],
+                ),
+                targets: self.targets[r0..r0 + rows].to_vec(),
+                batch_size: bs,
+                seq: self.seq,
+            });
+            b0 += bs;
+        }
+        out
+    }
+}
+
+/// The three task families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Sequence transduction requiring recurrence (GNMT stand-in).
+    CopyTranslate,
+    /// Masked-token denoising (BERT stand-in).
+    MaskedDenoise,
+    /// Next-token prediction (AWD stand-in).
+    NextToken,
+}
+
+/// A deterministic synthetic task.
+///
+/// Batches are pure functions of `(task seed, batch index)`, so every
+/// training system under comparison sees byte-identical data streams, and
+/// evaluation batches (negative index space) never overlap training.
+pub struct SyntheticTask {
+    kind: TaskKind,
+    vocab: usize,
+    seq: usize,
+    seed: u64,
+    mask_p: f64,
+    /// Row-major `vocab × vocab` cumulative transition rows of a sparse
+    /// Markov chain (used by MaskedDenoise and NextToken).
+    chain: Vec<f32>,
+}
+
+impl SyntheticTask {
+    /// Copy-translation task over `vocab` tokens (vocab ≥ 4).
+    pub fn copy_translate(vocab: usize, seq: usize, seed: u64) -> Self {
+        Self::new(TaskKind::CopyTranslate, vocab, seq, seed, 0.0)
+    }
+
+    /// Masked-denoising task; `mask_p` is the masking probability.
+    pub fn masked_denoise(vocab: usize, seq: usize, mask_p: f64, seed: u64) -> Self {
+        Self::new(TaskKind::MaskedDenoise, vocab, seq, seed, mask_p)
+    }
+
+    /// Next-token language-modeling task.
+    pub fn next_token(vocab: usize, seq: usize, seed: u64) -> Self {
+        Self::new(TaskKind::NextToken, vocab, seq, seed, 0.0)
+    }
+
+    fn new(kind: TaskKind, vocab: usize, seq: usize, seed: u64, mask_p: f64) -> Self {
+        assert!(vocab >= 4, "vocab too small");
+        assert!(seq >= 2, "sequence too short");
+        let chain = Self::build_chain(vocab, seed);
+        SyntheticTask { kind, vocab, seq, seed, mask_p, chain }
+    }
+
+    /// Sparse row-stochastic chain: each token has 4 likely successors.
+    fn build_chain(vocab: usize, seed: u64) -> Vec<f32> {
+        let mut rng = TensorRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        let mut rows = vec![0.0f32; vocab * vocab];
+        for v in 0..vocab {
+            let row = &mut rows[v * vocab..(v + 1) * vocab];
+            for _ in 0..4 {
+                let succ = rng.below(vocab);
+                row[succ] += 1.0 + rng.uniform(0.0, 1.0);
+            }
+            // Small smoothing so every transition is possible.
+            let total: f32 = row.iter().sum::<f32>() + 0.04 * vocab as f32;
+            let mut acc = 0.0f32;
+            for x in row.iter_mut() {
+                acc += (*x + 0.04) / total;
+                *x = acc;
+            }
+            row[vocab - 1] = 1.0;
+        }
+        rows
+    }
+
+    fn sample_chain(&self, prev: usize, u: f32) -> usize {
+        let row = &self.chain[prev * self.vocab..(prev + 1) * self.vocab];
+        match row.iter().position(|&c| u < c) {
+            Some(i) => i,
+            None => self.vocab - 1,
+        }
+    }
+
+    /// The vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Sequence length.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Task kind.
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+
+    /// Deterministically generates training batch number `index`.
+    pub fn batch(&self, batch_size: usize, index: u64) -> Batch {
+        self.gen(batch_size, index.wrapping_add(1) << 1)
+    }
+
+    /// Deterministically generates evaluation batch number `index`, from a
+    /// stream disjoint with training batches.
+    pub fn eval_batch(&self, batch_size: usize, index: u64) -> Batch {
+        self.gen(batch_size, (index.wrapping_add(1) << 1) | 1)
+    }
+
+    fn gen(&self, batch_size: usize, stream: u64) -> Batch {
+        let mut rng = TensorRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0x9E37_79B9));
+        let rows = batch_size * self.seq;
+        let mut input = Vec::with_capacity(rows);
+        let mut targets = Vec::with_capacity(rows);
+        for _ in 0..batch_size {
+            match self.kind {
+                TaskKind::CopyTranslate => {
+                    let mut prev: Option<usize> = None;
+                    for _ in 0..self.seq {
+                        let t = rng.below(self.vocab);
+                        input.push(t as f32);
+                        targets.push(prev.unwrap_or(t));
+                        prev = Some(t);
+                    }
+                }
+                TaskKind::MaskedDenoise => {
+                    let mut cur = 1 + rng.below(self.vocab - 1);
+                    let mut orig = Vec::with_capacity(self.seq);
+                    for _ in 0..self.seq {
+                        orig.push(cur);
+                        cur = self.sample_chain(cur, rng.uniform(0.0, 1.0)).max(1);
+                    }
+                    for &t in &orig {
+                        let masked = rng.coin(self.mask_p);
+                        input.push(if masked { MASK_TOKEN as f32 } else { t as f32 });
+                        targets.push(t);
+                    }
+                }
+                TaskKind::NextToken => {
+                    let mut cur = rng.below(self.vocab);
+                    for _ in 0..self.seq {
+                        let next = self.sample_chain(cur, rng.uniform(0.0, 1.0));
+                        input.push(cur as f32);
+                        targets.push(next);
+                        cur = next;
+                    }
+                }
+            }
+        }
+        Batch {
+            input: Tensor::from_vec(input, &[rows]),
+            targets,
+            batch_size,
+            seq: self.seq,
+        }
+    }
+}
+
+/// Fraction of rows whose argmax prediction matches the target.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let preds = ea_tensor::argmax_rows(logits);
+    assert_eq!(preds.len(), targets.len(), "prediction/target count mismatch");
+    let hits = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    hits as f64 / targets.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic() {
+        let t = SyntheticTask::next_token(16, 5, 42);
+        let a = t.batch(4, 7);
+        let b = t.batch(4, 7);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.targets, b.targets);
+        let c = t.batch(4, 8);
+        assert_ne!(a.input, c.input);
+    }
+
+    #[test]
+    fn eval_stream_is_disjoint_from_training() {
+        let t = SyntheticTask::next_token(16, 5, 42);
+        let train = t.batch(4, 0);
+        let eval = t.eval_batch(4, 0);
+        assert_ne!(train.input, eval.input);
+    }
+
+    #[test]
+    fn copy_translate_targets_are_lagged_inputs() {
+        let t = SyntheticTask::copy_translate(10, 4, 1);
+        let b = t.batch(3, 0);
+        for s in 0..3 {
+            assert_eq!(b.targets[s * 4], b.input.data()[s * 4] as usize);
+            for i in 1..4 {
+                assert_eq!(b.targets[s * 4 + i], b.input.data()[s * 4 + i - 1] as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_denoise_masks_and_preserves_targets() {
+        let t = SyntheticTask::masked_denoise(12, 50, 0.4, 3);
+        let b = t.batch(8, 0);
+        let masked = b
+            .input
+            .data()
+            .iter()
+            .filter(|&&v| v as usize == MASK_TOKEN)
+            .count();
+        let frac = masked as f64 / b.input.numel() as f64;
+        assert!((0.25..0.55).contains(&frac), "mask fraction {frac}");
+        // Targets never contain the mask token (chain avoids 0).
+        assert!(b.targets.iter().all(|&t| t != MASK_TOKEN));
+    }
+
+    #[test]
+    fn next_token_targets_follow_input() {
+        let t = SyntheticTask::next_token(8, 6, 5);
+        let b = t.batch(2, 0);
+        for s in 0..2 {
+            for i in 0..5 {
+                // target[i] becomes input[i+1].
+                assert_eq!(b.targets[s * 6 + i], b.input.data()[s * 6 + i + 1] as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_learnable_not_uniform() {
+        // The Markov chain must be predictable above chance for LM tasks
+        // to have a reachable target.
+        let t = SyntheticTask::next_token(16, 200, 9);
+        let b = t.batch(4, 0);
+        // Best-successor baseline: predict the most common successor of
+        // each token observed in the batch.
+        let mut counts = vec![[0u32; 16]; 16];
+        for s in 0..4 {
+            for i in 0..199 {
+                let cur = b.input.data()[s * 200 + i] as usize;
+                counts[cur][b.targets[s * 200 + i]] += 1;
+            }
+        }
+        let mut hits = 0u32;
+        let mut total = 0u32;
+        for s in 0..4 {
+            for i in 0..199 {
+                let cur = b.input.data()[s * 200 + i] as usize;
+                let best = (0..16).max_by_key(|&j| counts[cur][j]).unwrap();
+                hits += u32::from(best == b.targets[s * 200 + i]);
+                total += 1;
+            }
+        }
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.25, "chain accuracy {acc} barely above chance 1/16");
+    }
+
+    #[test]
+    fn split_micro_preserves_content() {
+        let t = SyntheticTask::copy_translate(10, 4, 1);
+        let b = t.batch(5, 0);
+        let micros = b.split_micro(2);
+        assert_eq!(micros.len(), 3);
+        assert_eq!(micros[0].batch_size, 2);
+        assert_eq!(micros[2].batch_size, 1);
+        let rejoined: Vec<f32> = micros.iter().flat_map(|m| m.input.data().to_vec()).collect();
+        assert_eq!(rejoined, b.input.data());
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Task-level evaluation metrics beyond raw accuracy.
+
+use ea_tensor::{log_softmax_rows, Tensor};
+
+/// Perplexity of a batch of predictions: `exp(mean NLL)` — the language-
+/// modeling metric AWD-LSTM reports on Penn Treebank.
+pub fn perplexity(logits: &Tensor, targets: &[usize]) -> f64 {
+    let (r, c) = logits.shape().as_matrix();
+    assert_eq!(r, targets.len(), "target count must equal rows");
+    let logp = log_softmax_rows(logits);
+    let mut nll = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target class {t} out of range {c}");
+        nll -= logp.data()[i * c + t] as f64;
+    }
+    (nll / r as f64).exp()
+}
+
+/// Top-`k` accuracy: fraction of rows whose target is among the `k`
+/// highest-scoring classes.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f64 {
+    let (r, c) = logits.shape().as_matrix();
+    assert_eq!(r, targets.len(), "target count must equal rows");
+    assert!(k >= 1 && k <= c, "k must be in [1, classes]");
+    let mut hits = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let target_score = row[t];
+        // Count how many classes strictly beat the target.
+        let better = row.iter().filter(|&&x| x > target_score).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / r.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perplexity_of_uniform_logits_is_vocab_size() {
+        let logits = Tensor::zeros(&[4, 8]);
+        let p = perplexity(&logits, &[0, 1, 2, 3]);
+        assert!((p - 8.0).abs() < 1e-4, "uniform perplexity {p}");
+    }
+
+    #[test]
+    fn perplexity_of_confident_correct_predictions_is_near_one() {
+        let mut logits = Tensor::full(&[2, 4], -20.0);
+        logits.set(&[0, 1], 20.0);
+        logits.set(&[1, 3], 20.0);
+        let p = perplexity(&logits, &[1, 3]);
+        assert!(p < 1.001, "perplexity {p}");
+    }
+
+    #[test]
+    fn top_k_accuracy_is_monotone_in_k() {
+        let logits = Tensor::from_vec(
+            vec![
+                3.0, 2.0, 1.0, 0.0, // target 2 is 3rd best
+                0.0, 1.0, 2.0, 3.0, // target 0 is worst
+            ],
+            &[2, 4],
+        );
+        let targets = [2usize, 0];
+        let a1 = top_k_accuracy(&logits, &targets, 1);
+        let a3 = top_k_accuracy(&logits, &targets, 3);
+        let a4 = top_k_accuracy(&logits, &targets, 4);
+        assert_eq!(a1, 0.0);
+        assert_eq!(a3, 0.5);
+        assert_eq!(a4, 1.0);
+    }
+
+    #[test]
+    fn top_1_matches_accuracy() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), 1.0);
+        assert_eq!(
+            top_k_accuracy(&logits, &[0, 1], 1),
+            crate::accuracy(&logits, &[0, 1])
+        );
+    }
+}

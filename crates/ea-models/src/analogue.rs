@@ -1,0 +1,181 @@
+//! Scaled-down runnable analogues of GNMT, BERT and AWD-LSTM.
+//!
+//! These train for real on the synthetic tasks in `ea-data`. The layer
+//! *types* match the originals (LSTM stacks, transformer encoder blocks,
+//! weight-dropped LSTM LM) so the update semantics being compared in the
+//! statistical-efficiency experiments exercise the genuine architectures,
+//! just at laptop scale.
+
+use ea_autograd::{
+    Activation, ActivationKind, Dropout, Embedding, Layer, LayerNorm, Linear, LstmSeq, Residual,
+    SelfAttention, Stage, StagedModel,
+};
+use ea_tensor::TensorRng;
+
+/// Size configuration for an analogue model.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalogueConfig {
+    /// Vocabulary size of the synthetic task.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of recurrent/encoder blocks.
+    pub blocks: usize,
+    /// Number of pipeline stages to partition into.
+    pub stages: usize,
+}
+
+impl AnalogueConfig {
+    /// A small default suitable for convergence tests.
+    pub fn small(stages: usize) -> Self {
+        AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 4, stages }
+    }
+}
+
+/// Splits a flat layer list into `k` contiguous stages with balanced layer
+/// counts (earlier stages take the remainder).
+fn split_stages(mut layers: Vec<Box<dyn Layer>>, k: usize) -> StagedModel {
+    assert!(k >= 1, "need at least one stage");
+    assert!(layers.len() >= k, "cannot split {} layers into {k} stages", layers.len());
+    let n = layers.len();
+    let base = n / k;
+    let extra = n % k;
+    let mut stages = Vec::with_capacity(k);
+    for s in 0..k {
+        let take = base + usize::from(s < extra);
+        let rest = layers.split_off(take);
+        stages.push(Stage::new(layers));
+        layers = rest;
+    }
+    StagedModel::new(stages)
+}
+
+/// GNMT analogue: embedding → stacked LSTMs → vocabulary projection,
+/// trained as a sequence transduction (copy-translation) task.
+pub fn gnmt_analogue(cfg: AnalogueConfig, rng: &mut TensorRng) -> StagedModel {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    layers.push(Box::new(Embedding::new(cfg.vocab, cfg.hidden, rng)));
+    for _ in 0..cfg.blocks {
+        layers.push(Box::new(LstmSeq::new(cfg.seq, cfg.hidden, cfg.hidden, rng)));
+    }
+    layers.push(Box::new(Linear::new(cfg.hidden, cfg.vocab, rng)));
+    split_stages(layers, cfg.stages)
+}
+
+/// BERT analogue: embedding → transformer encoder blocks (pre-LN residual
+/// attention + feed-forward) → token classification head, trained on a
+/// masked-token denoising task.
+pub fn bert_analogue(cfg: AnalogueConfig, rng: &mut TensorRng) -> StagedModel {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    layers.push(Box::new(Embedding::new(cfg.vocab, cfg.hidden, rng)));
+    let heads = if cfg.hidden.is_multiple_of(4) { 4 } else { 1 };
+    for b in 0..cfg.blocks {
+        layers.push(Box::new(Residual::new(vec![
+            Box::new(LayerNorm::new(cfg.hidden)),
+            Box::new(SelfAttention::new(cfg.seq, cfg.hidden, heads, rng)),
+        ])));
+        layers.push(Box::new(Residual::new(vec![
+            Box::new(LayerNorm::new(cfg.hidden)),
+            Box::new(Linear::new(cfg.hidden, 2 * cfg.hidden, rng)),
+            Box::new(Activation::new(ActivationKind::Gelu)),
+            Box::new(Linear::new(2 * cfg.hidden, cfg.hidden, rng)),
+        ])));
+        let _ = b;
+    }
+    layers.push(Box::new(LayerNorm::new(cfg.hidden)));
+    layers.push(Box::new(Linear::new(cfg.hidden, cfg.vocab, rng)));
+    split_stages(layers, cfg.stages)
+}
+
+/// AWD-LSTM analogue: embedding → dropout-regularized LSTM stack →
+/// decoder, trained as next-token language modeling.
+pub fn awd_analogue(cfg: AnalogueConfig, rng: &mut TensorRng) -> StagedModel {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    layers.push(Box::new(Embedding::new(cfg.vocab, cfg.hidden, rng)));
+    layers.push(Box::new(Dropout::new(0.1, 17)));
+    for b in 0..cfg.blocks {
+        layers.push(Box::new(LstmSeq::new(cfg.seq, cfg.hidden, cfg.hidden, rng)));
+        layers.push(Box::new(Dropout::new(0.1, 100 + b as u64)));
+    }
+    layers.push(Box::new(Linear::new(cfg.hidden, cfg.vocab, rng)));
+    split_stages(layers, cfg.stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_autograd::ForwardCtx;
+    use ea_tensor::Tensor;
+
+    fn token_input(cfg: &AnalogueConfig, batch: usize) -> Tensor {
+        let n = batch * cfg.seq;
+        Tensor::from_vec((0..n).map(|i| (i % cfg.vocab) as f32).collect(), &[n])
+    }
+
+    #[test]
+    fn gnmt_analogue_runs_end_to_end() {
+        let cfg = AnalogueConfig::small(3);
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut m = gnmt_analogue(cfg, &mut rng);
+        assert_eq!(m.num_stages(), 3);
+        let x = token_input(&cfg, 2);
+        let (y, saves) = m.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y.dims(), &[2 * cfg.seq, cfg.vocab]);
+        let dy = Tensor::full(y.dims(), 0.01);
+        m.backward(&saves, &dy);
+    }
+
+    #[test]
+    fn bert_analogue_runs_end_to_end() {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+        let mut rng = TensorRng::seed_from_u64(1);
+        let mut m = bert_analogue(cfg, &mut rng);
+        let x = token_input(&cfg, 3);
+        let (y, saves) = m.forward(&x, &ForwardCtx::train(0, 0));
+        assert_eq!(y.dims(), &[3 * cfg.seq, cfg.vocab]);
+        let dy = Tensor::full(y.dims(), 0.01);
+        let dx = m.backward(&saves, &dy);
+        assert_eq!(dx.numel(), x.numel());
+    }
+
+    #[test]
+    fn awd_analogue_runs_end_to_end() {
+        let cfg = AnalogueConfig { vocab: 20, seq: 6, hidden: 12, blocks: 3, stages: 4 };
+        let mut rng = TensorRng::seed_from_u64(2);
+        let m = awd_analogue(cfg, &mut rng);
+        assert_eq!(m.num_stages(), 4);
+        let x = token_input(&cfg, 2);
+        let y = m.forward_eval(&x);
+        assert_eq!(y.dims(), &[2 * cfg.seq, cfg.vocab]);
+    }
+
+    #[test]
+    fn stage_split_is_balanced() {
+        let cfg = AnalogueConfig::small(2);
+        let mut rng = TensorRng::seed_from_u64(3);
+        let m = gnmt_analogue(cfg, &mut rng);
+        // 6 layers into 2 stages → 3 + 3.
+        assert_eq!(m.stage(0).num_layers(), 3);
+        assert_eq!(m.stage(1).num_layers(), 3);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let cfg = AnalogueConfig::small(2);
+        let mut r1 = TensorRng::seed_from_u64(9);
+        let mut r2 = TensorRng::seed_from_u64(9);
+        let a = gnmt_analogue(cfg, &mut r1);
+        let b = gnmt_analogue(cfg, &mut r2);
+        assert_eq!(a.stage(0).params_flat(), b.stage(0).params_flat());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_stages_panics() {
+        let cfg = AnalogueConfig { vocab: 8, seq: 2, hidden: 4, blocks: 1, stages: 10 };
+        let mut rng = TensorRng::seed_from_u64(4);
+        gnmt_analogue(cfg, &mut rng);
+    }
+}

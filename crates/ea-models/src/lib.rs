@@ -1,0 +1,18 @@
+//! Workload models, in two complementary forms.
+//!
+//! * [`spec`] — **cost models** of the paper's three full-size workloads
+//!   (GNMT, BERT, AWD-LSTM): per-layer parameter bytes, FLOPs, activation
+//!   stash and boundary sizes. These drive the cluster simulator for every
+//!   *performance* experiment (Figures 11–13 and 15–19). Absolute numbers
+//!   follow the published architectures; they need to be right in shape,
+//!   not to the last FLOP.
+//! * [`analogue`] — **runnable scaled-down analogues** of the same three
+//!   architectures built from `ea-autograd` layers. These train for real
+//!   on synthetic tasks and drive every *statistical-efficiency*
+//!   experiment (Figure 14), where only update semantics matter.
+
+pub mod analogue;
+pub mod spec;
+
+pub use analogue::{awd_analogue, bert_analogue, gnmt_analogue, AnalogueConfig};
+pub use spec::{awd_spec, bert_spec, gnmt_spec, LayerCost, ModelSpec, Workload};

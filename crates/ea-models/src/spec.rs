@@ -1,0 +1,340 @@
+//! Cost models of the paper's three workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// The three evaluation workloads of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Google NMT (seq2seq LSTM), WMT16, Adam, batch 128.
+    Gnmt,
+    /// BERT-large on QQP, Adam, batch 32.
+    Bert,
+    /// AWD-LSTM on Penn Treebank, SGD/ASGD, batch 40.
+    Awd,
+}
+
+impl Workload {
+    /// The cost spec for this workload.
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            Workload::Gnmt => gnmt_spec(),
+            Workload::Bert => bert_spec(),
+            Workload::Awd => awd_spec(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Gnmt => "GNMT",
+            Workload::Bert => "BERT",
+            Workload::Awd => "AWD",
+        }
+    }
+
+    /// All three workloads, in paper order.
+    pub fn all() -> [Workload; 3] {
+        [Workload::Gnmt, Workload::Bert, Workload::Awd]
+    }
+}
+
+/// First-order cost of one model layer, per *sample* (sequence).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer name for diagnostics.
+    pub name: String,
+    /// Parameter bytes (fp32).
+    pub param_bytes: u64,
+    /// Forward FLOPs per sample.
+    pub fwd_flops: f64,
+    /// Bytes stashed during forward for the backward pass, per sample.
+    pub act_stash_bytes: u64,
+    /// Bytes of the layer's output activation, per sample (what crosses a
+    /// stage boundary placed after this layer).
+    pub out_bytes: u64,
+}
+
+/// A complete workload cost model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Workload name.
+    pub name: String,
+    /// Per-layer costs, in network order.
+    pub layers: Vec<LayerCost>,
+    /// Backward/forward FLOP ratio (≈ 2 for dense nets).
+    pub bwd_factor: f64,
+    /// Micro-batch size at which a kernel reaches 50% of its achievable
+    /// throughput — the arithmetic-intensity saturation constant. Small
+    /// micro-batches of this model run far below peak, which is the
+    /// paper's "low peak utilization" effect.
+    pub demand_half: f64,
+    /// The fraction of peak FLOPS this model's kernels can reach even at
+    /// large micro-batches (recurrent kernels cap well below dense-GEMM
+    /// peak). Parallel pipelines stack demand up to the device limit,
+    /// which is how AvgPipe raises *peak* utilization (§2).
+    pub demand_cap: f64,
+    /// The batch size used in the paper's experiments.
+    pub default_batch: usize,
+    /// Per-sample input bytes entering stage 0.
+    pub input_bytes: u64,
+}
+
+impl ModelSpec {
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter bytes.
+    pub fn total_param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn total_fwd_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.fwd_flops).sum()
+    }
+
+    /// Compute demand (fraction of peak a kernel can use) for a
+    /// micro-batch of `micro` samples: `u = cap · micro / (micro + half)`,
+    /// saturating toward `demand_cap`.
+    pub fn demand(&self, micro: usize) -> f64 {
+        let m = micro as f64;
+        (self.demand_cap * m / (m + self.demand_half)).clamp(1e-3, 1.0)
+    }
+
+    /// Aggregate costs of a contiguous stage `[lo, hi)`:
+    /// `(param_bytes, fwd_flops/sample, stash_bytes/sample, out_bytes/sample)`.
+    pub fn stage_cost(&self, lo: usize, hi: usize) -> (u64, f64, u64, u64) {
+        assert!(lo < hi && hi <= self.layers.len(), "bad stage range {lo}..{hi}");
+        let params: u64 = self.layers[lo..hi].iter().map(|l| l.param_bytes).sum();
+        let flops: f64 = self.layers[lo..hi].iter().map(|l| l.fwd_flops).sum();
+        let stash: u64 = self.layers[lo..hi].iter().map(|l| l.act_stash_bytes).sum();
+        let out = self.layers[hi - 1].out_bytes;
+        (params, flops, stash, out)
+    }
+
+    /// Bytes of the activation entering layer `lo` (the input boundary of
+    /// a stage starting at `lo`).
+    pub fn boundary_bytes(&self, lo: usize) -> u64 {
+        if lo == 0 {
+            self.input_bytes
+        } else {
+            self.layers[lo - 1].out_bytes
+        }
+    }
+}
+
+/// GNMT: 8+8 LSTM layers of hidden 1024, vocab 32k, seq 50 — ≈ 210 M
+/// parameters. Trained with Adam, batch 128 (paper §7).
+pub fn gnmt_spec() -> ModelSpec {
+    let h: u64 = 1024;
+    let vocab: u64 = 32_000;
+    let seq: u64 = 50;
+    let act = seq * h * 4;
+    let mut layers = vec![LayerCost {
+        name: "embedding".into(),
+        param_bytes: vocab * h * 4,
+        fwd_flops: 2e7,
+        act_stash_bytes: seq * 4,
+        out_bytes: act,
+    }];
+    for i in 0..16 {
+        layers.push(LayerCost {
+            name: format!("lstm{i}"),
+            param_bytes: 4 * h * (2 * h) * 4 + 4 * h * 4,
+            // 2 × [4h × (in + h)] MACs per token, `seq` tokens.
+            fwd_flops: (2 * seq * 4 * h * (2 * h)) as f64,
+            // Training without recomputation stores every intermediate:
+            // gates, cell/hidden states, attention queries/contexts,
+            // residual and dropout buffers — ~24 hidden-widths per token
+            // (calibrated so the memory ratios across schedules match
+            // the paper's Figure 12; see DESIGN.md).
+            act_stash_bytes: seq * 24 * h * 4,
+            out_bytes: act,
+        });
+    }
+    layers.push(LayerCost {
+        name: "softmax-proj".into(),
+        param_bytes: h * vocab * 4,
+        fwd_flops: (2 * seq * h * vocab) as f64,
+        act_stash_bytes: act,
+        out_bytes: seq * vocab * 4,
+    });
+    ModelSpec {
+        name: "GNMT".into(),
+        layers,
+        bwd_factor: 2.0,
+        demand_half: 4.0,
+        demand_cap: 0.3,
+        default_batch: 128,
+        input_bytes: seq * 4,
+    }
+}
+
+/// BERT-large: 24 transformer layers, hidden 1024, 16 heads, seq 128,
+/// vocab 30k — ≈ 340 M parameters. Adam, batch 32 (paper §7).
+pub fn bert_spec() -> ModelSpec {
+    let h: u64 = 1024;
+    let vocab: u64 = 30_000;
+    let seq: u64 = 128;
+    let heads: u64 = 16;
+    let act = seq * h * 4;
+    let mut layers = vec![LayerCost {
+        name: "embedding".into(),
+        param_bytes: (vocab + 512) * h * 4,
+        fwd_flops: 3e7,
+        act_stash_bytes: seq * 4,
+        out_bytes: act,
+    }];
+    for i in 0..24 {
+        layers.push(LayerCost {
+            name: format!("encoder{i}"),
+            // QKVO (4h²) + FFN (8h²) weights.
+            param_bytes: 12 * h * h * 4 + 13 * h * 4,
+            // Projections: 2·seq·12h²; attention scores+context:
+            // 2·2·seq²·h.
+            fwd_flops: (2 * seq * 12 * h * h + 4 * seq * seq * h) as f64,
+            // QKV, attention output, FFN intermediates, GELU inputs,
+            // layer-norm stats and dropout buffers (≈ 40h per token),
+            // plus softmax inputs/outputs/masks per head (calibrated to
+            // the paper's Figure 12 ratios; see DESIGN.md).
+            act_stash_bytes: seq * 40 * h * 4 + 3 * heads * seq * seq * 4,
+            out_bytes: act,
+        });
+    }
+    layers.push(LayerCost {
+        name: "cls-head".into(),
+        param_bytes: h * vocab * 4,
+        fwd_flops: (2 * seq * h * vocab) as f64,
+        act_stash_bytes: act,
+        out_bytes: seq * vocab * 4,
+    });
+    ModelSpec {
+        name: "BERT".into(),
+        layers,
+        bwd_factor: 2.0,
+        demand_half: 6.0,
+        demand_cap: 0.75,
+        default_batch: 32,
+        input_bytes: seq * 4,
+    }
+}
+
+/// AWD-LSTM: 3 LSTM layers (1150 hidden, 400-dim embeddings), vocab 10k,
+/// seq 70 — ≈ 24 M parameters. SGD/ASGD, batch 40 (paper §7).
+pub fn awd_spec() -> ModelSpec {
+    let emb: u64 = 400;
+    let h: u64 = 1150;
+    let vocab: u64 = 10_000;
+    let seq: u64 = 70;
+    let dims = [(emb, h), (h, h), (h, emb)];
+    let mut layers = vec![LayerCost {
+        name: "embedding".into(),
+        param_bytes: vocab * emb * 4,
+        fwd_flops: 1e6,
+        act_stash_bytes: seq * 4,
+        out_bytes: seq * emb * 4,
+    }];
+    for (i, (din, dout)) in dims.iter().enumerate() {
+        layers.push(LayerCost {
+            name: format!("lstm{i}"),
+            param_bytes: 4 * dout * (din + dout) * 4 + 4 * dout * 4,
+            fwd_flops: (2 * seq * 4 * dout * (din + dout)) as f64,
+            // Gates, cell/hidden states, weight-drop masks and the
+            // pre-dropout copies AWD-LSTM training keeps per token.
+            act_stash_bytes: seq * 24 * dout * 4,
+            out_bytes: seq * dout * 4,
+        });
+    }
+    layers.push(LayerCost {
+        name: "decoder".into(),
+        param_bytes: emb * vocab * 4,
+        fwd_flops: (2 * seq * emb * vocab) as f64,
+        act_stash_bytes: seq * emb * 4,
+        out_bytes: seq * vocab * 4,
+    });
+    ModelSpec {
+        name: "AWD".into(),
+        layers,
+        bwd_factor: 2.0,
+        // Small model: kernels need large micro-batches to approach even
+        // their modest cap — this is why max-size wins on AWD (Fig. 19).
+        demand_half: 16.0,
+        demand_cap: 0.2,
+        default_batch: 40,
+        input_bytes: seq * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnmt_parameter_count_in_range() {
+        let s = gnmt_spec();
+        let params = s.total_param_bytes() / 4;
+        assert!(
+            (150_000_000..350_000_000).contains(&params),
+            "GNMT params {params}"
+        );
+    }
+
+    #[test]
+    fn bert_parameter_count_matches_bert_large() {
+        let s = bert_spec();
+        let params = s.total_param_bytes() / 4;
+        assert!(
+            (280_000_000..420_000_000).contains(&params),
+            "BERT params {params}"
+        );
+    }
+
+    #[test]
+    fn awd_parameter_count_in_range() {
+        let s = awd_spec();
+        let params = s.total_param_bytes() / 4;
+        assert!((15_000_000..40_000_000).contains(&params), "AWD params {params}");
+    }
+
+    #[test]
+    fn demand_curve_saturates_at_cap() {
+        let s = gnmt_spec();
+        assert!(s.demand(1) < 0.2);
+        assert!(s.demand(128) > 0.9 * s.demand_cap);
+        assert!(s.demand(128) <= s.demand_cap);
+        assert!(s.demand(6) > s.demand(3));
+        assert!(s.demand(1_000_000) <= 1.0);
+    }
+
+    #[test]
+    fn stage_cost_sums_layers() {
+        let s = awd_spec();
+        let (p, f, a, o) = s.stage_cost(0, s.num_layers());
+        assert_eq!(p, s.total_param_bytes());
+        assert!((f - s.total_fwd_flops()).abs() < 1.0);
+        assert!(a > 0);
+        assert_eq!(o, s.layers.last().unwrap().out_bytes);
+    }
+
+    #[test]
+    fn boundary_bytes_align_with_layers() {
+        let s = bert_spec();
+        assert_eq!(s.boundary_bytes(0), s.input_bytes);
+        assert_eq!(s.boundary_bytes(1), s.layers[0].out_bytes);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stage_cost_rejects_empty_range() {
+        gnmt_spec().stage_cost(3, 3);
+    }
+
+    #[test]
+    fn workload_enum_roundtrip() {
+        for w in Workload::all() {
+            assert_eq!(w.spec().name, w.name());
+        }
+    }
+}

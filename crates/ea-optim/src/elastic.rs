@@ -1,0 +1,197 @@
+//! Framework-level elastic-averaging update rules (paper §3.2, Figure 6).
+//!
+//! Unlike classic EASGD, these rules are *decoupled* from the local
+//! optimizer: a pipeline first applies its own optimizer step (Step ❶),
+//! then dilutes its weights toward the reference model (Step ❷), and ships
+//! the local update to the reference process (Step ❸). The reference
+//! process accumulates one update per pipeline (Step ❹) and, once all `N`
+//! have arrived, normalizes and applies them (Step ❺).
+
+/// Configuration of the elastic-averaging framework.
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticConfig {
+    /// Number of parallel pipelines `N`.
+    pub n_pipelines: usize,
+    /// The pull strength α ∈ [0, 1]; the paper sets α = 1/N empirically.
+    pub alpha: f32,
+}
+
+impl ElasticConfig {
+    /// The paper's default: α = 1/N.
+    pub fn with_default_alpha(n_pipelines: usize) -> Self {
+        assert!(n_pipelines >= 1, "need at least one pipeline");
+        ElasticConfig { n_pipelines, alpha: 1.0 / n_pipelines as f32 }
+    }
+
+    /// Explicit α.
+    pub fn new(n_pipelines: usize, alpha: f32) -> Self {
+        assert!(n_pipelines >= 1, "need at least one pipeline");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        ElasticConfig { n_pipelines, alpha }
+    }
+}
+
+/// Step ❷: dilute the parallel-model weights with the reference weights in
+/// ratio `(1-α) : α`, i.e. `w ← (1-α)·w + α·w̃`.
+pub fn elastic_pull(local: &mut [f32], reference: &[f32], alpha: f32) {
+    assert_eq!(local.len(), reference.len(), "parameter length mismatch");
+    let keep = 1.0 - alpha;
+    for (w, r) in local.iter_mut().zip(reference) {
+        *w = keep * *w + alpha * *r;
+    }
+}
+
+/// Steps ❹–❺: the reference-side accumulator.
+///
+/// Each parallel pipeline sends the *local update* `Δ_i` it computed for
+/// the batch (new-weights − old-weights before the pull). Once all `N`
+/// updates of a round arrive, `try_apply` normalizes by `N` and adds the
+/// mean update into the reference weights.
+pub struct ReferenceAccumulator {
+    acc: Vec<f32>,
+    received: usize,
+    n_pipelines: usize,
+    rounds_applied: u64,
+}
+
+impl ReferenceAccumulator {
+    /// Accumulator for `n_pipelines` pipelines over `param_len` weights.
+    pub fn new(param_len: usize, n_pipelines: usize) -> Self {
+        assert!(n_pipelines >= 1);
+        ReferenceAccumulator {
+            acc: vec![0.0; param_len],
+            received: 0,
+            n_pipelines,
+            rounds_applied: 0,
+        }
+    }
+
+    /// Step ❹: receives one pipeline's local update.
+    ///
+    /// Panics if more than `N` updates arrive within one round — that
+    /// would mean a pipeline raced ahead of the barrier.
+    pub fn receive(&mut self, local_update: &[f32]) {
+        assert_eq!(local_update.len(), self.acc.len(), "update length mismatch");
+        assert!(
+            self.received < self.n_pipelines,
+            "received more updates than pipelines in one round"
+        );
+        for (a, u) in self.acc.iter_mut().zip(local_update) {
+            *a += u;
+        }
+        self.received += 1;
+    }
+
+    /// Number of updates received in the current round.
+    pub fn pending(&self) -> usize {
+        self.received
+    }
+
+    /// Rounds applied so far.
+    pub fn rounds_applied(&self) -> u64 {
+        self.rounds_applied
+    }
+
+    /// Step ❺: if every pipeline has reported, applies the normalized
+    /// accumulated update to `reference` and resets the round. Returns
+    /// true if an application happened.
+    pub fn try_apply(&mut self, reference: &mut [f32]) -> bool {
+        if self.received < self.n_pipelines {
+            return false;
+        }
+        let inv = 1.0 / self.n_pipelines as f32;
+        for (r, a) in reference.iter_mut().zip(&mut self.acc) {
+            *r += *a * inv;
+            *a = 0.0;
+        }
+        self.received = 0;
+        self.rounds_applied += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_alpha_is_one_over_n() {
+        let c = ElasticConfig::with_default_alpha(4);
+        assert!((c.alpha - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pull_moves_toward_reference() {
+        let mut w = vec![0.0f32, 10.0];
+        let r = vec![10.0f32, 0.0];
+        elastic_pull(&mut w, &r, 0.25);
+        assert_eq!(w, vec![2.5, 7.5]);
+    }
+
+    #[test]
+    fn pull_with_alpha_one_copies_reference() {
+        let mut w = vec![1.0f32, 2.0];
+        let r = vec![5.0f32, 6.0];
+        elastic_pull(&mut w, &r, 1.0);
+        assert_eq!(w, r);
+    }
+
+    #[test]
+    fn pull_with_alpha_zero_is_noop() {
+        let mut w = vec![1.0f32, 2.0];
+        let r = vec![5.0f32, 6.0];
+        elastic_pull(&mut w, &r, 0.0);
+        assert_eq!(w, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn accumulator_waits_for_all_pipelines() {
+        let mut acc = ReferenceAccumulator::new(2, 3);
+        let mut reference = vec![0.0f32, 0.0];
+        acc.receive(&[3.0, 0.0]);
+        assert!(!acc.try_apply(&mut reference));
+        acc.receive(&[3.0, 3.0]);
+        assert!(!acc.try_apply(&mut reference));
+        acc.receive(&[3.0, 6.0]);
+        assert!(acc.try_apply(&mut reference));
+        // Mean of the three updates.
+        assert_eq!(reference, vec![3.0, 3.0]);
+        assert_eq!(acc.rounds_applied(), 1);
+        assert_eq!(acc.pending(), 0);
+    }
+
+    #[test]
+    fn accumulator_resets_between_rounds() {
+        let mut acc = ReferenceAccumulator::new(1, 2);
+        let mut reference = vec![0.0f32];
+        acc.receive(&[2.0]);
+        acc.receive(&[4.0]);
+        assert!(acc.try_apply(&mut reference));
+        assert_eq!(reference, vec![3.0]);
+        acc.receive(&[-2.0]);
+        acc.receive(&[-4.0]);
+        assert!(acc.try_apply(&mut reference));
+        assert_eq!(reference, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulator_rejects_overflow_round() {
+        let mut acc = ReferenceAccumulator::new(1, 1);
+        acc.receive(&[1.0]);
+        acc.receive(&[1.0]);
+    }
+
+    #[test]
+    fn pull_is_contraction_between_replicas() {
+        // Two replicas pulled toward the same reference get closer to
+        // each other — the divergence-prevention property of Figure 5(b).
+        let mut a = vec![0.0f32];
+        let mut b = vec![8.0f32];
+        let r = vec![4.0f32];
+        let before = (a[0] - b[0]).abs();
+        elastic_pull(&mut a, &r, 0.5);
+        elastic_pull(&mut b, &r, 0.5);
+        assert!((a[0] - b[0]).abs() < before);
+    }
+}

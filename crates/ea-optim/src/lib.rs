@@ -1,0 +1,23 @@
+//! Optimizers and the elastic-averaging update rules.
+//!
+//! The paper's framework claim (§3.1–3.2) is that elastic averaging should
+//! be a *framework* around an arbitrary user-chosen optimizer rather than an
+//! extended-SGD optimizer (as EASGD and Crossbow are). This crate mirrors
+//! that split:
+//!
+//! * [`Optimizer`] — pluggable local optimizers ([`Sgd`], [`Momentum`],
+//!   [`Adam`], [`Asgd`]) operating on flat parameter/gradient buffers.
+//! * [`elastic`] — the framework-level update rules: the α-pull of a
+//!   parallel model toward the reference model, and the reference-side
+//!   accumulator that collects one local update per pipeline, normalizes,
+//!   and applies (Steps ❷–❺ of Figure 6 in the paper).
+//! * [`Easgd`] — the classic coupled EASGD optimizer from Zhang et al.,
+//!   kept as the related-work baseline the paper argues against.
+
+pub mod elastic;
+mod optimizers;
+mod schedule;
+
+pub use elastic::{elastic_pull, ElasticConfig, ReferenceAccumulator};
+pub use optimizers::{clip_grad_norm, Adam, AdamW, Asgd, Easgd, Momentum, OptKind, Optimizer, Sgd};
+pub use schedule::{LrSchedule, Scheduled};

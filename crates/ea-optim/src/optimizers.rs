@@ -1,0 +1,515 @@
+//! Local optimizers over flat parameter buffers.
+
+/// A first-order optimizer over a flat `f32` parameter vector.
+///
+/// Working on flat buffers decouples the optimizer from model structure,
+/// which is what lets one optimizer instance serve a pipeline stage
+/// regardless of which layers the partitioner assigned to it.
+pub trait Optimizer: Send {
+    /// Applies one update in place. `grads.len() == params.len()`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// The current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Scales the learning rate (used by warmup/decay policies in tests).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// A fresh optimizer of the same configuration with empty state, used
+    /// to give each parallel pipeline its own instance.
+    fn fresh(&self) -> Box<dyn Optimizer>;
+
+    /// Bytes of optimizer state per parameter scalar (for the memory
+    /// model: SGD = 0, momentum = 4, Adam = 8).
+    fn state_bytes_per_param(&self) -> usize;
+}
+
+/// Optimizer kinds, for configuration surfaces that need to be `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptKind {
+    /// Plain SGD.
+    Sgd { lr: f32 },
+    /// SGD with classical momentum.
+    Momentum { lr: f32, beta: f32 },
+    /// Adam with default betas.
+    Adam { lr: f32 },
+    /// Averaged SGD (Polyak–Juditsky), as AWD-LSTM uses.
+    Asgd { lr: f32 },
+}
+
+impl OptKind {
+    /// Instantiates the optimizer.
+    pub fn build(self) -> Box<dyn Optimizer> {
+        match self {
+            OptKind::Sgd { lr } => Box::new(Sgd::new(lr)),
+            OptKind::Momentum { lr, beta } => Box::new(Momentum::new(lr, beta)),
+            OptKind::Adam { lr } => Box::new(Adam::new(lr)),
+            OptKind::Asgd { lr } => Box::new(Asgd::new(lr)),
+        }
+    }
+
+    /// Optimizer state bytes per parameter scalar (for the memory model).
+    pub fn state_bytes_per_param(self) -> usize {
+        match self {
+            OptKind::Sgd { .. } => 0,
+            OptKind::Momentum { .. } => 4,
+            OptKind::Adam { .. } => 8,
+            OptKind::Asgd { .. } => 4,
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+
+    fn fresh(&self) -> Box<dyn Optimizer> {
+        Box::new(Sgd::new(self.lr))
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        0
+    }
+}
+
+/// SGD with classical momentum.
+pub struct Momentum {
+    lr: f32,
+    beta: f32,
+    velocity: Vec<f32>,
+}
+
+impl Momentum {
+    /// Momentum SGD.
+    pub fn new(lr: f32, beta: f32) -> Self {
+        Momentum { lr, beta, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.beta * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+
+    fn fresh(&self) -> Box<dyn Optimizer> {
+        Box::new(Momentum::new(self.lr, self.beta))
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        4
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Adam with default `beta1 = 0.9`, `beta2 = 0.999`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.is_empty() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
+    fn fresh(&self) -> Box<dyn Optimizer> {
+        Box::new(Adam::new(self.lr))
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        8
+    }
+}
+
+/// AdamW (decoupled weight decay): Adam's update plus `wd · lr` direct
+/// shrinkage of the weights, the regularizer transformer training uses.
+pub struct AdamW {
+    inner: Adam,
+    weight_decay: f32,
+}
+
+impl AdamW {
+    /// AdamW with decoupled weight decay `wd`.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        AdamW { inner: Adam::new(lr), weight_decay }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let shrink = 1.0 - self.inner.lr() * self.weight_decay;
+        for p in params.iter_mut() {
+            *p *= shrink;
+        }
+        self.inner.step(params, grads);
+    }
+
+    fn lr(&self) -> f32 {
+        self.inner.lr()
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.inner.set_lr(lr);
+    }
+
+    fn name(&self) -> &'static str {
+        "adamw"
+    }
+
+    fn fresh(&self) -> Box<dyn Optimizer> {
+        Box::new(AdamW::new(self.inner.lr(), self.weight_decay))
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        8
+    }
+}
+
+/// Averaged SGD (Polyak–Juditsky): plain SGD steps plus a running average
+/// of the iterates, exposed through [`Asgd::averaged`]. AWD-LSTM switches
+/// to ASGD once validation loss plateaus; the AWD analogue workload uses
+/// this optimizer.
+pub struct Asgd {
+    lr: f32,
+    t: u64,
+    avg: Vec<f32>,
+}
+
+impl Asgd {
+    /// ASGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Asgd { lr, t: 0, avg: Vec::new() }
+    }
+
+    /// The Polyak-averaged iterate (falls back to the current parameters
+    /// before the first step).
+    pub fn averaged(&self) -> &[f32] {
+        &self.avg
+    }
+}
+
+impl Optimizer for Asgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+        if self.avg.is_empty() {
+            self.avg = params.to_vec();
+            self.t = 1;
+        } else {
+            self.t += 1;
+            let w = 1.0 / self.t as f32;
+            for (a, p) in self.avg.iter_mut().zip(params.iter()) {
+                *a += w * (*p - *a);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "asgd"
+    }
+
+    fn fresh(&self) -> Box<dyn Optimizer> {
+        Box::new(Asgd::new(self.lr))
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        4
+    }
+}
+
+/// The classic *coupled* EASGD optimizer of Zhang, Choromanska & LeCun —
+/// the extended-SGD design the paper's §3.1 criticizes. Kept as a baseline:
+/// each call updates one worker's parameters AND the shared center with the
+/// symmetric elastic force.
+pub struct Easgd {
+    lr: f32,
+    rho: f32,
+}
+
+impl Easgd {
+    /// EASGD with elastic strength `rho` (the paper's α is `rho` here).
+    pub fn new(lr: f32, rho: f32) -> Self {
+        Easgd { lr, rho }
+    }
+
+    /// One coupled update of a worker and the center.
+    pub fn step_worker(&self, worker: &mut [f32], center: &mut [f32], grads: &[f32]) {
+        assert_eq!(worker.len(), center.len());
+        assert_eq!(worker.len(), grads.len());
+        for i in 0..worker.len() {
+            let diff = worker[i] - center[i];
+            worker[i] -= self.lr * grads[i] + self.rho * diff;
+            center[i] += self.rho * diff;
+        }
+    }
+
+    /// The configured elastic strength.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Clips the gradient to a maximum L2 norm, returning the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut [f32], max_norm: f32) -> f32 {
+    let norm = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: f(p) = Σ (p - 3)² / 2, grad = p - 3.
+    fn bowl_grad(params: &[f32]) -> Vec<f32> {
+        params.iter().map(|p| p - 3.0).collect()
+    }
+
+    fn converges(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = vec![0.0f32; 4];
+        for _ in 0..steps {
+            let g = bowl_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        p.iter().map(|v| (v - 3.0).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(&mut Sgd::new(0.1), 200) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        assert!(converges(&mut Momentum::new(0.05, 0.9), 300) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(&mut Adam::new(0.05), 1000) < 1e-2);
+    }
+
+    #[test]
+    fn asgd_average_trails_but_converges() {
+        let mut opt = Asgd::new(0.1);
+        let mut p = vec![0.0f32; 2];
+        for _ in 0..500 {
+            let g = bowl_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        for a in opt.averaged() {
+            assert!((a - 3.0).abs() < 0.1, "averaged {a}");
+        }
+    }
+
+    #[test]
+    fn adam_step_is_bounded_by_lr() {
+        // Adam's per-step displacement is ~lr regardless of gradient scale.
+        let mut opt = Adam::new(0.01);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1e6]);
+        assert!(p[0].abs() < 0.011, "step {}", p[0]);
+    }
+
+    #[test]
+    fn fresh_resets_state() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]);
+        let mut f = opt.fresh();
+        let mut q = vec![0.0f32];
+        f.step(&mut q, &[1.0]);
+        // A fresh optimizer's first step must match a brand-new one.
+        assert_eq!(q[0], -0.1);
+    }
+
+    #[test]
+    fn easgd_center_tracks_workers() {
+        let e = Easgd::new(0.05, 0.1);
+        let mut w1 = vec![0.0f32; 2];
+        let mut w2 = vec![0.0f32; 2];
+        let mut c = vec![0.0f32; 2];
+        for _ in 0..400 {
+            let g1 = bowl_grad(&w1);
+            e.step_worker(&mut w1, &mut c, &g1);
+            let g2 = bowl_grad(&w2);
+            e.step_worker(&mut w2, &mut c, &g2);
+        }
+        for v in &c {
+            assert!((v - 3.0).abs() < 0.2, "center {v}");
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut g = vec![3.0f32, 4.0];
+        let norm = clip_grad_norm(&mut g, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped: f32 = g.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-6);
+
+        let mut small = vec![0.1f32, 0.1];
+        clip_grad_norm(&mut small, 1.0);
+        assert_eq!(small, vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn optkind_state_bytes() {
+        assert_eq!(OptKind::Sgd { lr: 0.1 }.state_bytes_per_param(), 0);
+        assert_eq!(OptKind::Adam { lr: 0.1 }.state_bytes_per_param(), 8);
+        assert_eq!(OptKind::Adam { lr: 0.1 }.build().name(), "adam");
+    }
+}
+
+#[cfg(test)]
+mod adamw_tests {
+    use super::*;
+
+    #[test]
+    fn adamw_decays_weights_toward_zero_without_gradients() {
+        let mut opt = AdamW::new(0.1, 0.5);
+        let mut p = vec![10.0f32];
+        for _ in 0..50 {
+            opt.step(&mut p, &[0.0]);
+        }
+        assert!(p[0].abs() < 2.0, "weight decay inactive: {}", p[0]);
+    }
+
+    #[test]
+    fn adamw_with_zero_decay_matches_adam() {
+        let mut a = Adam::new(0.05);
+        let mut w = AdamW::new(0.05, 0.0);
+        let mut pa = vec![1.0f32, -2.0];
+        let mut pw = vec![1.0f32, -2.0];
+        for step in 0..20 {
+            let g = vec![(step as f32).sin(), 0.3];
+            a.step(&mut pa, &g);
+            w.step(&mut pw, &g);
+        }
+        for (x, y) in pa.iter().zip(&pw) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adamw_still_converges_on_quadratic() {
+        let mut opt = AdamW::new(0.05, 0.01);
+        let mut p = vec![0.0f32; 3];
+        for _ in 0..1000 {
+            let g: Vec<f32> = p.iter().map(|x| x - 3.0).collect();
+            opt.step(&mut p, &g);
+        }
+        for v in &p {
+            // Weight decay biases slightly below 3.0.
+            assert!((v - 3.0).abs() < 0.3, "{v}");
+        }
+    }
+}

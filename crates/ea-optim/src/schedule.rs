@@ -1,0 +1,197 @@
+//! Learning-rate schedules, composable with any [`crate::Optimizer`].
+//!
+//! The paper's framework claim (§3.2) is that elastic averaging should
+//! compose with whatever local training recipe the user picks; schedules
+//! are part of that recipe (BERT pretraining uses linear warmup/decay,
+//! AWD-LSTM decays on plateau).
+
+/// A learning-rate policy: maps a step counter to a multiplier of the
+/// base learning rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant base rate.
+    Constant,
+    /// Linear warmup over `warmup` steps, then constant.
+    Warmup {
+        /// Steps to ramp from 0 → 1.
+        warmup: u64,
+    },
+    /// Linear warmup then linear decay to zero at `total` steps (the BERT
+    /// recipe).
+    WarmupLinearDecay {
+        /// Steps to ramp from 0 → 1.
+        warmup: u64,
+        /// Total steps; the multiplier reaches 0 here.
+        total: u64,
+    },
+    /// Cosine decay from 1 → `floor` over `total` steps.
+    Cosine {
+        /// Total steps of the decay.
+        total: u64,
+        /// Final multiplier in `[0, 1]`.
+        floor: f32,
+    },
+    /// Multiply by `gamma` every `every` steps (step decay).
+    StepDecay {
+        /// Interval between decays.
+        every: u64,
+        /// Per-decay multiplier in `(0, 1]`.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || step >= warmup {
+                    1.0
+                } else {
+                    (step + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::WarmupLinearDecay { warmup, total } => {
+                assert!(total > warmup, "total must exceed warmup");
+                if step < warmup {
+                    if warmup == 0 {
+                        1.0
+                    } else {
+                        (step + 1) as f32 / warmup as f32
+                    }
+                } else if step >= total {
+                    0.0
+                } else {
+                    (total - step) as f32 / (total - warmup) as f32
+                }
+            }
+            LrSchedule::Cosine { total, floor } => {
+                let t = (step.min(total)) as f32 / total.max(1) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+            LrSchedule::StepDecay { every, gamma } => {
+                gamma.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+/// Wraps an optimizer with a learning-rate schedule. Each `step` call
+/// sets the wrapped optimizer's rate to `base_lr × multiplier(step)`.
+pub struct Scheduled {
+    inner: Box<dyn crate::Optimizer>,
+    base_lr: f32,
+    schedule: LrSchedule,
+    step: u64,
+}
+
+impl Scheduled {
+    /// Wraps `inner`, whose current learning rate becomes the base rate.
+    pub fn new(inner: Box<dyn crate::Optimizer>, schedule: LrSchedule) -> Self {
+        let base_lr = inner.lr();
+        Scheduled { inner, base_lr, schedule, step: 0 }
+    }
+
+    /// The schedule in effect.
+    pub fn schedule(&self) -> LrSchedule {
+        self.schedule
+    }
+}
+
+impl crate::Optimizer for Scheduled {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let mult = self.schedule.multiplier(self.step);
+        self.inner.set_lr(self.base_lr * mult);
+        self.inner.step(params, grads);
+        self.step += 1;
+    }
+
+    fn lr(&self) -> f32 {
+        self.inner.lr()
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.base_lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "scheduled"
+    }
+
+    fn fresh(&self) -> Box<dyn crate::Optimizer> {
+        Box::new(Scheduled {
+            inner: self.inner.fresh(),
+            base_lr: self.base_lr,
+            schedule: self.schedule,
+            step: 0,
+        })
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        self.inner.state_bytes_per_param()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Optimizer, Sgd};
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.multiplier(0), 0.25);
+        assert_eq!(s.multiplier(1), 0.5);
+        assert_eq!(s.multiplier(3), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn warmup_linear_decay_hits_zero_at_total() {
+        let s = LrSchedule::WarmupLinearDecay { warmup: 2, total: 10 };
+        assert!(s.multiplier(0) < 1.0);
+        assert_eq!(s.multiplier(2), 1.0);
+        assert_eq!(s.multiplier(10), 0.0);
+        assert!(s.multiplier(6) > 0.0 && s.multiplier(6) < 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-6);
+        assert!(s.multiplier(50) > 0.1 && s.multiplier(50) < 1.0);
+    }
+
+    #[test]
+    fn step_decay_is_multiplicative() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(10), 0.5);
+        assert_eq!(s.multiplier(25), 0.25);
+    }
+
+    #[test]
+    fn scheduled_sgd_applies_the_multiplier() {
+        let mut opt = Scheduled::new(Box::new(Sgd::new(1.0)), LrSchedule::Warmup { warmup: 2 });
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]); // lr = 0.5
+        assert!((p[0] + 0.5).abs() < 1e-6);
+        opt.step(&mut p, &[1.0]); // lr = 1.0
+        assert!((p[0] + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fresh_resets_the_step_counter() {
+        let mut opt = Scheduled::new(Box::new(Sgd::new(1.0)), LrSchedule::Warmup { warmup: 2 });
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]);
+        opt.step(&mut p, &[1.0]);
+        let mut f = opt.fresh();
+        let mut q = vec![0.0f32];
+        f.step(&mut q, &[1.0]);
+        assert!((q[0] + 0.5).abs() < 1e-6, "fresh copy must restart warmup");
+    }
+}

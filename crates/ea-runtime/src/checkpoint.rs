@@ -1,0 +1,137 @@
+//! Model checkpointing: save and restore the flat parameters of a staged
+//! model (and the elastic-averaging reference) to disk.
+//!
+//! The format is deliberately simple and self-describing: a JSON document
+//! with one base64-free `Vec<f32>` per stage plus shape metadata, so
+//! checkpoints are portable across runs and diffable in tests.
+
+use ea_autograd::StagedModel;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A serialized model snapshot.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Free-form tag (e.g. the workload name and step count).
+    pub tag: String,
+    /// Flat parameters of each stage, in stage order.
+    pub stages: Vec<Vec<f32>>,
+}
+
+impl Checkpoint {
+    /// Captures the current parameters of a model.
+    pub fn capture(model: &StagedModel, tag: impl Into<String>) -> Self {
+        Checkpoint {
+            version: 1,
+            tag: tag.into(),
+            stages: (0..model.num_stages()).map(|k| model.stage(k).params_flat()).collect(),
+        }
+    }
+
+    /// Writes the parameters back into a structurally-identical model.
+    ///
+    /// Panics if the stage count or any stage's parameter count differs —
+    /// restoring into the wrong architecture is always a bug.
+    pub fn restore(&self, model: &mut StagedModel) {
+        assert_eq!(
+            self.stages.len(),
+            model.num_stages(),
+            "checkpoint has {} stages, model has {}",
+            self.stages.len(),
+            model.num_stages()
+        );
+        for (k, params) in self.stages.iter().enumerate() {
+            model.stage_mut(k).set_params_flat(params);
+        }
+    }
+
+    /// Serializes to a writer as JSON.
+    pub fn save_to(&self, mut w: impl Write) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("checkpoint serializes");
+        w.write_all(json.as_bytes())
+    }
+
+    /// Deserializes from a reader.
+    pub fn load_from(mut r: impl Read) -> std::io::Result<Self> {
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        serde_json::from_str(&buf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Saves to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.save_to(std::fs::File::create(path)?)
+    }
+
+    /// Loads from a file path.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::load_from(std::fs::File::open(path)?)
+    }
+
+    /// Total scalar parameters in the snapshot.
+    pub fn num_params(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_tensor::TensorRng;
+
+    const CFG: AnalogueConfig =
+        AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(1));
+        let ckpt = Checkpoint::capture(&model, "test");
+        assert_eq!(ckpt.num_params(), model.num_params());
+
+        let mut buf = Vec::new();
+        ckpt.save_to(&mut buf).unwrap();
+        let loaded = Checkpoint::load_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded, ckpt);
+
+        // Restore into a differently-initialized model: parameters match
+        // the original bit-for-bit afterwards.
+        let mut other = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(99));
+        assert_ne!(other.stage(0).params_flat(), model.stage(0).params_flat());
+        loaded.restore(&mut other);
+        for k in 0..2 {
+            assert_eq!(other.stage(k).params_flat(), model.stage(k).params_flat());
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(2));
+        let ckpt = Checkpoint::capture(&model, "file-test");
+        let path = std::env::temp_dir().join("avgpipe_ckpt_test.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic]
+    fn restore_into_wrong_architecture_panics() {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(3));
+        let ckpt = Checkpoint::capture(&model, "bad");
+        let wrong_cfg = AnalogueConfig { hidden: 8, ..CFG };
+        let mut wrong = gnmt_analogue(wrong_cfg, &mut TensorRng::seed_from_u64(3));
+        ckpt.restore(&mut wrong);
+    }
+
+    #[test]
+    fn corrupt_data_is_an_error_not_a_panic() {
+        let err = Checkpoint::load_from("not json".as_bytes());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! The threaded elastic-averaging trainer: N pipelines + reference shards.
+
+use crate::ThreadedPipeline;
+use ea_autograd::{Stage, StagedModel};
+use ea_data::Batch;
+use ea_optim::Optimizer;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct ShardState {
+    /// Completed elastic-averaging rounds.
+    version: u64,
+    /// Reference weights (Step ❹'s target).
+    weights: Vec<f32>,
+    /// One pending local update per pipeline for the current round.
+    pending: Vec<Option<Vec<f32>>>,
+}
+
+/// A reference-model shard: the per-GPU process of the paper's Figure 6
+/// that owns one stage of the reference model, accumulates the local
+/// updates of all N pipelines and applies the normalized sum.
+pub struct RefShard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl RefShard {
+    /// Creates the shard with initial reference weights.
+    pub fn new(init: Vec<f32>, n_pipelines: usize) -> Self {
+        RefShard {
+            state: Mutex::new(ShardState {
+                version: 0,
+                weights: init,
+                pending: vec![None; n_pipelines],
+            }),
+            cv: Condvar::new(),
+            n: n_pipelines,
+        }
+    }
+
+    /// Step ❹: pipeline `pipe` submits its local update for the current
+    /// round. When all N have reported, Step ❺ applies the normalized sum
+    /// (in fixed pipeline order, so the result is deterministic) and
+    /// bumps the version.
+    pub fn submit(&self, pipe: usize, delta: Vec<f32>) {
+        let mut st = self.state.lock();
+        assert!(st.pending[pipe].is_none(), "pipeline {pipe} submitted twice in one round");
+        st.pending[pipe] = Some(delta);
+        if st.pending.iter().all(Option::is_some) {
+            let inv = 1.0 / self.n as f32;
+            for i in 0..self.n {
+                let delta = st.pending[i].take().unwrap();
+                for (w, d) in st.weights.iter_mut().zip(&delta) {
+                    *w += d * inv;
+                }
+            }
+            st.version += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Step ❷ support: returns the reference weights as of exactly
+    /// `version` completed rounds (blocks until reached). Because every
+    /// pipeline pulls for round `r` before submitting round `r`, the
+    /// version cannot advance past `r` while any pull is outstanding —
+    /// all pipelines observe identical reference weights.
+    pub fn weights_at(&self, version: u64) -> Vec<f32> {
+        let mut st = self.state.lock();
+        while st.version < version {
+            self.cv.wait(&mut st);
+        }
+        assert_eq!(st.version, version, "reference advanced past the pull point");
+        st.weights.clone()
+    }
+
+    /// Current reference weights (for evaluation; racy only with active
+    /// training).
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.state.lock().weights.clone()
+    }
+}
+
+/// N parallel threaded pipelines training replicas under elastic
+/// averaging, with per-stage reference shards.
+pub struct ElasticTrainer {
+    pipelines: Vec<ThreadedPipeline>,
+    shards: Vec<Arc<RefShard>>,
+    alpha: f32,
+    round: u64,
+    eval_replica: StagedModel,
+}
+
+impl ElasticTrainer {
+    /// Builds the trainer from per-pipeline stages/optimizers (all
+    /// replicas must start from identical weights for the reference
+    /// initialization to be meaningful). `alpha = None` uses 1/N.
+    pub fn new(
+        replica_stages: Vec<Vec<Stage>>,
+        replica_opts: Vec<Vec<Box<dyn Optimizer>>>,
+        micros: usize,
+        alpha: Option<f32>,
+        eval_replica: StagedModel,
+    ) -> Self {
+        let n = replica_stages.len();
+        assert!(n >= 1);
+        assert_eq!(replica_opts.len(), n);
+        let k = replica_stages[0].len();
+        let shards: Vec<Arc<RefShard>> = (0..k)
+            .map(|s| Arc::new(RefShard::new(replica_stages[0][s].params_flat(), n)))
+            .collect();
+        let pipelines = replica_stages
+            .into_iter()
+            .zip(replica_opts)
+            .map(|(stages, opts)| ThreadedPipeline::spawn(stages, opts, micros))
+            .collect();
+        ElasticTrainer {
+            pipelines,
+            shards,
+            alpha: alpha.unwrap_or(1.0 / n as f32),
+            round: 0,
+            eval_replica,
+        }
+    }
+
+    /// Number of pipelines N.
+    pub fn n_pipelines(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// One elastic-averaging round: each pipeline trains on its own batch
+    /// concurrently (scoped threads — one driver per pipeline), then pulls
+    /// toward the round-`r` reference and submits its update. Returns the
+    /// mean loss across pipelines.
+    pub fn round(&mut self, batches: &[Batch]) -> f32 {
+        assert_eq!(batches.len(), self.pipelines.len(), "one batch per pipeline");
+        let k = self.shards.len();
+        let round = self.round;
+        let alpha = self.alpha;
+        let shards = &self.shards;
+        let losses: Vec<f32> = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for (p, (pipe, batch)) in
+                self.pipelines.iter_mut().zip(batches.iter()).enumerate()
+            {
+                joins.push(scope.spawn(move || {
+                    let before: Vec<Vec<f32>> =
+                        (0..k).map(|s| pipe.stage_params(s)).collect();
+                    let loss = pipe.step(batch);
+                    for s in 0..k {
+                        let after = pipe.stage_params(s);
+                        let delta: Vec<f32> =
+                            after.iter().zip(&before[s]).map(|(a, b)| a - b).collect();
+                        // Step ❷ against the round-r reference, then ❸.
+                        let reference = shards[s].weights_at(round);
+                        pipe.pull_stage(s, reference, alpha);
+                        shards[s].submit(p, delta);
+                    }
+                    loss
+                }));
+            }
+            joins.into_iter().map(|j| j.join().expect("pipeline driver panicked")).collect()
+        });
+        self.round += 1;
+        losses.iter().sum::<f32>() / losses.len() as f32
+    }
+
+    /// Materializes the reference model into the evaluation replica.
+    pub fn eval_model(&mut self) -> &StagedModel {
+        for s in 0..self.shards.len() {
+            let w = self.shards[s].snapshot();
+            self.eval_replica.stage_mut(s).set_params_flat(&w);
+        }
+        &self.eval_replica
+    }
+
+    /// Reference weights of stage `s`.
+    pub fn reference(&self, s: usize) -> Vec<f32> {
+        self.shards[s].snapshot()
+    }
+
+    /// Replica parameters of pipeline `p`, stage `s`.
+    pub fn replica_params(&self, p: usize, s: usize) -> Vec<f32> {
+        self.pipelines[p].stage_params(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::ElasticSemantic;
+    use ea_data::SyntheticTask;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_optim::OptKind;
+    use ea_tensor::TensorRng;
+
+    const CFG: AnalogueConfig =
+        AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+
+    fn replicas(n: usize, seed: u64) -> (Vec<Vec<Stage>>, Vec<Vec<Box<dyn Optimizer>>>) {
+        let stages = (0..n)
+            .map(|_| gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed)).into_stages())
+            .collect();
+        let opts = (0..n)
+            .map(|_| {
+                (0..CFG.stages)
+                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        (stages, opts)
+    }
+
+    #[test]
+    fn threaded_elastic_matches_semantic_reference() {
+        let seed = 55;
+        let task = SyntheticTask::copy_translate(16, 4, 41);
+        let n = 2;
+
+        let (stages, opts) = replicas(n, seed);
+        let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed));
+        let mut threaded = ElasticTrainer::new(stages, opts, 2, None, eval);
+
+        let sem_replicas: Vec<StagedModel> =
+            (0..n).map(|_| gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed))).collect();
+        let sem_opts = (0..n)
+            .map(|_| {
+                (0..CFG.stages)
+                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let sem_eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed));
+        let mut semantic = ElasticSemantic::with_eval_replica(sem_replicas, sem_opts, 2, None, sem_eval);
+
+        for r in 0..4 {
+            let batches: Vec<_> = (0..n as u64).map(|i| task.batch(4, r * 2 + i)).collect();
+            let lt = threaded.round(&batches);
+            let ls = semantic.round(&batches);
+            assert!((lt - ls).abs() < 1e-6, "round {r}: {lt} vs {ls}");
+        }
+        for s in 0..CFG.stages {
+            let tw = threaded.reference(s);
+            let sw = semantic.reference(s);
+            for (a, b) in tw.iter().zip(sw) {
+                assert!((a - b).abs() < 1e-6, "reference mismatch: {a} vs {b}");
+            }
+            for p in 0..n {
+                let tp = threaded.replica_params(p, s);
+                let sp = semantic.replica(p).stage(s).params_flat();
+                for (a, b) in tp.iter().zip(&sp) {
+                    assert!((a - b).abs() < 1e-6, "replica {p} mismatch: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_stays_centered_between_replicas() {
+        let (stages, opts) = replicas(2, 99);
+        let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(99));
+        let mut t = ElasticTrainer::new(stages, opts, 2, None, eval);
+        let task = SyntheticTask::copy_translate(16, 4, 43);
+        for r in 0..6 {
+            let batches: Vec<_> = (0..2u64).map(|i| task.batch(4, r * 2 + i)).collect();
+            t.round(&batches);
+        }
+        // ‖ref − replica‖ should be smaller than ‖replica0 − replica1‖
+        // scaled distance — the reference sits between the replicas.
+        let r0 = t.replica_params(0, 0);
+        let r1 = t.replica_params(1, 0);
+        let rf = t.reference(0);
+        let d01: f32 =
+            r0.iter().zip(&r1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dr0: f32 =
+            rf.iter().zip(&r0).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        assert!(dr0 < d01 * 2.0 + 1e-3, "reference far from replicas: {dr0} vs {d01}");
+    }
+
+    #[test]
+    fn shard_applies_in_pipeline_order() {
+        let shard = RefShard::new(vec![0.0; 2], 2);
+        shard.submit(1, vec![2.0, 2.0]);
+        // Round not complete yet.
+        assert_eq!(shard.weights_at(0), vec![0.0, 0.0]);
+        shard.submit(0, vec![0.0, 4.0]);
+        assert_eq!(shard.weights_at(1), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_submit_panics() {
+        let shard = RefShard::new(vec![0.0; 1], 2);
+        shard.submit(0, vec![1.0]);
+        shard.submit(0, vec![1.0]);
+    }
+}

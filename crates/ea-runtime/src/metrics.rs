@@ -1,0 +1,137 @@
+//! Evaluation and epochs-to-target measurement (Figure 14).
+
+use crate::Trainer;
+use ea_autograd::cross_entropy_loss;
+use ea_data::{accuracy, SyntheticTask};
+
+/// Held-out evaluation of a trainer's model.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalResult {
+    /// Mean cross-entropy on held-out batches.
+    pub loss: f64,
+    /// Mean token accuracy.
+    pub accuracy: f64,
+}
+
+/// Evaluates a model on `n_batches` held-out batches.
+pub fn evaluate(
+    trainer: &mut dyn Trainer,
+    task: &SyntheticTask,
+    batch_size: usize,
+    n_batches: usize,
+) -> EvalResult {
+    let model = trainer.eval_model();
+    let mut loss = 0.0;
+    let mut acc = 0.0;
+    for i in 0..n_batches {
+        let b = task.eval_batch(batch_size, i as u64);
+        let logits = model.forward_eval(&b.input);
+        loss += cross_entropy_loss(&logits, &b.targets).loss as f64;
+        acc += accuracy(&logits, &b.targets);
+    }
+    EvalResult { loss: loss / n_batches as f64, accuracy: acc / n_batches as f64 }
+}
+
+/// Result of an epochs-to-target run.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochsToTarget {
+    /// Epochs consumed before the target was met (fractional granularity
+    /// of one evaluation interval), or `None` if never reached.
+    pub epochs: Option<f64>,
+    /// Final evaluation at stop time.
+    pub final_eval: EvalResult,
+    /// Total optimizer steps taken.
+    pub steps: u64,
+}
+
+/// Trains until the held-out metric crosses `target` (accuracy ≥ target
+/// if `by_accuracy`, else loss ≤ target), up to `max_epochs`.
+///
+/// One "epoch" is `batches_per_epoch` *consumed* batches — elastic
+/// averaging consumes N per round, so a round advances the epoch counter
+/// N times as fast, exactly like the paper's accounting (each parallel
+/// pipeline sees its own data).
+#[allow(clippy::too_many_arguments)]
+pub fn epochs_to_target(
+    trainer: &mut dyn Trainer,
+    task: &SyntheticTask,
+    batch_size: usize,
+    batches_per_epoch: usize,
+    max_epochs: usize,
+    target: f64,
+    by_accuracy: bool,
+    eval_batches: usize,
+) -> EpochsToTarget {
+    let per_step = trainer.batches_per_step();
+    let mut consumed = 0usize;
+    let mut steps = 0u64;
+    let mut next_data_index = 0u64;
+    let total = batches_per_epoch * max_epochs;
+    let eval_every = (batches_per_epoch / 4).max(per_step);
+    let mut last = EvalResult { loss: f64::INFINITY, accuracy: 0.0 };
+    let mut next_eval = eval_every;
+    while consumed < total {
+        let batch = task.batch(batch_size * per_step, next_data_index);
+        next_data_index += 1;
+        trainer.step(&batch);
+        consumed += per_step;
+        steps += 1;
+        if consumed >= next_eval {
+            next_eval += eval_every;
+            last = evaluate(trainer, task, batch_size, eval_batches);
+            let met = if by_accuracy { last.accuracy >= target } else { last.loss <= target };
+            if met {
+                return EpochsToTarget {
+                    epochs: Some(consumed as f64 / batches_per_epoch as f64),
+                    final_eval: last,
+                    steps,
+                };
+            }
+        }
+    }
+    EpochsToTarget { epochs: None, final_eval: last, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncTrainer;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_optim::{OptKind, Optimizer};
+    use ea_tensor::TensorRng;
+
+    fn trainer(seed: u64) -> SyncTrainer {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+        let model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
+        let opts: Vec<Box<dyn Optimizer>> =
+            (0..2).map(|_| OptKind::Adam { lr: 2e-2 }.build()).collect();
+        SyncTrainer::new(model, opts, 2)
+    }
+
+    #[test]
+    fn untrained_model_scores_near_chance() {
+        let mut t = trainer(1);
+        let task = SyntheticTask::copy_translate(16, 4, 51);
+        let e = evaluate(&mut t, &task, 8, 4);
+        assert!(e.accuracy < 0.3, "untrained accuracy {}", e.accuracy);
+        assert!(e.loss > 2.0, "untrained loss {}", e.loss);
+    }
+
+    #[test]
+    fn reaches_accuracy_target_on_copy_task() {
+        let mut t = trainer(2);
+        let task = SyntheticTask::copy_translate(16, 4, 52);
+        let r = epochs_to_target(&mut t, &task, 8, 40, 20, 0.9, true, 4);
+        assert!(r.epochs.is_some(), "never reached target: {:?}", r.final_eval);
+        assert!(r.final_eval.accuracy >= 0.9);
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        let mut t = trainer(3);
+        let task = SyntheticTask::copy_translate(16, 4, 53);
+        let r = epochs_to_target(&mut t, &task, 8, 10, 1, 0.0, false, 2);
+        assert!(r.epochs.is_none());
+        assert!(r.steps > 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! Deterministic single-threaded reference implementations of every
+//! training semantics compared in the paper's Figure 14.
+
+use ea_autograd::{cross_entropy_loss, ForwardCtx, StagedModel};
+use ea_data::Batch;
+use ea_optim::{elastic_pull, Optimizer, ReferenceAccumulator};
+use std::collections::VecDeque;
+
+/// A training system: consumes batches, owns a model, reports loss.
+pub trait Trainer {
+    /// Runs one optimizer step on `batch`, returning the mean training
+    /// loss over its micro-batches.
+    fn step(&mut self, batch: &Batch) -> f32;
+
+    /// The model used for evaluation (for elastic averaging this is the
+    /// reference model materialized into a replica).
+    fn eval_model(&mut self) -> &StagedModel;
+
+    /// Batches consumed per step (N for elastic averaging, 1 otherwise).
+    fn batches_per_step(&self) -> usize {
+        1
+    }
+}
+
+/// One synchronous training step with micro-batch gradient accumulation:
+/// the exact semantics of data parallelism and of all synchronous
+/// pipeline schedules (GPipe/Dapple — schedules change *when* things run,
+/// not *what* is computed).
+///
+/// Returns the mean micro-batch loss.
+pub fn train_step(
+    model: &mut StagedModel,
+    opts: &mut [Box<dyn Optimizer>],
+    batch: &Batch,
+    micros: usize,
+    step: u64,
+) -> f32 {
+    assert_eq!(opts.len(), model.num_stages(), "one optimizer per stage");
+    let micro_size = batch.batch_size.div_ceil(micros);
+    let parts = batch.split_micro(micro_size);
+    model.zero_grads();
+    let mut total_loss = 0.0;
+    for (mi, part) in parts.iter().enumerate() {
+        let ctx = ForwardCtx::train(step, mi as u64);
+        let (logits, saves) = model.forward(&part.input, &ctx);
+        let loss = cross_entropy_loss(&logits, &part.targets);
+        total_loss += loss.loss;
+        model.backward(&saves, &loss.grad);
+    }
+    let inv = 1.0 / parts.len() as f32;
+    let n_parts = parts.len() as f32;
+    for k in 0..model.num_stages() {
+        let grads: Vec<f32> = model.stage(k).grads_flat().iter().map(|g| g * inv).collect();
+        let mut params = model.stage(k).params_flat();
+        opts[k].step(&mut params, &grads);
+        model.stage_mut(k).set_params_flat(&params);
+    }
+    total_loss / n_parts
+}
+
+/// Synchronous SGD trainer ("PyTorch" row of Figure 14).
+pub struct SyncTrainer {
+    model: StagedModel,
+    opts: Vec<Box<dyn Optimizer>>,
+    micros: usize,
+    step: u64,
+}
+
+impl SyncTrainer {
+    /// Builds a synchronous trainer.
+    pub fn new(model: StagedModel, opts: Vec<Box<dyn Optimizer>>, micros: usize) -> Self {
+        SyncTrainer { model, opts, micros, step: 0 }
+    }
+}
+
+impl Trainer for SyncTrainer {
+    fn step(&mut self, batch: &Batch) -> f32 {
+        let loss = train_step(&mut self.model, &mut self.opts, batch, self.micros, self.step);
+        self.step += 1;
+        loss
+    }
+
+    fn eval_model(&mut self) -> &StagedModel {
+        &self.model
+    }
+}
+
+/// Stale-gradient trainer modeling PipeDream-style multi-version training:
+/// gradients are computed against the weights of `delay` steps ago and
+/// applied to the current weights. `delay = K−1` models PipeDream on K
+/// GPUs; `delay = 1` models PipeDream-2BW's bounded staleness.
+pub struct StaleTrainer {
+    model: StagedModel,
+    opts: Vec<Box<dyn Optimizer>>,
+    micros: usize,
+    delay: usize,
+    snapshots: VecDeque<Vec<Vec<f32>>>,
+    step: u64,
+}
+
+impl StaleTrainer {
+    /// Builds a stale trainer with the given version delay.
+    pub fn new(
+        model: StagedModel,
+        opts: Vec<Box<dyn Optimizer>>,
+        micros: usize,
+        delay: usize,
+    ) -> Self {
+        StaleTrainer { model, opts, micros, delay, snapshots: VecDeque::new(), step: 0 }
+    }
+
+    fn current_params(&self) -> Vec<Vec<f32>> {
+        (0..self.model.num_stages())
+            .map(|k| self.model.stage(k).params_flat())
+            .collect()
+    }
+
+    fn set_params(&mut self, params: &[Vec<f32>]) {
+        for (k, p) in params.iter().enumerate() {
+            self.model.stage_mut(k).set_params_flat(p);
+        }
+    }
+}
+
+impl Trainer for StaleTrainer {
+    fn step(&mut self, batch: &Batch) -> f32 {
+        let current = self.current_params();
+        self.snapshots.push_back(current.clone());
+        // The oldest retained snapshot is the version the forward pass ran
+        // with, `delay` steps behind once the pipeline is full.
+        while self.snapshots.len() > self.delay + 1 {
+            self.snapshots.pop_front();
+        }
+        let stale = self.snapshots.front().unwrap().clone();
+
+        // Compute gradients at the stale weights.
+        self.set_params(&stale);
+        self.model.zero_grads();
+        let micro_size = batch.batch_size.div_ceil(self.micros);
+        let parts = batch.split_micro(micro_size);
+        let mut total_loss = 0.0;
+        for (mi, part) in parts.iter().enumerate() {
+            let ctx = ForwardCtx::train(self.step, mi as u64);
+            let (logits, saves) = self.model.forward(&part.input, &ctx);
+            let loss = cross_entropy_loss(&logits, &part.targets);
+            total_loss += loss.loss;
+            self.model.backward(&saves, &loss.grad);
+        }
+        let inv = 1.0 / parts.len() as f32;
+        let n_parts = parts.len() as f32;
+
+        // Apply to the *current* weights — the staleness mismatch.
+        for k in 0..self.model.num_stages() {
+            let grads: Vec<f32> =
+                self.model.stage(k).grads_flat().iter().map(|g| g * inv).collect();
+            let mut params = current[k].clone();
+            self.opts[k].step(&mut params, &grads);
+            self.model.stage_mut(k).set_params_flat(&params);
+        }
+        self.step += 1;
+        total_loss / n_parts
+    }
+
+    fn eval_model(&mut self) -> &StagedModel {
+        &self.model
+    }
+}
+
+/// Deterministic single-threaded elastic averaging over `N` replicas —
+/// the semantics of AvgPipe's framework (§3.2), used as the ground truth
+/// the threaded [`crate::ElasticTrainer`] must match.
+pub struct ElasticSemantic {
+    replicas: Vec<StagedModel>,
+    opts: Vec<Vec<Box<dyn Optimizer>>>,
+    /// Per-stage reference weights.
+    reference: Vec<Vec<f32>>,
+    accs: Vec<ReferenceAccumulator>,
+    alpha: f32,
+    micros: usize,
+    step: u64,
+    /// Scratch replica holding the reference weights for evaluation.
+    eval_replica: StagedModel,
+}
+
+impl ElasticSemantic {
+    /// Builds the trainer; `extra_replica` is consumed to hold reference
+    /// weights for evaluation (must be structurally identical).
+    pub fn with_eval_replica(
+        replicas: Vec<StagedModel>,
+        opts: Vec<Vec<Box<dyn Optimizer>>>,
+        micros: usize,
+        alpha: Option<f32>,
+        eval_replica: StagedModel,
+    ) -> Self {
+        assert!(!replicas.is_empty());
+        assert_eq!(replicas.len(), opts.len());
+        let n = replicas.len();
+        let stages = replicas[0].num_stages();
+        let reference: Vec<Vec<f32>> =
+            (0..stages).map(|k| replicas[0].stage(k).params_flat()).collect();
+        let accs = reference
+            .iter()
+            .map(|r| ReferenceAccumulator::new(r.len(), n))
+            .collect();
+        ElasticSemantic {
+            replicas,
+            opts,
+            reference,
+            accs,
+            alpha: alpha.unwrap_or(1.0 / n as f32),
+            micros,
+            step: 0,
+            eval_replica,
+        }
+    }
+
+    /// Number of parallel replicas N.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// One elastic-averaging round: each replica trains on its own batch
+    /// (Step ❶), is pulled toward the reference (Step ❷), and ships its
+    /// local update (Step ❸); the reference accumulates all N updates and
+    /// applies the normalized sum (Steps ❹–❺). Returns the mean loss.
+    pub fn round(&mut self, batches: &[Batch]) -> f32 {
+        assert_eq!(batches.len(), self.replicas.len(), "one batch per replica");
+        let stages = self.replicas[0].num_stages();
+        let mut total = 0.0;
+        for (i, batch) in batches.iter().enumerate() {
+            let before: Vec<Vec<f32>> =
+                (0..stages).map(|k| self.replicas[i].stage(k).params_flat()).collect();
+            total += train_step(
+                &mut self.replicas[i],
+                &mut self.opts[i],
+                batch,
+                self.micros,
+                self.step,
+            );
+            for k in 0..stages {
+                let mut after = self.replicas[i].stage(k).params_flat();
+                // Step ❸: local update Δ = new − old.
+                let delta: Vec<f32> =
+                    after.iter().zip(&before[k]).map(|(a, b)| a - b).collect();
+                self.accs[k].receive(&delta);
+                // Step ❷: dilute toward the reference (pre-round state).
+                elastic_pull(&mut after, &self.reference[k], self.alpha);
+                self.replicas[i].stage_mut(k).set_params_flat(&after);
+            }
+        }
+        for k in 0..stages {
+            let applied = self.accs[k].try_apply(&mut self.reference[k]);
+            assert!(applied, "all replicas reported; reference must update");
+        }
+        self.step += 1;
+        total / batches.len() as f32
+    }
+
+    /// The reference weights of stage `k`.
+    pub fn reference(&self, k: usize) -> &[f32] {
+        &self.reference[k]
+    }
+
+    /// Replica `i`'s model.
+    pub fn replica(&self, i: usize) -> &StagedModel {
+        &self.replicas[i]
+    }
+}
+
+impl Trainer for ElasticSemantic {
+    fn step(&mut self, batch: &Batch) -> f32 {
+        // The Trainer interface hands one batch per step; elastic
+        // averaging consumes N. Split the provided batch N ways.
+        let n = self.replicas.len();
+        assert_eq!(batch.batch_size % n, 0, "batch must split across replicas");
+        let per = batch.batch_size / n;
+        let parts = batch.split_micro(per);
+        self.round(&parts)
+    }
+
+    fn eval_model(&mut self) -> &StagedModel {
+        for k in 0..self.eval_replica.num_stages() {
+            self.eval_replica.stage_mut(k).set_params_flat(&self.reference[k]);
+        }
+        &self.eval_replica
+    }
+
+    fn batches_per_step(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_data::SyntheticTask;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_optim::OptKind;
+    use ea_tensor::TensorRng;
+
+    fn setup(seed: u64) -> (StagedModel, Vec<Box<dyn Optimizer>>) {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let model = gnmt_analogue(cfg, &mut rng);
+        let opts = (0..2).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect();
+        (model, opts)
+    }
+
+    #[test]
+    fn sync_training_reduces_loss() {
+        let (mut model, mut opts) = setup(0);
+        let task = SyntheticTask::copy_translate(16, 4, 7);
+        let first = train_step(&mut model, &mut opts, &task.batch(8, 0), 4, 0);
+        let mut last = first;
+        for b in 1..100 {
+            last = train_step(&mut model, &mut opts, &task.batch(8, b), 4, b);
+        }
+        assert!(last < first * 0.7, "loss did not fall: {first} → {last}");
+    }
+
+    #[test]
+    fn micro_batching_matches_full_batch_for_sgd() {
+        // With SGD (no state nonlinearity), 1 micro vs 4 micros must give
+        // identical steps since gradients are averaged.
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 8, blocks: 1, stages: 2 };
+        let mut rng1 = TensorRng::seed_from_u64(3);
+        let mut rng2 = TensorRng::seed_from_u64(3);
+        let mut m1 = gnmt_analogue(cfg, &mut rng1);
+        let mut m2 = gnmt_analogue(cfg, &mut rng2);
+        let mut o1: Vec<Box<dyn Optimizer>> =
+            (0..2).map(|_| OptKind::Sgd { lr: 0.1 }.build()).collect();
+        let mut o2: Vec<Box<dyn Optimizer>> =
+            (0..2).map(|_| OptKind::Sgd { lr: 0.1 }.build()).collect();
+        let task = SyntheticTask::copy_translate(16, 4, 9);
+        let batch = task.batch(8, 0);
+        train_step(&mut m1, &mut o1, &batch, 1, 0);
+        train_step(&mut m2, &mut o2, &batch, 4, 0);
+        for k in 0..2 {
+            let p1 = m1.stage(k).params_flat();
+            let p2 = m2.stage(k).params_flat();
+            for (a, b) in p1.iter().zip(&p2) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_trainer_with_zero_delay_matches_sync() {
+        let (m1, o1) = setup(5);
+        let (m2, o2) = setup(5);
+        let task = SyntheticTask::copy_translate(16, 4, 11);
+        let mut sync = SyncTrainer::new(m1, o1, 2);
+        let mut stale = StaleTrainer::new(m2, o2, 2, 0);
+        for b in 0..5 {
+            let batch = task.batch(4, b);
+            let ls = sync.step(&batch);
+            let lt = stale.step(&batch);
+            assert!((ls - lt).abs() < 1e-6, "step {b}: {ls} vs {lt}");
+        }
+    }
+
+    #[test]
+    fn stale_gradients_diverge_from_sync() {
+        let (m1, o1) = setup(6);
+        let (m2, o2) = setup(6);
+        let task = SyntheticTask::copy_translate(16, 4, 12);
+        let mut sync = SyncTrainer::new(m1, o1, 2);
+        let mut stale = StaleTrainer::new(m2, o2, 2, 5);
+        for b in 0..8 {
+            let batch = task.batch(4, b);
+            sync.step(&batch);
+            stale.step(&batch);
+        }
+        let p1 = sync.eval_model().stage(0).params_flat();
+        let p2 = stale.eval_model().stage(0).params_flat();
+        assert!(p1.iter().zip(&p2).any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn elastic_round_keeps_replicas_close() {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+        let mut rng = TensorRng::seed_from_u64(8);
+        let replicas: Vec<StagedModel> =
+            (0..2).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(8))).collect();
+        let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(8));
+        let _ = &mut rng;
+        let opts = (0..2)
+            .map(|_| {
+                (0..2)
+                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut ea = ElasticSemantic::with_eval_replica(replicas, opts, 2, None, eval);
+        let task = SyntheticTask::copy_translate(16, 4, 13);
+        for r in 0..20 {
+            let b0 = task.batch(4, 2 * r);
+            let b1 = task.batch(4, 2 * r + 1);
+            ea.round(&[b0, b1]);
+        }
+        // Replicas see different data but the elastic pull keeps them
+        // within a bounded distance of each other.
+        let p0 = ea.replica(0).stage(0).params_flat();
+        let p1 = ea.replica(1).stage(0).params_flat();
+        let dist: f32 = p0.iter().zip(&p1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let norm: f32 = p0.iter().map(|a| a * a).sum::<f32>().sqrt();
+        assert!(dist < 0.5 * norm, "replicas diverged: dist {dist}, norm {norm}");
+    }
+
+    #[test]
+    fn elastic_training_reduces_loss_on_reference_model() {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+        let replicas: Vec<StagedModel> =
+            (0..2).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(21))).collect();
+        let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(21));
+        let opts = (0..2)
+            .map(|_| {
+                (0..2)
+                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut ea = ElasticSemantic::with_eval_replica(replicas, opts, 2, None, eval);
+        let task = SyntheticTask::copy_translate(16, 4, 14);
+        let mut idx = 0u64;
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..120 {
+            let b0 = task.batch(4, idx);
+            let b1 = task.batch(4, idx + 1);
+            idx += 2;
+            last = ea.round(&[b0, b1]);
+            first.get_or_insert(last);
+        }
+        assert!(last < first.unwrap() * 0.7, "loss {first:?} → {last}");
+    }
+}

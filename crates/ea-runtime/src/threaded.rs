@@ -1,0 +1,448 @@
+//! One worker thread per pipeline stage, channels as the interconnect.
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Select, Sender};
+use ea_autograd::{cross_entropy_loss, ForwardCtx, Stage, StageSaved};
+use ea_data::Batch;
+use ea_optim::Optimizer;
+use ea_tensor::Tensor;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// A micro-batch flowing forward: `(micro index, activation, targets)`.
+/// Targets ride along so the last stage can compute the loss locally, as
+/// in a real pipeline runtime.
+type FwdMsg = (u64, Tensor, Vec<usize>, ForwardCtx);
+/// A gradient flowing backward: `(micro index, grad)`.
+type BwdMsg = (u64, Tensor);
+
+enum Cmd {
+    /// Apply the optimizer after `expect_bwd` backward micro-batches of
+    /// the current batch, scaling accumulated grads by `scale`; reply when
+    /// done.
+    Opt { expect_bwd: u64, scale: f32, reply: Sender<()> },
+    /// Send back the flat parameters.
+    GetParams { reply: Sender<Vec<f32>> },
+    /// Overwrite the flat parameters.
+    SetParams { params: Vec<f32>, reply: Sender<()> },
+    /// Elastic pull: `w ← (1−α)·w + α·reference`.
+    Pull { reference: Vec<f32>, alpha: f32, reply: Sender<()> },
+    /// Shut down.
+    Stop,
+}
+
+struct Worker {
+    stage: Stage,
+    opt: Box<dyn Optimizer>,
+    fwd_in: Receiver<FwdMsg>,
+    bwd_in: Option<Receiver<BwdMsg>>,
+    fwd_out: Option<Sender<FwdMsg>>,
+    bwd_out: Option<Sender<BwdMsg>>,
+    cmd: Receiver<Cmd>,
+    losses: Option<Sender<f32>>,
+    stash: HashMap<u64, (StageSaved, Option<Vec<usize>>)>,
+    bwd_seen: u64,
+    pending_opt: Option<(u64, f32, Sender<()>)>,
+}
+
+impl Worker {
+    fn handle_fwd(&mut self, (micro, x, targets, ctx): FwdMsg) {
+        let (y, saved) = self.stage.forward(&x, &ctx);
+        match (&self.fwd_out, &self.losses) {
+            (Some(next), _) => {
+                self.stash.insert(micro, (saved, None));
+                next.send((micro, y, targets, ctx)).expect("next stage hung up");
+            }
+            (None, Some(losses)) => {
+                // Last stage: loss, immediate backward, grad upstream.
+                let out = cross_entropy_loss(&y, &targets);
+                losses.send(out.loss).expect("driver hung up");
+                let dx = self.stage.backward(&saved, &out.grad);
+                self.after_bwd();
+                if let Some(prev) = &self.bwd_out {
+                    prev.send((micro, dx)).expect("prev stage hung up");
+                }
+            }
+            _ => unreachable!("stage must have a successor or be last"),
+        }
+    }
+
+    fn handle_bwd(&mut self, (micro, dy): BwdMsg) {
+        let (saved, _) = self.stash.remove(&micro).expect("backward without stash");
+        let dx = self.stage.backward(&saved, &dy);
+        self.after_bwd();
+        if let Some(prev) = &self.bwd_out {
+            prev.send((micro, dx)).expect("prev stage hung up");
+        }
+    }
+
+    fn after_bwd(&mut self) {
+        self.bwd_seen += 1;
+        let ready = matches!(&self.pending_opt, Some((expect, _, _)) if self.bwd_seen >= *expect);
+        if ready {
+            let (_, scale, reply) = self.pending_opt.take().unwrap();
+            self.apply_opt(scale);
+            reply.send(()).expect("driver hung up");
+        }
+    }
+
+    fn apply_opt(&mut self, scale: f32) {
+        let grads: Vec<f32> = self.stage.grads_flat().iter().map(|g| g * scale).collect();
+        let mut params = self.stage.params_flat();
+        self.opt.step(&mut params, &grads);
+        self.stage.set_params_flat(&params);
+        self.stage.zero_grads();
+        self.bwd_seen = 0;
+    }
+
+    fn handle_cmd(&mut self, cmd: Cmd) -> bool {
+        match cmd {
+            Cmd::Opt { expect_bwd, scale, reply } => {
+                if self.bwd_seen >= expect_bwd {
+                    self.apply_opt(scale);
+                    reply.send(()).expect("driver hung up");
+                } else {
+                    self.pending_opt = Some((expect_bwd, scale, reply));
+                }
+                true
+            }
+            Cmd::GetParams { reply } => {
+                reply.send(self.stage.params_flat()).expect("driver hung up");
+                true
+            }
+            Cmd::SetParams { params, reply } => {
+                self.stage.set_params_flat(&params);
+                reply.send(()).expect("driver hung up");
+                true
+            }
+            Cmd::Pull { reference, alpha, reply } => {
+                let mut params = self.stage.params_flat();
+                ea_optim::elastic_pull(&mut params, &reference, alpha);
+                self.stage.set_params_flat(&params);
+                reply.send(()).expect("driver hung up");
+                true
+            }
+            Cmd::Stop => false,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            let mut sel = Select::new();
+            let fwd_idx = sel.recv(&self.fwd_in);
+            let bwd_idx = self.bwd_in.as_ref().map(|r| sel.recv(r));
+            let cmd_idx = sel.recv(&self.cmd);
+            let op = sel.select();
+            let idx = op.index();
+            if idx == fwd_idx {
+                match op.recv(&self.fwd_in) {
+                    Ok(msg) => self.handle_fwd(msg),
+                    Err(_) => return,
+                }
+            } else if Some(idx) == bwd_idx {
+                let rx = self.bwd_in.as_ref().unwrap();
+                match op.recv(rx) {
+                    Ok(msg) => self.handle_bwd(msg),
+                    Err(_) => return,
+                }
+            } else if idx == cmd_idx {
+                match op.recv(&self.cmd) {
+                    Ok(cmd) => {
+                        if !self.handle_cmd(cmd) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+}
+
+/// A running pipeline: K stage-worker threads executing real training.
+///
+/// Numerically identical to [`crate::train_step`] on the same stages
+/// (verified by tests): forwards never mutate state, and each stage's
+/// gradient accumulation happens in micro-batch order because channels
+/// are FIFO and the downstream stage emits gradients in order.
+pub struct ThreadedPipeline {
+    fwd0: Sender<FwdMsg>,
+    cmds: Vec<Sender<Cmd>>,
+    losses: Receiver<f32>,
+    handles: Vec<JoinHandle<()>>,
+    micros: usize,
+    step: u64,
+    stages: usize,
+}
+
+impl ThreadedPipeline {
+    /// Spawns one worker thread per stage.
+    pub fn spawn(stages: Vec<Stage>, opts: Vec<Box<dyn Optimizer>>, micros: usize) -> Self {
+        let k = stages.len();
+        assert!(k >= 1);
+        assert_eq!(opts.len(), k);
+        assert!(micros >= 1);
+
+        let mut fwd_txs = Vec::with_capacity(k);
+        let mut fwd_rxs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = unbounded::<FwdMsg>();
+            fwd_txs.push(tx);
+            fwd_rxs.push(rx);
+        }
+        let mut bwd_txs: Vec<Option<Sender<BwdMsg>>> = vec![None; k];
+        let mut bwd_rxs: Vec<Option<Receiver<BwdMsg>>> = vec![None; k];
+        for i in 0..k.saturating_sub(1) {
+            let (tx, rx) = unbounded::<BwdMsg>();
+            // Stage i+1 sends gradients back to stage i.
+            bwd_txs[i + 1] = Some(tx);
+            bwd_rxs[i] = Some(rx);
+        }
+        let (loss_tx, loss_rx) = unbounded::<f32>();
+        let mut cmd_txs = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+
+        let mut fwd_rxs = fwd_rxs.into_iter();
+        let mut stages_it = stages.into_iter();
+        let mut opts_it = opts.into_iter();
+        for i in 0..k {
+            let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+            cmd_txs.push(cmd_tx);
+            let worker = Worker {
+                stage: stages_it.next().unwrap(),
+                opt: opts_it.next().unwrap(),
+                fwd_in: fwd_rxs.next().unwrap(),
+                bwd_in: bwd_rxs[i].take(),
+                fwd_out: if i + 1 < k { Some(fwd_txs[i + 1].clone()) } else { None },
+                bwd_out: bwd_txs[i].take(),
+                cmd: cmd_rx,
+                losses: if i + 1 == k { Some(loss_tx.clone()) } else { None },
+                stash: HashMap::new(),
+                bwd_seen: 0,
+                pending_opt: None,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("stage{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn stage worker"),
+            );
+        }
+
+        ThreadedPipeline {
+            fwd0: fwd_txs[0].clone(),
+            cmds: cmd_txs,
+            losses: loss_rx,
+            handles,
+            micros,
+            step: 0,
+            stages: k,
+        }
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Streams one batch through the pipeline and applies the optimizer;
+    /// returns the mean micro-batch loss.
+    pub fn step(&mut self, batch: &Batch) -> f32 {
+        let micro_size = batch.batch_size.div_ceil(self.micros);
+        let parts = batch.split_micro(micro_size);
+        let m = parts.len();
+        for (mi, part) in parts.into_iter().enumerate() {
+            let ctx = ForwardCtx::train(self.step, mi as u64);
+            self.fwd0
+                .send((mi as u64, part.input, part.targets, ctx))
+                .expect("stage 0 hung up");
+        }
+        let mut total = 0.0;
+        for _ in 0..m {
+            total += self.losses.recv().expect("pipeline died");
+        }
+        // One optimizer step per stage once its backwards are in.
+        let (tx, rx) = bounded(self.stages);
+        for cmd in &self.cmds {
+            cmd.send(Cmd::Opt {
+                expect_bwd: m as u64,
+                scale: 1.0 / m as f32,
+                reply: tx.clone(),
+            })
+            .expect("stage hung up");
+        }
+        for _ in 0..self.stages {
+            rx.recv().expect("opt reply lost");
+        }
+        self.step += 1;
+        total / m as f32
+    }
+
+    /// Reads stage `k`'s flat parameters.
+    pub fn stage_params(&self, k: usize) -> Vec<f32> {
+        let (tx, rx) = bounded(1);
+        self.cmds[k].send(Cmd::GetParams { reply: tx }).expect("stage hung up");
+        rx.recv().expect("params reply lost")
+    }
+
+    /// Overwrites stage `k`'s flat parameters.
+    pub fn set_stage_params(&self, k: usize, params: Vec<f32>) {
+        let (tx, rx) = bounded(1);
+        self.cmds[k]
+            .send(Cmd::SetParams { params, reply: tx })
+            .expect("stage hung up");
+        rx.recv().expect("set reply lost");
+    }
+
+    /// Applies the elastic pull on stage `k`.
+    pub fn pull_stage(&self, k: usize, reference: Vec<f32>, alpha: f32) {
+        let (tx, rx) = bounded(1);
+        self.cmds[k]
+            .send(Cmd::Pull { reference, alpha, reply: tx })
+            .expect("stage hung up");
+        rx.recv().expect("pull reply lost");
+    }
+}
+
+impl Drop for ThreadedPipeline {
+    fn drop(&mut self) {
+        for cmd in &self.cmds {
+            let _ = cmd.send(Cmd::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_step;
+    use ea_data::SyntheticTask;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_optim::OptKind;
+    use ea_tensor::TensorRng;
+
+    fn build(seed: u64, stages: usize) -> (Vec<Stage>, Vec<Box<dyn Optimizer>>) {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages };
+        let model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
+        let opts = (0..stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect();
+        (model.into_stages(), opts)
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded_exactly() {
+        let task = SyntheticTask::copy_translate(16, 4, 31);
+        // Single-threaded reference.
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 3 };
+        let mut ref_model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(77));
+        let mut ref_opts: Vec<Box<dyn Optimizer>> =
+            (0..3).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect();
+        // Threaded run on identically-seeded stages.
+        let (stages, opts) = build(77, 3);
+        let mut pipe = ThreadedPipeline::spawn(stages, opts, 4);
+        for b in 0..5 {
+            let batch = task.batch(8, b);
+            let l_ref = train_step(&mut ref_model, &mut ref_opts, &batch, 4, b);
+            let l_thr = pipe.step(&batch);
+            assert!(
+                (l_ref - l_thr).abs() < 1e-6,
+                "batch {b}: losses {l_ref} vs {l_thr}"
+            );
+        }
+        for k in 0..3 {
+            let a = ref_model.stage(k).params_flat();
+            let b = pipe.stage_params(k);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= 1e-6, "stage {k}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_decreases_through_threaded_pipeline() {
+        let (stages, opts) = build(5, 2);
+        let mut pipe = ThreadedPipeline::spawn(stages, opts, 2);
+        let task = SyntheticTask::copy_translate(16, 4, 32);
+        let first = pipe.step(&task.batch(8, 0));
+        let mut last = first;
+        for b in 1..100 {
+            last = pipe.step(&task.batch(8, b));
+        }
+        assert!(last < first * 0.8, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn get_set_params_roundtrip() {
+        let (stages, opts) = build(6, 2);
+        let pipe = ThreadedPipeline::spawn(stages, opts, 1);
+        let p = pipe.stage_params(0);
+        let doubled: Vec<f32> = p.iter().map(|v| v * 2.0).collect();
+        pipe.set_stage_params(0, doubled.clone());
+        assert_eq!(pipe.stage_params(0), doubled);
+    }
+
+    #[test]
+    fn pull_moves_halfway() {
+        let (stages, opts) = build(7, 2);
+        let pipe = ThreadedPipeline::spawn(stages, opts, 1);
+        let p = pipe.stage_params(1);
+        let zero = vec![0.0f32; p.len()];
+        pipe.pull_stage(1, zero, 0.5);
+        let after = pipe.stage_params(1);
+        for (a, b) in after.iter().zip(&p) {
+            assert!((a - b * 0.5).abs() < 1e-7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_optim::OptKind;
+    use ea_tensor::TensorRng;
+
+    const CFG: AnalogueConfig =
+        AnalogueConfig { vocab: 16, seq: 4, hidden: 8, blocks: 2, stages: 2 };
+
+    fn pipe(micros: usize) -> ThreadedPipeline {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0));
+        let opts = (0..2).map(|_| OptKind::Sgd { lr: 0.1 }.build()).collect();
+        ThreadedPipeline::spawn(model.into_stages(), opts, micros)
+    }
+
+    #[test]
+    fn dropping_an_idle_pipeline_joins_cleanly() {
+        let p = pipe(2);
+        drop(p); // must not hang: Stop is delivered through the cmd channel
+    }
+
+    #[test]
+    fn dropping_after_work_joins_cleanly() {
+        let mut p = pipe(2);
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 1);
+        p.step(&task.batch(4, 0));
+        drop(p);
+    }
+
+    #[test]
+    fn pipeline_survives_many_rapid_batches() {
+        let mut p = pipe(4);
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 2);
+        for b in 0..50 {
+            let loss = p.step(&task.batch(8, b));
+            assert!(loss.is_finite(), "batch {b} produced {loss}");
+        }
+    }
+
+    #[test]
+    fn odd_batch_sizes_split_into_uneven_micros() {
+        let mut p = pipe(4);
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 3);
+        // 7 samples into 4 micro-batches: 2+2+2+1.
+        let loss = p.step(&task.batch(7, 0));
+        assert!(loss.is_finite());
+    }
+}

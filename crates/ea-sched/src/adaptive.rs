@@ -1,0 +1,113 @@
+//! Algorithm 1: the adaptive advance-forward-propagation controller.
+
+/// Runtime controller that decides how many micro-batches to forward in
+/// advance, following the paper's Algorithm 1: start at the 1F1B depth
+/// (`K−1`), then after each iteration increase the depth while training
+/// keeps getting faster *and* memory headroom remains; freeze otherwise.
+#[derive(Clone, Debug)]
+pub struct AdvanceController {
+    advance: usize,
+    max_advance: usize,
+    mem_limit: u64,
+    last_time_us: Option<f64>,
+    frozen: bool,
+}
+
+impl AdvanceController {
+    /// Controller for `k` stages and `m` micro-batches under `mem_limit`
+    /// bytes of per-device memory.
+    pub fn new(k: usize, m: usize, mem_limit: u64) -> Self {
+        assert!(k >= 1);
+        AdvanceController {
+            advance: k - 1,          // Line 1: equivalent to 1F1B.
+            max_advance: m + k - 1,  // Full AFAB depth.
+            mem_limit,
+            last_time_us: None,
+            frozen: false,
+        }
+    }
+
+    /// The current advance depth `a` (warmup of stage 0).
+    pub fn advance(&self) -> usize {
+        self.advance
+    }
+
+    /// True once the controller has stopped increasing the depth.
+    pub fn frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Reports the measured `(iteration time, peak memory)` of the last
+    /// iteration; returns the depth to use for the next one (Lines 9–10).
+    pub fn observe(&mut self, time_us: f64, peak_mem: u64) -> usize {
+        if self.frozen {
+            return self.advance;
+        }
+        let is_faster = match self.last_time_us {
+            None => true, // First observation: always try one deeper.
+            Some(prev) => time_us < prev,
+        };
+        // Conservative headroom estimate: growing the depth by one adds at
+        // most one more stashed micro-batch; require 2% headroom.
+        let over_limit = peak_mem > self.mem_limit;
+        let mem_available = (peak_mem as f64) < self.mem_limit as f64 * 0.98;
+        if is_faster && mem_available && self.advance < self.max_advance {
+            self.last_time_us = Some(time_us);
+            self.advance += 1;
+        } else {
+            // Settle on the last depth that helped. If the *current*
+            // depth overflowed the budget, back out of it regardless of
+            // whether it was faster.
+            if (over_limit || !is_faster) && self.advance > 0 {
+                self.advance -= 1;
+            }
+            self.frozen = true;
+        }
+        self.advance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_1f1b_depth() {
+        let c = AdvanceController::new(6, 16, 1 << 30);
+        assert_eq!(c.advance(), 5);
+    }
+
+    #[test]
+    fn grows_while_faster_then_freezes() {
+        let mut c = AdvanceController::new(4, 8, 1 << 30);
+        // Iteration times keep improving for 3 rounds then regress.
+        let times = [100.0, 90.0, 80.0, 85.0];
+        let mut depths = vec![c.advance()];
+        for t in times {
+            depths.push(c.observe(t, 100));
+        }
+        // 3 → 4 → 5 → 6, then regression steps back to 5 and freezes.
+        assert_eq!(depths, vec![3, 4, 5, 6, 5]);
+        assert!(c.frozen());
+        assert_eq!(c.observe(1.0, 0), 5, "frozen controller never moves");
+    }
+
+    #[test]
+    fn memory_limit_stops_growth() {
+        let mut c = AdvanceController::new(4, 8, 1000);
+        let d = c.observe(100.0, 999);
+        assert_eq!(d, 3, "no headroom: keep 1F1B depth");
+        assert!(c.frozen());
+    }
+
+    #[test]
+    fn never_exceeds_afab_depth() {
+        let mut c = AdvanceController::new(2, 4, u64::MAX);
+        let mut t = 1000.0;
+        for _ in 0..20 {
+            c.observe(t, 0);
+            t *= 0.9;
+        }
+        assert!(c.advance() <= 4 + 2 - 1);
+    }
+}

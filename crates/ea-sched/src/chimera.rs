@@ -1,0 +1,214 @@
+//! Chimera-style bidirectional pipelines (Li & Hoefler, SC'21) — the
+//! remaining related-work baseline of the paper's §8.
+//!
+//! Chimera runs two synchronous 1F1B pipelines in *opposite directions*
+//! over the same K devices: the "down" pipeline places stage `k` on
+//! device `k`, the "up" pipeline places stage `k` on device `K−1−k`.
+//! Each pipeline processes half of the batch's micro-batches, so one
+//! pipeline's bubbles are filled by the other's work. The price is two
+//! stage replicas per device (stage `k` and stage `K−1−k`) plus a
+//! gradient synchronization between the paired replicas of every stage
+//! at the end of each batch.
+
+use crate::{PipelinePlan, WarmupPolicy};
+use ea_sim::{CLabel, Instr, Program, Stream, StreamId};
+
+/// Tag base for Chimera activation stashes (distinct from weights).
+const ACT_TAG_BASE: u64 = 1 << 32;
+
+/// Generates `n_batches` of Chimera's bidirectional schedule. Requires an
+/// even micro-batch count; each direction handles `M/2` micro-batches
+/// with a 1F1B schedule, then the paired stage replicas all-reduce their
+/// gradients (an exchange of the stage's parameter bytes between the two
+/// hosting devices) and step.
+pub fn chimera_program(plan: &PipelinePlan, n_batches: usize) -> Program {
+    let kk = plan.stages();
+    assert!(plan.micros.is_multiple_of(2), "Chimera needs an even micro-batch count");
+    assert!(kk >= 2, "Chimera needs at least two stages");
+    let m = plan.micros / 2; // micro-batches per direction
+    let demand = plan.demand();
+
+    // Stream ids: direction d (0 = down, 1 = up), stage k → d*K + k.
+    let sid = |d: usize, k: usize| -> StreamId { d * kk + k };
+    let device_of = |d: usize, k: usize| -> usize {
+        if d == 0 {
+            k
+        } else {
+            kk - 1 - k
+        }
+    };
+
+    let mut prog = Program::new();
+    for d in 0..2 {
+        for k in 0..kk {
+            prog.add_stream(Stream::new(
+                device_of(d, k),
+                format!("chimera-{}/stage{k}", if d == 0 { "down" } else { "up" }),
+            ));
+        }
+    }
+
+    for d in 0..2 {
+        for k in 0..kk {
+            let s = sid(d, k);
+            let stream = &mut prog.streams[s];
+            stream.push(Instr::Alloc { bytes: plan.stage_weight_footprint(k), tag: 0 });
+            let w = WarmupPolicy::OneFOneB.warmup(k, kk, m);
+            for b in 0..n_batches as u64 {
+                let g0 = b * m as u64;
+                let fwd = |stream: &mut Stream, g: u64| {
+                    if k > 0 {
+                        stream.push(Instr::Recv { from: sid(d, k - 1), tag: g as u32 });
+                    }
+                    stream.push(Instr::Alloc {
+                        bytes: plan.stage_stash_bytes(k),
+                        tag: ACT_TAG_BASE + g,
+                    });
+                    stream.push(Instr::Compute {
+                        flops: plan.stage_fwd_flops(k),
+                        demand,
+                        label: CLabel::Fwd { micro: g as u32 },
+                    });
+                    if k + 1 < kk {
+                        stream.push(Instr::Send {
+                            to: sid(d, k + 1),
+                            bytes: plan.stage_out_bytes(k),
+                            tag: g as u32,
+                        });
+                    }
+                };
+                let bwd = |stream: &mut Stream, g: u64| {
+                    if k + 1 < kk {
+                        stream.push(Instr::Recv { from: sid(d, k + 1), tag: g as u32 });
+                    }
+                    stream.push(Instr::Compute {
+                        flops: plan.stage_bwd_flops(k),
+                        demand,
+                        label: CLabel::Bwd { micro: g as u32 },
+                    });
+                    stream.push(Instr::Free { tag: ACT_TAG_BASE + g });
+                    if k > 0 {
+                        stream.push(Instr::Send {
+                            to: sid(d, k - 1),
+                            bytes: plan.stage_out_bytes(k - 1),
+                            tag: g as u32,
+                        });
+                    }
+                };
+                for i in 0..w {
+                    fwd(stream, g0 + i as u64);
+                }
+                for i in w..m {
+                    fwd(stream, g0 + i as u64);
+                    bwd(stream, g0 + (i - w) as u64);
+                }
+                for i in (m - w)..m {
+                    bwd(stream, g0 + i as u64);
+                }
+                // Synchronize the paired replica of this stage: the other
+                // direction hosts stage k on the mirrored device.
+                let peer = sid(1 - d, k);
+                stream.push(Instr::Send {
+                    to: peer,
+                    bytes: plan.stage_param_bytes(k),
+                    tag: b as u32,
+                });
+                stream.push(Instr::Recv { from: peer, tag: b as u32 });
+                stream.push(Instr::Compute {
+                    flops: plan.stage_opt_flops(k),
+                    demand: 1.0,
+                    label: CLabel::Opt,
+                });
+            }
+        }
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition_model, pipeline_program, PipeStyle};
+    use ea_models::{bert_spec, gnmt_spec};
+    use ea_sim::{ClusterConfig, Simulator};
+
+    fn plan(m: usize) -> PipelinePlan {
+        let spec = gnmt_spec();
+        let cluster = ClusterConfig::paper_testbed();
+        let part = partition_model(&spec, 6);
+        PipelinePlan::new(spec, cluster, part, 128, m, 8)
+    }
+
+    #[test]
+    fn chimera_program_is_wellformed_and_runs() {
+        let plan = plan(16);
+        let prog = chimera_program(&plan, 2);
+        prog.validate_channels().unwrap();
+        let sim = Simulator::new(plan.cluster.clone());
+        let r = sim.run(&prog).unwrap();
+        assert!(r.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn bidirectional_pipelines_fill_bubbles_on_fast_interconnect() {
+        // Chimera's claim: the two directions fill each other's bubbles.
+        // On an NVLink-class single node (where its gradient sync is
+        // cheap) it beats a single synchronous 1F1B pipeline.
+        let spec = gnmt_spec();
+        let cluster = ClusterConfig {
+            nodes: 1,
+            gpus_per_node: 6,
+            ..ClusterConfig::paper_testbed()
+        };
+        let part = partition_model(&spec, 6);
+        let plan = PipelinePlan::new(spec, cluster.clone(), part, 128, 16, 8);
+        let sim = Simulator::new(cluster);
+        let chm = sim.run(&chimera_program(&plan, 2)).unwrap();
+        let dap = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), 2)).unwrap();
+        assert!(
+            chm.makespan_us < dap.makespan_us,
+            "chimera {} vs dapple {}",
+            chm.makespan_us,
+            dap.makespan_us
+        );
+    }
+
+    #[test]
+    fn chimera_pays_a_gradient_sync_wall_on_slow_ethernet() {
+        // The paper's §8 argument: bidirectional designs are "strict to
+        // communication efficiency". On 1 Gbps Ethernet the paired-stage
+        // gradient exchange dominates and Chimera loses to plain 1F1B.
+        let plan = plan(16);
+        let sim = Simulator::new(plan.cluster.clone());
+        let chm = sim.run(&chimera_program(&plan, 2)).unwrap();
+        let dap = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), 2)).unwrap();
+        assert!(
+            chm.makespan_us > dap.makespan_us,
+            "chimera {} vs dapple {}",
+            chm.makespan_us,
+            dap.makespan_us
+        );
+    }
+
+    #[test]
+    fn chimera_doubles_weight_memory_per_device() {
+        let plan = plan(16);
+        let sim = Simulator::new(plan.cluster.clone());
+        let chm = sim.run(&chimera_program(&plan, 1)).unwrap();
+        let dap = sim
+            .run(&pipeline_program(&plan, &PipeStyle::dapple(), 1))
+            .unwrap();
+        // Two stage replicas per device: noticeably more weight memory.
+        assert!(chm.max_peak_mem() > dap.max_peak_mem());
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_micro_count_rejected() {
+        let spec = bert_spec();
+        let cluster = ClusterConfig::paper_testbed();
+        let part = partition_model(&spec, 6);
+        let plan = PipelinePlan::new(spec, cluster, part, 32, 1, 8);
+        chimera_program(&plan, 1);
+    }
+}

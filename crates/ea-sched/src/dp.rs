@@ -1,0 +1,132 @@
+//! Data-parallel (PyTorch DDP) baseline program.
+
+use ea_models::ModelSpec;
+use ea_sim::{CLabel, ClusterConfig, Instr, Program, Stream};
+
+/// Generates `n_batches` iterations of synchronous data parallelism: every
+/// device holds a full model replica, computes forward/backward on its
+/// share of the batch, then ring-allreduces the full gradient.
+///
+/// The ring transfers `2·(D−1)·(G/D)` bytes per device per batch; with a
+/// ~1 GB gradient over 1 Gbps Ethernet this is the communication wall the
+/// paper measures ("data parallelism takes over 4 days to train GNMT").
+pub fn data_parallel_program(
+    spec: &ModelSpec,
+    cluster: &ClusterConfig,
+    batch: usize,
+    n_batches: usize,
+    opt_state_per_param: usize,
+) -> Program {
+    let d = cluster.num_devices();
+    assert!(d >= 1);
+    assert!(batch >= d, "batch smaller than device count");
+    let per_dev = batch / d;
+
+    let params = spec.total_param_bytes();
+    let full_fwd_flops = spec.total_fwd_flops();
+    let stash_per_sample: u64 = spec.layers.iter().map(|l| l.act_stash_bytes).sum();
+    let demand = spec.demand(per_dev);
+    let chunk = params / d as u64;
+
+    let mut prog = Program::new();
+    for dev in 0..d {
+        prog.add_stream(Stream::new(dev, format!("ddp/rank{dev}")));
+    }
+    for dev in 0..d {
+        let stream = &mut prog.streams[dev];
+        // Replica + grads + optimizer state.
+        let weight_bytes = 2 * params + params / 4 * opt_state_per_param as u64;
+        stream.push(Instr::Alloc { bytes: weight_bytes, tag: 0 });
+        for b in 0..n_batches as u64 {
+            let act_tag = 1 + b;
+            stream.push(Instr::Alloc { bytes: stash_per_sample * per_dev as u64, tag: act_tag });
+            stream.push(Instr::Compute {
+                flops: full_fwd_flops * per_dev as f64,
+                demand,
+                label: CLabel::Fwd { micro: b as u32 },
+            });
+            stream.push(Instr::Compute {
+                flops: full_fwd_flops * per_dev as f64 * spec.bwd_factor,
+                demand,
+                label: CLabel::Bwd { micro: b as u32 },
+            });
+            stream.push(Instr::Free { tag: act_tag });
+            // Ring allreduce: 2(D−1) rounds of chunk exchanges.
+            if d > 1 {
+                let next = (dev + 1) % d;
+                let prev = (dev + d - 1) % d;
+                for r in 0..2 * (d - 1) as u64 {
+                    let tag = (b * 2 * d as u64 + r) as u32;
+                    stream.push(Instr::Send { to: next, bytes: chunk, tag });
+                    stream.push(Instr::Recv { from: prev, tag });
+                }
+            }
+            stream.push(Instr::Compute {
+                flops: (params / 4) as f64 * 4.0,
+                demand: 1.0,
+                label: CLabel::Opt,
+            });
+        }
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_models::{awd_spec, gnmt_spec};
+    use ea_sim::Simulator;
+
+    #[test]
+    fn ddp_program_runs() {
+        let spec = awd_spec();
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let prog = data_parallel_program(&spec, &cluster, 40, 2, 0);
+        prog.validate_channels().unwrap();
+        let sim = Simulator::new(cluster);
+        let r = sim.run(&prog).unwrap();
+        assert!(r.makespan_us > 0.0);
+    }
+
+    #[test]
+    fn allreduce_dominates_for_big_models_on_slow_network() {
+        // GNMT gradients (~0.8 GB) over 1 Gbps: communication must dwarf
+        // compute, reproducing the paper's data-parallelism wall.
+        let spec = gnmt_spec();
+        let cluster = ClusterConfig::paper_testbed();
+        let sim = Simulator::new(cluster.clone());
+        let r = sim
+            .run(&data_parallel_program(&spec, &cluster, 128, 1, 8))
+            .unwrap();
+        let d0 = &r.devices[0];
+        assert!(
+            d0.comm_blocked_us > d0.busy_us,
+            "comm {} vs busy {}",
+            d0.comm_blocked_us,
+            d0.busy_us
+        );
+    }
+
+    #[test]
+    fn single_device_has_no_transfers() {
+        let spec = awd_spec();
+        let cluster = ClusterConfig { nodes: 1, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
+        let prog = data_parallel_program(&spec, &cluster, 40, 1, 0);
+        assert!(prog.streams[0]
+            .instrs
+            .iter()
+            .all(|i| !matches!(i, Instr::Send { .. } | Instr::Recv { .. })));
+    }
+
+    #[test]
+    fn ddp_memory_includes_full_replica_everywhere() {
+        let spec = awd_spec();
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let sim = Simulator::new(cluster.clone());
+        let r = sim
+            .run(&data_parallel_program(&spec, &cluster, 40, 1, 8))
+            .unwrap();
+        let min_peak = r.devices.iter().map(|d| d.peak_mem).min().unwrap();
+        assert!(min_peak as f64 >= 2.0 * spec.total_param_bytes() as f64);
+    }
+}

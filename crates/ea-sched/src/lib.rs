@@ -1,0 +1,55 @@
+//! Pipeline schedules and the model partitioner.
+//!
+//! Everything the paper compares is expressed here as a *program
+//! generator*: a pure function from a workload cost model
+//! (`ea_models::ModelSpec`), a cluster (`ea_sim::ClusterConfig`) and
+//! parallelism degrees to an `ea_sim::Program` — per-stream instruction
+//! lists the simulator executes. One generator per system:
+//!
+//! | System            | Generator                                   |
+//! |-------------------|---------------------------------------------|
+//! | PyTorch DDP       | [`data_parallel_program`]                   |
+//! | GPipe             | [`pipeline_program`] with [`WarmupPolicy::Afab`]  |
+//! | Dapple            | [`WarmupPolicy::OneFOneB`], flush per batch  |
+//! | PipeDream         | [`PipeStyle::pipedream`] (K−k weight versions, no flush) |
+//! | PipeDream-2BW     | [`PipeStyle::pipedream_2bw`] (2 versions, no flush) |
+//! | AvgPipe           | [`PipeStyle::avgpipe`] (N pipelines, advance forward propagation, reference model) |
+//!
+//! The advance-forward-propagation knob is the per-stage warmup depth:
+//! `warmup_k = min(M, max(K−1−k, a−k))`, which degenerates to 1F1B at
+//! `a = K−1` and to AFAB at `a = M+K−1` — exactly the trade-off of the
+//! paper's §4.2.
+
+//! ```
+//! use ea_models::awd_spec;
+//! use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+//! use ea_sim::{ClusterConfig, Simulator};
+//!
+//! let spec = awd_spec();
+//! let cluster = ClusterConfig::paper_testbed_two_nodes();
+//! let partition = partition_model(&spec, cluster.num_devices());
+//! let plan = PipelinePlan::new(spec, cluster.clone(), partition, 40, 8, 4);
+//!
+//! // Two parallel pipelines with advance forward propagation depth 5.
+//! let program = pipeline_program(&plan, &PipeStyle::avgpipe(2, 5), 2);
+//! let result = Simulator::new(cluster).run(&program).unwrap();
+//! assert!(result.makespan_us > 0.0 && !result.is_oom());
+//! ```
+
+mod adaptive;
+mod chimera;
+mod dp;
+mod partition;
+mod pipeline;
+mod plan;
+mod recompute;
+mod validate;
+
+pub use adaptive::AdvanceController;
+pub use chimera::chimera_program;
+pub use dp::data_parallel_program;
+pub use partition::{partition_model, partition_model_hetero, Partition};
+pub use pipeline::{pipeline_program, PipeStyle, WarmupPolicy};
+pub use plan::PipelinePlan;
+pub use recompute::RecomputePolicy;
+pub use validate::{check_stash_bounds, max_live_activations};

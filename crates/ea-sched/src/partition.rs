@@ -1,0 +1,202 @@
+//! PipeDream-style model partitioner.
+//!
+//! The paper reuses PipeDream's partitioning (§6: "we employ the existing
+//! method used in PipeDream") rather than inventing one; so do we: a
+//! dynamic program over contiguous layer ranges that minimizes the
+//! bottleneck stage's compute time, breaking ties toward cheaper stage
+//! boundaries (smaller activations crossing between devices).
+
+use ea_models::ModelSpec;
+
+/// A partition of a model into contiguous stages: `ranges[k] = (lo, hi)`
+/// gives the layers `[lo, hi)` of stage `k`.
+pub type Partition = Vec<(usize, usize)>;
+
+/// Cost of a candidate stage: total fwd+bwd FLOPs of its layers.
+fn stage_flops(spec: &ModelSpec, lo: usize, hi: usize) -> f64 {
+    let (_, fwd, _, _) = spec.stage_cost(lo, hi);
+    fwd * (1.0 + spec.bwd_factor)
+}
+
+/// Splits `spec` into `k` contiguous, non-empty stages minimizing the
+/// bottleneck stage FLOPs (secondary: total boundary bytes).
+pub fn partition_model(spec: &ModelSpec, k: usize) -> Partition {
+    partition_model_hetero(spec, &vec![1.0; k])
+}
+
+/// Heterogeneity-aware variant: stage `s` lands on a device with relative
+/// speed `speeds[s]`, so the dynamic program minimizes the bottleneck
+/// *time* `stage_flops / speed` instead of raw FLOPs. With uniform speeds
+/// this is exactly [`partition_model`]; with a straggler it shifts layers
+/// away from the slow device (an extension beyond the paper, exercised by
+/// the straggler experiment).
+pub fn partition_model_hetero(spec: &ModelSpec, speeds: &[f64]) -> Partition {
+    let k = speeds.len();
+    let l = spec.num_layers();
+    assert!(k >= 1 && k <= l, "cannot split {l} layers into {k} stages");
+    assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+
+    // dp[i][s] = minimal bottleneck for the first i layers in s stages;
+    // tie-broken by accumulated boundary bytes. choice[i][s] = split point.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![(inf, u64::MAX); k + 1]; l + 1];
+    let mut choice = vec![vec![0usize; k + 1]; l + 1];
+    dp[0][0] = (0.0, 0);
+    for s in 1..=k {
+        for i in s..=l {
+            for j in (s - 1)..i {
+                let (prev_cost, prev_comm) = dp[j][s - 1];
+                if prev_cost.is_infinite() {
+                    continue;
+                }
+                let cost = prev_cost.max(stage_flops(spec, j, i) / speeds[s - 1]);
+                let comm = prev_comm.saturating_add(if j > 0 {
+                    spec.boundary_bytes(j)
+                } else {
+                    0
+                });
+                if cost < dp[i][s].0 - 1e-9
+                    || ((cost - dp[i][s].0).abs() <= 1e-9 && comm < dp[i][s].1)
+                {
+                    dp[i][s] = (cost, comm);
+                    choice[i][s] = j;
+                }
+            }
+        }
+    }
+
+    let mut ranges = Vec::with_capacity(k);
+    let mut i = l;
+    for s in (1..=k).rev() {
+        let j = choice[i][s];
+        ranges.push((j, i));
+        i = j;
+    }
+    ranges.reverse();
+    ranges
+}
+
+/// Brute-force optimal bottleneck (exponential; test oracle only).
+#[cfg(test)]
+fn brute_force_bottleneck(spec: &ModelSpec, k: usize) -> f64 {
+    fn rec(spec: &ModelSpec, lo: usize, k: usize, l: usize) -> f64 {
+        if k == 1 {
+            return stage_flops(spec, lo, l);
+        }
+        let mut best = f64::INFINITY;
+        for mid in lo + 1..=l - (k - 1) {
+            let c = stage_flops(spec, lo, mid).max(rec(spec, mid, k - 1, l));
+            best = best.min(c);
+        }
+        best
+    }
+    rec(spec, 0, k, spec.num_layers())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_models::{awd_spec, bert_spec, gnmt_spec};
+
+    fn check_valid(spec: &ModelSpec, p: &Partition, k: usize) {
+        assert_eq!(p.len(), k);
+        assert_eq!(p[0].0, 0);
+        assert_eq!(p[k - 1].1, spec.num_layers());
+        for w in p.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "stages must be contiguous");
+        }
+        for &(lo, hi) in p {
+            assert!(lo < hi, "stage must be non-empty");
+        }
+    }
+
+    #[test]
+    fn partitions_are_valid_for_all_workloads() {
+        for spec in [gnmt_spec(), bert_spec(), awd_spec()] {
+            for k in 1..=4 {
+                let p = partition_model(&spec, k);
+                check_valid(&spec, &p, k);
+            }
+        }
+        check_valid(&gnmt_spec(), &partition_model(&gnmt_spec(), 6), 6);
+        check_valid(&bert_spec(), &partition_model(&bert_spec(), 6), 6);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_bottleneck() {
+        for spec in [gnmt_spec(), awd_spec()] {
+            for k in 2..=4 {
+                let p = partition_model(&spec, k);
+                let got: f64 = p
+                    .iter()
+                    .map(|&(lo, hi)| stage_flops(&spec, lo, hi))
+                    .fold(0.0, f64::max);
+                let want = brute_force_bottleneck(&spec, k);
+                assert!(
+                    (got - want).abs() <= 1e-6 * want,
+                    "{} k={k}: dp {got} vs brute {want}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn six_way_bert_is_roughly_balanced() {
+        let spec = bert_spec();
+        let p = partition_model(&spec, 6);
+        let costs: Vec<f64> = p.iter().map(|&(lo, hi)| stage_flops(&spec, lo, hi)).collect();
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.5, "imbalance {max}/{min}");
+    }
+
+    #[test]
+    fn single_stage_is_whole_model() {
+        let spec = awd_spec();
+        let p = partition_model(&spec, 1);
+        assert_eq!(p, vec![(0, spec.num_layers())]);
+    }
+}
+
+#[cfg(test)]
+mod hetero_tests {
+    use super::*;
+    use ea_models::gnmt_spec;
+
+    #[test]
+    fn uniform_speeds_match_plain_partitioner() {
+        let spec = gnmt_spec();
+        assert_eq!(partition_model(&spec, 6), partition_model_hetero(&spec, &[1.0; 6]));
+    }
+
+    #[test]
+    fn straggler_stage_gets_fewer_flops() {
+        let spec = gnmt_spec();
+        let mut speeds = vec![1.0; 6];
+        speeds[2] = 0.4;
+        let p = partition_model_hetero(&spec, &speeds);
+        let flops = |lo: usize, hi: usize| -> f64 {
+            let (_, f, _, _) = spec.stage_cost(lo, hi);
+            f
+        };
+        let straggler = flops(p[2].0, p[2].1);
+        let others: f64 = (0..6)
+            .filter(|&s| s != 2)
+            .map(|s| flops(p[s].0, p[s].1))
+            .fold(0.0, f64::max);
+        assert!(
+            straggler < others,
+            "straggler stage must carry less work: {straggler} vs {others}"
+        );
+        // Bottleneck time is balanced: slow stage time within 2.5x of max.
+        let t_straggler = straggler / 0.4;
+        assert!(t_straggler < others / 0.4, "time-balanced: {t_straggler}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        partition_model_hetero(&gnmt_spec(), &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,497 @@
+//! The unified pipeline-program generator.
+
+use crate::PipelinePlan;
+use ea_sim::{CLabel, Instr, Program, Stream, StreamId};
+
+/// Tag base separating activation-stash allocations from persistent
+/// (weights/optimizer) allocations in the memory ledger.
+pub(crate) const ACT_TAG_BASE: u64 = 1 << 32;
+
+/// How many forward micro-batches a stage runs ahead of its backwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmupPolicy {
+    /// All-forward-all-backward (GPipe): every forward first.
+    Afab,
+    /// One-forward-one-backward (PipeDream-2BW / Dapple): stage `k` warms
+    /// up `K−1−k` forwards, then strictly alternates.
+    OneFOneB,
+    /// Advance forward propagation (the paper's §4.2): stage 0 warms up
+    /// `a ∈ [K−1, M+K−1]` forwards, stage `k` warms up `a−k` (never less
+    /// than its 1F1B warmup). `a = K−1` ≡ 1F1B; `a = M+K−1` ≡ AFAB.
+    Advance {
+        /// The advance depth `a` for stage 0.
+        a: usize,
+    },
+}
+
+impl WarmupPolicy {
+    /// Warmup depth of stage `k` of `kk` stages with `m` micro-batches.
+    pub fn warmup(&self, k: usize, kk: usize, m: usize) -> usize {
+        let floor = kk - 1 - k;
+        match *self {
+            WarmupPolicy::Afab => m,
+            WarmupPolicy::OneFOneB => floor.min(m),
+            // The last stage backwards immediately after each forward —
+            // advancing it buys nothing and only stashes memory (see the
+            // paper's Figure 7(c), where GPU 2 alternates strictly) —
+            // except at the full-AFAB depth, where every stage forwards
+            // everything.
+            WarmupPolicy::Advance { a } => {
+                if k + 1 == kk && a < m + kk - 1 {
+                    0
+                } else {
+                    a.saturating_sub(k).max(floor).min(m)
+                }
+            }
+        }
+    }
+}
+
+/// Full description of a pipelined training system.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeStyle {
+    /// The forward/backward interleaving.
+    pub warmup: WarmupPolicy,
+    /// Number of parallel pipelines `N` (1 for all baselines).
+    pub n_pipelines: usize,
+    /// True: synchronous pipeline flush per batch (GPipe, Dapple,
+    /// AvgPipe). False: continuous pipeline across batches with stale
+    /// weights (PipeDream, PipeDream-2BW).
+    pub flush_per_batch: bool,
+    /// Weight versions stage `k` must hold beyond the working copy:
+    /// PipeDream keeps `K−k` total, 2BW keeps 2, synchronous keeps 1.
+    pub extra_versions_at: fn(k: usize, kk: usize) -> usize,
+    /// True: add the reference-model streams and elastic-averaging
+    /// messages (AvgPipe).
+    pub elastic: bool,
+}
+
+fn versions_one(_k: usize, _kk: usize) -> usize {
+    0
+}
+fn versions_two(_k: usize, _kk: usize) -> usize {
+    1
+}
+fn versions_pipedream(k: usize, kk: usize) -> usize {
+    kk - k - 1
+}
+
+impl PipeStyle {
+    /// GPipe: AFAB, synchronous, single pipeline.
+    pub fn gpipe() -> Self {
+        PipeStyle {
+            warmup: WarmupPolicy::Afab,
+            n_pipelines: 1,
+            flush_per_batch: true,
+            extra_versions_at: versions_one,
+            elastic: false,
+        }
+    }
+
+    /// Dapple: 1F1B (early backward), synchronous, single pipeline.
+    pub fn dapple() -> Self {
+        PipeStyle {
+            warmup: WarmupPolicy::OneFOneB,
+            n_pipelines: 1,
+            flush_per_batch: true,
+            extra_versions_at: versions_one,
+            elastic: false,
+        }
+    }
+
+    /// PipeDream: continuous 1F1B with `K−k` weight versions on stage `k`.
+    pub fn pipedream() -> Self {
+        PipeStyle {
+            warmup: WarmupPolicy::OneFOneB,
+            n_pipelines: 1,
+            flush_per_batch: false,
+            extra_versions_at: versions_pipedream,
+            elastic: false,
+        }
+    }
+
+    /// PipeDream-2BW: continuous 1F1B with double-buffered weights.
+    pub fn pipedream_2bw() -> Self {
+        PipeStyle {
+            warmup: WarmupPolicy::OneFOneB,
+            n_pipelines: 1,
+            flush_per_batch: false,
+            extra_versions_at: versions_two,
+            elastic: false,
+        }
+    }
+
+    /// AvgPipe: `n` parallel pipelines with advance forward propagation
+    /// depth `a` and the elastic-averaging reference model.
+    pub fn avgpipe(n: usize, a: usize) -> Self {
+        PipeStyle {
+            warmup: WarmupPolicy::Advance { a },
+            n_pipelines: n,
+            flush_per_batch: true,
+            extra_versions_at: versions_one,
+            elastic: true,
+        }
+    }
+
+    /// AvgPipe with a specific warmup policy (used by the schedule
+    /// ablation of Figure 17).
+    pub fn avgpipe_with(n: usize, warmup: WarmupPolicy) -> Self {
+        PipeStyle {
+            warmup,
+            n_pipelines: n,
+            flush_per_batch: true,
+            extra_versions_at: versions_one,
+            elastic: true,
+        }
+    }
+}
+
+/// One stage-event: forward or backward of a global micro-batch.
+#[derive(Clone, Copy)]
+enum Ev {
+    Fwd(u64),
+    Bwd(u64),
+    Opt,
+}
+
+/// Orders the fwd/bwd events of one stage.
+fn stage_events(
+    style: &PipeStyle,
+    k: usize,
+    kk: usize,
+    m: usize,
+    n_batches: usize,
+) -> Vec<Ev> {
+    let w = style.warmup.warmup(k, kk, m);
+    let mut evs = Vec::new();
+    if style.flush_per_batch {
+        for b in 0..n_batches as u64 {
+            let g0 = b * m as u64;
+            for i in 0..w {
+                evs.push(Ev::Fwd(g0 + i as u64));
+            }
+            for i in w..m {
+                evs.push(Ev::Fwd(g0 + i as u64));
+                evs.push(Ev::Bwd(g0 + (i - w) as u64));
+            }
+            for i in (m - w)..m {
+                evs.push(Ev::Bwd(g0 + i as u64));
+            }
+            evs.push(Ev::Opt);
+        }
+    } else {
+        // Continuous pipeline: warmup once, then alternate across batch
+        // boundaries; optimizer steps slot in after each M-th backward.
+        // The warmup depth is bounded by the whole stream, not by one
+        // batch — PipeDream with M = 1 still keeps K−k minibatches in
+        // flight.
+        let total = (n_batches * m) as u64;
+        let w = style.warmup.warmup(k, kk, total as usize);
+        let mut bwd_done = 0u64;
+        for g in 0..w as u64 {
+            evs.push(Ev::Fwd(g));
+        }
+        for g in w as u64..total {
+            evs.push(Ev::Fwd(g));
+            evs.push(Ev::Bwd(bwd_done));
+            bwd_done += 1;
+            if bwd_done.is_multiple_of(m as u64) {
+                evs.push(Ev::Opt);
+            }
+        }
+        while bwd_done < total {
+            evs.push(Ev::Bwd(bwd_done));
+            bwd_done += 1;
+            if bwd_done.is_multiple_of(m as u64) {
+                evs.push(Ev::Opt);
+            }
+        }
+    }
+    evs
+}
+
+/// Generates the complete program for `n_batches` training iterations of
+/// a pipelined system described by `style` over `plan`.
+///
+/// Stream layout: pipeline `p` stage `k` is stream `p*K + k`; if
+/// `style.elastic`, the reference-model process of stage `k` is stream
+/// `N*K + k`. All stage-`k` streams live on device `k`.
+pub fn pipeline_program(plan: &PipelinePlan, style: &PipeStyle, n_batches: usize) -> Program {
+    let kk = plan.stages();
+    let m = plan.micros;
+    let n = style.n_pipelines;
+    assert!(n >= 1);
+    assert!(kk <= plan.cluster.num_devices(), "more stages than devices");
+
+    let sid = |p: usize, k: usize| -> StreamId { p * kk + k };
+    let ref_sid = |k: usize| -> StreamId { n * kk + k };
+
+    let mut prog = Program::new();
+    for p in 0..n {
+        for k in 0..kk {
+            prog.add_stream(Stream::new(plan.device_of_stage(k), format!("pipe{p}/stage{k}")));
+        }
+    }
+    if style.elastic {
+        for k in 0..kk {
+            prog.add_stream(Stream::new(plan.device_of_stage(k), format!("ref/stage{k}")));
+        }
+    }
+
+    let demand = plan.demand();
+    for p in 0..n {
+        for k in 0..kk {
+            let s = sid(p, k);
+            let params = plan.stage_param_bytes(k);
+            let extra = (style.extra_versions_at)(k, kk) as u64;
+            // Working weights + grads + optimizer state, plus stashed
+            // extra weight versions (PipeDream / 2BW).
+            let weight_bytes = plan.stage_weight_footprint(k) + extra * params;
+            let stream = &mut prog.streams[s];
+            stream.push(Instr::Alloc { bytes: weight_bytes, tag: 0 });
+
+            for ev in stage_events(style, k, kk, m, n_batches) {
+                match ev {
+                    Ev::Fwd(g) => {
+                        if k > 0 {
+                            stream.push(Instr::Recv { from: sid(p, k - 1), tag: g as u32 });
+                        }
+                        stream.push(Instr::Alloc {
+                            bytes: plan.stage_stash_bytes(k),
+                            tag: ACT_TAG_BASE + g,
+                        });
+                        stream.push(Instr::Compute {
+                            flops: plan.stage_fwd_flops(k),
+                            demand,
+                            label: CLabel::Fwd { micro: g as u32 },
+                        });
+                        if k + 1 < kk {
+                            stream.push(Instr::Send {
+                                to: sid(p, k + 1),
+                                bytes: plan.stage_out_bytes(k),
+                                tag: g as u32,
+                            });
+                        }
+                    }
+                    Ev::Bwd(g) => {
+                        if k + 1 < kk {
+                            stream.push(Instr::Recv { from: sid(p, k + 1), tag: g as u32 });
+                        }
+                        stream.push(Instr::Compute {
+                            flops: plan.stage_bwd_flops(k),
+                            demand,
+                            label: CLabel::Bwd { micro: g as u32 },
+                        });
+                        stream.push(Instr::Free { tag: ACT_TAG_BASE + g });
+                        if k > 0 {
+                            stream.push(Instr::Send {
+                                to: sid(p, k - 1),
+                                bytes: plan.stage_out_bytes(k - 1),
+                                tag: g as u32,
+                            });
+                        }
+                    }
+                    Ev::Opt => {
+                        stream.push(Instr::Compute {
+                            flops: plan.stage_opt_flops(k),
+                            demand: 1.0,
+                            label: CLabel::Opt,
+                        });
+                        if style.elastic {
+                            // Step ❸: ship the local update to the
+                            // reference process (same device, message
+                            // queue) and apply the α-pull (Step ❷).
+                            stream.push(Instr::Send {
+                                to: ref_sid(k),
+                                bytes: params,
+                                tag: (p * n_batches * 2) as u32, // rewritten below
+                            });
+                            stream.push(Instr::Compute {
+                                flops: (params / 4) as f64 * 3.0,
+                                demand: 1.0,
+                                label: CLabel::EaUpdate,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite elastic Send tags to per-channel sequence numbers and build
+    // the reference streams (Steps ❹–❺).
+    if style.elastic {
+        for p in 0..n {
+            for k in 0..kk {
+                let s = sid(p, k);
+                let mut seq = 0u32;
+                for i in &mut prog.streams[s].instrs {
+                    if let Instr::Send { to, tag, .. } = i {
+                        if *to == ref_sid(k) {
+                            *tag = seq;
+                            seq += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for k in 0..kk {
+            let params = plan.stage_param_bytes(k);
+            let r = ref_sid(k);
+            let stream = &mut prog.streams[r];
+            stream.push(Instr::Alloc { bytes: params, tag: 1 });
+            for b in 0..n_batches as u32 {
+                for p in 0..n {
+                    stream.push(Instr::Recv { from: sid(p, k), tag: b });
+                }
+                // Normalize and apply the accumulated update.
+                stream.push(Instr::Compute {
+                    flops: (params / 4) as f64 * (n as f64 + 1.0),
+                    demand: 1.0,
+                    label: CLabel::EaUpdate,
+                });
+            }
+        }
+    }
+
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_model;
+    use ea_models::{awd_spec, gnmt_spec};
+    use ea_sim::{ClusterConfig, Simulator};
+
+    fn small_plan(m: usize) -> PipelinePlan {
+        let spec = awd_spec();
+        let cluster = ClusterConfig::paper_testbed_two_nodes();
+        let part = partition_model(&spec, 4);
+        PipelinePlan::new(spec, cluster, part, 40, m, 0)
+    }
+
+    #[test]
+    fn warmup_policy_degenerations() {
+        // a = K−1 ≡ 1F1B; a = M+K−1 ≡ AFAB.
+        let (kk, m) = (4, 8);
+        for k in 0..kk {
+            assert_eq!(
+                WarmupPolicy::Advance { a: kk - 1 }.warmup(k, kk, m),
+                WarmupPolicy::OneFOneB.warmup(k, kk, m)
+            );
+            assert_eq!(
+                WarmupPolicy::Advance { a: m + kk - 1 }.warmup(k, kk, m),
+                WarmupPolicy::Afab.warmup(k, kk, m)
+            );
+        }
+        // Intermediate depths sit strictly between.
+        let mid = WarmupPolicy::Advance { a: kk + 1 }.warmup(0, kk, m);
+        assert!(mid > kk - 1 && mid < m);
+    }
+
+    #[test]
+    fn all_styles_produce_runnable_programs() {
+        let plan = small_plan(8);
+        let sim = Simulator::new(plan.cluster.clone());
+        for style in [
+            PipeStyle::gpipe(),
+            PipeStyle::dapple(),
+            PipeStyle::pipedream(),
+            PipeStyle::pipedream_2bw(),
+            PipeStyle::avgpipe(2, 5),
+        ] {
+            let prog = pipeline_program(&plan, &style, 2);
+            prog.validate_channels().unwrap_or_else(|e| panic!("{e}"));
+            let r = sim.run(&prog).unwrap_or_else(|e| panic!("{e}"));
+            assert!(r.makespan_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn afab_is_not_slower_than_1f1b_under_slow_network() {
+        // The paper's §4.1 observation: with 1 Gbps Ethernet, 1F1B loses
+        // overlap and AFAB wins on time.
+        let spec = gnmt_spec();
+        let cluster = ClusterConfig::paper_testbed();
+        let part = partition_model(&spec, 6);
+        // The paper's AvgPipe operating point for GNMT: 64 micro-batches
+        // of 2 samples.
+        let plan = PipelinePlan::new(spec, cluster.clone(), part, 128, 64, 8);
+        let sim = Simulator::new(cluster);
+        let afab = sim.run(&pipeline_program(&plan, &PipeStyle::gpipe(), 2)).unwrap();
+        let f1b = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), 2)).unwrap();
+        assert!(
+            afab.makespan_us < f1b.makespan_us,
+            "AFAB {} vs 1F1B {}",
+            afab.makespan_us,
+            f1b.makespan_us
+        );
+    }
+
+    #[test]
+    fn f1b_uses_less_memory_than_afab() {
+        let plan = small_plan(8);
+        let sim = Simulator::new(plan.cluster.clone());
+        let afab = sim.run(&pipeline_program(&plan, &PipeStyle::gpipe(), 1)).unwrap();
+        let f1b = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), 1)).unwrap();
+        assert!(f1b.max_peak_mem() < afab.max_peak_mem());
+    }
+
+    #[test]
+    fn advance_fp_interpolates_time_and_memory() {
+        let spec = gnmt_spec();
+        let cluster = ClusterConfig::paper_testbed();
+        let part = partition_model(&spec, 6);
+        let plan = PipelinePlan::new(spec, cluster.clone(), part, 128, 32, 8);
+        let sim = Simulator::new(cluster);
+        let run = |style: PipeStyle| sim.run(&pipeline_program(&plan, &style, 2)).unwrap();
+        let afab = run(PipeStyle::avgpipe_with(1, WarmupPolicy::Afab));
+        let f1b = run(PipeStyle::avgpipe_with(1, WarmupPolicy::OneFOneB));
+        let adv = run(PipeStyle::avgpipe_with(1, WarmupPolicy::Advance { a: 10 }));
+        assert!(adv.makespan_us <= f1b.makespan_us * 1.001);
+        assert!(adv.max_peak_mem() <= afab.max_peak_mem());
+        assert!(adv.max_peak_mem() >= f1b.max_peak_mem());
+    }
+
+    #[test]
+    fn pipedream_holds_more_weight_memory_on_stage0() {
+        let plan = small_plan(1);
+        let sim = Simulator::new(plan.cluster.clone());
+        let pd = sim.run(&pipeline_program(&plan, &PipeStyle::pipedream(), 1)).unwrap();
+        let dp = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), 1)).unwrap();
+        assert!(pd.devices[0].peak_mem > dp.devices[0].peak_mem);
+    }
+
+    #[test]
+    fn elastic_streams_exist_and_run() {
+        let plan = small_plan(4);
+        let style = PipeStyle::avgpipe(3, 3);
+        let prog = pipeline_program(&plan, &style, 2);
+        // 3 pipelines × 4 stages + 4 reference streams.
+        assert_eq!(prog.streams.len(), 3 * 4 + 4);
+        let sim = Simulator::new(plan.cluster.clone());
+        sim.run(&prog).unwrap();
+    }
+
+    #[test]
+    fn n_pipelines_increase_throughput_per_batch_pair() {
+        // Two pipelines process two batches in (much) less than twice the
+        // one-pipeline time when utilization is low.
+        let plan = small_plan(8);
+        let sim = Simulator::new(plan.cluster.clone());
+        let one = sim
+            .run(&pipeline_program(&plan, &PipeStyle::avgpipe(1, 3), 2))
+            .unwrap();
+        let two = sim
+            .run(&pipeline_program(&plan, &PipeStyle::avgpipe(2, 3), 2))
+            .unwrap();
+        // Two pipelines do 2× the work; time should grow far less than 2×.
+        assert!(
+            two.makespan_us < 1.6 * one.makespan_us,
+            "1 pipe {} µs, 2 pipes {} µs",
+            one.makespan_us,
+            two.makespan_us
+        );
+    }
+}

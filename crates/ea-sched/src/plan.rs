@@ -1,0 +1,169 @@
+//! Precomputed per-stage quantities shared by all schedule generators.
+
+use crate::Partition;
+use ea_models::ModelSpec;
+use ea_sim::ClusterConfig;
+
+/// A fully-resolved pipeline execution plan: workload × cluster ×
+/// partition × parallelism degrees `(M micro-batches, micro-batch size)`.
+#[derive(Clone, Debug)]
+pub struct PipelinePlan {
+    /// The workload cost model.
+    pub spec: ModelSpec,
+    /// The cluster.
+    pub cluster: ClusterConfig,
+    /// Contiguous layer ranges per stage.
+    pub partition: Partition,
+    /// Samples per batch.
+    pub batch: usize,
+    /// Micro-batches per batch (the paper's `M`).
+    pub micros: usize,
+    /// Optimizer state bytes per parameter scalar (0 SGD, 8 Adam).
+    pub opt_state_per_param: usize,
+}
+
+impl PipelinePlan {
+    /// Builds a plan; `batch` must be divisible by `micros`.
+    pub fn new(
+        spec: ModelSpec,
+        cluster: ClusterConfig,
+        partition: Partition,
+        batch: usize,
+        micros: usize,
+        opt_state_per_param: usize,
+    ) -> Self {
+        assert!(micros >= 1 && micros <= batch, "need 1 ≤ M ≤ batch");
+        assert_eq!(batch % micros, 0, "batch {batch} not divisible by M {micros}");
+        assert!(!partition.is_empty());
+        PipelinePlan { spec, cluster, partition, batch, micros, opt_state_per_param }
+    }
+
+    /// Number of stages K.
+    pub fn stages(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Samples per micro-batch.
+    pub fn micro_size(&self) -> usize {
+        self.batch / self.micros
+    }
+
+    /// Compute demand (arithmetic intensity) of this micro-batch size.
+    pub fn demand(&self) -> f64 {
+        self.spec.demand(self.micro_size())
+    }
+
+    /// Parameter bytes of stage `k`.
+    pub fn stage_param_bytes(&self, k: usize) -> u64 {
+        let (p, _, _, _) = self.stage_cost(k);
+        p
+    }
+
+    /// Parameter + gradient + optimizer-state bytes of stage `k` (one
+    /// model replica).
+    pub fn stage_weight_footprint(&self, k: usize) -> u64 {
+        let p = self.stage_param_bytes(k);
+        // value + grad + optimizer state.
+        p + p + p / 4 * self.opt_state_per_param as u64
+    }
+
+    /// Forward FLOPs of one micro-batch on stage `k`.
+    pub fn stage_fwd_flops(&self, k: usize) -> f64 {
+        let (_, f, _, _) = self.stage_cost(k);
+        f * self.micro_size() as f64
+    }
+
+    /// Backward FLOPs of one micro-batch on stage `k`.
+    pub fn stage_bwd_flops(&self, k: usize) -> f64 {
+        self.stage_fwd_flops(k) * self.spec.bwd_factor
+    }
+
+    /// Activation bytes stashed by stage `k` for one micro-batch.
+    pub fn stage_stash_bytes(&self, k: usize) -> u64 {
+        let (_, _, s, _) = self.stage_cost(k);
+        s * self.micro_size() as u64
+    }
+
+    /// Bytes of the activation stage `k` sends downstream per micro-batch.
+    pub fn stage_out_bytes(&self, k: usize) -> u64 {
+        let (_, _, _, o) = self.stage_cost(k);
+        o * self.micro_size() as u64
+    }
+
+    /// Bytes of the gradient stage `k` receives back per micro-batch
+    /// (same size as its output activation).
+    pub fn stage_grad_in_bytes(&self, k: usize) -> u64 {
+        self.stage_out_bytes(k)
+    }
+
+    /// Optimizer-step FLOPs for stage `k` (a few ops per parameter).
+    pub fn stage_opt_flops(&self, k: usize) -> f64 {
+        (self.stage_param_bytes(k) / 4) as f64 * 4.0
+    }
+
+    fn stage_cost(&self, k: usize) -> (u64, f64, u64, u64) {
+        let (lo, hi) = self.partition[k];
+        self.spec.stage_cost(lo, hi)
+    }
+
+    /// Maps pipeline stage `k` to its device. Stages map one-to-one onto
+    /// devices in order (the paper's placement).
+    pub fn device_of_stage(&self, k: usize) -> usize {
+        assert!(self.stages() <= self.cluster.num_devices());
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_model;
+    use ea_models::gnmt_spec;
+
+    fn plan(m: usize) -> PipelinePlan {
+        let spec = gnmt_spec();
+        let part = partition_model(&spec, 6);
+        PipelinePlan::new(spec, ClusterConfig::paper_testbed(), part, 128, m, 8)
+    }
+
+    #[test]
+    fn micro_size_and_divisibility() {
+        let p = plan(64);
+        assert_eq!(p.micro_size(), 2);
+        assert_eq!(p.stages(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_divisible_batch_rejected() {
+        let spec = gnmt_spec();
+        let part = partition_model(&spec, 6);
+        PipelinePlan::new(spec, ClusterConfig::paper_testbed(), part, 128, 48, 8);
+    }
+
+    #[test]
+    fn per_stage_costs_scale_with_micro_size() {
+        let p2 = plan(64); // micro = 2
+        let p4 = plan(32); // micro = 4
+        for k in 0..6 {
+            assert!((p4.stage_fwd_flops(k) / p2.stage_fwd_flops(k) - 2.0).abs() < 1e-9);
+            assert_eq!(p4.stage_stash_bytes(k), 2 * p2.stage_stash_bytes(k));
+            assert_eq!(p4.stage_out_bytes(k), 2 * p2.stage_out_bytes(k));
+        }
+    }
+
+    #[test]
+    fn weight_footprint_includes_optimizer() {
+        let p = plan(64);
+        let params = p.stage_param_bytes(0);
+        // value + grad + Adam (8 B per scalar = 2× fp32 value bytes).
+        assert_eq!(p.stage_weight_footprint(0), 4 * params);
+    }
+
+    #[test]
+    fn smaller_micro_batches_have_lower_demand() {
+        let p2 = plan(64);
+        let p8 = plan(16);
+        assert!(p2.demand() < p8.demand());
+    }
+}

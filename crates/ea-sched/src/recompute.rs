@@ -1,0 +1,88 @@
+//! Activation recomputation (gradient checkpointing).
+//!
+//! The paper disables recomputation for *all* pipeline baselines (§7.1);
+//! this module makes the disabled knob explicit so the trade-off can be
+//! measured: with recomputation, a stage stashes only its *input*
+//! boundary activation per micro-batch and replays the forward pass
+//! during backward, trading ~`1/(1+bwd_factor)` extra compute for an
+//! order-of-magnitude smaller stash.
+
+use ea_models::ModelSpec;
+
+/// Whether stages stash full intermediates or recompute them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecomputePolicy {
+    /// Stash everything (the paper's setting).
+    None,
+    /// Stash only stage inputs; replay forward during backward.
+    Full,
+}
+
+impl RecomputePolicy {
+    /// Applies the policy to a workload cost model, returning the spec
+    /// the schedule generators should plan with.
+    pub fn transform(self, spec: &ModelSpec) -> ModelSpec {
+        match self {
+            RecomputePolicy::None => spec.clone(),
+            RecomputePolicy::Full => {
+                let mut out = spec.clone();
+                let mut prev_out = out.input_bytes;
+                for layer in &mut out.layers {
+                    // Keep only the layer's input; everything else is
+                    // replayed.
+                    layer.act_stash_bytes = prev_out;
+                    prev_out = layer.out_bytes;
+                }
+                // Backward now pays one extra forward pass.
+                out.bwd_factor += 1.0;
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+    use ea_models::bert_spec;
+    use ea_sim::{ClusterConfig, Simulator};
+
+    #[test]
+    fn full_recompute_shrinks_stash_and_grows_backward() {
+        let spec = bert_spec();
+        let rc = RecomputePolicy::Full.transform(&spec);
+        let total_stash: u64 = spec.layers.iter().map(|l| l.act_stash_bytes).sum();
+        let rc_stash: u64 = rc.layers.iter().map(|l| l.act_stash_bytes).sum();
+        assert!(rc_stash * 10 < total_stash, "{rc_stash} vs {total_stash}");
+        assert_eq!(rc.bwd_factor, spec.bwd_factor + 1.0);
+        assert_eq!(rc.total_param_bytes(), spec.total_param_bytes());
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let spec = bert_spec();
+        let same = RecomputePolicy::None.transform(&spec);
+        assert_eq!(same.layers.len(), spec.layers.len());
+        assert_eq!(same.bwd_factor, spec.bwd_factor);
+    }
+
+    #[test]
+    fn recompute_trades_time_for_memory_end_to_end() {
+        let cluster = ClusterConfig::paper_testbed();
+        let run = |spec: ModelSpec| {
+            let part = partition_model(&spec, 6);
+            let plan = PipelinePlan::new(spec, cluster.clone(), part, 32, 8, 8);
+            let sim = Simulator::new(cluster.clone());
+            let prog = pipeline_program(&plan, &PipeStyle::gpipe(), 2);
+            let r = sim.run(&prog).unwrap();
+            (r.makespan_us, r.max_peak_mem())
+        };
+        let (t_plain, m_plain) = run(bert_spec());
+        let (t_rc, m_rc) = run(RecomputePolicy::Full.transform(&bert_spec()));
+        assert!(m_rc < m_plain / 2, "memory {m_rc} vs {m_plain}");
+        assert!(t_rc > t_plain, "time {t_rc} vs {t_plain}");
+        // The compute penalty is bounded by the extra forward pass.
+        assert!(t_rc < t_plain * 1.6, "time penalty too large: {t_rc} vs {t_plain}");
+    }
+}

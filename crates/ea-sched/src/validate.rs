@@ -1,0 +1,110 @@
+//! Static schedule validation: activation-stash bounds.
+
+use crate::pipeline::ACT_TAG_BASE;
+use crate::{PipelinePlan, PipeStyle};
+use ea_sim::{Instr, Program, Stream};
+
+/// Maximum number of simultaneously-live activation stashes in a stream's
+/// instruction order (an upper bound on what any execution can hold,
+/// since streams are serial).
+pub fn max_live_activations(stream: &Stream) -> usize {
+    let mut live = 0usize;
+    let mut max = 0usize;
+    for i in &stream.instrs {
+        match i {
+            Instr::Alloc { tag, .. } if *tag >= ACT_TAG_BASE => {
+                live += 1;
+                max = max.max(live);
+            }
+            Instr::Free { tag } if *tag >= ACT_TAG_BASE => {
+                live = live.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    max
+}
+
+/// Checks the paper's stash bounds on a generated program:
+/// * 1F1B (§4.1): stage `k` (0-based) stashes at most `K−k` micro-batches;
+/// * advance forward propagation: at most `warmup_k + 1`;
+/// * AFAB: at most `M`.
+///
+/// Returns `Err` naming the first violating stream.
+pub fn check_stash_bounds(
+    plan: &PipelinePlan,
+    style: &PipeStyle,
+    program: &Program,
+) -> Result<(), String> {
+    let kk = plan.stages();
+    let m = plan.micros;
+    for p in 0..style.n_pipelines {
+        for k in 0..kk {
+            let stream = &program.streams[p * kk + k];
+            let live = max_live_activations(stream);
+            let bound = (style.warmup.warmup(k, kk, m) + 1).min(m);
+            if live > bound {
+                return Err(format!(
+                    "stream {} stashes {live} activations, bound {bound}",
+                    stream.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition_model, pipeline_program, WarmupPolicy};
+    use ea_models::gnmt_spec;
+    use ea_sim::ClusterConfig;
+
+    fn plan(m: usize) -> PipelinePlan {
+        let spec = gnmt_spec();
+        let part = partition_model(&spec, 6);
+        PipelinePlan::new(spec, ClusterConfig::paper_testbed(), part, 128, m, 8)
+    }
+
+    #[test]
+    fn f1b_respects_k_minus_k_bound() {
+        let plan = plan(16);
+        let style = PipeStyle::dapple();
+        let prog = pipeline_program(&plan, &style, 3);
+        check_stash_bounds(&plan, &style, &prog).unwrap();
+        // Stage 0 of 1F1B holds exactly K micro-batches in flight.
+        assert_eq!(max_live_activations(&prog.streams[0]), 6);
+        // Last stage holds exactly 1.
+        assert_eq!(max_live_activations(&prog.streams[5]), 1);
+    }
+
+    #[test]
+    fn afab_holds_all_m() {
+        let plan = plan(16);
+        let style = PipeStyle::gpipe();
+        let prog = pipeline_program(&plan, &style, 1);
+        for k in 0..6 {
+            assert_eq!(max_live_activations(&prog.streams[k]), 16);
+        }
+    }
+
+    #[test]
+    fn advance_fp_bound_sits_between() {
+        let plan = plan(16);
+        let style = PipeStyle::avgpipe(1, 9);
+        let prog = pipeline_program(&plan, &style, 2);
+        check_stash_bounds(&plan, &style, &prog).unwrap();
+        let s0 = max_live_activations(&prog.streams[0]);
+        assert_eq!(s0, 10, "stage 0 holds warmup+1 = a+1");
+        assert!(s0 > 6 && s0 < 16);
+    }
+
+    #[test]
+    fn pipedream_matches_f1b_stash_shape() {
+        let plan = plan(16);
+        let style = PipeStyle::pipedream();
+        let prog = pipeline_program(&plan, &style, 2);
+        check_stash_bounds(&plan, &style, &prog).unwrap();
+    }
+}

@@ -1,0 +1,144 @@
+//! Chrome-tracing export: visualize a simulated schedule in
+//! `chrome://tracing` / Perfetto.
+//!
+//! [`Simulator::run_traced`](crate::Simulator::run_traced) collects one
+//! [`Span`] per compute task and per transfer; [`chrome_trace_json`]
+//! renders them in the Trace Event Format (one row per stream, devices as
+//! processes), which is how the timing diagrams of the paper's Figures 1,
+//! 2 and 7 can be inspected interactively.
+
+use crate::{CLabel, Program};
+
+/// One completed activity of a simulated run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Stream that executed the activity.
+    pub stream: usize,
+    /// Start time (µs).
+    pub t0: f64,
+    /// End time (µs).
+    pub t1: f64,
+    /// What ran.
+    pub kind: SpanKind,
+}
+
+/// Classification of a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpanKind {
+    /// A compute kernel with its label.
+    Compute(CLabel),
+    /// A transfer to `to` of `bytes` (span covers link occupancy).
+    Transfer {
+        /// Receiving stream.
+        to: usize,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+fn label_of(kind: &SpanKind) -> String {
+    match kind {
+        SpanKind::Compute(CLabel::Fwd { micro }) => format!("F{micro}"),
+        SpanKind::Compute(CLabel::Bwd { micro }) => format!("B{micro}"),
+        SpanKind::Compute(CLabel::Opt) => "opt".into(),
+        SpanKind::Compute(CLabel::EaUpdate) => "ea".into(),
+        SpanKind::Compute(CLabel::AllReduce) => "allreduce".into(),
+        SpanKind::Compute(CLabel::Other) => "compute".into(),
+        SpanKind::Transfer { to, bytes } => format!("send→{to} ({bytes} B)"),
+    }
+}
+
+/// Renders spans as a Chrome Trace Event Format JSON document. Devices
+/// become processes (`pid`), streams become threads (`tid`), so the
+/// timeline reads exactly like the paper's schedule figures.
+pub fn chrome_trace_json(program: &Program, spans: &[Span]) -> String {
+    let mut events = Vec::with_capacity(spans.len() + program.streams.len());
+    for (sid, s) in program.streams.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{},"tid":{},"args":{{"name":{:?}}}}}"#,
+            s.device, sid, s.name
+        ));
+    }
+    for sp in spans {
+        let dev = program.streams[sp.stream].device;
+        let cat = match sp.kind {
+            SpanKind::Compute(_) => "compute",
+            SpanKind::Transfer { .. } => "comm",
+        };
+        events.push(format!(
+            r#"{{"name":{:?},"cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{}}}"#,
+            label_of(&sp.kind),
+            cat,
+            sp.t0,
+            (sp.t1 - sp.t0).max(0.001),
+            dev,
+            sp.stream
+        ));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, Instr, Simulator, Stream};
+
+    fn tiny() -> (Simulator, Program) {
+        let cfg = ClusterConfig {
+            nodes: 2,
+            gpus_per_node: 1,
+            gpu_flops: 1e6,
+            gpu_mem_bytes: 1 << 30,
+            inter_bw: 1e6,
+            inter_lat_us: 10.0,
+            intra_bw: 1e9,
+            intra_lat_us: 1.0,
+            device_speed: Vec::new(),
+        };
+        let mut p = Program::new();
+        let mut a = Stream::new(0, "producer");
+        a.push(Instr::Compute { flops: 100.0, demand: 1.0, label: CLabel::Fwd { micro: 0 } });
+        a.push(Instr::Send { to: 1, bytes: 90, tag: 0 });
+        let mut b = Stream::new(1, "consumer");
+        b.push(Instr::Recv { from: 0, tag: 0 });
+        b.push(Instr::Compute { flops: 50.0, demand: 1.0, label: CLabel::Bwd { micro: 0 } });
+        p.add_stream(a);
+        p.add_stream(b);
+        (Simulator::new(cfg), p)
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_collects_spans() {
+        let (sim, p) = tiny();
+        let plain = sim.run(&p).unwrap();
+        let (traced, spans) = sim.run_traced(&p).unwrap();
+        assert_eq!(plain.makespan_us, traced.makespan_us);
+        // Two computes + one transfer.
+        assert_eq!(spans.len(), 3);
+        let computes: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Compute(_)))
+            .collect();
+        assert_eq!(computes.len(), 2);
+        for s in &spans {
+            assert!(s.t1 >= s.t0);
+        }
+        // The consumer's compute starts after the transfer ends.
+        let transfer = spans.iter().find(|s| matches!(s.kind, SpanKind::Transfer { .. })).unwrap();
+        let consumer = spans.iter().find(|s| s.stream == 1 && matches!(s.kind, SpanKind::Compute(_))).unwrap();
+        assert!(consumer.t0 >= transfer.t1 - 1e-9);
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed() {
+        let (sim, p) = tiny();
+        let (_, spans) = sim.run_traced(&p).unwrap();
+        let json = chrome_trace_json(&p, &spans);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 2 thread-name metadata + 3 spans.
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().any(|e| e["name"] == "F0"));
+        assert!(events.iter().any(|e| e["cat"] == "comm"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Cluster hardware description.
+
+use serde::{Deserialize, Serialize};
+
+/// Which physical link a transfer crosses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Same device: stream-to-stream handoff, effectively free.
+    Local,
+    /// Same node, different GPU (PCIe/NVLink class).
+    IntraNode,
+    /// Different nodes (Ethernet class).
+    InterNode,
+}
+
+/// Static description of the simulated cluster.
+///
+/// The default mirrors the paper's testbed: 3 nodes × 2 V100-SXM2 (32 GB),
+/// 1 Gbps Ethernet between nodes. Peak FLOPS is scaled to represent
+/// *achievable* mixed-precision-free FP32 throughput rather than the
+/// marketing number.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub nodes: usize,
+    /// GPUs per machine.
+    pub gpus_per_node: usize,
+    /// Peak per-GPU throughput in FLOP/s.
+    pub gpu_flops: f64,
+    /// GPU memory capacity in bytes.
+    pub gpu_mem_bytes: u64,
+    /// Inter-node bandwidth in bytes/s (1 Gbps Ethernet ≈ 125 MB/s).
+    pub inter_bw: f64,
+    /// Inter-node latency in microseconds.
+    pub inter_lat_us: f64,
+    /// Intra-node bandwidth in bytes/s (PCIe class).
+    pub intra_bw: f64,
+    /// Intra-node latency in microseconds.
+    pub intra_lat_us: f64,
+    /// Optional per-device speed multipliers (empty = homogeneous). A
+    /// value of 0.5 halves that device's throughput — used for straggler
+    /// and heterogeneous-cluster studies.
+    #[serde(default)]
+    pub device_speed: Vec<f64>,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: 3 nodes × 2 × V100 (32 GB), 1 Gbps Ethernet.
+    pub fn paper_testbed() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            gpus_per_node: 2,
+            gpu_flops: 14.0e12,
+            gpu_mem_bytes: 32 * (1 << 30),
+            inter_bw: 125.0e6,
+            inter_lat_us: 100.0,
+            intra_bw: 12.0e9,
+            intra_lat_us: 10.0,
+            device_speed: Vec::new(),
+        }
+    }
+
+    /// The AWD setting: two nodes, four GPUs.
+    pub fn paper_testbed_two_nodes() -> Self {
+        ClusterConfig { nodes: 2, ..Self::paper_testbed() }
+    }
+
+    /// Total GPU count.
+    pub fn num_devices(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Node hosting a device.
+    pub fn node_of(&self, device: usize) -> usize {
+        device / self.gpus_per_node
+    }
+
+    /// Effective speed multiplier of a device (1.0 when unspecified).
+    pub fn speed_of(&self, device: usize) -> f64 {
+        self.device_speed.get(device).copied().unwrap_or(1.0)
+    }
+
+    /// Returns a copy with one device slowed to `factor` of its peak.
+    pub fn with_straggler(mut self, device: usize, factor: f64) -> Self {
+        assert!(factor > 0.0, "straggler factor must be positive");
+        let n = self.num_devices();
+        assert!(device < n, "device {device} out of range");
+        if self.device_speed.len() < n {
+            self.device_speed.resize(n, 1.0);
+        }
+        self.device_speed[device] = factor;
+        self
+    }
+
+    /// Link class between two devices.
+    pub fn link_class(&self, from: usize, to: usize) -> LinkClass {
+        if from == to {
+            LinkClass::Local
+        } else if self.node_of(from) == self.node_of(to) {
+            LinkClass::IntraNode
+        } else {
+            LinkClass::InterNode
+        }
+    }
+
+    /// Transfer duration in microseconds for `bytes` over the given class
+    /// (excluding queueing).
+    pub fn transfer_us(&self, class: LinkClass, bytes: u64) -> f64 {
+        match class {
+            LinkClass::Local => 1.0,
+            LinkClass::IntraNode => self.intra_lat_us + bytes as f64 / self.intra_bw * 1e6,
+            LinkClass::InterNode => self.inter_lat_us + bytes as f64 / self.inter_bw * 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_topology() {
+        let c = ClusterConfig::paper_testbed();
+        assert_eq!(c.num_devices(), 6);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(1), 0);
+        assert_eq!(c.node_of(2), 1);
+        assert_eq!(c.link_class(0, 1), LinkClass::IntraNode);
+        assert_eq!(c.link_class(1, 2), LinkClass::InterNode);
+        assert_eq!(c.link_class(3, 3), LinkClass::Local);
+    }
+
+    #[test]
+    fn ethernet_is_much_slower_than_pcie() {
+        let c = ClusterConfig::paper_testbed();
+        let bytes = 100 << 20; // 100 MB
+        let eth = c.transfer_us(LinkClass::InterNode, bytes);
+        let pcie = c.transfer_us(LinkClass::IntraNode, bytes);
+        assert!(eth > 50.0 * pcie, "eth {eth} pcie {pcie}");
+        // 100 MB over 125 MB/s ≈ 0.8 s.
+        assert!((eth * 1e-6 - 0.839).abs() < 0.05, "eth seconds {}", eth * 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+
+    #[test]
+    fn straggler_builder_sets_speed() {
+        let c = ClusterConfig::paper_testbed().with_straggler(2, 0.5);
+        assert_eq!(c.speed_of(2), 0.5);
+        assert_eq!(c.speed_of(0), 1.0);
+        assert_eq!(c.speed_of(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn straggler_out_of_range_panics() {
+        let _ = ClusterConfig::paper_testbed().with_straggler(99, 0.5);
+    }
+}

@@ -1,0 +1,209 @@
+//! The instruction set executed by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a GPU in the cluster.
+pub type DeviceId = usize;
+/// Index of a machine.
+pub type NodeId = usize;
+/// Index of an instruction stream (a "process" on a GPU).
+pub type StreamId = usize;
+
+/// What a compute instruction represents — carried through to the
+/// utilization traces and per-phase accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CLabel {
+    /// Forward propagation of a micro-batch.
+    Fwd { micro: u32 },
+    /// Backward propagation of a micro-batch.
+    Bwd { micro: u32 },
+    /// Local optimizer step.
+    Opt,
+    /// Elastic-averaging pull / reference update work.
+    EaUpdate,
+    /// Gradient reduction work (data parallelism).
+    AllReduce,
+    /// Anything else.
+    Other,
+}
+
+/// One instruction of a stream. Streams execute their instructions
+/// strictly in order; `Compute` and `Recv` block the stream, `Send`,
+/// `Alloc` and `Free` do not.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Occupy the device with `flops` of work at arithmetic-intensity
+    /// demand `demand ∈ (0, 1]`.
+    Compute {
+        /// Work volume in floating-point operations.
+        flops: f64,
+        /// Fraction of the device this kernel can use when alone.
+        demand: f64,
+        /// Classification for traces and stats.
+        label: CLabel,
+    },
+    /// Asynchronously send `bytes` to another stream. Delivery order
+    /// between a fixed (sender, receiver) pair is FIFO.
+    Send {
+        /// Destination stream.
+        to: StreamId,
+        /// Payload size.
+        bytes: u64,
+        /// Tag checked against the matching `Recv` (schedule validation).
+        tag: u32,
+    },
+    /// Block until the next FIFO message from `from` arrives; its tag must
+    /// equal `tag`.
+    Recv {
+        /// Source stream.
+        from: StreamId,
+        /// Expected tag.
+        tag: u32,
+    },
+    /// Claim `bytes` of device memory under `(stream, tag)`.
+    Alloc {
+        /// Bytes claimed.
+        bytes: u64,
+        /// Allocation tag, unique per live allocation within the stream.
+        tag: u64,
+    },
+    /// Release the allocation `(stream, tag)`.
+    Free {
+        /// Tag previously passed to `Alloc`.
+        tag: u64,
+    },
+}
+
+/// An instruction stream pinned to a device — one simulated process.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Stream {
+    /// Device the stream runs on.
+    pub device: DeviceId,
+    /// Debug name (e.g. `"pipe0/stage2"` or `"ref/stage2"`).
+    pub name: String,
+    /// The instructions, executed in order.
+    pub instrs: Vec<Instr>,
+}
+
+impl Stream {
+    /// Creates an empty stream on `device`.
+    pub fn new(device: DeviceId, name: impl Into<String>) -> Self {
+        Stream { device, name: name.into(), instrs: Vec::new() }
+    }
+
+    /// Appends an instruction (builder style).
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+}
+
+/// A complete program: all streams of one training iteration (or several).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The streams; `StreamId` indexes into this vector.
+    pub streams: Vec<Stream>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a stream, returning its id.
+    pub fn add_stream(&mut self, s: Stream) -> StreamId {
+        self.streams.push(s);
+        self.streams.len() - 1
+    }
+
+    /// Total instruction count, for diagnostics.
+    pub fn num_instrs(&self) -> usize {
+        self.streams.iter().map(|s| s.instrs.len()).sum()
+    }
+
+    /// Basic static validation: every `Recv` has a plausible `Send`
+    /// counterpart count per (from, to) pair, and tags are consistent in
+    /// FIFO order. Returns a description of the first mismatch.
+    pub fn validate_channels(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut sends: HashMap<(StreamId, StreamId), Vec<u32>> = HashMap::new();
+        let mut recvs: HashMap<(StreamId, StreamId), Vec<u32>> = HashMap::new();
+        for (sid, s) in self.streams.iter().enumerate() {
+            for i in &s.instrs {
+                match *i {
+                    Instr::Send { to, tag, .. } => {
+                        if to >= self.streams.len() {
+                            return Err(format!("stream {sid} sends to invalid stream {to}"));
+                        }
+                        sends.entry((sid, to)).or_default().push(tag);
+                    }
+                    Instr::Recv { from, tag } => {
+                        if from >= self.streams.len() {
+                            return Err(format!("stream {sid} recvs from invalid stream {from}"));
+                        }
+                        recvs.entry((from, sid)).or_default().push(tag);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (pair, sent) in &sends {
+            let got = recvs.get(pair).cloned().unwrap_or_default();
+            if sent != &got {
+                return Err(format!(
+                    "channel {}→{}: send tags {:?} != recv tags {:?}",
+                    pair.0, pair.1, sent, got
+                ));
+            }
+        }
+        for (pair, got) in &recvs {
+            if !sends.contains_key(pair) {
+                return Err(format!(
+                    "channel {}→{}: recv tags {:?} with no sends",
+                    pair.0, pair.1, got
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_validation_accepts_matched_tags() {
+        let mut p = Program::new();
+        let mut a = Stream::new(0, "a");
+        a.push(Instr::Send { to: 1, bytes: 10, tag: 7 });
+        let mut b = Stream::new(1, "b");
+        b.push(Instr::Recv { from: 0, tag: 7 });
+        p.add_stream(a);
+        p.add_stream(b);
+        assert!(p.validate_channels().is_ok());
+    }
+
+    #[test]
+    fn channel_validation_rejects_tag_mismatch() {
+        let mut p = Program::new();
+        let mut a = Stream::new(0, "a");
+        a.push(Instr::Send { to: 1, bytes: 10, tag: 7 });
+        let mut b = Stream::new(1, "b");
+        b.push(Instr::Recv { from: 0, tag: 8 });
+        p.add_stream(a);
+        p.add_stream(b);
+        assert!(p.validate_channels().is_err());
+    }
+
+    #[test]
+    fn channel_validation_rejects_unmatched_recv() {
+        let mut p = Program::new();
+        p.add_stream(Stream::new(0, "a"));
+        let mut b = Stream::new(1, "b");
+        b.push(Instr::Recv { from: 0, tag: 0 });
+        p.add_stream(b);
+        assert!(p.validate_channels().is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Byte-accurate per-device memory ledger.
+
+use crate::StreamId;
+use std::collections::HashMap;
+
+/// Record of the first out-of-memory event on a device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OomEvent {
+    /// Device that overflowed.
+    pub device: usize,
+    /// Simulation time of the overflow (µs).
+    pub time_us: f64,
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes in use at that moment.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+/// Tracks live allocations and the peak footprint of one device.
+#[derive(Clone, Debug)]
+pub struct MemLedger {
+    capacity: u64,
+    current: u64,
+    peak: u64,
+    live: HashMap<(StreamId, u64), u64>,
+}
+
+impl MemLedger {
+    /// Ledger for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemLedger { capacity, current: 0, peak: 0, live: HashMap::new() }
+    }
+
+    /// Claims `bytes` under `(stream, tag)`. Returns `Err(())` on OOM
+    /// (the allocation is still recorded so execution can continue and
+    /// report a complete peak figure).
+    pub fn alloc(&mut self, stream: StreamId, tag: u64, bytes: u64) -> Result<(), ()> {
+        let prev = self.live.insert((stream, tag), bytes);
+        assert!(prev.is_none(), "allocation tag ({stream}, {tag}) reused while live");
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+        if self.current > self.capacity {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Releases `(stream, tag)`.
+    pub fn free(&mut self, stream: StreamId, tag: u64) {
+        let bytes = self
+            .live
+            .remove(&(stream, tag))
+            .unwrap_or_else(|| panic!("freeing unknown allocation ({stream}, {tag})"));
+        self.current -= bytes;
+    }
+
+    /// Bytes currently in use.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Peak bytes ever in use.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of live allocations (leak checking in tests).
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_watermark() {
+        let mut m = MemLedger::new(100);
+        m.alloc(0, 1, 40).unwrap();
+        m.alloc(0, 2, 40).unwrap();
+        m.free(0, 1);
+        m.alloc(0, 3, 10).unwrap();
+        assert_eq!(m.current(), 50);
+        assert_eq!(m.peak(), 80);
+    }
+
+    #[test]
+    fn oom_is_reported_but_recorded() {
+        let mut m = MemLedger::new(50);
+        assert!(m.alloc(0, 1, 30).is_ok());
+        assert!(m.alloc(0, 2, 30).is_err());
+        assert_eq!(m.peak(), 60);
+        m.free(0, 2);
+        assert_eq!(m.current(), 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_live_tag_panics() {
+        let mut m = MemLedger::new(100);
+        m.alloc(0, 1, 10).unwrap();
+        let _ = m.alloc(0, 1, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn free_unknown_tag_panics() {
+        let mut m = MemLedger::new(100);
+        m.free(0, 9);
+    }
+
+    #[test]
+    fn tags_are_per_stream() {
+        let mut m = MemLedger::new(100);
+        m.alloc(0, 1, 10).unwrap();
+        m.alloc(1, 1, 10).unwrap();
+        m.free(0, 1);
+        m.free(1, 1);
+        assert_eq!(m.live_count(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Execution results and per-device accounting.
+
+use crate::{OomEvent, UtilTrace};
+
+/// Per-device accounting of one simulated run.
+///
+/// The three time buckets correspond to the paper's Equation (1):
+/// `T = T_gpu + T_com + T_bub` — compute, communication that blocks the
+/// GPU, and bubble (waiting on other GPUs).
+#[derive(Clone, Debug, Default)]
+pub struct DeviceStats {
+    /// Time with at least one kernel resident (µs) — `T_gpu`.
+    pub busy_us: f64,
+    /// Idle time while some local stream waits on a receive (µs) — `T_com`.
+    pub comm_blocked_us: f64,
+    /// Remaining idle time (µs) — `T_bub`.
+    pub idle_us: f64,
+    /// Σ service time of inbound transfers (µs) — the paper's `𝕋ᵏ`.
+    pub total_comm_us: f64,
+    /// Peak memory footprint (bytes).
+    pub peak_mem: u64,
+    /// The φᵏ(t) utilization curve.
+    pub trace: UtilTrace,
+}
+
+impl DeviceStats {
+    /// Mean utilization over the run's makespan.
+    pub fn mean_util(&self, makespan_us: f64) -> f64 {
+        self.trace.mean_over(makespan_us)
+    }
+}
+
+/// The outcome of simulating a program.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// End-to-end time (µs).
+    pub makespan_us: f64,
+    /// Per-device accounting, indexed by `DeviceId`.
+    pub devices: Vec<DeviceStats>,
+    /// First out-of-memory event, if any.
+    pub oom: Option<OomEvent>,
+}
+
+impl SimResult {
+    /// Makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_us * 1e-6
+    }
+
+    /// Peak memory over all devices (bytes).
+    pub fn max_peak_mem(&self) -> u64 {
+        self.devices.iter().map(|d| d.peak_mem).max().unwrap_or(0)
+    }
+
+    /// Mean of the per-device mean utilizations.
+    pub fn mean_util(&self) -> f64 {
+        if self.devices.is_empty() || self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        let sum: f64 = self.devices.iter().map(|d| d.mean_util(self.makespan_us)).sum();
+        sum / self.devices.len() as f64
+    }
+
+    /// True if the run overflowed some device's memory.
+    pub fn is_oom(&self) -> bool {
+        self.oom.is_some()
+    }
+}

@@ -1,0 +1,148 @@
+//! GPU-utilization traces — the φᵏ(t) curves of the paper's §5.2.
+
+/// A constant-utilization segment of a device's timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceSeg {
+    /// Segment start (µs).
+    pub t0: f64,
+    /// Segment end (µs).
+    pub t1: f64,
+    /// Utilization in `[0, 1]` over the segment.
+    pub util: f64,
+}
+
+impl TraceSeg {
+    /// Segment duration (µs).
+    pub fn dt(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// The piecewise-constant utilization curve φ(t) of one device.
+#[derive(Clone, Debug, Default)]
+pub struct UtilTrace {
+    segs: Vec<TraceSeg>,
+}
+
+impl UtilTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        UtilTrace::default()
+    }
+
+    /// Appends a segment, merging with the previous one if the utilization
+    /// is unchanged (keeps traces compact over long runs).
+    pub fn push(&mut self, t0: f64, t1: f64, util: f64) {
+        if t1 <= t0 {
+            return;
+        }
+        if let Some(last) = self.segs.last_mut() {
+            if (last.util - util).abs() < 1e-12 && (last.t1 - t0).abs() < 1e-9 {
+                last.t1 = t1;
+                return;
+            }
+        }
+        self.segs.push(TraceSeg { t0, t1, util });
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[TraceSeg] {
+        &self.segs
+    }
+
+    /// ∫ φ(t) dt in µs — proportional to the computation volume served.
+    pub fn integral(&self) -> f64 {
+        self.segs.iter().map(|s| s.util * s.dt()).sum()
+    }
+
+    /// Time-weighted mean utilization over `[0, horizon]`.
+    pub fn mean_over(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.integral() / horizon
+    }
+
+    /// ∫ max(scale·φ(t) − 1, 0) dt — the "overused" area of Figure 8 used
+    /// by the predictor when a hypothetical setting would exceed 100%.
+    pub fn overflow_integral(&self, scale: f64) -> f64 {
+        self.segs
+            .iter()
+            .map(|s| ((scale * s.util - 1.0).max(0.0)) * s.dt())
+            .sum()
+    }
+
+    /// Resamples the trace to `bins` equal-width bins over `[0, horizon]`
+    /// (for plotting Figure 16-style curves).
+    pub fn resample(&self, horizon: f64, bins: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; bins];
+        if horizon <= 0.0 || bins == 0 {
+            return out;
+        }
+        let w = horizon / bins as f64;
+        for s in &self.segs {
+            // Distribute the segment's area over the bins it spans.
+            let b0 = ((s.t0 / w).floor() as usize).min(bins - 1);
+            let b1 = ((s.t1 / w).ceil() as usize).min(bins);
+            for (b, slot) in out.iter_mut().enumerate().take(b1).skip(b0) {
+                let lo = s.t0.max(b as f64 * w);
+                let hi = s.t1.min((b + 1) as f64 * w);
+                if hi > lo {
+                    *slot += s.util * (hi - lo) / w;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_equal_utilization() {
+        let mut tr = UtilTrace::new();
+        tr.push(0.0, 1.0, 0.5);
+        tr.push(1.0, 2.0, 0.5);
+        tr.push(2.0, 3.0, 0.8);
+        assert_eq!(tr.segments().len(), 2);
+        assert_eq!(tr.segments()[0].dt(), 2.0);
+    }
+
+    #[test]
+    fn integral_and_mean() {
+        let mut tr = UtilTrace::new();
+        tr.push(0.0, 2.0, 0.5);
+        tr.push(2.0, 4.0, 1.0);
+        assert!((tr.integral() - 3.0).abs() < 1e-12);
+        assert!((tr.mean_over(4.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_integral_clamps_at_one() {
+        let mut tr = UtilTrace::new();
+        tr.push(0.0, 1.0, 0.6);
+        // scale 2 → 1.2, overflow 0.2 over 1 µs.
+        assert!((tr.overflow_integral(2.0) - 0.2).abs() < 1e-9);
+        // scale 1 → no overflow.
+        assert_eq!(tr.overflow_integral(1.0), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_area() {
+        let mut tr = UtilTrace::new();
+        tr.push(0.0, 3.0, 0.4);
+        tr.push(3.0, 10.0, 0.9);
+        let bins = tr.resample(10.0, 5);
+        let area: f64 = bins.iter().sum::<f64>() * (10.0 / 5.0);
+        assert!((area - tr.integral()).abs() < 1e-9, "area {area}");
+    }
+
+    #[test]
+    fn zero_length_segments_ignored() {
+        let mut tr = UtilTrace::new();
+        tr.push(1.0, 1.0, 0.7);
+        assert!(tr.segments().is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic random initialization.
+//!
+//! Every initializer is parameterized by an explicit [`TensorRng`] so that
+//! the statistical-efficiency experiments (paper Figure 14) are exactly
+//! reproducible across runs and across the different training systems being
+//! compared (all systems start from bit-identical weights).
+
+use crate::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic random number generator for tensor initialization.
+///
+/// A thin wrapper over ChaCha8 so callers never accidentally reach for a
+/// thread-local, nondeterministic RNG.
+pub struct TensorRng {
+    rng: ChaCha8Rng,
+}
+
+impl TensorRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TensorRng { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child stream, used to give each parallel
+    /// pipeline its own data order while staying reproducible.
+    pub fn fork(&mut self, tag: u64) -> TensorRng {
+        let seed = self.rng.gen::<u64>() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TensorRng::seed_from_u64(seed)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Access to the underlying rand RNG for ad-hoc sampling.
+    pub fn inner(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// Tensor with elements uniform in `[lo, hi)`.
+pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut TensorRng) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.uniform(lo, hi)).collect(), dims)
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, rng)
+}
+
+/// Kaiming/He uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn kaiming_uniform(fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+    let bound = (3.0 / fan_in as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let mut r1 = TensorRng::seed_from_u64(7);
+        let mut r2 = TensorRng::seed_from_u64(7);
+        let a = uniform(&[4, 4], -1.0, 1.0, &mut r1);
+        let b = uniform(&[4, 4], -1.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut r1 = TensorRng::seed_from_u64(7);
+        let mut r2 = TensorRng::seed_from_u64(8);
+        let a = uniform(&[4, 4], -1.0, 1.0, &mut r1);
+        let b = uniform(&[4, 4], -1.0, 1.0, &mut r2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut parent1 = TensorRng::seed_from_u64(1);
+        let mut parent2 = TensorRng::seed_from_u64(1);
+        let mut c1 = parent1.fork(3);
+        let mut c2 = parent2.fork(3);
+        assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+        let mut other = TensorRng::seed_from_u64(1).fork(4);
+        // Children with different tags should not collide.
+        assert_ne!(
+            TensorRng::seed_from_u64(1).fork(3).uniform(0.0, 1.0),
+            other.uniform(0.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let w = xavier_uniform(100, 100, &mut rng);
+        let bound = (6.0 / 200.0f32).sqrt();
+        assert!(w.abs_max() <= bound);
+        assert!(w.abs_max() > bound * 0.5, "should come close to the bound");
+    }
+
+    #[test]
+    fn uniform_range_respected() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let t = uniform(&[1000], -0.25, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.25..0.5).contains(&x)));
+    }
+}

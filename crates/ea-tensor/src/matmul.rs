@@ -1,0 +1,214 @@
+//! Cache-blocked, rayon-parallel matrix multiplication kernels.
+//!
+//! Three layouts cover everything the autograd engine needs:
+//!
+//! * [`matmul`]       — `C = A · B`        (forward pass)
+//! * [`matmul_a_bt`]  — `C = A · Bᵀ`       (input gradient: `dX = dY · Wᵀ`)
+//! * [`matmul_at_b`]  — `C = Aᵀ · B`       (weight gradient: `dW = Xᵀ · dY`)
+//!
+//! All kernels view their inputs through [`Shape::as_matrix`], so
+//! higher-rank activations (`[batch, seq, hidden]`) multiply 2-D weights
+//! directly.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Rows-per-task granularity for rayon. Small enough to load-balance the
+/// micro-batch sizes used in the experiments, large enough to amortize the
+/// fork-join overhead.
+const PAR_ROW_CHUNK: usize = 16;
+
+/// Below this many total multiply-adds the parallel dispatch costs more
+/// than it saves; run single-threaded.
+const PAR_THRESHOLD: usize = 32 * 1024;
+
+/// `C[r, n] = A[r, k] · B[k, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ar, ak) = a.shape().as_matrix();
+    let (bk, bn) = b.shape().as_matrix();
+    assert_eq!(ak, bk, "matmul inner dims differ: {ak} vs {bk}");
+    let mut out = vec![0.0f32; ar * bn];
+    let adata = a.data();
+    let bdata = b.data();
+    let kernel = |(i0, chunk): (usize, &mut [f32])| {
+        let row0 = i0 * PAR_ROW_CHUNK;
+        for (local, row) in chunk.chunks_mut(bn).enumerate() {
+            let arow = &adata[(row0 + local) * ak..(row0 + local + 1) * ak];
+            // ikj loop order: stream through B rows, accumulate into `row`.
+            for (k, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bdata[k * bn..(k + 1) * bn];
+                for (c, &bval) in row.iter_mut().zip(brow) {
+                    *c += aval * bval;
+                }
+            }
+        }
+    };
+    if ar * ak * bn < PAR_THRESHOLD {
+        out.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    } else {
+        out.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    }
+    Tensor::from_vec(out, &[ar, bn])
+}
+
+/// `C[r, n] = A[r, k] · B[n, k]ᵀ` — i.e. `A · Bᵀ` without materializing the
+/// transpose.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ar, ak) = a.shape().as_matrix();
+    let (bn, bk) = b.shape().as_matrix();
+    assert_eq!(ak, bk, "matmul_a_bt inner dims differ: {ak} vs {bk}");
+    let mut out = vec![0.0f32; ar * bn];
+    let adata = a.data();
+    let bdata = b.data();
+    let kernel = |(i0, chunk): (usize, &mut [f32])| {
+        let row0 = i0 * PAR_ROW_CHUNK;
+        for (local, row) in chunk.chunks_mut(bn).enumerate() {
+            let arow = &adata[(row0 + local) * ak..(row0 + local + 1) * ak];
+            for (j, c) in row.iter_mut().enumerate() {
+                let brow = &bdata[j * bk..(j + 1) * bk];
+                // Dot product of two contiguous rows; vectorizes well.
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *c = acc;
+            }
+        }
+    };
+    if ar * ak * bn < PAR_THRESHOLD {
+        out.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    } else {
+        out.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    }
+    Tensor::from_vec(out, &[ar, bn])
+}
+
+/// `C[k, n] = A[r, k]ᵀ · B[r, n]` — the weight-gradient layout.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ar, ak) = a.shape().as_matrix();
+    let (br, bn) = b.shape().as_matrix();
+    assert_eq!(ar, br, "matmul_at_b outer dims differ: {ar} vs {br}");
+    let adata = a.data();
+    let bdata = b.data();
+    let mut out = vec![0.0f32; ak * bn];
+    // Parallelize over output rows (the k dimension); each output row k is
+    // a weighted sum of B's rows with weights A[:, k].
+    let kernel = |(k0, chunk): (usize, &mut [f32])| {
+        let row0 = k0 * PAR_ROW_CHUNK;
+        for (local, row) in chunk.chunks_mut(bn).enumerate() {
+            let k = row0 + local;
+            for r in 0..ar {
+                let aval = adata[r * ak + k];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bdata[r * bn..(r + 1) * bn];
+                for (c, &bval) in row.iter_mut().zip(brow) {
+                    *c += aval * bval;
+                }
+            }
+        }
+    };
+    if ar * ak * bn < PAR_THRESHOLD {
+        out.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    } else {
+        out.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    }
+    Tensor::from_vec(out, &[ak, bn])
+}
+
+/// Outer product of two vectors: `C[i, j] = a[i] * b[j]`.
+pub fn outer(a: &Tensor, b: &Tensor) -> Tensor {
+    let n = a.numel();
+    let m = b.numel();
+    let mut out = Vec::with_capacity(n * m);
+    for &x in a.data() {
+        for &y in b.data() {
+            out.push(x * y);
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allclose, transpose};
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (ar, ak) = a.shape().as_matrix();
+        let (_, bn) = b.shape().as_matrix();
+        let mut out = Tensor::zeros(&[ar, bn]);
+        for i in 0..ar {
+            for j in 0..bn {
+                let mut acc = 0.0;
+                for k in 0..ak {
+                    acc += a.data()[i * ak + k] * b.data()[k * bn + j];
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn seq_tensor(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), dims)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = seq_tensor(&[5, 7]);
+        let b = seq_tensor(&[7, 3]);
+        assert!(allclose(&matmul(&a, &b), &naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_large_parallel_path() {
+        let a = seq_tensor(&[70, 40]);
+        let b = seq_tensor(&[40, 50]);
+        assert!(allclose(&matmul(&a, &b), &naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_transpose() {
+        let a = seq_tensor(&[6, 8]);
+        let b = seq_tensor(&[5, 8]);
+        let expect = naive(&a, &transpose(&b));
+        assert!(allclose(&matmul_a_bt(&a, &b), &expect, 1e-5));
+    }
+
+    #[test]
+    fn matmul_at_b_matches_transpose() {
+        let a = seq_tensor(&[6, 8]);
+        let b = seq_tensor(&[6, 4]);
+        let expect = naive(&transpose(&a), &b);
+        assert!(allclose(&matmul_at_b(&a, &b), &expect, 1e-5));
+    }
+
+    #[test]
+    fn higher_rank_inputs_use_matrix_view() {
+        let a = seq_tensor(&[2, 3, 4]); // viewed as [6, 4]
+        let b = seq_tensor(&[4, 5]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[6, 5]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let c = outer(&a, &b);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_rejects_dim_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,147 @@
+//! Reductions, softmax and layout helpers.
+
+use crate::Tensor;
+
+/// Transpose of the matrix view.
+pub fn transpose(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape().as_matrix();
+    let mut out = vec![0.0f32; r * c];
+    let data = t.data();
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = data[i * c + j];
+        }
+    }
+    Tensor::from_vec(out, &[c, r])
+}
+
+/// Per-row sums of the matrix view.
+pub fn row_sums(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape().as_matrix();
+    let mut out = Vec::with_capacity(r);
+    for i in 0..r {
+        out.push(t.data()[i * c..(i + 1) * c].iter().sum());
+    }
+    Tensor::from_vec(out, &[r])
+}
+
+/// Per-column sums of the matrix view (e.g. bias gradients).
+pub fn col_sums(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape().as_matrix();
+    let mut out = vec![0.0f32; c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j] += t.data()[i * c + j];
+        }
+    }
+    Tensor::from_vec(out, &[c])
+}
+
+/// Numerically-stable softmax applied independently to each row of the
+/// matrix view.
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape().as_matrix();
+    let mut out = t.data().to_vec();
+    for i in 0..r {
+        let row = &mut out[i * c..(i + 1) * c];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+    Tensor::from_vec(out, &[r, c])
+}
+
+/// Numerically-stable log-softmax applied per row.
+pub fn log_softmax_rows(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape().as_matrix();
+    let mut out = t.data().to_vec();
+    for i in 0..r {
+        let row = &mut out[i * c..(i + 1) * c];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+    Tensor::from_vec(out, &[r, c])
+}
+
+/// Index of the maximum element in each row of the matrix view (first
+/// occurrence wins ties).
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    let (r, c) = t.shape().as_matrix();
+    let mut out = Vec::with_capacity(r);
+    for i in 0..r {
+        let row = &t.data()[i * c..(i + 1) * c];
+        let mut best = 0;
+        for (j, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allclose;
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let tt = transpose(&transpose(&t));
+        assert_eq!(tt, t);
+        assert_eq!(transpose(&t).at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(row_sums(&t).data(), &[3.0, 7.0]);
+        assert_eq!(col_sums(&t).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax_rows(&t);
+        for sum in row_sums(&s).data() {
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Softmax is shift-invariant.
+        let shifted = softmax_rows(&t.map(|x| x + 100.0));
+        assert!(allclose(&s, &shifted, 1e-5));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = softmax_rows(&t);
+        assert!(!s.has_non_finite());
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.3, 2.0], &[1, 3]);
+        let a = log_softmax_rows(&t);
+        let b = softmax_rows(&t).map(f32::ln);
+        assert!(allclose(&a, &b, 1e-5));
+    }
+
+    #[test]
+    fn argmax_rows_first_tie_wins() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0, -1.0, -2.0], &[2, 3]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Shape arithmetic for contiguous row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a tensor. Always row-major and contiguous.
+///
+/// A `Shape` owns a small vector of dimension sizes. Rank 0 (scalar) is
+/// represented by an empty dimension list and has one element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`, collapsing leading
+    /// dimensions into rows. A rank-1 shape `[n]` is viewed as `[1, n]`.
+    ///
+    /// This is how every 2-D kernel in this crate accepts batched inputs:
+    /// a `[batch, seq, hidden]` activation multiplies a `[hidden, out]`
+    /// weight as a `[batch*seq, hidden]` matrix.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.dims.len() {
+            0 => (1, 1),
+            1 => (1, self.dims[0]),
+            _ => {
+                let cols = *self.dims.last().unwrap();
+                (self.numel() / cols.max(1), cols)
+            }
+        }
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.dims.len()];
+        let mut acc = 1;
+        for (s, d) in strides.iter_mut().zip(self.dims.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-dimensional index. Panics on rank mismatch or
+    /// out-of-bounds coordinates in debug builds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut acc = 1;
+        for (i, d) in index.iter().zip(self.dims.iter()).rev() {
+            debug_assert!(i < d, "index {i} out of bounds for dim {d}");
+            off += i * acc;
+            acc *= d;
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn as_matrix_collapses_leading_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).as_matrix(), (6, 4));
+        assert_eq!(Shape::new(&[5, 7]).as_matrix(), (5, 7));
+        assert_eq!(Shape::new(&[9]).as_matrix(), (1, 9));
+        assert_eq!(Shape::new(&[]).as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[6]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn offset_panics_on_rank_mismatch() {
+        Shape::new(&[2, 3]).offset(&[1]);
+    }
+}

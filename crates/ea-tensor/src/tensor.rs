@@ -1,0 +1,362 @@
+//! The dense tensor type.
+
+use crate::Shape;
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All operations that combine two tensors require identical shapes (there
+/// is no implicit broadcasting; the NN modules use explicit row-broadcast
+/// helpers such as [`Tensor::add_row_broadcast`]).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer; `data.len()` must equal the
+    /// shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::new(&[]), data: vec![value] }
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same buffer re-interpreted under a new
+    /// shape with the same element count.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.numel(), self.numel(), "reshape must preserve numel");
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Applies a function to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place variant of [`Tensor::map`].
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip requires identical shapes");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// `self += other` in place.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign requires identical shapes");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` in place (axpy).
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy requires identical shapes");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Adds a length-`cols` row vector to every row of a matrix-viewed
+    /// tensor (bias addition).
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        assert_eq!(row.numel(), c, "broadcast row length must equal columns");
+        let mut out = self.clone();
+        for i in 0..r {
+            for j in 0..c {
+                out.data[i * c + j] += row.data[j];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements (fixed left-to-right order for determinism).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, x| m.max(x.abs()))
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Row `i` of the matrix view, as a new rank-1 tensor.
+    pub fn row(&self, i: usize) -> Tensor {
+        let (r, c) = self.shape.as_matrix();
+        assert!(i < r, "row {i} out of bounds for {r} rows");
+        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+    }
+
+    /// Stacks rank-1 tensors of equal length into a matrix.
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "cannot stack zero rows");
+        let c = rows[0].numel();
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for row in rows {
+            assert_eq!(row.numel(), c, "all stacked rows must have equal length");
+            data.extend_from_slice(&row.data);
+        }
+        Tensor::from_vec(data, &[rows.len(), c])
+    }
+
+    /// Splits the matrix view into contiguous row chunks of `chunk_rows`
+    /// rows each (last chunk may be smaller). Used to slice batches into
+    /// micro-batches.
+    pub fn split_rows(&self, chunk_rows: usize) -> Vec<Tensor> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let (r, c) = self.shape.as_matrix();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < r {
+            let rows = chunk_rows.min(r - start);
+            out.push(Tensor::from_vec(
+                self.data[start * c..(start + rows) * c].to_vec(),
+                &[rows, c],
+            ));
+            start += rows;
+        }
+        out
+    }
+
+    /// Concatenates matrix-viewed tensors along rows.
+    pub fn concat_rows(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cannot concat zero tensors");
+        let (_, c) = parts[0].shape.as_matrix();
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            let (r, pc) = p.shape.as_matrix();
+            assert_eq!(pc, c, "all concatenated parts must share column count");
+            rows += r;
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(data, &[rows, c])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({:?}, ", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(f, "[{} elements, norm {:.4}])", self.numel(), self.norm())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 2]), 3.0);
+        assert_eq!(t.at(&[1, 0]), 4.0);
+        let mut t = t;
+        t.set(&[1, 1], 9.0);
+        assert_eq!(t.at(&[1, 1]), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn elementwise_math() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0]);
+        assert_eq!(b.sub(&a).data(), &[9.0, 18.0]);
+        assert_eq!(a.mul(&b).data(), &[10.0, 40.0]);
+        assert_eq!(a.scale(3.0).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias() {
+        let x = Tensor::from_vec(vec![0.0; 6], &[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(t.sum(), 7.0);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.norm(), 5.0);
+        assert_eq!(t.abs_max(), 4.0);
+        assert!(!t.has_non_finite());
+        assert!(Tensor::from_vec(vec![f32::NAN], &[1]).has_non_finite());
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[6, 2]);
+        let parts = t.split_rows(4);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].dims(), &[4, 2]);
+        assert_eq!(parts[1].dims(), &[2, 2]);
+        let back = Tensor::concat_rows(&parts);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let r0 = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let r1 = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let m = Tensor::stack_rows(&[r0, r1]);
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.dims(), &[4]);
+        assert_eq!(r.data(), t.data());
+    }
+}

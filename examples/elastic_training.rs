@@ -1,0 +1,81 @@
+//! Real elastic-averaging training with the threaded runtime.
+//!
+//! Trains a GNMT-analogue sequence model on the synthetic copy-translation
+//! task with N = 2 parallel pipelines (each a team of stage-worker
+//! threads), a reference model sharded per stage, and Adam as the local
+//! optimizer — demonstrating the paper's claim that the framework is
+//! decoupled from the optimizer choice.
+//!
+//! ```text
+//! cargo run --release --example elastic_training
+//! ```
+
+use ea_data::SyntheticTask;
+use ea_models::{gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::{evaluate, ElasticTrainer, Trainer};
+use ea_tensor::TensorRng;
+
+struct ElasticAdapter(ElasticTrainer);
+
+impl Trainer for ElasticAdapter {
+    fn step(&mut self, batch: &ea_data::Batch) -> f32 {
+        let n = self.0.n_pipelines();
+        let per = batch.batch_size / n;
+        let parts = batch.split_micro(per);
+        self.0.round(&parts)
+    }
+    fn eval_model(&mut self) -> &ea_autograd::StagedModel {
+        self.0.eval_model()
+    }
+    fn batches_per_step(&self) -> usize {
+        self.0.n_pipelines()
+    }
+}
+
+fn main() {
+    let n_pipelines = 2;
+    let stages = 3;
+    let cfg = AnalogueConfig { vocab: 16, seq: 6, hidden: 24, blocks: 3, stages };
+    let seed = 42;
+
+    // All replicas start from identical weights; the reference model is
+    // initialized to the same point.
+    let replica_stages = (0..n_pipelines)
+        .map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed)).into_stages())
+        .collect();
+    let replica_opts = (0..n_pipelines)
+        .map(|_| {
+            (0..stages)
+                .map(|_| OptKind::Adam { lr: 1e-2 }.build())
+                .collect::<Vec<Box<dyn Optimizer>>>()
+        })
+        .collect();
+    let eval_model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
+
+    let micros = 4;
+    let trainer = ElasticTrainer::new(replica_stages, replica_opts, micros, None, eval_model);
+    let mut trainer = ElasticAdapter(trainer);
+
+    let task = SyntheticTask::copy_translate(16, 6, 7);
+    let batch_per_pipeline = 16;
+
+    println!("elastic averaging: {n_pipelines} pipelines × {stages} stage threads, Adam, α = 1/N");
+    for round in 0..120u64 {
+        let batch = task.batch(batch_per_pipeline * n_pipelines, round);
+        let loss = trainer.step(&batch);
+        if round % 20 == 0 || round == 119 {
+            let eval = evaluate(&mut trainer, &task, batch_per_pipeline, 4);
+            println!(
+                "round {round:>4}: train loss {loss:.4}   held-out loss {:.4}  acc {:.3}",
+                eval.loss, eval.accuracy
+            );
+        }
+    }
+    let final_eval = evaluate(&mut trainer, &task, batch_per_pipeline, 8);
+    println!(
+        "final reference model: loss {:.4}, accuracy {:.3}",
+        final_eval.loss, final_eval.accuracy
+    );
+    assert!(final_eval.accuracy > 0.5, "training made real progress");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: tune and run AvgPipe on the GNMT workload, compare with
+//! GPipe under the same per-GPU memory budget.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use avgpipe::{run_avgpipe, run_baseline, BaselineKind, TuneMethod};
+use ea_models::gnmt_spec;
+use ea_sim::ClusterConfig;
+
+fn main() {
+    // The paper's testbed: 3 nodes × 2 V100 (32 GB), 1 Gbps Ethernet.
+    let cluster = ClusterConfig::paper_testbed();
+    let spec = gnmt_spec();
+    let batch = spec.default_batch;
+    let adam_state_bytes = 8;
+    let mem_budget = 16 * (1u64 << 30);
+
+    println!("workload: {} ({} M parameters, batch {batch})",
+        spec.name,
+        spec.total_param_bytes() / 4 / 1_000_000
+    );
+
+    // Baseline: GPipe with its micro-batch count swept for best time.
+    let gpipe = run_baseline(
+        BaselineKind::GPipe,
+        &spec,
+        &cluster,
+        batch,
+        adam_state_bytes,
+        mem_budget,
+    );
+    println!(
+        "GPipe        : M={:<3}       {:>7.3} s/batch, peak {:>5.2} GiB/GPU, util {:.2}",
+        gpipe.m,
+        gpipe.time_per_batch_s,
+        gpipe.max_peak_mem as f64 / (1u64 << 30) as f64,
+        gpipe.mean_util
+    );
+
+    // AvgPipe: profiling-based tuning of (M, N), advance forward
+    // propagation adapted by Algorithm 1, constrained to GPipe's memory.
+    let avg = run_avgpipe(
+        &spec,
+        &cluster,
+        batch,
+        adam_state_bytes,
+        gpipe.max_peak_mem,
+        TuneMethod::ProfilingBased,
+        4,
+    );
+    println!(
+        "AvgPipe(G)   : M={:<3} N={}   {:>7.3} s/batch, peak {:>5.2} GiB/GPU, util {:.2}, advance {}",
+        avg.m,
+        avg.n,
+        avg.time_per_batch_s,
+        avg.max_peak_mem as f64 / (1u64 << 30) as f64,
+        avg.mean_util,
+        avg.advance
+    );
+    println!(
+        "speedup: {:.2}x with {:.1}% of GPipe's memory",
+        gpipe.time_per_batch_s / avg.time_per_batch_s,
+        avg.max_peak_mem as f64 / gpipe.max_peak_mem as f64 * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! Explore the time/memory frontier of advance forward propagation.
+//!
+//! Sweeps the advance depth `a` from the 1F1B floor (`K−1`) to the full
+//! AFAB depth (`M+K−1`) on the GNMT workload and prints the trade-off the
+//! paper's §4.2 describes, plus what Algorithm 1 settles on under a
+//! memory budget.
+//!
+//! ```text
+//! cargo run --release --example schedule_explorer
+//! ```
+
+use ea_models::gnmt_spec;
+use ea_sched::{
+    partition_model, pipeline_program, AdvanceController, PipelinePlan, PipeStyle, WarmupPolicy,
+};
+use ea_sim::{ClusterConfig, Simulator};
+
+fn main() {
+    let spec = gnmt_spec();
+    let cluster = ClusterConfig::paper_testbed();
+    let k = cluster.num_devices();
+    let partition = partition_model(&spec, k);
+    let (batch, micros) = (128, 32);
+    let plan = PipelinePlan::new(spec, cluster.clone(), partition, batch, micros, 8);
+    let sim = Simulator::new(cluster);
+
+    println!("GNMT, batch {batch}, M = {micros} micro-batches, K = {k} stages");
+    println!("{:>10} {:>12} {:>10}", "advance", "ms/batch", "peak GiB");
+    let run = |style: PipeStyle| {
+        let prog = pipeline_program(&plan, &style, 2);
+        let r = sim.run(&prog).expect("schedule runs");
+        (r.makespan_us / 2000.0, r.max_peak_mem() as f64 / (1u64 << 30) as f64)
+    };
+    let (t, m) = run(PipeStyle::avgpipe_with(1, WarmupPolicy::OneFOneB));
+    println!("{:>10} {t:>12.1} {m:>10.2}   (1F1B floor)", k - 1);
+    for a in [k + 1, k + 3, k + 7, k + 15, micros / 2 + k] {
+        let (t, m) = run(PipeStyle::avgpipe_with(1, WarmupPolicy::Advance { a }));
+        println!("{a:>10} {t:>12.1} {m:>10.2}");
+    }
+    let (t, m) = run(PipeStyle::avgpipe_with(1, WarmupPolicy::Afab));
+    println!("{:>10} {t:>12.1} {m:>10.2}   (AFAB)", micros + k - 1);
+
+    // Algorithm 1 under a 6 GiB budget.
+    let budget = 6 * (1u64 << 30);
+    let mut ctrl = AdvanceController::new(k, micros, budget);
+    while !ctrl.frozen() {
+        let prog =
+            pipeline_program(&plan, &PipeStyle::avgpipe_with(1, WarmupPolicy::Advance { a: ctrl.advance() }), 1);
+        let r = sim.run(&prog).expect("schedule runs");
+        ctrl.observe(r.makespan_us, r.max_peak_mem());
+    }
+    println!("\nAlgorithm 1 under a 6 GiB budget settles at advance = {}", ctrl.advance());
+}

@@ -1,0 +1,50 @@
+//! Compare the four tuning strategies of §5 on one workload.
+//!
+//! ```text
+//! cargo run --release --example tune_degrees -- [gnmt|bert|awd]
+//! ```
+
+use avgpipe::{tune, TuneMethod};
+use ea_models::Workload;
+use ea_sched::partition_model;
+use ea_sim::ClusterConfig;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "awd".to_string());
+    let workload = match arg.as_str() {
+        "gnmt" => Workload::Gnmt,
+        "bert" => Workload::Bert,
+        "awd" => Workload::Awd,
+        other => panic!("unknown workload {other}; use gnmt|bert|awd"),
+    };
+    let spec = workload.spec();
+    let cluster = if workload == Workload::Awd {
+        ClusterConfig::paper_testbed_two_nodes()
+    } else {
+        ClusterConfig::paper_testbed()
+    };
+    let partition = partition_model(&spec, cluster.num_devices());
+    let batch = spec.default_batch;
+    let opt_bytes = if workload == Workload::Awd { 4 } else { 8 };
+    let budget = 16 * (1u64 << 30);
+
+    println!("tuning {} (batch {batch}) under a 16 GiB/GPU budget", workload.name());
+    for method in [
+        TuneMethod::Traversal,
+        TuneMethod::MaxNum,
+        TuneMethod::MaxSize,
+        TuneMethod::ProfilingBased,
+    ] {
+        let o = tune(&spec, &cluster, &partition, batch, opt_bytes, budget, method, 4);
+        println!(
+            "  {:<10} -> (M = {:>3}, N = {})   tuning cost {:>8.1} simulated-cluster seconds ({} settings evaluated)",
+            method.name(),
+            o.m,
+            o.n,
+            o.tuning_cost_s,
+            o.evaluated
+        );
+    }
+    println!("\nThe profiling-based method evaluates every setting analytically");
+    println!("from one twenty-batch profile (Equations 1–8 of the paper).");
+}

@@ -1,0 +1,2 @@
+//! Workspace-level integration surface: re-exports used by the integration tests and examples.
+pub use avgpipe;

@@ -1,0 +1,234 @@
+//! Property-based tests of the numeric substrate: tensor algebra,
+//! autodiff, optimizers and the elastic-averaging invariants.
+
+use ea_autograd::{
+    cross_entropy_loss, Activation, ActivationKind, ForwardCtx, Layer, LayerNorm, Linear,
+};
+use ea_optim::{clip_grad_norm, elastic_pull, ReferenceAccumulator, Sgd, Optimizer};
+use ea_tensor::{
+    allclose, col_sums, matmul, matmul_a_bt, matmul_at_b, row_sums, softmax_rows, transpose,
+    uniform, Tensor, TensorRng,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ — ties the three matmul kernels together.
+    #[test]
+    fn matmul_transpose_identity(a in tensor_strategy(4, 6), b in tensor_strategy(6, 3)) {
+        let left = transpose(&matmul(&a, &b));
+        let right = matmul(&transpose(&b), &transpose(&a));
+        prop_assert!(allclose(&left, &right, 1e-4));
+    }
+
+    /// A·Bᵀ computed directly equals A·(Bᵀ) materialized.
+    #[test]
+    fn fused_transpose_kernels_agree(a in tensor_strategy(5, 4), b in tensor_strategy(3, 4)) {
+        prop_assert!(allclose(&matmul_a_bt(&a, &b), &matmul(&a, &transpose(&b)), 1e-4));
+        let c = Tensor::from_vec(b.data().to_vec(), &[4, 3]);
+        let _ = c;
+        prop_assert!(allclose(
+            &matmul_at_b(&a, &matmul(&a, &b.reshape(&[4, 3]))),
+            &matmul(&transpose(&a), &matmul(&a, &b.reshape(&[4, 3]))),
+            1e-3
+        ));
+    }
+
+    /// Matmul distributes over addition.
+    #[test]
+    fn matmul_is_linear(
+        a in tensor_strategy(3, 5),
+        b in tensor_strategy(5, 2),
+        c in tensor_strategy(5, 2),
+    ) {
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(allclose(&lhs, &rhs, 1e-4));
+    }
+
+    /// Row sums + transposition = column sums.
+    #[test]
+    fn row_col_sum_duality(a in tensor_strategy(4, 7)) {
+        prop_assert!(allclose(&row_sums(&a), &col_sums(&transpose(&a)), 1e-5));
+    }
+
+    /// Softmax rows are probability vectors and order-preserving.
+    #[test]
+    fn softmax_is_stochastic_and_monotone(a in tensor_strategy(3, 8)) {
+        let s = softmax_rows(&a);
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for total in row_sums(&s).data() {
+            prop_assert!((total - 1.0).abs() < 1e-5);
+        }
+        for i in 0..3 {
+            for j in 0..7 {
+                let (x0, x1) = (a.at(&[i, j]), a.at(&[i, j + 1]));
+                let (s0, s1) = (s.at(&[i, j]), s.at(&[i, j + 1]));
+                if x0 < x1 {
+                    prop_assert!(s0 <= s1 + 1e-7);
+                }
+            }
+        }
+    }
+
+    /// Cross-entropy gradients have zero row sums and point away from the
+    /// target class.
+    #[test]
+    fn cross_entropy_gradient_structure(
+        logits in tensor_strategy(4, 5),
+        targets in proptest::collection::vec(0usize..5, 4),
+    ) {
+        let out = cross_entropy_loss(&logits, &targets);
+        prop_assert!(out.loss >= 0.0);
+        for i in 0..4 {
+            let row = out.grad.row(i);
+            prop_assert!(row.sum().abs() < 1e-6);
+            prop_assert!(row.data()[targets[i]] <= 0.0, "target grad must be ≤ 0");
+        }
+    }
+
+    /// Linear-layer gradients match finite differences for random shapes.
+    #[test]
+    fn linear_gradcheck_random_shapes(inputs in 2usize..6, outputs in 2usize..6, seed in 0u64..50) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let layer = Linear::new(inputs, outputs, &mut rng);
+        ea_autograd::gradcheck_layer(layer, &[3, inputs], 3e-2, seed);
+    }
+
+    /// Activation layers are exactly element-wise: permuting inputs
+    /// permutes outputs.
+    #[test]
+    fn activations_are_elementwise(v in proptest::collection::vec(-3.0f32..3.0, 6)) {
+        for kind in [ActivationKind::Relu, ActivationKind::Tanh, ActivationKind::Gelu] {
+            let act = Activation::new(kind);
+            let x = Tensor::from_vec(v.clone(), &[6]);
+            let (y, _) = act.forward(&x, &ForwardCtx::eval());
+            let mut rev = v.clone();
+            rev.reverse();
+            let (yr, _) = act.forward(&Tensor::from_vec(rev, &[6]), &ForwardCtx::eval());
+            for i in 0..6 {
+                prop_assert!((y.data()[i] - yr.data()[5 - i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// LayerNorm output is invariant to a constant shift of its input.
+    #[test]
+    fn layernorm_shift_invariance(v in proptest::collection::vec(-2.0f32..2.0, 8), shift in -5.0f32..5.0) {
+        let ln = LayerNorm::new(8);
+        let x = Tensor::from_vec(v.clone(), &[1, 8]);
+        let shifted = x.map(|t| t + shift);
+        let (y, _) = ln.forward(&x, &ForwardCtx::eval());
+        let (ys, _) = ln.forward(&shifted, &ForwardCtx::eval());
+        prop_assert!(allclose(&y, &ys, 1e-3));
+    }
+
+    /// SGD with lr on a quadratic contracts toward the optimum for any
+    /// stable learning rate.
+    #[test]
+    fn sgd_contracts_on_quadratic(lr in 0.01f32..0.9, start in -10.0f32..10.0) {
+        let mut opt = Sgd::new(lr);
+        let mut p = vec![start];
+        for _ in 0..100 {
+            let g = vec![p[0]];
+            opt.step(&mut p, &g);
+        }
+        prop_assert!(p[0].abs() < start.abs().max(0.2), "diverged to {}", p[0]);
+    }
+
+    /// Gradient clipping never increases the norm and preserves direction.
+    #[test]
+    fn clipping_preserves_direction(v in proptest::collection::vec(-5.0f32..5.0, 6), max in 0.1f32..10.0) {
+        let mut g = v.clone();
+        let pre = clip_grad_norm(&mut g, max);
+        let post: f32 = g.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(post <= max + 1e-4);
+        prop_assert!(post <= pre + 1e-4);
+        if pre > 1e-6 {
+            // Direction preserved: g is a non-negative multiple of v.
+            for (a, b) in g.iter().zip(&v) {
+                prop_assert!((a * pre - b * post).abs() < 1e-2, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Elastic pull is a convex combination: the result lies between the
+    /// local weights and the reference, and α + (1−α) partitions exactly.
+    #[test]
+    fn elastic_pull_is_convex(
+        w in proptest::collection::vec(-3.0f32..3.0, 5),
+        r in proptest::collection::vec(-3.0f32..3.0, 5),
+        alpha in 0.0f32..1.0,
+    ) {
+        let mut pulled = w.clone();
+        elastic_pull(&mut pulled, &r, alpha);
+        for i in 0..5 {
+            let lo = w[i].min(r[i]) - 1e-5;
+            let hi = w[i].max(r[i]) + 1e-5;
+            prop_assert!((lo..=hi).contains(&pulled[i]));
+        }
+    }
+
+    /// The reference accumulator is permutation-invariant in expectation:
+    /// submitting the same multiset of updates in any order yields the
+    /// same reference (our shard sums in fixed index order).
+    #[test]
+    fn reference_accumulator_matches_mean(
+        updates in proptest::collection::vec(proptest::collection::vec(-2.0f32..2.0, 4), 1..5),
+    ) {
+        let n = updates.len();
+        let mut acc = ReferenceAccumulator::new(4, n);
+        let mut reference = vec![0.0f32; 4];
+        for u in &updates {
+            acc.receive(u);
+        }
+        prop_assert!(acc.try_apply(&mut reference));
+        for i in 0..4 {
+            let mean: f32 = updates.iter().map(|u| u[i]).sum::<f32>() / n as f32;
+            prop_assert!((reference[i] - mean).abs() < 1e-5);
+        }
+    }
+
+    /// Identically-initialized replicas fed identical data stay bit-equal
+    /// under elastic averaging (the contraction never separates them).
+    #[test]
+    fn identical_replicas_stay_identical(seed in 0u64..20) {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let w0: Vec<f32> = (0..6).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut a = w0.clone();
+        let mut b = w0.clone();
+        let mut reference = w0.clone();
+        let mut acc = ReferenceAccumulator::new(6, 2);
+        for step in 0..5 {
+            let grad: Vec<f32> = (0..6).map(|i| ((step + i) as f32).sin()).collect();
+            let delta: Vec<f32> = grad.iter().map(|g| -0.1 * g).collect();
+            for w in [&mut a, &mut b] {
+                for (x, d) in w.iter_mut().zip(&delta) {
+                    *x += d;
+                }
+            }
+            acc.receive(&delta);
+            acc.receive(&delta);
+            elastic_pull(&mut a, &reference, 0.5);
+            elastic_pull(&mut b, &reference, 0.5);
+            acc.try_apply(&mut reference);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+}
+
+#[test]
+fn uniform_tensor_respects_bounds_and_determinism() {
+    let mut r1 = TensorRng::seed_from_u64(5);
+    let mut r2 = TensorRng::seed_from_u64(5);
+    let a = uniform(&[64], -0.5, 1.5, &mut r1);
+    let b = uniform(&[64], -0.5, 1.5, &mut r2);
+    assert_eq!(a, b);
+    assert!(a.data().iter().all(|&x| (-0.5..1.5).contains(&x)));
+}

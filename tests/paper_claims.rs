@@ -1,0 +1,156 @@
+//! Headline qualitative claims of the paper, asserted against the
+//! simulated cluster. These are the "shape" checks of the reproduction:
+//! who wins, in which direction, and under which constraint.
+
+use avgpipe::{predict, run_avgpipe, run_baseline, tune, BaselineKind, Profiler, TuneMethod};
+use ea_models::{bert_spec, gnmt_spec, Workload};
+use ea_sched::partition_model;
+use ea_sim::ClusterConfig;
+
+const GIB: u64 = 1 << 30;
+const CAP: u64 = 16 * GIB;
+
+#[test]
+fn pipeline_parallelism_beats_data_parallelism_on_slow_ethernet() {
+    // §7.1.1: "data parallelism has to synchronize the model across
+    // nodes, resulting in overwhelming network communication overhead."
+    let spec = gnmt_spec();
+    let cluster = ClusterConfig::paper_testbed();
+    let ddp = run_baseline(BaselineKind::DataParallel, &spec, &cluster, 128, 8, CAP);
+    let gpipe = run_baseline(BaselineKind::GPipe, &spec, &cluster, 128, 8, CAP);
+    assert!(ddp.time_per_batch_s > 3.0 * gpipe.time_per_batch_s);
+}
+
+#[test]
+fn avgpipe_beats_every_fitting_baseline_on_gnmt_within_its_memory() {
+    let spec = gnmt_spec();
+    let cluster = ClusterConfig::paper_testbed();
+    for kind in [BaselineKind::GPipe, BaselineKind::PipeDream2Bw, BaselineKind::Dapple] {
+        let base = run_baseline(kind, &spec, &cluster, 128, 8, CAP);
+        assert!(!base.oom, "{} unexpectedly OOMed", base.name);
+        let budget = (base.max_peak_mem as f64 * 1.05) as u64;
+        let avg = run_avgpipe(&spec, &cluster, 128, 8, budget, TuneMethod::ProfilingBased, 4);
+        assert!(!avg.oom, "AvgPipe vs {} OOMed", base.name);
+        assert!(
+            avg.time_per_batch_s < base.time_per_batch_s * 1.02,
+            "AvgPipe {} s/batch vs {} {} s/batch",
+            avg.time_per_batch_s,
+            base.name,
+            base.time_per_batch_s
+        );
+    }
+}
+
+#[test]
+fn pipedream_ooms_on_bert_but_2bw_does_not() {
+    // §7.1.1: "PipeDream has to maintain six versions of model weights to
+    // mitigate bubbles, causing the out-of-memory event. In contrast,
+    // PipeDream-2BW achieves the lowest memory footprint."
+    let spec = bert_spec();
+    let cluster = ClusterConfig::paper_testbed();
+    let pd = run_baseline(BaselineKind::PipeDream, &spec, &cluster, 32, 8, CAP);
+    assert!(pd.oom, "PipeDream should exceed the 16 GiB budget on BERT");
+    let bw = run_baseline(BaselineKind::PipeDream2Bw, &spec, &cluster, 32, 8, CAP);
+    assert!(!bw.oom, "PipeDream-2BW must fit");
+    // And the in-flight stash shows the K−k staircase on PipeDream.
+    assert!(pd.peak_mem[0] > pd.peak_mem[4]);
+}
+
+#[test]
+fn avgpipe_raises_gpu_utilization_on_bert() {
+    // Figure 13: parallel pipelines raise utilization.
+    let spec = bert_spec();
+    let cluster = ClusterConfig::paper_testbed();
+    let gpipe = run_baseline(BaselineKind::GPipe, &spec, &cluster, 32, 8, CAP);
+    let avg = run_avgpipe(&spec, &cluster, 32, 8, CAP, TuneMethod::ProfilingBased, 4);
+    assert!(avg.n >= 2, "AvgPipe should choose parallel pipelines, chose N={}", avg.n);
+    assert!(
+        avg.mean_util > gpipe.mean_util,
+        "AvgPipe util {} vs GPipe {}",
+        avg.mean_util,
+        gpipe.mean_util
+    );
+}
+
+#[test]
+fn profiling_tuner_is_cheap_and_good_on_every_workload() {
+    // Figures 18/19 shape, all three workloads.
+    for w in Workload::all() {
+        let spec = w.spec();
+        let cluster = if w == Workload::Awd {
+            ClusterConfig::paper_testbed_two_nodes()
+        } else {
+            ClusterConfig::paper_testbed()
+        };
+        let part = partition_model(&spec, cluster.num_devices());
+        let batch = spec.default_batch;
+        let opt = if w == Workload::Awd { 4 } else { 8 };
+        let prof = tune(&spec, &cluster, &part, batch, opt, CAP, TuneMethod::ProfilingBased, 4);
+        let trav = tune(&spec, &cluster, &part, batch, opt, CAP, TuneMethod::Traversal, 4);
+        assert!(
+            prof.tuning_cost_s * 3.0 < trav.tuning_cost_s,
+            "{}: profiling {} s vs traversal {} s",
+            w.name(),
+            prof.tuning_cost_s,
+            trav.tuning_cost_s
+        );
+    }
+}
+
+#[test]
+fn predictor_self_consistency_on_all_workloads() {
+    // Predicting the profiled setting itself must reproduce the measured
+    // compute time exactly and the measured memory exactly.
+    for w in Workload::all() {
+        let spec = w.spec();
+        let cluster = if w == Workload::Awd {
+            ClusterConfig::paper_testbed_two_nodes()
+        } else {
+            ClusterConfig::paper_testbed()
+        };
+        let part = partition_model(&spec, cluster.num_devices());
+        let batch = spec.default_batch;
+        let profiler = Profiler::new(spec, cluster, part, batch, 8);
+        let p = profiler.profile(batch, 1, 4);
+        let pred = predict(&p, batch, 1);
+        for (k, d) in p.per_device.iter().enumerate() {
+            let (tg, _, _) = pred.per_device_t[k];
+            assert!(
+                (tg - d.t_gpu_us).abs() <= 1e-6 * d.t_gpu_us.max(1.0),
+                "{} device {k}: {tg} vs {}",
+                w.name(),
+                d.t_gpu_us
+            );
+        }
+    }
+}
+
+#[test]
+fn avgpipe_chooses_workload_appropriate_degrees() {
+    // Figure 19's insight: many micro-batches for GNMT (bubble-bound),
+    // huge micro-batches for AWD (arithmetic-intensity-bound).
+    let gnmt = run_avgpipe(
+        &gnmt_spec(),
+        &ClusterConfig::paper_testbed(),
+        128,
+        8,
+        CAP,
+        TuneMethod::Traversal,
+        4,
+    );
+    assert!(gnmt.m >= 8, "GNMT wants many micro-batches, got M={}", gnmt.m);
+    let awd = run_avgpipe(
+        &Workload::Awd.spec(),
+        &ClusterConfig::paper_testbed_two_nodes(),
+        40,
+        4,
+        CAP,
+        TuneMethod::Traversal,
+        4,
+    );
+    assert!(
+        awd.m <= 5,
+        "AWD wants large micro-batches (small M), got M={}",
+        awd.m
+    );
+}

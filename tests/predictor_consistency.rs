@@ -1,0 +1,171 @@
+//! Cross-validation of the analytic predictor (Equations 1–8) against
+//! the discrete-event simulator: the tuner only needs the predictor to
+//! *rank* settings correctly, so these tests measure ranking agreement,
+//! memory-feasibility agreement, and monotonicity.
+
+use avgpipe::{predict, Profiler};
+use ea_models::{ModelSpec, Workload};
+use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+use ea_sim::{ClusterConfig, Simulator};
+
+fn settings(batch: usize, max_n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for m in (1..=batch).filter(|d| batch % d == 0) {
+        for n in 1..=max_n {
+            out.push((m, n));
+        }
+    }
+    out
+}
+
+fn env(w: Workload) -> (ModelSpec, ClusterConfig, usize, usize) {
+    let spec = w.spec();
+    let cluster = if w == Workload::Awd {
+        ClusterConfig::paper_testbed_two_nodes()
+    } else {
+        ClusterConfig::paper_testbed()
+    };
+    let batch = spec.default_batch;
+    let opt = if w == Workload::Awd { 4 } else { 8 };
+    (spec, cluster, batch, opt)
+}
+
+/// Measures every setting two ways: predicted time and simulated time.
+fn measure_both(w: Workload) -> Vec<((usize, usize), f64, f64)> {
+    let (spec, cluster, batch, opt) = env(w);
+    let kk = cluster.num_devices();
+    let part = partition_model(&spec, kk);
+    let profiler = Profiler::new(spec.clone(), cluster.clone(), part.clone(), batch, opt);
+    let profile = profiler.profile_default();
+    let sim = Simulator::new(cluster.clone());
+    settings(batch, 3)
+        .into_iter()
+        .filter_map(|(m, n)| {
+            let pred = predict(&profile, m, n).t_us;
+            let plan =
+                PipelinePlan::new(spec.clone(), cluster.clone(), part.clone(), batch, m, opt);
+            let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, kk - 1), 4);
+            let r = sim.run(&prog).ok()?;
+            let measured = r.makespan_us / (4.0 * n as f64);
+            Some(((m, n), pred, measured))
+        })
+        .collect()
+}
+
+/// Fraction of setting pairs ordered the same way by predictor and
+/// simulator (Kendall-style concordance).
+fn concordance(rows: &[((usize, usize), f64, f64)]) -> f64 {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..rows.len() {
+        for j in i + 1..rows.len() {
+            let dp = rows[i].1 - rows[j].1;
+            let dm = rows[i].2 - rows[j].2;
+            // Skip near-ties in the measured ordering.
+            if dm.abs() < 0.02 * rows[i].2.max(rows[j].2) {
+                continue;
+            }
+            total += 1;
+            if dp.signum() == dm.signum() {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+#[test]
+fn predictor_ranks_settings_consistently_with_simulator() {
+    for w in Workload::all() {
+        let rows = measure_both(w);
+        assert!(rows.len() >= 8, "{}: too few settings ran", w.name());
+        let c = concordance(&rows);
+        assert!(
+            c >= 0.6,
+            "{}: predictor/simulator concordance only {c:.2}",
+            w.name()
+        );
+        // The predictor's top pick is within 2× of the simulator's best.
+        let best_pred = rows
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let best_meas = rows
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .unwrap();
+        assert!(
+            best_pred.2 <= best_meas.2 * 2.0,
+            "{}: predicted-best {:?} measures {:.0}µs vs true best {:?} {:.0}µs",
+            w.name(),
+            best_pred.0,
+            best_pred.2,
+            best_meas.0,
+            best_meas.2
+        );
+    }
+}
+
+#[test]
+fn predicted_memory_is_monotone_in_n_and_antitone_in_m() {
+    for w in Workload::all() {
+        let (spec, cluster, batch, opt) = env(w);
+        let part = partition_model(&spec, cluster.num_devices());
+        let profiler = Profiler::new(spec, cluster, part, batch, opt);
+        let profile = profiler.profile_default();
+        let ms: Vec<usize> = (1..=batch).filter(|d| batch % d == 0).collect();
+        for window in ms.windows(2) {
+            let small = predict(&profile, window[0], 1);
+            let large = predict(&profile, window[1], 1);
+            // More micro-batches never increase the stage-0 footprint.
+            assert!(
+                large.per_device_mem[0] <= small.per_device_mem[0],
+                "{}: M={} mem {} vs M={} mem {}",
+                w.name(),
+                window[1],
+                large.per_device_mem[0],
+                window[0],
+                small.per_device_mem[0]
+            );
+        }
+        for n in 1..4usize {
+            let a = predict(&profile, batch, n);
+            let b = predict(&profile, batch, n + 1);
+            assert!(b.per_device_mem[0] > a.per_device_mem[0]);
+        }
+    }
+}
+
+#[test]
+fn predicted_memory_brackets_simulated_memory() {
+    // Predicted memory uses the 1F1B floor; the measured run at the same
+    // floor depth must land within a modest factor.
+    for w in [Workload::Gnmt, Workload::Awd] {
+        let (spec, cluster, batch, opt) = env(w);
+        let kk = cluster.num_devices();
+        let part = partition_model(&spec, kk);
+        let profiler = Profiler::new(spec.clone(), cluster.clone(), part.clone(), batch, opt);
+        let profile = profiler.profile_default();
+        let sim = Simulator::new(cluster.clone());
+        for (m, n) in [(batch, 1), (batch / 2, 2)] {
+            let pred = predict(&profile, m, n);
+            let plan =
+                PipelinePlan::new(spec.clone(), cluster.clone(), part.clone(), batch, m, opt);
+            let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, kk - 1), 2);
+            let r = sim.run(&prog).unwrap();
+            for k in 0..kk {
+                let p = pred.per_device_mem[k] as f64;
+                let s = r.devices[k].peak_mem as f64;
+                assert!(
+                    p > 0.4 * s && p < 2.5 * s,
+                    "{} (M={m},N={n}) device {k}: predicted {p:.2e} vs simulated {s:.2e}",
+                    w.name()
+                );
+            }
+        }
+    }
+}

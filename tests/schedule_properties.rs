@@ -1,0 +1,148 @@
+//! Property-based tests of the schedule generators and simulator:
+//! every randomly-configured pipeline program must be well-formed,
+//! deadlock-free, within its stash bounds, and conserve time.
+
+use ea_models::{awd_spec, bert_spec, gnmt_spec, ModelSpec};
+use ea_sched::{
+    check_stash_bounds, partition_model, pipeline_program, PipelinePlan, PipeStyle, WarmupPolicy,
+};
+use ea_sim::{ClusterConfig, Simulator};
+use proptest::prelude::*;
+
+fn spec_for(idx: usize) -> ModelSpec {
+    match idx % 3 {
+        0 => gnmt_spec(),
+        1 => bert_spec(),
+        _ => awd_spec(),
+    }
+}
+
+fn style_for(idx: usize, n: usize, a: usize) -> PipeStyle {
+    match idx % 5 {
+        0 => PipeStyle::gpipe(),
+        1 => PipeStyle::dapple(),
+        2 => PipeStyle::pipedream(),
+        3 => PipeStyle::pipedream_2bw(),
+        _ => PipeStyle::avgpipe(n, a),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated pipeline program is channel-consistent, runs to
+    /// completion, and its per-device time buckets sum to the makespan.
+    #[test]
+    fn programs_are_wellformed_and_conservative(
+        spec_idx in 0usize..3,
+        style_idx in 0usize..5,
+        stages in 2usize..5,
+        micros_pow in 0u32..4,
+        n in 1usize..3,
+        batches in 1usize..3,
+    ) {
+        let spec = spec_for(spec_idx);
+        let micros = (1usize << micros_pow).min(spec.default_batch);
+        let batch = spec.default_batch - spec.default_batch % micros;
+        prop_assume!(batch >= micros);
+        let cluster = ClusterConfig { nodes: stages, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
+        let partition = partition_model(&spec, stages);
+        let plan = PipelinePlan::new(spec, cluster.clone(), partition, batch, micros, 8);
+        let a = stages - 1 + micros / 2;
+        let style = style_for(style_idx, n, a);
+
+        let prog = pipeline_program(&plan, &style, batches);
+        prop_assert!(prog.validate_channels().is_ok(), "channel mismatch");
+
+        let sim = Simulator::new(cluster);
+        let result = sim.run(&prog);
+        prop_assert!(result.is_ok(), "simulation failed: {:?}", result.err());
+        let r = result.unwrap();
+        prop_assert!(r.makespan_us > 0.0);
+        for (k, d) in r.devices.iter().enumerate().take(plan.stages()) {
+            let total = d.busy_us + d.comm_blocked_us + d.idle_us;
+            prop_assert!(
+                (total - r.makespan_us).abs() < 1e-3 * r.makespan_us.max(1.0),
+                "device {k}: buckets {total} vs makespan {}",
+                r.makespan_us
+            );
+        }
+    }
+
+    /// The stash bound (warmup + 1, with the 1F1B K−k floor) holds for
+    /// every stage under every warmup policy.
+    #[test]
+    fn stash_bounds_hold(
+        spec_idx in 0usize..3,
+        stages in 2usize..5,
+        micros_pow in 0u32..4,
+        n in 1usize..3,
+        extra in 0usize..12,
+    ) {
+        let spec = spec_for(spec_idx);
+        let micros = (1usize << micros_pow).min(spec.default_batch);
+        let batch = spec.default_batch - spec.default_batch % micros;
+        prop_assume!(batch >= micros);
+        let cluster = ClusterConfig { nodes: stages, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
+        let partition = partition_model(&spec, stages);
+        let plan = PipelinePlan::new(spec, cluster, partition, batch, micros, 8);
+        for warmup in [
+            WarmupPolicy::Afab,
+            WarmupPolicy::OneFOneB,
+            WarmupPolicy::Advance { a: stages - 1 + extra },
+        ] {
+            let style = PipeStyle::avgpipe_with(n, warmup);
+            let prog = pipeline_program(&plan, &style, 2);
+            prop_assert!(check_stash_bounds(&plan, &style, &prog).is_ok());
+        }
+    }
+
+    /// Memory ordering across schedules: 1F1B ≤ advance ≤ AFAB for every
+    /// configuration.
+    #[test]
+    fn schedule_memory_ordering(
+        spec_idx in 0usize..3,
+        stages in 2usize..5,
+        micros_pow in 2u32..5,
+        extra in 1usize..8,
+    ) {
+        let spec = spec_for(spec_idx);
+        let micros = (1usize << micros_pow).min(spec.default_batch);
+        let batch = spec.default_batch - spec.default_batch % micros;
+        prop_assume!(batch >= micros && micros > stages);
+        let cluster = ClusterConfig { nodes: stages, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
+        let partition = partition_model(&spec, stages);
+        let plan = PipelinePlan::new(spec, cluster.clone(), partition, batch, micros, 8);
+        let sim = Simulator::new(cluster);
+        let peak = |w: WarmupPolicy| {
+            let prog = pipeline_program(&plan, &PipeStyle::avgpipe_with(1, w), 1);
+            sim.run(&prog).unwrap().max_peak_mem()
+        };
+        let f1b = peak(WarmupPolicy::OneFOneB);
+        let adv = peak(WarmupPolicy::Advance { a: stages - 1 + extra });
+        let afab = peak(WarmupPolicy::Afab);
+        prop_assert!(f1b <= adv, "1F1B {f1b} > advance {adv}");
+        prop_assert!(adv <= afab, "advance {adv} > AFAB {afab}");
+    }
+
+    /// The simulator is deterministic: the same program always yields the
+    /// same makespan and memory.
+    #[test]
+    fn simulation_is_deterministic(
+        spec_idx in 0usize..3,
+        stages in 2usize..5,
+        n in 1usize..3,
+    ) {
+        let spec = spec_for(spec_idx);
+        let batch = spec.default_batch;
+        let cluster = ClusterConfig { nodes: stages, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
+        let partition = partition_model(&spec, stages);
+        let plan = PipelinePlan::new(spec, cluster.clone(), partition, batch, 4.min(batch), 8);
+        let prog = pipeline_program(&plan, &PipeStyle::avgpipe(n, stages), 2);
+        let sim = Simulator::new(cluster);
+        let a = sim.run(&prog).unwrap();
+        let b = sim.run(&prog).unwrap();
+        prop_assert_eq!(a.makespan_us, b.makespan_us);
+        prop_assert_eq!(a.max_peak_mem(), b.max_peak_mem());
+    }
+}

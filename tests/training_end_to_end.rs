@@ -1,0 +1,199 @@
+//! End-to-end training integration tests across the numeric crates:
+//! data generation → analogue models → (threaded) runtime → metrics.
+
+use ea_data::SyntheticTask;
+use ea_models::{awd_analogue, bert_analogue, gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::{
+    epochs_to_target, evaluate, ElasticSemantic, ElasticTrainer, SyncTrainer, ThreadedPipeline,
+    Trainer,
+};
+use ea_tensor::TensorRng;
+
+fn adam(stages: usize, lr: f32) -> Vec<Box<dyn Optimizer>> {
+    (0..stages).map(|_| OptKind::Adam { lr }.build()).collect()
+}
+
+#[test]
+fn gnmt_analogue_reaches_target_accuracy() {
+    let cfg = AnalogueConfig { vocab: 16, seq: 6, hidden: 24, blocks: 3, stages: 3 };
+    let model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(1));
+    let mut t = SyncTrainer::new(model, adam(3, 1e-2), 4);
+    let task = SyntheticTask::copy_translate(16, 6, 2);
+    let r = epochs_to_target(&mut t, &task, 8, 40, 25, 0.9, true, 4);
+    assert!(r.epochs.is_some(), "GNMT analogue never hit 90%: {:?}", r.final_eval);
+}
+
+#[test]
+fn bert_analogue_learns_masked_denoising() {
+    let cfg = AnalogueConfig { vocab: 24, seq: 8, hidden: 24, blocks: 2, stages: 2 };
+    let model = bert_analogue(cfg, &mut TensorRng::seed_from_u64(3));
+    let mut t = SyncTrainer::new(model, adam(2, 5e-3), 2);
+    let task = SyntheticTask::masked_denoise(24, 8, 0.3, 4);
+    let before = evaluate(&mut t, &task, 8, 4);
+    for b in 0..150u64 {
+        t.step(&task.batch(8, b));
+    }
+    let after = evaluate(&mut t, &task, 8, 4);
+    assert!(
+        after.accuracy > before.accuracy + 0.2,
+        "no learning: {:.3} -> {:.3}",
+        before.accuracy,
+        after.accuracy
+    );
+}
+
+#[test]
+fn awd_analogue_approaches_chain_entropy() {
+    let cfg = AnalogueConfig { vocab: 16, seq: 10, hidden: 24, blocks: 2, stages: 2 };
+    let model = awd_analogue(cfg, &mut TensorRng::seed_from_u64(5));
+    let opts: Vec<Box<dyn Optimizer>> =
+        (0..2).map(|_| OptKind::Momentum { lr: 0.2, beta: 0.9 }.build()).collect();
+    let mut t = SyncTrainer::new(model, opts, 2);
+    let task = SyntheticTask::next_token(16, 10, 6);
+    let before = evaluate(&mut t, &task, 8, 4);
+    for b in 0..400u64 {
+        t.step(&task.batch(8, b));
+    }
+    let after = evaluate(&mut t, &task, 8, 4);
+    // Uniform guessing gives ln(16) ≈ 2.77; the sparse Markov chain is
+    // predictable well below 2.0.
+    assert!(before.loss > 2.5);
+    assert!(after.loss < 2.1, "LM loss stuck at {:.3}", after.loss);
+}
+
+#[test]
+fn threaded_pipeline_trains_identically_to_reference_across_depths() {
+    for stages in [2usize, 4] {
+        let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 3, stages };
+        let task = SyntheticTask::copy_translate(16, 4, 9);
+        let mut reference = SyncTrainer::new(
+            gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(13)),
+            adam(stages, 1e-2),
+            4,
+        );
+        let mut pipe = ThreadedPipeline::spawn(
+            gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(13)).into_stages(),
+            adam(stages, 1e-2),
+            4,
+        );
+        for b in 0..6 {
+            let batch = task.batch(8, b);
+            let lr = reference.step(&batch);
+            let lt = pipe.step(&batch);
+            assert!((lr - lt).abs() < 1e-6, "K={stages} batch {b}: {lr} vs {lt}");
+        }
+    }
+}
+
+#[test]
+fn elastic_trainer_scales_to_three_pipelines_and_matches_semantics() {
+    let n = 3;
+    let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+    let task = SyntheticTask::copy_translate(16, 4, 21);
+    let seed = 33;
+
+    let stages = (0..n)
+        .map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed)).into_stages())
+        .collect();
+    let opts = (0..n).map(|_| adam(2, 1e-2)).collect();
+    let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
+    let mut threaded = ElasticTrainer::new(stages, opts, 2, None, eval);
+
+    let sem_models = (0..n).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed))).collect();
+    let sem_opts = (0..n).map(|_| adam(2, 1e-2)).collect();
+    let sem_eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
+    let mut semantic = ElasticSemantic::with_eval_replica(sem_models, sem_opts, 2, None, sem_eval);
+
+    for r in 0..3u64 {
+        let batches: Vec<_> = (0..n as u64).map(|i| task.batch(4, r * 3 + i)).collect();
+        let lt = threaded.round(&batches);
+        let ls = semantic.round(&batches);
+        assert!((lt - ls).abs() < 1e-6, "round {r}: {lt} vs {ls}");
+    }
+    for s in 0..2 {
+        let tw = threaded.reference(s);
+        let sw = semantic.reference(s);
+        assert!(tw.iter().zip(sw).all(|(a, b)| (a - b).abs() < 1e-6));
+    }
+}
+
+#[test]
+fn elastic_averaging_with_asgd_optimizer() {
+    // The framework is optimizer-agnostic (§3.2): swap Adam for ASGD.
+    let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+    let task = SyntheticTask::copy_translate(16, 4, 22);
+    let n = 2;
+    let models = (0..n).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(7))).collect();
+    let opts = (0..n)
+        .map(|_| {
+            (0..2)
+                .map(|_| OptKind::Asgd { lr: 5.0 }.build())
+                .collect::<Vec<Box<dyn Optimizer>>>()
+        })
+        .collect();
+    let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(7));
+    let mut ea = ElasticSemantic::with_eval_replica(models, opts, 2, None, eval);
+    let first = ea.round(&[task.batch(8, 0), task.batch(8, 1)]);
+    let mut last = first;
+    for r in 1..100u64 {
+        last = ea.round(&[task.batch(8, 2 * r), task.batch(8, 2 * r + 1)]);
+    }
+    assert!(last < first * 0.8, "ASGD elastic training stalled: {first} -> {last}");
+}
+
+#[test]
+fn gru_stack_trains_on_the_copy_task() {
+    use ea_autograd::{Embedding, GruSeq, Linear, Stage, StagedModel};
+
+    let (vocab, seq, hidden) = (16usize, 4usize, 24usize);
+    let mut rng = TensorRng::seed_from_u64(41);
+    let model = StagedModel::new(vec![
+        Stage::new(vec![
+            Box::new(Embedding::new(vocab, hidden, &mut rng)),
+            Box::new(GruSeq::new(seq, hidden, hidden, &mut rng)),
+        ]),
+        Stage::new(vec![
+            Box::new(GruSeq::new(seq, hidden, hidden, &mut rng)),
+            Box::new(Linear::new(hidden, vocab, &mut rng)),
+        ]),
+    ]);
+    let mut t = SyncTrainer::new(model, adam(2, 1e-2), 2);
+    let task = SyntheticTask::copy_translate(vocab, seq, 44);
+    let first = t.step(&task.batch(8, 0));
+    let mut last = first;
+    for b in 1..120 {
+        last = t.step(&task.batch(8, b));
+    }
+    assert!(last < first * 0.6, "GRU stack stalled: {first} -> {last}");
+}
+
+#[test]
+fn warmup_scheduled_adam_trains_the_bert_analogue() {
+    use ea_optim::{LrSchedule, Scheduled};
+
+    let cfg = AnalogueConfig { vocab: 24, seq: 8, hidden: 24, blocks: 2, stages: 2 };
+    let model = bert_analogue(cfg, &mut TensorRng::seed_from_u64(51));
+    // The BERT recipe: linear warmup then decay, wrapped around Adam.
+    let opts: Vec<Box<dyn Optimizer>> = (0..2)
+        .map(|_| {
+            Box::new(Scheduled::new(
+                OptKind::Adam { lr: 5e-3 }.build(),
+                LrSchedule::WarmupLinearDecay { warmup: 20, total: 200 },
+            )) as Box<dyn Optimizer>
+        })
+        .collect();
+    let mut t = SyncTrainer::new(model, opts, 2);
+    let task = SyntheticTask::masked_denoise(24, 8, 0.3, 52);
+    let before = evaluate(&mut t, &task, 8, 4);
+    for b in 0..150u64 {
+        t.step(&task.batch(8, b));
+    }
+    let after = evaluate(&mut t, &task, 8, 4);
+    assert!(
+        after.accuracy > before.accuracy + 0.15,
+        "scheduled training stalled: {:.3} -> {:.3}",
+        before.accuracy,
+        after.accuracy
+    );
+}
