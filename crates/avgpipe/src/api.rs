@@ -16,7 +16,7 @@
 
 use crate::{run_avgpipe, SystemReport, TuneMethod};
 use ea_models::{ModelSpec, Workload};
-use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+use ea_sched::{partition_model, pipeline_program, PipeStyle, PipelinePlan};
 use ea_sim::{chrome_trace_json, ClusterConfig, Simulator};
 
 /// Builder for an [`AvgPipe`] system.
@@ -164,11 +164,8 @@ impl AvgPipe {
             self.report.m,
             self.opt_state_per_param,
         );
-        let prog = pipeline_program(
-            &plan,
-            &PipeStyle::avgpipe(self.report.n, self.report.advance),
-            1,
-        );
+        let prog =
+            pipeline_program(&plan, &PipeStyle::avgpipe(self.report.n, self.report.advance), 1);
         let sim = Simulator::new(self.cluster.clone());
         let (_, spans) = sim.run_traced(&prog).expect("tuned program must run");
         chrome_trace_json(&prog, &spans)
@@ -181,10 +178,7 @@ mod tests {
 
     #[test]
     fn builder_produces_feasible_system() {
-        let sys = AvgPipe::builder(Workload::Awd)
-            .memory_limit_gib(16)
-            .max_pipelines(2)
-            .build();
+        let sys = AvgPipe::builder(Workload::Awd).memory_limit_gib(16).max_pipelines(2).build();
         let r = sys.report();
         assert!(!r.oom);
         assert!(r.time_per_batch_s > 0.0 && r.time_per_batch_s.is_finite());

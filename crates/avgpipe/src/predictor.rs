@@ -89,13 +89,9 @@ pub fn predict(profile: &Profile, m_star: usize, n_star: usize) -> Prediction {
         t_down[k] = t_down[k + 1] + (next.t_comm_total_us + t_gpu[k + 1]) / ms;
     }
 
-    let per_device_t: Vec<(f64, f64, f64)> = (0..kk)
-        .map(|k| (t_gpu[k], t_com[k], t_up[k] + t_down[k]))
-        .collect();
-    let t_us = per_device_t
-        .iter()
-        .map(|(g, c, b)| g + c + b)
-        .fold(0.0f64, f64::max);
+    let per_device_t: Vec<(f64, f64, f64)> =
+        (0..kk).map(|k| (t_gpu[k], t_com[k], t_up[k] + t_down[k])).collect();
+    let t_us = per_device_t.iter().map(|(g, c, b)| g + c + b).fold(0.0f64, f64::max);
 
     // Equation (8): memory. F_mod scales with the replica count; F_dat
     // scales with micro-batch size, replica count, and the fraction of
@@ -139,8 +135,7 @@ mod tests {
     fn awd_profile() -> Profile {
         let spec = awd_spec();
         let part = partition_model(&spec, 4);
-        let prof =
-            Profiler::new(spec, ClusterConfig::paper_testbed_two_nodes(), part, 40, 4);
+        let prof = Profiler::new(spec, ClusterConfig::paper_testbed_two_nodes(), part, 40, 4);
         prof.profile(40, 1, 6)
     }
 

@@ -1,7 +1,7 @@
 //! The profiling phase of the tuning method (§5.2.1).
 
 use ea_models::ModelSpec;
-use ea_sched::{pipeline_program, Partition, PipelinePlan, PipeStyle, WarmupPolicy};
+use ea_sched::{pipeline_program, Partition, PipeStyle, PipelinePlan, WarmupPolicy};
 use ea_sim::{ClusterConfig, Simulator, UtilTrace};
 
 /// Per-GPU measurements from a profiling run, normalized per batch.
@@ -104,8 +104,7 @@ impl Profiler {
                 let d = &result.devices[k];
                 // Model memory from the plan (deterministic); the rest of
                 // the peak is data/activations.
-                let f_mod = plan.stage_weight_footprint(k) * n as u64
-                    + plan.stage_param_bytes(k); // reference replica
+                let f_mod = plan.stage_weight_footprint(k) * n as u64 + plan.stage_param_bytes(k); // reference replica
                 let f_dat = d.peak_mem.saturating_sub(f_mod);
                 DeviceProfile {
                     t_gpu_us: d.busy_us / batches as f64,

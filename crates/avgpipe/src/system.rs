@@ -4,8 +4,8 @@
 use crate::{tune, TuneMethod};
 use ea_models::ModelSpec;
 use ea_sched::{
-    data_parallel_program, partition_model, pipeline_program, AdvanceController, PipelinePlan,
-    PipeStyle,
+    data_parallel_program, partition_model, pipeline_program, AdvanceController, PipeStyle,
+    PipelinePlan,
 };
 use ea_sim::{ClusterConfig, SimResult, Simulator};
 
@@ -76,7 +76,15 @@ pub struct SystemReport {
     pub sim: SimResult,
 }
 
-fn report_from(name: String, sim: SimResult, batches: usize, m: usize, n: usize, a: usize, mem_limit: u64) -> SystemReport {
+fn report_from(
+    name: String,
+    sim: SimResult,
+    batches: usize,
+    m: usize,
+    n: usize,
+    a: usize,
+    mem_limit: u64,
+) -> SystemReport {
     let peak_mem: Vec<u64> = sim.devices.iter().map(|d| d.peak_mem).collect();
     let oom = peak_mem.iter().any(|&p| p > mem_limit);
     SystemReport {
@@ -139,7 +147,10 @@ pub fn run_baseline(
         BaselineKind::PipeDream => vec![1],
         BaselineKind::Dapple => {
             let k = kk;
-            vec![(1..=batch).filter(|d| batch.is_multiple_of(*d)).min_by_key(|&d| d.abs_diff(k)).unwrap()]
+            vec![(1..=batch)
+                .filter(|d| batch.is_multiple_of(*d))
+                .min_by_key(|&d| d.abs_diff(k))
+                .unwrap()]
         }
         _ => (1..=batch).filter(|d| batch.is_multiple_of(*d)).collect(),
     };
@@ -191,16 +202,8 @@ pub fn run_avgpipe(
 ) -> SystemReport {
     let kk = cluster.num_devices();
     let partition = partition_model(spec, kk);
-    let outcome = tune(
-        spec,
-        cluster,
-        &partition,
-        batch,
-        opt_state_per_param,
-        mem_limit,
-        method,
-        max_n,
-    );
+    let outcome =
+        tune(spec, cluster, &partition, batch, opt_state_per_param, mem_limit, method, max_n);
     let plan = PipelinePlan::new(
         spec.clone(),
         cluster.clone(),
@@ -252,11 +255,7 @@ mod tests {
         for kind in BaselineKind::all() {
             let r = run_baseline(kind, &spec, &cluster, 40, 4, 16 * GB);
             assert!(r.max_peak_mem > 0, "{}: no memory used?", r.name);
-            assert!(
-                r.oom || r.time_per_batch_s.is_finite(),
-                "{}: bad time",
-                r.name
-            );
+            assert!(r.oom || r.time_per_batch_s.is_finite(), "{}: bad time", r.name);
         }
     }
 
@@ -280,15 +279,8 @@ mod tests {
         let spec = gnmt_spec();
         let cluster = ClusterConfig::paper_testbed();
         let gpipe = run_baseline(BaselineKind::GPipe, &spec, &cluster, 128, 8, 32 * GB);
-        let avg = run_avgpipe(
-            &spec,
-            &cluster,
-            128,
-            8,
-            gpipe.max_peak_mem,
-            TuneMethod::ProfilingBased,
-            4,
-        );
+        let avg =
+            run_avgpipe(&spec, &cluster, 128, 8, gpipe.max_peak_mem, TuneMethod::ProfilingBased, 4);
         assert!(!avg.oom);
         assert!(avg.max_peak_mem <= gpipe.max_peak_mem);
         assert!(

@@ -65,13 +65,8 @@ pub fn tune(
     method: TuneMethod,
     max_n: usize,
 ) -> TuneOutcome {
-    let profiler = Profiler::new(
-        spec.clone(),
-        cluster.clone(),
-        partition.clone(),
-        batch,
-        opt_state_per_param,
-    );
+    let profiler =
+        Profiler::new(spec.clone(), cluster.clone(), partition.clone(), batch, opt_state_per_param);
     let sim = Simulator::new(cluster.clone());
     let kk = partition.len();
 
@@ -124,12 +119,7 @@ pub fn tune(
                 let (_, m, n) = smallest.expect("at least one candidate");
                 (0.0, m, n)
             });
-            TuneOutcome {
-                m,
-                n,
-                tuning_cost_s: profile.profiling_cost_us * 1e-6,
-                evaluated,
-            }
+            TuneOutcome { m, n, tuning_cost_s: profile.profiling_cost_us * 1e-6, evaluated }
         }
         TuneMethod::Traversal => {
             let mut best: Option<(f64, usize, usize)> = None;

@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the elastic-averaging exchange primitives in
+//! isolation: the Step-❷ pull, a full reference-accumulator round
+//! (Steps ❹–❺) and the fused Step-❶–❸ kernel, at a parameter count
+//! comparable to one analogue-model stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ea_optim::{elastic_pull, step_pull_delta, Adam, Optimizer, ReferenceAccumulator};
+
+/// Parameters per stage — the same order of magnitude as a
+/// `gnmt_analogue` stage in the training benchmarks.
+const PARAMS: usize = 64 * 1024;
+const N_PIPELINES: usize = 4;
+
+fn series(seed: f32) -> Vec<f32> {
+    (0..PARAMS).map(|i| ((i as f32 + seed) * 0.37).sin()).collect()
+}
+
+fn bench_elastic_pull(c: &mut Criterion) {
+    let mut local = series(0.0);
+    let reference = series(1.0);
+    let alpha = 1.0 / N_PIPELINES as f32;
+    c.bench_function("elastic_exchange/pull_64k", |b| {
+        b.iter(|| {
+            elastic_pull(&mut local, &reference, alpha);
+            std::hint::black_box(local[PARAMS / 2])
+        })
+    });
+}
+
+fn bench_accumulator_round(c: &mut Criterion) {
+    let mut acc = ReferenceAccumulator::new(PARAMS, N_PIPELINES);
+    let mut reference = series(2.0);
+    let updates: Vec<Vec<f32>> = (0..N_PIPELINES).map(|p| series(p as f32)).collect();
+    c.bench_function("elastic_exchange/accumulator_round_n4_64k", |b| {
+        b.iter(|| {
+            for u in &updates {
+                acc.receive(u);
+            }
+            assert!(acc.try_apply(&mut reference));
+            std::hint::black_box(reference[PARAMS / 2])
+        })
+    });
+}
+
+fn bench_step_pull_delta(c: &mut Criterion) {
+    let mut opt = Adam::new(1e-2);
+    let mut params = series(3.0);
+    let grads = series(4.0);
+    let reference = series(5.0);
+    let alpha = 1.0 / N_PIPELINES as f32;
+    let mut delta = Vec::with_capacity(PARAMS);
+    c.bench_function("elastic_exchange/step_pull_delta_adam_64k", |b| {
+        b.iter(|| {
+            step_pull_delta(&mut opt, &mut params, &grads, &reference, alpha, &mut delta);
+            std::hint::black_box(delta[PARAMS / 2])
+        })
+    });
+}
+
+/// The unfused sequence the fused kernel replaces, for a direct
+/// before/after comparison in one report.
+fn bench_unfused_reference(c: &mut Criterion) {
+    let mut opt = Adam::new(1e-2);
+    let mut params = series(6.0);
+    let grads = series(7.0);
+    let reference = series(8.0);
+    let alpha = 1.0 / N_PIPELINES as f32;
+    c.bench_function("elastic_exchange/unfused_step_pull_delta_adam_64k", |b| {
+        b.iter(|| {
+            let before = params.clone();
+            opt.step(&mut params, &grads);
+            let delta: Vec<f32> = params.iter().zip(&before).map(|(a, b)| a - b).collect();
+            elastic_pull(&mut params, &reference, alpha);
+            std::hint::black_box(delta[PARAMS / 2])
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_elastic_pull,
+    bench_accumulator_round,
+    bench_step_pull_delta,
+    bench_unfused_reference
+);
+criterion_main!(benches);

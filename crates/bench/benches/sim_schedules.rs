@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ea_models::Workload;
-use ea_sched::{
-    data_parallel_program, partition_model, pipeline_program, PipelinePlan, PipeStyle,
-};
+use ea_sched::{data_parallel_program, partition_model, pipeline_program, PipeStyle, PipelinePlan};
 use ea_sim::{ClusterConfig, Simulator};
 
 fn plan_for(w: Workload, micros: usize) -> (PipelinePlan, Simulator) {
@@ -35,11 +33,9 @@ fn bench_pipeline_styles(c: &mut Criterion) {
             ("avgpipe_n2", PipeStyle::avgpipe(2, plan.stages() + 3)),
         ] {
             let prog = pipeline_program(&plan, &style, 2);
-            group.bench_with_input(
-                BenchmarkId::new(name, w.name()),
-                &prog,
-                |b, prog| b.iter(|| sim.run(std::hint::black_box(prog)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, w.name()), &prog, |b, prog| {
+                b.iter(|| sim.run(std::hint::black_box(prog)).unwrap())
+            });
         }
     }
     group.finish();

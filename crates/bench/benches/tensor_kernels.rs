@@ -26,9 +26,7 @@ fn bench_matmul(c: &mut Criterion) {
 fn bench_softmax(c: &mut Criterion) {
     let mut rng = TensorRng::seed_from_u64(1);
     let x = uniform(&[256, 512], -2.0, 2.0, &mut rng);
-    c.bench_function("softmax_rows/256x512", |b| {
-        b.iter(|| softmax_rows(std::hint::black_box(&x)))
-    });
+    c.bench_function("softmax_rows/256x512", |b| b.iter(|| softmax_rows(std::hint::black_box(&x))));
 }
 
 criterion_group!(benches, bench_matmul, bench_softmax);

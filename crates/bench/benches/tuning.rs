@@ -2,8 +2,8 @@
 //! analytic predictor sweep, and the full profiling-based tuner — the
 //! wall-clock costs behind Figure 18.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use avgpipe::{predict, tune, Profiler, TuneMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
 use ea_models::awd_spec;
 use ea_sched::partition_model;
 use ea_sim::ClusterConfig;
@@ -13,9 +13,7 @@ fn bench_profile(c: &mut Criterion) {
     let cluster = ClusterConfig::paper_testbed_two_nodes();
     let part = partition_model(&spec, 4);
     let profiler = Profiler::new(spec, cluster, part, 40, 4);
-    c.bench_function("profiler/awd_20_batches", |b| {
-        b.iter(|| profiler.profile_default())
-    });
+    c.bench_function("profiler/awd_20_batches", |b| b.iter(|| profiler.profile_default()));
 }
 
 fn bench_predict_sweep(c: &mut Criterion) {

@@ -24,7 +24,12 @@ fn fig2() {
     println!("== Figure 2: GPU-1 time breakdown, BERT ==");
     let f = fig2_utilization();
     for (name, busy, comm, idle, _) in &f.systems {
-        println!("  {name:<16} busy {:>5.1}%  comm {:>5.1}%  idle {:>5.1}%", busy * 100.0, comm * 100.0, idle * 100.0);
+        println!(
+            "  {name:<16} busy {:>5.1}%  comm {:>5.1}%  idle {:>5.1}%",
+            busy * 100.0,
+            comm * 100.0,
+            idle * 100.0
+        );
     }
     save("fig2", &f);
 }
@@ -218,7 +223,9 @@ fn extensions() {
     let rows = ext_elastic_ablation();
     for r in &rows {
         match r.epochs {
-            Some(e) => println!("  {:<36} {:>6.2} epochs (acc {:.3})", r.config, e, r.final_accuracy),
+            Some(e) => {
+                println!("  {:<36} {:>6.2} epochs (acc {:.3})", r.config, e, r.final_accuracy)
+            }
             None => println!("  {:<36} target NOT reached (acc {:.3})", r.config, r.final_accuracy),
         }
     }

@@ -28,11 +28,9 @@ pub fn workload_env(w: Workload) -> WorkloadEnv {
     let (cluster, opt_bytes, batches_per_epoch) = match w {
         Workload::Gnmt => (ClusterConfig::paper_testbed(), 8, 4_500_000 / batch as u64),
         Workload::Bert => (ClusterConfig::paper_testbed(), 8, 364_000 / batch as u64),
-        Workload::Awd => (
-            ClusterConfig::paper_testbed_two_nodes(),
-            4,
-            930_000 / (70 * batch as u64),
-        ),
+        Workload::Awd => {
+            (ClusterConfig::paper_testbed_two_nodes(), 4, 930_000 / (70 * batch as u64))
+        }
     };
     WorkloadEnv {
         workload: w,

@@ -11,7 +11,7 @@ use crate::EFFECTIVE_GPU_MEM;
 use avgpipe::{run_baseline, BaselineKind};
 use ea_models::Workload;
 use ea_sched::{
-    chimera_program, partition_model, pipeline_program, PipelinePlan, PipeStyle, RecomputePolicy,
+    chimera_program, partition_model, pipeline_program, PipeStyle, PipelinePlan, RecomputePolicy,
 };
 use ea_sim::{ClusterConfig, Simulator};
 use serde::Serialize;
@@ -49,9 +49,7 @@ pub fn ext_chimera() -> Vec<ChimeraRow> {
             let sim = Simulator::new(cluster);
             let batches = 3;
             let chm = sim.run(&chimera_program(&plan, batches)).unwrap();
-            let dap = sim
-                .run(&pipeline_program(&plan, &PipeStyle::dapple(), batches))
-                .unwrap();
+            let dap = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), batches)).unwrap();
             ChimeraRow {
                 interconnect: name,
                 chimera_s: chm.makespan_us * 1e-6 / batches as f64,
@@ -131,11 +129,7 @@ mod tests {
     #[test]
     fn recomputation_saves_memory_costs_time() {
         for row in ext_recompute() {
-            assert!(
-                row.recompute_mem_gib < row.plain_mem_gib,
-                "{}: {row:?}",
-                row.workload
-            );
+            assert!(row.recompute_mem_gib < row.plain_mem_gib, "{}: {row:?}", row.workload);
             assert!(row.recompute_s >= row.plain_s * 0.99, "{}: {row:?}", row.workload);
         }
     }
@@ -165,9 +159,7 @@ pub fn ext_straggler() -> Vec<StragglerRow> {
             env.opt_state_per_param,
         );
         let sim = Simulator::new(cluster.clone());
-        let r = sim
-            .run(&pipeline_program(&plan, &PipeStyle::gpipe(), 3))
-            .unwrap();
+        let r = sim.run(&pipeline_program(&plan, &PipeStyle::gpipe(), 3)).unwrap();
         r.makespan_us * 1e-6 / 3.0
     };
 
@@ -312,13 +304,8 @@ pub fn ext_elastic_ablation() -> Vec<ElasticAblationRow> {
     }
     let workers: Vec<_> = (0..2).map(|_| build()).collect();
     let center = (0..CFG.stages).map(|k| workers[0].stage(k).params_flat()).collect();
-    let mut easgd = EasgdTrainer {
-        workers,
-        center,
-        easgd: Easgd::new(2.0, 0.1),
-        eval: build(),
-        step: 0,
-    };
+    let mut easgd =
+        EasgdTrainer { workers, center, easgd: Easgd::new(2.0, 0.1), eval: build(), step: 0 };
     run("classic EASGD (coupled SGD), N=2".into(), &mut easgd);
 
     rows
@@ -345,9 +332,6 @@ mod elastic_ablation_tests {
         let easgd = by("classic EASGD");
         let avg_e = avg.epochs.unwrap_or(f64::INFINITY);
         let easgd_e = easgd.epochs.unwrap_or(f64::INFINITY);
-        assert!(
-            avg_e < easgd_e || easgd.epochs.is_none(),
-            "AvgPipe {avg_e} vs EASGD {easgd_e}"
-        );
+        assert!(avg_e < easgd_e || easgd.epochs.is_none(), "AvgPipe {avg_e} vs EASGD {easgd_e}");
     }
 }

@@ -8,11 +8,14 @@ mod stat;
 mod tuning;
 
 pub use common::{workload_env, WorkloadEnv};
-pub use extensions::{ext_chimera, ext_elastic_ablation, ext_recompute, ext_straggler, ChimeraRow, ElasticAblationRow, RecomputeRow, StragglerRow};
+pub use extensions::{
+    ext_chimera, ext_elastic_ablation, ext_recompute, ext_straggler, ChimeraRow,
+    ElasticAblationRow, RecomputeRow, StragglerRow,
+};
 pub use perf::{fig11_12_13, SystemRow, WorkloadMatrix};
 pub use schedules::{
-    fig16_util_traces, fig17_schedule_ablation, fig2_utilization, fig7_toy_schedules, Fig16,
-    Fig17, Fig17Row, Fig2, Fig7, Fig7Row,
+    fig16_util_traces, fig17_schedule_ablation, fig2_utilization, fig7_toy_schedules, Fig16, Fig17,
+    Fig17Row, Fig2, Fig7, Fig7Row,
 };
 pub use stat::{fig14_statistical, Fig14, Fig14Row};
 pub use tuning::{fig15_batch_sweep, fig18_19_tuning, Fig15, Fig15Row, TuningRow};

@@ -112,11 +112,8 @@ pub fn fig11_12_13(w: Workload) -> WorkloadMatrix {
         // footprints", §7.1.1), with 5% engineering tolerance — the
         // paper's Figure 12 reads footprints off GB-resolution bars. If
         // the baseline itself OOMed, AvgPipe gets the device budget.
-        let budget = if base.oom {
-            EFFECTIVE_GPU_MEM
-        } else {
-            (base.max_peak_mem as f64 * 1.05) as u64
-        };
+        let budget =
+            if base.oom { EFFECTIVE_GPU_MEM } else { (base.max_peak_mem as f64 * 1.05) as u64 };
         let avg = run_avgpipe(
             &env.spec,
             &env.cluster,

@@ -5,7 +5,7 @@ use crate::{EFFECTIVE_GPU_MEM, MAX_PIPELINES};
 use avgpipe::{run_avgpipe, run_baseline, BaselineKind, TuneMethod};
 use ea_models::{ModelSpec, Workload};
 use ea_sched::{
-    check_stash_bounds, partition_model, pipeline_program, PipelinePlan, PipeStyle, WarmupPolicy,
+    check_stash_bounds, partition_model, pipeline_program, PipeStyle, PipelinePlan, WarmupPolicy,
 };
 use ea_sim::{ClusterConfig, Simulator};
 use serde::Serialize;
@@ -96,11 +96,7 @@ fn toy_spec() -> ModelSpec {
 /// Regenerates Figure 7 (K = 2 GPUs on separate nodes, M = 4).
 pub fn fig7_toy_schedules() -> Fig7 {
     let spec = toy_spec();
-    let cluster = ClusterConfig {
-        nodes: 2,
-        gpus_per_node: 1,
-        ..ClusterConfig::paper_testbed()
-    };
+    let cluster = ClusterConfig { nodes: 2, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
     let part = partition_model(&spec, 2);
     let plan = PipelinePlan::new(spec, cluster.clone(), part, 4, 4, 0);
     let sim = Simulator::new(cluster);

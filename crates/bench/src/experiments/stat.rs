@@ -5,9 +5,7 @@
 use ea_data::SyntheticTask;
 use ea_models::{awd_analogue, bert_analogue, gnmt_analogue, AnalogueConfig, Workload};
 use ea_optim::{OptKind, Optimizer};
-use ea_runtime::{
-    epochs_to_target, ElasticSemantic, StaleTrainer, SyncTrainer, Trainer,
-};
+use ea_runtime::{epochs_to_target, ElasticSemantic, StaleTrainer, SyncTrainer, Trainer};
 use ea_tensor::TensorRng;
 use serde::Serialize;
 
@@ -151,12 +149,7 @@ pub fn fig14_statistical(w: Workload, model_seed: u64, data_seed: u64) -> Fig14 
     let mut ea = ElasticSemantic::with_eval_replica(replicas, replica_opts, 4, None, eval);
     rows.push(run(&mut ea, "AvgPipe"));
 
-    Fig14 {
-        workload: w.name().to_string(),
-        target: s.target,
-        by_accuracy: s.by_accuracy,
-        rows,
-    }
+    Fig14 { workload: w.name().to_string(), target: s.target, by_accuracy: s.by_accuracy, rows }
 }
 
 #[cfg(test)]

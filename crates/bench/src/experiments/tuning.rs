@@ -4,7 +4,7 @@ use crate::experiments::common::workload_env;
 use crate::{EFFECTIVE_GPU_MEM, MAX_PIPELINES};
 use avgpipe::{run_avgpipe, run_baseline, tune, BaselineKind, TuneMethod};
 use ea_models::Workload;
-use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+use ea_sched::{partition_model, pipeline_program, PipeStyle, PipelinePlan};
 use ea_sim::Simulator;
 use serde::Serialize;
 
@@ -105,33 +105,28 @@ pub fn fig18_19_tuning(w: Workload) -> Vec<TuningRow> {
             Err(_) => f64::INFINITY,
         }
     };
-    [
-        TuneMethod::Traversal,
-        TuneMethod::MaxNum,
-        TuneMethod::MaxSize,
-        TuneMethod::ProfilingBased,
-    ]
-    .into_iter()
-    .map(|method| {
-        let o = tune(
-            &env.spec,
-            &env.cluster,
-            &part,
-            env.batch,
-            env.opt_state_per_param,
-            EFFECTIVE_GPU_MEM,
-            method,
-            MAX_PIPELINES,
-        );
-        TuningRow {
-            method: method.name().to_string(),
-            tuning_cost_min: o.tuning_cost_s / 60.0,
-            m: o.m,
-            n: o.n,
-            time_per_batch_s: evaluate(o.m, o.n),
-        }
-    })
-    .collect()
+    [TuneMethod::Traversal, TuneMethod::MaxNum, TuneMethod::MaxSize, TuneMethod::ProfilingBased]
+        .into_iter()
+        .map(|method| {
+            let o = tune(
+                &env.spec,
+                &env.cluster,
+                &part,
+                env.batch,
+                env.opt_state_per_param,
+                EFFECTIVE_GPU_MEM,
+                method,
+                MAX_PIPELINES,
+            );
+            TuningRow {
+                method: method.name().to_string(),
+                tuning_cost_min: o.tuning_cost_s / 60.0,
+                m: o.m,
+                n: o.n,
+                time_per_batch_s: evaluate(o.m, o.n),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

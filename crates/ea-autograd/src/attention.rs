@@ -1,7 +1,10 @@
 //! Multi-head self-attention.
 
 use crate::{ForwardCtx, Layer, Param, Saved};
-use ea_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, xavier_uniform, Tensor, TensorRng};
+use ea_tensor::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b_into, matmul_into, pool, softmax_rows_into,
+    xavier_uniform, Tensor, TensorRng,
+};
 
 /// Bidirectional (unmasked) multi-head self-attention, as in a BERT
 /// encoder block.
@@ -37,15 +40,16 @@ impl SelfAttention {
         self.dim / self.heads
     }
 
-    /// Extracts columns `[h*dh, (h+1)*dh)` of rows `[r0, r0+seq)`.
-    fn head_slice(&self, t: &Tensor, r0: usize, h: usize) -> Tensor {
+    /// Extracts columns `[h*dh, (h+1)*dh)` of rows `[r0, r0+seq)` into a
+    /// reusable scratch tensor.
+    fn head_slice_into(&self, t: &Tensor, r0: usize, h: usize, out: &mut Tensor) {
         let dh = self.head_dim();
-        let mut out = Vec::with_capacity(self.seq * dh);
-        for r in r0..r0 + self.seq {
+        out.prepare_out(&[self.seq, dh]);
+        let obuf = out.data_mut();
+        for (i, r) in (r0..r0 + self.seq).enumerate() {
             let row = &t.data()[r * self.dim..(r + 1) * self.dim];
-            out.extend_from_slice(&row[h * dh..(h + 1) * dh]);
+            obuf[i * dh..(i + 1) * dh].copy_from_slice(&row[h * dh..(h + 1) * dh]);
         }
-        Tensor::from_vec(out, &[self.seq, dh])
     }
 
     /// Adds `block` (`[seq, dh]`) into columns of head `h`, rows from `r0`,
@@ -75,17 +79,26 @@ impl Layer for SelfAttention {
         let k = matmul(x, &self.wk.value);
         let v = matmul(x, &self.wv.value);
 
-        let mut ctx_buf = vec![0.0f32; rows * self.dim];
-        let mut attn_rows: Vec<f32> = Vec::with_capacity(batch * self.heads * self.seq * self.seq);
+        let mut ctx_buf = pool::take_zeroed(rows * self.dim);
+        let mut attn_rows = pool::take_cleared(batch * self.heads * self.seq * self.seq);
+        // Scratch reused across the head loop; dropped tensors return their
+        // buffers to the pool, so repeat calls allocate nothing.
+        let mut qh = Tensor::zeros(&[0]);
+        let mut kh = Tensor::zeros(&[0]);
+        let mut vh = Tensor::zeros(&[0]);
+        let mut scores = Tensor::zeros(&[0]);
+        let mut a = Tensor::zeros(&[0]);
+        let mut ctxh = Tensor::zeros(&[0]);
         for b in 0..batch {
             let r0 = b * self.seq;
             for h in 0..self.heads {
-                let qh = self.head_slice(&q, r0, h);
-                let kh = self.head_slice(&k, r0, h);
-                let vh = self.head_slice(&v, r0, h);
-                let scores = matmul_a_bt(&qh, &kh).scale(scale);
-                let a = softmax_rows(&scores);
-                let ctxh = matmul(&a, &vh);
+                self.head_slice_into(&q, r0, h, &mut qh);
+                self.head_slice_into(&k, r0, h, &mut kh);
+                self.head_slice_into(&v, r0, h, &mut vh);
+                matmul_a_bt_into(&qh, &kh, &mut scores);
+                scores.map_inplace(|s| s * scale);
+                softmax_rows_into(&scores, &mut a);
+                matmul_into(&a, &vh, &mut ctxh);
                 self.add_head_slice(&mut ctx_buf, &ctxh, r0, h);
                 attn_rows.extend_from_slice(a.data());
             }
@@ -108,42 +121,56 @@ impl Layer for SelfAttention {
         let dh = self.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
 
-        // Output projection.
-        self.wo.accumulate_grad(&matmul_at_b(ctx_t, dy));
+        // Output projection; `dw` is the shared scratch for all four
+        // weight gradients.
+        let mut dw = Tensor::zeros(&[0]);
+        matmul_at_b_into(ctx_t, dy, &mut dw);
+        self.wo.accumulate_grad(&dw);
         let dctx = matmul_a_bt(dy, &self.wo.value);
 
-        let mut dq = vec![0.0f32; rows * self.dim];
-        let mut dk = vec![0.0f32; rows * self.dim];
-        let mut dv = vec![0.0f32; rows * self.dim];
+        let mut dq = pool::take_zeroed(rows * self.dim);
+        let mut dk = pool::take_zeroed(rows * self.dim);
+        let mut dv = pool::take_zeroed(rows * self.dim);
+
+        // Scratch reused across the head loop (see forward).
+        let mut qh = Tensor::zeros(&[0]);
+        let mut kh = Tensor::zeros(&[0]);
+        let mut vh = Tensor::zeros(&[0]);
+        let mut dctx_h = Tensor::zeros(&[0]);
+        let mut a = Tensor::zeros(&[0]);
+        let mut da = Tensor::zeros(&[0]);
+        let mut dvh = Tensor::zeros(&[0]);
+        let mut ds = Tensor::zeros(&[0]);
+        let mut dqh = Tensor::zeros(&[0]);
+        let mut dkh = Tensor::zeros(&[0]);
 
         for b in 0..batch {
             let r0 = b * self.seq;
             for h in 0..self.heads {
-                let qh = self.head_slice(q, r0, h);
-                let kh = self.head_slice(k, r0, h);
-                let vh = self.head_slice(v, r0, h);
-                let dctx_h = self.head_slice(&dctx, r0, h);
+                self.head_slice_into(q, r0, h, &mut qh);
+                self.head_slice_into(k, r0, h, &mut kh);
+                self.head_slice_into(v, r0, h, &mut vh);
+                self.head_slice_into(&dctx, r0, h, &mut dctx_h);
                 let a_off = (b * self.heads + h) * self.seq * self.seq;
-                let a = Tensor::from_vec(
-                    attn.data()[a_off..a_off + self.seq * self.seq].to_vec(),
-                    &[self.seq, self.seq],
-                );
+                a.prepare_out(&[self.seq, self.seq]);
+                a.data_mut().copy_from_slice(&attn.data()[a_off..a_off + self.seq * self.seq]);
                 // dA = dCtx · Vᵀ ; dV = Aᵀ · dCtx
-                let da = matmul_a_bt(&dctx_h, &vh);
-                let dvh = matmul_at_b(&a, &dctx_h);
+                matmul_a_bt_into(&dctx_h, &vh, &mut da);
+                matmul_at_b_into(&a, &dctx_h, &mut dvh);
                 // Softmax backward per row: dS = A ⊙ (dA - rowdot(dA, A)).
-                let mut ds = vec![0.0f32; self.seq * self.seq];
+                ds.prepare_out(&[self.seq, self.seq]);
+                let dsbuf = ds.data_mut();
                 for i in 0..self.seq {
                     let arow = &a.data()[i * self.seq..(i + 1) * self.seq];
                     let darow = &da.data()[i * self.seq..(i + 1) * self.seq];
                     let dot: f32 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
                     for j in 0..self.seq {
-                        ds[i * self.seq + j] = arow[j] * (darow[j] - dot);
+                        dsbuf[i * self.seq + j] = arow[j] * (darow[j] - dot);
                     }
                 }
-                let ds = Tensor::from_vec(ds, &[self.seq, self.seq]).scale(scale);
-                let dqh = matmul(&ds, &kh);
-                let dkh = matmul_at_b(&ds, &qh);
+                ds.map_inplace(|s| s * scale);
+                matmul_into(&ds, &kh, &mut dqh);
+                matmul_at_b_into(&ds, &qh, &mut dkh);
                 self.add_head_slice(&mut dq, &dqh, r0, h);
                 self.add_head_slice(&mut dk, &dkh, r0, h);
                 self.add_head_slice(&mut dv, &dvh, r0, h);
@@ -153,13 +180,19 @@ impl Layer for SelfAttention {
         let dq = Tensor::from_vec(dq, &[rows, self.dim]);
         let dk = Tensor::from_vec(dk, &[rows, self.dim]);
         let dv = Tensor::from_vec(dv, &[rows, self.dim]);
-        self.wq.accumulate_grad(&matmul_at_b(x, &dq));
-        self.wk.accumulate_grad(&matmul_at_b(x, &dk));
-        self.wv.accumulate_grad(&matmul_at_b(x, &dv));
+        matmul_at_b_into(x, &dq, &mut dw);
+        self.wq.accumulate_grad(&dw);
+        matmul_at_b_into(x, &dk, &mut dw);
+        self.wk.accumulate_grad(&dw);
+        matmul_at_b_into(x, &dv, &mut dw);
+        self.wv.accumulate_grad(&dw);
 
         let mut dx = matmul_a_bt(&dq, &self.wq.value);
-        dx.add_assign(&matmul_a_bt(&dk, &self.wk.value));
-        dx.add_assign(&matmul_a_bt(&dv, &self.wv.value));
+        let mut tmp = Tensor::zeros(&[0]);
+        matmul_a_bt_into(&dk, &self.wk.value, &mut tmp);
+        dx.add_assign(&tmp);
+        matmul_a_bt_into(&dv, &self.wv.value, &mut tmp);
+        dx.add_assign(&tmp);
         dx
     }
 

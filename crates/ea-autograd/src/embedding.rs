@@ -55,7 +55,7 @@ impl Embedding {
 impl Layer for Embedding {
     fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
         let ids = self.ids(x);
-        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        let mut out = ea_tensor::pool::take_cleared(ids.len() * self.dim);
         for &id in &ids {
             out.extend_from_slice(&self.table.value.data()[id * self.dim..(id + 1) * self.dim]);
         }
@@ -70,9 +70,10 @@ impl Layer for Embedding {
         let (rows, cols) = dy.shape().as_matrix();
         assert_eq!(rows, ids.len(), "embedding backward row mismatch");
         assert_eq!(cols, self.dim, "embedding backward width mismatch");
+        let table_grad = self.table.grad.data_mut();
         for (r, &id) in ids.iter().enumerate() {
             let g = &dy.data()[r * self.dim..(r + 1) * self.dim];
-            let dst = &mut self.table.grad.data_mut()[id * self.dim..(id + 1) * self.dim];
+            let dst = &mut table_grad[id * self.dim..(id + 1) * self.dim];
             for (d, &gv) in dst.iter_mut().zip(g) {
                 *d += gv;
             }

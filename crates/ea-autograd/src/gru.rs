@@ -3,7 +3,10 @@
 //! models.
 
 use crate::{ForwardCtx, Layer, Param, Saved};
-use ea_tensor::{col_sums, matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor, TensorRng};
+use ea_tensor::{
+    col_sums, matmul_a_bt_into, matmul_at_b_into, matmul_into, pool, transpose_into,
+    xavier_uniform, Tensor, TensorRng,
+};
 
 /// A single-direction GRU unrolled over a fixed sequence length.
 ///
@@ -44,13 +47,14 @@ impl GruSeq {
         }
     }
 
-    fn gather_t(&self, x: &Tensor, t: usize, batch: usize, width: usize) -> Tensor {
-        let mut out = Vec::with_capacity(batch * width);
+    fn gather_t_into(&self, x: &Tensor, t: usize, batch: usize, width: usize, out: &mut Tensor) {
+        out.prepare_out(&[batch, width]);
+        let obuf = out.data_mut();
+        let data = x.data();
         for b in 0..batch {
             let r = b * self.seq + t;
-            out.extend_from_slice(&x.data()[r * width..(r + 1) * width]);
+            obuf[b * width..(b + 1) * width].copy_from_slice(&data[r * width..(r + 1) * width]);
         }
-        Tensor::from_vec(out, &[batch, width])
     }
 
     fn scatter_t(&self, dst: &mut [f32], block: &Tensor, t: usize, batch: usize, width: usize) {
@@ -71,38 +75,59 @@ impl Layer for GruSeq {
         let h = self.hidden;
 
         let mut h_prev = Tensor::zeros(&[batch, h]);
-        let mut h_all = vec![0.0f32; rows * h];
         // Stash post-activation gates [r, z, n] and the raw h-side
-        // contribution to the candidate gate (needed for backward).
-        let mut gates_all = vec![0.0f32; rows * 3 * h];
-        let mut hn_all = vec![0.0f32; rows * h];
+        // contribution to the candidate gate (needed for backward). Every
+        // element is overwritten by the scatter loop, so the stashes can
+        // start from pooled buffers with stale contents.
+        let mut h_all = pool::take_buf(rows * h);
+        let mut gates_all = pool::take_buf(rows * 3 * h);
+        let mut hn_all = pool::take_buf(rows * h);
 
+        // The x-side pre-activations have no recurrent dependency: one
+        // batched matmul covers every timestep (per-row results identical
+        // to the per-step calls).
+        let mut xpre_all = Tensor::zeros(&[0]);
+        matmul_into(x, &self.wx.value, &mut xpre_all);
+        xpre_all.add_row_broadcast_assign(&self.b.value);
+
+        // Per-timestep scratch reused across the unroll.
+        let mut xpre = Tensor::zeros(&[0]);
+        let mut hpre = Tensor::zeros(&[0]);
+        let mut gates = Tensor::zeros(&[0]);
+        let mut ht = Tensor::zeros(&[0]);
+        let mut hn = Tensor::zeros(&[0]);
         for t in 0..self.seq {
-            let xt = self.gather_t(x, t, batch, self.in_dim);
-            let xpre = matmul(&xt, &self.wx.value).add_row_broadcast(&self.b.value);
-            let hpre = matmul(&h_prev, &self.wh.value);
-            let mut gates = Tensor::zeros(&[batch, 3 * h]);
-            let mut ht = Tensor::zeros(&[batch, h]);
-            let mut hn = Tensor::zeros(&[batch, h]);
-            for bi in 0..batch {
-                for j in 0..h {
+            self.gather_t_into(&xpre_all, t, batch, 3 * h, &mut xpre);
+            matmul_into(&h_prev, &self.wh.value, &mut hpre);
+            gates.prepare_out(&[batch, 3 * h]);
+            ht.prepare_out(&[batch, h]);
+            hn.prepare_out(&[batch, h]);
+            {
+                let xp = xpre.data();
+                let hp = hpre.data();
+                let hpv = h_prev.data();
+                let gbuf = gates.data_mut();
+                let htbuf = ht.data_mut();
+                let hnbuf = hn.data_mut();
+                for bi in 0..batch {
                     let base = bi * 3 * h;
-                    let r = sigmoid(xpre.data()[base + j] + hpre.data()[base + j]);
-                    let z = sigmoid(xpre.data()[base + h + j] + hpre.data()[base + h + j]);
-                    let hn_j = hpre.data()[base + 2 * h + j];
-                    let n = (xpre.data()[base + 2 * h + j] + r * hn_j).tanh();
-                    gates.data_mut()[base + j] = r;
-                    gates.data_mut()[base + h + j] = z;
-                    gates.data_mut()[base + 2 * h + j] = n;
-                    hn.data_mut()[bi * h + j] = hn_j;
-                    ht.data_mut()[bi * h + j] =
-                        (1.0 - z) * n + z * h_prev.data()[bi * h + j];
+                    for j in 0..h {
+                        let r = sigmoid(xp[base + j] + hp[base + j]);
+                        let z = sigmoid(xp[base + h + j] + hp[base + h + j]);
+                        let hn_j = hp[base + 2 * h + j];
+                        let n = (xp[base + 2 * h + j] + r * hn_j).tanh();
+                        gbuf[base + j] = r;
+                        gbuf[base + h + j] = z;
+                        gbuf[base + 2 * h + j] = n;
+                        hnbuf[bi * h + j] = hn_j;
+                        htbuf[bi * h + j] = (1.0 - z) * n + z * hpv[bi * h + j];
+                    }
                 }
             }
             self.scatter_t(&mut h_all, &ht, t, batch, h);
             self.scatter_t(&mut gates_all, &gates, t, batch, 3 * h);
             self.scatter_t(&mut hn_all, &hn, t, batch, h);
-            h_prev = ht;
+            std::mem::swap(&mut h_prev, &mut ht);
         }
 
         let y = Tensor::from_vec(h_all, &[rows, h]);
@@ -124,64 +149,99 @@ impl Layer for GruSeq {
         let batch = rows / self.seq;
         let h = self.hidden;
 
-        let mut dx = vec![0.0f32; rows * self.in_dim];
+        // Pre-activation gradients for every timestep, assembled by the
+        // scatter below (fully overwritten); the input gradient falls out
+        // of one batched matmul at the end.
+        let mut dxpre_all = pool::take_buf(rows * 3 * h);
         let mut dh_next = Tensor::zeros(&[batch, h]);
 
+        // Whᵀ is loop-invariant; transpose it once instead of once per
+        // timestep inside matmul_a_bt.
+        let mut wht = Tensor::zeros(&[0]);
+        transpose_into(&self.wh.value, &mut wht);
+
+        // Per-timestep scratch reused across the unroll (`dw` is shared by
+        // both weight gradients).
+        let mut gates = Tensor::zeros(&[0]);
+        let mut hn = Tensor::zeros(&[0]);
+        let mut h_prev = Tensor::zeros(&[0]);
+        let mut dy_t = Tensor::zeros(&[0]);
+        let mut dxpre = Tensor::zeros(&[0]);
+        let mut dhpre = Tensor::zeros(&[0]);
+        let mut dh_prev_direct = Tensor::zeros(&[0]);
+        let mut xt = Tensor::zeros(&[0]);
+        let mut dw = Tensor::zeros(&[0]);
+
         for t in (0..self.seq).rev() {
-            let gates = self.gather_t(gates_all, t, batch, 3 * h);
-            let hn = self.gather_t(hn_all, t, batch, h);
-            let h_prev = if t == 0 {
-                Tensor::zeros(&[batch, h])
+            self.gather_t_into(gates_all, t, batch, 3 * h, &mut gates);
+            self.gather_t_into(hn_all, t, batch, h, &mut hn);
+            if t == 0 {
+                h_prev.prepare_out(&[batch, h]);
+                h_prev.data_mut().fill(0.0);
             } else {
-                self.gather_t(h_all, t - 1, batch, h)
-            };
-            let dy_t = self.gather_t(dy, t, batch, h);
+                self.gather_t_into(h_all, t - 1, batch, h, &mut h_prev);
+            }
+            self.gather_t_into(dy, t, batch, h, &mut dy_t);
 
             // Gradients w.r.t. the x-side and h-side pre-activations.
-            let mut dxpre = Tensor::zeros(&[batch, 3 * h]);
-            let mut dhpre = Tensor::zeros(&[batch, 3 * h]);
-            let mut dh_prev_direct = Tensor::zeros(&[batch, h]);
-            for bi in 0..batch {
-                for j in 0..h {
+            dxpre.prepare_out(&[batch, 3 * h]);
+            dhpre.prepare_out(&[batch, 3 * h]);
+            dh_prev_direct.prepare_out(&[batch, h]);
+            {
+                let gbuf = gates.data();
+                let hnbuf = hn.data();
+                let hpbuf = h_prev.data();
+                let dybuf = dy_t.data();
+                let dhnbuf = dh_next.data();
+                let dxpbuf = dxpre.data_mut();
+                let dhpbuf = dhpre.data_mut();
+                let dhdbuf = dh_prev_direct.data_mut();
+                for bi in 0..batch {
                     let base = bi * 3 * h;
-                    let r = gates.data()[base + j];
-                    let z = gates.data()[base + h + j];
-                    let n = gates.data()[base + 2 * h + j];
-                    let hn_j = hn.data()[bi * h + j];
-                    let hp = h_prev.data()[bi * h + j];
-                    let dh = dy_t.data()[bi * h + j] + dh_next.data()[bi * h + j];
+                    for j in 0..h {
+                        let r = gbuf[base + j];
+                        let z = gbuf[base + h + j];
+                        let n = gbuf[base + 2 * h + j];
+                        let hn_j = hnbuf[bi * h + j];
+                        let hp = hpbuf[bi * h + j];
+                        let dh = dybuf[bi * h + j] + dhnbuf[bi * h + j];
 
-                    let dn = dh * (1.0 - z);
-                    let dz = dh * (hp - n);
-                    let dpre_n = dn * (1.0 - n * n);
-                    let dr = dpre_n * hn_j;
-                    let dpre_r = dr * r * (1.0 - r);
-                    let dpre_z = dz * z * (1.0 - z);
+                        let dn = dh * (1.0 - z);
+                        let dz = dh * (hp - n);
+                        let dpre_n = dn * (1.0 - n * n);
+                        let dr = dpre_n * hn_j;
+                        let dpre_r = dr * r * (1.0 - r);
+                        let dpre_z = dz * z * (1.0 - z);
 
-                    dxpre.data_mut()[base + j] = dpre_r;
-                    dxpre.data_mut()[base + h + j] = dpre_z;
-                    dxpre.data_mut()[base + 2 * h + j] = dpre_n;
-                    // h-side: r and z share pre-activations with x-side;
-                    // the candidate's h contribution is gated by r.
-                    dhpre.data_mut()[base + j] = dpre_r;
-                    dhpre.data_mut()[base + h + j] = dpre_z;
-                    dhpre.data_mut()[base + 2 * h + j] = dpre_n * r;
-                    dh_prev_direct.data_mut()[bi * h + j] = dh * z;
+                        dxpbuf[base + j] = dpre_r;
+                        dxpbuf[base + h + j] = dpre_z;
+                        dxpbuf[base + 2 * h + j] = dpre_n;
+                        // h-side: r and z share pre-activations with x-side;
+                        // the candidate's h contribution is gated by r.
+                        dhpbuf[base + j] = dpre_r;
+                        dhpbuf[base + h + j] = dpre_z;
+                        dhpbuf[base + 2 * h + j] = dpre_n * r;
+                        dhdbuf[bi * h + j] = dh * z;
+                    }
                 }
             }
 
-            let xt = self.gather_t(x, t, batch, self.in_dim);
-            self.wx.accumulate_grad(&matmul_at_b(&xt, &dxpre));
-            self.wh.accumulate_grad(&matmul_at_b(&h_prev, &dhpre));
+            self.gather_t_into(x, t, batch, self.in_dim, &mut xt);
+            matmul_at_b_into(&xt, &dxpre, &mut dw);
+            self.wx.accumulate_grad(&dw);
+            matmul_at_b_into(&h_prev, &dhpre, &mut dw);
+            self.wh.accumulate_grad(&dw);
             self.b.accumulate_grad(&col_sums(&dxpre));
-            let dxt = matmul_a_bt(&dxpre, &self.wx.value);
-            self.scatter_t(&mut dx, &dxt, t, batch, self.in_dim);
-            let mut dhp = matmul_a_bt(&dhpre, &self.wh.value);
-            dhp.add_assign(&dh_prev_direct);
-            dh_next = dhp;
+            self.scatter_t(&mut dxpre_all, &dxpre, t, batch, 3 * h);
+            matmul_into(&dhpre, &wht, &mut dh_next);
+            dh_next.add_assign(&dh_prev_direct);
         }
 
-        Tensor::from_vec(dx, x.dims())
+        // dX = dXPre · Wxᵀ row by row, so all timesteps batch into one call.
+        let dxpre_all = Tensor::from_vec(dxpre_all, &[rows, 3 * h]);
+        let mut dx = Tensor::zeros(&[0]);
+        matmul_a_bt_into(&dxpre_all, &self.wx.value, &mut dx);
+        dx.reshape(x.dims())
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {

@@ -1,7 +1,9 @@
 //! Fully-connected layer.
 
 use crate::{ForwardCtx, Layer, Param, Saved};
-use ea_tensor::{col_sums, matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor, TensorRng};
+use ea_tensor::{
+    col_sums, matmul, matmul_a_bt, matmul_at_b_into, xavier_uniform, Tensor, TensorRng,
+};
 
 /// `y = x · W + b`, with `W: [in, out]`, `b: [out]`.
 ///
@@ -12,6 +14,9 @@ pub struct Linear {
     b: Param,
     in_dim: usize,
     out_dim: usize,
+    /// Scratch for the weight gradient, reused across backward calls so
+    /// the hot path computes `dW` without allocating.
+    dw_scratch: Tensor,
 }
 
 impl Linear {
@@ -22,6 +27,7 @@ impl Linear {
             b: Param::new("linear.b", Tensor::zeros(&[out_dim])),
             in_dim,
             out_dim,
+            dw_scratch: Tensor::zeros(&[0]),
         }
     }
 
@@ -40,13 +46,15 @@ impl Layer for Linear {
     fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
         let (_, c) = x.shape().as_matrix();
         assert_eq!(c, self.in_dim, "linear input width mismatch");
-        let y = matmul(x, &self.w.value).add_row_broadcast(&self.b.value);
+        let mut y = matmul(x, &self.w.value);
+        y.add_row_broadcast_assign(&self.b.value);
         (y, Saved::new(vec![x.clone()]))
     }
 
     fn backward(&mut self, saved: &Saved, dy: &Tensor) -> Tensor {
         let x = saved.get(0);
-        self.w.accumulate_grad(&matmul_at_b(x, dy));
+        matmul_at_b_into(x, dy, &mut self.dw_scratch);
+        self.w.accumulate_grad(&self.dw_scratch);
         self.b.accumulate_grad(&col_sums(dy));
         matmul_a_bt(dy, &self.w.value)
     }

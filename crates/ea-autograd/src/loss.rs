@@ -28,8 +28,11 @@ pub fn cross_entropy_loss(logits: &Tensor, targets: &[usize]) -> LossOutput {
     // grad = (softmax - onehot) / r
     let mut grad = softmax_rows(logits);
     let scale = 1.0 / r as f32;
-    for (i, &t) in targets.iter().enumerate() {
-        grad.data_mut()[i * c + t] -= 1.0;
+    {
+        let gbuf = grad.data_mut();
+        for (i, &t) in targets.iter().enumerate() {
+            gbuf[i * c + t] -= 1.0;
+        }
     }
     grad.map_inplace(|v| v * scale);
     LossOutput { loss, grad: grad.reshape(logits.dims()) }

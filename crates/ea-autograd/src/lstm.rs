@@ -1,7 +1,10 @@
 //! Sequence LSTM layer with in-layer BPTT.
 
 use crate::{ForwardCtx, Layer, Param, Saved};
-use ea_tensor::{col_sums, matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor, TensorRng};
+use ea_tensor::{
+    col_sums, matmul_a_bt_into, matmul_at_b_into, matmul_into, pool, transpose_into,
+    xavier_uniform, Tensor, TensorRng,
+};
 
 /// A single-direction LSTM unrolled over a fixed sequence length.
 ///
@@ -36,14 +39,16 @@ impl LstmSeq {
         }
     }
 
-    /// Gathers the rows of timestep `t` into a `[batch, width]` block.
-    fn gather_t(&self, x: &Tensor, t: usize, batch: usize, width: usize) -> Tensor {
-        let mut out = Vec::with_capacity(batch * width);
+    /// Gathers the rows of timestep `t` into a `[batch, width]` block,
+    /// written into a reusable scratch tensor.
+    fn gather_t_into(&self, x: &Tensor, t: usize, batch: usize, width: usize, out: &mut Tensor) {
+        out.prepare_out(&[batch, width]);
+        let obuf = out.data_mut();
+        let data = x.data();
         for b in 0..batch {
             let r = b * self.seq + t;
-            out.extend_from_slice(&x.data()[r * width..(r + 1) * width]);
+            obuf[b * width..(b + 1) * width].copy_from_slice(&data[r * width..(r + 1) * width]);
         }
-        Tensor::from_vec(out, &[batch, width])
     }
 
     /// Scatters a `[batch, width]` block back into rows of timestep `t`.
@@ -66,39 +71,64 @@ impl Layer for LstmSeq {
 
         let mut h_prev = Tensor::zeros(&[batch, h]);
         let mut c_prev = Tensor::zeros(&[batch, h]);
-        let mut h_all = vec![0.0f32; rows * h];
-        let mut c_all = vec![0.0f32; rows * h];
-        let mut gates_all = vec![0.0f32; rows * 4 * h];
+        // Every element is overwritten by the scatter loop below, so the
+        // stashes can start from pooled buffers with stale contents.
+        let mut h_all = pool::take_buf(rows * h);
+        let mut c_all = pool::take_buf(rows * h);
+        let mut gates_all = pool::take_buf(rows * 4 * h);
+        let mut tanh_c_all = pool::take_buf(rows * h);
 
+        // The x-side contribution x_t·Wx + b has no recurrent dependency,
+        // so it is computed for every timestep in one batched matmul
+        // (per-row results are identical to the per-step calls); only the
+        // h-side term below runs step by step.
+        let mut pre_all = Tensor::zeros(&[0]);
+        matmul_into(x, &self.wx.value, &mut pre_all);
+        pre_all.add_row_broadcast_assign(&self.b.value);
+
+        // Per-timestep scratch reused across the unroll.
+        let mut hh = Tensor::zeros(&[0]);
+        let mut gates = Tensor::zeros(&[0]);
+        let mut ct = Tensor::zeros(&[0]);
+        let mut ht = Tensor::zeros(&[0]);
+        let mut tct = Tensor::zeros(&[0]);
         for t in 0..self.seq {
-            let xt = self.gather_t(x, t, batch, self.in_dim);
-            let mut pre = matmul(&xt, &self.wx.value).add_row_broadcast(&self.b.value);
-            pre.add_assign(&matmul(&h_prev, &self.wh.value));
             // Gate order within the 4h width: [i, f, g, o].
-            let mut gates = pre;
-            let mut ct = Tensor::zeros(&[batch, h]);
-            let mut ht = Tensor::zeros(&[batch, h]);
+            self.gather_t_into(&pre_all, t, batch, 4 * h, &mut gates);
+            matmul_into(&h_prev, &self.wh.value, &mut hh);
+            gates.add_assign(&hh);
+            ct.prepare_out(&[batch, h]);
+            ht.prepare_out(&[batch, h]);
+            tct.prepare_out(&[batch, h]);
+            let gbuf = gates.data_mut();
+            let cpbuf = c_prev.data();
+            let ctbuf = ct.data_mut();
+            let htbuf = ht.data_mut();
+            let tcbuf = tct.data_mut();
             for bi in 0..batch {
+                let base = bi * 4 * h;
                 for j in 0..h {
-                    let base = bi * 4 * h;
-                    let i = sigmoid(gates.data()[base + j]);
-                    let f = sigmoid(gates.data()[base + h + j]);
-                    let g = gates.data()[base + 2 * h + j].tanh();
-                    let o = sigmoid(gates.data()[base + 3 * h + j]);
-                    gates.data_mut()[base + j] = i;
-                    gates.data_mut()[base + h + j] = f;
-                    gates.data_mut()[base + 2 * h + j] = g;
-                    gates.data_mut()[base + 3 * h + j] = o;
-                    let cv = f * c_prev.data()[bi * h + j] + i * g;
-                    ct.data_mut()[bi * h + j] = cv;
-                    ht.data_mut()[bi * h + j] = o * cv.tanh();
+                    let i = sigmoid(gbuf[base + j]);
+                    let f = sigmoid(gbuf[base + h + j]);
+                    let g = gbuf[base + 2 * h + j].tanh();
+                    let o = sigmoid(gbuf[base + 3 * h + j]);
+                    gbuf[base + j] = i;
+                    gbuf[base + h + j] = f;
+                    gbuf[base + 2 * h + j] = g;
+                    gbuf[base + 3 * h + j] = o;
+                    let cv = f * cpbuf[bi * h + j] + i * g;
+                    let tcv = cv.tanh();
+                    ctbuf[bi * h + j] = cv;
+                    tcbuf[bi * h + j] = tcv;
+                    htbuf[bi * h + j] = o * tcv;
                 }
             }
             self.scatter_t(&mut h_all, &ht, t, batch, h);
             self.scatter_t(&mut c_all, &ct, t, batch, h);
             self.scatter_t(&mut gates_all, &gates, t, batch, 4 * h);
-            h_prev = ht;
-            c_prev = ct;
+            self.scatter_t(&mut tanh_c_all, &tct, t, batch, h);
+            std::mem::swap(&mut h_prev, &mut ht);
+            std::mem::swap(&mut c_prev, &mut ct);
         }
 
         let y = Tensor::from_vec(h_all, &[rows, h]);
@@ -107,6 +137,9 @@ impl Layer for LstmSeq {
             y.clone(),
             Tensor::from_vec(c_all, &[rows, h]),
             Tensor::from_vec(gates_all, &[rows, 4 * h]),
+            // tanh(c_t) is stashed so backward reuses the forward values
+            // instead of recomputing rows·h tanh calls.
+            Tensor::from_vec(tanh_c_all, &[rows, h]),
         ]);
         (y, saved)
     }
@@ -116,66 +149,100 @@ impl Layer for LstmSeq {
         let h_all = saved.get(1);
         let c_all = saved.get(2);
         let gates_all = saved.get(3);
+        let tanh_c_all = saved.get(4);
         let (rows, _) = x.shape().as_matrix();
         let batch = rows / self.seq;
         let h = self.hidden;
 
-        let mut dx = vec![0.0f32; rows * self.in_dim];
+        // Pre-activation gradients for every timestep, assembled by the
+        // scatter below (fully overwritten); the input gradient falls out
+        // of one batched matmul at the end.
+        let mut dpre_all = pool::take_buf(rows * 4 * h);
         let mut dh_next = Tensor::zeros(&[batch, h]);
         let mut dc_next = Tensor::zeros(&[batch, h]);
 
-        for t in (0..self.seq).rev() {
-            let gates = self.gather_t(gates_all, t, batch, 4 * h);
-            let ct = self.gather_t(c_all, t, batch, h);
-            let c_prev = if t == 0 {
-                Tensor::zeros(&[batch, h])
-            } else {
-                self.gather_t(c_all, t - 1, batch, h)
-            };
-            let h_prev = if t == 0 {
-                Tensor::zeros(&[batch, h])
-            } else {
-                self.gather_t(h_all, t - 1, batch, h)
-            };
-            let dy_t = self.gather_t(dy, t, batch, h);
+        // Whᵀ is loop-invariant; transpose it once instead of once per
+        // timestep inside matmul_a_bt.
+        let mut wht = Tensor::zeros(&[0]);
+        transpose_into(&self.wh.value, &mut wht);
 
-            let mut dpre = Tensor::zeros(&[batch, 4 * h]);
-            let mut dc_prev = Tensor::zeros(&[batch, h]);
-            for bi in 0..batch {
-                for j in 0..h {
+        // Per-timestep scratch reused across the unroll (`dw` is shared by
+        // both weight gradients).
+        let mut gates = Tensor::zeros(&[0]);
+        let mut tc_t = Tensor::zeros(&[0]);
+        let mut c_prev = Tensor::zeros(&[0]);
+        let mut h_prev = Tensor::zeros(&[0]);
+        let mut dy_t = Tensor::zeros(&[0]);
+        let mut dpre = Tensor::zeros(&[0]);
+        let mut dc_prev = Tensor::zeros(&[0]);
+        let mut xt = Tensor::zeros(&[0]);
+        let mut dw = Tensor::zeros(&[0]);
+
+        for t in (0..self.seq).rev() {
+            self.gather_t_into(gates_all, t, batch, 4 * h, &mut gates);
+            self.gather_t_into(tanh_c_all, t, batch, h, &mut tc_t);
+            if t == 0 {
+                c_prev.prepare_out(&[batch, h]);
+                c_prev.data_mut().fill(0.0);
+                h_prev.prepare_out(&[batch, h]);
+                h_prev.data_mut().fill(0.0);
+            } else {
+                self.gather_t_into(c_all, t - 1, batch, h, &mut c_prev);
+                self.gather_t_into(h_all, t - 1, batch, h, &mut h_prev);
+            }
+            self.gather_t_into(dy, t, batch, h, &mut dy_t);
+
+            dpre.prepare_out(&[batch, 4 * h]);
+            dc_prev.prepare_out(&[batch, h]);
+            {
+                let gbuf = gates.data();
+                let tcbuf = tc_t.data();
+                let cpbuf = c_prev.data();
+                let dybuf = dy_t.data();
+                let dhnbuf = dh_next.data();
+                let dcnbuf = dc_next.data();
+                let dprebuf = dpre.data_mut();
+                let dcpbuf = dc_prev.data_mut();
+                for bi in 0..batch {
                     let gbase = bi * 4 * h;
-                    let i = gates.data()[gbase + j];
-                    let f = gates.data()[gbase + h + j];
-                    let g = gates.data()[gbase + 2 * h + j];
-                    let o = gates.data()[gbase + 3 * h + j];
-                    let cv = ct.data()[bi * h + j];
-                    let tc = cv.tanh();
-                    let dh = dy_t.data()[bi * h + j] + dh_next.data()[bi * h + j];
-                    let mut dc = dc_next.data()[bi * h + j] + dh * o * (1.0 - tc * tc);
-                    let d_o = dh * tc;
-                    let d_i = dc * g;
-                    let d_g = dc * i;
-                    let d_f = dc * c_prev.data()[bi * h + j];
-                    dc *= f;
-                    dc_prev.data_mut()[bi * h + j] = dc;
-                    dpre.data_mut()[gbase + j] = d_i * i * (1.0 - i);
-                    dpre.data_mut()[gbase + h + j] = d_f * f * (1.0 - f);
-                    dpre.data_mut()[gbase + 2 * h + j] = d_g * (1.0 - g * g);
-                    dpre.data_mut()[gbase + 3 * h + j] = d_o * o * (1.0 - o);
+                    for j in 0..h {
+                        let i = gbuf[gbase + j];
+                        let f = gbuf[gbase + h + j];
+                        let g = gbuf[gbase + 2 * h + j];
+                        let o = gbuf[gbase + 3 * h + j];
+                        let tc = tcbuf[bi * h + j];
+                        let dh = dybuf[bi * h + j] + dhnbuf[bi * h + j];
+                        let mut dc = dcnbuf[bi * h + j] + dh * o * (1.0 - tc * tc);
+                        let d_o = dh * tc;
+                        let d_i = dc * g;
+                        let d_g = dc * i;
+                        let d_f = dc * cpbuf[bi * h + j];
+                        dc *= f;
+                        dcpbuf[bi * h + j] = dc;
+                        dprebuf[gbase + j] = d_i * i * (1.0 - i);
+                        dprebuf[gbase + h + j] = d_f * f * (1.0 - f);
+                        dprebuf[gbase + 2 * h + j] = d_g * (1.0 - g * g);
+                        dprebuf[gbase + 3 * h + j] = d_o * o * (1.0 - o);
+                    }
                 }
             }
 
-            let xt = self.gather_t(x, t, batch, self.in_dim);
-            self.wx.accumulate_grad(&matmul_at_b(&xt, &dpre));
-            self.wh.accumulate_grad(&matmul_at_b(&h_prev, &dpre));
+            self.gather_t_into(x, t, batch, self.in_dim, &mut xt);
+            matmul_at_b_into(&xt, &dpre, &mut dw);
+            self.wx.accumulate_grad(&dw);
+            matmul_at_b_into(&h_prev, &dpre, &mut dw);
+            self.wh.accumulate_grad(&dw);
             self.b.accumulate_grad(&col_sums(&dpre));
-            let dxt = matmul_a_bt(&dpre, &self.wx.value);
-            self.scatter_t(&mut dx, &dxt, t, batch, self.in_dim);
-            dh_next = matmul_a_bt(&dpre, &self.wh.value);
-            dc_next = dc_prev;
+            self.scatter_t(&mut dpre_all, &dpre, t, batch, 4 * h);
+            matmul_into(&dpre, &wht, &mut dh_next);
+            std::mem::swap(&mut dc_next, &mut dc_prev);
         }
 
-        Tensor::from_vec(dx, x.dims())
+        // dX = dPre · Wxᵀ row by row, so all timesteps batch into one call.
+        let dpre_all = Tensor::from_vec(dpre_all, &[rows, 4 * h]);
+        let mut dx = Tensor::zeros(&[0]);
+        matmul_a_bt_into(&dpre_all, &self.wx.value, &mut dx);
+        dx.reshape(x.dims())
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
@@ -211,7 +278,7 @@ mod tests {
         let x = ea_tensor::uniform(&[2 * 3, 2], -1.0, 1.0, &mut rng);
         let (y, s) = lstm.forward(&x, &ForwardCtx::eval());
         assert_eq!(y.dims(), &[6, 4]);
-        assert_eq!(s.len(), 4);
+        assert_eq!(s.len(), 5);
         // Hidden state at t=1 differs from t=0 (state actually propagates).
         assert_ne!(y.row(0), y.row(1));
     }

@@ -1,7 +1,7 @@
 //! Layer normalization.
 
 use crate::{ForwardCtx, Layer, Param, Saved};
-use ea_tensor::Tensor;
+use ea_tensor::{pool, Tensor};
 
 const EPS: f32 = 1e-5;
 
@@ -28,12 +28,17 @@ impl Layer for LayerNorm {
     fn forward(&self, x: &Tensor, _ctx: &ForwardCtx) -> (Tensor, Saved) {
         let (r, c) = x.shape().as_matrix();
         assert_eq!(c, self.dim, "layernorm width mismatch");
-        let mut y = vec![0.0f32; r * c];
+        // Every element is written below, so pooled buffers with stale
+        // contents are fine.
+        let mut y = pool::take_buf(r * c);
         // Stash normalized activations and inverse std per row.
-        let mut xhat = vec![0.0f32; r * c];
-        let mut inv_std = vec![0.0f32; r];
+        let mut xhat = pool::take_buf(r * c);
+        let mut inv_std = pool::take_buf(r);
+        let xdata = x.data();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
         for i in 0..r {
-            let row = &x.data()[i * c..(i + 1) * c];
+            let row = &xdata[i * c..(i + 1) * c];
             let mean = row.iter().sum::<f32>() / c as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
             let inv = 1.0 / (var + EPS).sqrt();
@@ -41,15 +46,12 @@ impl Layer for LayerNorm {
             for j in 0..c {
                 let h = (row[j] - mean) * inv;
                 xhat[i * c + j] = h;
-                y[i * c + j] = h * self.gamma.value.data()[j] + self.beta.value.data()[j];
+                y[i * c + j] = h * gamma[j] + beta[j];
             }
         }
         (
             Tensor::from_vec(y, x.dims()),
-            Saved::new(vec![
-                Tensor::from_vec(xhat, &[r, c]),
-                Tensor::from_vec(inv_std, &[r]),
-            ]),
+            Saved::new(vec![Tensor::from_vec(xhat, &[r, c]), Tensor::from_vec(inv_std, &[r])]),
         )
     }
 
@@ -57,11 +59,17 @@ impl Layer for LayerNorm {
         let xhat = saved.get(0);
         let inv_std = saved.get(1);
         let (r, c) = xhat.shape().as_matrix();
-        let mut dx = vec![0.0f32; r * c];
+        // Fully overwritten below.
+        let mut dx = pool::take_buf(r * c);
         let gamma = self.gamma.value.data();
+        let ggrad = self.gamma.grad.data_mut();
+        let bgrad = self.beta.grad.data_mut();
+        let dydata = dy.data();
+        let xhdata = xhat.data();
+        let invdata = inv_std.data();
         for i in 0..r {
-            let hy = &dy.data()[i * c..(i + 1) * c];
-            let hx = &xhat.data()[i * c..(i + 1) * c];
+            let hy = &dydata[i * c..(i + 1) * c];
+            let hx = &xhdata[i * c..(i + 1) * c];
             // dxhat = dy * gamma
             // dx = inv_std/c * (c*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
             let mut sum_dxh = 0.0f32;
@@ -71,15 +79,15 @@ impl Layer for LayerNorm {
                 sum_dxh += dxh;
                 sum_dxh_h += dxh * hx[j];
             }
-            let scale = inv_std.data()[i] / c as f32;
+            let scale = invdata[i] / c as f32;
             for j in 0..c {
                 let dxh = hy[j] * gamma[j];
                 dx[i * c + j] = scale * (c as f32 * dxh - sum_dxh - hx[j] * sum_dxh_h);
             }
             // Parameter gradients.
             for j in 0..c {
-                self.gamma.grad.data_mut()[j] += hy[j] * hx[j];
-                self.beta.grad.data_mut()[j] += hy[j];
+                ggrad[j] += hy[j] * hx[j];
+                bgrad[j] += hy[j];
             }
         }
         Tensor::from_vec(dx, dy.dims())

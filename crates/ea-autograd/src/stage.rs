@@ -96,8 +96,15 @@ impl Stage {
     /// Flattens all parameter values into one vector (layer order).
     pub fn params_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        self.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+        self.params_flat_into(&mut out);
         out
+    }
+
+    /// Flattens all parameter values into a reusable buffer (cleared
+    /// first), avoiding a fresh allocation on the hot path.
+    pub fn params_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
     }
 
     /// Writes a flat vector produced by [`Stage::params_flat`] back into
@@ -117,6 +124,14 @@ impl Stage {
         let mut out = Vec::with_capacity(self.num_params());
         self.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
         out
+    }
+
+    /// Flattens all gradient accumulators scaled by `scale` into a
+    /// reusable buffer (cleared first). `grads_flat_scaled_into(s, out)`
+    /// produces element-wise exactly `grads_flat().map(|g| g * s)`.
+    pub fn grads_flat_scaled_into(&self, scale: f32, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |p| out.extend(p.grad.data().iter().map(|&g| g * scale)));
     }
 
     /// Clears every gradient accumulator.

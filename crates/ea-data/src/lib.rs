@@ -52,10 +52,7 @@ impl Batch {
             let rows = bs * self.seq;
             let r0 = b0 * self.seq;
             out.push(Batch {
-                input: Tensor::from_vec(
-                    self.input.data()[r0..r0 + rows].to_vec(),
-                    &[rows],
-                ),
+                input: Tensor::from_vec(self.input.data()[r0..r0 + rows].to_vec(), &[rows]),
                 targets: self.targets[r0..r0 + rows].to_vec(),
                 batch_size: bs,
                 seq: self.seq,
@@ -212,12 +209,7 @@ impl SyntheticTask {
                 }
             }
         }
-        Batch {
-            input: Tensor::from_vec(input, &[rows]),
-            targets,
-            batch_size,
-            seq: self.seq,
-        }
+        Batch { input: Tensor::from_vec(input, &[rows]), targets, batch_size, seq: self.seq }
     }
 }
 
@@ -268,12 +260,7 @@ mod tests {
     fn masked_denoise_masks_and_preserves_targets() {
         let t = SyntheticTask::masked_denoise(12, 50, 0.4, 3);
         let b = t.batch(8, 0);
-        let masked = b
-            .input
-            .data()
-            .iter()
-            .filter(|&&v| v as usize == MASK_TOKEN)
-            .count();
+        let masked = b.input.data().iter().filter(|&&v| v as usize == MASK_TOKEN).count();
         let frac = masked as f64 / b.input.numel() as f64;
         assert!((0.25..0.55).contains(&frac), "mask fraction {frac}");
         // Targets never contain the mask token (chain avoids 0).

@@ -77,9 +77,6 @@ mod tests {
     fn top_1_matches_accuracy() {
         let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
         assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), 1.0);
-        assert_eq!(
-            top_k_accuracy(&logits, &[0, 1], 1),
-            crate::accuracy(&logits, &[0, 1])
-        );
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), crate::accuracy(&logits, &[0, 1]));
     }
 }

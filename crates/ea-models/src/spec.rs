@@ -275,20 +275,14 @@ mod tests {
     fn gnmt_parameter_count_in_range() {
         let s = gnmt_spec();
         let params = s.total_param_bytes() / 4;
-        assert!(
-            (150_000_000..350_000_000).contains(&params),
-            "GNMT params {params}"
-        );
+        assert!((150_000_000..350_000_000).contains(&params), "GNMT params {params}");
     }
 
     #[test]
     fn bert_parameter_count_matches_bert_large() {
         let s = bert_spec();
         let params = s.total_param_bytes() / 4;
-        assert!(
-            (280_000_000..420_000_000).contains(&params),
-            "BERT params {params}"
-        );
+        assert!((280_000_000..420_000_000).contains(&params), "BERT params {params}");
     }
 
     #[test]

@@ -41,6 +41,43 @@ pub fn elastic_pull(local: &mut [f32], reference: &[f32], alpha: f32) {
     }
 }
 
+/// Fused Steps ❶–❸ for one stage: local optimizer step, elastic pull and
+/// local-update extraction in a single pass over the parameters.
+///
+/// On return, `params` holds the pulled weights
+/// `(1-α)·w_new + α·w̃` and `delta` holds the local update
+/// `Δ = w_new − w_old` (the optimizer step only, *before* the pull) ready
+/// for [`ReferenceAccumulator::receive`]. `delta` is cleared and refilled,
+/// so callers can reuse one buffer across rounds.
+///
+/// Element-wise this computes exactly what the unfused sequence
+/// (`params_flat` snapshot → `opt.step` → subtract → [`elastic_pull`])
+/// computes — same expressions, same order — so switching to the fused
+/// form changes no training result, only the number of passes and
+/// allocations.
+pub fn step_pull_delta(
+    opt: &mut dyn crate::Optimizer,
+    params: &mut [f32],
+    grads: &[f32],
+    reference: &[f32],
+    alpha: f32,
+    delta: &mut Vec<f32>,
+) {
+    assert_eq!(params.len(), grads.len(), "gradient length mismatch");
+    assert_eq!(params.len(), reference.len(), "reference length mismatch");
+    // Snapshot w_old into the delta buffer, then let the optimizer update
+    // the parameters in place.
+    delta.clear();
+    delta.extend_from_slice(params);
+    opt.step(params, grads);
+    let keep = 1.0 - alpha;
+    for ((w, d), r) in params.iter_mut().zip(delta.iter_mut()).zip(reference) {
+        let w_new = *w;
+        *d = w_new - *d;
+        *w = keep * w_new + alpha * *r;
+    }
+}
+
 /// Steps ❹–❺: the reference-side accumulator.
 ///
 /// Each parallel pipeline sends the *local update* `Δ_i` it computed for
@@ -180,6 +217,67 @@ mod tests {
         let mut acc = ReferenceAccumulator::new(1, 1);
         acc.receive(&[1.0]);
         acc.receive(&[1.0]);
+    }
+
+    #[test]
+    fn step_pull_delta_matches_unfused_sequence_sgd() {
+        let grads = vec![0.5f32, -1.0, 2.0];
+        let reference = vec![1.0f32, 1.0, 1.0];
+        let alpha = 0.25;
+
+        // Unfused: snapshot, step, delta, pull.
+        let mut w_ref = vec![0.2f32, -0.4, 0.6];
+        let before = w_ref.clone();
+        let mut opt = crate::Sgd::new(0.1);
+        crate::Optimizer::step(&mut opt, &mut w_ref, &grads);
+        let expect_delta: Vec<f32> = w_ref.iter().zip(&before).map(|(a, b)| a - b).collect();
+        elastic_pull(&mut w_ref, &reference, alpha);
+
+        // Fused.
+        let mut w = vec![0.2f32, -0.4, 0.6];
+        let mut opt2 = crate::Sgd::new(0.1);
+        let mut delta = Vec::new();
+        step_pull_delta(&mut opt2, &mut w, &grads, &reference, alpha, &mut delta);
+
+        assert_eq!(w, w_ref, "pulled weights must be bit-identical");
+        assert_eq!(delta, expect_delta, "delta must be bit-identical");
+    }
+
+    #[test]
+    fn step_pull_delta_matches_unfused_sequence_adam() {
+        // Adam carries internal state; run several rounds to exercise it.
+        let reference = vec![0.5f32; 4];
+        let alpha = 0.5;
+        let mut w_ref = vec![0.1f32, 0.2, 0.3, 0.4];
+        let mut w = w_ref.clone();
+        let mut opt_ref = crate::Adam::new(0.01);
+        let mut opt = crate::Adam::new(0.01);
+        let mut delta = vec![7.0f32; 4]; // stale contents must not leak
+        for round in 0..5 {
+            let grads: Vec<f32> = (0..4).map(|i| ((round * 4 + i) as f32 * 0.3).sin()).collect();
+
+            let before = w_ref.clone();
+            crate::Optimizer::step(&mut opt_ref, &mut w_ref, &grads);
+            let expect_delta: Vec<f32> = w_ref.iter().zip(&before).map(|(a, b)| a - b).collect();
+            elastic_pull(&mut w_ref, &reference, alpha);
+
+            step_pull_delta(&mut opt, &mut w, &grads, &reference, alpha, &mut delta);
+            assert_eq!(w, w_ref, "round {round}: weights diverged");
+            assert_eq!(delta, expect_delta, "round {round}: delta diverged");
+        }
+    }
+
+    #[test]
+    fn step_pull_delta_reuses_delta_capacity() {
+        let mut opt = crate::Sgd::new(0.1);
+        let mut w = vec![1.0f32; 8];
+        let grads = vec![0.1f32; 8];
+        let reference = vec![0.0f32; 8];
+        let mut delta = Vec::with_capacity(8);
+        step_pull_delta(&mut opt, &mut w, &grads, &reference, 0.1, &mut delta);
+        let ptr = delta.as_ptr();
+        step_pull_delta(&mut opt, &mut w, &grads, &reference, 0.1, &mut delta);
+        assert_eq!(delta.as_ptr(), ptr, "delta buffer should be reused");
     }
 
     #[test]

@@ -18,6 +18,6 @@ pub mod elastic;
 mod optimizers;
 mod schedule;
 
-pub use elastic::{elastic_pull, ElasticConfig, ReferenceAccumulator};
+pub use elastic::{elastic_pull, step_pull_delta, ElasticConfig, ReferenceAccumulator};
 pub use optimizers::{clip_grad_norm, Adam, AdamW, Asgd, Easgd, Momentum, OptKind, Optimizer, Sgd};
 pub use schedule::{LrSchedule, Scheduled};

@@ -71,9 +71,7 @@ impl LrSchedule {
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
                 floor + (1.0 - floor) * cos
             }
-            LrSchedule::StepDecay { every, gamma } => {
-                gamma.powi((step / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((step / every.max(1)) as i32),
         }
     }
 }

@@ -54,6 +54,8 @@ impl RefShard {
                 for (w, d) in st.weights.iter_mut().zip(&delta) {
                     *w += d * inv;
                 }
+                // Deltas arrive in pooled buffers; return them for reuse.
+                ea_tensor::pool::recycle(delta);
             }
             st.version += 1;
             self.cv.notify_all();
@@ -140,20 +142,17 @@ impl ElasticTrainer {
         let shards = &self.shards;
         let losses: Vec<f32> = std::thread::scope(|scope| {
             let mut joins = Vec::new();
-            for (p, (pipe, batch)) in
-                self.pipelines.iter_mut().zip(batches.iter()).enumerate()
-            {
+            for (p, (pipe, batch)) in self.pipelines.iter_mut().zip(batches.iter()).enumerate() {
                 joins.push(scope.spawn(move || {
-                    let before: Vec<Vec<f32>> =
-                        (0..k).map(|s| pipe.stage_params(s)).collect();
-                    let loss = pipe.step(batch);
-                    for s in 0..k {
-                        let after = pipe.stage_params(s);
-                        let delta: Vec<f32> =
-                            after.iter().zip(&before[s]).map(|(a, b)| a - b).collect();
-                        // Step ❷ against the round-r reference, then ❸.
-                        let reference = shards[s].weights_at(round);
-                        pipe.pull_stage(s, reference, alpha);
+                    // Fetch the round-r reference up front: the version
+                    // cannot advance past r until this pipeline submits,
+                    // so this observes exactly the pre-round weights.
+                    let references: Vec<Vec<f32>> =
+                        (0..k).map(|s| shards[s].weights_at(round)).collect();
+                    // Steps ❶–❷ run worker-side in one fused pass; Δ comes
+                    // back per stage for Step ❸.
+                    let (loss, deltas) = pipe.step_elastic(batch, references, alpha);
+                    for (s, delta) in deltas.into_iter().enumerate() {
                         shards[s].submit(p, delta);
                     }
                     loss
@@ -203,9 +202,7 @@ mod tests {
             .collect();
         let opts = (0..n)
             .map(|_| {
-                (0..CFG.stages)
-                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
-                    .collect::<Vec<_>>()
+                (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect::<Vec<_>>()
             })
             .collect();
         (stages, opts)
@@ -225,13 +222,12 @@ mod tests {
             (0..n).map(|_| gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed))).collect();
         let sem_opts = (0..n)
             .map(|_| {
-                (0..CFG.stages)
-                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
-                    .collect::<Vec<_>>()
+                (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect::<Vec<_>>()
             })
             .collect();
         let sem_eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed));
-        let mut semantic = ElasticSemantic::with_eval_replica(sem_replicas, sem_opts, 2, None, sem_eval);
+        let mut semantic =
+            ElasticSemantic::with_eval_replica(sem_replicas, sem_opts, 2, None, sem_eval);
 
         for r in 0..4 {
             let batches: Vec<_> = (0..n as u64).map(|i| task.batch(4, r * 2 + i)).collect();
@@ -270,10 +266,8 @@ mod tests {
         let r0 = t.replica_params(0, 0);
         let r1 = t.replica_params(1, 0);
         let rf = t.reference(0);
-        let d01: f32 =
-            r0.iter().zip(&r1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
-        let dr0: f32 =
-            rf.iter().zip(&r0).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let d01: f32 = r0.iter().zip(&r1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dr0: f32 = rf.iter().zip(&r0).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
         assert!(dr0 < d01 * 2.0 + 1e-3, "reference far from replicas: {dr0} vs {d01}");
     }
 

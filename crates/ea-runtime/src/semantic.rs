@@ -3,7 +3,8 @@
 
 use ea_autograd::{cross_entropy_loss, ForwardCtx, StagedModel};
 use ea_data::Batch;
-use ea_optim::{elastic_pull, Optimizer, ReferenceAccumulator};
+use ea_optim::{step_pull_delta, Optimizer, ReferenceAccumulator};
+use ea_tensor::pool;
 use std::collections::VecDeque;
 
 /// A training system: consumes batches, owns a model, reports loss.
@@ -22,6 +23,29 @@ pub trait Trainer {
     }
 }
 
+/// The forward/backward half of a training step: zeroes gradients, runs
+/// every micro-batch through the model and accumulates gradients. Returns
+/// the summed micro-batch loss and the micro-batch count.
+fn forward_backward(
+    model: &mut StagedModel,
+    batch: &Batch,
+    micros: usize,
+    step: u64,
+) -> (f32, usize) {
+    let micro_size = batch.batch_size.div_ceil(micros);
+    let parts = batch.split_micro(micro_size);
+    model.zero_grads();
+    let mut total_loss = 0.0;
+    for (mi, part) in parts.iter().enumerate() {
+        let ctx = ForwardCtx::train(step, mi as u64);
+        let (logits, saves) = model.forward(&part.input, &ctx);
+        let loss = cross_entropy_loss(&logits, &part.targets);
+        total_loss += loss.loss;
+        model.backward(&saves, &loss.grad);
+    }
+    (total_loss, parts.len())
+}
+
 /// One synchronous training step with micro-batch gradient accumulation:
 /// the exact semantics of data parallelism and of all synchronous
 /// pipeline schedules (GPipe/Dapple — schedules change *when* things run,
@@ -36,26 +60,20 @@ pub fn train_step(
     step: u64,
 ) -> f32 {
     assert_eq!(opts.len(), model.num_stages(), "one optimizer per stage");
-    let micro_size = batch.batch_size.div_ceil(micros);
-    let parts = batch.split_micro(micro_size);
-    model.zero_grads();
-    let mut total_loss = 0.0;
-    for (mi, part) in parts.iter().enumerate() {
-        let ctx = ForwardCtx::train(step, mi as u64);
-        let (logits, saves) = model.forward(&part.input, &ctx);
-        let loss = cross_entropy_loss(&logits, &part.targets);
-        total_loss += loss.loss;
-        model.backward(&saves, &loss.grad);
-    }
-    let inv = 1.0 / parts.len() as f32;
-    let n_parts = parts.len() as f32;
-    for k in 0..model.num_stages() {
-        let grads: Vec<f32> = model.stage(k).grads_flat().iter().map(|g| g * inv).collect();
-        let mut params = model.stage(k).params_flat();
-        opts[k].step(&mut params, &grads);
+    let (total_loss, n_parts) = forward_backward(model, batch, micros, step);
+    let inv = 1.0 / n_parts as f32;
+    for (k, opt) in opts.iter_mut().enumerate() {
+        let n = model.stage(k).num_params();
+        let mut grads = pool::take_cleared(n);
+        model.stage(k).grads_flat_scaled_into(inv, &mut grads);
+        let mut params = pool::take_cleared(n);
+        model.stage(k).params_flat_into(&mut params);
+        opt.step(&mut params, &grads);
         model.stage_mut(k).set_params_flat(&params);
+        pool::recycle(grads);
+        pool::recycle(params);
     }
-    total_loss / n_parts
+    total_loss / n_parts as f32
 }
 
 /// Synchronous SGD trainer ("PyTorch" row of Figure 14).
@@ -110,9 +128,7 @@ impl StaleTrainer {
     }
 
     fn current_params(&self) -> Vec<Vec<f32>> {
-        (0..self.model.num_stages())
-            .map(|k| self.model.stage(k).params_flat())
-            .collect()
+        (0..self.model.num_stages()).map(|k| self.model.stage(k).params_flat()).collect()
     }
 
     fn set_params(&mut self, params: &[Vec<f32>]) {
@@ -150,10 +166,10 @@ impl Trainer for StaleTrainer {
         let n_parts = parts.len() as f32;
 
         // Apply to the *current* weights — the staleness mismatch.
-        for k in 0..self.model.num_stages() {
+        for (k, cur) in current.iter().enumerate() {
             let grads: Vec<f32> =
                 self.model.stage(k).grads_flat().iter().map(|g| g * inv).collect();
-            let mut params = current[k].clone();
+            let mut params = cur.clone();
             self.opts[k].step(&mut params, &grads);
             self.model.stage_mut(k).set_params_flat(&params);
         }
@@ -198,10 +214,7 @@ impl ElasticSemantic {
         let stages = replicas[0].num_stages();
         let reference: Vec<Vec<f32>> =
             (0..stages).map(|k| replicas[0].stage(k).params_flat()).collect();
-        let accs = reference
-            .iter()
-            .map(|r| ReferenceAccumulator::new(r.len(), n))
-            .collect();
+        let accs = reference.iter().map(|r| ReferenceAccumulator::new(r.len(), n)).collect();
         ElasticSemantic {
             replicas,
             opts,
@@ -227,27 +240,37 @@ impl ElasticSemantic {
         assert_eq!(batches.len(), self.replicas.len(), "one batch per replica");
         let stages = self.replicas[0].num_stages();
         let mut total = 0.0;
+        // Flat scratch reused across replicas and stages; returned to the
+        // buffer pool at the end of the round.
+        let mut grads: Vec<f32> = Vec::new();
+        let mut params: Vec<f32> = Vec::new();
+        let mut delta: Vec<f32> = Vec::new();
         for (i, batch) in batches.iter().enumerate() {
-            let before: Vec<Vec<f32>> =
-                (0..stages).map(|k| self.replicas[i].stage(k).params_flat()).collect();
-            total += train_step(
-                &mut self.replicas[i],
-                &mut self.opts[i],
-                batch,
-                self.micros,
-                self.step,
-            );
+            let (total_loss, n_parts) =
+                forward_backward(&mut self.replicas[i], batch, self.micros, self.step);
+            total += total_loss / n_parts as f32;
+            let inv = 1.0 / n_parts as f32;
             for k in 0..stages {
-                let mut after = self.replicas[i].stage(k).params_flat();
-                // Step ❸: local update Δ = new − old.
-                let delta: Vec<f32> =
-                    after.iter().zip(&before[k]).map(|(a, b)| a - b).collect();
+                self.replicas[i].stage(k).grads_flat_scaled_into(inv, &mut grads);
+                self.replicas[i].stage(k).params_flat_into(&mut params);
+                // Steps ❶–❸ fused: optimizer step, dilution toward the
+                // reference (pre-round state) and Δ = new − old in one
+                // pass — element-wise identical to the unfused sequence.
+                step_pull_delta(
+                    self.opts[i][k].as_mut(),
+                    &mut params,
+                    &grads,
+                    &self.reference[k],
+                    self.alpha,
+                    &mut delta,
+                );
                 self.accs[k].receive(&delta);
-                // Step ❷: dilute toward the reference (pre-round state).
-                elastic_pull(&mut after, &self.reference[k], self.alpha);
-                self.replicas[i].stage_mut(k).set_params_flat(&after);
+                self.replicas[i].stage_mut(k).set_params_flat(&params);
             }
         }
+        pool::recycle(grads);
+        pool::recycle(params);
+        pool::recycle(delta);
         for k in 0..stages {
             let applied = self.accs[k].try_apply(&mut self.reference[k]);
             assert!(applied, "all replicas reported; reference must update");
@@ -385,11 +408,7 @@ mod tests {
         let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(8));
         let _ = &mut rng;
         let opts = (0..2)
-            .map(|_| {
-                (0..2)
-                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
-                    .collect::<Vec<_>>()
-            })
+            .map(|_| (0..2).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect::<Vec<_>>())
             .collect();
         let mut ea = ElasticSemantic::with_eval_replica(replicas, opts, 2, None, eval);
         let task = SyntheticTask::copy_translate(16, 4, 13);
@@ -414,11 +433,7 @@ mod tests {
             (0..2).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(21))).collect();
         let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(21));
         let opts = (0..2)
-            .map(|_| {
-                (0..2)
-                    .map(|_| OptKind::Adam { lr: 1e-2 }.build())
-                    .collect::<Vec<_>>()
-            })
+            .map(|_| (0..2).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect::<Vec<_>>())
             .collect();
         let mut ea = ElasticSemantic::with_eval_replica(replicas, opts, 2, None, eval);
         let task = SyntheticTask::copy_translate(16, 4, 14);

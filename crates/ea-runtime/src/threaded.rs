@@ -3,8 +3,8 @@
 use crossbeam_channel::{bounded, unbounded, Receiver, Select, Sender};
 use ea_autograd::{cross_entropy_loss, ForwardCtx, Stage, StageSaved};
 use ea_data::Batch;
-use ea_optim::Optimizer;
-use ea_tensor::Tensor;
+use ea_optim::{step_pull_delta, Optimizer};
+use ea_tensor::{pool, Tensor};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
@@ -26,8 +26,45 @@ enum Cmd {
     SetParams { params: Vec<f32>, reply: Sender<()> },
     /// Elastic pull: `w ← (1−α)·w + α·reference`.
     Pull { reference: Vec<f32>, alpha: f32, reply: Sender<()> },
+    /// Fused elastic round tail: after `expect_bwd` backward micro-batches,
+    /// apply the optimizer (grads scaled by `scale`), pull toward
+    /// `reference` with strength `alpha`, and reply with `(tag, Δ)` where
+    /// `Δ = w_new − w_old` is the local update before the pull.
+    OptPullDelta {
+        expect_bwd: u64,
+        scale: f32,
+        reference: Vec<f32>,
+        alpha: f32,
+        tag: usize,
+        reply: Sender<(usize, Vec<f32>)>,
+    },
     /// Shut down.
     Stop,
+}
+
+/// An optimizer application waiting for the batch's backward passes.
+enum PendingOpt {
+    Plain {
+        expect: u64,
+        scale: f32,
+        reply: Sender<()>,
+    },
+    Fused {
+        expect: u64,
+        scale: f32,
+        reference: Vec<f32>,
+        alpha: f32,
+        tag: usize,
+        reply: Sender<(usize, Vec<f32>)>,
+    },
+}
+
+impl PendingOpt {
+    fn expect(&self) -> u64 {
+        match self {
+            PendingOpt::Plain { expect, .. } | PendingOpt::Fused { expect, .. } => *expect,
+        }
+    }
 }
 
 struct Worker {
@@ -41,7 +78,11 @@ struct Worker {
     losses: Option<Sender<f32>>,
     stash: HashMap<u64, (StageSaved, Option<Vec<usize>>)>,
     bwd_seen: u64,
-    pending_opt: Option<(u64, f32, Sender<()>)>,
+    pending_opt: Option<PendingOpt>,
+    /// Flat scratch reused by every optimizer application, so steady-state
+    /// steps allocate nothing.
+    grads_scratch: Vec<f32>,
+    params_scratch: Vec<f32>,
 }
 
 impl Worker {
@@ -77,31 +118,73 @@ impl Worker {
 
     fn after_bwd(&mut self) {
         self.bwd_seen += 1;
-        let ready = matches!(&self.pending_opt, Some((expect, _, _)) if self.bwd_seen >= *expect);
+        let ready = matches!(&self.pending_opt, Some(p) if self.bwd_seen >= p.expect());
         if ready {
-            let (_, scale, reply) = self.pending_opt.take().unwrap();
-            self.apply_opt(scale);
-            reply.send(()).expect("driver hung up");
+            let pending = self.pending_opt.take().unwrap();
+            self.run_pending(pending);
+        }
+    }
+
+    fn run_pending(&mut self, pending: PendingOpt) {
+        match pending {
+            PendingOpt::Plain { scale, reply, .. } => {
+                self.apply_opt(scale);
+                reply.send(()).expect("driver hung up");
+            }
+            PendingOpt::Fused { scale, reference, alpha, tag, reply, .. } => {
+                let delta = self.apply_opt_pull_delta(scale, &reference, alpha);
+                pool::recycle(reference);
+                reply.send((tag, delta)).expect("driver hung up");
+            }
         }
     }
 
     fn apply_opt(&mut self, scale: f32) {
-        let grads: Vec<f32> = self.stage.grads_flat().iter().map(|g| g * scale).collect();
-        let mut params = self.stage.params_flat();
-        self.opt.step(&mut params, &grads);
-        self.stage.set_params_flat(&params);
+        self.stage.grads_flat_scaled_into(scale, &mut self.grads_scratch);
+        self.stage.params_flat_into(&mut self.params_scratch);
+        self.opt.step(&mut self.params_scratch, &self.grads_scratch);
+        self.stage.set_params_flat(&self.params_scratch);
         self.stage.zero_grads();
         self.bwd_seen = 0;
+    }
+
+    /// Fused Steps ❶–❸ on this stage; returns Δ in a pooled buffer.
+    fn apply_opt_pull_delta(&mut self, scale: f32, reference: &[f32], alpha: f32) -> Vec<f32> {
+        self.stage.grads_flat_scaled_into(scale, &mut self.grads_scratch);
+        self.stage.params_flat_into(&mut self.params_scratch);
+        let mut delta = pool::take_cleared(self.params_scratch.len());
+        step_pull_delta(
+            self.opt.as_mut(),
+            &mut self.params_scratch,
+            &self.grads_scratch,
+            reference,
+            alpha,
+            &mut delta,
+        );
+        self.stage.set_params_flat(&self.params_scratch);
+        self.stage.zero_grads();
+        self.bwd_seen = 0;
+        delta
     }
 
     fn handle_cmd(&mut self, cmd: Cmd) -> bool {
         match cmd {
             Cmd::Opt { expect_bwd, scale, reply } => {
+                let pending = PendingOpt::Plain { expect: expect_bwd, scale, reply };
                 if self.bwd_seen >= expect_bwd {
-                    self.apply_opt(scale);
-                    reply.send(()).expect("driver hung up");
+                    self.run_pending(pending);
                 } else {
-                    self.pending_opt = Some((expect_bwd, scale, reply));
+                    self.pending_opt = Some(pending);
+                }
+                true
+            }
+            Cmd::OptPullDelta { expect_bwd, scale, reference, alpha, tag, reply } => {
+                let pending =
+                    PendingOpt::Fused { expect: expect_bwd, scale, reference, alpha, tag, reply };
+                if self.bwd_seen >= expect_bwd {
+                    self.run_pending(pending);
+                } else {
+                    self.pending_opt = Some(pending);
                 }
                 true
             }
@@ -219,6 +302,8 @@ impl ThreadedPipeline {
                 stash: HashMap::new(),
                 bwd_seen: 0,
                 pending_opt: None,
+                grads_scratch: Vec::new(),
+                params_scratch: Vec::new(),
             };
             handles.push(
                 std::thread::Builder::new()
@@ -252,9 +337,7 @@ impl ThreadedPipeline {
         let m = parts.len();
         for (mi, part) in parts.into_iter().enumerate() {
             let ctx = ForwardCtx::train(self.step, mi as u64);
-            self.fwd0
-                .send((mi as u64, part.input, part.targets, ctx))
-                .expect("stage 0 hung up");
+            self.fwd0.send((mi as u64, part.input, part.targets, ctx)).expect("stage 0 hung up");
         }
         let mut total = 0.0;
         for _ in 0..m {
@@ -263,18 +346,62 @@ impl ThreadedPipeline {
         // One optimizer step per stage once its backwards are in.
         let (tx, rx) = bounded(self.stages);
         for cmd in &self.cmds {
-            cmd.send(Cmd::Opt {
-                expect_bwd: m as u64,
-                scale: 1.0 / m as f32,
-                reply: tx.clone(),
-            })
-            .expect("stage hung up");
+            cmd.send(Cmd::Opt { expect_bwd: m as u64, scale: 1.0 / m as f32, reply: tx.clone() })
+                .expect("stage hung up");
         }
         for _ in 0..self.stages {
             rx.recv().expect("opt reply lost");
         }
         self.step += 1;
         total / m as f32
+    }
+
+    /// Streams one batch through the pipeline, then runs the fused
+    /// optimizer-step + elastic-pull + Δ-extraction on every stage in a
+    /// single worker-side pass (Steps ❶–❸ of the elastic round).
+    ///
+    /// `references[k]` holds stage `k`'s reference weights; the buffers are
+    /// consumed and recycled by the workers. Returns the mean micro-batch
+    /// loss and the per-stage local updates `Δ_k = w_new − w_old` (computed
+    /// before the pull), in stage order, ready for the reference
+    /// accumulator.
+    pub fn step_elastic(
+        &mut self,
+        batch: &Batch,
+        references: Vec<Vec<f32>>,
+        alpha: f32,
+    ) -> (f32, Vec<Vec<f32>>) {
+        assert_eq!(references.len(), self.stages, "one reference per stage");
+        let micro_size = batch.batch_size.div_ceil(self.micros);
+        let parts = batch.split_micro(micro_size);
+        let m = parts.len();
+        for (mi, part) in parts.into_iter().enumerate() {
+            let ctx = ForwardCtx::train(self.step, mi as u64);
+            self.fwd0.send((mi as u64, part.input, part.targets, ctx)).expect("stage 0 hung up");
+        }
+        let mut total = 0.0;
+        for _ in 0..m {
+            total += self.losses.recv().expect("pipeline died");
+        }
+        let (tx, rx) = bounded(self.stages);
+        for (k, (cmd, reference)) in self.cmds.iter().zip(references).enumerate() {
+            cmd.send(Cmd::OptPullDelta {
+                expect_bwd: m as u64,
+                scale: 1.0 / m as f32,
+                reference,
+                alpha,
+                tag: k,
+                reply: tx.clone(),
+            })
+            .expect("stage hung up");
+        }
+        let mut deltas: Vec<Vec<f32>> = (0..self.stages).map(|_| Vec::new()).collect();
+        for _ in 0..self.stages {
+            let (tag, delta) = rx.recv().expect("opt reply lost");
+            deltas[tag] = delta;
+        }
+        self.step += 1;
+        (total / m as f32, deltas)
     }
 
     /// Reads stage `k`'s flat parameters.
@@ -287,18 +414,14 @@ impl ThreadedPipeline {
     /// Overwrites stage `k`'s flat parameters.
     pub fn set_stage_params(&self, k: usize, params: Vec<f32>) {
         let (tx, rx) = bounded(1);
-        self.cmds[k]
-            .send(Cmd::SetParams { params, reply: tx })
-            .expect("stage hung up");
+        self.cmds[k].send(Cmd::SetParams { params, reply: tx }).expect("stage hung up");
         rx.recv().expect("set reply lost");
     }
 
     /// Applies the elastic pull on stage `k`.
     pub fn pull_stage(&self, k: usize, reference: Vec<f32>, alpha: f32) {
         let (tx, rx) = bounded(1);
-        self.cmds[k]
-            .send(Cmd::Pull { reference, alpha, reply: tx })
-            .expect("stage hung up");
+        self.cmds[k].send(Cmd::Pull { reference, alpha, reply: tx }).expect("stage hung up");
         rx.recv().expect("pull reply lost");
     }
 }
@@ -345,10 +468,7 @@ mod tests {
             let batch = task.batch(8, b);
             let l_ref = train_step(&mut ref_model, &mut ref_opts, &batch, 4, b);
             let l_thr = pipe.step(&batch);
-            assert!(
-                (l_ref - l_thr).abs() < 1e-6,
-                "batch {b}: losses {l_ref} vs {l_thr}"
-            );
+            assert!((l_ref - l_thr).abs() < 1e-6, "batch {b}: losses {l_ref} vs {l_thr}");
         }
         for k in 0..3 {
             let a = ref_model.stage(k).params_flat();

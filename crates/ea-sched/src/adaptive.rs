@@ -19,8 +19,8 @@ impl AdvanceController {
     pub fn new(k: usize, m: usize, mem_limit: u64) -> Self {
         assert!(k >= 1);
         AdvanceController {
-            advance: k - 1,          // Line 1: equivalent to 1F1B.
-            max_advance: m + k - 1,  // Full AFAB depth.
+            advance: k - 1,         // Line 1: equivalent to 1F1B.
+            max_advance: m + k - 1, // Full AFAB depth.
             mem_limit,
             last_time_us: None,
             frozen: false,

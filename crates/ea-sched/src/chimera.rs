@@ -155,11 +155,8 @@ mod tests {
         // On an NVLink-class single node (where its gradient sync is
         // cheap) it beats a single synchronous 1F1B pipeline.
         let spec = gnmt_spec();
-        let cluster = ClusterConfig {
-            nodes: 1,
-            gpus_per_node: 6,
-            ..ClusterConfig::paper_testbed()
-        };
+        let cluster =
+            ClusterConfig { nodes: 1, gpus_per_node: 6, ..ClusterConfig::paper_testbed() };
         let part = partition_model(&spec, 6);
         let plan = PipelinePlan::new(spec, cluster.clone(), part, 128, 16, 8);
         let sim = Simulator::new(cluster);
@@ -195,9 +192,7 @@ mod tests {
         let plan = plan(16);
         let sim = Simulator::new(plan.cluster.clone());
         let chm = sim.run(&chimera_program(&plan, 1)).unwrap();
-        let dap = sim
-            .run(&pipeline_program(&plan, &PipeStyle::dapple(), 1))
-            .unwrap();
+        let dap = sim.run(&pipeline_program(&plan, &PipeStyle::dapple(), 1)).unwrap();
         // Two stage replicas per device: noticeably more weight memory.
         assert!(chm.max_peak_mem() > dap.max_peak_mem());
     }

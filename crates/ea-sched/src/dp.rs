@@ -95,9 +95,7 @@ mod tests {
         let spec = gnmt_spec();
         let cluster = ClusterConfig::paper_testbed();
         let sim = Simulator::new(cluster.clone());
-        let r = sim
-            .run(&data_parallel_program(&spec, &cluster, 128, 1, 8))
-            .unwrap();
+        let r = sim.run(&data_parallel_program(&spec, &cluster, 128, 1, 8)).unwrap();
         let d0 = &r.devices[0];
         assert!(
             d0.comm_blocked_us > d0.busy_us,
@@ -110,7 +108,8 @@ mod tests {
     #[test]
     fn single_device_has_no_transfers() {
         let spec = awd_spec();
-        let cluster = ClusterConfig { nodes: 1, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
+        let cluster =
+            ClusterConfig { nodes: 1, gpus_per_node: 1, ..ClusterConfig::paper_testbed() };
         let prog = data_parallel_program(&spec, &cluster, 40, 1, 0);
         assert!(prog.streams[0]
             .instrs
@@ -123,9 +122,7 @@ mod tests {
         let spec = awd_spec();
         let cluster = ClusterConfig::paper_testbed_two_nodes();
         let sim = Simulator::new(cluster.clone());
-        let r = sim
-            .run(&data_parallel_program(&spec, &cluster, 40, 1, 8))
-            .unwrap();
+        let r = sim.run(&data_parallel_program(&spec, &cluster, 40, 1, 8)).unwrap();
         let min_peak = r.devices.iter().map(|d| d.peak_mem).min().unwrap();
         assert!(min_peak as f64 >= 2.0 * spec.total_param_bytes() as f64);
     }

@@ -50,11 +50,7 @@ pub fn partition_model_hetero(spec: &ModelSpec, speeds: &[f64]) -> Partition {
                     continue;
                 }
                 let cost = prev_cost.max(stage_flops(spec, j, i) / speeds[s - 1]);
-                let comm = prev_comm.saturating_add(if j > 0 {
-                    spec.boundary_bytes(j)
-                } else {
-                    0
-                });
+                let comm = prev_comm.saturating_add(if j > 0 { spec.boundary_bytes(j) } else { 0 });
                 if cost < dp[i][s].0 - 1e-9
                     || ((cost - dp[i][s].0).abs() <= 1e-9 && comm < dp[i][s].1)
                 {
@@ -127,10 +123,8 @@ mod tests {
         for spec in [gnmt_spec(), awd_spec()] {
             for k in 2..=4 {
                 let p = partition_model(&spec, k);
-                let got: f64 = p
-                    .iter()
-                    .map(|&(lo, hi)| stage_flops(&spec, lo, hi))
-                    .fold(0.0, f64::max);
+                let got: f64 =
+                    p.iter().map(|&(lo, hi)| stage_flops(&spec, lo, hi)).fold(0.0, f64::max);
                 let want = brute_force_bottleneck(&spec, k);
                 assert!(
                     (got - want).abs() <= 1e-6 * want,
@@ -181,10 +175,8 @@ mod hetero_tests {
             f
         };
         let straggler = flops(p[2].0, p[2].1);
-        let others: f64 = (0..6)
-            .filter(|&s| s != 2)
-            .map(|s| flops(p[s].0, p[s].1))
-            .fold(0.0, f64::max);
+        let others: f64 =
+            (0..6).filter(|&s| s != 2).map(|s| flops(p[s].0, p[s].1)).fold(0.0, f64::max);
         assert!(
             straggler < others,
             "straggler stage must carry less work: {straggler} vs {others}"

@@ -155,13 +155,7 @@ enum Ev {
 }
 
 /// Orders the fwd/bwd events of one stage.
-fn stage_events(
-    style: &PipeStyle,
-    k: usize,
-    kk: usize,
-    m: usize,
-    n_batches: usize,
-) -> Vec<Ev> {
+fn stage_events(style: &PipeStyle, k: usize, kk: usize, m: usize, n_batches: usize) -> Vec<Ev> {
     let w = style.warmup.warmup(k, kk, m);
     let mut evs = Vec::new();
     if style.flush_per_batch {
@@ -480,12 +474,8 @@ mod tests {
         // one-pipeline time when utilization is low.
         let plan = small_plan(8);
         let sim = Simulator::new(plan.cluster.clone());
-        let one = sim
-            .run(&pipeline_program(&plan, &PipeStyle::avgpipe(1, 3), 2))
-            .unwrap();
-        let two = sim
-            .run(&pipeline_program(&plan, &PipeStyle::avgpipe(2, 3), 2))
-            .unwrap();
+        let one = sim.run(&pipeline_program(&plan, &PipeStyle::avgpipe(1, 3), 2)).unwrap();
+        let two = sim.run(&pipeline_program(&plan, &PipeStyle::avgpipe(2, 3), 2)).unwrap();
         // Two pipelines do 2× the work; time should grow far less than 2×.
         assert!(
             two.makespan_us < 1.6 * one.makespan_us,

@@ -44,7 +44,7 @@ impl RecomputePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+    use crate::{partition_model, pipeline_program, PipeStyle, PipelinePlan};
     use ea_models::bert_spec;
     use ea_sim::{ClusterConfig, Simulator};
 

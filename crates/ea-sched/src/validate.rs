@@ -1,7 +1,7 @@
 //! Static schedule validation: activation-stash bounds.
 
 use crate::pipeline::ACT_TAG_BASE;
-use crate::{PipelinePlan, PipeStyle};
+use crate::{PipeStyle, PipelinePlan};
 use ea_sim::{Instr, Program, Stream};
 
 /// Maximum number of simultaneously-live activation stashes in a stream's

@@ -115,17 +115,16 @@ mod tests {
         assert_eq!(plain.makespan_us, traced.makespan_us);
         // Two computes + one transfer.
         assert_eq!(spans.len(), 3);
-        let computes: Vec<_> = spans
-            .iter()
-            .filter(|s| matches!(s.kind, SpanKind::Compute(_)))
-            .collect();
+        let computes: Vec<_> =
+            spans.iter().filter(|s| matches!(s.kind, SpanKind::Compute(_))).collect();
         assert_eq!(computes.len(), 2);
         for s in &spans {
             assert!(s.t1 >= s.t0);
         }
         // The consumer's compute starts after the transfer ends.
         let transfer = spans.iter().find(|s| matches!(s.kind, SpanKind::Transfer { .. })).unwrap();
-        let consumer = spans.iter().find(|s| s.stream == 1 && matches!(s.kind, SpanKind::Compute(_))).unwrap();
+        let consumer =
+            spans.iter().find(|s| s.stream == 1 && matches!(s.kind, SpanKind::Compute(_))).unwrap();
         assert!(consumer.t0 >= transfer.t1 - 1e-9);
     }
 

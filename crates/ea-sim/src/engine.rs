@@ -172,9 +172,7 @@ impl Simulator {
                                 let class = self.cfg.link_class(from_dev, to_dev);
                                 let key = match class {
                                     crate::LinkClass::Local => LinkKey::Local(from_dev),
-                                    crate::LinkClass::IntraNode => {
-                                        LinkKey::Intra(from_dev, to_dev)
-                                    }
+                                    crate::LinkClass::IntraNode => LinkKey::Intra(from_dev, to_dev),
                                     crate::LinkClass::InterNode => {
                                         LinkKey::Inter(self.cfg.node_of(from_dev))
                                     }
@@ -260,10 +258,7 @@ impl Simulator {
                 let blocked: Vec<String> = (0..n_streams)
                     .filter(|&sid| state[sid] != StreamState::Done)
                     .map(|sid| {
-                        format!(
-                            "{} (ip {} / {:?})",
-                            program.streams[sid].name, ip[sid], state[sid]
-                        )
+                        format!("{} (ip {} / {:?})", program.streams[sid].name, ip[sid], state[sid])
                     })
                     .collect();
                 if blocked.is_empty() {
@@ -290,9 +285,9 @@ impl Simulator {
                         let comm_waiting = (0..n_streams).any(|sid| {
                             program.streams[sid].device == dev
                                 && match state[sid] {
-                                    StreamState::WaitRecv { from, .. } => transfers
-                                        .iter()
-                                        .any(|t| t.from == from && t.to == sid),
+                                    StreamState::WaitRecv { from, .. } => {
+                                        transfers.iter().any(|t| t.from == from && t.to == sid)
+                                    }
                                     _ => false,
                                 }
                         });
@@ -593,7 +588,7 @@ mod tests {
 #[cfg(test)]
 mod egress_tests {
     use super::*;
-    use crate::{Instr::*, Stream, CLabel};
+    use crate::{CLabel, Instr::*, Stream};
 
     #[test]
     fn egress_shared_across_destinations() {
@@ -632,7 +627,7 @@ mod egress_tests {
 #[cfg(test)]
 mod heterogeneity_tests {
     use super::*;
-    use crate::{Instr::*, Stream, CLabel};
+    use crate::{CLabel, Instr::*, Stream};
 
     #[test]
     fn slow_device_takes_proportionally_longer() {

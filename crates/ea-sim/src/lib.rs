@@ -57,6 +57,6 @@ pub use chrome::{chrome_trace_json, Span, SpanKind};
 pub use config::{ClusterConfig, LinkClass};
 pub use engine::{SimError, Simulator};
 pub use instr::{CLabel, DeviceId, Instr, NodeId, Program, Stream, StreamId};
-pub use memory::{MemLedger, OomEvent};
+pub use memory::{MemLedger, OomError, OomEvent};
 pub use stats::{DeviceStats, SimResult};
 pub use trace::{TraceSeg, UtilTrace};

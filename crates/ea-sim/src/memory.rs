@@ -18,6 +18,19 @@ pub struct OomEvent {
     pub capacity: u64,
 }
 
+/// Error returned by [`MemLedger::alloc`] when the claim pushes the
+/// device over its capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OomError;
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allocation exceeds device memory capacity")
+    }
+}
+
+impl std::error::Error for OomError {}
+
 /// Tracks live allocations and the peak footprint of one device.
 #[derive(Clone, Debug)]
 pub struct MemLedger {
@@ -33,16 +46,16 @@ impl MemLedger {
         MemLedger { capacity, current: 0, peak: 0, live: HashMap::new() }
     }
 
-    /// Claims `bytes` under `(stream, tag)`. Returns `Err(())` on OOM
-    /// (the allocation is still recorded so execution can continue and
-    /// report a complete peak figure).
-    pub fn alloc(&mut self, stream: StreamId, tag: u64, bytes: u64) -> Result<(), ()> {
+    /// Claims `bytes` under `(stream, tag)`. Returns `Err(OomError)` on
+    /// OOM (the allocation is still recorded so execution can continue
+    /// and report a complete peak figure).
+    pub fn alloc(&mut self, stream: StreamId, tag: u64, bytes: u64) -> Result<(), OomError> {
         let prev = self.live.insert((stream, tag), bytes);
         assert!(prev.is_none(), "allocation tag ({stream}, {tag}) reused while live");
         self.current += bytes;
         self.peak = self.peak.max(self.current);
         if self.current > self.capacity {
-            Err(())
+            Err(OomError)
         } else {
             Ok(())
         }

@@ -66,10 +66,7 @@ impl UtilTrace {
     /// ∫ max(scale·φ(t) − 1, 0) dt — the "overused" area of Figure 8 used
     /// by the predictor when a hypothetical setting would exceed 100%.
     pub fn overflow_integral(&self, scale: f64) -> f64 {
-        self.segs
-            .iter()
-            .map(|s| ((scale * s.util - 1.0).max(0.0)) * s.dt())
-            .sum()
+        self.segs.iter().map(|s| ((scale * s.util - 1.0).max(0.0)) * s.dt()).sum()
     }
 
     /// Resamples the trace to `bins` equal-width bins over `[0, horizon]`

@@ -100,10 +100,7 @@ mod tests {
         assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
         let mut other = TensorRng::seed_from_u64(1).fork(4);
         // Children with different tags should not collide.
-        assert_ne!(
-            TensorRng::seed_from_u64(1).fork(3).uniform(0.0, 1.0),
-            other.uniform(0.0, 1.0)
-        );
+        assert_ne!(TensorRng::seed_from_u64(1).fork(3).uniform(0.0, 1.0), other.uniform(0.0, 1.0));
     }
 
     #[test]

@@ -20,12 +20,18 @@
 mod init;
 mod matmul;
 mod ops;
+pub mod pool;
 mod shape;
 mod tensor;
 
 pub use init::{kaiming_uniform, uniform, xavier_uniform, TensorRng};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b, outer};
-pub use ops::{argmax_rows, col_sums, log_softmax_rows, row_sums, softmax_rows, transpose};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into, outer,
+};
+pub use ops::{
+    argmax_rows, col_sums, log_softmax_rows, log_softmax_rows_into, row_sums, softmax_rows,
+    softmax_rows_into, transpose, transpose_into,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

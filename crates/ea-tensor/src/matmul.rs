@@ -6,9 +6,17 @@
 //! * [`matmul_a_bt`]  — `C = A · Bᵀ`       (input gradient: `dX = dY · Wᵀ`)
 //! * [`matmul_at_b`]  — `C = Aᵀ · B`       (weight gradient: `dW = Xᵀ · dY`)
 //!
+//! Each kernel has an `_into` variant that writes into a caller-supplied
+//! output tensor, reusing its buffer when uniquely owned and correctly
+//! sized (otherwise one is drawn from the [`pool`](crate::pool)). The
+//! allocating forms are thin wrappers over the `_into` forms.
+//!
 //! All kernels view their inputs through [`Shape::as_matrix`], so
 //! higher-rank activations (`[batch, seq, hidden]`) multiply 2-D weights
 //! directly.
+//!
+//! Zero-sized inputs (any dimension 0) are valid and produce the
+//! corresponding empty output.
 
 use crate::Tensor;
 use rayon::prelude::*;
@@ -22,12 +30,19 @@ const PAR_ROW_CHUNK: usize = 16;
 /// than it saves; run single-threaded.
 const PAR_THRESHOLD: usize = 32 * 1024;
 
-/// `C[r, n] = A[r, k] · B[k, n]`.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+/// `C[r, n] = A[r, k] · B[k, n]`, written into `out`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (ar, ak) = a.shape().as_matrix();
     let (bk, bn) = b.shape().as_matrix();
     assert_eq!(ak, bk, "matmul inner dims differ: {ak} vs {bk}");
-    let mut out = vec![0.0f32; ar * bn];
+    out.prepare_out(&[ar, bn]);
+    let obuf = out.data_mut();
+    if obuf.is_empty() {
+        // Zero-sized output: nothing to compute (and chunks_mut(0) below
+        // would panic when bn == 0).
+        return;
+    }
+    obuf.fill(0.0);
     let adata = a.data();
     let bdata = b.data();
     let kernel = |(i0, chunk): (usize, &mut [f32])| {
@@ -47,53 +62,89 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if ar * ak * bn < PAR_THRESHOLD {
-        out.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+        obuf.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
     } else {
-        out.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+        obuf.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
     }
-    Tensor::from_vec(out, &[ar, bn])
+}
+
+/// `C[r, n] = A[r, k] · B[k, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// `C[r, n] = A[r, k] · B[n, k]ᵀ` — i.e. `A · Bᵀ` without materializing the
+/// transpose — written into `out`.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (ar, ak) = a.shape().as_matrix();
+    let (bn, bk) = b.shape().as_matrix();
+    assert_eq!(ak, bk, "matmul_a_bt inner dims differ: {ak} vs {bk}");
+    out.prepare_out(&[ar, bn]);
+    let obuf = out.data_mut();
+    if obuf.is_empty() {
+        return;
+    }
+    obuf.fill(0.0);
+    let adata = a.data();
+    let bdata = b.data();
+    // Materialize Bᵀ in pooled scratch so the hot loop streams rows of
+    // both operands and vectorizes across the output row. Each output
+    // element still accumulates its k terms in ascending order (with no
+    // zero-skip), so the result is bit-identical to the row-dot form —
+    // that form serializes on a single scalar accumulator, which is what
+    // made this the slowest of the three kernels.
+    let mut bt = crate::pool::take_buf(bk * bn);
+    for j in 0..bn {
+        let brow = &bdata[j * bk..(j + 1) * bk];
+        for (k, &v) in brow.iter().enumerate() {
+            bt[k * bn + j] = v;
+        }
+    }
+    let btref = &bt;
+    let kernel = |(i0, chunk): (usize, &mut [f32])| {
+        let row0 = i0 * PAR_ROW_CHUNK;
+        for (local, row) in chunk.chunks_mut(bn).enumerate() {
+            let arow = &adata[(row0 + local) * ak..(row0 + local + 1) * ak];
+            for (k, &aval) in arow.iter().enumerate() {
+                let btrow = &btref[k * bn..(k + 1) * bn];
+                for (c, &bval) in row.iter_mut().zip(btrow) {
+                    *c += aval * bval;
+                }
+            }
+        }
+    };
+    if ar * ak * bn < PAR_THRESHOLD {
+        obuf.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    } else {
+        obuf.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+    }
+    crate::pool::recycle(bt);
 }
 
 /// `C[r, n] = A[r, k] · B[n, k]ᵀ` — i.e. `A · Bᵀ` without materializing the
 /// transpose.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (ar, ak) = a.shape().as_matrix();
-    let (bn, bk) = b.shape().as_matrix();
-    assert_eq!(ak, bk, "matmul_a_bt inner dims differ: {ak} vs {bk}");
-    let mut out = vec![0.0f32; ar * bn];
-    let adata = a.data();
-    let bdata = b.data();
-    let kernel = |(i0, chunk): (usize, &mut [f32])| {
-        let row0 = i0 * PAR_ROW_CHUNK;
-        for (local, row) in chunk.chunks_mut(bn).enumerate() {
-            let arow = &adata[(row0 + local) * ak..(row0 + local + 1) * ak];
-            for (j, c) in row.iter_mut().enumerate() {
-                let brow = &bdata[j * bk..(j + 1) * bk];
-                // Dot product of two contiguous rows; vectorizes well.
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *c = acc;
-            }
-        }
-    };
-    if ar * ak * bn < PAR_THRESHOLD {
-        out.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    } else {
-        out.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    }
-    Tensor::from_vec(out, &[ar, bn])
+    let mut out = Tensor::zeros(&[0]);
+    matmul_a_bt_into(a, b, &mut out);
+    out
 }
 
-/// `C[k, n] = A[r, k]ᵀ · B[r, n]` — the weight-gradient layout.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+/// `C[k, n] = A[r, k]ᵀ · B[r, n]` — the weight-gradient layout — written
+/// into `out`.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (ar, ak) = a.shape().as_matrix();
     let (br, bn) = b.shape().as_matrix();
     assert_eq!(ar, br, "matmul_at_b outer dims differ: {ar} vs {br}");
+    out.prepare_out(&[ak, bn]);
+    let obuf = out.data_mut();
+    if obuf.is_empty() {
+        return;
+    }
+    obuf.fill(0.0);
     let adata = a.data();
     let bdata = b.data();
-    let mut out = vec![0.0f32; ak * bn];
     // Parallelize over output rows (the k dimension); each output row k is
     // a weighted sum of B's rows with weights A[:, k].
     let kernel = |(k0, chunk): (usize, &mut [f32])| {
@@ -113,18 +164,24 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if ar * ak * bn < PAR_THRESHOLD {
-        out.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+        obuf.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
     } else {
-        out.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
+        obuf.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
     }
-    Tensor::from_vec(out, &[ak, bn])
+}
+
+/// `C[k, n] = A[r, k]ᵀ · B[r, n]` — the weight-gradient layout.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    matmul_at_b_into(a, b, &mut out);
+    out
 }
 
 /// Outer product of two vectors: `C[i, j] = a[i] * b[j]`.
 pub fn outer(a: &Tensor, b: &Tensor) -> Tensor {
     let n = a.numel();
     let m = b.numel();
-    let mut out = Vec::with_capacity(n * m);
+    let mut out = crate::pool::take_cleared(n * m);
     for &x in a.data() {
         for &y in b.data() {
             out.push(x * y);
@@ -210,5 +267,67 @@ mod tests {
     #[should_panic]
     fn matmul_rejects_dim_mismatch() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn zero_column_output_is_empty_not_panic() {
+        // Regression: bn == 0 used to reach chunks_mut(0) and panic.
+        // A rank-1 empty tensor views as (1, 0), a [0, c] tensor as (0, c).
+        let a = seq_tensor(&[4, 1]);
+        let c = matmul(&a, &Tensor::zeros(&[0]));
+        assert_eq!(c.dims(), &[4, 0]);
+        assert_eq!(c.numel(), 0);
+        let a = seq_tensor(&[4, 3]);
+        let c = matmul_a_bt(&a, &Tensor::zeros(&[0, 3]));
+        assert_eq!(c.dims(), &[4, 0]);
+        let c = matmul_at_b(&seq_tensor(&[1, 3]), &Tensor::zeros(&[0]));
+        assert_eq!(c.dims(), &[3, 0]);
+    }
+
+    #[test]
+    fn zero_row_and_zero_inner_dims() {
+        let c = matmul(&Tensor::zeros(&[0, 3]), &seq_tensor(&[3, 2]));
+        assert_eq!(c.dims(), &[0, 2]);
+        // Inner dim 0 (empty rank-1 views as (1, 0)): defined, all-zero.
+        let c = matmul(&Tensor::zeros(&[0]), &Tensor::zeros(&[0, 3]));
+        assert_eq!(c.dims(), &[1, 3]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+        let c = matmul_a_bt(&Tensor::zeros(&[0]), &Tensor::zeros(&[0]));
+        assert_eq!(c.dims(), &[1, 1]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+        let c = matmul_at_b(&Tensor::zeros(&[0, 2]), &Tensor::zeros(&[0, 3]));
+        assert_eq!(c.dims(), &[2, 3]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn into_variants_reuse_the_output_buffer() {
+        let a = seq_tensor(&[5, 7]);
+        let b = seq_tensor(&[7, 3]);
+        let mut out = Tensor::zeros(&[5, 3]);
+        let ptr = out.data().as_ptr();
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out.data().as_ptr(), ptr, "right-sized unique buffer is reused");
+        assert!(allclose(&out, &naive(&a, &b), 1e-5));
+        // Wrong-sized output gets replaced, not resized in place.
+        let mut out = Tensor::zeros(&[2, 2]);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out.dims(), &[5, 3]);
+        assert!(allclose(&out, &naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let a = seq_tensor(&[6, 8]);
+        let b = seq_tensor(&[5, 8]);
+        let mut out = Tensor::full(&[6, 5], f32::NAN);
+        matmul_a_bt_into(&a, &b, &mut out);
+        assert!(!out.has_non_finite());
+        let expect = naive(&a, &transpose(&b));
+        assert!(allclose(&out, &expect, 1e-5));
+        let mut out = Tensor::full(&[8, 4], f32::NAN);
+        let b2 = seq_tensor(&[6, 4]);
+        matmul_at_b_into(&a, &b2, &mut out);
+        assert!(!out.has_non_finite());
     }
 }

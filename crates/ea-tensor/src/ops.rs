@@ -1,24 +1,35 @@
 //! Reductions, softmax and layout helpers.
+//!
+//! The softmax family has `_into` variants that write into a
+//! caller-supplied tensor, reusing its buffer when possible; the
+//! allocating forms wrap them with a pooled output.
 
 use crate::Tensor;
 
-/// Transpose of the matrix view.
-pub fn transpose(t: &Tensor) -> Tensor {
+/// Transpose of the matrix view, written into `out`.
+pub fn transpose_into(t: &Tensor, out: &mut Tensor) {
     let (r, c) = t.shape().as_matrix();
-    let mut out = vec![0.0f32; r * c];
+    out.prepare_out(&[c, r]);
+    let obuf = out.data_mut();
     let data = t.data();
     for i in 0..r {
         for j in 0..c {
-            out[j * r + i] = data[i * c + j];
+            obuf[j * r + i] = data[i * c + j];
         }
     }
-    Tensor::from_vec(out, &[c, r])
+}
+
+/// Transpose of the matrix view.
+pub fn transpose(t: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    transpose_into(t, &mut out);
+    out
 }
 
 /// Per-row sums of the matrix view.
 pub fn row_sums(t: &Tensor) -> Tensor {
     let (r, c) = t.shape().as_matrix();
-    let mut out = Vec::with_capacity(r);
+    let mut out = crate::pool::take_cleared(r);
     for i in 0..r {
         out.push(t.data()[i * c..(i + 1) * c].iter().sum());
     }
@@ -28,49 +39,73 @@ pub fn row_sums(t: &Tensor) -> Tensor {
 /// Per-column sums of the matrix view (e.g. bias gradients).
 pub fn col_sums(t: &Tensor) -> Tensor {
     let (r, c) = t.shape().as_matrix();
-    let mut out = vec![0.0f32; c];
+    let mut out = Tensor::zeros(&[c]);
+    let obuf = out.data_mut();
+    let data = t.data();
     for i in 0..r {
-        for j in 0..c {
-            out[j] += t.data()[i * c + j];
+        let row = &data[i * c..(i + 1) * c];
+        for (o, &v) in obuf.iter_mut().zip(row) {
+            *o += v;
         }
     }
-    Tensor::from_vec(out, &[c])
+    out
+}
+
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Numerically-stable softmax per row of the matrix view, written into
+/// `out` (which may alias `t` only as a distinct tensor — the kernel
+/// copies the input before transforming).
+pub fn softmax_rows_into(t: &Tensor, out: &mut Tensor) {
+    let (r, c) = t.shape().as_matrix();
+    out.prepare_out(&[r, c]);
+    let obuf = out.data_mut();
+    obuf.copy_from_slice(t.data());
+    for i in 0..r {
+        softmax_row(&mut obuf[i * c..(i + 1) * c]);
+    }
 }
 
 /// Numerically-stable softmax applied independently to each row of the
 /// matrix view.
 pub fn softmax_rows(t: &Tensor) -> Tensor {
-    let (r, c) = t.shape().as_matrix();
-    let mut out = t.data().to_vec();
-    for i in 0..r {
-        let row = &mut out[i * c..(i + 1) * c];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for x in row.iter_mut() {
-            *x = (*x - max).exp();
-            sum += *x;
-        }
-        let inv = 1.0 / sum;
-        for x in row.iter_mut() {
-            *x *= inv;
-        }
-    }
-    Tensor::from_vec(out, &[r, c])
+    let mut out = Tensor::zeros(&[0]);
+    softmax_rows_into(t, &mut out);
+    out
 }
 
-/// Numerically-stable log-softmax applied per row.
-pub fn log_softmax_rows(t: &Tensor) -> Tensor {
+/// Numerically-stable log-softmax per row, written into `out`.
+pub fn log_softmax_rows_into(t: &Tensor, out: &mut Tensor) {
     let (r, c) = t.shape().as_matrix();
-    let mut out = t.data().to_vec();
+    out.prepare_out(&[r, c]);
+    let obuf = out.data_mut();
+    obuf.copy_from_slice(t.data());
     for i in 0..r {
-        let row = &mut out[i * c..(i + 1) * c];
+        let row = &mut obuf[i * c..(i + 1) * c];
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
         for x in row.iter_mut() {
             *x -= log_sum;
         }
     }
-    Tensor::from_vec(out, &[r, c])
+}
+
+/// Numerically-stable log-softmax applied per row.
+pub fn log_softmax_rows(t: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    log_softmax_rows_into(t, &mut out);
+    out
 }
 
 /// Index of the maximum element in each row of the matrix view (first
@@ -137,6 +172,17 @@ mod tests {
         let a = log_softmax_rows(&t);
         let b = softmax_rows(&t).map(f32::ln);
         assert!(allclose(&a, &b, 1e-5));
+    }
+
+    #[test]
+    fn softmax_into_reuses_buffer_and_overwrites() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let mut out = Tensor::full(&[2, 3], f32::NAN);
+        let ptr = out.data().as_ptr();
+        softmax_rows_into(&t, &mut out);
+        assert_eq!(out.data().as_ptr(), ptr);
+        assert!(!out.has_non_finite());
+        assert!(allclose(&out, &softmax_rows(&t), 0.0));
     }
 
     #[test]

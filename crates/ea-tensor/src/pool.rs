@@ -1,0 +1,239 @@
+//! A global, size-bucketed buffer pool for `f32` scratch memory.
+//!
+//! Training touches the same tensor shapes every micro-batch, so after a
+//! short warm-up every buffer the hot path needs already exists in the
+//! pool: the steady state allocates nothing. [`Tensor`](crate::Tensor)
+//! drops feed the pool automatically (a uniquely-owned tensor returns its
+//! buffer on drop), and the `_into` kernels plus
+//! [`take_buf`]/[`take_cleared`]/[`recycle`] let runtime code reuse flat
+//! parameter/gradient vectors the same way.
+//!
+//! Buckets are keyed by exact element count — training shapes form a small
+//! fixed set, so exact-size matching gives ~100% hit rates without any
+//! size-class waste. The map is sharded across several mutexes to keep the
+//! stage-worker threads from serializing on a single lock.
+//!
+//! Determinism: buffers come back with stale contents and every consumer
+//! fully overwrites them, so pooling never changes a computed value — only
+//! where the bytes live.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// Buffers smaller than this bypass the pool: the allocator is already
+/// fast for tiny vectors and small buckets would just add lock traffic.
+const MIN_POOLED_LEN: usize = 64;
+
+/// Per-bucket retention cap; surplus buffers are released to the
+/// allocator so pathological shape churn cannot grow the pool unboundedly.
+const MAX_BUFS_PER_BUCKET: usize = 64;
+
+/// Lock shards. Power of two so the bucket hash reduces cheaply.
+const SHARDS: usize = 8;
+
+#[derive(Default)]
+struct Shard {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+static POOL: OnceLock<Vec<Mutex<Shard>>> = OnceLock::new();
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+static DISCARDED: AtomicU64 = AtomicU64::new(0);
+
+fn shards() -> &'static [Mutex<Shard>] {
+    POOL.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect())
+}
+
+fn shard_for(len: usize) -> &'static Mutex<Shard> {
+    // Fibonacci hash of the length; adjacent sizes land on distinct shards.
+    let h = (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &shards()[(h >> 56) as usize & (SHARDS - 1)]
+}
+
+/// Counters describing pool behaviour since the last [`reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take_*` calls served from a pooled buffer.
+    pub hits: u64,
+    /// `take_*` calls that had to allocate.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub recycled: u64,
+    /// Buffers dropped because their bucket was full.
+    pub discarded: u64,
+}
+
+impl PoolStats {
+    /// Fraction of pool-eligible acquisitions served without allocating.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of the global counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Relaxed),
+        misses: MISSES.load(Relaxed),
+        recycled: RECYCLED.load(Relaxed),
+        discarded: DISCARDED.load(Relaxed),
+    }
+}
+
+/// Zeroes the counters (the pooled buffers themselves are kept).
+pub fn reset_stats() {
+    HITS.store(0, Relaxed);
+    MISSES.store(0, Relaxed);
+    RECYCLED.store(0, Relaxed);
+    DISCARDED.store(0, Relaxed);
+}
+
+/// Releases every pooled buffer back to the allocator.
+pub fn clear() {
+    for shard in shards() {
+        shard.lock().unwrap().buckets.clear();
+    }
+}
+
+fn try_pop(len: usize) -> Option<Vec<f32>> {
+    let mut shard = shard_for(len).lock().unwrap();
+    let buf = shard.buckets.get_mut(&len)?.pop();
+    if buf.is_some() {
+        HITS.fetch_add(1, Relaxed);
+    }
+    buf
+}
+
+/// A buffer of exactly `len` elements with **unspecified contents** (stale
+/// values from its previous life). The caller must overwrite every element
+/// before reading any.
+pub fn take_buf(len: usize) -> Vec<f32> {
+    if len < MIN_POOLED_LEN {
+        return vec![0.0; len];
+    }
+    if let Some(buf) = try_pop(len) {
+        debug_assert_eq!(buf.len(), len);
+        return buf;
+    }
+    MISSES.fetch_add(1, Relaxed);
+    vec![0.0; len]
+}
+
+/// A zero-filled buffer of exactly `len` elements.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    if len < MIN_POOLED_LEN {
+        return vec![0.0; len];
+    }
+    if let Some(mut buf) = try_pop(len) {
+        debug_assert_eq!(buf.len(), len);
+        buf.fill(0.0);
+        return buf;
+    }
+    MISSES.fetch_add(1, Relaxed);
+    vec![0.0; len]
+}
+
+/// An **empty** buffer with capacity for `len` elements, for callers that
+/// fill by pushing. Recycle it once its length is back to `len`.
+pub fn take_cleared(len: usize) -> Vec<f32> {
+    let mut buf = take_buf(len);
+    buf.clear();
+    buf
+}
+
+/// Returns a buffer to the pool. Buffers below the pooling threshold, with
+/// trailing spare capacity, or over the bucket cap are simply dropped.
+pub fn recycle(buf: Vec<f32>) {
+    let len = buf.len();
+    if len < MIN_POOLED_LEN || buf.capacity() != len {
+        return;
+    }
+    let mut shard = shard_for(len).lock().unwrap();
+    let bucket = shard.buckets.entry(len).or_default();
+    if bucket.len() >= MAX_BUFS_PER_BUCKET {
+        DISCARDED.fetch_add(1, Relaxed);
+        return;
+    }
+    bucket.push(buf);
+    RECYCLED.fetch_add(1, Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The pool is global, so tests in this module must tolerate traffic
+    // from concurrently-running tests: assert on relative deltas of
+    // behaviour that only this test triggers (odd sizes), not totals.
+
+    #[test]
+    fn roundtrip_reuses_buffer() {
+        let n = 1031; // odd prime size, unused by other tests
+        let buf = take_buf(n);
+        assert_eq!(buf.len(), n);
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        let again = take_buf(n);
+        assert_eq!(again.as_ptr(), ptr, "expected the same buffer back");
+        assert_eq!(again.len(), n);
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        let before = stats();
+        let b = take_buf(8);
+        assert_eq!(b, vec![0.0; 8]);
+        recycle(b);
+        let after = stats();
+        assert_eq!(before.hits, after.hits);
+        assert_eq!(before.misses, after.misses);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let n = 2053;
+        let mut buf = take_buf(n);
+        buf.fill(7.5);
+        recycle(buf);
+        let z = take_zeroed(n);
+        assert!(z.iter().all(|&x| x == 0.0));
+        assert_eq!(z.len(), n);
+    }
+
+    #[test]
+    fn take_cleared_preserves_capacity() {
+        let n = 4099;
+        recycle(take_buf(n));
+        let c = take_cleared(n);
+        assert_eq!(c.len(), 0);
+        assert!(c.capacity() >= n);
+    }
+
+    #[test]
+    fn bucket_cap_discards_surplus() {
+        let n = 8209;
+        let bufs: Vec<_> = (0..MAX_BUFS_PER_BUCKET + 4).map(|_| vec![0.0f32; n]).collect();
+        let before = stats();
+        for b in bufs {
+            recycle(b);
+        }
+        let after = stats();
+        assert!(after.discarded > before.discarded);
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+        let s = PoolStats { hits: 3, misses: 1, recycled: 0, discarded: 0 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

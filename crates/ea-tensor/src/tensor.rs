@@ -1,17 +1,51 @@
 //! The dense tensor type.
 
-use crate::Shape;
+use crate::{pool, Shape};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Shared empty buffer used to detach a tensor from its `Arc` without
+/// allocating (see [`Tensor::into_vec`]).
+fn empty_arc() -> Arc<Vec<f32>> {
+    static EMPTY: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// All operations that combine two tensors require identical shapes (there
 /// is no implicit broadcasting; the NN modules use explicit row-broadcast
 /// helpers such as [`Tensor::add_row_broadcast`]).
-#[derive(Clone, PartialEq)]
+///
+/// The buffer is copy-on-write: `clone()` and [`Tensor::reshape`] share it
+/// in O(1), and [`Tensor::data_mut`] copies only when it is actually
+/// shared. Buffers are drawn from and returned to the global
+/// [`pool`](crate::pool), so steady-state training reuses a fixed working
+/// set instead of allocating.
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { shape: self.shape.clone(), data: Arc::clone(&self.data) }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && *self.data == *other.data
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Last owner returns the buffer to the pool instead of freeing it.
+        if let Some(buf) = Arc::get_mut(&mut self.data) {
+            pool::recycle(std::mem::take(buf));
+        }
+    }
 }
 
 impl Tensor {
@@ -26,14 +60,23 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape, data }
+        Tensor { shape, data: Arc::new(data) }
     }
 
     /// All-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor { shape, data: Arc::new(pool::take_zeroed(n)) }
+    }
+
+    /// A tensor over a pooled buffer with **unspecified contents**; every
+    /// element must be written before it is read. Internal building block
+    /// for the `_into` kernels and other full-overwrite producers.
+    pub(crate) fn uninit(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: Arc::new(pool::take_buf(n)) }
     }
 
     /// All-ones tensor.
@@ -43,14 +86,14 @@ impl Tensor {
 
     /// Constant-filled tensor.
     pub fn full(dims: &[usize], value: f32) -> Self {
-        let shape = Shape::new(dims);
-        let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        let mut t = Tensor::uninit(dims);
+        t.buf_mut().fill(value);
+        t
     }
 
     /// Rank-0 scalar.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[]), data: vec![value] }
+        Tensor { shape: Shape::new(&[]), data: Arc::new(vec![value]) }
     }
 
     /// The shape of this tensor.
@@ -73,14 +116,55 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the flat buffer.
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+    /// Mutable access to a buffer known to be uniquely owned (fresh
+    /// tensors). Panics if the buffer is shared.
+    fn buf_mut(&mut self) -> &mut [f32] {
+        Arc::get_mut(&mut self.data).expect("buf_mut on shared tensor")
     }
 
-    /// Consumes the tensor, returning the flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Mutable view of the flat buffer (copy-on-write: clones the buffer
+    /// first if it is shared with other tensors).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        if Arc::get_mut(&mut self.data).is_none() {
+            let mut copy = pool::take_buf(self.data.len());
+            copy.copy_from_slice(&self.data);
+            self.data = Arc::new(copy);
+        }
+        Arc::get_mut(&mut self.data).expect("just made unique")
+    }
+
+    /// Consumes the tensor, returning the flat buffer (copies if the
+    /// buffer is shared with other tensors).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let arc = std::mem::replace(&mut self.data, empty_arc());
+        match Arc::try_unwrap(arc) {
+            Ok(buf) => buf,
+            Err(shared) => {
+                let mut copy = pool::take_buf(shared.len());
+                copy.copy_from_slice(&shared);
+                copy
+            }
+        }
+    }
+
+    /// Reuses `self`'s buffer for an output of `dims` if it is uniquely
+    /// owned and the right size; otherwise swaps in a pooled buffer
+    /// (recycling the old one when unshared). Contents are **unspecified**
+    /// either way — the caller must overwrite every element. Backbone of
+    /// the `*_into` kernels; public so downstream crates can write their
+    /// own buffer-reusing kernels.
+    pub fn prepare_out(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        let reusable = matches!(Arc::get_mut(&mut self.data), Some(buf) if buf.len() == n);
+        if !reusable {
+            // Dropping the old Arc recycles the buffer when unshared.
+            let old = std::mem::replace(&mut self.data, Arc::new(pool::take_buf(n)));
+            if let Ok(mut buf) = Arc::try_unwrap(old) {
+                pool::recycle(std::mem::take(&mut buf));
+            }
+        }
+        self.shape = shape;
     }
 
     /// Element at a multi-dimensional index.
@@ -91,28 +175,29 @@ impl Tensor {
     /// Sets the element at a multi-dimensional index.
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
-        self.data[off] = value;
+        self.data_mut()[off] = value;
     }
 
-    /// Returns a tensor with the same buffer re-interpreted under a new
-    /// shape with the same element count.
+    /// Returns a tensor sharing this buffer re-interpreted under a new
+    /// shape with the same element count (O(1), no copy).
     pub fn reshape(&self, dims: &[usize]) -> Tensor {
         let shape = Shape::new(dims);
         assert_eq!(shape.numel(), self.numel(), "reshape must preserve numel");
-        Tensor { shape, data: self.data.clone() }
+        Tensor { shape, data: Arc::clone(&self.data) }
     }
 
     /// Applies a function to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+        let mut out = Tensor::uninit(self.dims());
+        for (o, &x) in out.buf_mut().iter_mut().zip(self.data.iter()) {
+            *o = f(x);
         }
+        out
     }
 
     /// In-place variant of [`Tensor::map`].
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -120,15 +205,11 @@ impl Tensor {
     /// Combines two same-shaped tensors element-wise.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip requires identical shapes");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+        let mut out = Tensor::uninit(self.dims());
+        for ((o, &a), &b) in out.buf_mut().iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
         }
+        out
     }
 
     /// Element-wise sum.
@@ -154,7 +235,7 @@ impl Tensor {
     /// `self += other` in place.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign requires identical shapes");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -162,8 +243,20 @@ impl Tensor {
     /// `self += s * other` in place (axpy).
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy requires identical shapes");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += s * b;
+        }
+    }
+
+    /// In-place variant of [`Tensor::add_row_broadcast`].
+    pub fn add_row_broadcast_assign(&mut self, row: &Tensor) {
+        let (r, c) = self.shape.as_matrix();
+        assert_eq!(row.numel(), c, "broadcast row length must equal columns");
+        let buf = self.data_mut();
+        for i in 0..r {
+            for j in 0..c {
+                buf[i * c + j] += row.data[j];
+            }
         }
     }
 
@@ -172,10 +265,11 @@ impl Tensor {
     pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
         let (r, c) = self.shape.as_matrix();
         assert_eq!(row.numel(), c, "broadcast row length must equal columns");
-        let mut out = self.clone();
+        let mut out = Tensor::uninit(self.dims());
+        let buf = out.buf_mut();
         for i in 0..r {
             for j in 0..c {
-                out.data[i * c + j] += row.data[j];
+                buf[i * c + j] = self.data[i * c + j] + row.data[j];
             }
         }
         out
@@ -214,14 +308,16 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Tensor {
         let (r, c) = self.shape.as_matrix();
         assert!(i < r, "row {i} out of bounds for {r} rows");
-        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+        let mut out = Tensor::uninit(&[c]);
+        out.buf_mut().copy_from_slice(&self.data[i * c..(i + 1) * c]);
+        out
     }
 
     /// Stacks rank-1 tensors of equal length into a matrix.
     pub fn stack_rows(rows: &[Tensor]) -> Tensor {
         assert!(!rows.is_empty(), "cannot stack zero rows");
         let c = rows[0].numel();
-        let mut data = Vec::with_capacity(rows.len() * c);
+        let mut data = pool::take_cleared(rows.len() * c);
         for row in rows {
             assert_eq!(row.numel(), c, "all stacked rows must have equal length");
             data.extend_from_slice(&row.data);
@@ -239,10 +335,9 @@ impl Tensor {
         let mut start = 0;
         while start < r {
             let rows = chunk_rows.min(r - start);
-            out.push(Tensor::from_vec(
-                self.data[start * c..(start + rows) * c].to_vec(),
-                &[rows, c],
-            ));
+            let mut part = Tensor::uninit(&[rows, c]);
+            part.buf_mut().copy_from_slice(&self.data[start * c..(start + rows) * c]);
+            out.push(part);
             start += rows;
         }
         out
@@ -252,7 +347,8 @@ impl Tensor {
     pub fn concat_rows(parts: &[Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "cannot concat zero tensors");
         let (_, c) = parts[0].shape.as_matrix();
-        let mut data = Vec::new();
+        let total: usize = parts.iter().map(|p| p.shape.as_matrix().0).sum();
+        let mut data = pool::take_cleared(total * c);
         let mut rows = 0;
         for p in parts {
             let (r, pc) = p.shape.as_matrix();
@@ -358,5 +454,45 @@ mod tests {
         let r = t.reshape(&[4]);
         assert_eq!(r.dims(), &[4]);
         assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn clone_is_shared_until_written() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut b = a.clone();
+        assert_eq!(a.data().as_ptr(), b.data().as_ptr(), "clone shares the buffer");
+        b.data_mut()[0] = 9.0;
+        assert_ne!(a.data().as_ptr(), b.data().as_ptr(), "write detaches the clone");
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_shares_and_cow_detaches() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let mut r = a.reshape(&[4]);
+        assert_eq!(a.data().as_ptr(), r.data().as_ptr());
+        r.set(&[0], 7.0);
+        assert_eq!(a.at(&[0, 0]), 1.0, "original untouched after CoW write");
+        assert_eq!(r.at(&[0]), 7.0);
+    }
+
+    #[test]
+    fn into_vec_on_shared_buffer_copies() {
+        let a = Tensor::from_vec(vec![5.0, 6.0], &[2]);
+        let b = a.clone();
+        let v = b.into_vec();
+        assert_eq!(v, vec![5.0, 6.0]);
+        assert_eq!(a.data(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn drop_recycles_into_pool() {
+        let n = 16411; // pool-sized, unique to this test
+        let t = Tensor::zeros(&[n]);
+        let ptr = t.data().as_ptr();
+        drop(t);
+        let again = Tensor::zeros(&[n]);
+        assert_eq!(again.data().as_ptr(), ptr, "dropped buffer should be reused");
     }
 }

@@ -17,20 +17,15 @@ fn main() {
     let adam_state_bytes = 8;
     let mem_budget = 16 * (1u64 << 30);
 
-    println!("workload: {} ({} M parameters, batch {batch})",
+    println!(
+        "workload: {} ({} M parameters, batch {batch})",
         spec.name,
         spec.total_param_bytes() / 4 / 1_000_000
     );
 
     // Baseline: GPipe with its micro-batch count swept for best time.
-    let gpipe = run_baseline(
-        BaselineKind::GPipe,
-        &spec,
-        &cluster,
-        batch,
-        adam_state_bytes,
-        mem_budget,
-    );
+    let gpipe =
+        run_baseline(BaselineKind::GPipe, &spec, &cluster, batch, adam_state_bytes, mem_budget);
     println!(
         "GPipe        : M={:<3}       {:>7.3} s/batch, peak {:>5.2} GiB/GPU, util {:.2}",
         gpipe.m,

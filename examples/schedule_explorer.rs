@@ -11,7 +11,7 @@
 
 use ea_models::gnmt_spec;
 use ea_sched::{
-    partition_model, pipeline_program, AdvanceController, PipelinePlan, PipeStyle, WarmupPolicy,
+    partition_model, pipeline_program, AdvanceController, PipeStyle, PipelinePlan, WarmupPolicy,
 };
 use ea_sim::{ClusterConfig, Simulator};
 
@@ -44,8 +44,11 @@ fn main() {
     let budget = 6 * (1u64 << 30);
     let mut ctrl = AdvanceController::new(k, micros, budget);
     while !ctrl.frozen() {
-        let prog =
-            pipeline_program(&plan, &PipeStyle::avgpipe_with(1, WarmupPolicy::Advance { a: ctrl.advance() }), 1);
+        let prog = pipeline_program(
+            &plan,
+            &PipeStyle::avgpipe_with(1, WarmupPolicy::Advance { a: ctrl.advance() }),
+            1,
+        );
         let r = sim.run(&prog).expect("schedule runs");
         ctrl.observe(r.makespan_us, r.max_peak_mem());
     }

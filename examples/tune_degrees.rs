@@ -29,12 +29,9 @@ fn main() {
     let budget = 16 * (1u64 << 30);
 
     println!("tuning {} (batch {batch}) under a 16 GiB/GPU budget", workload.name());
-    for method in [
-        TuneMethod::Traversal,
-        TuneMethod::MaxNum,
-        TuneMethod::MaxSize,
-        TuneMethod::ProfilingBased,
-    ] {
+    for method in
+        [TuneMethod::Traversal, TuneMethod::MaxNum, TuneMethod::MaxSize, TuneMethod::ProfilingBased]
+    {
         let o = tune(&spec, &cluster, &partition, batch, opt_bytes, budget, method, 4);
         println!(
             "  {:<10} -> (M = {:>3}, N = {})   tuning cost {:>8.1} simulated-cluster seconds ({} settings evaluated)",

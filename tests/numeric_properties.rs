@@ -4,7 +4,7 @@
 use ea_autograd::{
     cross_entropy_loss, Activation, ActivationKind, ForwardCtx, Layer, LayerNorm, Linear,
 };
-use ea_optim::{clip_grad_norm, elastic_pull, ReferenceAccumulator, Sgd, Optimizer};
+use ea_optim::{clip_grad_norm, elastic_pull, Optimizer, ReferenceAccumulator, Sgd};
 use ea_tensor::{
     allclose, col_sums, matmul, matmul_a_bt, matmul_at_b, row_sums, softmax_rows, transpose,
     uniform, Tensor, TensorRng,
@@ -86,10 +86,10 @@ proptest! {
     ) {
         let out = cross_entropy_loss(&logits, &targets);
         prop_assert!(out.loss >= 0.0);
-        for i in 0..4 {
+        for (i, &target) in targets.iter().enumerate() {
             let row = out.grad.row(i);
             prop_assert!(row.sum().abs() < 1e-6);
-            prop_assert!(row.data()[targets[i]] <= 0.0, "target grad must be ≤ 0");
+            prop_assert!(row.data()[target] <= 0.0, "target grad must be ≤ 0");
         }
     }
 

@@ -148,9 +148,5 @@ fn avgpipe_chooses_workload_appropriate_degrees() {
         TuneMethod::Traversal,
         4,
     );
-    assert!(
-        awd.m <= 5,
-        "AWD wants large micro-batches (small M), got M={}",
-        awd.m
-    );
+    assert!(awd.m <= 5, "AWD wants large micro-batches (small M), got M={}", awd.m);
 }

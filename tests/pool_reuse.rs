@@ -1,0 +1,59 @@
+//! Allocation-regression test: after a short warm-up, a steady-state
+//! training loop must be served almost entirely from the buffer pool.
+//!
+//! Kept in its own test binary so no concurrently-running test pollutes
+//! the process-global pool counters.
+
+use ea_data::SyntheticTask;
+use ea_models::{gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::train_step;
+use ea_tensor::{pool, TensorRng};
+
+#[test]
+fn steady_state_training_reuses_pooled_buffers() {
+    let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+    let mut rng = TensorRng::seed_from_u64(11);
+    let mut model = gnmt_analogue(cfg, &mut rng);
+    let mut opts: Vec<Box<dyn Optimizer>> =
+        (0..2).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect();
+    let task = SyntheticTask::copy_translate(16, 4, 7);
+
+    // Warm-up: populate the pool buckets with every buffer size the
+    // training loop touches.
+    for b in 0..3 {
+        train_step(&mut model, &mut opts, &task.batch(8, b), 4, b);
+    }
+
+    pool::reset_stats();
+    let steps = 8;
+    for b in 0..steps {
+        train_step(&mut model, &mut opts, &task.batch(8, 3 + b), 4, 3 + b);
+    }
+    let stats = pool::stats();
+
+    // The loop must actually exercise the pool...
+    assert!(
+        stats.hits > 100,
+        "expected a pooled-allocation-heavy loop, saw only {} hits",
+        stats.hits
+    );
+    // ...and in steady state essentially every pooled-size request must
+    // be served from a recycled buffer, not the allocator.
+    assert!(
+        stats.hit_rate() >= 0.95,
+        "pool hit rate regressed: {:.3} ({} hits / {} misses)",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses
+    );
+    // Fresh allocations must not scale with the number of steps: a few
+    // stragglers (first touch of a rare size) are tolerable, per-step
+    // allocation churn is not.
+    assert!(
+        stats.misses <= steps,
+        "steady-state loop allocates per step: {} misses in {} steps",
+        stats.misses,
+        steps
+    );
+}

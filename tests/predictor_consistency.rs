@@ -5,12 +5,12 @@
 
 use avgpipe::{predict, Profiler};
 use ea_models::{ModelSpec, Workload};
-use ea_sched::{partition_model, pipeline_program, PipelinePlan, PipeStyle};
+use ea_sched::{partition_model, pipeline_program, PipeStyle, PipelinePlan};
 use ea_sim::{ClusterConfig, Simulator};
 
 fn settings(batch: usize, max_n: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
-    for m in (1..=batch).filter(|d| batch % d == 0) {
+    for m in (1..=batch).filter(|d| batch.is_multiple_of(*d)) {
         for n in 1..=max_n {
             out.push((m, n));
         }
@@ -84,20 +84,10 @@ fn predictor_ranks_settings_consistently_with_simulator() {
         let rows = measure_both(w);
         assert!(rows.len() >= 8, "{}: too few settings ran", w.name());
         let c = concordance(&rows);
-        assert!(
-            c >= 0.6,
-            "{}: predictor/simulator concordance only {c:.2}",
-            w.name()
-        );
+        assert!(c >= 0.6, "{}: predictor/simulator concordance only {c:.2}", w.name());
         // The predictor's top pick is within 2× of the simulator's best.
-        let best_pred = rows
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
-        let best_meas = rows
-            .iter()
-            .min_by(|a, b| a.2.total_cmp(&b.2))
-            .unwrap();
+        let best_pred = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let best_meas = rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
         assert!(
             best_pred.2 <= best_meas.2 * 2.0,
             "{}: predicted-best {:?} measures {:.0}µs vs true best {:?} {:.0}µs",

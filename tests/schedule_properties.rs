@@ -4,7 +4,7 @@
 
 use ea_models::{awd_spec, bert_spec, gnmt_spec, ModelSpec};
 use ea_sched::{
-    check_stash_bounds, partition_model, pipeline_program, PipelinePlan, PipeStyle, WarmupPolicy,
+    check_stash_bounds, partition_model, pipeline_program, PipeStyle, PipelinePlan, WarmupPolicy,
 };
 use ea_sim::{ClusterConfig, Simulator};
 use proptest::prelude::*;

@@ -100,7 +100,8 @@ fn elastic_trainer_scales_to_three_pipelines_and_matches_semantics() {
     let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
     let mut threaded = ElasticTrainer::new(stages, opts, 2, None, eval);
 
-    let sem_models = (0..n).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed))).collect();
+    let sem_models =
+        (0..n).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed))).collect();
     let sem_opts = (0..n).map(|_| adam(2, 1e-2)).collect();
     let sem_eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(seed));
     let mut semantic = ElasticSemantic::with_eval_replica(sem_models, sem_opts, 2, None, sem_eval);
@@ -127,9 +128,7 @@ fn elastic_averaging_with_asgd_optimizer() {
     let models = (0..n).map(|_| gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(7))).collect();
     let opts = (0..n)
         .map(|_| {
-            (0..2)
-                .map(|_| OptKind::Asgd { lr: 5.0 }.build())
-                .collect::<Vec<Box<dyn Optimizer>>>()
+            (0..2).map(|_| OptKind::Asgd { lr: 5.0 }.build()).collect::<Vec<Box<dyn Optimizer>>>()
         })
         .collect();
     let eval = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(7));

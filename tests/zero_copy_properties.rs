@@ -1,0 +1,105 @@
+//! Property-based tests of the zero-copy hot path: every `_into` kernel
+//! must produce bit-identical results to its allocating counterpart even
+//! when handed a dirty, wrongly-shaped output tensor.
+
+use ea_tensor::{
+    log_softmax_rows, log_softmax_rows_into, matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b,
+    matmul_at_b_into, matmul_into, softmax_rows, softmax_rows_into, transpose, transpose_into,
+    Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+/// A deliberately hostile output tensor: wrong shape, poisoned contents.
+/// `_into` kernels must fully overwrite it regardless of what it held.
+fn dirty_out() -> Tensor {
+    Tensor::from_vec(vec![f32::NAN; 7], &[7])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul_into` is bit-identical to `matmul`, independent of the
+    /// previous contents or shape of the output buffer.
+    #[test]
+    fn matmul_into_matches_allocating(a in tensor_strategy(4, 6), b in tensor_strategy(6, 3)) {
+        let expect = matmul(&a, &b);
+        let mut out = dirty_out();
+        matmul_into(&a, &b, &mut out);
+        prop_assert_eq!(out.dims(), expect.dims());
+        prop_assert_eq!(out.data(), expect.data());
+    }
+
+    /// `matmul_a_bt_into` (the backward-dx kernel) is bit-identical to
+    /// `matmul_a_bt`, which itself must stay bit-identical to multiplying
+    /// by a materialized transpose.
+    #[test]
+    fn matmul_a_bt_into_matches_allocating(a in tensor_strategy(5, 4), b in tensor_strategy(3, 4)) {
+        let expect = matmul_a_bt(&a, &b);
+        let mut out = dirty_out();
+        matmul_a_bt_into(&a, &b, &mut out);
+        prop_assert_eq!(out.dims(), expect.dims());
+        prop_assert_eq!(out.data(), expect.data());
+        let via_transpose = matmul(&a, &transpose(&b));
+        prop_assert_eq!(out.data(), via_transpose.data());
+    }
+
+    /// `matmul_at_b_into` (the weight-gradient kernel) is bit-identical
+    /// to `matmul_at_b`.
+    #[test]
+    fn matmul_at_b_into_matches_allocating(a in tensor_strategy(4, 3), b in tensor_strategy(4, 5)) {
+        let expect = matmul_at_b(&a, &b);
+        let mut out = dirty_out();
+        matmul_at_b_into(&a, &b, &mut out);
+        prop_assert_eq!(out.dims(), expect.dims());
+        prop_assert_eq!(out.data(), expect.data());
+    }
+
+    /// `transpose_into` is bit-identical to `transpose`.
+    #[test]
+    fn transpose_into_matches_allocating(a in tensor_strategy(3, 7)) {
+        let expect = transpose(&a);
+        let mut out = dirty_out();
+        transpose_into(&a, &mut out);
+        prop_assert_eq!(out.dims(), expect.dims());
+        prop_assert_eq!(out.data(), expect.data());
+    }
+
+    /// `softmax_rows_into` and `log_softmax_rows_into` are bit-identical
+    /// to their allocating forms.
+    #[test]
+    fn softmax_intos_match_allocating(a in tensor_strategy(4, 9)) {
+        let expect = softmax_rows(&a);
+        let mut out = dirty_out();
+        softmax_rows_into(&a, &mut out);
+        prop_assert_eq!(out.dims(), expect.dims());
+        prop_assert_eq!(out.data(), expect.data());
+
+        let expect = log_softmax_rows(&a);
+        let mut out = dirty_out();
+        log_softmax_rows_into(&a, &mut out);
+        prop_assert_eq!(out.dims(), expect.dims());
+        prop_assert_eq!(out.data(), expect.data());
+    }
+
+    /// `_into` kernels tolerate output aliasing the *shape* of the result
+    /// without aliasing its memory: reusing the same output tensor across
+    /// calls never lets stale values leak through.
+    #[test]
+    fn reused_output_never_leaks_stale_values(
+        a in tensor_strategy(4, 6),
+        b in tensor_strategy(6, 3),
+        c in tensor_strategy(4, 6),
+        d in tensor_strategy(6, 3),
+    ) {
+        let mut out = Tensor::zeros(&[0]);
+        matmul_into(&a, &b, &mut out);
+        matmul_into(&c, &d, &mut out);
+        let expect = matmul(&c, &d);
+        prop_assert_eq!(out.data(), expect.data());
+    }
+}
