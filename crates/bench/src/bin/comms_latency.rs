@@ -1,0 +1,124 @@
+//! Round-latency benchmark of the elastic-averaging transport: measures
+//! one full exchange round (Step-❷ pull + Step-❸ submit + Ack) per
+//! backend and writes `BENCH_2.json`.
+//!
+//! ```text
+//! cargo run -p bench --release --bin comms_latency
+//! cargo run -p bench --release --bin comms_latency -- --iters 500 --params 16384
+//! ```
+
+use ea_comms::{
+    loopback_endpoint, Listener, RemoteShards, RetryConfig, ShardChannel, ShardClient, TcpConfig,
+    TcpServer, TcpTransport,
+};
+use ea_runtime::RefShardServer;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct LatencyStats {
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut us: Vec<f64>) -> Self {
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| us[((us.len() - 1) as f64 * q) as usize];
+        LatencyStats {
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            max_us: *us.last().unwrap(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mean_us\": {:.2}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"max_us\": {:.2}}}",
+            self.mean_us, self.p50_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+/// One pipeline driving full rounds against a single shard: pull the
+/// round-`r` reference, submit a delta, repeat. With N = 1 every submit
+/// completes a round, so each iteration is one complete elastic exchange.
+fn measure_rounds(
+    channel: &dyn ShardChannel,
+    params: usize,
+    start: u64,
+    iters: usize,
+) -> LatencyStats {
+    let delta = vec![1e-6f32; params];
+    let mut samples = Vec::with_capacity(iters);
+    for round in start..start + iters as u64 {
+        let t0 = Instant::now();
+        let w = channel.pull(0, 0, round).expect("pull");
+        ea_tensor::pool::recycle(w);
+        let mut d = ea_tensor::pool::take_cleared(params);
+        d.extend_from_slice(&delta);
+        channel.submit(0, 0, round, d).expect("submit");
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    LatencyStats::from_samples(samples)
+}
+
+fn reference(params: usize) -> Vec<Vec<f32>> {
+    vec![(0..params).map(|i| (i as f32 * 0.37).sin()).collect()]
+}
+
+fn loopback_channel(params: usize) -> (Arc<dyn ShardChannel>, &'static str) {
+    let server = RefShardServer::from_initial_weights(reference(params), 1);
+    let (hub, mut listener) = loopback_endpoint();
+    let conn = hub.connect().unwrap();
+    let _serve = server.spawn_conn(listener.accept().unwrap());
+    let client = ShardClient::handshake(Box::new(conn), 0, RetryConfig::default()).unwrap();
+    (Arc::new(RemoteShards::new(vec![client]).unwrap()), "loopback")
+}
+
+fn tcp_channel(params: usize) -> (Arc<dyn ShardChannel>, &'static str) {
+    let server = RefShardServer::from_initial_weights(reference(params), 1);
+    let mut listener = TcpServer::bind("127.0.0.1:0", TcpConfig::default()).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let conn = TcpTransport::connect(addr, TcpConfig::default()).unwrap();
+    let _serve = server.spawn_conn(listener.accept().unwrap());
+    let client = ShardClient::handshake(Box::new(conn), 0, RetryConfig::default()).unwrap();
+    (Arc::new(RemoteShards::new(vec![client]).unwrap()), "tcp")
+}
+
+fn main() {
+    let mut iters = 200usize;
+    let mut params = 16 * 1024usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => iters = args.next().expect("--iters value").parse().expect("integer"),
+            "--params" => params = args.next().expect("--params value").parse().expect("integer"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!("== comms round latency: {params} f32 weights, {iters} rounds per backend ==");
+    let mut sections = Vec::new();
+    for make in [loopback_channel, tcp_channel] {
+        let (channel, name) = make(params);
+        // Warm-up rounds populate the buffer pool and the TCP window.
+        let warmup = 20.min(iters);
+        measure_rounds(channel.as_ref(), params, 0, warmup);
+        let stats = measure_rounds(channel.as_ref(), params, warmup as u64, iters);
+        println!(
+            "  {name:<9} mean {:>9.1} µs   p50 {:>9.1} µs   p99 {:>9.1} µs",
+            stats.mean_us, stats.p50_us, stats.p99_us
+        );
+        sections.push(format!("\"{name}_round_us\": {}", stats.to_json()));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"comms_round_latency\",\n  \"params\": {params},\n  \"iters\": {iters},\n  {}\n}}\n",
+        sections.join(",\n  ")
+    );
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("  [saved BENCH_2.json]");
+}

@@ -1,0 +1,320 @@
+//! Worker-side protocol driver: request/reply with timeout, bounded
+//! retry, and idempotency-aware reply matching.
+
+use crate::transport::{CommsError, Transport};
+use crate::wire::Message;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Retry policy for unanswered requests.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// How long to wait for a matching reply before retransmitting.
+    pub reply_timeout: Duration,
+    /// Total attempts per request (first send included).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { reply_timeout: Duration::from_millis(500), max_attempts: 10 }
+    }
+}
+
+/// Topology reported by the server during the handshake.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerInfo {
+    /// Number of reference shards (pipeline stages).
+    pub n_shards: usize,
+    /// Number of pipelines the server expects per round.
+    pub n_pipelines: usize,
+}
+
+/// One pipeline's connection to the reference-shard server.
+///
+/// Every request is retried up to `max_attempts` times: requests are
+/// idempotent by construction (`PullRequest` is a read; `SubmitDelta` is
+/// deduplicated server-side on `(shard, round, pipe)`), so at-least-once
+/// delivery is safe. Replies are matched on their identifying fields;
+/// stale replies from earlier retransmissions are discarded.
+pub struct ShardClient {
+    conn: Box<dyn Transport>,
+    retry: RetryConfig,
+    info: ServerInfo,
+    pipe: usize,
+}
+
+impl ShardClient {
+    /// Performs the version handshake for pipeline `pipe` and returns a
+    /// ready client.
+    pub fn handshake(
+        mut conn: Box<dyn Transport>,
+        pipe: usize,
+        retry: RetryConfig,
+    ) -> Result<Self, CommsError> {
+        let hello = Message::Hello { proto: crate::frame::PROTO_VERSION as u16, pipe: pipe as u32 };
+        let reply =
+            request(&mut *conn, &retry, hello, "Hello", |m| matches!(m, Message::HelloAck { .. }))?;
+        let Message::HelloAck { proto, n_shards, n_pipelines } = reply else { unreachable!() };
+        if proto != crate::frame::PROTO_VERSION as u16 {
+            return Err(CommsError::Protocol(format!(
+                "server speaks protocol {proto}, client speaks {}",
+                crate::frame::PROTO_VERSION
+            )));
+        }
+        Ok(ShardClient {
+            conn,
+            retry,
+            info: ServerInfo { n_shards: n_shards as usize, n_pipelines: n_pipelines as usize },
+            pipe,
+        })
+    }
+
+    /// Topology reported by the server.
+    pub fn server_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// This connection's pipeline id.
+    pub fn pipe(&self) -> usize {
+        self.pipe
+    }
+
+    /// Traffic counters of the underlying connection.
+    pub fn stats(&self) -> crate::transport::TransportStats {
+        self.conn.stats()
+    }
+
+    /// Step ❷: fetches shard `shard`'s reference weights at exactly
+    /// `version` completed rounds.
+    pub fn pull(&mut self, shard: usize, version: u64) -> Result<Vec<f32>, CommsError> {
+        let req = Message::PullRequest { shard: shard as u32, version };
+        let reply = request(&mut *self.conn, &self.retry, req, "PullRequest", |m| {
+            matches!(m, Message::PullReply { shard: s, version: v, .. }
+                if *s == shard as u32 && *v == version)
+        })?;
+        let Message::PullReply { weights, .. } = reply else { unreachable!() };
+        Ok(weights)
+    }
+
+    /// Step ❸: ships this pipeline's local update for `round` on `shard`,
+    /// waiting for the (possibly duplicate-flagged) acknowledgement.
+    pub fn submit(&mut self, shard: usize, round: u64, delta: Vec<f32>) -> Result<(), CommsError> {
+        let pipe = self.pipe as u32;
+        let req = Message::SubmitDelta { shard: shard as u32, round, pipe, delta };
+        request(&mut *self.conn, &self.retry, req, "SubmitDelta", |m| {
+            matches!(m, Message::Ack { shard: s, round: r, pipe: p, .. }
+                if *s == shard as u32 && *r == round && *p == pipe)
+        })?;
+        Ok(())
+    }
+}
+
+/// Sends `req` and waits for a reply satisfying `matches`, retransmitting
+/// on timeout up to the attempt budget. Non-matching replies (stale
+/// retransmission answers) are discarded.
+fn request(
+    conn: &mut dyn Transport,
+    retry: &RetryConfig,
+    req: Message,
+    what: &'static str,
+    matches: impl Fn(&Message) -> bool,
+) -> Result<Message, CommsError> {
+    let attempts = retry.max_attempts.max(1);
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            conn.record_retry();
+        }
+        conn.send(req.clone())?;
+        let deadline = std::time::Instant::now() + retry.reply_timeout;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break; // retransmit
+            }
+            match conn.recv_timeout(deadline - now) {
+                Ok(reply) if matches(&reply) => return Ok(reply),
+                Ok(stale) => {
+                    // A reply to an earlier retransmission of a *previous*
+                    // request; recycle any bulk payload and keep waiting.
+                    match stale {
+                        Message::PullReply { weights, .. } => ea_tensor::pool::recycle(weights),
+                        Message::SubmitDelta { delta, .. } => ea_tensor::pool::recycle(delta),
+                        _ => {}
+                    }
+                }
+                Err(CommsError::Timeout) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(CommsError::RetriesExhausted { what, attempts })
+}
+
+/// The trainer-facing abstraction: pull reference weights and submit local
+/// updates for any `(pipe, shard)`, over whatever backend is configured.
+///
+/// The in-process backend (`ea-runtime`'s `LocalShards`) calls the shard
+/// accumulator directly; [`RemoteShards`] speaks the wire protocol over
+/// one [`ShardClient`] connection per pipeline.
+pub trait ShardChannel: Send + Sync {
+    /// Number of reference shards (one per pipeline stage).
+    fn n_shards(&self) -> usize;
+
+    /// Step ❷: reference weights of `shard` at exactly `version` completed
+    /// rounds (blocks until available).
+    fn pull(&self, pipe: usize, shard: usize, version: u64) -> Result<Vec<f32>, CommsError>;
+
+    /// Steps ❸–❹: ships pipeline `pipe`'s local update for `round`.
+    fn submit(
+        &self,
+        pipe: usize,
+        shard: usize,
+        round: u64,
+        delta: Vec<f32>,
+    ) -> Result<(), CommsError>;
+}
+
+/// [`ShardChannel`] over per-pipeline [`ShardClient`] connections.
+pub struct RemoteShards {
+    conns: Vec<(usize, Mutex<ShardClient>)>,
+    n_shards: usize,
+}
+
+impl RemoteShards {
+    /// Builds the channel from handshaken clients (any subset of the
+    /// global pipeline ids — a worker process typically holds just one).
+    pub fn new(clients: Vec<ShardClient>) -> Result<Self, CommsError> {
+        let n_shards = match clients.first() {
+            Some(c) => c.server_info().n_shards,
+            None => return Err(CommsError::Protocol("RemoteShards needs ≥ 1 connection".into())),
+        };
+        Ok(RemoteShards {
+            conns: clients.into_iter().map(|c| (c.pipe(), Mutex::new(c))).collect(),
+            n_shards,
+        })
+    }
+
+    fn client(&self, pipe: usize) -> Result<std::sync::MutexGuard<'_, ShardClient>, CommsError> {
+        self.conns
+            .iter()
+            .find(|(id, _)| *id == pipe)
+            .map(|(_, c)| c.lock().expect("shard client poisoned"))
+            .ok_or_else(|| CommsError::Protocol(format!("no connection for pipeline {pipe}")))
+    }
+}
+
+impl ShardChannel for RemoteShards {
+    fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    fn pull(&self, pipe: usize, shard: usize, version: u64) -> Result<Vec<f32>, CommsError> {
+        self.client(pipe)?.pull(shard, version)
+    }
+
+    fn submit(
+        &self,
+        pipe: usize,
+        shard: usize,
+        round: u64,
+        delta: Vec<f32>,
+    ) -> Result<(), CommsError> {
+        self.client(pipe)?.submit(shard, round, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::loopback_pair;
+    use crate::wire::Message;
+
+    /// A hand-rolled server end answering exactly one request pattern.
+    fn spawn_echo_server(
+        mut server: crate::loopback::LoopbackTransport,
+        replies: impl Fn(Message) -> Option<Message> + Send + 'static,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(msg) = server.recv() {
+                if let Some(reply) = replies(msg) {
+                    if server.send(reply).is_err() {
+                        return;
+                    }
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn handshake_reports_topology() {
+        let (client_end, server_end) = loopback_pair();
+        let h = spawn_echo_server(server_end, |msg| match msg {
+            Message::Hello { proto, .. } => {
+                Some(Message::HelloAck { proto, n_shards: 3, n_pipelines: 2 })
+            }
+            _ => None,
+        });
+        let client =
+            ShardClient::handshake(Box::new(client_end), 1, RetryConfig::default()).unwrap();
+        assert_eq!(client.server_info().n_shards, 3);
+        assert_eq!(client.server_info().n_pipelines, 2);
+        drop(client);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_protocol_error() {
+        let (client_end, server_end) = loopback_pair();
+        let h = spawn_echo_server(server_end, |msg| match msg {
+            Message::Hello { .. } => {
+                Some(Message::HelloAck { proto: 99, n_shards: 1, n_pipelines: 1 })
+            }
+            _ => None,
+        });
+        let err = ShardClient::handshake(Box::new(client_end), 0, RetryConfig::default());
+        assert!(matches!(err, Err(CommsError::Protocol(_))));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn pull_discards_stale_replies_and_matches_the_right_one() {
+        let (client_end, server_end) = loopback_pair();
+        let h = spawn_echo_server(server_end, |msg| match msg {
+            Message::Hello { proto, .. } => {
+                Some(Message::HelloAck { proto, n_shards: 1, n_pipelines: 1 })
+            }
+            Message::PullRequest { shard, version } => {
+                Some(Message::PullReply { shard, version, weights: vec![version as f32; 70] })
+            }
+            _ => None,
+        });
+        let mut client =
+            ShardClient::handshake(Box::new(client_end), 0, RetryConfig::default()).unwrap();
+        let w = client.pull(0, 4).unwrap();
+        assert_eq!(w, vec![4.0f32; 70]);
+        drop(client);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn unanswered_request_exhausts_retries() {
+        let (client_end, server_end) = loopback_pair();
+        // Server answers the handshake, then goes silent.
+        let h = spawn_echo_server(server_end, |msg| match msg {
+            Message::Hello { proto, .. } => {
+                Some(Message::HelloAck { proto, n_shards: 1, n_pipelines: 1 })
+            }
+            _ => None,
+        });
+        let retry = RetryConfig { reply_timeout: Duration::from_millis(5), max_attempts: 3 };
+        let mut client = ShardClient::handshake(Box::new(client_end), 0, retry).unwrap();
+        match client.pull(0, 0) {
+            Err(CommsError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(client.stats().retries, 2, "two retransmissions after the first send");
+        drop(client);
+        h.join().unwrap();
+    }
+}

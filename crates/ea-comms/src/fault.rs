@@ -1,0 +1,187 @@
+//! Fault injection: a [`Transport`] wrapper that drops, delays, or
+//! duplicates outgoing messages with configurable probabilities.
+//!
+//! The RNG is seeded, so a failing fault-injection test replays exactly.
+//! Faults are applied on the send side — a dropped send models a lost
+//! datagram/connection blip in either direction, because the effect the
+//! protocol must survive is identical: a request or its reply never
+//! arrives, a retry fires, and idempotent handling must keep training
+//! byte-identical.
+
+use crate::transport::{CommsError, Transport, TransportStats};
+use crate::wire::Message;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Probabilities and magnitudes of injected faults.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability an outgoing message is silently discarded.
+    pub drop_prob: f64,
+    /// Probability an outgoing message is delayed by up to `max_delay`.
+    pub delay_prob: f64,
+    /// Upper bound of an injected delay.
+    pub max_delay: Duration,
+    /// Probability an outgoing message is sent twice.
+    pub duplicate_prob: f64,
+}
+
+impl FaultConfig {
+    /// The acceptance-criteria setting: 10% drop, 10% delay, 10% dup.
+    pub fn lossy_10() -> Self {
+        FaultConfig {
+            drop_prob: 0.10,
+            delay_prob: 0.10,
+            max_delay: Duration::from_millis(20),
+            duplicate_prob: 0.10,
+        }
+    }
+}
+
+/// Counters of injected faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages discarded.
+    pub dropped: u64,
+    /// Messages delayed.
+    pub delayed: u64,
+    /// Messages sent twice.
+    pub duplicated: u64,
+}
+
+/// A transport with seeded random faults on its send path.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    cfg: FaultConfig,
+    rng: ChaCha8Rng,
+    faults: FaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the given fault profile and RNG seed.
+    pub fn new(inner: T, cfg: FaultConfig, seed: u64) -> Self {
+        FaultyTransport {
+            inner,
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            faults: FaultStats::default(),
+        }
+    }
+
+    /// Injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, msg: Message) -> Result<(), CommsError> {
+        if self.rng.gen_bool(self.cfg.drop_prob) {
+            self.faults.dropped += 1;
+            return Ok(()); // swallowed: the peer never sees it
+        }
+        if self.rng.gen_bool(self.cfg.delay_prob) {
+            self.faults.delayed += 1;
+            let nanos = self.rng.gen_range(0..=self.cfg.max_delay.as_nanos() as u64);
+            std::thread::sleep(Duration::from_nanos(nanos));
+        }
+        if self.rng.gen_bool(self.cfg.duplicate_prob) {
+            self.faults.duplicated += 1;
+            self.inner.send(msg.clone())?;
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Message, CommsError> {
+        self.inner.recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, CommsError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn record_retry(&mut self) {
+        self.inner.record_retry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::loopback_pair;
+
+    fn always(p: f64) -> FaultConfig {
+        FaultConfig {
+            drop_prob: p,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn drop_probability_one_swallows_everything() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyTransport::new(a, always(1.0), 7);
+        for _ in 0..10 {
+            faulty.send(Message::Hello { proto: 1, pipe: 0 }).unwrap();
+        }
+        assert_eq!(faulty.fault_stats().dropped, 10);
+        assert!(matches!(b.recv_timeout(Duration::from_millis(10)), Err(CommsError::Timeout)));
+    }
+
+    #[test]
+    fn duplicate_probability_one_doubles_traffic() {
+        let (a, mut b) = loopback_pair();
+        let cfg = FaultConfig {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            duplicate_prob: 1.0,
+        };
+        let mut faulty = FaultyTransport::new(a, cfg, 7);
+        faulty.send(Message::PullRequest { shard: 0, version: 1 }).unwrap();
+        assert!(b.recv().is_ok());
+        assert!(b.recv_timeout(Duration::from_millis(100)).is_ok(), "expected the duplicate");
+        assert_eq!(faulty.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_fault_sequence() {
+        let run = |seed: u64| {
+            let (a, _b) = loopback_pair();
+            let mut faulty = FaultyTransport::new(a, FaultConfig::lossy_10(), seed);
+            for i in 0..200 {
+                faulty.send(Message::PullRequest { shard: 0, version: i }).unwrap();
+            }
+            faulty.fault_stats()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn lossy_profile_actually_drops_at_roughly_ten_percent() {
+        let (a, _b) = loopback_pair();
+        let mut faulty = FaultyTransport::new(
+            a,
+            FaultConfig { max_delay: Duration::ZERO, ..FaultConfig::lossy_10() },
+            1,
+        );
+        for i in 0..1000 {
+            faulty.send(Message::PullRequest { shard: 0, version: i }).unwrap();
+        }
+        let dropped = faulty.fault_stats().dropped;
+        assert!((50..200).contains(&dropped), "10% of 1000 sends, got {dropped}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Length-prefixed binary framing with a versioned header and CRC32
+//! payload check.
+//!
+//! Every message on a byte-stream transport travels inside one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"EAC1"
+//! 4       1     protocol version (PROTO_VERSION)
+//! 5       1     message type tag
+//! 6       2     flags (reserved, must be zero)
+//! 8       4     payload length, little-endian
+//! 12      n     payload bytes
+//! 12+n    4     CRC32 (IEEE) of the payload, little-endian
+//! ```
+//!
+//! The fixed header makes desynchronization detectable (bad magic), the
+//! version byte gates protocol evolution, the explicit length bounds the
+//! read, and the trailing CRC rejects corrupted payloads before they are
+//! decoded. A frame that fails any check is an error, never a panic: a bad
+//! peer must not be able to abort training.
+
+use std::io::{Read, Write};
+
+/// Frame magic: "EAC1" (Elastic-Averaging Comms, format 1).
+pub const MAGIC: [u8; 4] = *b"EAC1";
+
+/// Current protocol version, negotiated by the `Hello`/`HelloAck`
+/// handshake and stamped on every frame.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Hard upper bound on payload size (256 MiB). A length prefix beyond
+/// this is treated as a desynchronized or hostile stream rather than an
+/// allocation request.
+pub const MAX_PAYLOAD: usize = 256 << 20;
+
+/// A malformed or corrupt frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Reserved flag bits were set.
+    BadFlags(u16),
+    /// Length prefix exceeds [`MAX_PAYLOAD`].
+    TooLarge(usize),
+    /// Stream ended inside a frame.
+    Truncated,
+    /// CRC32 mismatch between wire and recomputed value.
+    BadCrc { expected: u32, got: u32 },
+    /// Frame was well-formed but the payload did not decode.
+    BadPayload(String),
+    /// Unknown message type tag.
+    UnknownType(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadFlags(x) => write!(f, "reserved flag bits set: {x:#06x}"),
+            FrameError::TooLarge(n) => write!(f, "payload length {n} exceeds {MAX_PAYLOAD}"),
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::BadCrc { expected, got } => {
+                write!(f, "payload CRC mismatch: wire {expected:#010x}, computed {got:#010x}")
+            }
+            FrameError::BadPayload(why) => write!(f, "undecodable payload: {why}"),
+            FrameError::UnknownType(t) => write!(f, "unknown message type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// generated at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one frame (header + payload + CRC) into `out`, which is
+/// cleared first so one scratch buffer serves every send.
+pub fn encode_frame(msg_type: u8, payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    out.clear();
+    out.reserve(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTO_VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Reads exactly one frame from a byte stream.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer closed
+/// the connection), `Err(Frame(Truncated))` on EOF mid-frame, and the
+/// decoded `(msg_type, payload)` otherwise.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ReadFrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_or_eof(r, &mut header)? {
+        Eof::Clean => return Ok(None),
+        Eof::Partial => return Err(ReadFrameError::Frame(FrameError::Truncated)),
+        Eof::Filled => {}
+    }
+    let magic: [u8; 4] = header[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(ReadFrameError::Frame(FrameError::BadMagic(magic)));
+    }
+    if header[4] != PROTO_VERSION {
+        return Err(ReadFrameError::Frame(FrameError::BadVersion(header[4])));
+    }
+    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    if flags != 0 {
+        return Err(ReadFrameError::Frame(FrameError::BadFlags(flags)));
+    }
+    let msg_type = header[5];
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ReadFrameError::Frame(FrameError::TooLarge(len)));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        Eof::Filled => {}
+        _ => return Err(ReadFrameError::Frame(FrameError::Truncated)),
+    }
+    let mut crc_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut crc_bytes)? {
+        Eof::Filled => {}
+        _ => return Err(ReadFrameError::Frame(FrameError::Truncated)),
+    }
+    let expected = u32::from_le_bytes(crc_bytes);
+    let got = crc32(&payload);
+    if expected != got {
+        return Err(ReadFrameError::Frame(FrameError::BadCrc { expected, got }));
+    }
+    Ok(Some((msg_type, payload)))
+}
+
+/// Writes one frame to a byte stream using `scratch` for assembly.
+pub fn write_frame(
+    w: &mut impl Write,
+    msg_type: u8,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<usize> {
+    encode_frame(msg_type, payload, scratch);
+    w.write_all(scratch)?;
+    Ok(scratch.len())
+}
+
+/// Errors from [`read_frame`]: either the stream itself failed or the
+/// bytes on it were not a valid frame.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// Underlying I/O failure (including timeouts).
+    Io(std::io::Error),
+    /// The bytes were not a valid frame.
+    Frame(FrameError),
+}
+
+impl From<std::io::Error> for ReadFrameError {
+    fn from(e: std::io::Error) -> Self {
+        ReadFrameError::Io(e)
+    }
+}
+
+enum Eof {
+    /// Buffer completely filled.
+    Filled,
+    /// EOF before any byte was read.
+    Clean,
+    /// EOF after at least one byte.
+    Partial,
+}
+
+/// `read_exact`, but distinguishing a clean EOF at offset zero (peer
+/// closed between frames) from a truncation mid-frame. Zero-byte reads on
+/// a still-open socket cannot be told apart from EOF by `Read`, so both
+/// map to EOF here — the caller treats them identically.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<Eof> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(if filled == 0 { Eof::Clean } else { Eof::Partial }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Eof::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello elastic world".to_vec();
+        let mut buf = Vec::new();
+        encode_frame(7, &payload, &mut buf);
+        let mut cursor = buf.as_slice();
+        let (ty, got) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(ty, 7);
+        assert_eq!(got, payload);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        let mut buf = Vec::new();
+        encode_frame(1, b"abc", &mut buf);
+        for cut in 1..HEADER_LEN {
+            let mut cursor = &buf[..cut];
+            match read_frame(&mut cursor) {
+                Err(ReadFrameError::Frame(FrameError::Truncated)) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_or_crc_is_error() {
+        let mut buf = Vec::new();
+        encode_frame(1, &[9u8; 32], &mut buf);
+        for cut in HEADER_LEN..buf.len() {
+            let mut cursor = &buf[..cut];
+            match read_frame(&mut cursor) {
+                Err(ReadFrameError::Frame(FrameError::Truncated)) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let mut buf = Vec::new();
+        encode_frame(1, &[0u8; 16], &mut buf);
+        buf[HEADER_LEN + 3] ^= 0x40; // flip a payload bit
+        let mut cursor = buf.as_slice();
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ReadFrameError::Frame(FrameError::BadCrc { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(1, b"x", &mut buf);
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad_magic.as_slice()),
+            Err(ReadFrameError::Frame(FrameError::BadMagic(_)))
+        ));
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bad_version.as_slice()),
+            Err(ReadFrameError::Frame(FrameError::BadVersion(99)))
+        ));
+        let mut bad_flags = buf;
+        bad_flags[6] = 1;
+        assert!(matches!(
+            read_frame(&mut bad_flags.as_slice()),
+            Err(ReadFrameError::Frame(FrameError::BadFlags(1)))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        encode_frame(1, b"x", &mut buf);
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ReadFrameError::Frame(FrameError::TooLarge(_)))
+        ));
+    }
+}

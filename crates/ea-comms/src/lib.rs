@@ -1,0 +1,45 @@
+//! `ea-comms`: the pluggable transport layer for multi-process elastic
+//! averaging.
+//!
+//! The paper's Figure 6 runs each parallel pipeline and the reference
+//! model in *separate processes*, shipping local updates asynchronously.
+//! This crate supplies the missing communication substrate:
+//!
+//! * [`Transport`] / [`Listener`] — one ordered, message-framed,
+//!   bidirectional connection per pipeline, behind a trait so backends are
+//!   configuration, not architecture.
+//! * [`loopback`] — in-process channels, zero serialization: messages move
+//!   buffers by ownership, preserving the `ea_tensor::pool` zero-copy
+//!   discipline end to end.
+//! * [`tcp`] — length-prefixed binary frames (versioned header, CRC32
+//!   payload check) over `std::net`, with connect/read timeouts, bounded
+//!   exponential-backoff connect retry, and per-connection
+//!   send/recv/retry/byte counters.
+//! * [`wire`] — the elastic-averaging protocol: `Hello`/`HelloAck`
+//!   version handshake, `PullRequest`/`PullReply` (Step ❷),
+//!   `SubmitDelta`/`Ack` (Steps ❸–❹) with `(shard, round, pipe)`
+//!   idempotency keys.
+//! * [`fault`] — a seeded drop/delay/duplicate wrapper proving the
+//!   retry + idempotency design keeps training byte-identical under loss.
+//! * [`client`] — [`ShardClient`] (request/reply with bounded retry) and
+//!   the [`ShardChannel`] abstraction the trainer runs against;
+//!   `ea-runtime` provides the in-process implementation
+//!   (`LocalShards`) and the `RefShardServer` that serves these messages.
+
+pub mod client;
+pub mod fault;
+pub mod frame;
+pub mod loopback;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use client::{RemoteShards, RetryConfig, ServerInfo, ShardChannel, ShardClient};
+pub use fault::{FaultConfig, FaultStats, FaultyTransport};
+pub use frame::{crc32, FrameError, PROTO_VERSION};
+pub use loopback::{
+    loopback_endpoint, loopback_pair, LoopbackHub, LoopbackListener, LoopbackTransport,
+};
+pub use tcp::{TcpConfig, TcpServer, TcpTransport};
+pub use transport::{CommsError, Listener, Transport, TransportStats};
+pub use wire::Message;

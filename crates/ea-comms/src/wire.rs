@@ -1,0 +1,276 @@
+//! The elastic-averaging wire protocol.
+//!
+//! Six message types carry the whole of Figure 6's pipeline↔reference
+//! traffic:
+//!
+//! * [`Message::Hello`] / [`Message::HelloAck`] — version handshake. The
+//!   client announces its protocol version and pipeline id; the server
+//!   confirms and reports the shard/pipeline topology so a misconfigured
+//!   worker fails fast instead of corrupting a round.
+//! * [`Message::PullRequest`] / [`Message::PullReply`] — Step ❷: fetch the
+//!   reference weights as of exactly `version` completed rounds. The reply
+//!   echoes shard and version so retried requests can be matched and stale
+//!   duplicates discarded.
+//! * [`Message::SubmitDelta`] / [`Message::Ack`] — Steps ❸–❹: ship one
+//!   pipeline's local update for a round. `(shard, round, pipe)` is the
+//!   idempotency key: resubmissions of an already-recorded key are
+//!   acknowledged with `duplicate = true` and otherwise ignored, which is
+//!   what makes at-least-once retry safe.
+//!
+//! Payload encoding is little-endian and fixed-layout; the flat `f32`
+//! buffers use [`ea_optim::codec`] so decode lands in pooled storage.
+
+use crate::frame::FrameError;
+use ea_optim::codec::{decode_f32s_le, encode_f32s_le};
+
+/// One protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Client → server: open a connection for pipeline `pipe`.
+    Hello { proto: u16, pipe: u32 },
+    /// Server → client: handshake accepted; topology follows.
+    HelloAck { proto: u16, n_shards: u32, n_pipelines: u32 },
+    /// Client → server: request shard weights at exactly `version`.
+    PullRequest { shard: u32, version: u64 },
+    /// Server → client: shard weights; `version` echoes the state the
+    /// weights correspond to (may exceed the requested version for stale
+    /// retries — the client discards mismatches).
+    PullReply { shard: u32, version: u64, weights: Vec<f32> },
+    /// Client → server: pipeline `pipe`'s local update for `round`.
+    SubmitDelta { shard: u32, round: u64, pipe: u32, delta: Vec<f32> },
+    /// Server → client: submission recorded (or recognized as a
+    /// retransmission, `duplicate = true`).
+    Ack { shard: u32, round: u64, pipe: u32, duplicate: bool },
+}
+
+/// Wire tags, one per message type.
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const HELLO_ACK: u8 = 2;
+    pub const PULL_REQUEST: u8 = 3;
+    pub const PULL_REPLY: u8 = 4;
+    pub const SUBMIT_DELTA: u8 = 5;
+    pub const ACK: u8 = 6;
+}
+
+impl Message {
+    /// The frame tag for this message.
+    pub fn wire_type(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => tag::HELLO,
+            Message::HelloAck { .. } => tag::HELLO_ACK,
+            Message::PullRequest { .. } => tag::PULL_REQUEST,
+            Message::PullReply { .. } => tag::PULL_REPLY,
+            Message::SubmitDelta { .. } => tag::SUBMIT_DELTA,
+            Message::Ack { .. } => tag::ACK,
+        }
+    }
+
+    /// Short name for logs and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "Hello",
+            Message::HelloAck { .. } => "HelloAck",
+            Message::PullRequest { .. } => "PullRequest",
+            Message::PullReply { .. } => "PullReply",
+            Message::SubmitDelta { .. } => "SubmitDelta",
+            Message::Ack { .. } => "Ack",
+        }
+    }
+
+    /// Serializes the payload (frame body, excluding header/CRC) into
+    /// `out`, which is cleared first.
+    pub fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            Message::Hello { proto, pipe } => {
+                out.extend_from_slice(&proto.to_le_bytes());
+                out.extend_from_slice(&pipe.to_le_bytes());
+            }
+            Message::HelloAck { proto, n_shards, n_pipelines } => {
+                out.extend_from_slice(&proto.to_le_bytes());
+                out.extend_from_slice(&n_shards.to_le_bytes());
+                out.extend_from_slice(&n_pipelines.to_le_bytes());
+            }
+            Message::PullRequest { shard, version } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Message::PullReply { shard, version, weights } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                encode_f32s_le(weights, out);
+            }
+            Message::SubmitDelta { shard, round, pipe, delta } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&pipe.to_le_bytes());
+                encode_f32s_le(delta, out);
+            }
+            Message::Ack { shard, round, pipe, duplicate } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&pipe.to_le_bytes());
+                out.push(u8::from(*duplicate));
+            }
+        }
+    }
+
+    /// Decodes a payload for frame tag `msg_type`.
+    pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, FrameError> {
+        let bad = |why: &str| FrameError::BadPayload(why.to_string());
+        match msg_type {
+            tag::HELLO => {
+                let p = fixed::<6>(payload)?;
+                Ok(Message::Hello { proto: le_u16(&p[0..2]), pipe: le_u32(&p[2..6]) })
+            }
+            tag::HELLO_ACK => {
+                let p = fixed::<10>(payload)?;
+                Ok(Message::HelloAck {
+                    proto: le_u16(&p[0..2]),
+                    n_shards: le_u32(&p[2..6]),
+                    n_pipelines: le_u32(&p[6..10]),
+                })
+            }
+            tag::PULL_REQUEST => {
+                let p = fixed::<12>(payload)?;
+                Ok(Message::PullRequest { shard: le_u32(&p[0..4]), version: le_u64(&p[4..12]) })
+            }
+            tag::PULL_REPLY => {
+                if payload.len() < 12 {
+                    return Err(bad("PullReply shorter than its fixed fields"));
+                }
+                let weights = decode_f32s_le(&payload[12..])
+                    .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+                Ok(Message::PullReply {
+                    shard: le_u32(&payload[0..4]),
+                    version: le_u64(&payload[4..12]),
+                    weights,
+                })
+            }
+            tag::SUBMIT_DELTA => {
+                if payload.len() < 16 {
+                    return Err(bad("SubmitDelta shorter than its fixed fields"));
+                }
+                let delta = decode_f32s_le(&payload[16..])
+                    .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+                Ok(Message::SubmitDelta {
+                    shard: le_u32(&payload[0..4]),
+                    round: le_u64(&payload[4..12]),
+                    pipe: le_u32(&payload[12..16]),
+                    delta,
+                })
+            }
+            tag::ACK => {
+                let p = fixed::<17>(payload)?;
+                let dup = match p[16] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(bad("Ack duplicate flag out of range")),
+                };
+                Ok(Message::Ack {
+                    shard: le_u32(&p[0..4]),
+                    round: le_u64(&p[4..12]),
+                    pipe: le_u32(&p[12..16]),
+                    duplicate: dup,
+                })
+            }
+            other => Err(FrameError::UnknownType(other)),
+        }
+    }
+
+    /// Approximate payload size in bytes, for counters and buffer sizing.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Message::Hello { .. } => 6,
+            Message::HelloAck { .. } => 10,
+            Message::PullRequest { .. } => 12,
+            Message::PullReply { weights, .. } => 12 + 4 * weights.len(),
+            Message::SubmitDelta { delta, .. } => 16 + 4 * delta.len(),
+            Message::Ack { .. } => 17,
+        }
+    }
+}
+
+fn fixed<const N: usize>(payload: &[u8]) -> Result<[u8; N], FrameError> {
+    payload.try_into().map_err(|_| {
+        FrameError::BadPayload(format!("expected {N}-byte payload, got {}", payload.len()))
+    })
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes(b.try_into().unwrap())
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().unwrap())
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let mut payload = Vec::new();
+        msg.encode_payload(&mut payload);
+        assert_eq!(payload.len(), msg.payload_len(), "{} size", msg.name());
+        let back = Message::decode_payload(msg.wire_type(), &payload).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_message_type_roundtrips() {
+        roundtrip(Message::Hello { proto: 1, pipe: 3 });
+        roundtrip(Message::HelloAck { proto: 1, n_shards: 4, n_pipelines: 2 });
+        roundtrip(Message::PullRequest { shard: 2, version: u64::MAX - 1 });
+        roundtrip(Message::PullReply { shard: 0, version: 7, weights: vec![1.5, -2.25, 0.0] });
+        roundtrip(Message::SubmitDelta { shard: 1, round: 9, pipe: 1, delta: vec![0.125; 65] });
+        roundtrip(Message::Ack { shard: 1, round: 9, pipe: 1, duplicate: true });
+        roundtrip(Message::Ack { shard: 0, round: 0, pipe: 0, duplicate: false });
+    }
+
+    #[test]
+    fn empty_weight_vectors_roundtrip() {
+        roundtrip(Message::PullReply { shard: 0, version: 0, weights: vec![] });
+        roundtrip(Message::SubmitDelta { shard: 0, round: 0, pipe: 0, delta: vec![] });
+    }
+
+    #[test]
+    fn short_payloads_are_rejected() {
+        for ty in 1..=6u8 {
+            let err = Message::decode_payload(ty, &[0u8; 3]);
+            assert!(err.is_err(), "type {ty} accepted a 3-byte payload");
+        }
+    }
+
+    #[test]
+    fn ragged_weight_bytes_are_rejected() {
+        let msg = Message::PullReply { shard: 0, version: 1, weights: vec![1.0, 2.0] };
+        let mut payload = Vec::new();
+        msg.encode_payload(&mut payload);
+        payload.pop(); // 4k+3 bytes of weights
+        assert!(matches!(
+            Message::decode_payload(msg.wire_type(), &payload),
+            Err(FrameError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        assert_eq!(Message::decode_payload(0, &[]), Err(FrameError::UnknownType(0)));
+        assert_eq!(Message::decode_payload(42, &[]), Err(FrameError::UnknownType(42)));
+    }
+
+    #[test]
+    fn ack_flag_out_of_range_is_rejected() {
+        let msg = Message::Ack { shard: 0, round: 0, pipe: 0, duplicate: false };
+        let mut payload = Vec::new();
+        msg.encode_payload(&mut payload);
+        payload[16] = 2;
+        assert!(Message::decode_payload(tag::ACK, &payload).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the wire format: every message type must
+//! survive a frame round-trip bit-for-bit, and every corruption of the
+//! byte stream — truncation anywhere, a flipped payload byte — must be
+//! rejected as an error, never misparsed into a different message.
+
+use ea_comms::frame::{encode_frame, read_frame, FrameError, ReadFrameError, HEADER_LEN};
+use ea_comms::Message;
+use proptest::prelude::*;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1e6f32..1e6, 0..48)
+}
+
+/// Frames a message and reads it back through the full decode path.
+fn roundtrip(msg: &Message) -> Message {
+    let mut bytes = Vec::new();
+    let mut payload = Vec::new();
+    msg.encode_payload(&mut payload);
+    encode_frame(msg.wire_type(), &payload, &mut bytes);
+    let (msg_type, payload) =
+        read_frame(&mut bytes.as_slice()).expect("frame reads").expect("not EOF");
+    Message::decode_payload(msg_type, &payload).expect("payload decodes")
+}
+
+fn encode(msg: &Message) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut payload = Vec::new();
+    msg.encode_payload(&mut payload);
+    encode_frame(msg.wire_type(), &payload, &mut bytes);
+    bytes
+}
+
+proptest! {
+    #[test]
+    fn hello_roundtrips(proto in 0u16..=u16::MAX, pipe in 0u32..=u32::MAX) {
+        let msg = Message::Hello { proto, pipe };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn hello_ack_roundtrips(
+        proto in 0u16..=u16::MAX,
+        n_shards in 0u32..=u32::MAX,
+        n_pipelines in 0u32..=u32::MAX,
+    ) {
+        let msg = Message::HelloAck { proto, n_shards, n_pipelines };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn pull_request_roundtrips(shard in 0u32..=u32::MAX, version in 0u64..=u64::MAX) {
+        let msg = Message::PullRequest { shard, version };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn pull_reply_roundtrips(
+        shard in 0u32..=u32::MAX,
+        version in 0u64..=u64::MAX,
+        weights in weights_strategy(),
+    ) {
+        let msg = Message::PullReply { shard, version, weights };
+        let back = roundtrip(&msg);
+        // f32 payloads must survive bit-for-bit, so compare bits, not
+        // float equality.
+        match (&msg, &back) {
+            (
+                Message::PullReply { weights: a, .. },
+                Message::PullReply { shard: s, version: v, weights: b },
+            ) => {
+                prop_assert_eq!(*s, shard);
+                prop_assert_eq!(*v, version);
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            _ => prop_assert!(false, "wrong variant back"),
+        }
+    }
+
+    #[test]
+    fn submit_delta_roundtrips(
+        shard in 0u32..=u32::MAX,
+        round in 0u64..=u64::MAX,
+        pipe in 0u32..=u32::MAX,
+        delta in weights_strategy(),
+    ) {
+        let msg = Message::SubmitDelta { shard, round, pipe, delta };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn ack_roundtrips(
+        shard in 0u32..=u32::MAX,
+        round in 0u64..=u64::MAX,
+        pipe in 0u32..=u32::MAX,
+        dup in 0u8..2,
+    ) {
+        let msg = Message::Ack { shard, round, pipe, duplicate: dup == 1 };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// Cutting the byte stream anywhere mid-frame is `Truncated`; cutting
+    /// exactly at a frame boundary is a clean EOF.
+    #[test]
+    fn truncation_anywhere_is_rejected(
+        version in 0u64..=u64::MAX,
+        weights in weights_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode(&Message::PullReply { shard: 1, version, weights });
+        let cut = 1 + ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        match read_frame(&mut &bytes[..cut]) {
+            Err(ReadFrameError::Frame(FrameError::Truncated)) => {}
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    /// Flipping any single bit in the payload region fails the CRC check.
+    #[test]
+    fn payload_corruption_fails_the_crc(
+        delta in proptest::collection::vec(-1e3f32..1e3, 1..32),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode(&Message::SubmitDelta { shard: 0, round: 1, pipe: 2, delta });
+        let payload_len = bytes.len() - HEADER_LEN - 4;
+        let idx = HEADER_LEN + ((payload_len - 1) as f64 * byte_frac) as usize;
+        bytes[idx] ^= 1 << bit;
+        match read_frame(&mut bytes.as_slice()) {
+            Err(ReadFrameError::Frame(FrameError::BadCrc { .. })) => {}
+            other => prop_assert!(false, "expected BadCrc, got {:?}", other),
+        }
+    }
+
+    /// Corrupting the trailing checksum itself is also caught.
+    #[test]
+    fn crc_corruption_is_caught(shard in 0u32..=u32::MAX, bit in 0u8..8) {
+        let mut bytes = encode(&Message::PullRequest { shard, version: 3 });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1 << bit;
+        match read_frame(&mut bytes.as_slice()) {
+            Err(ReadFrameError::Frame(FrameError::BadCrc { .. })) => {}
+            other => prop_assert!(false, "expected BadCrc, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn empty_stream_is_clean_eof() {
+    assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+}

@@ -1,0 +1,121 @@
+//! Delta serialization helpers for the comms layer.
+//!
+//! The elastic-averaging wire protocol ships flat `f32` parameter buffers
+//! (local updates Δ and reference weights). These helpers define the one
+//! canonical byte encoding — little-endian IEEE-754, densely packed — and
+//! decode into pooled buffers so the receive path stays allocation-free in
+//! steady state, matching the zero-copy discipline of the in-process path.
+
+use ea_tensor::pool;
+
+/// Bytes per encoded element.
+pub const F32_WIRE_SIZE: usize = 4;
+
+/// Appends the little-endian encoding of `values` to `out`.
+pub fn encode_f32s_le(values: &[f32], out: &mut Vec<u8>) {
+    out.reserve(values.len() * F32_WIRE_SIZE);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a densely-packed little-endian `f32` buffer.
+///
+/// The destination comes from the global buffer pool, so round-trips
+/// through encode/decode recycle storage instead of allocating. Returns
+/// `Err` if `bytes` is not a whole number of 4-byte elements.
+pub fn decode_f32s_le(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+    if !bytes.len().is_multiple_of(F32_WIRE_SIZE) {
+        return Err(CodecError::RaggedLength(bytes.len()));
+    }
+    let n = bytes.len() / F32_WIRE_SIZE;
+    let mut out = pool::take_cleared(n);
+    decode_f32s_le_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes into a caller-provided buffer (cleared and refilled), so hot
+/// paths can reuse one scratch vector across messages.
+pub fn decode_f32s_le_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), CodecError> {
+    if !bytes.len().is_multiple_of(F32_WIRE_SIZE) {
+        return Err(CodecError::RaggedLength(bytes.len()));
+    }
+    out.clear();
+    out.reserve(bytes.len() / F32_WIRE_SIZE);
+    for chunk in bytes.chunks_exact(F32_WIRE_SIZE) {
+        out.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+    }
+    Ok(())
+}
+
+/// A malformed flat-buffer encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Byte length is not a multiple of the element size.
+    RaggedLength(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::RaggedLength(n) => {
+                write!(f, "{n} bytes is not a whole number of f32 elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let vals = vec![0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::MAX, -123.456, f32::INFINITY];
+        let mut bytes = Vec::new();
+        encode_f32s_le(&vals, &mut bytes);
+        assert_eq!(bytes.len(), vals.len() * F32_WIRE_SIZE);
+        let back = decode_f32s_le(&bytes).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_payload_roundtrips_bit_exactly() {
+        let vals = vec![f32::from_bits(0x7fc0_1234)];
+        let mut bytes = Vec::new();
+        encode_f32s_le(&vals, &mut bytes);
+        let back = decode_f32s_le(&bytes).unwrap();
+        assert_eq!(back[0].to_bits(), 0x7fc0_1234);
+    }
+
+    #[test]
+    fn ragged_length_is_rejected() {
+        assert_eq!(decode_f32s_le(&[0u8; 7]), Err(CodecError::RaggedLength(7)));
+        let mut out = Vec::new();
+        assert!(decode_f32s_le_into(&[0u8; 5], &mut out).is_err());
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity() {
+        let vals = vec![1.0f32; 128];
+        let mut bytes = Vec::new();
+        encode_f32s_le(&vals, &mut bytes);
+        let mut out = Vec::with_capacity(128);
+        decode_f32s_le_into(&bytes, &mut out).unwrap();
+        let ptr = out.as_ptr();
+        decode_f32s_le_into(&bytes, &mut out).unwrap();
+        assert_eq!(out.as_ptr(), ptr, "scratch buffer should be reused");
+    }
+
+    #[test]
+    fn empty_buffer_roundtrips() {
+        let mut bytes = Vec::new();
+        encode_f32s_le(&[], &mut bytes);
+        assert!(bytes.is_empty());
+        assert!(decode_f32s_le(&bytes).unwrap().is_empty());
+    }
+}

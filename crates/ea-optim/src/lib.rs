@@ -14,10 +14,12 @@
 //! * [`Easgd`] — the classic coupled EASGD optimizer from Zhang et al.,
 //!   kept as the related-work baseline the paper argues against.
 
+pub mod codec;
 pub mod elastic;
 mod optimizers;
 mod schedule;
 
+pub use codec::{decode_f32s_le, decode_f32s_le_into, encode_f32s_le, CodecError};
 pub use elastic::{elastic_pull, step_pull_delta, ElasticConfig, ReferenceAccumulator};
 pub use optimizers::{clip_grad_norm, Adam, AdamW, Asgd, Easgd, Momentum, OptKind, Optimizer, Sgd};
 pub use schedule::{LrSchedule, Scheduled};

@@ -5,6 +5,7 @@
 //! with one base64-free `Vec<f32>` per stage plus shape metadata, so
 //! checkpoints are portable across runs and diffable in tests.
 
+use crate::Error;
 use ea_autograd::StagedModel;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -33,19 +34,31 @@ impl Checkpoint {
 
     /// Writes the parameters back into a structurally-identical model.
     ///
-    /// Panics if the stage count or any stage's parameter count differs —
-    /// restoring into the wrong architecture is always a bug.
-    pub fn restore(&self, model: &mut StagedModel) {
-        assert_eq!(
-            self.stages.len(),
-            model.num_stages(),
-            "checkpoint has {} stages, model has {}",
-            self.stages.len(),
-            model.num_stages()
-        );
+    /// Returns an error (without touching any parameter) if the stage
+    /// count or any stage's parameter count differs — a corrupt or
+    /// mismatched checkpoint file must not abort training, and must not
+    /// leave the model half-restored.
+    pub fn restore(&self, model: &mut StagedModel) -> Result<(), Error> {
+        if self.stages.len() != model.num_stages() {
+            return Err(Error::StageCountMismatch {
+                checkpoint: self.stages.len(),
+                model: model.num_stages(),
+            });
+        }
+        for (k, params) in self.stages.iter().enumerate() {
+            let expected = model.stage(k).num_params();
+            if params.len() != expected {
+                return Err(Error::LengthMismatch {
+                    what: format!("checkpoint stage {k} params"),
+                    expected,
+                    got: params.len(),
+                });
+            }
+        }
         for (k, params) in self.stages.iter().enumerate() {
             model.stage_mut(k).set_params_flat(params);
         }
+        Ok(())
     }
 
     /// Serializes to a writer as JSON.
@@ -102,7 +115,7 @@ mod tests {
         // the original bit-for-bit afterwards.
         let mut other = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(99));
         assert_ne!(other.stage(0).params_flat(), model.stage(0).params_flat());
-        loaded.restore(&mut other);
+        loaded.restore(&mut other).unwrap();
         for k in 0..2 {
             assert_eq!(other.stage(k).params_flat(), model.stage(k).params_flat());
         }
@@ -120,13 +133,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn restore_into_wrong_architecture_panics() {
+    fn restore_into_wrong_architecture_is_an_error() {
         let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(3));
         let ckpt = Checkpoint::capture(&model, "bad");
         let wrong_cfg = AnalogueConfig { hidden: 8, ..CFG };
         let mut wrong = gnmt_analogue(wrong_cfg, &mut TensorRng::seed_from_u64(3));
-        ckpt.restore(&mut wrong);
+        let before = wrong.stage(0).params_flat();
+        match ckpt.restore(&mut wrong) {
+            Err(Error::LengthMismatch { .. }) => {}
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+        assert_eq!(wrong.stage(0).params_flat(), before, "failed restore must not mutate");
+    }
+
+    #[test]
+    fn restore_with_wrong_stage_count_is_an_error() {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(4));
+        let mut ckpt = Checkpoint::capture(&model, "bad");
+        ckpt.stages.pop();
+        let mut target = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(4));
+        assert_eq!(
+            ckpt.restore(&mut target),
+            Err(Error::StageCountMismatch { checkpoint: 1, model: 2 })
+        );
     }
 
     #[test]

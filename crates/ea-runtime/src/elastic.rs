@@ -1,7 +1,8 @@
 //! The threaded elastic-averaging trainer: N pipelines + reference shards.
 
-use crate::ThreadedPipeline;
+use crate::{Error, ThreadedPipeline};
 use ea_autograd::{Stage, StagedModel};
+use ea_comms::{CommsError, ShardChannel};
 use ea_data::Batch;
 use ea_optim::Optimizer;
 use parking_lot::{Condvar, Mutex};
@@ -14,6 +15,18 @@ struct ShardState {
     weights: Vec<f32>,
     /// One pending local update per pipeline for the current round.
     pending: Vec<Option<Vec<f32>>>,
+}
+
+/// Whether a submission changed shard state or was a recognized
+/// retransmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// First delivery: the update was recorded (and possibly the round
+    /// applied).
+    Applied,
+    /// `(round, pipe)` was already recorded or already folded into the
+    /// reference — the retransmission was dropped.
+    Duplicate,
 }
 
 /// A reference-model shard: the per-GPU process of the paper's Figure 6
@@ -39,13 +52,83 @@ impl RefShard {
         }
     }
 
-    /// Step ❹: pipeline `pipe` submits its local update for the current
-    /// round. When all N have reported, Step ❺ applies the normalized sum
-    /// (in fixed pipeline order, so the result is deterministic) and
-    /// bumps the version.
-    pub fn submit(&self, pipe: usize, delta: Vec<f32>) {
+    /// Number of pipelines feeding this shard.
+    pub fn n_pipelines(&self) -> usize {
+        self.n
+    }
+
+    /// Step ❹ for in-process callers: pipeline `pipe` submits its local
+    /// update for the *current* round. A second submission by the same
+    /// pipeline within one round is an error (in-process callers are
+    /// exactly-once; retransmission-tolerant peers use
+    /// [`RefShard::submit_at`]).
+    pub fn submit(&self, pipe: usize, delta: Vec<f32>) -> Result<(), Error> {
         let mut st = self.state.lock();
-        assert!(st.pending[pipe].is_none(), "pipeline {pipe} submitted twice in one round");
+        let round = st.version;
+        match self.submit_locked(&mut st, round, pipe, delta)? {
+            SubmitOutcome::Applied => Ok(()),
+            SubmitOutcome::Duplicate => Err(Error::DuplicateSubmit { pipe, round }),
+        }
+    }
+
+    /// Step ❹ for transport peers: idempotent, round-addressed
+    /// submission. The `(round, pipe)` pair is the idempotency key:
+    ///
+    /// * `round == version`, first delivery → recorded
+    ///   ([`SubmitOutcome::Applied`]; when all N have reported, Step ❺
+    ///   applies the normalized sum in fixed pipeline order and bumps the
+    ///   version).
+    /// * `round < version`, or already recorded this round → the delta is
+    ///   discarded and the caller acknowledged
+    ///   ([`SubmitOutcome::Duplicate`]), so at-least-once retry never
+    ///   double-counts an update.
+    /// * `round > version` → [`Error::RoundAhead`]: a correct peer pulls
+    ///   round `r` before submitting round `r`, so this means a protocol
+    ///   violation.
+    pub fn submit_at(
+        &self,
+        round: u64,
+        pipe: usize,
+        delta: Vec<f32>,
+    ) -> Result<SubmitOutcome, Error> {
+        let mut st = self.state.lock();
+        self.submit_locked(&mut st, round, pipe, delta)
+    }
+
+    fn submit_locked(
+        &self,
+        st: &mut ShardState,
+        round: u64,
+        pipe: usize,
+        delta: Vec<f32>,
+    ) -> Result<SubmitOutcome, Error> {
+        if pipe >= self.n {
+            ea_tensor::pool::recycle(delta);
+            return Err(Error::IndexOutOfRange { what: "pipeline", index: pipe, len: self.n });
+        }
+        if delta.len() != st.weights.len() {
+            let got = delta.len();
+            ea_tensor::pool::recycle(delta);
+            return Err(Error::LengthMismatch {
+                what: format!("pipeline {pipe} delta"),
+                expected: st.weights.len(),
+                got,
+            });
+        }
+        if round < st.version {
+            // The round this update belongs to has already been applied;
+            // the original delivery made it. Drop the retransmission.
+            ea_tensor::pool::recycle(delta);
+            return Ok(SubmitOutcome::Duplicate);
+        }
+        if round > st.version {
+            ea_tensor::pool::recycle(delta);
+            return Err(Error::RoundAhead { round, version: st.version });
+        }
+        if st.pending[pipe].is_some() {
+            ea_tensor::pool::recycle(delta);
+            return Ok(SubmitOutcome::Duplicate);
+        }
         st.pending[pipe] = Some(delta);
         if st.pending.iter().all(Option::is_some) {
             let inv = 1.0 / self.n as f32;
@@ -60,6 +143,7 @@ impl RefShard {
             st.version += 1;
             self.cv.notify_all();
         }
+        Ok(SubmitOutcome::Applied)
     }
 
     /// Step ❷ support: returns the reference weights as of exactly
@@ -76,27 +160,107 @@ impl RefShard {
         st.weights.clone()
     }
 
+    /// Transport-facing variant of [`RefShard::weights_at`]: waits until
+    /// at least `version` rounds are complete and returns the weights
+    /// *with the version they actually correspond to*. Retransmitted pull
+    /// requests can arrive after their round was superseded; the caller
+    /// matches on the returned version and discards stale replies instead
+    /// of panicking.
+    pub fn weights_at_least(&self, version: u64) -> (u64, Vec<f32>) {
+        let mut st = self.state.lock();
+        while st.version < version {
+            self.cv.wait(&mut st);
+        }
+        (st.version, st.weights.clone())
+    }
+
+    /// Non-blocking read of the reference weights at exactly `version`
+    /// completed rounds: `None` if the shard is at any other version or a
+    /// round is mid-application. Evaluation paths use this so they can
+    /// never observe mid-round weights.
+    pub fn try_weights_at(&self, version: u64) -> Option<Vec<f32>> {
+        let st = self.state.lock();
+        (st.version == version).then(|| st.weights.clone())
+    }
+
     /// Current reference weights (for evaluation; racy only with active
-    /// training).
+    /// training — prefer [`RefShard::try_weights_at`] when the expected
+    /// round is known).
     pub fn snapshot(&self) -> Vec<f32> {
         self.state.lock().weights.clone()
     }
 }
 
+/// The in-process [`ShardChannel`]: calls the shard accumulators
+/// directly, no serialization, no copies beyond the protocol-mandated
+/// clone of the reference weights.
+pub struct LocalShards {
+    shards: Vec<Arc<RefShard>>,
+}
+
+impl LocalShards {
+    /// Wraps the given shards.
+    pub fn new(shards: Vec<Arc<RefShard>>) -> Self {
+        LocalShards { shards }
+    }
+
+    /// The underlying shards.
+    pub fn shards(&self) -> &[Arc<RefShard>] {
+        &self.shards
+    }
+}
+
+impl ShardChannel for LocalShards {
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn pull(&self, _pipe: usize, shard: usize, version: u64) -> Result<Vec<f32>, CommsError> {
+        let sh = self
+            .shards
+            .get(shard)
+            .ok_or_else(|| CommsError::Protocol(format!("no shard {shard}")))?;
+        Ok(sh.weights_at(version))
+    }
+
+    fn submit(
+        &self,
+        pipe: usize,
+        shard: usize,
+        round: u64,
+        delta: Vec<f32>,
+    ) -> Result<(), CommsError> {
+        let sh = self
+            .shards
+            .get(shard)
+            .ok_or_else(|| CommsError::Protocol(format!("no shard {shard}")))?;
+        sh.submit_at(round, pipe, delta)
+            .map(|_| ())
+            .map_err(|e| CommsError::Protocol(e.to_string()))
+    }
+}
+
 /// N parallel threaded pipelines training replicas under elastic
-/// averaging, with per-stage reference shards.
+/// averaging. The reference shards live behind a [`ShardChannel`]: the
+/// default constructor wires the in-process [`LocalShards`] backend, and
+/// [`ElasticTrainer::with_channel`] runs the identical training loop over
+/// any transport (loopback, TCP, fault-injected) instead.
 pub struct ElasticTrainer {
     pipelines: Vec<ThreadedPipeline>,
-    shards: Vec<Arc<RefShard>>,
+    channel: Arc<dyn ShardChannel>,
+    /// Present in local mode only: direct shard handles for evaluation
+    /// reads that must never block or observe mid-round state.
+    local: Option<Vec<Arc<RefShard>>>,
+    n_shards: usize,
     alpha: f32,
     round: u64,
     eval_replica: StagedModel,
 }
 
 impl ElasticTrainer {
-    /// Builds the trainer from per-pipeline stages/optimizers (all
-    /// replicas must start from identical weights for the reference
-    /// initialization to be meaningful). `alpha = None` uses 1/N.
+    /// Builds the trainer with in-process reference shards (all replicas
+    /// must start from identical weights for the reference initialization
+    /// to be meaningful). `alpha = None` uses 1/N.
     pub fn new(
         replica_stages: Vec<Vec<Stage>>,
         replica_opts: Vec<Vec<Box<dyn Optimizer>>>,
@@ -106,11 +270,51 @@ impl ElasticTrainer {
     ) -> Self {
         let n = replica_stages.len();
         assert!(n >= 1);
-        assert_eq!(replica_opts.len(), n);
         let k = replica_stages[0].len();
         let shards: Vec<Arc<RefShard>> = (0..k)
             .map(|s| Arc::new(RefShard::new(replica_stages[0][s].params_flat(), n)))
             .collect();
+        let channel: Arc<dyn ShardChannel> = Arc::new(LocalShards::new(shards.clone()));
+        Self::build(
+            replica_stages,
+            replica_opts,
+            micros,
+            alpha,
+            eval_replica,
+            channel,
+            Some(shards),
+        )
+    }
+
+    /// Builds the trainer against an arbitrary shard backend — the
+    /// loopback or TCP transport, optionally fault-wrapped. The channel's
+    /// server must hold reference weights identical to the replicas'
+    /// initial weights.
+    pub fn with_channel(
+        replica_stages: Vec<Vec<Stage>>,
+        replica_opts: Vec<Vec<Box<dyn Optimizer>>>,
+        micros: usize,
+        alpha: Option<f32>,
+        eval_replica: StagedModel,
+        channel: Arc<dyn ShardChannel>,
+    ) -> Self {
+        Self::build(replica_stages, replica_opts, micros, alpha, eval_replica, channel, None)
+    }
+
+    fn build(
+        replica_stages: Vec<Vec<Stage>>,
+        replica_opts: Vec<Vec<Box<dyn Optimizer>>>,
+        micros: usize,
+        alpha: Option<f32>,
+        eval_replica: StagedModel,
+        channel: Arc<dyn ShardChannel>,
+        local: Option<Vec<Arc<RefShard>>>,
+    ) -> Self {
+        let n = replica_stages.len();
+        assert!(n >= 1);
+        assert_eq!(replica_opts.len(), n);
+        let k = replica_stages[0].len();
+        assert_eq!(channel.n_shards(), k, "one reference shard per stage");
         let pipelines = replica_stages
             .into_iter()
             .zip(replica_opts)
@@ -118,7 +322,9 @@ impl ElasticTrainer {
             .collect();
         ElasticTrainer {
             pipelines,
-            shards,
+            channel,
+            local,
+            n_shards: k,
             alpha: alpha.unwrap_or(1.0 / n as f32),
             round: 0,
             eval_replica,
@@ -136,10 +342,10 @@ impl ElasticTrainer {
     /// mean loss across pipelines.
     pub fn round(&mut self, batches: &[Batch]) -> f32 {
         assert_eq!(batches.len(), self.pipelines.len(), "one batch per pipeline");
-        let k = self.shards.len();
+        let k = self.n_shards;
         let round = self.round;
         let alpha = self.alpha;
-        let shards = &self.shards;
+        let channel = &self.channel;
         let losses: Vec<f32> = std::thread::scope(|scope| {
             let mut joins = Vec::new();
             for (p, (pipe, batch)) in self.pipelines.iter_mut().zip(batches.iter()).enumerate() {
@@ -147,13 +353,14 @@ impl ElasticTrainer {
                     // Fetch the round-r reference up front: the version
                     // cannot advance past r until this pipeline submits,
                     // so this observes exactly the pre-round weights.
-                    let references: Vec<Vec<f32>> =
-                        (0..k).map(|s| shards[s].weights_at(round)).collect();
+                    let references: Vec<Vec<f32>> = (0..k)
+                        .map(|s| channel.pull(p, s, round).expect("reference pull failed"))
+                        .collect();
                     // Steps ❶–❷ run worker-side in one fused pass; Δ comes
                     // back per stage for Step ❸.
                     let (loss, deltas) = pipe.step_elastic(batch, references, alpha);
                     for (s, delta) in deltas.into_iter().enumerate() {
-                        shards[s].submit(p, delta);
+                        channel.submit(p, s, round, delta).expect("delta submit failed");
                     }
                     loss
                 }));
@@ -165,17 +372,29 @@ impl ElasticTrainer {
     }
 
     /// Materializes the reference model into the evaluation replica.
+    ///
+    /// Reads the reference at exactly `self.round` completed rounds —
+    /// never a mid-round state. (`&mut self` excludes a concurrent
+    /// [`ElasticTrainer::round`], so the read cannot block either.)
     pub fn eval_model(&mut self) -> &StagedModel {
-        for s in 0..self.shards.len() {
-            let w = self.shards[s].snapshot();
+        for s in 0..self.n_shards {
+            let w = self.reference(s);
             self.eval_replica.stage_mut(s).set_params_flat(&w);
+            ea_tensor::pool::recycle(w);
         }
         &self.eval_replica
     }
 
-    /// Reference weights of stage `s`.
+    /// Reference weights of stage `s` as of the last completed round.
     pub fn reference(&self, s: usize) -> Vec<f32> {
-        self.shards[s].snapshot()
+        match &self.local {
+            Some(shards) => shards[s]
+                .try_weights_at(self.round)
+                .expect("evaluation must not race an active round"),
+            None => {
+                self.channel.pull(0, s, self.round).expect("reference pull for evaluation failed")
+            }
+        }
     }
 
     /// Replica parameters of pipeline `p`, stage `s`.
@@ -274,18 +493,112 @@ mod tests {
     #[test]
     fn shard_applies_in_pipeline_order() {
         let shard = RefShard::new(vec![0.0; 2], 2);
-        shard.submit(1, vec![2.0, 2.0]);
+        shard.submit(1, vec![2.0, 2.0]).unwrap();
         // Round not complete yet.
         assert_eq!(shard.weights_at(0), vec![0.0, 0.0]);
-        shard.submit(0, vec![0.0, 4.0]);
+        shard.submit(0, vec![0.0, 4.0]).unwrap();
         assert_eq!(shard.weights_at(1), vec![1.0, 3.0]);
     }
 
     #[test]
-    #[should_panic]
-    fn double_submit_panics() {
+    fn double_submit_is_an_error_not_a_panic() {
         let shard = RefShard::new(vec![0.0; 1], 2);
-        shard.submit(0, vec![1.0]);
-        shard.submit(0, vec![1.0]);
+        shard.submit(0, vec![1.0]).unwrap();
+        assert_eq!(shard.submit(0, vec![1.0]), Err(Error::DuplicateSubmit { pipe: 0, round: 0 }));
+        // The pending update survives the rejected duplicate.
+        shard.submit(1, vec![3.0]).unwrap();
+        assert_eq!(shard.weights_at(1), vec![2.0]);
+    }
+
+    #[test]
+    fn wrong_length_delta_is_rejected_without_corrupting_state() {
+        let shard = RefShard::new(vec![0.0; 3], 1);
+        assert!(matches!(shard.submit(0, vec![1.0; 2]), Err(Error::LengthMismatch { .. })));
+        assert!(matches!(shard.submit_at(0, 0, vec![1.0; 7]), Err(Error::LengthMismatch { .. })));
+        // A well-formed submission still works afterwards.
+        shard.submit(0, vec![1.0; 3]).unwrap();
+        assert_eq!(shard.weights_at(1), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn out_of_range_pipe_is_rejected() {
+        let shard = RefShard::new(vec![0.0; 1], 2);
+        assert!(matches!(shard.submit_at(0, 5, vec![1.0]), Err(Error::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn submit_at_is_idempotent_per_round_and_pipe() {
+        let shard = RefShard::new(vec![0.0; 1], 2);
+        assert_eq!(shard.submit_at(0, 0, vec![2.0]), Ok(SubmitOutcome::Applied));
+        // Same (round, pipe) again: duplicate, not double-counted.
+        assert_eq!(shard.submit_at(0, 0, vec![2.0]), Ok(SubmitOutcome::Duplicate));
+        assert_eq!(shard.submit_at(0, 1, vec![4.0]), Ok(SubmitOutcome::Applied));
+        assert_eq!(shard.weights_at(1), vec![3.0]);
+        // Late retransmission of the applied round: still a duplicate.
+        assert_eq!(shard.submit_at(0, 1, vec![4.0]), Ok(SubmitOutcome::Duplicate));
+        assert_eq!(shard.try_weights_at(1), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn submit_for_a_future_round_is_rejected() {
+        let shard = RefShard::new(vec![0.0; 1], 1);
+        assert_eq!(
+            shard.submit_at(3, 0, vec![1.0]),
+            Err(Error::RoundAhead { round: 3, version: 0 })
+        );
+    }
+
+    #[test]
+    fn try_weights_at_only_serves_the_exact_version() {
+        let shard = RefShard::new(vec![5.0; 1], 1);
+        assert_eq!(shard.try_weights_at(0), Some(vec![5.0]));
+        assert_eq!(shard.try_weights_at(1), None);
+        shard.submit(0, vec![1.0]).unwrap();
+        assert_eq!(shard.try_weights_at(0), None);
+        assert_eq!(shard.try_weights_at(1), Some(vec![6.0]));
+    }
+
+    #[test]
+    fn weights_at_least_reports_the_actual_version() {
+        let shard = RefShard::new(vec![0.0; 1], 1);
+        shard.submit(0, vec![2.0]).unwrap();
+        shard.submit(0, vec![2.0]).unwrap();
+        let (v, w) = shard.weights_at_least(1);
+        assert_eq!(v, 2);
+        assert_eq!(w, vec![4.0]);
+    }
+
+    #[test]
+    fn local_channel_matches_direct_shard_access() {
+        let seed = 61;
+        let task = SyntheticTask::copy_translate(16, 4, 44);
+        let n = 2;
+        // Trainer built through the explicit LocalShards channel.
+        let (stages, opts) = replicas(n, seed);
+        let k = stages[0].len();
+        let shards: Vec<Arc<RefShard>> =
+            (0..k).map(|s| Arc::new(RefShard::new(stages[0][s].params_flat(), n))).collect();
+        let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed));
+        let mut via_channel = ElasticTrainer::with_channel(
+            stages,
+            opts,
+            2,
+            None,
+            eval,
+            Arc::new(LocalShards::new(shards)),
+        );
+        // Default-constructed trainer.
+        let (stages2, opts2) = replicas(n, seed);
+        let eval2 = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed));
+        let mut direct = ElasticTrainer::new(stages2, opts2, 2, None, eval2);
+        for r in 0..3 {
+            let batches: Vec<_> = (0..n as u64).map(|i| task.batch(4, r * 2 + i)).collect();
+            let a = via_channel.round(&batches);
+            let b = direct.round(&batches);
+            assert_eq!(a, b, "round {r}");
+        }
+        for s in 0..k {
+            assert_eq!(via_channel.reference(s), direct.reference(s), "stage {s}");
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! The runtime's shared error type.
+//!
+//! Malformed input — a corrupt checkpoint, a bad peer submitting the
+//! wrong-sized delta, a duplicate submission — must surface as `Err`, not
+//! a panic: the transport layer rejects bad frames gracefully and a wrong
+//! message from one worker cannot abort training for everyone else.
+
+/// A recoverable runtime error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A checkpoint's stage count does not match the target model.
+    StageCountMismatch {
+        /// Stages in the checkpoint.
+        checkpoint: usize,
+        /// Stages in the model.
+        model: usize,
+    },
+    /// A flat parameter/update buffer has the wrong length.
+    LengthMismatch {
+        /// What the buffer was for (e.g. `"stage 2 params"`).
+        what: String,
+        /// Expected element count.
+        expected: usize,
+        /// Received element count.
+        got: usize,
+    },
+    /// A pipeline submitted twice in one round (non-idempotent path).
+    DuplicateSubmit {
+        /// The submitting pipeline.
+        pipe: usize,
+        /// The round in question.
+        round: u64,
+    },
+    /// A submission referenced a round the shard has not opened yet.
+    RoundAhead {
+        /// The submitted round.
+        round: u64,
+        /// The shard's current version.
+        version: u64,
+    },
+    /// A pipeline or shard index was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::StageCountMismatch { checkpoint, model } => {
+                write!(f, "checkpoint has {checkpoint} stages, model has {model}")
+            }
+            Error::LengthMismatch { what, expected, got } => {
+                write!(f, "{what}: expected {expected} elements, got {got}")
+            }
+            Error::DuplicateSubmit { pipe, round } => {
+                write!(f, "pipeline {pipe} submitted twice in round {round}")
+            }
+            Error::RoundAhead { round, version } => {
+                write!(f, "submission for round {round} but shard is at version {version}")
+            }
+            Error::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -40,12 +40,16 @@
 
 mod checkpoint;
 mod elastic;
+mod error;
 mod metrics;
 pub mod semantic;
+mod server;
 mod threaded;
 
 pub use checkpoint::Checkpoint;
-pub use elastic::{ElasticTrainer, RefShard};
+pub use elastic::{ElasticTrainer, LocalShards, RefShard, SubmitOutcome};
+pub use error::Error;
 pub use metrics::{epochs_to_target, evaluate, EpochsToTarget, EvalResult};
 pub use semantic::{train_step, ElasticSemantic, StaleTrainer, SyncTrainer, Trainer};
+pub use server::{ElasticWorker, RefShardServer};
 pub use threaded::ThreadedPipeline;

@@ -1,0 +1,420 @@
+//! Transport-facing reference-shard server and the single-pipeline worker.
+//!
+//! [`RefShardServer`] puts the [`RefShard`](crate::RefShard) accumulators
+//! behind an [`ea_comms::Listener`]: one service thread per accepted
+//! connection, speaking the elastic-averaging wire protocol (`Hello`
+//! handshake, `PullRequest`/`PullReply`, `SubmitDelta`/`Ack`). Because
+//! submissions are idempotent on `(shard, round, pipe)` and pulls are
+//! reads, the server composes with at-least-once clients — retransmitted
+//! requests are answered again without double-counting.
+//!
+//! [`ElasticWorker`] is the process-per-pipeline counterpart of
+//! [`ElasticTrainer`](crate::ElasticTrainer): one threaded pipeline whose
+//! reference pulls and delta submissions go through a
+//! [`ShardChannel`] — typically [`RemoteShards`](ea_comms::RemoteShards)
+//! over TCP to a `RefShardServer` in another process.
+
+use crate::elastic::{RefShard, SubmitOutcome};
+use crate::ThreadedPipeline;
+use ea_autograd::Stage;
+use ea_comms::{CommsError, Listener, Message, ShardChannel, Transport, PROTO_VERSION};
+use ea_data::Batch;
+use ea_optim::Optimizer;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Serves a set of reference shards to remote pipelines over any
+/// transport backend.
+pub struct RefShardServer {
+    shards: Vec<Arc<RefShard>>,
+    n_pipelines: usize,
+}
+
+impl RefShardServer {
+    /// Wraps existing shards (all must expect the same `n_pipelines`).
+    pub fn new(shards: Vec<Arc<RefShard>>, n_pipelines: usize) -> Self {
+        assert!(!shards.is_empty(), "a server needs at least one shard");
+        for sh in &shards {
+            assert_eq!(sh.n_pipelines(), n_pipelines, "shards disagree on pipeline count");
+        }
+        RefShardServer { shards, n_pipelines }
+    }
+
+    /// Builds fresh shards from per-stage initial reference weights.
+    pub fn from_initial_weights(stage_weights: Vec<Vec<f32>>, n_pipelines: usize) -> Self {
+        let shards =
+            stage_weights.into_iter().map(|w| Arc::new(RefShard::new(w, n_pipelines))).collect();
+        Self::new(shards, n_pipelines)
+    }
+
+    /// The shards being served (e.g. to snapshot the final reference).
+    pub fn shards(&self) -> &[Arc<RefShard>] {
+        &self.shards
+    }
+
+    /// Accepts exactly `n_conns` connections and serves each on its own
+    /// thread. Returns the service-thread handles; each thread runs until
+    /// its peer disconnects or violates the protocol.
+    pub fn serve_connections(
+        &self,
+        listener: &mut dyn Listener,
+        n_conns: usize,
+    ) -> Result<Vec<JoinHandle<()>>, CommsError> {
+        (0..n_conns).map(|_| Ok(self.spawn_conn(listener.accept()?))).collect()
+    }
+
+    /// Serves one already-established connection on a new thread.
+    pub fn spawn_conn(&self, conn: Box<dyn Transport>) -> JoinHandle<()> {
+        let shards = self.shards.clone();
+        let n_pipelines = self.n_pipelines;
+        std::thread::spawn(move || serve_conn(&shards, n_pipelines, conn))
+    }
+}
+
+fn serve_conn(shards: &[Arc<RefShard>], n_pipelines: usize, mut conn: Box<dyn Transport>) {
+    loop {
+        let msg = match conn.recv() {
+            Ok(msg) => msg,
+            // Clean disconnect — or a corrupt frame / I/O failure, which
+            // drops this connection but never the server process.
+            Err(_) => return,
+        };
+        match handle(shards, n_pipelines, msg) {
+            Ok(Some(reply)) => {
+                if conn.send(reply).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {}
+            // Protocol violation: close the connection. The shard state
+            // is untouched (bad submissions are rejected atomically).
+            Err(_) => return,
+        }
+    }
+}
+
+/// Computes the reply for one request. `Err` means the connection must be
+/// closed; `Ok(None)` means no reply is owed.
+fn handle(
+    shards: &[Arc<RefShard>],
+    n_pipelines: usize,
+    msg: Message,
+) -> Result<Option<Message>, CommsError> {
+    match msg {
+        Message::Hello { proto, pipe: _ } => {
+            if proto != PROTO_VERSION as u16 {
+                return Err(CommsError::Protocol(format!(
+                    "peer speaks protocol {proto}, server speaks {PROTO_VERSION}"
+                )));
+            }
+            Ok(Some(Message::HelloAck {
+                proto: PROTO_VERSION as u16,
+                n_shards: shards.len() as u32,
+                n_pipelines: n_pipelines as u32,
+            }))
+        }
+        Message::PullRequest { shard, version } => {
+            let sh = lookup(shards, shard)?;
+            // A retransmitted pull can arrive after its round was
+            // superseded; reply with the weights' *actual* version so the
+            // client can discard the stale answer instead of mistaking
+            // newer weights for older ones.
+            let (actual, weights) = sh.weights_at_least(version);
+            Ok(Some(Message::PullReply { shard, version: actual, weights }))
+        }
+        Message::SubmitDelta { shard, round, pipe, delta } => {
+            let sh = lookup(shards, shard)?;
+            match sh.submit_at(round, pipe as usize, delta) {
+                Ok(outcome) => Ok(Some(Message::Ack {
+                    shard,
+                    round,
+                    pipe,
+                    duplicate: outcome == SubmitOutcome::Duplicate,
+                })),
+                Err(e) => Err(CommsError::Protocol(e.to_string())),
+            }
+        }
+        other => Err(CommsError::Protocol(format!("unexpected {} from peer", other.name()))),
+    }
+}
+
+fn lookup(shards: &[Arc<RefShard>], shard: u32) -> Result<&Arc<RefShard>, CommsError> {
+    shards.get(shard as usize).ok_or_else(|| CommsError::Protocol(format!("no shard {shard}")))
+}
+
+/// One pipeline of the elastic-averaging ensemble, driven standalone —
+/// the worker half of the two-process deployment. Runs the same fused
+/// Step ❶–❸ per round as [`ElasticTrainer`](crate::ElasticTrainer), with
+/// the reference reached through a [`ShardChannel`].
+pub struct ElasticWorker {
+    pipeline: ThreadedPipeline,
+    channel: Arc<dyn ShardChannel>,
+    pipe: usize,
+    n_shards: usize,
+    alpha: f32,
+    round: u64,
+}
+
+impl ElasticWorker {
+    /// Spawns the pipeline. `alpha` is the elastic pull strength (use
+    /// `1/N` to match the default trainer).
+    pub fn new(
+        stages: Vec<Stage>,
+        opts: Vec<Box<dyn Optimizer>>,
+        micros: usize,
+        alpha: f32,
+        pipe: usize,
+        channel: Arc<dyn ShardChannel>,
+    ) -> Self {
+        let n_shards = channel.n_shards();
+        assert_eq!(stages.len(), n_shards, "one reference shard per stage");
+        ElasticWorker {
+            pipeline: ThreadedPipeline::spawn(stages, opts, micros),
+            channel,
+            pipe,
+            n_shards,
+            alpha,
+            round: 0,
+        }
+    }
+
+    /// One elastic round on `batch`: pull the round-`r` reference for
+    /// every stage, run the fused local-step/α-pull/delta pass, ship the
+    /// deltas. Blocks (inside the pulls of the *next* round) until all
+    /// peer pipelines finish the current one.
+    pub fn round(&mut self, batch: &Batch) -> Result<f32, CommsError> {
+        let round = self.round;
+        let references: Vec<Vec<f32>> = (0..self.n_shards)
+            .map(|s| self.channel.pull(self.pipe, s, round))
+            .collect::<Result<_, _>>()?;
+        let (loss, deltas) = self.pipeline.step_elastic(batch, references, self.alpha);
+        for (s, delta) in deltas.into_iter().enumerate() {
+            self.channel.submit(self.pipe, s, round, delta)?;
+        }
+        self.round += 1;
+        Ok(loss)
+    }
+
+    /// Completed rounds.
+    pub fn rounds_done(&self) -> u64 {
+        self.round
+    }
+
+    /// Reference weights of stage `s` as of the last completed round
+    /// (blocks until every pipeline has finished it).
+    pub fn pull_reference(&self, s: usize) -> Result<Vec<f32>, CommsError> {
+        self.channel.pull(self.pipe, s, self.round)
+    }
+
+    /// This worker's replica parameters for stage `s`.
+    pub fn stage_params(&self, s: usize) -> Vec<f32> {
+        self.pipeline.stage_params(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_comms::{loopback_endpoint, RemoteShards, RetryConfig, ShardClient};
+
+    fn serve_loopback(
+        server: RefShardServer,
+        n_conns: usize,
+    ) -> (ea_comms::LoopbackHub, JoinHandle<Vec<JoinHandle<()>>>) {
+        let (hub, mut listener) = loopback_endpoint();
+        let h = std::thread::spawn(move || {
+            server.serve_connections(&mut listener, n_conns).expect("accept failed")
+        });
+        (hub, h)
+    }
+
+    fn connect(hub: &ea_comms::LoopbackHub, pipe: usize) -> ShardClient {
+        ShardClient::handshake(Box::new(hub.connect().unwrap()), pipe, RetryConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn handshake_reports_shard_topology() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0; 4], vec![0.0; 6]], 3);
+        let (hub, h) = serve_loopback(server, 1);
+        let client = connect(&hub, 0);
+        assert_eq!(client.server_info().n_shards, 2);
+        assert_eq!(client.server_info().n_pipelines, 3);
+        drop(client);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn two_clients_complete_a_round_through_the_server() {
+        let server = RefShardServer::from_initial_weights(vec![vec![1.0, 1.0]], 2);
+        let shards = server.shards().to_vec();
+        let (hub, h) = serve_loopback(server, 2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|p| {
+                let hub_conn = connect(&hub, p);
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut c = hub_conn;
+                    let w = c.pull(0, 0).unwrap();
+                    assert_eq!(w, vec![1.0, 1.0]);
+                    barrier.wait();
+                    c.submit(0, 0, vec![2.0 * (p as f32 + 1.0); 2]).unwrap();
+                    // Round 1 is observable by every client afterwards.
+                    let w = c.pull(0, 1).unwrap();
+                    assert_eq!(w, vec![4.0, 4.0]); // 1 + (2 + 4)/2
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(shards[0].try_weights_at(1), Some(vec![4.0, 4.0]));
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn retransmitted_submit_is_acked_as_duplicate_and_not_double_counted() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 1);
+        let shards = server.shards().to_vec();
+        let (hub, h) = serve_loopback(server, 1);
+        let mut raw = hub.connect().unwrap();
+        let hello = Message::Hello { proto: PROTO_VERSION as u16, pipe: 0 };
+        raw.send(hello).unwrap();
+        assert!(matches!(raw.recv().unwrap(), Message::HelloAck { .. }));
+        for expect_dup in [false, true, true] {
+            raw.send(Message::SubmitDelta { shard: 0, round: 0, pipe: 0, delta: vec![5.0] })
+                .unwrap();
+            match raw.recv().unwrap() {
+                Message::Ack { duplicate, .. } => assert_eq!(duplicate, expect_dup),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(shards[0].try_weights_at(1), Some(vec![5.0]), "applied exactly once");
+        drop(raw);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stale_pull_is_answered_with_the_actual_version() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 1);
+        let shards = server.shards().to_vec();
+        shards[0].submit(0, vec![3.0]).unwrap();
+        let (hub, h) = serve_loopback(server, 1);
+        let mut raw = hub.connect().unwrap();
+        raw.send(Message::PullRequest { shard: 0, version: 0 }).unwrap();
+        match raw.recv().unwrap() {
+            Message::PullReply { version, weights, .. } => {
+                assert_eq!(version, 1, "reply labeled with the real version");
+                assert_eq!(weights, vec![3.0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(raw);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn protocol_violation_closes_the_connection_without_corrupting_state() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2);
+        let shards = server.shards().to_vec();
+        let (hub, h) = serve_loopback(server, 2);
+        // A bad peer submits a wrong-length delta, then a future round.
+        let mut bad = hub.connect().unwrap();
+        bad.send(Message::SubmitDelta { shard: 0, round: 0, pipe: 0, delta: vec![1.0; 9] })
+            .unwrap();
+        assert!(matches!(bad.recv(), Err(CommsError::Closed)), "server dropped the bad peer");
+        // A well-behaved peer on a fresh connection is unaffected.
+        let mut good = connect(&hub, 0);
+        assert_eq!(good.pull(0, 0).unwrap(), vec![0.0]);
+        good.submit(0, 0, vec![4.0]).unwrap();
+        shards[0].submit(1, vec![0.0]).unwrap();
+        assert_eq!(good.pull(0, 1).unwrap(), vec![2.0]);
+        drop(good);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_trains_against_the_server_like_the_local_trainer() {
+        use crate::ElasticTrainer;
+        use ea_data::SyntheticTask;
+        use ea_models::{gnmt_analogue, AnalogueConfig};
+        use ea_optim::OptKind;
+        use ea_tensor::TensorRng;
+
+        const CFG: AnalogueConfig =
+            AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+        let seed = 77;
+        let n = 2;
+        let task = SyntheticTask::copy_translate(16, 4, 45);
+        let make_stages = || gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed)).into_stages();
+        let make_opts = || -> Vec<Box<dyn Optimizer>> {
+            (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect()
+        };
+
+        // Local baseline.
+        let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed));
+        let mut local = ElasticTrainer::new(
+            (0..n).map(|_| make_stages()).collect(),
+            (0..n).map(|_| make_opts()).collect(),
+            2,
+            None,
+            eval,
+        );
+
+        // Server + two workers over loopback.
+        let init: Vec<Vec<f32>> = make_stages().iter().map(|s| s.params_flat()).collect();
+        let server = RefShardServer::from_initial_weights(init, n);
+        let shards = server.shards().to_vec();
+        let (hub, h) = serve_loopback(server, n);
+        let rounds = 3u64;
+        let workers: Vec<_> = (0..n)
+            .map(|p| {
+                let client = connect(&hub, p);
+                let channel: Arc<dyn ShardChannel> =
+                    Arc::new(RemoteShards::new(vec![client]).unwrap());
+                let stages = make_stages();
+                let opts = make_opts();
+                let task = SyntheticTask::copy_translate(16, 4, 45);
+                std::thread::spawn(move || {
+                    let mut worker =
+                        ElasticWorker::new(stages, opts, 2, 1.0 / n as f32, p, channel);
+                    let mut losses = Vec::new();
+                    for r in 0..rounds {
+                        let batch = task.batch(4, r * n as u64 + p as u64);
+                        losses.push(worker.round(&batch).unwrap());
+                    }
+                    losses
+                })
+            })
+            .collect();
+        let worker_losses: Vec<Vec<f32>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+        let mut local_losses = Vec::new();
+        for r in 0..rounds {
+            let batches: Vec<_> = (0..n as u64).map(|i| task.batch(4, r * n as u64 + i)).collect();
+            local_losses.push(local.round(&batches));
+        }
+        for r in 0..rounds as usize {
+            let mean = worker_losses.iter().map(|l| l[r]).sum::<f32>() / n as f32;
+            assert_eq!(mean, local_losses[r], "round {r} loss differs");
+        }
+        for s in 0..CFG.stages {
+            let remote = shards[s].try_weights_at(rounds).unwrap();
+            assert_eq!(remote, local.reference(s), "stage {s} reference differs");
+        }
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+}

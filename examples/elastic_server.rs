@@ -1,0 +1,50 @@
+//! Reference-shard server for the two-process elastic-averaging demo.
+//!
+//! Hosts the per-stage reference shards behind the TCP transport and
+//! serves the configured number of worker pipelines until they finish and
+//! disconnect, then prints a bit-exact checksum of the final reference
+//! weights for each stage (the workers print the same checksums, so a
+//! byte-level comparison across processes is a `grep` away).
+//!
+//! ```text
+//! cargo run --release --example elastic_server -- --addr 127.0.0.1:7070
+//! cargo run --release --example elastic_worker -- --addr 127.0.0.1:7070 --pipe 0 &
+//! cargo run --release --example elastic_worker -- --addr 127.0.0.1:7070 --pipe 1
+//! ```
+
+use avgpipe_suite::demo;
+use ea_comms::{TcpConfig, TcpServer};
+use ea_runtime::RefShardServer;
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs a value"),
+            "--help" | "-h" => {
+                println!("usage: elastic_server [--addr HOST:PORT]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let n = demo::N_PIPELINES;
+    let server = RefShardServer::from_initial_weights(demo::initial_reference(), n);
+    let mut listener = TcpServer::bind(&addr, TcpConfig::default()).expect("bind the demo address");
+    let addr = listener.local_addr().expect("local addr");
+    // The workers (and the CI smoke test) wait for this line.
+    println!("LISTENING {addr}");
+
+    let conns = server.serve_connections(&mut listener, n).expect("accept workers");
+    for conn in conns {
+        conn.join().expect("connection thread panicked");
+    }
+
+    for (s, shard) in server.shards().iter().enumerate() {
+        let w = shard.snapshot();
+        println!("REF_CHECKSUM stage={s} {:#010x}", demo::weights_checksum(&w));
+    }
+    println!("SERVER DONE after {} rounds", demo::ROUNDS);
+}

