@@ -2,25 +2,33 @@
 //! the real-execution (threads-as-GPUs) experiments.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ea_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, uniform, TensorRng};
+use ea_tensor::{matmul, matmul_a_bt, matmul_at_b, simd, softmax_rows, uniform, TensorRng};
 
 fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
-    for size in [32usize, 128, 256] {
-        let mut rng = TensorRng::seed_from_u64(0);
-        let a = uniform(&[size, size], -1.0, 1.0, &mut rng);
-        let b = uniform(&[size, size], -1.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("ab", size), &size, |bench, _| {
-            bench.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
-        });
-        group.bench_with_input(BenchmarkId::new("a_bt", size), &size, |bench, _| {
-            bench.iter(|| matmul_a_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
-        });
-        group.bench_with_input(BenchmarkId::new("at_b", size), &size, |bench, _| {
-            bench.iter(|| matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
-        });
+    // One group per dispatch level: "matmul" is the auto-detected SIMD
+    // path, "matmul_scalar" forces the reference ikj loop so the two can
+    // be compared run-to-run. Criterion runs benches serially, so the
+    // process-global force is safe here.
+    for (group_name, level) in [("matmul", None), ("matmul_scalar", Some(simd::Level::Scalar))] {
+        simd::force_level(level);
+        let mut group = c.benchmark_group(group_name);
+        for size in [32usize, 128, 256] {
+            let mut rng = TensorRng::seed_from_u64(0);
+            let a = uniform(&[size, size], -1.0, 1.0, &mut rng);
+            let b = uniform(&[size, size], -1.0, 1.0, &mut rng);
+            group.bench_with_input(BenchmarkId::new("ab", size), &size, |bench, _| {
+                bench.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+            });
+            group.bench_with_input(BenchmarkId::new("a_bt", size), &size, |bench, _| {
+                bench.iter(|| matmul_a_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
+            });
+            group.bench_with_input(BenchmarkId::new("at_b", size), &size, |bench, _| {
+                bench.iter(|| matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
+            });
+        }
+        group.finish();
+        simd::force_level(None);
     }
-    group.finish();
 }
 
 fn bench_softmax(c: &mut Criterion) {

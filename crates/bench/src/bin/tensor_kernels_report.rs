@@ -1,0 +1,287 @@
+//! GFLOP/s report for the SIMD kernel layer: times every matmul kernel,
+//! the softmax/optimizer/elastic hot loops, and one real train_step /
+//! elastic_round, under forced-scalar and auto-detected dispatch, and
+//! writes `BENCH_3.json` with the speedups.
+//!
+//! Exits nonzero if the end-to-end losses are not bit-identical across
+//! dispatch levels — the bit-exactness contract of DESIGN.md §13.
+//!
+//! ```text
+//! cargo run -p bench --release --bin tensor_kernels_report
+//! cargo run -p bench --release --bin tensor_kernels_report -- --reps 30
+//! ```
+
+use ea_data::SyntheticTask;
+use ea_models::{gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::{train_step, ElasticSemantic};
+use ea_tensor::{matmul_a_bt_into, matmul_at_b_into, matmul_into, simd, softmax_rows_into};
+use ea_tensor::{uniform, Tensor, TensorRng};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Runs `f` under a forced dispatch level, restoring auto dispatch after.
+fn at_level<T>(level: Option<simd::Level>, f: impl FnOnce() -> T) -> T {
+    simd::force_level(level);
+    let out = f();
+    simd::force_level(None);
+    out
+}
+
+struct KernelRow {
+    name: String,
+    gflops_scalar: f64,
+    gflops_simd: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.gflops_simd / self.gflops_scalar
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"kernel\": \"{}\", \"scalar_gflops\": {:.3}, \"simd_gflops\": {:.3}, \"speedup\": {:.2}}}",
+            self.name,
+            self.gflops_scalar,
+            self.gflops_simd,
+            self.speedup()
+        )
+    }
+}
+
+/// Times one matmul kernel at (m, k, n) under both levels.
+fn bench_matmul(
+    name: &str,
+    reps: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    kernel: impl Fn(&Tensor, &Tensor, &mut Tensor),
+    a_dims: [usize; 2],
+    b_dims: [usize; 2],
+) -> KernelRow {
+    let mut rng = TensorRng::seed_from_u64(42);
+    let a = uniform(&a_dims, -1.0, 1.0, &mut rng);
+    let b = uniform(&b_dims, -1.0, 1.0, &mut rng);
+    let mut out = Tensor::from_vec(vec![0.0], &[1]);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let mut run = |level| {
+        at_level(level, || {
+            kernel(&a, &b, &mut out); // warm up pool + level cache
+            let secs = time_median(reps, || {
+                kernel(std::hint::black_box(&a), std::hint::black_box(&b), &mut out)
+            });
+            flops / secs / 1e9
+        })
+    };
+    let gflops_scalar = run(Some(simd::Level::Scalar));
+    let gflops_simd = run(None);
+    KernelRow { name: format!("{name}_{m}x{k}x{n}"), gflops_scalar, gflops_simd }
+}
+
+/// Times an in-place flat-buffer kernel, reporting effective GFLOP/s for
+/// `flops_per_elem` operations per element.
+fn bench_flat(
+    name: &str,
+    reps: usize,
+    len: usize,
+    flops_per_elem: f64,
+    mut f: impl FnMut(),
+) -> KernelRow {
+    let flops = flops_per_elem * len as f64;
+    let mut run = |level: Option<simd::Level>| {
+        at_level(level, || {
+            f(); // warm up
+            let secs = time_median(reps, &mut f);
+            flops / secs / 1e9
+        })
+    };
+    let gflops_scalar = run(Some(simd::Level::Scalar));
+    let gflops_simd = run(None);
+    KernelRow { name: name.to_string(), gflops_scalar, gflops_simd }
+}
+
+const CFG: AnalogueConfig = AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 3, stages: 3 };
+
+fn adam_opts() -> Vec<Box<dyn Optimizer>> {
+    (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect()
+}
+
+/// Five synchronous training steps on the GNMT analogue; returns the
+/// per-step losses and the median per-step seconds.
+fn run_train_steps(level: Option<simd::Level>) -> (Vec<f32>, f64) {
+    at_level(level, || {
+        let mut model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0));
+        let mut opts = adam_opts();
+        let task = SyntheticTask::copy_translate(32, 8, 1);
+        let batch = task.batch(16, 0);
+        let mut losses = Vec::new();
+        let mut samples = Vec::new();
+        for step in 1..=5u64 {
+            let t0 = Instant::now();
+            losses.push(train_step(&mut model, &mut opts, &batch, 4, step));
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (losses, samples[samples.len() / 2])
+    })
+}
+
+/// Three elastic-averaging rounds with two replicas; returns the round
+/// losses and the median per-round seconds.
+fn run_elastic_rounds(level: Option<simd::Level>) -> (Vec<f32>, f64) {
+    at_level(level, || {
+        let replicas =
+            (0..2).map(|_| gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0))).collect();
+        let opts = (0..2).map(|_| adam_opts()).collect();
+        let eval = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0));
+        let mut ea = ElasticSemantic::with_eval_replica(replicas, opts, 4, None, eval);
+        let task = SyntheticTask::copy_translate(32, 8, 2);
+        let b0 = task.batch(16, 0);
+        let b1 = task.batch(16, 1);
+        let mut losses = Vec::new();
+        let mut samples = Vec::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            losses.push(ea.round(&[b0.clone(), b1.clone()]));
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (losses, samples[samples.len() / 2])
+    })
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn json_f32s(v: &[f32]) -> String {
+    let items: Vec<String> = v.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let mut reps = 20usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => reps = args.next().expect("--reps value").parse().expect("integer"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!(
+        "== tensor kernel report: detected level {} ==",
+        simd::level_name(simd::detected_level())
+    );
+
+    // Matmul kernels at the training-step shape (hidden = 32) and larger.
+    let mut rows = Vec::new();
+    for s in [32usize, 64, 128, 256] {
+        rows.push(bench_matmul("matmul", reps, s, s, s, matmul_into, [s, s], [s, s]));
+        rows.push(bench_matmul("matmul_a_bt", reps, s, s, s, matmul_a_bt_into, [s, s], [s, s]));
+        rows.push(bench_matmul("matmul_at_b", reps, s, s, s, matmul_at_b_into, [s, s], [s, s]));
+    }
+    // The actual per-micro-batch activation shape of the training bench:
+    // (batch·seq) × hidden against hidden × hidden.
+    rows.push(bench_matmul("matmul", reps, 128, 32, 32, matmul_into, [128, 32], [32, 32]));
+
+    // Softmax at the logits shape of the analogue models.
+    {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let x = uniform(&[256, 512], -2.0, 2.0, &mut rng);
+        let mut out = Tensor::from_vec(vec![0.0], &[1]);
+        // ~6 flops/elem (max, sub, exp≈4 amortized is ignored: relative only).
+        rows.push(bench_flat("softmax_rows_256x512", reps, 256 * 512, 6.0, || {
+            softmax_rows_into(std::hint::black_box(&x), &mut out)
+        }));
+    }
+
+    // Optimizer + fused elastic kernels on a 64k flat buffer.
+    {
+        let n = 64 * 1024;
+        let g: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 0.1).collect();
+        let r: Vec<f32> = (0..n).map(|i| (i as f32 * 0.53).cos()).collect();
+        let mut p = vec![0.5f32; n];
+        let mut m = vec![0.0f32; n];
+        let mut v = vec![0.0f32; n];
+        rows.push(bench_flat("adam_step_64k", reps, n, 12.0, || {
+            simd::adam_step(&mut p, &mut m, &mut v, &g, 1e-3, 0.9, 0.999, 1e-8, 0.1, 0.001)
+        }));
+        let mut w = vec![0.5f32; n];
+        let mut opt = ea_optim::Sgd::new(0.01);
+        let mut delta = Vec::with_capacity(n);
+        rows.push(bench_flat("step_pull_delta_sgd_64k", reps, n, 7.0, || {
+            ea_optim::step_pull_delta(&mut opt, &mut w, &g, &r, 0.25, &mut delta)
+        }));
+    }
+
+    for row in &rows {
+        println!(
+            "  {:<24} scalar {:>8.3} GF/s   simd {:>8.3} GF/s   speedup {:>5.2}x",
+            row.name,
+            row.gflops_scalar,
+            row.gflops_simd,
+            row.speedup()
+        );
+    }
+
+    // End-to-end: losses must be bit-identical across dispatch levels.
+    let (loss_steps_scalar, step_secs_scalar) = run_train_steps(Some(simd::Level::Scalar));
+    let (loss_steps_simd, step_secs_simd) = run_train_steps(None);
+    let (loss_rounds_scalar, round_secs_scalar) = run_elastic_rounds(Some(simd::Level::Scalar));
+    let (loss_rounds_simd, round_secs_simd) = run_elastic_rounds(None);
+
+    let steps_identical = bits(&loss_steps_scalar) == bits(&loss_steps_simd);
+    let rounds_identical = bits(&loss_rounds_scalar) == bits(&loss_rounds_simd);
+    println!(
+        "  train_step     scalar {:.2} ms  simd {:.2} ms  speedup {:.2}x  losses bit-identical: {steps_identical}",
+        step_secs_scalar * 1e3,
+        step_secs_simd * 1e3,
+        step_secs_scalar / step_secs_simd
+    );
+    println!(
+        "  elastic_round  scalar {:.2} ms  simd {:.2} ms  speedup {:.2}x  losses bit-identical: {rounds_identical}",
+        round_secs_scalar * 1e3,
+        round_secs_simd * 1e3,
+        round_secs_scalar / round_secs_simd
+    );
+
+    let kernel_json: Vec<String> = rows.iter().map(|r| format!("    {}", r.to_json())).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"tensor_kernels\",\n  \"simd_level\": \"{}\",\n  \"reps\": {reps},\n  \"kernels\": [\n{}\n  ],\n  \"train_step\": {{\"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.2}, \"losses\": {}, \"bit_identical\": {steps_identical}}},\n  \"elastic_round\": {{\"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.2}, \"losses\": {}, \"bit_identical\": {rounds_identical}}}\n}}\n",
+        simd::level_name(simd::detected_level()),
+        kernel_json.join(",\n"),
+        step_secs_scalar * 1e3,
+        step_secs_simd * 1e3,
+        step_secs_scalar / step_secs_simd,
+        json_f32s(&loss_steps_simd),
+        round_secs_scalar * 1e3,
+        round_secs_simd * 1e3,
+        round_secs_scalar / round_secs_simd,
+        json_f32s(&loss_rounds_simd),
+    );
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("  [saved BENCH_3.json]");
+
+    if !(steps_identical && rounds_identical) {
+        eprintln!("FAIL: end-to-end losses differ across SIMD dispatch levels");
+        eprintln!("  train_step scalar: {loss_steps_scalar:?}");
+        eprintln!("  train_step simd:   {loss_steps_simd:?}");
+        eprintln!("  elastic    scalar: {loss_rounds_scalar:?}");
+        eprintln!("  elastic    simd:   {loss_rounds_simd:?}");
+        std::process::exit(1);
+    }
+}

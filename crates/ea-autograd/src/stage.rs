@@ -131,7 +131,10 @@ impl Stage {
     /// produces element-wise exactly `grads_flat().map(|g| g * s)`.
     pub fn grads_flat_scaled_into(&self, scale: f32, out: &mut Vec<f32>) {
         out.clear();
-        self.visit_params(&mut |p| out.extend(p.grad.data().iter().map(|&g| g * scale)));
+        self.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+        // One vectorized pass over the flat buffer; `g * scale` per
+        // element, exactly as the old copy-while-scaling loop computed.
+        ea_tensor::simd::scale(out, scale);
     }
 
     /// Clears every gradient accumulator.

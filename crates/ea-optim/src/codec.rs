@@ -12,10 +12,25 @@ use ea_tensor::pool;
 pub const F32_WIRE_SIZE: usize = 4;
 
 /// Appends the little-endian encoding of `values` to `out`.
+///
+/// On little-endian hosts the in-memory representation *is* the wire
+/// format, so the whole buffer is appended with one memcpy — trivially
+/// bit-exact, including NaN payloads. Big-endian hosts fall back to the
+/// per-element swap.
 pub fn encode_f32s_le(values: &[f32], out: &mut Vec<u8>) {
-    out.reserve(values.len() * F32_WIRE_SIZE);
-    for v in values {
-        out.extend_from_slice(&v.to_le_bytes());
+    #[cfg(target_endian = "little")]
+    {
+        let bytes = unsafe {
+            std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), std::mem::size_of_val(values))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.reserve(values.len() * F32_WIRE_SIZE);
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
 }
 
@@ -41,7 +56,22 @@ pub fn decode_f32s_le_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), Codec
         return Err(CodecError::RaggedLength(bytes.len()));
     }
     out.clear();
-    out.reserve(bytes.len() / F32_WIRE_SIZE);
+    let n = bytes.len() / F32_WIRE_SIZE;
+    out.reserve(n);
+    #[cfg(target_endian = "little")]
+    {
+        // One memcpy into the (reserved, unaliased) spare capacity; the
+        // wire bytes already have host layout.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                n * F32_WIRE_SIZE,
+            );
+            out.set_len(n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
     for chunk in bytes.chunks_exact(F32_WIRE_SIZE) {
         out.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
     }

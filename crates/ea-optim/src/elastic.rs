@@ -35,10 +35,7 @@ impl ElasticConfig {
 /// ratio `(1-α) : α`, i.e. `w ← (1-α)·w + α·w̃`.
 pub fn elastic_pull(local: &mut [f32], reference: &[f32], alpha: f32) {
     assert_eq!(local.len(), reference.len(), "parameter length mismatch");
-    let keep = 1.0 - alpha;
-    for (w, r) in local.iter_mut().zip(reference) {
-        *w = keep * *w + alpha * *r;
-    }
+    ea_tensor::simd::elastic_pull(local, reference, alpha);
 }
 
 /// Fused Steps ❶–❸ for one stage: local optimizer step, elastic pull and
@@ -70,12 +67,7 @@ pub fn step_pull_delta(
     delta.clear();
     delta.extend_from_slice(params);
     opt.step(params, grads);
-    let keep = 1.0 - alpha;
-    for ((w, d), r) in params.iter_mut().zip(delta.iter_mut()).zip(reference) {
-        let w_new = *w;
-        *d = w_new - *d;
-        *w = keep * w_new + alpha * *r;
-    }
+    ea_tensor::simd::delta_pull(params, delta, reference, alpha);
 }
 
 /// Steps ❹–❺: the reference-side accumulator.
@@ -113,9 +105,7 @@ impl ReferenceAccumulator {
             self.received < self.n_pipelines,
             "received more updates than pipelines in one round"
         );
-        for (a, u) in self.acc.iter_mut().zip(local_update) {
-            *a += u;
-        }
+        ea_tensor::simd::add_assign(&mut self.acc, local_update);
         self.received += 1;
     }
 
@@ -137,10 +127,11 @@ impl ReferenceAccumulator {
             return false;
         }
         let inv = 1.0 / self.n_pipelines as f32;
-        for (r, a) in reference.iter_mut().zip(&mut self.acc) {
-            *r += *a * inv;
-            *a = 0.0;
-        }
+        // `r += a * inv` with `axpy(r, inv, a)` computes `r += inv * a` —
+        // identical by commutativity of the single multiply, so this stays
+        // bit-exact against the seed expression.
+        ea_tensor::simd::axpy(reference, inv, &self.acc);
+        self.acc.fill(0.0);
         self.received = 0;
         self.rounds_applied += 1;
         true

@@ -1,4 +1,11 @@
 //! Local optimizers over flat parameter buffers.
+//!
+//! The inner step loops run on [`ea_tensor::simd`] kernels. Parameters
+//! are independent lanes, so every vectorized step is bit-identical to
+//! the scalar expression it replaced (DESIGN.md §13); `EA_SIMD=off`
+//! selects the scalar reference path.
+
+use ea_tensor::simd;
 
 /// A first-order optimizer over a flat `f32` parameter vector.
 ///
@@ -77,9 +84,7 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
-        for (p, g) in params.iter_mut().zip(grads) {
-            *p -= self.lr * g;
-        }
+        simd::sgd_step(params, grads, self.lr);
     }
 
     fn lr(&self) -> f32 {
@@ -123,10 +128,7 @@ impl Optimizer for Momentum {
         if self.velocity.is_empty() {
             self.velocity = vec![0.0; params.len()];
         }
-        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
-            *v = self.beta * *v + g;
-            *p -= self.lr * *v;
-        }
+        simd::momentum_step(params, &mut self.velocity, grads, self.lr, self.beta);
     }
 
     fn lr(&self) -> f32 {
@@ -178,14 +180,18 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let mhat = self.m[i] / bc1;
-            let vhat = self.v[i] / bc2;
-            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-        }
+        simd::adam_step(
+            params,
+            &mut self.m,
+            &mut self.v,
+            grads,
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            bc1,
+            bc2,
+        );
     }
 
     fn lr(&self) -> f32 {
@@ -226,9 +232,7 @@ impl AdamW {
 impl Optimizer for AdamW {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         let shrink = 1.0 - self.inner.lr() * self.weight_decay;
-        for p in params.iter_mut() {
-            *p *= shrink;
-        }
+        simd::scale(params, shrink);
         self.inner.step(params, grads);
     }
 
@@ -279,18 +283,14 @@ impl Asgd {
 impl Optimizer for Asgd {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
-        for (p, g) in params.iter_mut().zip(grads) {
-            *p -= self.lr * g;
-        }
+        simd::sgd_step(params, grads, self.lr);
         if self.avg.is_empty() {
             self.avg = params.to_vec();
             self.t = 1;
         } else {
             self.t += 1;
             let w = 1.0 / self.t as f32;
-            for (a, p) in self.avg.iter_mut().zip(params.iter()) {
-                *a += w * (*p - *a);
-            }
+            simd::asgd_avg_update(&mut self.avg, params, w);
         }
     }
 
@@ -353,13 +353,16 @@ impl Easgd {
 }
 
 /// Clips the gradient to a maximum L2 norm, returning the pre-clip norm.
+///
+/// The norm uses the deterministic lane-blocked sum of squares: identical
+/// across SIMD levels (fixed combine tree at every level), though
+/// reassociated relative to a sequential sum. No training path in this
+/// workspace clips gradients, so this does not perturb the e2e losses.
 pub fn clip_grad_norm(grads: &mut [f32], max_norm: f32) -> f32 {
-    let norm = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+    let norm = simd::sum_squares(grads).sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
-        for g in grads.iter_mut() {
-            *g *= scale;
-        }
+        simd::scale(grads, scale);
     }
     norm
 }

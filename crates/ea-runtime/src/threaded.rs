@@ -198,9 +198,12 @@ impl Worker {
                 true
             }
             Cmd::Pull { reference, alpha, reply } => {
-                let mut params = self.stage.params_flat();
-                ea_optim::elastic_pull(&mut params, &reference, alpha);
-                self.stage.set_params_flat(&params);
+                // Reuse the worker's flat-params scratch and return the
+                // reference buffer to the pool, like the fused round tail.
+                self.stage.params_flat_into(&mut self.params_scratch);
+                ea_optim::elastic_pull(&mut self.params_scratch, &reference, alpha);
+                self.stage.set_params_flat(&self.params_scratch);
+                pool::recycle(reference);
                 reply.send(()).expect("driver hung up");
                 true
             }

@@ -22,6 +22,7 @@ mod matmul;
 mod ops;
 pub mod pool;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use init::{kaiming_uniform, uniform, xavier_uniform, TensorRng};

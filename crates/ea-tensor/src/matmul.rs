@@ -1,4 +1,4 @@
-//! Cache-blocked, rayon-parallel matrix multiplication kernels.
+//! Cache-blocked, SIMD-dispatched, rayon-parallel matrix multiplication.
 //!
 //! Three layouts cover everything the autograd engine needs:
 //!
@@ -11,6 +11,25 @@
 //! sized (otherwise one is drawn from the [`pool`](crate::pool)). The
 //! allocating forms are thin wrappers over the `_into` forms.
 //!
+//! # SIMD path
+//!
+//! When [`simd::active_level`] is not scalar, all three layouts run a
+//! register-blocked microkernel: B is packed into `NR`-column panels
+//! (pool-backed scratch, zero-padded at the right edge), and each
+//! `MR × NR` output tile accumulates in 8 vector registers while
+//! streaming the panel once. All three layouts share one generic kernel —
+//! the A operand is viewed through `(row_stride, k_stride)` so `Aᵀ·B` is
+//! just a different stride pair, and `A·Bᵀ` packs the panels from `B`'s
+//! rows instead of its columns.
+//!
+//! Bit-exactness: lanes are output columns, so each output element still
+//! accumulates its `k` terms in ascending order with separate mul/add
+//! instructions (no FMA contraction), and the per-`(row, k)` zero-skip of
+//! the scalar `matmul` / `matmul_at_b` kernels is preserved (`matmul_a_bt`
+//! never skipped). The SIMD result is therefore bit-identical to the
+//! scalar path for every input, which the property tests in
+//! `tests/simd_properties.rs` assert.
+//!
 //! All kernels view their inputs through [`Shape::as_matrix`], so
 //! higher-rank activations (`[batch, seq, hidden]`) multiply 2-D weights
 //! directly.
@@ -18,17 +37,242 @@
 //! Zero-sized inputs (any dimension 0) are valid and produce the
 //! corresponding empty output.
 
+#[cfg(target_arch = "x86_64")]
+use crate::simd::A8;
+#[cfg(target_arch = "aarch64")]
+use crate::simd::N8;
+use crate::simd::{self, dispatch_call, trampolines, Level, V};
 use crate::Tensor;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
-/// Rows-per-task granularity for rayon. Small enough to load-balance the
-/// micro-batch sizes used in the experiments, large enough to amortize the
-/// fork-join overhead.
-const PAR_ROW_CHUNK: usize = 16;
+/// Default rows-per-task granularity for rayon. Small enough to
+/// load-balance the micro-batch sizes used in the experiments, large
+/// enough to amortize the fork-join overhead.
+const DEFAULT_PAR_ROW_CHUNK: usize = 16;
 
-/// Below this many total multiply-adds the parallel dispatch costs more
-/// than it saves; run single-threaded.
-const PAR_THRESHOLD: usize = 32 * 1024;
+/// Default serial/parallel cutoff in total multiply-adds. Retuned from
+/// `32 * 1024` when the SIMD microkernels landed: a vectorized kernel
+/// finishes small products several times faster, so the fork-join
+/// overhead only pays for itself on proportionally larger problems.
+/// Row chunking never changes per-element accumulation order, so this
+/// knob affects wall-clock only, never results.
+const DEFAULT_PAR_THRESHOLD: usize = 128 * 1024;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => {
+                eprintln!("[ea-tensor] {name}={n} (default {default})");
+                n
+            }
+            _ => {
+                eprintln!("[ea-tensor] ignoring {name}={v:?} (want a positive integer)");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Rows-per-task granularity, overridable via `EA_PAR_CHUNK` (parsed and
+/// logged once per process) so bench sweeps don't need recompiles.
+fn par_row_chunk() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| env_usize("EA_PAR_CHUNK", DEFAULT_PAR_ROW_CHUNK))
+}
+
+/// Serial/parallel cutoff, overridable via `EA_PAR_THRESHOLD`.
+fn par_threshold() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| env_usize("EA_PAR_THRESHOLD", DEFAULT_PAR_THRESHOLD))
+}
+
+/// Runs `kernel` over `PAR_ROW_CHUNK`-row chunks of `obuf`, serially for
+/// small problems and via rayon otherwise. `flops` is the total
+/// multiply-add count used for the cutoff.
+fn for_each_row_chunk<F>(obuf: &mut [f32], bn: usize, flops: usize, kernel: F)
+where
+    F: Fn((usize, &mut [f32])) + Sync + Send,
+{
+    let chunk_rows = par_row_chunk();
+    if flops < par_threshold() {
+        obuf.chunks_mut(chunk_rows * bn).enumerate().for_each(kernel);
+    } else {
+        obuf.par_chunks_mut(chunk_rows * bn).enumerate().for_each(kernel);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed SIMD microkernel, shared by all three layouts.
+// ---------------------------------------------------------------------
+
+/// Output-tile rows per microkernel invocation.
+const MR: usize = 4;
+/// Output-tile columns per microkernel invocation (two 8-lane vectors).
+const NR: usize = 2 * simd::LANES;
+
+/// Packs the `kd × bn` operand `Bop` into `NR`-column panels laid out
+/// `panel[k * NR + j]`, reading `Bop[k, j] = bsrc[k * k_stride + j *
+/// j_stride]`. `(k_stride, j_stride) = (bn, 1)` packs `B` as stored;
+/// `(1, bk)` packs `Bᵀ` from a `[bn, bk]` tensor. The right-edge panel
+/// is zero-padded so the microkernel can always run full vectors (the
+/// padded lanes are computed but never stored).
+fn pack_panels(bsrc: &[f32], kd: usize, bn: usize, k_stride: usize, j_stride: usize) -> Vec<f32> {
+    let n_panels = bn.div_ceil(NR);
+    let mut packed = crate::pool::take_buf(n_panels * kd * NR);
+    for p in 0..n_panels {
+        let j0 = p * NR;
+        let w = NR.min(bn - j0);
+        let panel = &mut packed[p * kd * NR..(p + 1) * kd * NR];
+        for k in 0..kd {
+            let row = &mut panel[k * NR..(k + 1) * NR];
+            for (jj, slot) in row.iter_mut().enumerate() {
+                *slot = if jj < w { bsrc[k * k_stride + (j0 + jj) * j_stride] } else { 0.0 };
+            }
+        }
+    }
+    packed
+}
+
+/// Computes `rows` output rows (global row offset `row0`) of a product
+/// against pre-packed panels. `A[i, k] = adata[i * ais + k * ats]`;
+/// `skip` reproduces the scalar kernels' per-`(i, k)` zero-skip.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_rows_impl<Vv: V>(
+    out: &mut [f32],
+    row0: usize,
+    adata: &[f32],
+    ais: usize,
+    ats: usize,
+    packed: &[f32],
+    kd: usize,
+    bn: usize,
+    skip: bool,
+) {
+    let rows = out.len() / bn;
+    let n_panels = bn.div_ceil(NR);
+    let mut i = 0;
+    while i < rows {
+        let mr = (rows - i).min(MR);
+        match mr {
+            4 => tile_row::<Vv, 4>(out, i, row0, adata, ais, ats, packed, kd, bn, n_panels, skip),
+            3 => tile_row::<Vv, 3>(out, i, row0, adata, ais, ats, packed, kd, bn, n_panels, skip),
+            2 => tile_row::<Vv, 2>(out, i, row0, adata, ais, ats, packed, kd, bn, n_panels, skip),
+            _ => tile_row::<Vv, 1>(out, i, row0, adata, ais, ats, packed, kd, bn, n_panels, skip),
+        }
+        i += mr;
+    }
+}
+
+/// One `MR_ × bn` strip: for each panel, accumulate an `MR_ × NR` tile in
+/// registers over the full `k` range, then store the live columns.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_row<Vv: V, const MR_: usize>(
+    out: &mut [f32],
+    i: usize,
+    row0: usize,
+    adata: &[f32],
+    ais: usize,
+    ats: usize,
+    packed: &[f32],
+    kd: usize,
+    bn: usize,
+    n_panels: usize,
+    skip: bool,
+) {
+    let ap = adata.as_ptr();
+    let op = out.as_mut_ptr();
+    for p in 0..n_panels {
+        let j0 = p * NR;
+        let w = NR.min(bn - j0);
+        let panel = packed.as_ptr().add(p * kd * NR);
+        let mut acc0 = [Vv::zero(); MR_];
+        let mut acc1 = [Vv::zero(); MR_];
+        for k in 0..kd {
+            let b0 = Vv::load(panel.add(k * NR));
+            let b1 = Vv::load(panel.add(k * NR + simd::LANES));
+            for ii in 0..MR_ {
+                let aval = *ap.add((row0 + i + ii) * ais + k * ats);
+                if skip && aval == 0.0 {
+                    continue;
+                }
+                let av = Vv::splat(aval);
+                acc0[ii] = acc0[ii].add(av.mul(b0));
+                acc1[ii] = acc1[ii].add(av.mul(b1));
+            }
+        }
+        for ii in 0..MR_ {
+            let orow = op.add((i + ii) * bn + j0);
+            if w == NR {
+                acc0[ii].store(orow);
+                acc1[ii].store(orow.add(simd::LANES));
+            } else {
+                let mut tmp = [0.0f32; NR];
+                acc0[ii].store(tmp.as_mut_ptr());
+                acc1[ii].store(tmp.as_mut_ptr().add(simd::LANES));
+                std::ptr::copy_nonoverlapping(tmp.as_ptr(), orow, w);
+            }
+        }
+    }
+}
+
+trampolines!(packed_rows_impl / packed_rows_avx2 / packed_rows_neon(
+    out: &mut [f32], row0: usize, adata: &[f32], ais: usize, ats: usize,
+    packed: &[f32], kd: usize, bn: usize, skip: bool
+));
+
+#[allow(clippy::too_many_arguments)]
+fn packed_rows(
+    out: &mut [f32],
+    row0: usize,
+    adata: &[f32],
+    ais: usize,
+    ats: usize,
+    packed: &[f32],
+    kd: usize,
+    bn: usize,
+    skip: bool,
+) {
+    dispatch_call!(
+        packed_rows_impl
+            / packed_rows_avx2
+            / packed_rows_neon(out, row0, adata, ais, ats, packed, kd, bn, skip)
+    )
+}
+
+/// The shared SIMD driver: packs the `kd × bn` B-operand, then fills
+/// `obuf` chunk-parallel through the microkernel, recycling the panels.
+#[allow(clippy::too_many_arguments)]
+fn simd_matmul(
+    obuf: &mut [f32],
+    adata: &[f32],
+    ais: usize,
+    ats: usize,
+    bsrc: &[f32],
+    b_k_stride: usize,
+    b_j_stride: usize,
+    kd: usize,
+    bn: usize,
+    skip: bool,
+) {
+    if kd == 0 {
+        // No terms to accumulate: the product is exactly zero.
+        obuf.fill(0.0);
+        return;
+    }
+    let packed = pack_panels(bsrc, kd, bn, b_k_stride, b_j_stride);
+    let rows = obuf.len() / bn;
+    let chunk_rows = par_row_chunk();
+    let packed_ref = &packed;
+    let kernel = move |(i0, chunk): (usize, &mut [f32])| {
+        packed_rows(chunk, i0 * chunk_rows, adata, ais, ats, packed_ref, kd, bn, skip);
+    };
+    for_each_row_chunk(obuf, bn, rows * kd * bn, kernel);
+    crate::pool::recycle(packed);
+}
 
 /// `C[r, n] = A[r, k] · B[k, n]`, written into `out`.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
@@ -42,11 +286,16 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         // would panic when bn == 0).
         return;
     }
-    obuf.fill(0.0);
     let adata = a.data();
     let bdata = b.data();
+    if simd::active_level() != Level::Scalar {
+        simd_matmul(obuf, adata, ak, 1, bdata, bn, 1, ak, bn, true);
+        return;
+    }
+    obuf.fill(0.0);
+    let chunk_rows = par_row_chunk();
     let kernel = |(i0, chunk): (usize, &mut [f32])| {
-        let row0 = i0 * PAR_ROW_CHUNK;
+        let row0 = i0 * chunk_rows;
         for (local, row) in chunk.chunks_mut(bn).enumerate() {
             let arow = &adata[(row0 + local) * ak..(row0 + local + 1) * ak];
             // ikj loop order: stream through B rows, accumulate into `row`.
@@ -61,11 +310,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
             }
         }
     };
-    if ar * ak * bn < PAR_THRESHOLD {
-        obuf.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    } else {
-        obuf.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    }
+    for_each_row_chunk(obuf, bn, ar * ak * bn, kernel);
 }
 
 /// `C[r, n] = A[r, k] · B[k, n]`.
@@ -86,9 +331,15 @@ pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     if obuf.is_empty() {
         return;
     }
-    obuf.fill(0.0);
     let adata = a.data();
     let bdata = b.data();
+    if simd::active_level() != Level::Scalar {
+        // Pack Bᵀ panels straight out of B's rows; no zero-skip, matching
+        // the scalar kernel below.
+        simd_matmul(obuf, adata, ak, 1, bdata, 1, bk, ak, bn, false);
+        return;
+    }
+    obuf.fill(0.0);
     // Materialize Bᵀ in pooled scratch so the hot loop streams rows of
     // both operands and vectorizes across the output row. Each output
     // element still accumulates its k terms in ascending order (with no
@@ -103,8 +354,9 @@ pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         }
     }
     let btref = &bt;
+    let chunk_rows = par_row_chunk();
     let kernel = |(i0, chunk): (usize, &mut [f32])| {
-        let row0 = i0 * PAR_ROW_CHUNK;
+        let row0 = i0 * chunk_rows;
         for (local, row) in chunk.chunks_mut(bn).enumerate() {
             let arow = &adata[(row0 + local) * ak..(row0 + local + 1) * ak];
             for (k, &aval) in arow.iter().enumerate() {
@@ -115,11 +367,7 @@ pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
             }
         }
     };
-    if ar * ak * bn < PAR_THRESHOLD {
-        obuf.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    } else {
-        obuf.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    }
+    for_each_row_chunk(obuf, bn, ar * ak * bn, kernel);
     crate::pool::recycle(bt);
 }
 
@@ -142,13 +390,21 @@ pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     if obuf.is_empty() {
         return;
     }
-    obuf.fill(0.0);
     let adata = a.data();
     let bdata = b.data();
+    if simd::active_level() != Level::Scalar {
+        // Output rows are the k dimension, so A is viewed with strides
+        // (1, ak): element (out_row, contraction r) is adata[r * ak +
+        // out_row]. Zero-skip preserved from the scalar kernel.
+        simd_matmul(obuf, adata, 1, ak, bdata, bn, 1, ar, bn, true);
+        return;
+    }
+    obuf.fill(0.0);
     // Parallelize over output rows (the k dimension); each output row k is
     // a weighted sum of B's rows with weights A[:, k].
+    let chunk_rows = par_row_chunk();
     let kernel = |(k0, chunk): (usize, &mut [f32])| {
-        let row0 = k0 * PAR_ROW_CHUNK;
+        let row0 = k0 * chunk_rows;
         for (local, row) in chunk.chunks_mut(bn).enumerate() {
             let k = row0 + local;
             for r in 0..ar {
@@ -163,11 +419,7 @@ pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
             }
         }
     };
-    if ar * ak * bn < PAR_THRESHOLD {
-        obuf.chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    } else {
-        obuf.par_chunks_mut(PAR_ROW_CHUNK * bn).enumerate().for_each(kernel);
-    }
+    for_each_row_chunk(obuf, bn, ar * ak * bn, kernel);
 }
 
 /// `C[k, n] = A[r, k]ᵀ · B[r, n]` — the weight-gradient layout.

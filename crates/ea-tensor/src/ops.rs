@@ -3,7 +3,17 @@
 //! The softmax family has `_into` variants that write into a
 //! caller-supplied tensor, reusing its buffer when possible; the
 //! allocating forms wrap them with a pooled output.
+//!
+//! Vectorization policy (DESIGN.md §13): the softmax kernels stay
+//! bit-identical to their scalar originals — the row max is a
+//! vectorized reduction whose *value* equals the sequential fold for
+//! non-NaN rows, the exp-and-sum pass stays scalar because
+//! reassociating it would change losses, and the final scale/shift is
+//! element-wise. `row_sums` uses the deterministic lane-blocked sum
+//! (level-independent, but reassociated relative to the old sequential
+//! sum); it feeds no training-path computation.
 
+use crate::simd;
 use crate::Tensor;
 
 /// Transpose of the matrix view, written into `out`.
@@ -26,42 +36,50 @@ pub fn transpose(t: &Tensor) -> Tensor {
     out
 }
 
-/// Per-row sums of the matrix view.
+/// Per-row sums of the matrix view. Uses the deterministic lane-blocked
+/// reduction: the result is identical across SIMD levels (same fixed
+/// combine tree everywhere), though reassociated relative to a plain
+/// sequential sum.
 pub fn row_sums(t: &Tensor) -> Tensor {
     let (r, c) = t.shape().as_matrix();
     let mut out = crate::pool::take_cleared(r);
     for i in 0..r {
-        out.push(t.data()[i * c..(i + 1) * c].iter().sum());
+        out.push(simd::sum_f32(&t.data()[i * c..(i + 1) * c]));
     }
     Tensor::from_vec(out, &[r])
 }
 
 /// Per-column sums of the matrix view (e.g. bias gradients).
+///
+/// Streams `data` row-major in a single pass, accumulating each row into
+/// the output vector — every element of column `j` is added in row order,
+/// so the result matches the textbook strided column walk bit-for-bit
+/// while touching memory sequentially.
 pub fn col_sums(t: &Tensor) -> Tensor {
     let (r, c) = t.shape().as_matrix();
     let mut out = Tensor::zeros(&[c]);
     let obuf = out.data_mut();
     let data = t.data();
     for i in 0..r {
-        let row = &data[i * c..(i + 1) * c];
-        for (o, &v) in obuf.iter_mut().zip(row) {
-            *o += v;
-        }
+        simd::add_assign(obuf, &data[i * c..(i + 1) * c]);
     }
     out
 }
 
 fn softmax_row(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    // Vectorized max: value-identical to the sequential fold (max is
+    // association-free for non-NaN input, and an eventual ±0.0 sign
+    // difference cannot change exp(x - max)).
+    let max = simd::max_value(row);
+    // The exp-and-sum pass stays scalar-sequential: `sum` feeds the
+    // training loss, and a lane-reassociated sum would change it.
     let mut sum = 0.0;
     for x in row.iter_mut() {
         *x = (*x - max).exp();
         sum += *x;
     }
     let inv = 1.0 / sum;
-    for x in row.iter_mut() {
-        *x *= inv;
-    }
+    simd::scale(row, inv);
 }
 
 /// Numerically-stable softmax per row of the matrix view, written into
@@ -93,11 +111,11 @@ pub fn log_softmax_rows_into(t: &Tensor, out: &mut Tensor) {
     obuf.copy_from_slice(t.data());
     for i in 0..r {
         let row = &mut obuf[i * c..(i + 1) * c];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = simd::max_value(row);
+        // Scalar-sequential exp-sum, as in softmax_row: the log-sum term
+        // lands in every loss value, so its accumulation order is fixed.
         let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
-        for x in row.iter_mut() {
-            *x -= log_sum;
-        }
+        simd::sub_scalar(row, log_sum);
     }
 }
 

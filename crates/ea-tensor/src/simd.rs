@@ -1,0 +1,993 @@
+//! Portable SIMD layer: 8-lane `f32` kernels with runtime dispatch.
+//!
+//! Every hot loop in the workspace (matmul microkernels, softmax,
+//! optimizer steps, the elastic pull) routes through this module. A
+//! kernel is written once, generically, against the [`V`] lane
+//! abstraction and instantiated three ways:
+//!
+//! * **AVX2+FMA** (`x86_64`, detected at runtime) — one `__m256` per
+//!   lane group.
+//! * **NEON** (`aarch64`, always present) — a pair of `float32x4_t`.
+//! * **Scalar** — a plain `[f32; 8]` block the autovectorizer may (or
+//!   may not) lower to the baseline ISA; also the reference
+//!   implementation the property tests compare against.
+//!
+//! # Bit-exactness contract
+//!
+//! Kernels vectorize across *independent output elements* (matmul output
+//! columns, per-parameter optimizer lanes), so each element sees exactly
+//! the scalar sequence of IEEE-754 operations in exactly the scalar
+//! order. Multiplies and adds are kept as separate instructions — FMA is
+//! *detected* (the AVX2 level requires it) but never used to contract
+//! `a*b + c`, because contraction changes rounding and would break the
+//! byte-identical-loss guarantee of the e2e tests. Division and square
+//! root are IEEE-exact in both AVX and NEON, so the Adam kernel is also
+//! bit-identical. The only kernels that reassociate are the horizontal
+//! reductions [`sum_f32`] / [`sum_squares`]; those use a *fixed* 8-lane
+//! tree that every level implements identically, so they are
+//! deterministic and level-independent — but differ from a sequential
+//! left-to-right sum (see DESIGN.md §13 for where each is allowed).
+//! [`max_value`] reassociates too, which is value-preserving for
+//! non-NaN data (max is associative); rows containing NaN have
+//! unspecified results on every level, as before.
+//!
+//! # Switches
+//!
+//! `EA_SIMD=off` (or `0` / `scalar`) forces the scalar path;
+//! `EA_SIMD=avx2` / `EA_SIMD=neon` force a level (falling back to
+//! scalar with a warning when unavailable). Benchmarks and tests use
+//! [`force_level`] to compare levels in-process.
+
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+/// Lane width of the portable vector type.
+pub const LANES: usize = 8;
+
+/// A SIMD dispatch level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Plain Rust loops (also the `EA_SIMD=off` fallback).
+    Scalar,
+    /// AVX2 + FMA on x86_64.
+    Avx2,
+    /// NEON on aarch64.
+    Neon,
+}
+
+/// Human-readable level name (used by benches and BENCH_3.json).
+pub fn level_name(level: Level) -> &'static str {
+    match level {
+        Level::Scalar => "scalar",
+        Level::Avx2 => "avx2",
+        Level::Neon => "neon",
+    }
+}
+
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn neon_available() -> bool {
+    cfg!(target_arch = "aarch64")
+}
+
+/// Clamps a requested level to what the host actually supports.
+fn clamp_available(level: Level) -> Level {
+    match level {
+        Level::Avx2 if avx2_available() => Level::Avx2,
+        Level::Neon if neon_available() => Level::Neon,
+        Level::Scalar => Level::Scalar,
+        _ => Level::Scalar,
+    }
+}
+
+/// The level chosen from CPU detection and the `EA_SIMD` environment
+/// variable, parsed and logged once per process.
+pub fn detected_level() -> Level {
+    static DETECTED: OnceLock<Level> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let auto = if avx2_available() {
+            Level::Avx2
+        } else if neon_available() {
+            Level::Neon
+        } else {
+            Level::Scalar
+        };
+        match std::env::var("EA_SIMD") {
+            Ok(v) => {
+                let v = v.to_ascii_lowercase();
+                let requested = match v.as_str() {
+                    "off" | "0" | "scalar" => Level::Scalar,
+                    "avx2" => Level::Avx2,
+                    "neon" => Level::Neon,
+                    "" | "on" | "auto" => auto,
+                    other => {
+                        eprintln!("[ea-tensor] EA_SIMD={other:?} not recognized; using auto");
+                        auto
+                    }
+                };
+                let level = clamp_available(requested);
+                if level != requested {
+                    eprintln!(
+                        "[ea-tensor] EA_SIMD requested {} but it is unavailable; using {}",
+                        level_name(requested),
+                        level_name(level)
+                    );
+                } else {
+                    eprintln!("[ea-tensor] EA_SIMD={v}: simd level {}", level_name(level));
+                }
+                level
+            }
+            Err(_) => auto,
+        }
+    })
+}
+
+/// Process-global level override: 0 = none, else Level as u8 + 1.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Forces a dispatch level process-wide (benchmarks and property tests
+/// use this to compare levels in one process). `None` restores
+/// detection. Requests for an unavailable level clamp to scalar.
+pub fn force_level(level: Option<Level>) {
+    let code = match level.map(clamp_available) {
+        None => 0,
+        Some(Level::Scalar) => 1,
+        Some(Level::Avx2) => 2,
+        Some(Level::Neon) => 3,
+    };
+    FORCED.store(code, Relaxed);
+}
+
+/// The level kernels dispatch on right now.
+pub fn active_level() -> Level {
+    match FORCED.load(Relaxed) {
+        1 => Level::Scalar,
+        2 => Level::Avx2,
+        3 => Level::Neon,
+        _ => detected_level(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The lane abstraction.
+// ---------------------------------------------------------------------
+
+/// An 8-lane `f32` vector. All operations are per-lane IEEE-754 —
+/// correctly rounded and therefore identical across implementations.
+///
+/// Methods are `unsafe` because the ISA implementations are only sound
+/// when dispatch has verified the feature is present, and `load`/`store`
+/// trust the caller for bounds.
+#[allow(clippy::missing_safety_doc)]
+pub(crate) trait V: Copy {
+    unsafe fn zero() -> Self;
+    unsafe fn splat(x: f32) -> Self;
+    unsafe fn load(p: *const f32) -> Self;
+    unsafe fn store(self, p: *mut f32);
+    unsafe fn add(self, o: Self) -> Self;
+    unsafe fn sub(self, o: Self) -> Self;
+    unsafe fn mul(self, o: Self) -> Self;
+    unsafe fn div(self, o: Self) -> Self;
+    unsafe fn vsqrt(self) -> Self;
+    unsafe fn vmax(self, o: Self) -> Self;
+    /// Writes the lanes to an array (for the shared horizontal reducers).
+    unsafe fn to_array(self) -> [f32; LANES];
+}
+
+/// Horizontal max over lanes. Association-free for non-NaN values.
+#[inline(always)]
+fn hmax(lanes: [f32; LANES]) -> f32 {
+    lanes.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Fixed-shape horizontal sum: the same tree on every level, so lane
+/// reductions are deterministic and level-independent.
+#[inline(always)]
+fn hsum_tree(l: [f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Scalar reference lanes: a plain block of eight `f32`.
+#[derive(Clone, Copy)]
+pub(crate) struct S8([f32; LANES]);
+
+impl S8 {
+    #[inline(always)]
+    fn map2(self, o: Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        let mut out = [0.0; LANES];
+        for (dst, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&o.0)) {
+            *dst = f(*a, *b);
+        }
+        S8(out)
+    }
+}
+
+#[allow(clippy::missing_safety_doc)]
+impl V for S8 {
+    #[inline(always)]
+    unsafe fn zero() -> Self {
+        S8([0.0; LANES])
+    }
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self {
+        S8([x; LANES])
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self {
+        let mut out = [0.0; LANES];
+        std::ptr::copy_nonoverlapping(p, out.as_mut_ptr(), LANES);
+        S8(out)
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f32) {
+        std::ptr::copy_nonoverlapping(self.0.as_ptr(), p, LANES);
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        self.map2(o, |a, b| a + b)
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        self.map2(o, |a, b| a - b)
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        self.map2(o, |a, b| a * b)
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        self.map2(o, |a, b| a / b)
+    }
+    #[inline(always)]
+    unsafe fn vsqrt(self) -> Self {
+        let mut out = [0.0; LANES];
+        for (dst, a) in out.iter_mut().zip(&self.0) {
+            *dst = a.sqrt();
+        }
+        S8(out)
+    }
+    #[inline(always)]
+    unsafe fn vmax(self, o: Self) -> Self {
+        self.map2(o, f32::max)
+    }
+    #[inline(always)]
+    unsafe fn to_array(self) -> [f32; LANES] {
+        self.0
+    }
+}
+
+/// AVX2 lanes: one `__m256`.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{LANES, V};
+    use std::arch::x86_64::*;
+
+    #[derive(Clone, Copy)]
+    pub(crate) struct A8(__m256);
+
+    #[allow(clippy::missing_safety_doc)]
+    impl V for A8 {
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            A8(_mm256_setzero_ps())
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            A8(_mm256_set1_ps(x))
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            A8(_mm256_loadu_ps(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            _mm256_storeu_ps(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            A8(_mm256_add_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            A8(_mm256_sub_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            A8(_mm256_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            A8(_mm256_div_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vsqrt(self) -> Self {
+            A8(_mm256_sqrt_ps(self.0))
+        }
+        #[inline(always)]
+        unsafe fn vmax(self, o: Self) -> Self {
+            A8(_mm256_max_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn to_array(self) -> [f32; LANES] {
+            let mut out = [0.0; LANES];
+            _mm256_storeu_ps(out.as_mut_ptr(), self.0);
+            out
+        }
+    }
+}
+#[cfg(target_arch = "x86_64")]
+pub(crate) use avx2::A8;
+
+/// NEON lanes: a pair of `float32x4_t`.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{LANES, V};
+    use std::arch::aarch64::*;
+
+    #[derive(Clone, Copy)]
+    pub(crate) struct N8(float32x4_t, float32x4_t);
+
+    #[allow(clippy::missing_safety_doc)]
+    impl V for N8 {
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            N8(vdupq_n_f32(0.0), vdupq_n_f32(0.0))
+        }
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> Self {
+            N8(vdupq_n_f32(x), vdupq_n_f32(x))
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            N8(vld1q_f32(p), vld1q_f32(p.add(4)))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            vst1q_f32(p, self.0);
+            vst1q_f32(p.add(4), self.1);
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            N8(vaddq_f32(self.0, o.0), vaddq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            N8(vsubq_f32(self.0, o.0), vsubq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            N8(vmulq_f32(self.0, o.0), vmulq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            N8(vdivq_f32(self.0, o.0), vdivq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn vsqrt(self) -> Self {
+            N8(vsqrtq_f32(self.0), vsqrtq_f32(self.1))
+        }
+        #[inline(always)]
+        unsafe fn vmax(self, o: Self) -> Self {
+            N8(vmaxq_f32(self.0, o.0), vmaxq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn to_array(self) -> [f32; LANES] {
+            let mut out = [0.0; LANES];
+            vst1q_f32(out.as_mut_ptr(), self.0);
+            vst1q_f32(out.as_mut_ptr().add(4), self.1);
+            out
+        }
+    }
+}
+#[cfg(target_arch = "aarch64")]
+pub(crate) use neon::N8;
+
+/// Generates the `#[target_feature]` trampolines that monomorphize a
+/// generic kernel for each ISA. The feature attribute propagates into
+/// the `#[inline(always)]` generic body, so the whole kernel compiles
+/// with AVX2/NEON codegen enabled.
+macro_rules! trampolines {
+    ($imp:ident / $avx:ident / $neon:ident ($($arg:ident : $ty:ty),*) $(-> $ret:ty)?) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx($($arg: $ty),*) $(-> $ret)? {
+            $imp::<A8>($($arg),*)
+        }
+        #[cfg(target_arch = "aarch64")]
+        #[target_feature(enable = "neon")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $neon($($arg: $ty),*) $(-> $ret)? {
+            $imp::<N8>($($arg),*)
+        }
+    };
+}
+pub(crate) use trampolines;
+
+/// Dispatches a kernel call on [`active_level`]. Unavailable levels
+/// (e.g. `Neon` on x86) fall through to the scalar instantiation.
+macro_rules! dispatch_call {
+    ($imp:ident / $avx:ident / $neon:ident ($($arg:expr),*)) => {{
+        match $crate::simd::active_level() {
+            #[cfg(target_arch = "x86_64")]
+            $crate::simd::Level::Avx2 => unsafe { $avx($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            $crate::simd::Level::Neon => unsafe { $neon($($arg),*) },
+            _ => unsafe { $imp::<$crate::simd::S8>($($arg),*) },
+        }
+    }};
+}
+pub(crate) use dispatch_call;
+
+// ---------------------------------------------------------------------
+// Element-wise kernels. Each preserves the scalar per-element operation
+// order exactly; the tail loop is the literal scalar expression.
+// ---------------------------------------------------------------------
+
+/// `x[i] *= s`.
+pub fn scale(x: &mut [f32], s: f32) {
+    dispatch_call!(scale_impl / scale_avx2 / scale_neon(x, s))
+}
+#[inline(always)]
+unsafe fn scale_impl<Vv: V>(x: &mut [f32], s: f32) {
+    let n = x.len();
+    let main = n - n % LANES;
+    let sv = Vv::splat(s);
+    let p = x.as_mut_ptr();
+    let mut i = 0;
+    while i < main {
+        Vv::load(p.add(i)).mul(sv).store(p.add(i));
+        i += LANES;
+    }
+    for v in &mut x[main..] {
+        *v *= s;
+    }
+}
+trampolines!(scale_impl / scale_avx2 / scale_neon(x: &mut [f32], s: f32));
+
+/// `y[i] += s * x[i]` (axpy).
+pub fn axpy(y: &mut [f32], s: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    dispatch_call!(axpy_impl / axpy_avx2 / axpy_neon(y, s, x))
+}
+#[inline(always)]
+unsafe fn axpy_impl<Vv: V>(y: &mut [f32], s: f32, x: &[f32]) {
+    let n = y.len();
+    let main = n - n % LANES;
+    let sv = Vv::splat(s);
+    let yp = y.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i < main {
+        Vv::load(yp.add(i)).add(sv.mul(Vv::load(xp.add(i)))).store(yp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        y[i] += s * x[i];
+    }
+}
+trampolines!(axpy_impl / axpy_avx2 / axpy_neon(y: &mut [f32], s: f32, x: &[f32]));
+
+/// `y[i] += x[i]`.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_assign length mismatch");
+    dispatch_call!(add_assign_impl / add_assign_avx2 / add_assign_neon(y, x))
+}
+#[inline(always)]
+unsafe fn add_assign_impl<Vv: V>(y: &mut [f32], x: &[f32]) {
+    let n = y.len();
+    let main = n - n % LANES;
+    let yp = y.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i < main {
+        Vv::load(yp.add(i)).add(Vv::load(xp.add(i))).store(yp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        y[i] += x[i];
+    }
+}
+trampolines!(add_assign_impl / add_assign_avx2 / add_assign_neon(y: &mut [f32], x: &[f32]));
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add_slices(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    dispatch_call!(add_slices_impl / add_slices_avx2 / add_slices_neon(out, a, b))
+}
+#[inline(always)]
+unsafe fn add_slices_impl<Vv: V>(out: &mut [f32], a: &[f32], b: &[f32]) {
+    let n = out.len();
+    let main = n - n % LANES;
+    let op = out.as_mut_ptr();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i < main {
+        Vv::load(ap.add(i)).add(Vv::load(bp.add(i))).store(op.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        out[i] = a[i] + b[i];
+    }
+}
+trampolines!(add_slices_impl / add_slices_avx2 / add_slices_neon(out: &mut [f32], a: &[f32], b: &[f32]));
+
+/// `out[i] = a[i] - b[i]`.
+pub fn sub_slices(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    dispatch_call!(sub_slices_impl / sub_slices_avx2 / sub_slices_neon(out, a, b))
+}
+#[inline(always)]
+unsafe fn sub_slices_impl<Vv: V>(out: &mut [f32], a: &[f32], b: &[f32]) {
+    let n = out.len();
+    let main = n - n % LANES;
+    let op = out.as_mut_ptr();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i < main {
+        Vv::load(ap.add(i)).sub(Vv::load(bp.add(i))).store(op.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        out[i] = a[i] - b[i];
+    }
+}
+trampolines!(sub_slices_impl / sub_slices_avx2 / sub_slices_neon(out: &mut [f32], a: &[f32], b: &[f32]));
+
+/// `out[i] = a[i] * b[i]` (Hadamard).
+pub fn mul_slices(out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    dispatch_call!(mul_slices_impl / mul_slices_avx2 / mul_slices_neon(out, a, b))
+}
+#[inline(always)]
+unsafe fn mul_slices_impl<Vv: V>(out: &mut [f32], a: &[f32], b: &[f32]) {
+    let n = out.len();
+    let main = n - n % LANES;
+    let op = out.as_mut_ptr();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i < main {
+        Vv::load(ap.add(i)).mul(Vv::load(bp.add(i))).store(op.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        out[i] = a[i] * b[i];
+    }
+}
+trampolines!(mul_slices_impl / mul_slices_avx2 / mul_slices_neon(out: &mut [f32], a: &[f32], b: &[f32]));
+
+/// `x[i] -= c` (log-softmax normalization).
+pub fn sub_scalar(x: &mut [f32], c: f32) {
+    dispatch_call!(sub_scalar_impl / sub_scalar_avx2 / sub_scalar_neon(x, c))
+}
+#[inline(always)]
+unsafe fn sub_scalar_impl<Vv: V>(x: &mut [f32], c: f32) {
+    let n = x.len();
+    let main = n - n % LANES;
+    let cv = Vv::splat(c);
+    let p = x.as_mut_ptr();
+    let mut i = 0;
+    while i < main {
+        Vv::load(p.add(i)).sub(cv).store(p.add(i));
+        i += LANES;
+    }
+    for v in &mut x[main..] {
+        *v -= c;
+    }
+}
+trampolines!(sub_scalar_impl / sub_scalar_avx2 / sub_scalar_neon(x: &mut [f32], c: f32));
+
+// ---------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------
+
+/// Maximum element (`NEG_INFINITY` for an empty slice). Equal to the
+/// sequential fold for non-NaN data; rows containing NaN are
+/// unspecified (as they already were for the downstream softmax).
+pub fn max_value(x: &[f32]) -> f32 {
+    dispatch_call!(max_value_impl / max_value_avx2 / max_value_neon(x))
+}
+#[inline(always)]
+unsafe fn max_value_impl<Vv: V>(x: &[f32]) -> f32 {
+    let n = x.len();
+    let main = n - n % LANES;
+    let mut m = f32::NEG_INFINITY;
+    if main > 0 {
+        let p = x.as_ptr();
+        let mut acc = Vv::load(p);
+        let mut i = LANES;
+        while i < main {
+            acc = acc.vmax(Vv::load(p.add(i)));
+            i += LANES;
+        }
+        m = hmax(acc.to_array());
+    }
+    for &v in &x[main..] {
+        m = m.max(v);
+    }
+    m
+}
+trampolines!(max_value_impl / max_value_avx2 / max_value_neon(x: &[f32]) -> f32);
+
+/// Lane-blocked sum: eight independent accumulators combined by a fixed
+/// tree, then the tail added sequentially. Deterministic and identical
+/// on every level, but *not* equal to a sequential left-to-right sum —
+/// only used where DESIGN.md §13 allows reassociation.
+pub fn sum_f32(x: &[f32]) -> f32 {
+    dispatch_call!(sum_f32_impl / sum_f32_avx2 / sum_f32_neon(x))
+}
+#[inline(always)]
+unsafe fn sum_f32_impl<Vv: V>(x: &[f32]) -> f32 {
+    let n = x.len();
+    let main = n - n % LANES;
+    let p = x.as_ptr();
+    let mut acc = Vv::zero();
+    let mut i = 0;
+    while i < main {
+        acc = acc.add(Vv::load(p.add(i)));
+        i += LANES;
+    }
+    let mut sum = hsum_tree(acc.to_array());
+    for &v in &x[main..] {
+        sum += v;
+    }
+    sum
+}
+trampolines!(sum_f32_impl / sum_f32_avx2 / sum_f32_neon(x: &[f32]) -> f32);
+
+/// Lane-blocked sum of squares (gradient-norm kernel). Same reduction
+/// shape caveats as [`sum_f32`].
+pub fn sum_squares(x: &[f32]) -> f32 {
+    dispatch_call!(sum_squares_impl / sum_squares_avx2 / sum_squares_neon(x))
+}
+#[inline(always)]
+unsafe fn sum_squares_impl<Vv: V>(x: &[f32]) -> f32 {
+    let n = x.len();
+    let main = n - n % LANES;
+    let p = x.as_ptr();
+    let mut acc = Vv::zero();
+    let mut i = 0;
+    while i < main {
+        let v = Vv::load(p.add(i));
+        acc = acc.add(v.mul(v));
+        i += LANES;
+    }
+    let mut sum = hsum_tree(acc.to_array());
+    for &v in &x[main..] {
+        sum += v * v;
+    }
+    sum
+}
+trampolines!(sum_squares_impl / sum_squares_avx2 / sum_squares_neon(x: &[f32]) -> f32);
+
+// ---------------------------------------------------------------------
+// Optimizer / elastic-averaging kernels. Per-parameter lanes are fully
+// independent, so these are bit-identical to the scalar loops they
+// replace (see the module docs for the div/sqrt argument).
+// ---------------------------------------------------------------------
+
+/// SGD: `p[i] -= lr * g[i]`.
+pub fn sgd_step(p: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(p.len(), g.len());
+    dispatch_call!(sgd_impl / sgd_avx2 / sgd_neon(p, g, lr))
+}
+#[inline(always)]
+unsafe fn sgd_impl<Vv: V>(p: &mut [f32], g: &[f32], lr: f32) {
+    let n = p.len();
+    let main = n - n % LANES;
+    let lrv = Vv::splat(lr);
+    let pp = p.as_mut_ptr();
+    let gp = g.as_ptr();
+    let mut i = 0;
+    while i < main {
+        Vv::load(pp.add(i)).sub(lrv.mul(Vv::load(gp.add(i)))).store(pp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        p[i] -= lr * g[i];
+    }
+}
+trampolines!(sgd_impl / sgd_avx2 / sgd_neon(p: &mut [f32], g: &[f32], lr: f32));
+
+/// Momentum: `v = beta*v + g; p -= lr*v`.
+pub fn momentum_step(p: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, beta: f32) {
+    assert_eq!(p.len(), g.len());
+    assert_eq!(p.len(), v.len());
+    dispatch_call!(momentum_impl / momentum_avx2 / momentum_neon(p, v, g, lr, beta))
+}
+#[inline(always)]
+unsafe fn momentum_impl<Vv: V>(p: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, beta: f32) {
+    let n = p.len();
+    let main = n - n % LANES;
+    let lrv = Vv::splat(lr);
+    let betav = Vv::splat(beta);
+    let pp = p.as_mut_ptr();
+    let vp = v.as_mut_ptr();
+    let gp = g.as_ptr();
+    let mut i = 0;
+    while i < main {
+        let vel = betav.mul(Vv::load(vp.add(i))).add(Vv::load(gp.add(i)));
+        vel.store(vp.add(i));
+        Vv::load(pp.add(i)).sub(lrv.mul(vel)).store(pp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        v[i] = beta * v[i] + g[i];
+        p[i] -= lr * v[i];
+    }
+}
+trampolines!(momentum_impl / momentum_avx2 / momentum_neon(p: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, beta: f32));
+
+/// Adam inner loop with precomputed bias corrections `bc1`/`bc2`:
+/// `m = b1*m + (1-b1)*g; v = b2*v + ((1-b2)*g)*g;`
+/// `p -= lr*(m/bc1) / (sqrt(v/bc2) + eps)` — the exact scalar
+/// expression order, including the left-associated `(1-b2)*g*g`.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step(
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    assert_eq!(p.len(), g.len());
+    assert_eq!(p.len(), m.len());
+    assert_eq!(p.len(), v.len());
+    dispatch_call!(adam_impl / adam_avx2 / adam_neon(p, m, v, g, lr, beta1, beta2, eps, bc1, bc2))
+}
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn adam_impl<Vv: V>(
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    let n = p.len();
+    let main = n - n % LANES;
+    let (c1, c2) = (1.0 - beta1, 1.0 - beta2);
+    let b1v = Vv::splat(beta1);
+    let b2v = Vv::splat(beta2);
+    let c1v = Vv::splat(c1);
+    let c2v = Vv::splat(c2);
+    let lrv = Vv::splat(lr);
+    let epsv = Vv::splat(eps);
+    let bc1v = Vv::splat(bc1);
+    let bc2v = Vv::splat(bc2);
+    let pp = p.as_mut_ptr();
+    let mp = m.as_mut_ptr();
+    let vp = v.as_mut_ptr();
+    let gp = g.as_ptr();
+    let mut i = 0;
+    while i < main {
+        let gv = Vv::load(gp.add(i));
+        let mv = b1v.mul(Vv::load(mp.add(i))).add(c1v.mul(gv));
+        mv.store(mp.add(i));
+        let vv = b2v.mul(Vv::load(vp.add(i))).add(c2v.mul(gv).mul(gv));
+        vv.store(vp.add(i));
+        let mhat = mv.div(bc1v);
+        let vhat = vv.div(bc2v);
+        let step = lrv.mul(mhat).div(vhat.vsqrt().add(epsv));
+        Vv::load(pp.add(i)).sub(step).store(pp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        let gi = g[i];
+        m[i] = beta1 * m[i] + c1 * gi;
+        v[i] = beta2 * v[i] + c2 * gi * gi;
+        let mhat = m[i] / bc1;
+        let vhat = v[i] / bc2;
+        p[i] -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+trampolines!(adam_impl / adam_avx2 / adam_neon(p: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, beta1: f32, beta2: f32, eps: f32, bc1: f32, bc2: f32));
+
+/// Polyak averaging: `avg[i] += w * (p[i] - avg[i])`.
+pub fn asgd_avg_update(avg: &mut [f32], p: &[f32], w: f32) {
+    assert_eq!(avg.len(), p.len());
+    dispatch_call!(asgd_avg_impl / asgd_avg_avx2 / asgd_avg_neon(avg, p, w))
+}
+#[inline(always)]
+unsafe fn asgd_avg_impl<Vv: V>(avg: &mut [f32], p: &[f32], w: f32) {
+    let n = avg.len();
+    let main = n - n % LANES;
+    let wv = Vv::splat(w);
+    let ap = avg.as_mut_ptr();
+    let pp = p.as_ptr();
+    let mut i = 0;
+    while i < main {
+        let av = Vv::load(ap.add(i));
+        av.add(wv.mul(Vv::load(pp.add(i)).sub(av))).store(ap.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        avg[i] += w * (p[i] - avg[i]);
+    }
+}
+trampolines!(asgd_avg_impl / asgd_avg_avx2 / asgd_avg_neon(avg: &mut [f32], p: &[f32], w: f32));
+
+/// Elastic pull (paper Step ❷): `w = (1-alpha)*w + alpha*r`.
+pub fn elastic_pull(w: &mut [f32], r: &[f32], alpha: f32) {
+    assert_eq!(w.len(), r.len());
+    dispatch_call!(pull_impl / pull_avx2 / pull_neon(w, r, alpha))
+}
+#[inline(always)]
+unsafe fn pull_impl<Vv: V>(w: &mut [f32], r: &[f32], alpha: f32) {
+    let n = w.len();
+    let main = n - n % LANES;
+    let keep = 1.0 - alpha;
+    let keepv = Vv::splat(keep);
+    let alphav = Vv::splat(alpha);
+    let wp = w.as_mut_ptr();
+    let rp = r.as_ptr();
+    let mut i = 0;
+    while i < main {
+        keepv.mul(Vv::load(wp.add(i))).add(alphav.mul(Vv::load(rp.add(i)))).store(wp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        w[i] = keep * w[i] + alpha * r[i];
+    }
+}
+trampolines!(pull_impl / pull_avx2 / pull_neon(w: &mut [f32], r: &[f32], alpha: f32));
+
+/// The fused round tail (paper Steps ❷–❸ after the optimizer step):
+/// `d = w - d` (Δ against the pre-step snapshot held in `d`) and
+/// `w = (1-alpha)*w + alpha*r`, in one pass.
+pub fn delta_pull(w: &mut [f32], d: &mut [f32], r: &[f32], alpha: f32) {
+    assert_eq!(w.len(), d.len());
+    assert_eq!(w.len(), r.len());
+    dispatch_call!(delta_pull_impl / delta_pull_avx2 / delta_pull_neon(w, d, r, alpha))
+}
+#[inline(always)]
+unsafe fn delta_pull_impl<Vv: V>(w: &mut [f32], d: &mut [f32], r: &[f32], alpha: f32) {
+    let n = w.len();
+    let main = n - n % LANES;
+    let keep = 1.0 - alpha;
+    let keepv = Vv::splat(keep);
+    let alphav = Vv::splat(alpha);
+    let wp = w.as_mut_ptr();
+    let dp = d.as_mut_ptr();
+    let rp = r.as_ptr();
+    let mut i = 0;
+    while i < main {
+        let wv = Vv::load(wp.add(i));
+        wv.sub(Vv::load(dp.add(i))).store(dp.add(i));
+        keepv.mul(wv).add(alphav.mul(Vv::load(rp.add(i)))).store(wp.add(i));
+        i += LANES;
+    }
+    for i in main..n {
+        let w_new = w[i];
+        d[i] = w_new - d[i];
+        w[i] = keep * w_new + alpha * r[i];
+    }
+}
+trampolines!(delta_pull_impl / delta_pull_avx2 / delta_pull_neon(w: &mut [f32], d: &mut [f32], r: &[f32], alpha: f32));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` once forced-scalar and once on the detected level,
+    /// returning both results. On hosts without SIMD the two coincide
+    /// and the comparison is trivially true.
+    fn on_both<R>(f: impl Fn() -> R) -> (R, R) {
+        force_level(Some(Level::Scalar));
+        let a = f();
+        force_level(None);
+        let b = f();
+        force_level(None);
+        (a, b)
+    }
+
+    fn data(n: usize, seed: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37 + seed).sin() * 1.7).collect()
+    }
+
+    #[test]
+    fn levels_are_clamped_to_availability() {
+        force_level(Some(Level::Avx2));
+        let l = active_level();
+        assert!(l == Level::Avx2 && avx2_available() || l == Level::Scalar);
+        force_level(None);
+        assert_eq!(active_level(), detected_level());
+    }
+
+    #[test]
+    fn elementwise_kernels_match_across_levels() {
+        // Lengths straddling the lane width, incl. 0 and a tail-only case.
+        for n in [0usize, 1, 7, 8, 9, 64, 137] {
+            let (a, b) = on_both(|| {
+                let mut x = data(n, 0.1);
+                let y = data(n, 0.5);
+                scale(&mut x, 1.25);
+                axpy(&mut x, -0.5, &y);
+                add_assign(&mut x, &y);
+                sub_scalar(&mut x, 0.75);
+                let mut out = vec![0.0; n];
+                add_slices(&mut out, &x, &y);
+                sub_slices(&mut out, &x, &y);
+                mul_slices(&mut out, &x, &y);
+                (x, out)
+            });
+            assert_eq!(bits(&a.0), bits(&b.0), "n={n}");
+            assert_eq!(bits(&a.1), bits(&b.1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reductions_match_across_levels() {
+        for n in [0usize, 1, 5, 8, 13, 256] {
+            let (a, b) = on_both(|| {
+                let x = data(n, 0.3);
+                (max_value(&x), sum_f32(&x), sum_squares(&x))
+            });
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "max n={n}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "sum n={n}");
+            assert_eq!(a.2.to_bits(), b.2.to_bits(), "sumsq n={n}");
+        }
+    }
+
+    #[test]
+    fn max_value_matches_sequential_fold() {
+        let x = data(117, 0.9);
+        let seq = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(max_value(&x).to_bits(), seq.to_bits());
+        assert_eq!(max_value(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn optimizer_kernels_match_across_levels() {
+        for n in [3usize, 8, 67] {
+            let (a, b) = on_both(|| {
+                let g = data(n, 0.2);
+                let mut p = data(n, 0.4);
+                let mut vel = vec![0.0; n];
+                let mut m = vec![0.0; n];
+                let mut v = vec![0.0; n];
+                let mut avg = data(n, 0.6);
+                sgd_step(&mut p, &g, 0.1);
+                momentum_step(&mut p, &mut vel, &g, 0.05, 0.9);
+                adam_step(&mut p, &mut m, &mut v, &g, 1e-3, 0.9, 0.999, 1e-8, 0.1, 0.001);
+                asgd_avg_update(&mut avg, &p, 0.25);
+                let mut d = data(n, 0.7);
+                let r = data(n, 0.8);
+                elastic_pull(&mut p, &r, 0.25);
+                delta_pull(&mut p, &mut d, &r, 0.25);
+                (p, m, v, avg, d)
+            });
+            assert_eq!(bits(&a.0), bits(&b.0), "p n={n}");
+            assert_eq!(bits(&a.1), bits(&b.1), "m n={n}");
+            assert_eq!(bits(&a.2), bits(&b.2), "v n={n}");
+            assert_eq!(bits(&a.3), bits(&b.3), "avg n={n}");
+            assert_eq!(bits(&a.4), bits(&b.4), "d n={n}");
+        }
+    }
+
+    fn bits(x: &[f32]) -> Vec<u32> {
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+}

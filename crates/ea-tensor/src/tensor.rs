@@ -1,6 +1,6 @@
 //! The dense tensor type.
 
-use crate::{pool, Shape};
+use crate::{pool, simd, Shape};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -214,38 +214,46 @@ impl Tensor {
 
     /// Element-wise sum.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a + b)
+        assert_eq!(self.shape, other.shape, "add requires identical shapes");
+        let mut out = Tensor::uninit(self.dims());
+        simd::add_slices(out.buf_mut(), &self.data, &other.data);
+        out
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a - b)
+        assert_eq!(self.shape, other.shape, "sub requires identical shapes");
+        let mut out = Tensor::uninit(self.dims());
+        simd::sub_slices(out.buf_mut(), &self.data, &other.data);
+        out
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a * b)
+        assert_eq!(self.shape, other.shape, "mul requires identical shapes");
+        let mut out = Tensor::uninit(self.dims());
+        simd::mul_slices(out.buf_mut(), &self.data, &other.data);
+        out
     }
 
     /// Scales every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        let mut out = Tensor::uninit(self.dims());
+        out.buf_mut().copy_from_slice(&self.data);
+        simd::scale(out.buf_mut(), s);
+        out
     }
 
     /// `self += other` in place.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign requires identical shapes");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        simd::add_assign(self.data_mut(), &other.data);
     }
 
     /// `self += s * other` in place (axpy).
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy requires identical shapes");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
-            *a += s * b;
-        }
+        simd::axpy(self.data_mut(), s, &other.data);
     }
 
     /// In-place variant of [`Tensor::add_row_broadcast`].
@@ -254,9 +262,7 @@ impl Tensor {
         assert_eq!(row.numel(), c, "broadcast row length must equal columns");
         let buf = self.data_mut();
         for i in 0..r {
-            for j in 0..c {
-                buf[i * c + j] += row.data[j];
-            }
+            simd::add_assign(&mut buf[i * c..(i + 1) * c], &row.data);
         }
     }
 
@@ -268,9 +274,11 @@ impl Tensor {
         let mut out = Tensor::uninit(self.dims());
         let buf = out.buf_mut();
         for i in 0..r {
-            for j in 0..c {
-                buf[i * c + j] = self.data[i * c + j] + row.data[j];
-            }
+            simd::add_slices(
+                &mut buf[i * c..(i + 1) * c],
+                &self.data[i * c..(i + 1) * c],
+                &row.data,
+            );
         }
         out
     }

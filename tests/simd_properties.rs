@@ -1,0 +1,283 @@
+//! Property-based tests of the SIMD kernel layer (DESIGN.md §13): every
+//! vectorized kernel must produce results bit-identical to the forced
+//! scalar path — or, for the explicitly reassociated reductions, results
+//! that are level-independent by construction — across hostile shapes:
+//! zero dimensions, 1-row/1-column matrices, and lengths that are not a
+//! multiple of the 8-wide lane count.
+
+use ea_tensor::{
+    col_sums, log_softmax_rows_into, matmul_a_bt_into, matmul_at_b_into, matmul_into, row_sums,
+    simd, softmax_rows_into, Tensor,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `force_level` is process-global, so comparisons must not interleave
+/// across test threads.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Resets the forced dispatch level even if an assertion unwinds.
+struct ForceGuard;
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        simd::force_level(None);
+    }
+}
+
+/// Runs `f` once under forced-scalar dispatch and once under the
+/// auto-detected level, returning both results for comparison.
+fn on_both_levels<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let _lock = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = ForceGuard;
+    simd::force_level(Some(simd::Level::Scalar));
+    let scalar = f();
+    simd::force_level(None);
+    let vector = f();
+    (scalar, vector)
+}
+
+#[track_caller]
+fn assert_bits_eq(scalar: &[f32], vector: &[f32]) {
+    assert_eq!(scalar.len(), vector.len());
+    for (i, (a, b)) in scalar.iter().zip(vector).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "element {i} differs: scalar {a} vs vector {b}");
+    }
+}
+
+/// Lengths that straddle every lane-handling edge: empty, sub-lane,
+/// exact-lane, lane+1, and larger non-multiples of 8.
+const LENS: [usize; 14] = [0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 137];
+
+/// Matrix dims covering zero, one (single row / single column), and the
+/// microkernel's MR=4 / NR=16 block edges.
+const DIMS: [usize; 10] = [0, 1, 2, 3, 4, 5, 15, 16, 17, 31];
+
+fn len_strategy() -> impl Strategy<Value = usize> {
+    (0usize..LENS.len()).prop_map(|i| LENS[i])
+}
+
+fn dim_strategy() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Deterministic pseudo-random fill in [-3, 3): SplitMix64 stream keyed by
+/// `seed`, so each proptest case gets fresh data at any length.
+fn fill(seed: u64, n: usize) -> Vec<f32> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 6.0 - 3.0
+        })
+        .collect()
+}
+
+fn mat(seed: u64, r: usize, c: usize) -> Tensor {
+    Tensor::from_vec(fill(seed, r * c), &[r, c])
+}
+
+/// A hostile output tensor (wrong shape, NaN contents) that the `_into`
+/// kernels must fully overwrite.
+fn dirty_out() -> Tensor {
+    Tensor::from_vec(vec![f32::NAN; 3], &[3])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn elementwise_kernels_match_scalar(n in len_strategy(), seed in 0u64..u64::MAX, s in -2.0f32..2.0) {
+        let a = fill(seed, n);
+        let b = fill(seed ^ 0x5555_5555, n);
+        let (sc, ve) = on_both_levels(|| {
+            let mut x = a.clone();
+            let mut y = b.clone();
+            let mut out = vec![f32::NAN; n];
+            simd::scale(&mut x, s);
+            simd::axpy(&mut y, s, &a);
+            simd::add_assign(&mut y, &a);
+            simd::add_slices(&mut out, &x, &y);
+            simd::sub_slices(&mut x, &out, &b);
+            simd::mul_slices(&mut y, &x, &out);
+            simd::sub_scalar(&mut y, s);
+            (x, y, out)
+        });
+        assert_bits_eq(&sc.0, &ve.0);
+        assert_bits_eq(&sc.1, &ve.1);
+        assert_bits_eq(&sc.2, &ve.2);
+    }
+
+    #[test]
+    fn reductions_are_level_independent(n in len_strategy(), seed in 0u64..u64::MAX) {
+        // sum_f32 / sum_squares use the fixed lane-blocked tree at every
+        // level, so even these reassociated reductions must agree exactly.
+        let x = fill(seed, n);
+        let (sc, ve) = on_both_levels(|| {
+            (simd::sum_f32(&x), simd::sum_squares(&x), simd::max_value(&x))
+        });
+        prop_assert_eq!(sc.0.to_bits(), ve.0.to_bits());
+        prop_assert_eq!(sc.1.to_bits(), ve.1.to_bits());
+        prop_assert_eq!(sc.2.to_bits(), ve.2.to_bits());
+    }
+
+    #[test]
+    fn optimizer_kernels_match_scalar(n in len_strategy(), seed in 0u64..u64::MAX, lr in 1e-4f32..0.5) {
+        let p0 = fill(seed, n);
+        let g = fill(seed ^ 0xAAAA, n);
+        let m0 = fill(seed ^ 0xBBBB, n);
+        let v0: Vec<f32> = fill(seed ^ 0xCCCC, n).iter().map(|v| v.abs()).collect();
+        let (sc, ve) = on_both_levels(|| {
+            let mut p_sgd = p0.clone();
+            simd::sgd_step(&mut p_sgd, &g, lr);
+            let mut p_mom = p0.clone();
+            let mut vel = m0.clone();
+            simd::momentum_step(&mut p_mom, &mut vel, &g, lr, 0.9);
+            let mut p_adam = p0.clone();
+            let mut m = m0.clone();
+            let mut v = v0.clone();
+            simd::adam_step(&mut p_adam, &mut m, &mut v, &g, lr, 0.9, 0.999, 1e-8, 0.1, 0.001);
+            let mut avg = m0.clone();
+            simd::asgd_avg_update(&mut avg, &p0, 0.25);
+            (p_sgd, p_mom, vel, p_adam, m, v, avg)
+        });
+        assert_bits_eq(&sc.0, &ve.0);
+        assert_bits_eq(&sc.1, &ve.1);
+        assert_bits_eq(&sc.2, &ve.2);
+        assert_bits_eq(&sc.3, &ve.3);
+        assert_bits_eq(&sc.4, &ve.4);
+        assert_bits_eq(&sc.5, &ve.5);
+        assert_bits_eq(&sc.6, &ve.6);
+    }
+
+    #[test]
+    fn elastic_kernels_match_scalar(n in len_strategy(), seed in 0u64..u64::MAX, alpha in 0.0f32..1.0) {
+        let w0 = fill(seed, n);
+        let d0 = fill(seed ^ 0x1111, n);
+        let r = fill(seed ^ 0x2222, n);
+        let (sc, ve) = on_both_levels(|| {
+            let mut w = w0.clone();
+            simd::elastic_pull(&mut w, &r, alpha);
+            let mut wf = w0.clone();
+            let mut d = d0.clone();
+            simd::delta_pull(&mut wf, &mut d, &r, alpha);
+            (w, wf, d)
+        });
+        assert_bits_eq(&sc.0, &ve.0);
+        assert_bits_eq(&sc.1, &ve.1);
+        assert_bits_eq(&sc.2, &ve.2);
+    }
+
+    #[test]
+    fn matmul_matches_scalar(m in dim_strategy(), k in dim_strategy(), n in dim_strategy(), seed in 0u64..u64::MAX) {
+        let a = mat(seed, m, k);
+        let b = mat(seed ^ 0x3333, k, n);
+        let (sc, ve) = on_both_levels(|| {
+            let mut out = dirty_out();
+            matmul_into(&a, &b, &mut out);
+            out.data().to_vec()
+        });
+        assert_bits_eq(&sc, &ve);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_match_scalar(m in dim_strategy(), k in dim_strategy(), n in dim_strategy(), seed in 0u64..u64::MAX) {
+        // A zero dim makes `Shape::as_matrix` collapse [r, 0] to (0, 0),
+        // which the kernels' own shape asserts reject for mixed-transpose
+        // operands; zero-dim coverage lives in `matmul_matches_scalar`.
+        prop_assume!(m > 0 && k > 0 && n > 0);
+        let a = mat(seed, m, k);
+        let w = mat(seed ^ 0x4444, k, n);
+        let c = mat(seed ^ 0x6666, m, n);
+        let (sc, ve) = on_both_levels(|| {
+            // dx = dy · Wᵀ and dw = Aᵀ · dy: the two backward kernels.
+            let mut dx = dirty_out();
+            matmul_a_bt_into(&c, &w, &mut dx);
+            let mut dw = dirty_out();
+            matmul_at_b_into(&a, &c, &mut dw);
+            (dx.data().to_vec(), dw.data().to_vec())
+        });
+        assert_bits_eq(&sc.0, &ve.0);
+        assert_bits_eq(&sc.1, &ve.1);
+    }
+
+    #[test]
+    fn softmax_and_sums_match_scalar(r in dim_strategy(), c in dim_strategy(), seed in 0u64..u64::MAX) {
+        let t = mat(seed, r, c);
+        let (sc, ve) = on_both_levels(|| {
+            let mut sm = dirty_out();
+            softmax_rows_into(&t, &mut sm);
+            let mut lsm = dirty_out();
+            log_softmax_rows_into(&t, &mut lsm);
+            (
+                sm.data().to_vec(),
+                lsm.data().to_vec(),
+                row_sums(&t).data().to_vec(),
+                col_sums(&t).data().to_vec(),
+            )
+        });
+        assert_bits_eq(&sc.0, &ve.0);
+        assert_bits_eq(&sc.1, &ve.1);
+        assert_bits_eq(&sc.2, &ve.2);
+        assert_bits_eq(&sc.3, &ve.3);
+    }
+}
+
+/// Fixed regression shapes: the microkernel's partial-tile paths (1-row,
+/// 1-col, sub-NR right edge, k = 0) must all agree with scalar exactly.
+#[test]
+fn matmul_partial_tiles_match_scalar() {
+    for (m, k, n) in [
+        (1usize, 1usize, 1usize),
+        (1, 8, 16),
+        (4, 0, 16), // k = 0: output must be all zeros at every level
+        (0, 5, 7),
+        (5, 3, 1),
+        (3, 17, 15),
+        (4, 4, 33),
+        (7, 9, 31),
+    ] {
+        let a = mat(m as u64 * 31 + k as u64, m, k);
+        let b = mat(k as u64 * 17 + n as u64, k, n);
+        let (sc, ve) = on_both_levels(|| {
+            let mut out = dirty_out();
+            matmul_into(&a, &b, &mut out);
+            out.data().to_vec()
+        });
+        assert_eq!(
+            sc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ve.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "shape ({m},{k},{n}) diverged"
+        );
+        if k == 0 {
+            assert!(ve.iter().all(|&v| v == 0.0), "k=0 must produce zeros");
+        }
+    }
+}
+
+/// Zero-skip semantics: sparse A rows must take the same skip branches at
+/// every level (matmul and at_b skip zero A elements; a_bt does not).
+#[test]
+fn matmul_zero_skip_matches_scalar() {
+    let m = 6;
+    let k = 11;
+    let n = 19;
+    let mut adata = fill(7, m * k);
+    for (i, v) in adata.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0.0;
+        }
+    }
+    let a = Tensor::from_vec(adata, &[m, k]);
+    let b = mat(11, k, n);
+    let (sc, ve) = on_both_levels(|| {
+        let mut out = dirty_out();
+        matmul_into(&a, &b, &mut out);
+        out.data().to_vec()
+    });
+    assert_bits_eq(&sc, &ve);
+}
