@@ -30,6 +30,17 @@ pub struct ServerInfo {
     pub n_pipelines: usize,
 }
 
+/// Live-membership view reported by a heartbeat acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuorumInfo {
+    /// Newest completed round on the server (max shard version).
+    pub round: u64,
+    /// Number of pipelines currently holding a live lease.
+    pub quorum: u32,
+    /// Bitmask of live pipeline ids (bit `i` = pipeline `i` live).
+    pub members: u64,
+}
+
 /// One pipeline's connection to the reference-shard server.
 ///
 /// Every request is retried up to `max_attempts` times: requests are
@@ -85,13 +96,20 @@ impl ShardClient {
         self.conn.stats()
     }
 
-    /// Step ❷: fetches shard `shard`'s reference weights at exactly
-    /// `version` completed rounds.
+    /// Step ❷: fetches shard `shard`'s reference weights at *at least*
+    /// `version` completed rounds. In fault-free operation the reply is
+    /// always exactly `version` (a round cannot complete without this
+    /// pipeline's delta, so the reference cannot run ahead of it); a
+    /// newer reply only occurs for a freshly rejoined pipeline racing a
+    /// round that completed without it — rejecting those would strand
+    /// the rejoiner retransmitting against a reference that has already
+    /// moved on. Replies older than `version` are stale retransmissions
+    /// and are still discarded.
     pub fn pull(&mut self, shard: usize, version: u64) -> Result<Vec<f32>, CommsError> {
         let req = Message::PullRequest { shard: shard as u32, version };
         let reply = request(&mut *self.conn, &self.retry, req, "PullRequest", |m| {
             matches!(m, Message::PullReply { shard: s, version: v, .. }
-                if *s == shard as u32 && *v == version)
+                if *s == shard as u32 && *v >= version)
         })?;
         let Message::PullReply { weights, .. } = reply else { unreachable!() };
         Ok(weights)
@@ -107,6 +125,55 @@ impl ShardClient {
                 if *s == shard as u32 && *r == round && *p == pipe)
         })?;
         Ok(())
+    }
+
+    /// Fetches shard `shard`'s *newest* reference weights, whatever round
+    /// the server has reached. Used by a rejoining worker to resynchronize.
+    pub fn pull_latest(&mut self, shard: usize) -> Result<(u64, Vec<f32>), CommsError> {
+        let req = Message::PullRequest { shard: shard as u32, version: u64::MAX };
+        let reply = request(
+            &mut *self.conn,
+            &self.retry,
+            req,
+            "PullRequest(latest)",
+            |m| matches!(m, Message::PullReply { shard: s, .. } if *s == shard as u32),
+        )?;
+        let Message::PullReply { version, weights, .. } = reply else { unreachable!() };
+        Ok((version, weights))
+    }
+
+    /// Renews this pipeline's lease and returns the server's live-quorum
+    /// view. `round` is advisory (the worker's current round, for logs).
+    pub fn heartbeat(&mut self, round: u64) -> Result<QuorumInfo, CommsError> {
+        let pipe = self.pipe as u32;
+        let req = Message::Heartbeat { pipe, round };
+        let reply = request(
+            &mut *self.conn,
+            &self.retry,
+            req,
+            "Heartbeat",
+            |m| matches!(m, Message::HeartbeatAck { pipe: p, .. } if *p == pipe),
+        )?;
+        let Message::HeartbeatAck { round, quorum, members, .. } = reply else { unreachable!() };
+        Ok(QuorumInfo { round, quorum, members })
+    }
+
+    /// Asks the server for the recorded membership of `(shard, round)`.
+    /// Returns `None` when the record has been evicted or not yet written.
+    pub fn round_info(
+        &mut self,
+        shard: usize,
+        round: u64,
+    ) -> Result<Option<QuorumInfo>, CommsError> {
+        let req = Message::RoundInfoRequest { shard: shard as u32, round };
+        let reply = request(&mut *self.conn, &self.retry, req, "RoundInfoRequest", |m| {
+            matches!(m, Message::RoundInfoReply { shard: s, round: r, .. }
+                if *s == shard as u32 && *r == round)
+        })?;
+        let Message::RoundInfoReply { round, quorum, members, known, .. } = reply else {
+            unreachable!()
+        };
+        Ok(known.then_some(QuorumInfo { round, quorum, members }))
     }
 }
 
@@ -173,6 +240,15 @@ pub trait ShardChannel: Send + Sync {
         round: u64,
         delta: Vec<f32>,
     ) -> Result<(), CommsError>;
+
+    /// Newest `(version, weights)` of `shard`, whatever round the backend
+    /// has reached. Used by a rejoining worker to resynchronize.
+    fn pull_latest(&self, pipe: usize, shard: usize) -> Result<(u64, Vec<f32>), CommsError>;
+
+    /// Renews pipeline `pipe`'s membership lease and reports the live
+    /// quorum. In-process backends have no leases: they report a full
+    /// quorum of `n_pipelines` members, all live.
+    fn heartbeat(&self, pipe: usize, round: u64) -> Result<QuorumInfo, CommsError>;
 }
 
 /// [`ShardChannel`] over per-pipeline [`ShardClient`] connections.
@@ -221,6 +297,14 @@ impl ShardChannel for RemoteShards {
         delta: Vec<f32>,
     ) -> Result<(), CommsError> {
         self.client(pipe)?.submit(shard, round, delta)
+    }
+
+    fn pull_latest(&self, pipe: usize, shard: usize) -> Result<(u64, Vec<f32>), CommsError> {
+        self.client(pipe)?.pull_latest(shard)
+    }
+
+    fn heartbeat(&self, pipe: usize, round: u64) -> Result<QuorumInfo, CommsError> {
+        self.client(pipe)?.heartbeat(round)
     }
 }
 

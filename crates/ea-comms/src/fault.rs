@@ -7,6 +7,14 @@
 //! protocol must survive is identical: a request or its reply never
 //! arrives, a retry fires, and idempotent handling must keep training
 //! byte-identical.
+//!
+//! On top of the probabilistic faults, [`ChaosConfig`] adds *scheduled*
+//! failures keyed to the elastic round the wrapped connection is working
+//! on (tracked from outgoing [`Message::SubmitDelta`] frames): crash the
+//! connection permanently at round K, stall it for a fixed duration, or
+//! partition it (drop everything, both directions) for a round interval.
+//! These model whole-worker death, GC/OS pauses, and network partitions
+//! for the fault-tolerance end-to-end tests and the `chaos_demo` example.
 
 use crate::transport::{CommsError, Transport, TransportStats};
 use crate::wire::Message;
@@ -48,14 +56,60 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Messages sent twice.
     pub duplicated: u64,
+    /// Messages dropped by a scheduled partition (either direction).
+    pub partitioned: u64,
+    /// Scheduled stalls served.
+    pub stalled: u64,
 }
 
-/// A transport with seeded random faults on its send path.
+/// Scheduled, round-keyed failures layered on top of [`FaultConfig`].
+///
+/// The round is observed from outgoing [`Message::SubmitDelta`] frames,
+/// so schedules fire deterministically at round boundaries regardless of
+/// wall-clock timing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosConfig {
+    /// Once a `SubmitDelta` for this round is attempted, the transport
+    /// dies permanently: every later send/recv returns
+    /// [`CommsError::Closed`]. Models a worker crash.
+    pub crash_at_round: Option<u64>,
+    /// The first send at this round sleeps for the given duration before
+    /// proceeding. Models a GC/OS pause long enough to expire a lease.
+    pub stall_at_round: Option<(u64, Duration)>,
+    /// While the current round is in `[start, end)`, every message in
+    /// either direction is silently dropped. Models a network partition
+    /// that heals at `end`.
+    pub partition_rounds: Option<(u64, u64)>,
+}
+
+impl ChaosConfig {
+    /// Crash the connection permanently at `round`.
+    pub fn crash_at(round: u64) -> Self {
+        ChaosConfig { crash_at_round: Some(round), ..ChaosConfig::default() }
+    }
+
+    /// Stall the connection for `pause` at `round`.
+    pub fn stall_at(round: u64, pause: Duration) -> Self {
+        ChaosConfig { stall_at_round: Some((round, pause)), ..ChaosConfig::default() }
+    }
+
+    /// Partition the connection for rounds `[start, end)`.
+    pub fn partition(start: u64, end: u64) -> Self {
+        ChaosConfig { partition_rounds: Some((start, end)), ..ChaosConfig::default() }
+    }
+}
+
+/// A transport with seeded random faults on its send path and optional
+/// round-scheduled chaos (crash / stall / partition).
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     cfg: FaultConfig,
+    chaos: ChaosConfig,
     rng: ChaCha8Rng,
     faults: FaultStats,
+    round: u64,
+    crashed: bool,
+    stall_done: bool,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -64,9 +118,18 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             cfg,
+            chaos: ChaosConfig::default(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             faults: FaultStats::default(),
+            round: 0,
+            crashed: false,
+            stall_done: false,
         }
+    }
+
+    /// Wraps `inner` with probabilistic faults *and* a chaos schedule.
+    pub fn with_chaos(inner: T, cfg: FaultConfig, chaos: ChaosConfig, seed: u64) -> Self {
+        FaultyTransport { chaos, ..FaultyTransport::new(inner, cfg, seed) }
     }
 
     /// Injected-fault counters.
@@ -74,14 +137,60 @@ impl<T: Transport> FaultyTransport<T> {
         self.faults
     }
 
+    /// The round most recently observed in an outgoing `SubmitDelta`.
+    pub fn observed_round(&self) -> u64 {
+        self.round
+    }
+
+    /// True once a scheduled crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
     /// The wrapped transport.
     pub fn into_inner(self) -> T {
         self.inner
+    }
+
+    fn partitioned(&self) -> bool {
+        matches!(self.chaos.partition_rounds, Some((s, e)) if (s..e).contains(&self.round))
+    }
+
+    /// Applies the chaos schedule for an outgoing message. Returns
+    /// `Some(result)` when the schedule consumed the message.
+    fn chaos_send(&mut self, msg: &Message) -> Option<Result<(), CommsError>> {
+        if self.crashed {
+            return Some(Err(CommsError::Closed));
+        }
+        if let Message::SubmitDelta { round, .. } = msg {
+            self.round = self.round.max(*round);
+        }
+        if let Some(at) = self.chaos.crash_at_round {
+            if self.round >= at {
+                self.crashed = true;
+                return Some(Err(CommsError::Closed));
+            }
+        }
+        if let Some((at, pause)) = self.chaos.stall_at_round {
+            if self.round >= at && !self.stall_done {
+                self.stall_done = true;
+                self.faults.stalled += 1;
+                std::thread::sleep(pause);
+            }
+        }
+        if self.partitioned() {
+            self.faults.partitioned += 1;
+            return Some(Ok(())); // swallowed: the peer never sees it
+        }
+        None
     }
 }
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn send(&mut self, msg: Message) -> Result<(), CommsError> {
+        if let Some(done) = self.chaos_send(&msg) {
+            return done;
+        }
         if self.rng.gen_bool(self.cfg.drop_prob) {
             self.faults.dropped += 1;
             return Ok(()); // swallowed: the peer never sees it
@@ -99,11 +208,29 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn recv(&mut self) -> Result<Message, CommsError> {
-        self.inner.recv()
+        loop {
+            if self.crashed {
+                return Err(CommsError::Closed);
+            }
+            let msg = self.inner.recv()?;
+            if self.partitioned() {
+                self.faults.partitioned += 1;
+                continue; // swallowed: we never see it
+            }
+            return Ok(msg);
+        }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, CommsError> {
-        self.inner.recv_timeout(timeout)
+        if self.crashed {
+            return Err(CommsError::Closed);
+        }
+        let msg = self.inner.recv_timeout(timeout)?;
+        if self.partitioned() {
+            self.faults.partitioned += 1;
+            return Err(CommsError::Timeout); // swallowed: we never see it
+        }
+        Ok(msg)
     }
 
     fn stats(&self) -> TransportStats {
@@ -183,5 +310,66 @@ mod tests {
         }
         let dropped = faulty.fault_stats().dropped;
         assert!((50..200).contains(&dropped), "10% of 1000 sends, got {dropped}");
+    }
+
+    fn clean() -> FaultConfig {
+        always(0.0)
+    }
+
+    fn submit(round: u64) -> Message {
+        Message::SubmitDelta { shard: 0, round, pipe: 0, delta: vec![] }
+    }
+
+    #[test]
+    fn crash_at_round_kills_the_transport_permanently() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyTransport::with_chaos(a, clean(), ChaosConfig::crash_at(3), 7);
+        for r in 0..3 {
+            faulty.send(submit(r)).unwrap();
+            assert!(b.recv().is_ok());
+        }
+        assert!(!faulty.crashed());
+        assert!(matches!(faulty.send(submit(3)), Err(CommsError::Closed)));
+        assert!(faulty.crashed());
+        // Dead for good: later sends and recvs fail even for other rounds.
+        assert!(matches!(faulty.send(submit(0)), Err(CommsError::Closed)));
+        assert!(matches!(faulty.recv_timeout(Duration::from_millis(5)), Err(CommsError::Closed)));
+    }
+
+    #[test]
+    fn partition_drops_both_directions_then_heals() {
+        let (a, mut b) = loopback_pair();
+        let mut faulty = FaultyTransport::with_chaos(a, clean(), ChaosConfig::partition(1, 2), 7);
+        faulty.send(submit(0)).unwrap();
+        assert!(b.recv().is_ok());
+        // Round 1 is inside the partition: outgoing vanishes...
+        faulty.send(submit(1)).unwrap();
+        assert!(matches!(b.recv_timeout(Duration::from_millis(10)), Err(CommsError::Timeout)));
+        // ...and incoming is swallowed too.
+        b.send(Message::Ack { shard: 0, round: 1, pipe: 0, duplicate: false }).unwrap();
+        assert!(matches!(faulty.recv_timeout(Duration::from_millis(10)), Err(CommsError::Timeout)));
+        assert_eq!(faulty.fault_stats().partitioned, 2);
+        // Round 2 heals the partition.
+        faulty.send(submit(2)).unwrap();
+        assert!(b.recv().is_ok());
+    }
+
+    #[test]
+    fn stall_fires_once_at_its_round() {
+        let (a, mut b) = loopback_pair();
+        let pause = Duration::from_millis(30);
+        let mut faulty =
+            FaultyTransport::with_chaos(a, clean(), ChaosConfig::stall_at(1, pause), 7);
+        faulty.send(submit(0)).unwrap();
+        let t0 = std::time::Instant::now();
+        faulty.send(submit(1)).unwrap();
+        assert!(t0.elapsed() >= pause, "first round-1 send should stall");
+        let t1 = std::time::Instant::now();
+        faulty.send(submit(1)).unwrap();
+        assert!(t1.elapsed() < pause, "stall must fire only once");
+        assert_eq!(faulty.fault_stats().stalled, 1);
+        for _ in 0..3 {
+            assert!(b.recv().is_ok());
+        }
     }
 }

@@ -20,7 +20,9 @@
 //!   `SubmitDelta`/`Ack` (Steps ❸–❹) with `(shard, round, pipe)`
 //!   idempotency keys.
 //! * [`fault`] — a seeded drop/delay/duplicate wrapper proving the
-//!   retry + idempotency design keeps training byte-identical under loss.
+//!   retry + idempotency design keeps training byte-identical under loss,
+//!   plus a round-scheduled chaos harness ([`ChaosConfig`]: crash, stall,
+//!   partition) for the fault-tolerance tests.
 //! * [`client`] — [`ShardClient`] (request/reply with bounded retry) and
 //!   the [`ShardChannel`] abstraction the trainer runs against;
 //!   `ea-runtime` provides the in-process implementation
@@ -34,8 +36,8 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use client::{RemoteShards, RetryConfig, ServerInfo, ShardChannel, ShardClient};
-pub use fault::{FaultConfig, FaultStats, FaultyTransport};
+pub use client::{QuorumInfo, RemoteShards, RetryConfig, ServerInfo, ShardChannel, ShardClient};
+pub use fault::{ChaosConfig, FaultConfig, FaultStats, FaultyTransport};
 pub use frame::{crc32, FrameError, PROTO_VERSION};
 pub use loopback::{
     loopback_endpoint, loopback_pair, LoopbackHub, LoopbackListener, LoopbackTransport,

@@ -16,6 +16,14 @@
 //!   idempotency key: resubmissions of an already-recorded key are
 //!   acknowledged with `duplicate = true` and otherwise ignored, which is
 //!   what makes at-least-once retry safe.
+//! * [`Message::Heartbeat`] / [`Message::HeartbeatAck`] — membership
+//!   lease renewal. A worker beats between rounds; the ack reports the
+//!   server's current round, the effective quorum (live member count) and
+//!   the live-member bitmask, so a worker learns when the ensemble
+//!   degraded and can renormalize its pull strength to `1/k`.
+//! * [`Message::RoundInfoRequest`] / [`Message::RoundInfoReply`] — the
+//!   per-round membership record: which pipelines' updates were folded
+//!   into a given completed round and the quorum it was applied under.
 //!
 //! Payload encoding is little-endian and fixed-layout; the flat `f32`
 //! buffers use [`ea_optim::codec`] so decode lands in pooled storage.
@@ -41,6 +49,22 @@ pub enum Message {
     /// Server → client: submission recorded (or recognized as a
     /// retransmission, `duplicate = true`).
     Ack { shard: u32, round: u64, pipe: u32, duplicate: bool },
+    /// Client → server: lease renewal from pipeline `pipe`, which has
+    /// completed `round` rounds.
+    Heartbeat { pipe: u32, round: u64 },
+    /// Server → client: lease renewed. `round` is the server's newest
+    /// completed round across shards, `quorum` the number of live
+    /// members, `members` the live-member bitmask (bit `p` = pipeline
+    /// `p` holds a valid lease).
+    HeartbeatAck { pipe: u32, round: u64, quorum: u32, members: u64 },
+    /// Client → server: which pipelines contributed to `round` on
+    /// `shard`?
+    RoundInfoRequest { shard: u32, round: u64 },
+    /// Server → client: the membership record of a completed round.
+    /// `known = false` means the round has not completed yet or its
+    /// record was evicted from the bounded history (quorum/members are
+    /// zero then).
+    RoundInfoReply { shard: u32, round: u64, quorum: u32, members: u64, known: bool },
 }
 
 /// Wire tags, one per message type.
@@ -51,6 +75,10 @@ mod tag {
     pub const PULL_REPLY: u8 = 4;
     pub const SUBMIT_DELTA: u8 = 5;
     pub const ACK: u8 = 6;
+    pub const HEARTBEAT: u8 = 7;
+    pub const HEARTBEAT_ACK: u8 = 8;
+    pub const ROUND_INFO_REQUEST: u8 = 9;
+    pub const ROUND_INFO_REPLY: u8 = 10;
 }
 
 impl Message {
@@ -63,6 +91,10 @@ impl Message {
             Message::PullReply { .. } => tag::PULL_REPLY,
             Message::SubmitDelta { .. } => tag::SUBMIT_DELTA,
             Message::Ack { .. } => tag::ACK,
+            Message::Heartbeat { .. } => tag::HEARTBEAT,
+            Message::HeartbeatAck { .. } => tag::HEARTBEAT_ACK,
+            Message::RoundInfoRequest { .. } => tag::ROUND_INFO_REQUEST,
+            Message::RoundInfoReply { .. } => tag::ROUND_INFO_REPLY,
         }
     }
 
@@ -75,6 +107,10 @@ impl Message {
             Message::PullReply { .. } => "PullReply",
             Message::SubmitDelta { .. } => "SubmitDelta",
             Message::Ack { .. } => "Ack",
+            Message::Heartbeat { .. } => "Heartbeat",
+            Message::HeartbeatAck { .. } => "HeartbeatAck",
+            Message::RoundInfoRequest { .. } => "RoundInfoRequest",
+            Message::RoundInfoReply { .. } => "RoundInfoReply",
         }
     }
 
@@ -112,6 +148,27 @@ impl Message {
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&pipe.to_le_bytes());
                 out.push(u8::from(*duplicate));
+            }
+            Message::Heartbeat { pipe, round } => {
+                out.extend_from_slice(&pipe.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            Message::HeartbeatAck { pipe, round, quorum, members } => {
+                out.extend_from_slice(&pipe.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&quorum.to_le_bytes());
+                out.extend_from_slice(&members.to_le_bytes());
+            }
+            Message::RoundInfoRequest { shard, round } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            Message::RoundInfoReply { shard, round, quorum, members, known } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&quorum.to_le_bytes());
+                out.extend_from_slice(&members.to_le_bytes());
+                out.push(u8::from(*known));
             }
         }
     }
@@ -175,6 +232,38 @@ impl Message {
                     duplicate: dup,
                 })
             }
+            tag::HEARTBEAT => {
+                let p = fixed::<12>(payload)?;
+                Ok(Message::Heartbeat { pipe: le_u32(&p[0..4]), round: le_u64(&p[4..12]) })
+            }
+            tag::HEARTBEAT_ACK => {
+                let p = fixed::<24>(payload)?;
+                Ok(Message::HeartbeatAck {
+                    pipe: le_u32(&p[0..4]),
+                    round: le_u64(&p[4..12]),
+                    quorum: le_u32(&p[12..16]),
+                    members: le_u64(&p[16..24]),
+                })
+            }
+            tag::ROUND_INFO_REQUEST => {
+                let p = fixed::<12>(payload)?;
+                Ok(Message::RoundInfoRequest { shard: le_u32(&p[0..4]), round: le_u64(&p[4..12]) })
+            }
+            tag::ROUND_INFO_REPLY => {
+                let p = fixed::<25>(payload)?;
+                let known = match p[24] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(bad("RoundInfoReply known flag out of range")),
+                };
+                Ok(Message::RoundInfoReply {
+                    shard: le_u32(&p[0..4]),
+                    round: le_u64(&p[4..12]),
+                    quorum: le_u32(&p[12..16]),
+                    members: le_u64(&p[16..24]),
+                    known,
+                })
+            }
             other => Err(FrameError::UnknownType(other)),
         }
     }
@@ -188,6 +277,10 @@ impl Message {
             Message::PullReply { weights, .. } => 12 + 4 * weights.len(),
             Message::SubmitDelta { delta, .. } => 16 + 4 * delta.len(),
             Message::Ack { .. } => 17,
+            Message::Heartbeat { .. } => 12,
+            Message::HeartbeatAck { .. } => 24,
+            Message::RoundInfoRequest { .. } => 12,
+            Message::RoundInfoReply { .. } => 25,
         }
     }
 }
@@ -231,6 +324,23 @@ mod tests {
         roundtrip(Message::SubmitDelta { shard: 1, round: 9, pipe: 1, delta: vec![0.125; 65] });
         roundtrip(Message::Ack { shard: 1, round: 9, pipe: 1, duplicate: true });
         roundtrip(Message::Ack { shard: 0, round: 0, pipe: 0, duplicate: false });
+        roundtrip(Message::Heartbeat { pipe: 3, round: 17 });
+        roundtrip(Message::HeartbeatAck { pipe: 3, round: 17, quorum: 2, members: 0b101 });
+        roundtrip(Message::RoundInfoRequest { shard: 1, round: 5 });
+        roundtrip(Message::RoundInfoReply {
+            shard: 1,
+            round: 5,
+            quorum: 3,
+            members: 0b1011,
+            known: true,
+        });
+        roundtrip(Message::RoundInfoReply {
+            shard: 0,
+            round: 0,
+            quorum: 0,
+            members: 0,
+            known: false,
+        });
     }
 
     #[test]
@@ -241,7 +351,7 @@ mod tests {
 
     #[test]
     fn short_payloads_are_rejected() {
-        for ty in 1..=6u8 {
+        for ty in 1..=10u8 {
             let err = Message::decode_payload(ty, &[0u8; 3]);
             assert!(err.is_err(), "type {ty} accepted a 3-byte payload");
         }
@@ -272,5 +382,15 @@ mod tests {
         msg.encode_payload(&mut payload);
         payload[16] = 2;
         assert!(Message::decode_payload(tag::ACK, &payload).is_err());
+    }
+
+    #[test]
+    fn round_info_known_flag_out_of_range_is_rejected() {
+        let msg =
+            Message::RoundInfoReply { shard: 0, round: 0, quorum: 0, members: 0, known: false };
+        let mut payload = Vec::new();
+        msg.encode_payload(&mut payload);
+        payload[24] = 2;
+        assert!(Message::decode_payload(tag::ROUND_INFO_REPLY, &payload).is_err());
     }
 }

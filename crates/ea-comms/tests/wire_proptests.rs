@@ -101,6 +101,41 @@ proptest! {
         prop_assert_eq!(roundtrip(&msg), msg);
     }
 
+    #[test]
+    fn heartbeat_roundtrips(pipe in 0u32..=u32::MAX, round in 0u64..=u64::MAX) {
+        let msg = Message::Heartbeat { pipe, round };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn heartbeat_ack_roundtrips(
+        pipe in 0u32..=u32::MAX,
+        round in 0u64..=u64::MAX,
+        quorum in 0u32..=u32::MAX,
+        members in 0u64..=u64::MAX,
+    ) {
+        let msg = Message::HeartbeatAck { pipe, round, quorum, members };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn round_info_request_roundtrips(shard in 0u32..=u32::MAX, round in 0u64..=u64::MAX) {
+        let msg = Message::RoundInfoRequest { shard, round };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn round_info_reply_roundtrips(
+        shard in 0u32..=u32::MAX,
+        round in 0u64..=u64::MAX,
+        quorum in 0u32..=u32::MAX,
+        members in 0u64..=u64::MAX,
+        known in 0u8..2,
+    ) {
+        let msg = Message::RoundInfoReply { shard, round, quorum, members, known: known == 1 };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
     /// Cutting the byte stream anywhere mid-frame is `Truncated`; cutting
     /// exactly at a frame boundary is a clean EOF.
     #[test]

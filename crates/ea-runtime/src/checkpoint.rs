@@ -4,15 +4,105 @@
 //! The format is deliberately simple and self-describing: a JSON document
 //! with one base64-free `Vec<f32>` per stage plus shape metadata, so
 //! checkpoints are portable across runs and diffable in tests.
+//!
+//! Durability: [`Checkpoint::save`] and [`RefCheckpoint::save`] write to a
+//! temporary file in the target directory and `rename` it into place, so
+//! a crash mid-write leaves either the previous checkpoint or the new one
+//! — never a torn file. Both formats carry a CRC32 over their payload;
+//! loading rejects a checksum mismatch with
+//! [`Error::CorruptCheckpoint`]-backed `InvalidData` instead of restoring
+//! garbage weights.
 
+use crate::json::{self, Json};
 use crate::Error;
 use ea_autograd::StagedModel;
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
 
+/// CRC32 over stage payloads: each stage contributes its length (u32 LE)
+/// followed by its parameters (f32 LE).
+fn stages_checksum(stages: &[Vec<f32>]) -> u32 {
+    let mut bytes = Vec::with_capacity(stages.iter().map(|s| 4 + 4 * s.len()).sum());
+    for stage in stages {
+        bytes.extend_from_slice(&(stage.len() as u32).to_le_bytes());
+        for x in stage {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    ea_comms::crc32(&bytes)
+}
+
+/// Writes `json` to `path` atomically: temp file in the same directory,
+/// flushed, then renamed over the target.
+fn atomic_write(path: &Path, json: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(json.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Emits `[[...],[...]]` for stage payloads.
+fn write_stages(out: &mut String, stages: &[Vec<f32>]) {
+    out.push('[');
+    for (i, stage) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, x) in stage.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_f32(out, *x);
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn read_stages(v: &Json, field: &'static str) -> std::io::Result<Vec<Vec<f32>>> {
+    let bad = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+    let arr = v
+        .get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(format!("checkpoint missing {field:?} array")))?;
+    arr.iter()
+        .map(|stage| {
+            stage
+                .as_arr()
+                .ok_or_else(|| bad(format!("{field} entry is not an array")))?
+                .iter()
+                .map(|x| x.as_f32().ok_or_else(|| bad(format!("{field} holds a non-number"))))
+                .collect()
+        })
+        .collect()
+}
+
+fn read_checksum(v: &Json) -> std::io::Result<Option<u32>> {
+    match v.get("checksum") {
+        None | Some(Json::Null) => Ok(None),
+        Some(c) => c.as_u32().map(Some).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad checksum field")
+        }),
+    }
+}
+
+fn read_u32(v: &Json, field: &'static str) -> std::io::Result<u32> {
+    v.get(field).and_then(Json::as_u32).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad {field} field"))
+    })
+}
+
 /// A serialized model snapshot.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -20,15 +110,35 @@ pub struct Checkpoint {
     pub tag: String,
     /// Flat parameters of each stage, in stage order.
     pub stages: Vec<Vec<f32>>,
+    /// CRC32 of the stage payloads; `None` only in legacy files written
+    /// before checksums existed.
+    pub checksum: Option<u32>,
 }
 
 impl Checkpoint {
     /// Captures the current parameters of a model.
     pub fn capture(model: &StagedModel, tag: impl Into<String>) -> Self {
-        Checkpoint {
-            version: 1,
-            tag: tag.into(),
-            stages: (0..model.num_stages()).map(|k| model.stage(k).params_flat()).collect(),
+        let stages: Vec<Vec<f32>> =
+            (0..model.num_stages()).map(|k| model.stage(k).params_flat()).collect();
+        let checksum = Some(stages_checksum(&stages));
+        Checkpoint { version: 1, tag: tag.into(), stages, checksum }
+    }
+
+    /// Validates the payload against the stored checksum. Legacy files
+    /// without a checksum pass (nothing to validate against).
+    pub fn verify(&self) -> Result<(), Error> {
+        match self.checksum {
+            None => Ok(()),
+            Some(want) => {
+                let got = stages_checksum(&self.stages);
+                if got == want {
+                    Ok(())
+                } else {
+                    Err(Error::CorruptCheckpoint {
+                        why: format!("payload CRC32 {got:#010x}, file says {want:#010x}"),
+                    })
+                }
+            }
         }
     }
 
@@ -61,23 +171,54 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Serializes to a writer as JSON.
-    pub fn save_to(&self, mut w: impl Write) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("checkpoint serializes");
-        w.write_all(json.as_bytes())
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":");
+        out.push_str(&self.version.to_string());
+        out.push_str(",\"tag\":");
+        json::write_str(&mut out, &self.tag);
+        out.push_str(",\"stages\":");
+        write_stages(&mut out, &self.stages);
+        out.push_str(",\"checksum\":");
+        match self.checksum {
+            Some(c) => out.push_str(&c.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
     }
 
-    /// Deserializes from a reader.
+    fn from_json(buf: &str) -> std::io::Result<Self> {
+        let bad = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+        let v = json::parse(buf).map_err(bad)?;
+        let ckpt = Checkpoint {
+            version: read_u32(&v, "version")?,
+            tag: v
+                .get("tag")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("bad tag field".into()))?
+                .to_string(),
+            stages: read_stages(&v, "stages")?,
+            checksum: read_checksum(&v)?,
+        };
+        ckpt.verify().map_err(|e| bad(e.to_string()))?;
+        Ok(ckpt)
+    }
+
+    /// Serializes to a writer as JSON.
+    pub fn save_to(&self, mut w: impl Write) -> std::io::Result<()> {
+        w.write_all(self.to_json().as_bytes())
+    }
+
+    /// Deserializes from a reader, rejecting checksum mismatches.
     pub fn load_from(mut r: impl Read) -> std::io::Result<Self> {
         let mut buf = String::new();
         r.read_to_string(&mut buf)?;
-        serde_json::from_str(&buf)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_json(&buf)
     }
 
-    /// Saves to a file path.
+    /// Saves to a file path atomically (temp file + rename).
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        self.save_to(std::fs::File::create(path)?)
+        atomic_write(path.as_ref(), &self.to_json())
     }
 
     /// Loads from a file path.
@@ -88,6 +229,84 @@ impl Checkpoint {
     /// Total scalar parameters in the snapshot.
     pub fn num_params(&self) -> usize {
         self.stages.iter().map(Vec::len).sum()
+    }
+}
+
+/// A round-tagged snapshot of the elastic-averaging *reference shards* —
+/// what `RefShardServer` persists periodically and restores on startup so
+/// a server crash resumes at the recorded round instead of resetting the
+/// reference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RefCheckpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The shard version (completed rounds) this snapshot corresponds to.
+    /// All shards are captured at the same round — the checkpointer skips
+    /// a tick rather than persist a torn cross-shard state.
+    pub round: u64,
+    /// Reference weights of each shard, in stage order.
+    pub shards: Vec<Vec<f32>>,
+    /// CRC32 of the shard payloads.
+    pub checksum: Option<u32>,
+}
+
+impl RefCheckpoint {
+    /// Builds a snapshot from consistent per-shard weights.
+    pub fn capture(round: u64, shards: Vec<Vec<f32>>) -> Self {
+        let checksum = Some(stages_checksum(&shards));
+        RefCheckpoint { version: 1, round, shards, checksum }
+    }
+
+    /// Validates the payload against the stored checksum.
+    pub fn verify(&self) -> Result<(), Error> {
+        match self.checksum {
+            None => Ok(()),
+            Some(want) => {
+                let got = stages_checksum(&self.shards);
+                if got == want {
+                    Ok(())
+                } else {
+                    Err(Error::CorruptCheckpoint {
+                        why: format!("payload CRC32 {got:#010x}, file says {want:#010x}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Saves to a file path atomically (temp file + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut out = String::from("{\"version\":");
+        out.push_str(&self.version.to_string());
+        out.push_str(",\"round\":");
+        out.push_str(&self.round.to_string());
+        out.push_str(",\"shards\":");
+        write_stages(&mut out, &self.shards);
+        out.push_str(",\"checksum\":");
+        match self.checksum {
+            Some(c) => out.push_str(&c.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        atomic_write(path.as_ref(), &out)
+    }
+
+    /// Loads from a file path, rejecting torn or corrupt files.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let bad = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+        let buf = std::fs::read_to_string(path)?;
+        let v = json::parse(&buf).map_err(bad)?;
+        let ckpt = RefCheckpoint {
+            version: read_u32(&v, "version")?,
+            round: v
+                .get("round")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("bad round field".into()))?,
+            shards: read_stages(&v, "shards")?,
+            checksum: read_checksum(&v)?,
+        };
+        ckpt.verify().map_err(|e| bad(e.to_string()))?;
+        Ok(ckpt)
     }
 }
 
@@ -162,5 +381,66 @@ mod tests {
     fn corrupt_data_is_an_error_not_a_panic() {
         let err = Checkpoint::load_from("not json".as_bytes());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn tampered_payload_fails_the_checksum() {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(5));
+        let mut ckpt = Checkpoint::capture(&model, "tamper");
+        assert!(ckpt.verify().is_ok());
+        ckpt.stages[0][0] += 1.0;
+        assert!(matches!(ckpt.verify(), Err(Error::CorruptCheckpoint { .. })));
+        let mut buf = Vec::new();
+        ckpt.save_to(&mut buf).unwrap();
+        let err = Checkpoint::load_from(buf.as_slice());
+        assert!(err.is_err(), "load must reject a checksum mismatch");
+    }
+
+    #[test]
+    fn legacy_file_without_checksum_still_loads() {
+        let json = r#"{"version":1,"tag":"old","stages":[[1.0,2.0]]}"#;
+        let ckpt = Checkpoint::load_from(json.as_bytes()).unwrap();
+        assert_eq!(ckpt.checksum, None);
+        assert_eq!(ckpt.stages, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(6));
+        let ckpt = Checkpoint::capture(&model, "atomic");
+        let dir = std::env::temp_dir().join("avgpipe_ckpt_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        // Overwrite an existing checkpoint twice; the directory must only
+        // ever contain the finished file.
+        ckpt.save(&path).unwrap();
+        ckpt.save(&path).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec!["ckpt.json"], "no temp files left behind");
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ref_checkpoint_roundtrips_and_rejects_torn_files() {
+        let ckpt = RefCheckpoint::capture(7, vec![vec![1.0, 2.0], vec![3.0]]);
+        let path = std::env::temp_dir().join("avgpipe_ref_ckpt_test.json");
+        ckpt.save(&path).unwrap();
+        assert_eq!(RefCheckpoint::load(&path).unwrap(), ckpt);
+
+        // A torn write (truncated file) must be rejected, not restored.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(RefCheckpoint::load(&path).is_err());
+
+        // Valid JSON whose payload disagrees with its checksum must fail.
+        let mut tampered = ckpt.clone();
+        tampered.shards[0][0] = 9.0; // checksum field now stale
+        tampered.save(&path).unwrap();
+        assert!(RefCheckpoint::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,12 +1,41 @@
 //! The threaded elastic-averaging trainer: N pipelines + reference shards.
+//!
+//! Fault tolerance: each shard tracks per-pipeline *membership*. A
+//! pipeline whose lease expires is evicted ([`RefShard::evict`]) and the
+//! stalled round completes in **degraded-quorum mode** — the normalized
+//! sum is taken over the `k ≤ N` members that actually reported
+//! (`w̃ ← w̃ + (1/k)·Σ Δ_i`). EASGD's center-of-mass argument survives
+//! renormalization: the reference remains a convex combination of itself
+//! and the mean of the reporting replicas. A restarted worker is
+//! readmitted at the *next* round boundary ([`RefShard::readmit`]), so a
+//! mid-round rejoin can never deadlock a round it never pulled. Per-round
+//! membership is recorded in [`RoundRecord`]s for clients and tests.
 
+use crate::metrics::ServerMetrics;
 use crate::{Error, ThreadedPipeline};
 use ea_autograd::{Stage, StagedModel};
-use ea_comms::{CommsError, ShardChannel};
+use ea_comms::{CommsError, QuorumInfo, ShardChannel};
 use ea_data::Batch;
 use ea_optim::Optimizer;
 use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How many per-round membership records a shard retains.
+const RECORD_CAP: usize = 1024;
+
+/// Membership of one applied round: who contributed to the average.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The round this record describes (the shard version it produced is
+    /// `round + 1`).
+    pub round: u64,
+    /// Number of pipelines folded into the average (`k` in `1/k`).
+    pub quorum: u32,
+    /// Bitmask of contributing pipeline ids.
+    pub members: u64,
+}
 
 struct ShardState {
     /// Completed elastic-averaging rounds.
@@ -15,6 +44,14 @@ struct ShardState {
     weights: Vec<f32>,
     /// One pending local update per pipeline for the current round.
     pending: Vec<Option<Vec<f32>>>,
+    /// Membership: `false` = evicted (lease expired), not required for
+    /// round completion and not allowed to submit until readmitted.
+    active: Vec<bool>,
+    /// First round a pipeline is *required* for. Readmission sets this to
+    /// `version + 1` so a rejoiner re-enters at the next round boundary.
+    joined_at: Vec<u64>,
+    /// Membership records of the most recent applied rounds.
+    records: VecDeque<RoundRecord>,
 }
 
 /// Whether a submission changed shard state or was a recognized
@@ -36,25 +73,76 @@ pub struct RefShard {
     state: Mutex<ShardState>,
     cv: Condvar,
     n: usize,
+    metrics: OnceLock<Arc<ServerMetrics>>,
 }
 
 impl RefShard {
     /// Creates the shard with initial reference weights.
     pub fn new(init: Vec<f32>, n_pipelines: usize) -> Self {
+        Self::with_version(init, n_pipelines, 0)
+    }
+
+    /// Creates the shard at a given version — used when restoring from a
+    /// checkpoint, so the server resumes at the recorded round instead of
+    /// silently resetting to round 0.
+    pub fn with_version(init: Vec<f32>, n_pipelines: usize, version: u64) -> Self {
         RefShard {
             state: Mutex::new(ShardState {
-                version: 0,
+                version,
                 weights: init,
                 pending: vec![None; n_pipelines],
+                active: vec![true; n_pipelines],
+                joined_at: vec![0; n_pipelines],
+                records: VecDeque::new(),
             }),
             cv: Condvar::new(),
             n: n_pipelines,
+            metrics: OnceLock::new(),
         }
     }
 
     /// Number of pipelines feeding this shard.
     pub fn n_pipelines(&self) -> usize {
         self.n
+    }
+
+    /// Attaches server metrics; degraded rounds are counted there. Only
+    /// the first call takes effect.
+    pub fn set_metrics(&self, metrics: Arc<ServerMetrics>) {
+        let _ = self.metrics.set(metrics);
+    }
+
+    /// Completed rounds on this shard.
+    pub fn version(&self) -> u64 {
+        self.state.lock().version
+    }
+
+    /// Number of live (non-evicted) members.
+    pub fn live_count(&self) -> usize {
+        self.state.lock().active.iter().filter(|a| **a).count()
+    }
+
+    /// Bitmask of live member pipeline ids.
+    pub fn member_mask(&self) -> u64 {
+        let st = self.state.lock();
+        mask_of(&st.active)
+    }
+
+    /// Whether pipeline `pipe` currently holds membership.
+    pub fn is_member(&self, pipe: usize) -> bool {
+        let st = self.state.lock();
+        pipe < self.n && st.active[pipe]
+    }
+
+    /// The membership record of an applied `round`, if still retained.
+    pub fn round_record(&self, round: u64) -> Option<RoundRecord> {
+        let st = self.state.lock();
+        st.records.iter().rev().find(|r| r.round == round).copied()
+    }
+
+    /// All retained membership records, oldest first.
+    pub fn round_records(&self) -> Vec<RoundRecord> {
+        self.state.lock().records.iter().copied().collect()
     }
 
     /// Step ❹ for in-process callers: pipeline `pipe` submits its local
@@ -115,6 +203,14 @@ impl RefShard {
                 got,
             });
         }
+        if !st.active[pipe] {
+            // The pipe was evicted (lease expired). Checked before the
+            // duplicate path so a dead worker's late submission — even
+            // for a round that already completed without it — is refused
+            // loudly rather than silently swallowed as a retransmission.
+            ea_tensor::pool::recycle(delta);
+            return Err(Error::LeaseExpired { pipe, round });
+        }
         if round < st.version {
             // The round this update belongs to has already been applied;
             // the original delivery made it. Drop the retransmission.
@@ -130,20 +226,105 @@ impl RefShard {
             return Ok(SubmitOutcome::Duplicate);
         }
         st.pending[pipe] = Some(delta);
-        if st.pending.iter().all(Option::is_some) {
-            let inv = 1.0 / self.n as f32;
-            for i in 0..self.n {
-                let delta = st.pending[i].take().unwrap();
+        self.maybe_apply(st);
+        Ok(SubmitOutcome::Applied)
+    }
+
+    /// Step ❺: applies the round if every *required* member has reported.
+    /// Required = active with `joined_at ≤ version`; a rejoiner waiting
+    /// for the next boundary is exempt. The normalized sum folds all
+    /// pending deltas in fixed pipeline order with `1/k`, `k` = number of
+    /// contributors — with a full quorum this is byte-identical to the
+    /// fault-free `1/N` path.
+    fn maybe_apply(&self, st: &mut ShardState) {
+        let complete = (0..self.n).all(|i| {
+            let required = st.active[i] && st.joined_at[i] <= st.version;
+            !required || st.pending[i].is_some()
+        });
+        let k = st.pending.iter().filter(|p| p.is_some()).count();
+        if !complete || k == 0 {
+            return;
+        }
+        let inv = 1.0 / k as f32;
+        let mut members = 0u64;
+        for i in 0..self.n {
+            if let Some(delta) = st.pending[i].take() {
+                if i < 64 {
+                    members |= 1 << i;
+                }
                 for (w, d) in st.weights.iter_mut().zip(&delta) {
                     *w += d * inv;
                 }
                 // Deltas arrive in pooled buffers; return them for reuse.
                 ea_tensor::pool::recycle(delta);
             }
-            st.version += 1;
-            self.cv.notify_all();
         }
-        Ok(SubmitOutcome::Applied)
+        st.records.push_back(RoundRecord { round: st.version, quorum: k as u32, members });
+        if st.records.len() > RECORD_CAP {
+            st.records.pop_front();
+        }
+        if k < self.n {
+            if let Some(m) = self.metrics.get() {
+                m.inc_degraded_rounds();
+            }
+        }
+        st.version += 1;
+        self.cv.notify_all();
+    }
+
+    /// Removes pipeline `pipe` from the quorum (its lease expired). Any
+    /// pending update it submitted for the current round is discarded, and
+    /// the round is applied in degraded-quorum mode if the survivors have
+    /// all reported. Returns `Ok(true)` when state changed, `Ok(false)`
+    /// when the pipe was already evicted, and [`Error::QuorumLost`] when
+    /// eviction would leave zero live members (the member stays required
+    /// so the caller can retry once someone rejoins).
+    pub fn evict(&self, pipe: usize) -> Result<bool, Error> {
+        let mut st = self.state.lock();
+        if pipe >= self.n {
+            return Err(Error::IndexOutOfRange { what: "pipeline", index: pipe, len: self.n });
+        }
+        if !st.active[pipe] {
+            return Ok(false);
+        }
+        if st.active.iter().filter(|a| **a).count() == 1 {
+            return Err(Error::QuorumLost { live: 1, round: st.version });
+        }
+        st.active[pipe] = false;
+        if let Some(delta) = st.pending[pipe].take() {
+            ea_tensor::pool::recycle(delta);
+        }
+        self.maybe_apply(&mut st);
+        Ok(true)
+    }
+
+    /// Readmits an evicted pipeline at the *next* round boundary: it is
+    /// not required (and its submissions are not expected) until the
+    /// current round completes. Returns `true` if the pipe was dead.
+    pub fn readmit(&self, pipe: usize) -> Result<bool, Error> {
+        let joined_at = self.version() + 1;
+        self.readmit_at(pipe, joined_at)
+    }
+
+    /// [`readmit`](Self::readmit) with an explicit join round, so a
+    /// server readmitting one pipeline across *many* shards can pick a
+    /// single boundary (the max version over all shards, plus one) — a
+    /// per-shard `version + 1` would let the join rounds diverge, and a
+    /// rejoiner resyncing to the *highest* shard version could then skip
+    /// a round a slower shard still requires it for, stalling that shard
+    /// forever. Clamped to this shard's own next boundary: a pipeline is
+    /// never required for the round already in flight when it rejoins.
+    pub fn readmit_at(&self, pipe: usize, joined_at: u64) -> Result<bool, Error> {
+        let mut st = self.state.lock();
+        if pipe >= self.n {
+            return Err(Error::IndexOutOfRange { what: "pipeline", index: pipe, len: self.n });
+        }
+        if st.active[pipe] {
+            return Ok(false);
+        }
+        st.active[pipe] = true;
+        st.joined_at[pipe] = joined_at.max(st.version + 1);
+        Ok(true)
     }
 
     /// Step ❷ support: returns the reference weights as of exactly
@@ -174,6 +355,28 @@ impl RefShard {
         (st.version, st.weights.clone())
     }
 
+    /// Bounded-wait variant of [`RefShard::weights_at_least`]: gives up
+    /// after `timeout` and returns `None`. Fault-tolerant servers use this
+    /// so a pull for a round stalled by a dead peer cannot pin a
+    /// connection thread forever — the client simply retransmits, which
+    /// doubles as lease renewal while the reaper completes the round.
+    pub fn weights_within(&self, version: u64, timeout: Duration) -> Option<(u64, Vec<f32>)> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.version < version {
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+        Some((st.version, st.weights.clone()))
+    }
+
+    /// Consistent `(version, weights)` snapshot under one lock hold.
+    pub fn versioned_snapshot(&self) -> (u64, Vec<f32>) {
+        let st = self.state.lock();
+        (st.version, st.weights.clone())
+    }
+
     /// Non-blocking read of the reference weights at exactly `version`
     /// completed rounds: `None` if the shard is at any other version or a
     /// round is mid-application. Evaluation paths use this so they can
@@ -189,6 +392,12 @@ impl RefShard {
     pub fn snapshot(&self) -> Vec<f32> {
         self.state.lock().weights.clone()
     }
+}
+
+/// Bitmask of `true` entries (pipelines ≥ 64 are not representable and
+/// are omitted from masks, never from the quorum arithmetic).
+fn mask_of(active: &[bool]) -> u64 {
+    active.iter().take(64).enumerate().fold(0u64, |m, (i, a)| if *a { m | (1 << i) } else { m })
 }
 
 /// The in-process [`ShardChannel`]: calls the shard accumulators
@@ -237,6 +446,24 @@ impl ShardChannel for LocalShards {
         sh.submit_at(round, pipe, delta)
             .map(|_| ())
             .map_err(|e| CommsError::Protocol(e.to_string()))
+    }
+
+    fn pull_latest(&self, _pipe: usize, shard: usize) -> Result<(u64, Vec<f32>), CommsError> {
+        let sh = self
+            .shards
+            .get(shard)
+            .ok_or_else(|| CommsError::Protocol(format!("no shard {shard}")))?;
+        Ok(sh.versioned_snapshot())
+    }
+
+    fn heartbeat(&self, _pipe: usize, _round: u64) -> Result<QuorumInfo, CommsError> {
+        // In-process pipelines share a fate — there are no leases to
+        // expire, so the quorum is always full.
+        let round = self.shards.iter().map(|s| s.version()).max().unwrap_or(0);
+        let n = self.shards.first().map(|s| s.n_pipelines()).unwrap_or(0);
+        let quorum = n as u32;
+        let members = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        Ok(QuorumInfo { round, quorum, members })
     }
 }
 
@@ -415,7 +642,9 @@ mod tests {
     const CFG: AnalogueConfig =
         AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
 
-    fn replicas(n: usize, seed: u64) -> (Vec<Vec<Stage>>, Vec<Vec<Box<dyn Optimizer>>>) {
+    type Replicas = (Vec<Vec<Stage>>, Vec<Vec<Box<dyn Optimizer>>>);
+
+    fn replicas(n: usize, seed: u64) -> Replicas {
         let stages = (0..n)
             .map(|_| gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed)).into_stages())
             .collect();
@@ -566,6 +795,157 @@ mod tests {
         let (v, w) = shard.weights_at_least(1);
         assert_eq!(v, 2);
         assert_eq!(w, vec![4.0]);
+    }
+
+    #[test]
+    fn evicted_pipe_submission_is_lease_expired() {
+        let shard = RefShard::new(vec![0.0; 1], 3);
+        shard.submit_at(0, 0, vec![3.0]).unwrap();
+        assert_eq!(shard.evict(2), Ok(true));
+        // Survivors 0 and 1 complete round 0 in degraded mode...
+        shard.submit_at(0, 1, vec![5.0]).unwrap();
+        assert_eq!(shard.weights_at(1), vec![4.0], "1/k with k=2");
+        // ...and the dead pipe's late submission for that round is refused,
+        // not silently treated as a duplicate.
+        assert_eq!(
+            shard.submit_at(0, 2, vec![9.0]),
+            Err(Error::LeaseExpired { pipe: 2, round: 0 })
+        );
+        let rec = shard.round_record(0).unwrap();
+        assert_eq!(rec, RoundRecord { round: 0, quorum: 2, members: 0b011 });
+    }
+
+    #[test]
+    fn eviction_completes_a_stalled_round_degraded() {
+        let shard = RefShard::new(vec![0.0; 2], 2);
+        shard.submit_at(0, 0, vec![6.0, 6.0]).unwrap();
+        // Pipe 1 never reports; its eviction finishes the round with k=1.
+        assert_eq!(shard.evict(1), Ok(true));
+        assert_eq!(shard.try_weights_at(1), Some(vec![6.0, 6.0]));
+        assert_eq!(shard.round_record(0).unwrap().quorum, 1);
+        assert_eq!(shard.live_count(), 1);
+        assert_eq!(shard.member_mask(), 0b01);
+    }
+
+    #[test]
+    fn readmit_at_uses_the_common_boundary_and_clamps_to_the_next_round() {
+        let shard = RefShard::new(vec![0.0; 1], 2);
+        shard.evict(1).unwrap();
+        // A server-wide boundary ahead of this shard is taken verbatim:
+        // pipe 1 is not required until round 5.
+        assert_eq!(shard.readmit_at(1, 5), Ok(true));
+        shard.submit_at(0, 0, vec![2.0]).unwrap();
+        assert_eq!(shard.try_weights_at(1), Some(vec![2.0]), "round 0 must not wait for pipe 1");
+        assert_eq!(shard.round_record(0).unwrap().quorum, 1);
+        // A boundary behind the shard's own version is clamped forward —
+        // a rejoiner is never required for the round already in flight.
+        shard.evict(1).unwrap();
+        assert_eq!(shard.readmit_at(1, 0), Ok(true));
+        shard.submit_at(1, 0, vec![4.0]).unwrap();
+        assert_eq!(shard.try_weights_at(2), Some(vec![6.0]), "round 1 must not wait for pipe 1");
+        // From the clamped boundary on, the rejoiner is required again.
+        shard.submit_at(2, 0, vec![6.0]).unwrap();
+        assert_eq!(shard.try_weights_at(3), None, "round 2 must wait for pipe 1");
+        shard.submit_at(2, 1, vec![8.0]).unwrap();
+        assert_eq!(
+            shard.round_record(2).unwrap(),
+            RoundRecord { round: 2, quorum: 2, members: 0b11 }
+        );
+        // Readmitting a live member never slides its boundary.
+        assert_eq!(shard.readmit_at(1, 40), Ok(false));
+        assert!(shard.is_member(1));
+    }
+
+    #[test]
+    fn evicting_the_last_member_is_quorum_lost() {
+        let shard = RefShard::new(vec![0.0; 2], 2);
+        shard.evict(0).unwrap();
+        assert_eq!(shard.evict(1), Err(Error::QuorumLost { live: 1, round: 0 }));
+        // The survivor is still a member and can finish the round alone.
+        shard.submit_at(0, 1, vec![2.0, 2.0]).unwrap();
+        assert_eq!(shard.try_weights_at(1), Some(vec![2.0, 2.0]));
+        // Double eviction of an already-dead pipe is a no-op.
+        assert_eq!(shard.evict(0), Ok(false));
+    }
+
+    #[test]
+    fn duplicate_submit_straddling_a_quorum_change_is_not_double_counted() {
+        let shard = RefShard::new(vec![0.0; 1], 3);
+        assert_eq!(shard.submit_at(0, 0, vec![3.0]), Ok(SubmitOutcome::Applied));
+        // Quorum shrinks mid-round; pipe 1's eviction applies round 0 over
+        // pipes {0, 2} once pipe 2 reports.
+        shard.evict(1).unwrap();
+        shard.submit_at(0, 2, vec![5.0]).unwrap();
+        assert_eq!(shard.version(), 1);
+        assert_eq!(shard.snapshot(), vec![4.0]);
+        // Pipe 0's retransmission of its round-0 submit — sent before it
+        // learned the quorum changed — must be a duplicate, not a new
+        // contribution under the new 1/k.
+        assert_eq!(shard.submit_at(0, 0, vec![3.0]), Ok(SubmitOutcome::Duplicate));
+        assert_eq!(shard.snapshot(), vec![4.0]);
+    }
+
+    #[test]
+    fn rejoin_is_required_only_from_the_next_round_boundary() {
+        let shard = RefShard::new(vec![0.0; 1], 2);
+        shard.submit_at(0, 0, vec![2.0]).unwrap();
+        shard.evict(1).unwrap(); // round 0 applies with k=1
+        assert_eq!(shard.version(), 1);
+        assert_eq!(shard.readmit(1), Ok(true));
+        assert!(shard.is_member(1));
+        // Round 1 (version 1) must NOT wait for the rejoiner: pipe 0 alone
+        // completes it...
+        shard.submit_at(1, 0, vec![4.0]).unwrap();
+        assert_eq!(shard.version(), 2);
+        assert_eq!(shard.round_record(1).unwrap().quorum, 1);
+        // ...but round 2 requires both again.
+        shard.submit_at(2, 0, vec![1.0]).unwrap();
+        assert_eq!(shard.version(), 2, "round 2 must wait for the rejoiner");
+        shard.submit_at(2, 1, vec![3.0]).unwrap();
+        assert_eq!(shard.version(), 3);
+        assert_eq!(
+            shard.round_record(2).unwrap(),
+            RoundRecord { round: 2, quorum: 2, members: 0b11 }
+        );
+        // Readmitting a live member is a no-op.
+        assert_eq!(shard.readmit(1), Ok(false));
+    }
+
+    #[test]
+    fn weights_at_least_wakes_on_a_degraded_version_bump() {
+        let shard = Arc::new(RefShard::new(vec![0.0; 1], 2));
+        shard.submit_at(0, 0, vec![8.0]).unwrap();
+        let waiter = {
+            let shard = Arc::clone(&shard);
+            std::thread::spawn(move || shard.weights_at_least(1))
+        };
+        // Give the waiter time to block on version 0 → 1.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        shard.evict(1).unwrap(); // degraded apply bumps the version
+        let (v, w) = waiter.join().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(w, vec![8.0]);
+    }
+
+    #[test]
+    fn weights_within_times_out_on_a_stalled_round() {
+        let shard = RefShard::new(vec![0.0; 2], 2);
+        assert_eq!(shard.weights_within(1, std::time::Duration::from_millis(20)), None);
+        shard.submit_at(0, 0, vec![2.0, 0.0]).unwrap();
+        shard.submit_at(0, 1, vec![0.0, 2.0]).unwrap();
+        let (v, w) = shard.weights_within(1, std::time::Duration::from_millis(20)).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn with_version_resumes_at_the_recorded_round() {
+        let shard = RefShard::with_version(vec![7.0; 2], 2, 5);
+        assert_eq!(shard.version(), 5);
+        assert_eq!(shard.versioned_snapshot(), (5, vec![7.0, 7.0]));
+        shard.submit_at(5, 0, vec![1.0, 1.0]).unwrap();
+        shard.submit_at(5, 1, vec![3.0, 3.0]).unwrap();
+        assert_eq!(shard.try_weights_at(6), Some(vec![9.0, 9.0]));
     }
 
     #[test]

@@ -47,6 +47,33 @@ pub enum Error {
         /// Number of valid entries.
         len: usize,
     },
+    /// A submission arrived from a pipeline whose membership lease had
+    /// already expired (it was evicted from the quorum).
+    LeaseExpired {
+        /// The evicted pipeline.
+        pipe: usize,
+        /// The round it tried to submit for.
+        round: u64,
+    },
+    /// A worker's pipeline failed (panicked stage thread, hung channel,
+    /// unrecoverable comms) and reports the failure instead of aborting.
+    WorkerFailed {
+        /// Human-readable cause.
+        what: String,
+    },
+    /// Evicting a member would leave the quorum empty — averaging cannot
+    /// proceed with zero live pipelines.
+    QuorumLost {
+        /// Live members remaining (before the refused eviction).
+        live: usize,
+        /// The shard version at which quorum was lost.
+        round: u64,
+    },
+    /// A checkpoint file is torn, truncated, or fails its checksum.
+    CorruptCheckpoint {
+        /// What the validation found.
+        why: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -67,8 +94,62 @@ impl std::fmt::Display for Error {
             Error::IndexOutOfRange { what, index, len } => {
                 write!(f, "{what} index {index} out of range (len {len})")
             }
+            Error::LeaseExpired { pipe, round } => {
+                write!(f, "pipeline {pipe}'s lease expired; submission for round {round} refused")
+            }
+            Error::WorkerFailed { what } => {
+                write!(f, "worker pipeline failed: {what}")
+            }
+            Error::QuorumLost { live, round } => {
+                write!(f, "quorum lost at round {round}: {live} live member(s) remain")
+            }
+            Error::CorruptCheckpoint { why } => {
+                write!(f, "corrupt checkpoint: {why}")
+            }
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_the_fault_variants() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::LeaseExpired { pipe: 2, round: 7 },
+                "pipeline 2's lease expired; submission for round 7 refused",
+            ),
+            (
+                Error::WorkerFailed { what: "stage 1 panicked".into() },
+                "worker pipeline failed: stage 1 panicked",
+            ),
+            (
+                Error::QuorumLost { live: 1, round: 4 },
+                "quorum lost at round 4: 1 live member(s) remain",
+            ),
+            (
+                Error::CorruptCheckpoint { why: "checksum mismatch".into() },
+                "corrupt checkpoint: checksum mismatch",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn display_covers_the_seed_variants() {
+        assert_eq!(
+            Error::StageCountMismatch { checkpoint: 2, model: 3 }.to_string(),
+            "checkpoint has 2 stages, model has 3"
+        );
+        assert_eq!(
+            Error::DuplicateSubmit { pipe: 0, round: 1 }.to_string(),
+            "pipeline 0 submitted twice in round 1"
+        );
+    }
+}

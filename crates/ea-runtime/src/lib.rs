@@ -41,15 +41,22 @@
 mod checkpoint;
 mod elastic;
 mod error;
+mod json;
+mod membership;
 mod metrics;
 pub mod semantic;
 mod server;
+mod supervisor;
 mod threaded;
 
-pub use checkpoint::Checkpoint;
-pub use elastic::{ElasticTrainer, LocalShards, RefShard, SubmitOutcome};
+pub use checkpoint::{Checkpoint, RefCheckpoint};
+pub use elastic::{ElasticTrainer, LocalShards, RefShard, RoundRecord, SubmitOutcome};
 pub use error::Error;
-pub use metrics::{epochs_to_target, evaluate, EpochsToTarget, EvalResult};
+pub use membership::Membership;
+pub use metrics::{
+    epochs_to_target, evaluate, EpochsToTarget, EvalResult, ServerMetrics, ServerMetricsSnapshot,
+};
 pub use semantic::{train_step, ElasticSemantic, StaleTrainer, SyncTrainer, Trainer};
-pub use server::{ElasticWorker, RefShardServer};
+pub use server::{ElasticWorker, FtConfig, RefShardServer};
+pub use supervisor::{ChannelFactory, RoundReport, SupervisedWorker, SupervisorConfig, WorkerMode};
 pub use threaded::ThreadedPipeline;

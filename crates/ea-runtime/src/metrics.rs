@@ -1,8 +1,100 @@
-//! Evaluation and epochs-to-target measurement (Figure 14).
+//! Evaluation and epochs-to-target measurement (Figure 14), plus the
+//! server-side fault/health counters ([`ServerMetrics`]).
 
 use crate::Trainer;
 use ea_autograd::cross_entropy_loss;
 use ea_data::{accuracy, SyntheticTask};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Health and fault counters exposed by `RefShardServer`: connection
+/// failures are *counted and logged*, never silently swallowed, so tests
+/// (and operators) can assert on what the server actually observed.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    disconnects: AtomicU64,
+    protocol_violations: AtomicU64,
+    crc_failures: AtomicU64,
+    io_errors: AtomicU64,
+    heartbeats: AtomicU64,
+    evictions: AtomicU64,
+    rejoins: AtomicU64,
+    degraded_rounds: AtomicU64,
+    quorum_lost: AtomicU64,
+    checkpoints_saved: AtomicU64,
+    checkpoint_restores: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerMetrics`], for assertions and logs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetricsSnapshot {
+    /// Connections that ended with the peer hanging up.
+    pub disconnects: u64,
+    /// Messages that violated the protocol (bad round, bad shard, …).
+    pub protocol_violations: u64,
+    /// Frames rejected by their CRC32 trailer.
+    pub crc_failures: u64,
+    /// Transport-level I/O errors.
+    pub io_errors: u64,
+    /// Heartbeats served.
+    pub heartbeats: u64,
+    /// Lease expirations that evicted a pipeline.
+    pub evictions: u64,
+    /// Dead pipelines readmitted to the quorum.
+    pub rejoins: u64,
+    /// Rounds applied with fewer than N contributors.
+    pub degraded_rounds: u64,
+    /// Evictions refused because they would empty the quorum.
+    pub quorum_lost: u64,
+    /// Reference checkpoints written.
+    pub checkpoints_saved: u64,
+    /// Server startups that restored shards from a checkpoint.
+    pub checkpoint_restores: u64,
+}
+
+macro_rules! counter {
+    ($inc:ident, $field:ident) => {
+        /// Increments the corresponding counter.
+        pub fn $inc(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    counter!(inc_disconnects, disconnects);
+    counter!(inc_protocol_violations, protocol_violations);
+    counter!(inc_crc_failures, crc_failures);
+    counter!(inc_io_errors, io_errors);
+    counter!(inc_heartbeats, heartbeats);
+    counter!(inc_evictions, evictions);
+    counter!(inc_rejoins, rejoins);
+    counter!(inc_degraded_rounds, degraded_rounds);
+    counter!(inc_quorum_lost, quorum_lost);
+    counter!(inc_checkpoints_saved, checkpoints_saved);
+    counter!(inc_checkpoint_restores, checkpoint_restores);
+
+    /// A consistent-enough copy of all counters (relaxed reads).
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            protocol_violations: self.protocol_violations.load(Ordering::Relaxed),
+            crc_failures: self.crc_failures.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+            degraded_rounds: self.degraded_rounds.load(Ordering::Relaxed),
+            quorum_lost: self.quorum_lost.load(Ordering::Relaxed),
+            checkpoints_saved: self.checkpoints_saved.load(Ordering::Relaxed),
+            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Held-out evaluation of a trainer's model.
 #[derive(Clone, Copy, Debug)]
@@ -133,5 +225,24 @@ mod tests {
         let r = epochs_to_target(&mut t, &task, 8, 10, 1, 0.0, false, 2);
         assert!(r.epochs.is_none());
         assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn server_metrics_count_and_snapshot() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.snapshot(), ServerMetricsSnapshot::default());
+        m.inc_disconnects();
+        m.inc_disconnects();
+        m.inc_crc_failures();
+        m.inc_evictions();
+        m.inc_rejoins();
+        m.inc_degraded_rounds();
+        let s = m.snapshot();
+        assert_eq!(s.disconnects, 2);
+        assert_eq!(s.crc_failures, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.rejoins, 1);
+        assert_eq!(s.degraded_rounds, 1);
+        assert_eq!(s.protocol_violations, 0);
     }
 }

@@ -3,10 +3,34 @@
 //! [`RefShardServer`] puts the [`RefShard`](crate::RefShard) accumulators
 //! behind an [`ea_comms::Listener`]: one service thread per accepted
 //! connection, speaking the elastic-averaging wire protocol (`Hello`
-//! handshake, `PullRequest`/`PullReply`, `SubmitDelta`/`Ack`). Because
-//! submissions are idempotent on `(shard, round, pipe)` and pulls are
-//! reads, the server composes with at-least-once clients — retransmitted
-//! requests are answered again without double-counting.
+//! handshake, `PullRequest`/`PullReply`, `SubmitDelta`/`Ack`,
+//! `Heartbeat`/`HeartbeatAck`, `RoundInfoRequest`/`RoundInfoReply`).
+//! Because submissions are idempotent on `(shard, round, pipe)` and pulls
+//! are reads, the server composes with at-least-once clients —
+//! retransmitted requests are answered again without double-counting.
+//!
+//! # Fault tolerance
+//!
+//! [`RefShardServer::with_fault_tolerance`] arms the membership machinery:
+//!
+//! * Every message from pipeline `p` renews `p`'s **lease**
+//!   ([`Membership`]); idle workers send explicit heartbeats.
+//! * A background *reaper* thread expires lapsed leases and evicts the
+//!   dead pipeline from every shard quorum — a round stalled on the dead
+//!   worker then completes in **degraded-quorum** mode
+//!   (`w̃ ← w̃ + (1/k)·Σ Δ_i` over the `k` survivors).
+//! * Reference pulls wait at most [`FtConfig::pull_wait`] — a stalled
+//!   round cannot pin a connection thread; the client's retransmission
+//!   doubles as lease renewal while the reaper completes the round.
+//! * A message from an evicted pipeline *readmits* it at the next round
+//!   boundary, so a restarted worker re-enters the quorum cleanly.
+//! * The reaper periodically persists a round-tagged, checksummed
+//!   [`RefCheckpoint`](crate::RefCheckpoint) (atomic write–rename);
+//!   [`RefShardServer::from_checkpoint`] restores it on startup so a
+//!   server crash resumes at the recorded round.
+//!
+//! Every connection failure is **counted and logged**
+//! ([`ServerMetrics`]) — never silently swallowed.
 //!
 //! [`ElasticWorker`] is the process-per-pipeline counterpart of
 //! [`ElasticTrainer`](crate::ElasticTrainer): one threaded pipeline whose
@@ -14,20 +38,74 @@
 //! [`ShardChannel`] — typically [`RemoteShards`](ea_comms::RemoteShards)
 //! over TCP to a `RefShardServer` in another process.
 
+use crate::checkpoint::RefCheckpoint;
 use crate::elastic::{RefShard, SubmitOutcome};
-use crate::ThreadedPipeline;
+use crate::membership::Membership;
+use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::{Error, ThreadedPipeline};
 use ea_autograd::Stage;
-use ea_comms::{CommsError, Listener, Message, ShardChannel, Transport, PROTO_VERSION};
+use ea_comms::{
+    CommsError, FrameError, Listener, Message, QuorumInfo, ShardChannel, Transport, PROTO_VERSION,
+};
 use ea_data::Batch;
 use ea_optim::Optimizer;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Fault-tolerance policy for [`RefShardServer::with_fault_tolerance`].
+#[derive(Clone, Debug)]
+pub struct FtConfig {
+    /// Lease duration: a pipeline silent for longer is declared dead and
+    /// evicted from the quorum.
+    pub lease: Duration,
+    /// How often the reaper thread checks for lapsed leases (and writes
+    /// checkpoints). Should be a fraction of `lease`.
+    pub reap_interval: Duration,
+    /// Upper bound on how long a versioned pull may block server-side. On
+    /// expiry no reply is sent; the client retransmits, which renews its
+    /// lease while the reaper completes the stalled round.
+    pub pull_wait: Duration,
+    /// Periodic reference checkpointing: `(path, interval)`. The write is
+    /// atomic (temp file + rename) and skipped whenever the shards are
+    /// mid-round (inconsistent versions).
+    pub checkpoint: Option<(PathBuf, Duration)>,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            lease: Duration::from_secs(2),
+            reap_interval: Duration::from_millis(500),
+            pull_wait: Duration::from_millis(250),
+            checkpoint: None,
+        }
+    }
+}
+
+/// A lease long enough to never expire in practice — membership is inert
+/// until `with_fault_tolerance` replaces it.
+const NO_LEASE: Duration = Duration::from_secs(365 * 24 * 3600);
+
+/// Everything a connection thread needs, shared with the reaper.
+struct ServerCtx {
+    shards: Vec<Arc<RefShard>>,
+    n_pipelines: usize,
+    /// `Some` in fault-tolerant mode: bounded pull waits.
+    pull_wait: Option<Duration>,
+    membership: Membership,
+    metrics: Arc<ServerMetrics>,
+}
 
 /// Serves a set of reference shards to remote pipelines over any
 /// transport backend.
 pub struct RefShardServer {
-    shards: Vec<Arc<RefShard>>,
-    n_pipelines: usize,
+    ctx: Arc<ServerCtx>,
+    checkpoint: Option<(PathBuf, Duration)>,
+    reaper_stop: Arc<AtomicBool>,
+    reaper: Option<JoinHandle<()>>,
 }
 
 impl RefShardServer {
@@ -37,7 +115,22 @@ impl RefShardServer {
         for sh in &shards {
             assert_eq!(sh.n_pipelines(), n_pipelines, "shards disagree on pipeline count");
         }
-        RefShardServer { shards, n_pipelines }
+        let metrics = Arc::new(ServerMetrics::new());
+        for sh in &shards {
+            sh.set_metrics(Arc::clone(&metrics));
+        }
+        RefShardServer {
+            ctx: Arc::new(ServerCtx {
+                shards,
+                n_pipelines,
+                pull_wait: None,
+                membership: Membership::new(n_pipelines, NO_LEASE),
+                metrics,
+            }),
+            checkpoint: None,
+            reaper_stop: Arc::new(AtomicBool::new(false)),
+            reaper: None,
+        }
     }
 
     /// Builds fresh shards from per-stage initial reference weights.
@@ -47,9 +140,72 @@ impl RefShardServer {
         Self::new(shards, n_pipelines)
     }
 
+    /// Restores the shards from a reference checkpoint: every shard starts
+    /// at the recorded round with the recorded weights, so training
+    /// resumes where the crashed server left off instead of resetting.
+    pub fn from_checkpoint(ckpt: &RefCheckpoint, n_pipelines: usize) -> Self {
+        let shards = ckpt
+            .shards
+            .iter()
+            .map(|w| Arc::new(RefShard::with_version(w.clone(), n_pipelines, ckpt.round)))
+            .collect();
+        let server = Self::new(shards, n_pipelines);
+        server.ctx.metrics.inc_checkpoint_restores();
+        server
+    }
+
+    /// Arms fault tolerance: lease-based membership, bounded pull waits,
+    /// the reaper thread (degraded-quorum completion of stalled rounds),
+    /// and optional periodic checkpointing. Call before serving.
+    pub fn with_fault_tolerance(self, cfg: FtConfig) -> Self {
+        let old = &self.ctx;
+        let ctx = Arc::new(ServerCtx {
+            shards: old.shards.clone(),
+            n_pipelines: old.n_pipelines,
+            pull_wait: Some(cfg.pull_wait),
+            membership: Membership::new(old.n_pipelines, cfg.lease),
+            metrics: Arc::clone(&old.metrics),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let reaper = {
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&stop);
+            let checkpoint = cfg.checkpoint.clone();
+            let interval = cfg.reap_interval;
+            std::thread::Builder::new()
+                .name("shard-reaper".into())
+                .spawn(move || reaper_loop(&ctx, &stop, interval, checkpoint))
+                .expect("spawn reaper thread")
+        };
+        RefShardServer { ctx, checkpoint: cfg.checkpoint, reaper_stop: stop, reaper: Some(reaper) }
+    }
+
     /// The shards being served (e.g. to snapshot the final reference).
     pub fn shards(&self) -> &[Arc<RefShard>] {
-        &self.shards
+        &self.ctx.shards
+    }
+
+    /// Point-in-time copy of the health/fault counters.
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        self.ctx.metrics.snapshot()
+    }
+
+    /// Live-membership count as seen by the lease tracker.
+    pub fn live_count(&self) -> usize {
+        self.ctx.membership.live_count()
+    }
+
+    /// Writes a consistent reference checkpoint now (all shards at the
+    /// same version), if one is possible. Returns whether a file was
+    /// written.
+    pub fn checkpoint_now(&self, path: &std::path::Path) -> std::io::Result<bool> {
+        match save_consistent_checkpoint(&self.ctx, path)? {
+            true => {
+                self.ctx.metrics.inc_checkpoints_saved();
+                Ok(true)
+            }
+            false => Ok(false),
+        }
     }
 
     /// Accepts exactly `n_conns` connections and serves each on its own
@@ -65,41 +221,206 @@ impl RefShardServer {
 
     /// Serves one already-established connection on a new thread.
     pub fn spawn_conn(&self, conn: Box<dyn Transport>) -> JoinHandle<()> {
-        let shards = self.shards.clone();
-        let n_pipelines = self.n_pipelines;
-        std::thread::spawn(move || serve_conn(&shards, n_pipelines, conn))
+        let ctx = Arc::clone(&self.ctx);
+        std::thread::spawn(move || serve_conn(&ctx, conn))
+    }
+
+    /// Runs an accept loop on its own thread, serving every connection
+    /// until the listener fails (e.g. is dropped/closed). Lets workers
+    /// connect, crash, and reconnect in any order.
+    pub fn serve_background(&self, mut listener: Box<dyn Listener>) -> JoinHandle<()> {
+        let ctx = Arc::clone(&self.ctx);
+        std::thread::spawn(move || {
+            while let Ok(conn) = listener.accept() {
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || serve_conn(&ctx, conn));
+            }
+        })
     }
 }
 
-fn serve_conn(shards: &[Arc<RefShard>], n_pipelines: usize, mut conn: Box<dyn Transport>) {
+impl Drop for RefShardServer {
+    fn drop(&mut self) {
+        self.reaper_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+        // Final checkpoint on clean shutdown, best effort.
+        if let Some((path, _)) = self.checkpoint.take() {
+            let _ = self.checkpoint_now(&path);
+        }
+    }
+}
+
+/// The reaper: expires leases, evicts dead pipelines from the shard
+/// quorums (completing stalled rounds degraded), and periodically
+/// persists a consistent reference checkpoint.
+fn reaper_loop(
+    ctx: &ServerCtx,
+    stop: &AtomicBool,
+    interval: Duration,
+    checkpoint: Option<(PathBuf, Duration)>,
+) {
+    // Pipelines whose eviction is pending — usually applied immediately,
+    // but kept for retry when eviction would empty the quorum.
+    let mut deferred: Vec<usize> = Vec::new();
+    let mut last_save = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        deferred.extend(ctx.membership.reap(Instant::now()));
+        deferred.retain(|&p| {
+            if ctx.membership.is_live(p) {
+                // Rejoined between reap and eviction; connection threads
+                // already readmitted it.
+                return false;
+            }
+            let mut evicted = false;
+            let mut quorum_lost = false;
+            for sh in &ctx.shards {
+                match sh.evict(p) {
+                    Ok(true) => evicted = true,
+                    Ok(false) => {}
+                    Err(Error::QuorumLost { live, round }) => {
+                        quorum_lost = true;
+                        eprintln!(
+                            "[refshard] refusing to evict pipe {p}: quorum would be lost \
+                             ({live} live at round {round})"
+                        );
+                    }
+                    Err(e) => eprintln!("[refshard] evicting pipe {p}: {e}"),
+                }
+            }
+            if evicted {
+                ctx.metrics.inc_evictions();
+                eprintln!("[refshard] EVICTED pipe={p} (lease expired)");
+            }
+            if quorum_lost {
+                ctx.metrics.inc_quorum_lost();
+            }
+            quorum_lost // keep for retry only while the quorum blocks it
+        });
+        if let Some((path, every)) = &checkpoint {
+            if last_save.elapsed() >= *every {
+                last_save = Instant::now();
+                match save_consistent_checkpoint(ctx, path) {
+                    Ok(true) => ctx.metrics.inc_checkpoints_saved(),
+                    Ok(false) => {} // mid-round; next tick will catch it
+                    Err(e) => eprintln!("[refshard] checkpoint write failed: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Persists the shards iff they are at one consistent version (not
+/// mid-round). Returns whether a file was written.
+fn save_consistent_checkpoint(ctx: &ServerCtx, path: &std::path::Path) -> std::io::Result<bool> {
+    let snaps: Vec<(u64, Vec<f32>)> = ctx.shards.iter().map(|sh| sh.versioned_snapshot()).collect();
+    let round = snaps[0].0;
+    if snaps.iter().any(|(v, _)| *v != round) {
+        return Ok(false);
+    }
+    let shards: Vec<Vec<f32>> = snaps.into_iter().map(|(_, w)| w).collect();
+    RefCheckpoint::capture(round, shards).save(path)?;
+    Ok(true)
+}
+
+/// The pipeline id a message identifies itself with, if any.
+fn msg_pipe(msg: &Message) -> Option<usize> {
+    match msg {
+        Message::Hello { pipe, .. }
+        | Message::SubmitDelta { pipe, .. }
+        | Message::Heartbeat { pipe, .. } => Some(*pipe as usize),
+        _ => None,
+    }
+}
+
+/// Lease renewal + readmission on any message from pipeline `p`. Shard
+/// readmission runs even when the membership entry is already live, to
+/// heal the (benign) race where the reaper evicted a pipe that rejoined
+/// between the lease check and the eviction.
+fn touch(ctx: &ServerCtx, p: usize) {
+    let was_dead = ctx.membership.join(p);
+    let mut readmitted = was_dead;
+    // One join boundary for all shards: past the highest in-flight round,
+    // so a rejoiner resyncing to the max shard version can never land
+    // beyond a round some slower shard still requires it for.
+    let joined_at = ctx.shards.iter().map(|s| s.version()).max().unwrap_or(0) + 1;
+    for sh in &ctx.shards {
+        if sh.readmit_at(p, joined_at) == Ok(true) {
+            readmitted = true;
+        }
+    }
+    if readmitted {
+        ctx.metrics.inc_rejoins();
+        eprintln!("[refshard] REJOIN pipe={p}");
+    }
+}
+
+fn serve_conn(ctx: &ServerCtx, mut conn: Box<dyn Transport>) {
+    // Learned from the first self-identifying message (Hello/Submit/
+    // Heartbeat); every later message on the connection renews its lease.
+    let mut pipe: Option<usize> = None;
     loop {
         let msg = match conn.recv() {
             Ok(msg) => msg,
-            // Clean disconnect — or a corrupt frame / I/O failure, which
-            // drops this connection but never the server process.
-            Err(_) => return,
+            Err(CommsError::Closed) => {
+                // Clean disconnect; in ft mode the lease decides whether
+                // the pipeline is dead — a reconnect may be imminent.
+                ctx.metrics.inc_disconnects();
+                return;
+            }
+            Err(CommsError::Frame(FrameError::BadCrc { expected, got })) => {
+                ctx.metrics.inc_crc_failures();
+                eprintln!(
+                    "[refshard] dropping conn (pipe {pipe:?}): frame CRC mismatch \
+                     (expected {expected:#010x}, got {got:#010x})"
+                );
+                return;
+            }
+            Err(CommsError::Frame(e)) => {
+                ctx.metrics.inc_protocol_violations();
+                eprintln!("[refshard] dropping conn (pipe {pipe:?}): bad frame: {e}");
+                return;
+            }
+            Err(e) => {
+                ctx.metrics.inc_io_errors();
+                eprintln!("[refshard] dropping conn (pipe {pipe:?}): receive failed: {e}");
+                return;
+            }
         };
-        match handle(shards, n_pipelines, msg) {
+        if let Some(p) = msg_pipe(&msg) {
+            if p < ctx.n_pipelines {
+                pipe = Some(p);
+            }
+        }
+        if let Some(p) = pipe {
+            touch(ctx, p);
+        }
+        match handle(ctx, msg) {
             Ok(Some(reply)) => {
                 if conn.send(reply).is_err() {
+                    ctx.metrics.inc_disconnects();
                     return;
                 }
             }
-            Ok(None) => {}
-            // Protocol violation: close the connection. The shard state
-            // is untouched (bad submissions are rejected atomically).
-            Err(_) => return,
+            Ok(None) => {} // bounded pull expired: client will retransmit
+            Err(e) => {
+                // Protocol violation: close the connection. The shard
+                // state is untouched (bad submissions are rejected
+                // atomically).
+                ctx.metrics.inc_protocol_violations();
+                eprintln!("[refshard] dropping conn (pipe {pipe:?}): {e}");
+                return;
+            }
         }
     }
 }
 
 /// Computes the reply for one request. `Err` means the connection must be
-/// closed; `Ok(None)` means no reply is owed.
-fn handle(
-    shards: &[Arc<RefShard>],
-    n_pipelines: usize,
-    msg: Message,
-) -> Result<Option<Message>, CommsError> {
+/// closed; `Ok(None)` means no reply is owed (the peer retransmits).
+fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> {
+    let shards = &ctx.shards;
     match msg {
         Message::Hello { proto, pipe: _ } => {
             if proto != PROTO_VERSION as u16 {
@@ -110,17 +431,37 @@ fn handle(
             Ok(Some(Message::HelloAck {
                 proto: PROTO_VERSION as u16,
                 n_shards: shards.len() as u32,
-                n_pipelines: n_pipelines as u32,
+                n_pipelines: ctx.n_pipelines as u32,
             }))
         }
         Message::PullRequest { shard, version } => {
             let sh = lookup(shards, shard)?;
-            // A retransmitted pull can arrive after its round was
-            // superseded; reply with the weights' *actual* version so the
-            // client can discard the stale answer instead of mistaking
-            // newer weights for older ones.
-            let (actual, weights) = sh.weights_at_least(version);
-            Ok(Some(Message::PullReply { shard, version: actual, weights }))
+            if version == u64::MAX {
+                // Latest-snapshot sentinel: a rejoining worker asking
+                // "where are we?" — never blocks.
+                let (actual, weights) = sh.versioned_snapshot();
+                return Ok(Some(Message::PullReply { shard, version: actual, weights }));
+            }
+            match ctx.pull_wait {
+                // Fault-tolerant mode: wait boundedly. A round stalled on
+                // a dead peer must not pin this thread — the reaper will
+                // complete it degraded and the client's retransmission
+                // (which renewed its lease) gets the weights.
+                Some(timeout) => match sh.weights_within(version, timeout) {
+                    Some((actual, weights)) => {
+                        Ok(Some(Message::PullReply { shard, version: actual, weights }))
+                    }
+                    None => Ok(None),
+                },
+                None => {
+                    // A retransmitted pull can arrive after its round was
+                    // superseded; reply with the weights' *actual* version
+                    // so the client can discard the stale answer instead
+                    // of mistaking newer weights for older ones.
+                    let (actual, weights) = sh.weights_at_least(version);
+                    Ok(Some(Message::PullReply { shard, version: actual, weights }))
+                }
+            }
         }
         Message::SubmitDelta { shard, round, pipe, delta } => {
             let sh = lookup(shards, shard)?;
@@ -133,6 +474,37 @@ fn handle(
                 })),
                 Err(e) => Err(CommsError::Protocol(e.to_string())),
             }
+        }
+        Message::Heartbeat { pipe, round: _ } => {
+            if pipe as usize >= ctx.n_pipelines {
+                return Err(CommsError::Protocol(format!(
+                    "heartbeat from unknown pipe {pipe} (server has {})",
+                    ctx.n_pipelines
+                )));
+            }
+            ctx.metrics.inc_heartbeats();
+            let round = shards.iter().map(|sh| sh.version()).max().unwrap_or(0);
+            Ok(Some(Message::HeartbeatAck {
+                pipe,
+                round,
+                quorum: ctx.membership.live_count() as u32,
+                members: ctx.membership.mask(),
+            }))
+        }
+        Message::RoundInfoRequest { shard, round } => {
+            let sh = lookup(shards, shard)?;
+            Ok(Some(match sh.round_record(round) {
+                Some(rec) => Message::RoundInfoReply {
+                    shard,
+                    round,
+                    quorum: rec.quorum,
+                    members: rec.members,
+                    known: true,
+                },
+                None => {
+                    Message::RoundInfoReply { shard, round, quorum: 0, members: 0, known: false }
+                }
+            }))
         }
         other => Err(CommsError::Protocol(format!("unexpected {} from peer", other.name()))),
     }
@@ -195,9 +567,54 @@ impl ElasticWorker {
         Ok(loss)
     }
 
+    /// One *local* training step — no reference pull, no delta shipped.
+    /// The supervisor's degraded mode: keep making progress while the
+    /// server is unreachable.
+    pub fn local_step(&mut self, batch: &Batch) -> Result<f32, Error> {
+        self.pipeline.try_step(batch)
+    }
+
     /// Completed rounds.
     pub fn rounds_done(&self) -> u64 {
         self.round
+    }
+
+    /// The elastic pull strength.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Changes the elastic pull strength (e.g. to `1/k` when the quorum
+    /// degrades to `k` members).
+    pub fn set_alpha(&mut self, alpha: f32) {
+        self.alpha = alpha;
+    }
+
+    /// Swaps in a fresh channel (same shard topology) after a reconnect.
+    pub fn reconnect(&mut self, channel: Arc<dyn ShardChannel>) {
+        assert_eq!(channel.n_shards(), self.n_shards, "reconnect changed the shard topology");
+        self.channel = channel;
+    }
+
+    /// Renews this worker's lease and returns the server's quorum view.
+    pub fn heartbeat(&self) -> Result<QuorumInfo, CommsError> {
+        self.channel.heartbeat(self.pipe, self.round)
+    }
+
+    /// Resynchronizes with the server after a restart or lost rounds:
+    /// pulls every shard's *latest* reference, overwrites the replica
+    /// parameters with it, and fast-forwards the round counter to the
+    /// newest shard version. The next [`ElasticWorker::round`] then
+    /// re-enters the quorum at the server's current round boundary.
+    pub fn resync(&mut self) -> Result<u64, CommsError> {
+        let mut newest = 0u64;
+        for s in 0..self.n_shards {
+            let (version, weights) = self.channel.pull_latest(self.pipe, s)?;
+            newest = newest.max(version);
+            self.pipeline.set_stage_params(s, weights);
+        }
+        self.round = newest;
+        Ok(newest)
     }
 
     /// Reference weights of stage `s` as of the last completed round
@@ -220,12 +637,14 @@ mod tests {
     fn serve_loopback(
         server: RefShardServer,
         n_conns: usize,
-    ) -> (ea_comms::LoopbackHub, JoinHandle<Vec<JoinHandle<()>>>) {
+    ) -> (ea_comms::LoopbackHub, JoinHandle<Vec<JoinHandle<()>>>, Arc<RefShardServer>) {
         let (hub, mut listener) = loopback_endpoint();
+        let server = Arc::new(server);
+        let srv = Arc::clone(&server);
         let h = std::thread::spawn(move || {
-            server.serve_connections(&mut listener, n_conns).expect("accept failed")
+            srv.serve_connections(&mut listener, n_conns).expect("accept failed")
         });
-        (hub, h)
+        (hub, h, server)
     }
 
     fn connect(hub: &ea_comms::LoopbackHub, pipe: usize) -> ShardClient {
@@ -236,7 +655,7 @@ mod tests {
     #[test]
     fn handshake_reports_shard_topology() {
         let server = RefShardServer::from_initial_weights(vec![vec![0.0; 4], vec![0.0; 6]], 3);
-        let (hub, h) = serve_loopback(server, 1);
+        let (hub, h, _server) = serve_loopback(server, 1);
         let client = connect(&hub, 0);
         assert_eq!(client.server_info().n_shards, 2);
         assert_eq!(client.server_info().n_pipelines, 3);
@@ -250,7 +669,7 @@ mod tests {
     fn two_clients_complete_a_round_through_the_server() {
         let server = RefShardServer::from_initial_weights(vec![vec![1.0, 1.0]], 2);
         let shards = server.shards().to_vec();
-        let (hub, h) = serve_loopback(server, 2);
+        let (hub, h, _server) = serve_loopback(server, 2);
         let barrier = Arc::new(std::sync::Barrier::new(2));
         let workers: Vec<_> = (0..2)
             .map(|p| {
@@ -281,7 +700,7 @@ mod tests {
     fn retransmitted_submit_is_acked_as_duplicate_and_not_double_counted() {
         let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 1);
         let shards = server.shards().to_vec();
-        let (hub, h) = serve_loopback(server, 1);
+        let (hub, h, _server) = serve_loopback(server, 1);
         let mut raw = hub.connect().unwrap();
         let hello = Message::Hello { proto: PROTO_VERSION as u16, pipe: 0 };
         raw.send(hello).unwrap();
@@ -306,7 +725,7 @@ mod tests {
         let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 1);
         let shards = server.shards().to_vec();
         shards[0].submit(0, vec![3.0]).unwrap();
-        let (hub, h) = serve_loopback(server, 1);
+        let (hub, h, _server) = serve_loopback(server, 1);
         let mut raw = hub.connect().unwrap();
         raw.send(Message::PullRequest { shard: 0, version: 0 }).unwrap();
         match raw.recv().unwrap() {
@@ -326,7 +745,7 @@ mod tests {
     fn protocol_violation_closes_the_connection_without_corrupting_state() {
         let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2);
         let shards = server.shards().to_vec();
-        let (hub, h) = serve_loopback(server, 2);
+        let (hub, h, server) = serve_loopback(server, 2);
         // A bad peer submits a wrong-length delta, then a future round.
         let mut bad = hub.connect().unwrap();
         bad.send(Message::SubmitDelta { shard: 0, round: 0, pipe: 0, delta: vec![1.0; 9] })
@@ -342,6 +761,151 @@ mod tests {
         for conn in h.join().unwrap() {
             conn.join().unwrap();
         }
+        // The violation was counted, not swallowed.
+        assert!(server.metrics().protocol_violations >= 1);
+    }
+
+    #[test]
+    fn heartbeat_round_info_and_latest_pull_are_served() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2);
+        let shards = server.shards().to_vec();
+        let (hub, h, server) = serve_loopback(server, 1);
+        let mut c = connect(&hub, 0);
+        // Full quorum reported before any round.
+        let q = c.heartbeat(0).unwrap();
+        assert_eq!(q, QuorumInfo { round: 0, quorum: 2, members: 0b11 });
+        // Complete round 0 out-of-band, degraded to pipe 0 only.
+        shards[0].submit_at(0, 0, vec![4.0]).unwrap();
+        shards[0].evict(1).unwrap();
+        // The latest-pull sentinel never blocks and reports the version.
+        let (v, w) = c.pull_latest(0).unwrap();
+        assert_eq!((v, w), (1, vec![4.0]));
+        // The membership record of round 0 is queryable...
+        let rec = c.round_info(0, 0).unwrap().unwrap();
+        assert_eq!(rec, QuorumInfo { round: 0, quorum: 1, members: 0b01 });
+        // ...and unknown rounds are reported as such, not invented.
+        assert_eq!(c.round_info(0, 7).unwrap(), None);
+        drop(c);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+        assert!(server.metrics().heartbeats >= 1);
+    }
+
+    #[test]
+    fn ft_mode_bounded_pull_times_out_and_the_retransmission_succeeds() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2).with_fault_tolerance(
+            FtConfig {
+                lease: Duration::from_secs(60), // never expires in this test
+                reap_interval: Duration::from_millis(10),
+                pull_wait: Duration::from_millis(40),
+                checkpoint: None,
+            },
+        );
+        let shards = server.shards().to_vec();
+        let (hub, h, _server) = serve_loopback(server, 1);
+        let mut c = ShardClient::handshake(
+            Box::new(hub.connect().unwrap()),
+            0,
+            RetryConfig { reply_timeout: Duration::from_millis(80), max_attempts: 20 },
+        )
+        .unwrap();
+        // Ask for round 1 before it exists; complete it from another
+        // thread after a few server-side pull timeouts have elapsed.
+        let filler = {
+            let shards = shards.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(150));
+                shards[0].submit_at(0, 0, vec![2.0]).unwrap();
+                shards[0].submit_at(0, 1, vec![4.0]).unwrap();
+            })
+        };
+        let w = c.pull(0, 1).unwrap();
+        assert_eq!(w, vec![3.0]);
+        filler.join().unwrap();
+        drop(c);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn lease_expiry_evicts_and_a_message_readmits() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2).with_fault_tolerance(
+            FtConfig {
+                lease: Duration::from_millis(60),
+                reap_interval: Duration::from_millis(15),
+                pull_wait: Duration::from_millis(30),
+                checkpoint: None,
+            },
+        );
+        let shards = server.shards().to_vec();
+        let (hub, listener) = loopback_endpoint();
+        let accept = server.serve_background(Box::new(listener));
+        let mut c = connect(&hub, 0);
+        // Pipe 0 stays chatty; pipe 1 never speaks and gets reaped.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.live_count() > 1 {
+            assert!(Instant::now() < deadline, "pipe 1 was never evicted");
+            let _ = c.heartbeat(0).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!shards[0].is_member(1));
+        assert!(server.metrics().evictions >= 1);
+        // A round completes degraded with just pipe 0...
+        c.submit(0, 0, vec![6.0]).unwrap();
+        assert_eq!(c.pull(0, 1).unwrap(), vec![6.0]);
+        assert_eq!(shards[0].round_record(0).unwrap().quorum, 1);
+        // ...and pipe 1 coming back readmits it into the next round.
+        let mut back = connect(&hub, 1);
+        let q = back.heartbeat(0).unwrap();
+        assert_eq!(q.quorum, 2);
+        assert!(shards[0].is_member(1));
+        assert!(server.metrics().rejoins >= 1);
+        drop(c);
+        drop(back);
+        drop(hub); // closes the listener; the accept loop exits
+        accept.join().unwrap();
+    }
+
+    #[test]
+    fn restart_from_checkpoint_resumes_at_the_recorded_round() {
+        let dir = std::env::temp_dir().join("avgpipe_server_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ref.json");
+        {
+            let server = RefShardServer::from_initial_weights(vec![vec![0.0], vec![0.0]], 1);
+            for sh in server.shards() {
+                sh.submit(0, vec![5.0]).unwrap();
+                sh.submit(0, vec![1.0]).unwrap();
+            }
+            assert!(server.checkpoint_now(&path).unwrap());
+            assert_eq!(server.metrics().checkpoints_saved, 1);
+        } // "crash"
+        let ckpt = RefCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt.round, 2);
+        let server = RefShardServer::from_checkpoint(&ckpt, 1);
+        assert_eq!(server.metrics().checkpoint_restores, 1);
+        for sh in server.shards() {
+            assert_eq!(sh.versioned_snapshot(), (2, vec![6.0]));
+            // The quorum machinery resumes from the recorded round.
+            sh.submit_at(2, 0, vec![1.0]).unwrap();
+            assert_eq!(sh.try_weights_at(3), Some(vec![7.0]));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_round_checkpoint_is_skipped_not_torn() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0], vec![0.0]], 1);
+        // Advance shard 0 only: versions now disagree (1 vs 0).
+        server.shards()[0].submit(0, vec![1.0]).unwrap();
+        let dir = std::env::temp_dir().join("avgpipe_server_skip_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ref.json");
+        assert!(!server.checkpoint_now(&path).unwrap(), "inconsistent state must be skipped");
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -376,7 +940,7 @@ mod tests {
         let init: Vec<Vec<f32>> = make_stages().iter().map(|s| s.params_flat()).collect();
         let server = RefShardServer::from_initial_weights(init, n);
         let shards = server.shards().to_vec();
-        let (hub, h) = serve_loopback(server, n);
+        let (hub, h, _server) = serve_loopback(server, n);
         let rounds = 3u64;
         let workers: Vec<_> = (0..n)
             .map(|p| {
@@ -409,8 +973,8 @@ mod tests {
             let mean = worker_losses.iter().map(|l| l[r]).sum::<f32>() / n as f32;
             assert_eq!(mean, local_losses[r], "round {r} loss differs");
         }
-        for s in 0..CFG.stages {
-            let remote = shards[s].try_weights_at(rounds).unwrap();
+        for (s, shard) in shards.iter().enumerate() {
+            let remote = shard.try_weights_at(rounds).unwrap();
             assert_eq!(remote, local.reference(s), "stage {s} reference differs");
         }
         for conn in h.join().unwrap() {

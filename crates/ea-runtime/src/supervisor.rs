@@ -1,0 +1,385 @@
+//! Worker-side supervision: bounded retry, reconnection, and graceful
+//! degradation around an [`ElasticWorker`].
+//!
+//! The supervisor is the client half of the failure model (DESIGN.md
+//! §14): the server evicts unresponsive workers and completes rounds
+//! degraded; the supervisor keeps a *live* worker useful when it is the
+//! one observing failures —
+//!
+//! * **Transient comms failures** (server restarting, network blip):
+//!   exponential backoff, reconnect through the channel factory, and
+//!   [`ElasticWorker::resync`] to re-enter the quorum at the server's
+//!   current round boundary.
+//! * **Persistent failures** (budget exhausted): escalate to
+//!   [`WorkerMode::LocalOnly`] — plain local SGD steps, no reference
+//!   traffic — rather than stalling forever.
+//! * **Panics** inside the training round are captured and surfaced as
+//!   [`Error::WorkerFailed`]; the worker is poisoned and every later call
+//!   fails fast instead of touching a half-updated pipeline.
+
+use crate::server::ElasticWorker;
+use crate::Error;
+use ea_comms::{CommsError, QuorumInfo, ShardChannel};
+use ea_data::Batch;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds a fresh [`ShardChannel`] after a connection loss (typically:
+/// dial the server, re-handshake, wrap in `RemoteShards`).
+pub type ChannelFactory = Box<dyn FnMut() -> Result<Arc<dyn ShardChannel>, CommsError> + Send>;
+
+/// Retry/backoff/degradation policy for [`SupervisedWorker`].
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Consecutive failed communication attempts tolerated before the
+    /// worker falls back to local-only training.
+    pub max_comms_failures: u32,
+    /// First backoff delay; doubles per consecutive failure.
+    pub backoff: Duration,
+    /// Upper bound on the backoff delay.
+    pub max_backoff: Duration,
+    /// Re-derive `α = 1/quorum` from the heartbeat after each round, so a
+    /// degraded ensemble keeps the paper's `α = 1/N` coupling with the
+    /// *effective* N.
+    pub adapt_alpha: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_comms_failures: 5,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            adapt_alpha: false,
+        }
+    }
+}
+
+/// How the supervised worker is currently training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// Participating in elastic-averaging rounds.
+    Elastic,
+    /// Comms budget exhausted: plain local steps, no reference traffic.
+    LocalOnly,
+}
+
+/// What one supervised round did.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundReport {
+    /// Mean micro-batch loss of the step that was taken.
+    pub loss: f32,
+    /// Mode the step ran in.
+    pub mode: WorkerMode,
+    /// Server quorum view after the round (elastic mode with
+    /// `adapt_alpha` only).
+    pub quorum: Option<QuorumInfo>,
+    /// Comms failures absorbed while completing this round.
+    pub retries: u32,
+}
+
+/// An [`ElasticWorker`] wrapped in crash/retry supervision.
+pub struct SupervisedWorker {
+    worker: ElasticWorker,
+    factory: ChannelFactory,
+    cfg: SupervisorConfig,
+    mode: WorkerMode,
+    failures: u32,
+    poisoned: bool,
+}
+
+impl SupervisedWorker {
+    /// Wraps `worker`; `factory` produces replacement channels on
+    /// reconnect.
+    pub fn new(worker: ElasticWorker, factory: ChannelFactory, cfg: SupervisorConfig) -> Self {
+        SupervisedWorker {
+            worker,
+            factory,
+            cfg,
+            mode: WorkerMode::Elastic,
+            failures: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Current training mode.
+    pub fn mode(&self) -> WorkerMode {
+        self.mode
+    }
+
+    /// The wrapped worker (e.g. for parameter inspection).
+    pub fn worker(&self) -> &ElasticWorker {
+        &self.worker
+    }
+
+    /// Completed elastic rounds of the wrapped worker.
+    pub fn rounds_done(&self) -> u64 {
+        self.worker.rounds_done()
+    }
+
+    /// One supervised training round on `batch`. In elastic mode this is
+    /// [`ElasticWorker::round`] with retry/reconnect/resync on comms
+    /// failure; past the failure budget it degrades to local-only steps.
+    /// A panic inside the round poisons the worker permanently.
+    pub fn round(&mut self, batch: &Batch) -> Result<RoundReport, Error> {
+        if self.poisoned {
+            return Err(Error::WorkerFailed {
+                what: "worker is poisoned by an earlier panic".into(),
+            });
+        }
+        if self.mode == WorkerMode::LocalOnly {
+            let loss = self.local_round(batch)?;
+            return Ok(RoundReport { loss, mode: WorkerMode::LocalOnly, quorum: None, retries: 0 });
+        }
+        let mut retries = 0u32;
+        loop {
+            let attempt = catch_unwind(AssertUnwindSafe(|| self.worker.round(batch)));
+            match attempt {
+                Err(panic) => {
+                    self.poisoned = true;
+                    return Err(Error::WorkerFailed { what: panic_what(panic.as_ref()) });
+                }
+                Ok(Ok(loss)) => {
+                    self.failures = 0;
+                    let quorum = if self.cfg.adapt_alpha {
+                        let q = self.worker.heartbeat().ok();
+                        if let Some(q) = q {
+                            if q.quorum >= 1 {
+                                self.worker.set_alpha(1.0 / q.quorum as f32);
+                            }
+                        }
+                        q
+                    } else {
+                        None
+                    };
+                    return Ok(RoundReport { loss, mode: WorkerMode::Elastic, quorum, retries });
+                }
+                Ok(Err(e)) => {
+                    self.failures += 1;
+                    retries += 1;
+                    eprintln!(
+                        "[worker] round {} failed ({} consecutive): {e}",
+                        self.worker.rounds_done(),
+                        self.failures
+                    );
+                    if self.failures > self.cfg.max_comms_failures {
+                        eprintln!(
+                            "[worker] comms budget exhausted after {} failures; \
+                             falling back to LOCAL-ONLY training",
+                            self.failures
+                        );
+                        self.mode = WorkerMode::LocalOnly;
+                        let loss = self.local_round(batch)?;
+                        return Ok(RoundReport {
+                            loss,
+                            mode: WorkerMode::LocalOnly,
+                            quorum: None,
+                            retries,
+                        });
+                    }
+                    std::thread::sleep(self.backoff_delay());
+                    // Fresh connection + resync: the server may have
+                    // completed rounds without us while we were away.
+                    match (self.factory)() {
+                        Ok(channel) => {
+                            self.worker.reconnect(channel);
+                            match self.worker.resync() {
+                                Ok(round) => {
+                                    eprintln!("[worker] reconnected; resynced to round {round}")
+                                }
+                                Err(e) => eprintln!("[worker] resync failed: {e}"),
+                            }
+                        }
+                        Err(e) => eprintln!("[worker] reconnect failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn local_round(&mut self, batch: &Batch) -> Result<f32, Error> {
+        match catch_unwind(AssertUnwindSafe(|| self.worker.local_step(batch))) {
+            Ok(result) => result,
+            Err(panic) => {
+                self.poisoned = true;
+                Err(Error::WorkerFailed { what: panic_what(panic.as_ref()) })
+            }
+        }
+    }
+
+    fn backoff_delay(&self) -> Duration {
+        let exp = self.failures.saturating_sub(1).min(16);
+        let delay = self.cfg.backoff.saturating_mul(1u32 << exp);
+        delay.min(self.cfg.max_backoff)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_what(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elastic::{LocalShards, RefShard};
+    use ea_autograd::Stage;
+    use ea_models::{gnmt_analogue, AnalogueConfig};
+    use ea_optim::{OptKind, Optimizer};
+    use ea_tensor::TensorRng;
+
+    const CFG: AnalogueConfig =
+        AnalogueConfig { vocab: 16, seq: 4, hidden: 8, blocks: 2, stages: 2 };
+
+    fn stages(seed: u64) -> Vec<Stage> {
+        gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(seed)).into_stages()
+    }
+
+    fn opts() -> Vec<Box<dyn Optimizer>> {
+        (0..CFG.stages).map(|_| OptKind::Sgd { lr: 0.1 }.build()).collect()
+    }
+
+    fn fast_cfg(max_failures: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            max_comms_failures: max_failures,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            adapt_alpha: false,
+        }
+    }
+
+    /// A channel that fails every operation — an unreachable server.
+    struct DeadChannel {
+        n_shards: usize,
+    }
+
+    impl ShardChannel for DeadChannel {
+        fn n_shards(&self) -> usize {
+            self.n_shards
+        }
+        fn pull(&self, _: usize, _: usize, _: u64) -> Result<Vec<f32>, CommsError> {
+            Err(CommsError::Closed)
+        }
+        fn submit(&self, _: usize, _: usize, _: u64, _: Vec<f32>) -> Result<(), CommsError> {
+            Err(CommsError::Closed)
+        }
+        fn pull_latest(&self, _: usize, _: usize) -> Result<(u64, Vec<f32>), CommsError> {
+            Err(CommsError::Closed)
+        }
+        fn heartbeat(&self, _: usize, _: u64) -> Result<QuorumInfo, CommsError> {
+            Err(CommsError::Closed)
+        }
+    }
+
+    /// A channel whose pull panics — simulates an internal worker bug.
+    struct PanicChannel {
+        n_shards: usize,
+    }
+
+    impl ShardChannel for PanicChannel {
+        fn n_shards(&self) -> usize {
+            self.n_shards
+        }
+        fn pull(&self, _: usize, _: usize, _: u64) -> Result<Vec<f32>, CommsError> {
+            panic!("injected pull panic");
+        }
+        fn submit(&self, _: usize, _: usize, _: u64, _: Vec<f32>) -> Result<(), CommsError> {
+            unreachable!()
+        }
+        fn pull_latest(&self, _: usize, _: usize) -> Result<(u64, Vec<f32>), CommsError> {
+            unreachable!()
+        }
+        fn heartbeat(&self, _: usize, _: u64) -> Result<QuorumInfo, CommsError> {
+            unreachable!()
+        }
+    }
+
+    fn local_channel(seed: u64, n: usize) -> Arc<dyn ShardChannel> {
+        let shards: Vec<Arc<RefShard>> =
+            stages(seed).iter().map(|s| Arc::new(RefShard::new(s.params_flat(), n))).collect();
+        Arc::new(LocalShards::new(shards))
+    }
+
+    #[test]
+    fn healthy_worker_stays_elastic_and_reports_the_quorum() {
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 9);
+        let channel = local_channel(3, 1);
+        let worker = ElasticWorker::new(stages(3), opts(), 2, 1.0, 0, channel.clone());
+        let factory: ChannelFactory = Box::new(move || Ok(channel.clone()));
+        let mut sup = SupervisedWorker::new(
+            worker,
+            factory,
+            SupervisorConfig { adapt_alpha: true, ..fast_cfg(3) },
+        );
+        for r in 0..3 {
+            let report = sup.round(&task.batch(4, r)).unwrap();
+            assert_eq!(report.mode, WorkerMode::Elastic);
+            assert_eq!(report.retries, 0);
+            let q = report.quorum.unwrap();
+            assert_eq!(q.quorum, 1);
+            assert!(report.loss.is_finite());
+        }
+        assert_eq!(sup.rounds_done(), 3);
+        assert_eq!(sup.worker().alpha(), 1.0, "adapt_alpha kept α = 1/quorum = 1");
+    }
+
+    #[test]
+    fn unreachable_server_degrades_to_local_only_training() {
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 10);
+        let dead: Arc<dyn ShardChannel> = Arc::new(DeadChannel { n_shards: CFG.stages });
+        let worker = ElasticWorker::new(stages(4), opts(), 2, 1.0, 0, dead.clone());
+        let factory: ChannelFactory = Box::new(move || Ok(dead.clone()));
+        let mut sup = SupervisedWorker::new(worker, factory, fast_cfg(2));
+        let report = sup.round(&task.batch(4, 0)).unwrap();
+        assert_eq!(report.mode, WorkerMode::LocalOnly, "budget exhausted → local fallback");
+        assert!(report.retries >= 2);
+        assert!(report.loss.is_finite());
+        assert_eq!(sup.mode(), WorkerMode::LocalOnly);
+        // Later rounds stay local and never touch the dead channel.
+        let report = sup.round(&task.batch(4, 1)).unwrap();
+        assert_eq!(report.mode, WorkerMode::LocalOnly);
+        assert_eq!(report.retries, 0);
+        assert_eq!(sup.rounds_done(), 0, "no elastic round ever completed");
+    }
+
+    #[test]
+    fn panic_in_a_round_poisons_the_worker() {
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 11);
+        let panicky: Arc<dyn ShardChannel> = Arc::new(PanicChannel { n_shards: CFG.stages });
+        let worker = ElasticWorker::new(stages(5), opts(), 2, 1.0, 0, panicky);
+        let healthy = local_channel(5, 1);
+        let factory: ChannelFactory = Box::new(move || Ok(healthy.clone()));
+        let mut sup = SupervisedWorker::new(worker, factory, fast_cfg(3));
+        match sup.round(&task.batch(4, 0)) {
+            Err(Error::WorkerFailed { what }) => assert!(what.contains("injected pull panic")),
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        // Poisoned: fails fast forever after.
+        match sup.round(&task.batch(4, 1)) {
+            Err(Error::WorkerFailed { what }) => assert!(what.contains("poisoned")),
+            other => panic!("expected poisoned WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_failure_recovers_through_reconnect_and_resync() {
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 12);
+        let healthy = local_channel(6, 1);
+        // Start on a dead channel; the factory hands out the healthy one.
+        let dead: Arc<dyn ShardChannel> = Arc::new(DeadChannel { n_shards: CFG.stages });
+        let worker = ElasticWorker::new(stages(6), opts(), 2, 1.0, 0, dead);
+        let factory: ChannelFactory = Box::new(move || Ok(healthy.clone()));
+        let mut sup = SupervisedWorker::new(worker, factory, fast_cfg(5));
+        let report = sup.round(&task.batch(4, 0)).unwrap();
+        assert_eq!(report.mode, WorkerMode::Elastic, "reconnect recovered the round");
+        assert_eq!(report.retries, 1);
+        assert_eq!(sup.rounds_done(), 1);
+    }
+}

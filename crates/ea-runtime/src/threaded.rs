@@ -1,5 +1,13 @@
 //! One worker thread per pipeline stage, channels as the interconnect.
+//!
+//! Failure containment: a stage worker whose peer (driver, neighbor
+//! stage) has gone away stops cleanly instead of panicking, and the
+//! driver-side [`ThreadedPipeline::try_step`] /
+//! [`ThreadedPipeline::try_step_elastic`] report a dead pipeline as
+//! [`Error::WorkerFailed`] so a supervisor can rebuild or degrade rather
+//! than abort the process.
 
+use crate::Error;
 use crossbeam_channel::{bounded, unbounded, Receiver, Select, Sender};
 use ea_autograd::{cross_entropy_loss, ForwardCtx, Stage, StageSaved};
 use ea_data::Batch;
@@ -40,6 +48,10 @@ enum Cmd {
     },
     /// Shut down.
     Stop,
+}
+
+fn worker_failed(what: &str) -> Error {
+    Error::WorkerFailed { what: what.to_string() }
 }
 
 /// An optimizer application waiting for the batch's backward passes.
@@ -86,55 +98,69 @@ struct Worker {
 }
 
 impl Worker {
-    fn handle_fwd(&mut self, (micro, x, targets, ctx): FwdMsg) {
+    /// Handlers return `false` when a peer (driver or neighbor stage) has
+    /// hung up; the worker then stops cleanly instead of panicking, so a
+    /// crashed driver tears the whole pipeline down without aborting the
+    /// process.
+    fn handle_fwd(&mut self, (micro, x, targets, ctx): FwdMsg) -> bool {
         let (y, saved) = self.stage.forward(&x, &ctx);
         match (&self.fwd_out, &self.losses) {
             (Some(next), _) => {
                 self.stash.insert(micro, (saved, None));
-                next.send((micro, y, targets, ctx)).expect("next stage hung up");
+                next.send((micro, y, targets, ctx)).is_ok()
             }
             (None, Some(losses)) => {
                 // Last stage: loss, immediate backward, grad upstream.
                 let out = cross_entropy_loss(&y, &targets);
-                losses.send(out.loss).expect("driver hung up");
+                if losses.send(out.loss).is_err() {
+                    return false;
+                }
                 let dx = self.stage.backward(&saved, &out.grad);
-                self.after_bwd();
-                if let Some(prev) = &self.bwd_out {
-                    prev.send((micro, dx)).expect("prev stage hung up");
+                if !self.after_bwd() {
+                    return false;
+                }
+                match &self.bwd_out {
+                    Some(prev) => prev.send((micro, dx)).is_ok(),
+                    None => true,
                 }
             }
             _ => unreachable!("stage must have a successor or be last"),
         }
     }
 
-    fn handle_bwd(&mut self, (micro, dy): BwdMsg) {
+    fn handle_bwd(&mut self, (micro, dy): BwdMsg) -> bool {
         let (saved, _) = self.stash.remove(&micro).expect("backward without stash");
         let dx = self.stage.backward(&saved, &dy);
-        self.after_bwd();
-        if let Some(prev) = &self.bwd_out {
-            prev.send((micro, dx)).expect("prev stage hung up");
+        if !self.after_bwd() {
+            return false;
+        }
+        match &self.bwd_out {
+            Some(prev) => prev.send((micro, dx)).is_ok(),
+            None => true,
         }
     }
 
-    fn after_bwd(&mut self) {
+    fn after_bwd(&mut self) -> bool {
         self.bwd_seen += 1;
         let ready = matches!(&self.pending_opt, Some(p) if self.bwd_seen >= p.expect());
         if ready {
             let pending = self.pending_opt.take().unwrap();
-            self.run_pending(pending);
+            self.run_pending(pending)
+        } else {
+            true
         }
     }
 
-    fn run_pending(&mut self, pending: PendingOpt) {
+    fn run_pending(&mut self, pending: PendingOpt) -> bool {
         match pending {
             PendingOpt::Plain { scale, reply, .. } => {
                 self.apply_opt(scale);
-                reply.send(()).expect("driver hung up");
+                reply.send(()).is_ok()
             }
             PendingOpt::Fused { scale, reference, alpha, tag, reply, .. } => {
                 let delta = self.apply_opt_pull_delta(scale, &reference, alpha);
                 pool::recycle(reference);
-                reply.send((tag, delta)).expect("driver hung up");
+                reply.send((tag, delta)).is_ok()
             }
         }
     }
@@ -172,30 +198,26 @@ impl Worker {
             Cmd::Opt { expect_bwd, scale, reply } => {
                 let pending = PendingOpt::Plain { expect: expect_bwd, scale, reply };
                 if self.bwd_seen >= expect_bwd {
-                    self.run_pending(pending);
+                    self.run_pending(pending)
                 } else {
                     self.pending_opt = Some(pending);
+                    true
                 }
-                true
             }
             Cmd::OptPullDelta { expect_bwd, scale, reference, alpha, tag, reply } => {
                 let pending =
                     PendingOpt::Fused { expect: expect_bwd, scale, reference, alpha, tag, reply };
                 if self.bwd_seen >= expect_bwd {
-                    self.run_pending(pending);
+                    self.run_pending(pending)
                 } else {
                     self.pending_opt = Some(pending);
+                    true
                 }
-                true
             }
-            Cmd::GetParams { reply } => {
-                reply.send(self.stage.params_flat()).expect("driver hung up");
-                true
-            }
+            Cmd::GetParams { reply } => reply.send(self.stage.params_flat()).is_ok(),
             Cmd::SetParams { params, reply } => {
                 self.stage.set_params_flat(&params);
-                reply.send(()).expect("driver hung up");
-                true
+                reply.send(()).is_ok()
             }
             Cmd::Pull { reference, alpha, reply } => {
                 // Reuse the worker's flat-params scratch and return the
@@ -204,8 +226,7 @@ impl Worker {
                 ea_optim::elastic_pull(&mut self.params_scratch, &reference, alpha);
                 self.stage.set_params_flat(&self.params_scratch);
                 pool::recycle(reference);
-                reply.send(()).expect("driver hung up");
-                true
+                reply.send(()).is_ok()
             }
             Cmd::Stop => false,
         }
@@ -221,13 +242,21 @@ impl Worker {
             let idx = op.index();
             if idx == fwd_idx {
                 match op.recv(&self.fwd_in) {
-                    Ok(msg) => self.handle_fwd(msg),
+                    Ok(msg) => {
+                        if !self.handle_fwd(msg) {
+                            return;
+                        }
+                    }
                     Err(_) => return,
                 }
             } else if Some(idx) == bwd_idx {
                 let rx = self.bwd_in.as_ref().unwrap();
                 match op.recv(rx) {
-                    Ok(msg) => self.handle_bwd(msg),
+                    Ok(msg) => {
+                        if !self.handle_bwd(msg) {
+                            return;
+                        }
+                    }
                     Err(_) => return,
                 }
             } else if idx == cmd_idx {
@@ -334,29 +363,41 @@ impl ThreadedPipeline {
 
     /// Streams one batch through the pipeline and applies the optimizer;
     /// returns the mean micro-batch loss.
+    ///
+    /// Panics if a stage worker has died; use [`Self::try_step`] to get an
+    /// [`Error::WorkerFailed`] instead.
     pub fn step(&mut self, batch: &Batch) -> f32 {
+        self.try_step(batch).expect("pipeline stage died")
+    }
+
+    /// Fallible [`Self::step`]: a dead stage worker (panicked or torn down)
+    /// surfaces as [`Error::WorkerFailed`] instead of a panic, so a
+    /// supervisor can rebuild the pipeline.
+    pub fn try_step(&mut self, batch: &Batch) -> Result<f32, Error> {
         let micro_size = batch.batch_size.div_ceil(self.micros);
         let parts = batch.split_micro(micro_size);
         let m = parts.len();
         for (mi, part) in parts.into_iter().enumerate() {
             let ctx = ForwardCtx::train(self.step, mi as u64);
-            self.fwd0.send((mi as u64, part.input, part.targets, ctx)).expect("stage 0 hung up");
+            self.fwd0
+                .send((mi as u64, part.input, part.targets, ctx))
+                .map_err(|_| worker_failed("stage 0 hung up"))?;
         }
         let mut total = 0.0;
         for _ in 0..m {
-            total += self.losses.recv().expect("pipeline died");
+            total += self.losses.recv().map_err(|_| worker_failed("pipeline died mid-batch"))?;
         }
         // One optimizer step per stage once its backwards are in.
         let (tx, rx) = bounded(self.stages);
         for cmd in &self.cmds {
             cmd.send(Cmd::Opt { expect_bwd: m as u64, scale: 1.0 / m as f32, reply: tx.clone() })
-                .expect("stage hung up");
+                .map_err(|_| worker_failed("stage hung up"))?;
         }
         for _ in 0..self.stages {
-            rx.recv().expect("opt reply lost");
+            rx.recv().map_err(|_| worker_failed("optimizer reply lost"))?;
         }
         self.step += 1;
-        total / m as f32
+        Ok(total / m as f32)
     }
 
     /// Streams one batch through the pipeline, then runs the fused
@@ -374,17 +415,30 @@ impl ThreadedPipeline {
         references: Vec<Vec<f32>>,
         alpha: f32,
     ) -> (f32, Vec<Vec<f32>>) {
+        self.try_step_elastic(batch, references, alpha).expect("pipeline stage died")
+    }
+
+    /// Fallible [`Self::step_elastic`]: a dead stage worker surfaces as
+    /// [`Error::WorkerFailed`] instead of a panic.
+    pub fn try_step_elastic(
+        &mut self,
+        batch: &Batch,
+        references: Vec<Vec<f32>>,
+        alpha: f32,
+    ) -> Result<(f32, Vec<Vec<f32>>), Error> {
         assert_eq!(references.len(), self.stages, "one reference per stage");
         let micro_size = batch.batch_size.div_ceil(self.micros);
         let parts = batch.split_micro(micro_size);
         let m = parts.len();
         for (mi, part) in parts.into_iter().enumerate() {
             let ctx = ForwardCtx::train(self.step, mi as u64);
-            self.fwd0.send((mi as u64, part.input, part.targets, ctx)).expect("stage 0 hung up");
+            self.fwd0
+                .send((mi as u64, part.input, part.targets, ctx))
+                .map_err(|_| worker_failed("stage 0 hung up"))?;
         }
         let mut total = 0.0;
         for _ in 0..m {
-            total += self.losses.recv().expect("pipeline died");
+            total += self.losses.recv().map_err(|_| worker_failed("pipeline died mid-batch"))?;
         }
         let (tx, rx) = bounded(self.stages);
         for (k, (cmd, reference)) in self.cmds.iter().zip(references).enumerate() {
@@ -396,15 +450,15 @@ impl ThreadedPipeline {
                 tag: k,
                 reply: tx.clone(),
             })
-            .expect("stage hung up");
+            .map_err(|_| worker_failed("stage hung up"))?;
         }
         let mut deltas: Vec<Vec<f32>> = (0..self.stages).map(|_| Vec::new()).collect();
         for _ in 0..self.stages {
-            let (tag, delta) = rx.recv().expect("opt reply lost");
+            let (tag, delta) = rx.recv().map_err(|_| worker_failed("elastic round reply lost"))?;
             deltas[tag] = delta;
         }
         self.step += 1;
-        (total / m as f32, deltas)
+        Ok((total / m as f32, deltas))
     }
 
     /// Reads stage `k`'s flat parameters.
@@ -557,6 +611,22 @@ mod robustness_tests {
         for b in 0..50 {
             let loss = p.step(&task.batch(8, b));
             assert!(loss.is_finite(), "batch {b} produced {loss}");
+        }
+    }
+
+    #[test]
+    fn dead_stage_surfaces_as_worker_failed_not_a_panic() {
+        let mut p = pipe(2);
+        let task = ea_data::SyntheticTask::copy_translate(16, 4, 4);
+        p.step(&task.batch(4, 0));
+        // Kill stage 0 out from under the driver; the next step must
+        // report the failure instead of aborting the process.
+        p.cmds[0].send(Cmd::Stop).unwrap();
+        // Give the worker a moment to exit and drop its channels.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        match p.try_step(&task.batch(4, 1)) {
+            Err(Error::WorkerFailed { .. }) => {}
+            other => panic!("expected WorkerFailed, got {other:?}"),
         }
     }
 

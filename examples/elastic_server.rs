@@ -6,6 +6,15 @@
 //! weights for each stage (the workers print the same checksums, so a
 //! byte-level comparison across processes is a `grep` away).
 //!
+//! With `--fault-tolerant` the server instead runs the membership/lease
+//! protocol: workers that go silent past the lease are evicted and
+//! stalled rounds complete degraded over the survivors; a restarted
+//! worker rejoins at the next round boundary. `--checkpoint PATH` adds
+//! periodic atomic reference checkpoints — if PATH already exists on
+//! startup the server restores from it and resumes at the recorded round
+//! (printing `RESTORED round=R`), which is what the kill-and-restart
+//! script exercises.
+//!
 //! ```text
 //! cargo run --release --example elastic_server -- --addr 127.0.0.1:7070
 //! cargo run --release --example elastic_worker -- --addr 127.0.0.1:7070 --pipe 0 &
@@ -14,16 +23,40 @@
 
 use avgpipe_suite::demo;
 use ea_comms::{TcpConfig, TcpServer};
-use ea_runtime::RefShardServer;
+use ea_runtime::{FtConfig, RefCheckpoint, RefShardServer};
+use std::path::PathBuf;
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7070".to_string();
+    let mut fault_tolerant = false;
+    let mut lease_ms: u64 = 2000;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut rounds: u64 = demo::ROUNDS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().expect("--addr needs a value"),
+            "--fault-tolerant" => fault_tolerant = true,
+            "--lease-ms" => {
+                lease_ms = args
+                    .next()
+                    .expect("--lease-ms needs a value")
+                    .parse()
+                    .expect("--lease-ms: integer milliseconds")
+            }
+            "--checkpoint" => {
+                checkpoint = Some(PathBuf::from(args.next().expect("--checkpoint needs a path")))
+            }
+            "--rounds" => {
+                rounds =
+                    args.next().expect("--rounds needs a value").parse().expect("--rounds: integer")
+            }
             "--help" | "-h" => {
-                println!("usage: elastic_server [--addr HOST:PORT]");
+                println!(
+                    "usage: elastic_server [--addr HOST:PORT] [--fault-tolerant] \
+                     [--lease-ms MS] [--checkpoint PATH] [--rounds R]"
+                );
                 return;
             }
             other => panic!("unknown argument {other:?}"),
@@ -31,20 +64,73 @@ fn main() {
     }
 
     let n = demo::N_PIPELINES;
-    let server = RefShardServer::from_initial_weights(demo::initial_reference(), n);
+    // Crash-restart recovery: if the checkpoint file already exists we
+    // are a restarted server — reload the reference shards and resume at
+    // the recorded round instead of re-initializing.
+    let server = match checkpoint.as_deref().filter(|p| p.exists()) {
+        Some(path) => {
+            let ckpt = RefCheckpoint::load(path).expect("load reference checkpoint");
+            println!("RESTORED round={}", ckpt.round);
+            RefShardServer::from_checkpoint(&ckpt, n)
+        }
+        None => RefShardServer::from_initial_weights(demo::initial_reference(), n),
+    };
+
     let mut listener = TcpServer::bind(&addr, TcpConfig::default()).expect("bind the demo address");
     let addr = listener.local_addr().expect("local addr");
-    // The workers (and the CI smoke test) wait for this line.
-    println!("LISTENING {addr}");
 
-    let conns = server.serve_connections(&mut listener, n).expect("accept workers");
-    for conn in conns {
-        conn.join().expect("connection thread panicked");
+    if fault_tolerant {
+        let lease = Duration::from_millis(lease_ms);
+        let cfg = FtConfig {
+            lease,
+            reap_interval: lease / 4,
+            pull_wait: lease / 8,
+            checkpoint: checkpoint.clone().map(|p| (p, lease / 4)),
+        };
+        let server = server.with_fault_tolerance(cfg);
+        // The workers (and the CI smoke test) wait for this line.
+        println!("LISTENING {addr}");
+        let _accept = server.serve_background(Box::new(listener));
+
+        // Workers connect, crash, and reconnect in any order; the server
+        // is done once every shard has advanced past the target round.
+        loop {
+            let done = server.shards().iter().all(|s| s.version() >= rounds);
+            if done {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let m = server.metrics();
+        println!(
+            "METRICS evictions={} rejoins={} degraded_rounds={} heartbeats={} \
+             checkpoints_saved={} disconnects={} protocol_violations={} crc_failures={}",
+            m.evictions,
+            m.rejoins,
+            m.degraded_rounds,
+            m.heartbeats,
+            m.checkpoints_saved,
+            m.disconnects,
+            m.protocol_violations,
+            m.crc_failures,
+        );
+        println!("QUORUM live={}/{n}", server.live_count());
+        print_checksums(&server);
+        println!("SERVER DONE after {rounds} rounds");
+    } else {
+        println!("LISTENING {addr}");
+        let conns = server.serve_connections(&mut listener, n).expect("accept workers");
+        for conn in conns {
+            conn.join().expect("connection thread panicked");
+        }
+        print_checksums(&server);
+        println!("SERVER DONE after {rounds} rounds");
     }
+}
 
+fn print_checksums(server: &RefShardServer) {
     for (s, shard) in server.shards().iter().enumerate() {
         let w = shard.snapshot();
         println!("REF_CHECKSUM stage={s} {:#010x}", demo::weights_checksum(&w));
     }
-    println!("SERVER DONE after {} rounds", demo::ROUNDS);
 }

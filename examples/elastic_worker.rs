@@ -12,23 +12,59 @@
 //! 10% delay, 10% duplicate): training must still converge to the same
 //! bytes, because requests are retried and submissions are idempotent.
 //!
+//! Fault-tolerance flags (for a `--fault-tolerant` server):
+//!
+//! * `--tolerate-faults` wraps the pipeline in [`SupervisedWorker`]:
+//!   comms failures are retried with backoff through reconnect + resync,
+//!   and past the retry budget the worker degrades to local-only steps.
+//! * `--rejoin` resyncs to the server's current reference and round
+//!   before training — how a restarted worker re-enters the quorum.
+//! * `--crash-at-round K` aborts the process the moment round `K`
+//!   completes (the kill half of the kill-and-rejoin script).
+//! * `--target-rounds R` / `--round-delay-ms MS` control how far and how
+//!   fast the worker runs; the delay leaves the chaos script time to kill
+//!   and restart peers mid-training.
+//!
 //! ```text
 //! cargo run --release --example elastic_worker -- --addr 127.0.0.1:7070 --pipe 0 --verify-local
 //! ```
 
 use avgpipe_suite::demo;
 use ea_comms::{
-    FaultConfig, FaultyTransport, RemoteShards, RetryConfig, ShardChannel, ShardClient, TcpConfig,
-    TcpTransport, Transport,
+    CommsError, FaultConfig, FaultyTransport, RemoteShards, RetryConfig, ShardChannel, ShardClient,
+    TcpConfig, TcpTransport, Transport,
 };
-use ea_runtime::ElasticWorker;
+use ea_runtime::{ElasticWorker, SupervisedWorker, SupervisorConfig, WorkerMode};
 use std::sync::Arc;
+use std::time::Duration;
+
+fn connect_channel(
+    addr: &str,
+    pipe: usize,
+    faults: bool,
+    retry: RetryConfig,
+) -> Result<Arc<dyn ShardChannel>, CommsError> {
+    let tcp = TcpTransport::connect(addr, TcpConfig::default())?;
+    let conn: Box<dyn Transport> = if faults {
+        // Seed per pipeline so the two workers inject different faults.
+        Box::new(FaultyTransport::new(tcp, FaultConfig::lossy_10(), 0xFA17 + pipe as u64))
+    } else {
+        Box::new(tcp)
+    };
+    let client = ShardClient::handshake(conn, pipe, retry)?;
+    Ok(Arc::new(RemoteShards::new(vec![client])?))
+}
 
 fn main() {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut pipe: Option<usize> = None;
     let mut verify_local = false;
     let mut faults = false;
+    let mut tolerate_faults = false;
+    let mut rejoin = false;
+    let mut target_rounds: u64 = demo::ROUNDS;
+    let mut round_delay = Duration::ZERO;
+    let mut crash_at_round: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,9 +76,36 @@ fn main() {
             }
             "--verify-local" => verify_local = true,
             "--faults" => faults = true,
+            "--tolerate-faults" => tolerate_faults = true,
+            "--rejoin" => rejoin = true,
+            "--target-rounds" => {
+                target_rounds = args
+                    .next()
+                    .expect("--target-rounds needs a value")
+                    .parse()
+                    .expect("--target-rounds: integer")
+            }
+            "--round-delay-ms" => {
+                round_delay = Duration::from_millis(
+                    args.next()
+                        .expect("--round-delay-ms needs a value")
+                        .parse()
+                        .expect("--round-delay-ms: integer milliseconds"),
+                )
+            }
+            "--crash-at-round" => {
+                crash_at_round = Some(
+                    args.next()
+                        .expect("--crash-at-round needs a value")
+                        .parse()
+                        .expect("--crash-at-round: integer"),
+                )
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: elastic_worker --pipe N [--addr HOST:PORT] [--verify-local] [--faults]"
+                    "usage: elastic_worker --pipe N [--addr HOST:PORT] [--verify-local] \
+                     [--faults] [--tolerate-faults] [--rejoin] [--target-rounds R] \
+                     [--round-delay-ms MS] [--crash-at-round K]"
                 );
                 return;
             }
@@ -52,19 +115,14 @@ fn main() {
     let pipe = pipe.expect("--pipe is required (0-based pipeline id)");
     assert!(pipe < demo::N_PIPELINES, "pipe out of range");
 
-    let tcp = TcpTransport::connect(&addr, TcpConfig::default()).expect("connect to server");
-    let conn: Box<dyn Transport> = if faults {
-        // Seed per pipeline so the two workers inject different faults.
-        Box::new(FaultyTransport::new(tcp, FaultConfig::lossy_10(), 0xFA17 + pipe as u64))
+    // A fault-tolerant server answers pulls within its bounded wait and
+    // relies on client retransmission, so give the retry budget headroom.
+    let retry = if tolerate_faults {
+        RetryConfig { reply_timeout: Duration::from_millis(200), max_attempts: 50 }
     } else {
-        Box::new(tcp)
+        RetryConfig::default()
     };
-    let retry = RetryConfig::default();
-    let client = ShardClient::handshake(conn, pipe, retry).expect("handshake");
-    let info = client.server_info();
-    assert_eq!(info.n_pipelines, demo::N_PIPELINES, "server runs a different ensemble");
-    let channel: Arc<dyn ShardChannel> =
-        Arc::new(RemoteShards::new(vec![client]).expect("channel"));
+    let channel = connect_channel(&addr, pipe, faults, retry).expect("connect to server");
 
     let task = demo::task();
     let mut worker = ElasticWorker::new(
@@ -75,12 +133,65 @@ fn main() {
         pipe,
         channel,
     );
+    if rejoin {
+        // Re-enter the quorum: adopt the server's current reference and
+        // round so our next submit lands at the live round boundary.
+        let round = worker.resync().expect("resync with server");
+        println!("REJOIN pipe={pipe} round={round}");
+    }
+
+    if tolerate_faults {
+        let factory_addr = addr.clone();
+        let mut sup = SupervisedWorker::new(
+            worker,
+            Box::new(move || connect_channel(&factory_addr, pipe, faults, retry)),
+            SupervisorConfig::default(),
+        );
+        let mut last_loss = f32::NAN;
+        while sup.rounds_done() < target_rounds {
+            let r = sup.rounds_done();
+            let batch = demo::worker_batch(&task, r, pipe);
+            let report = sup.round(&batch).expect("supervised round failed");
+            last_loss = report.loss;
+            println!(
+                "pipe {pipe} round {r}: loss {:.6} mode={:?} retries={}",
+                report.loss, report.mode, report.retries
+            );
+            if report.mode == WorkerMode::LocalOnly {
+                // The demo wants quorum behavior, not a silent solo run.
+                panic!("pipe {pipe} lost the server past its retry budget");
+            }
+            if crash_at_round == Some(r) {
+                println!("CRASHING pipe={pipe} at round {r}");
+                // Simulate a hard crash: no destructors, no goodbyes.
+                std::process::abort();
+            }
+            if !round_delay.is_zero() {
+                std::thread::sleep(round_delay);
+            }
+        }
+        println!("FINAL_LOSS pipe={pipe} {last_loss:.6}");
+        // Degraded rounds renormalize over survivors, so byte-exactness
+        // versus the fault-free baseline no longer holds; finishing all
+        // rounds with finite losses while staying elastic is the check.
+        assert!(last_loss.is_finite(), "loss diverged");
+        println!("VERIFY OK pipe={pipe} mode=ft");
+        return;
+    }
+
     let mut losses = Vec::new();
-    for r in 0..demo::ROUNDS {
+    for r in 0..target_rounds {
         let batch = demo::worker_batch(&task, r, pipe);
         let loss = worker.round(&batch).expect("round failed");
         println!("pipe {pipe} round {r}: loss {loss:.6}");
         losses.push(loss);
+        if crash_at_round == Some(r) {
+            println!("CRASHING pipe={pipe} at round {r}");
+            std::process::abort();
+        }
+        if !round_delay.is_zero() {
+            std::thread::sleep(round_delay);
+        }
     }
     println!("FINAL_LOSS pipe={pipe} {:.6}", losses.last().unwrap());
 
