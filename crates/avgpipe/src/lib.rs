@@ -8,6 +8,9 @@
 //!   degrees for a few batches on the cluster simulator and records
 //!   per-GPU compute time, total communication time, the utilization
 //!   curve φᵏ(t) and the model/data memory split (§5.2.1).
+//!   [`TraceProfiler`] derives the same profile from the `ea-trace` span
+//!   stream of a *real* `ea-runtime` pipeline, so the tuning loop can
+//!   also run on measured φ(t).
 //! * **predictor** — [`predict`]: Equations (1)–(8), extrapolating batch
 //!   time and memory to any `(M*, N*)` (§5.2.2–5.2.3).
 //! * **tuner** — [`tune`]: picks parallelism degrees by the
@@ -26,10 +29,12 @@ mod api;
 mod predictor;
 mod profiler;
 mod system;
+mod trace_profiler;
 mod tuner;
 
 pub use api::{AvgPipe, AvgPipeBuilder};
 pub use predictor::{predict, Prediction};
 pub use profiler::{DeviceProfile, Profile, Profiler};
 pub use system::{run_avgpipe, run_baseline, BaselineKind, SystemReport};
+pub use trace_profiler::TraceProfiler;
 pub use tuner::{tune, TuneMethod, TuneOutcome};

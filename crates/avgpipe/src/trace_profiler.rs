@@ -1,0 +1,318 @@
+//! Trace-driven profiling: the §5.2.1 measurements from a *real* run.
+//!
+//! [`crate::Profiler`] derives a [`Profile`] from the cluster simulator;
+//! [`TraceProfiler`] derives the same structure from the span stream an
+//! actual `ea-runtime` pipeline records through `ea-trace`. Both feed the
+//! same predictor ([`crate::predict`]), so the §5 tuning loop can run on
+//! a *measured* φ(t) instead of a simulated one:
+//!
+//! * **φᵏ(t)** — every `Compute` span (`fwd`/`bwd`/`opt`/`ea`) on the
+//!   `stage{k}` worker thread becomes a busy segment of the stage's
+//!   [`UtilTrace`], at the utilization the workload's demand curve
+//!   assigns to the profiled micro-batch size; gaps stay at zero.
+//! * **T_gpu** — total busy span time per batch.
+//! * **𝕋ᵏ** — the `xfer_fwd`/`xfer_bwd` instant events carry payload
+//!   bytes (recorded sender-side); a stage's per-batch link time is the
+//!   bytes crossing its links divided by the link rate.
+//! * **F_mod** — from the workload spec and partition, with the same
+//!   `weights + grads + optimizer state` footprint formula as
+//!   `ea_sched::PipelinePlan` plus the reference replica.
+//! * **F_dat** — a measured peak-scratch figure (in practice the
+//!   `ea_tensor::pool` high-water mark) apportioned across stages by
+//!   their activation-stash share.
+
+use crate::profiler::{DeviceProfile, Profile};
+use ea_models::ModelSpec;
+use ea_sched::Partition;
+use ea_sim::UtilTrace;
+use ea_trace::{Category, TraceEvent};
+
+/// Builds [`Profile`]s from drained [`TraceEvent`] streams.
+pub struct TraceProfiler {
+    spec: ModelSpec,
+    partition: Partition,
+    batch: usize,
+    opt_state_per_param: usize,
+    link_bytes_per_us: f64,
+}
+
+impl TraceProfiler {
+    /// A trace profiler for one workload split by `partition` (the same
+    /// `(lo, hi)` layer ranges the running pipeline's stages hold).
+    /// `link_bytes_per_us` is the stage-interconnect rate used to convert
+    /// transferred bytes into link time (for a simulator comparison, pass
+    /// the cluster's `intra_bw / 1e6`).
+    pub fn new(
+        spec: ModelSpec,
+        partition: Partition,
+        batch: usize,
+        opt_state_per_param: usize,
+        link_bytes_per_us: f64,
+    ) -> Self {
+        assert!(!partition.is_empty(), "need at least one stage");
+        assert!(batch >= 1, "need a positive batch size");
+        assert!(link_bytes_per_us > 0.0, "need a positive link rate");
+        TraceProfiler { spec, partition, batch, opt_state_per_param, link_bytes_per_us }
+    }
+
+    /// The workload spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The stage index a recorded event belongs to, from the worker
+    /// thread's `stage{k}` name; `None` for driver/server/test threads.
+    fn stage_of(&self, ev: &TraceEvent) -> Option<usize> {
+        let k = ev.thread.strip_prefix("stage")?.parse::<usize>().ok()?;
+        (k < self.partition.len()).then_some(k)
+    }
+
+    /// Derives the profile of a recorded run of setting `(m, n)` over
+    /// `batches` batches. `events` is a [`ea_trace::drain`] of the run
+    /// (recorded under `EA_TRACE=spans`); `peak_scratch_bytes` is the
+    /// measured activation/scratch high-water mark to apportion as
+    /// `F_dat` (see [`TraceProfiler::profile_recorded`]).
+    pub fn profile_events(
+        &self,
+        events: &[TraceEvent],
+        m: usize,
+        n: usize,
+        batches: usize,
+        peak_scratch_bytes: u64,
+    ) -> Profile {
+        assert!(m >= 1 && n >= 1 && batches >= 1, "bad profiling setting");
+        let kk = self.partition.len();
+        let mut compute: Vec<Vec<&TraceEvent>> = vec![Vec::new(); kk];
+        let mut sent_fwd = vec![0u64; kk];
+        let mut sent_bwd = vec![0u64; kk];
+        for ev in events {
+            let Some(k) = self.stage_of(ev) else { continue };
+            match (ev.cat, ev.name) {
+                (Category::Compute, _) if ev.t1_us > ev.t0_us => compute[k].push(ev),
+                (Category::Comm, "xfer_fwd") => sent_fwd[k] += ev.arg,
+                (Category::Comm, "xfer_bwd") => sent_bwd[k] += ev.arg,
+                _ => {}
+            }
+        }
+        for (k, c) in compute.iter().enumerate() {
+            assert!(
+                !c.is_empty(),
+                "no compute spans recorded for stage {k} — was the run traced with EA_TRACE=spans?"
+            );
+        }
+
+        let epoch = compute.iter().flatten().map(|e| e.t0_us).min().unwrap();
+        let end = compute.iter().flatten().map(|e| e.t1_us).max().unwrap();
+        let horizon_us = (end - epoch).max(1) as f64;
+
+        // A span means "this stage is running a kernel of the profiled
+        // micro-batch size"; the demand curve says what fraction of the
+        // device that kernel can use, and `n` concurrent pipelines stack.
+        let micro = self.batch.div_ceil(m);
+        let util = (self.spec.demand(micro) * n as f64).min(1.0);
+
+        let stash_of = |k: usize| {
+            let (lo, hi) = self.partition[k];
+            self.spec.stage_cost(lo, hi).2
+        };
+        let total_stash: u64 = (0..kk).map(stash_of).sum();
+
+        let per_device = (0..kk)
+            .map(|k| {
+                let mut trace = UtilTrace::new();
+                let mut busy_us = 0.0;
+                for ev in &compute[k] {
+                    let t0 = (ev.t0_us - epoch) as f64;
+                    let t1 = (ev.t1_us - epoch) as f64;
+                    trace.push(t0, t1, util);
+                    busy_us += t1 - t0;
+                }
+
+                // Bytes crossing stage k's links: its own sends plus the
+                // neighbor sends addressed to it (xfer marks live on the
+                // sending thread).
+                let mut bytes = sent_fwd[k] + sent_bwd[k];
+                if k > 0 {
+                    bytes += sent_fwd[k - 1];
+                }
+                if k + 1 < kk {
+                    bytes += sent_bwd[k + 1];
+                }
+                let t_comm_total_us = bytes as f64 / self.link_bytes_per_us / batches as f64;
+
+                // Same model-memory formula as the simulator profile:
+                // (weights + grads + optimizer state) per replica, plus
+                // the reference replica.
+                let (lo, hi) = self.partition[k];
+                let (p, _, _, _) = self.spec.stage_cost(lo, hi);
+                let weight_footprint = p + p + p / 4 * self.opt_state_per_param as u64;
+                let f_mod = weight_footprint * n as u64 + p;
+
+                // The measured scratch peak is process-wide; apportion it
+                // by each stage's share of the activation stash.
+                let f_dat = if total_stash == 0 {
+                    peak_scratch_bytes / kk as u64
+                } else {
+                    (peak_scratch_bytes as u128 * stash_of(k) as u128 / total_stash as u128) as u64
+                };
+
+                DeviceProfile {
+                    t_gpu_us: busy_us / batches as f64,
+                    t_comm_total_us,
+                    f_mod,
+                    f_dat,
+                    trace,
+                    horizon_us,
+                }
+            })
+            .collect();
+
+        Profile {
+            spec: self.spec.clone(),
+            batch: self.batch,
+            m,
+            n,
+            batches,
+            per_device,
+            profiling_cost_us: horizon_us,
+        }
+    }
+
+    /// Convenience for the common case: drains the process's trace rings
+    /// and reads the buffer pool's high-water mark as the scratch peak.
+    /// Call after the traced pipeline has quiesced (e.g. been dropped).
+    pub fn profile_recorded(&self, m: usize, n: usize, batches: usize) -> Profile {
+        let events = ea_trace::drain();
+        let peak = ea_tensor::pool::stats().peak_pooled_bytes;
+        self.profile_events(&events, m, n, batches, peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict;
+    use ea_models::{analogue_partition, analogue_spec, AnalogueConfig};
+
+    fn cfg() -> AnalogueConfig {
+        AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 4, stages: 2 }
+    }
+
+    fn profiler() -> TraceProfiler {
+        let c = cfg();
+        TraceProfiler::new(analogue_spec(c), analogue_partition(c), 16, 8, 100.0)
+    }
+
+    fn span(thread: &str, name: &'static str, t0: u64, t1: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: Category::Compute,
+            thread: thread.into(),
+            tid: 0,
+            t0_us: t0,
+            t1_us: t1,
+            arg: 0,
+        }
+    }
+
+    fn xfer(thread: &str, name: &'static str, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: Category::Comm,
+            thread: thread.into(),
+            tid: 0,
+            t0_us: 0,
+            t1_us: 0,
+            arg: bytes,
+        }
+    }
+
+    /// One synthetic two-stage batch: stage0 busy 100+100 µs, stage1 busy
+    /// 80 µs, 4000 B forward and 4000 B backward across the boundary.
+    fn one_batch_events() -> Vec<TraceEvent> {
+        vec![
+            span("stage0", "fwd", 1000, 1100),
+            xfer("stage0", "xfer_fwd", 4000),
+            span("stage1", "fwd", 1110, 1150),
+            span("stage1", "bwd", 1150, 1190),
+            xfer("stage1", "xfer_bwd", 4000),
+            span("stage0", "bwd", 1200, 1300),
+            span("main", "fwd", 0, 10_000), // driver thread: ignored
+        ]
+    }
+
+    #[test]
+    fn busy_time_and_comm_bytes_are_attributed_per_stage() {
+        let p = profiler().profile_events(&one_batch_events(), 4, 1, 1, 0);
+        assert_eq!(p.per_device.len(), 2);
+        assert!((p.per_device[0].t_gpu_us - 200.0).abs() < 1e-9);
+        assert!((p.per_device[1].t_gpu_us - 80.0).abs() < 1e-9);
+        // Both stages share the single boundary: 8000 B each at 100 B/µs.
+        assert!((p.per_device[0].t_comm_total_us - 80.0).abs() < 1e-9);
+        assert!((p.per_device[1].t_comm_total_us - 80.0).abs() < 1e-9);
+        // The horizon covers first span start to last span end.
+        assert!((p.per_device[0].horizon_us - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_trace_integrates_busy_time_at_the_demand_level() {
+        let prof = profiler();
+        let p = prof.profile_events(&one_batch_events(), 4, 1, 1, 0);
+        let util = prof.spec().demand(4);
+        let d = &p.per_device[0];
+        assert!((d.trace.integral() - 200.0 * util).abs() < 1e-9);
+        // Stage 0 is busy 200 of 300 µs at `util`.
+        assert!((d.trace.mean_over(d.horizon_us) - 200.0 / 300.0 * util).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_mod_matches_the_plan_footprint_formula() {
+        let c = cfg();
+        let spec = analogue_spec(c);
+        let part = analogue_partition(c);
+        let n = 3;
+        let p = TraceProfiler::new(spec.clone(), part.clone(), 16, 8, 100.0).profile_events(
+            &one_batch_events(),
+            4,
+            n,
+            1,
+            0,
+        );
+        for (k, &(lo, hi)) in part.iter().enumerate() {
+            let (pb, _, _, _) = spec.stage_cost(lo, hi);
+            let footprint = pb + pb + pb / 4 * 8;
+            assert_eq!(p.per_device[k].f_mod, footprint * n as u64 + pb);
+        }
+    }
+
+    #[test]
+    fn f_dat_apportions_the_scratch_peak_by_stash_share() {
+        let peak = 1_000_000u64;
+        let p = profiler().profile_events(&one_batch_events(), 4, 1, 1, peak);
+        let total: u64 = p.per_device.iter().map(|d| d.f_dat).sum();
+        // Integer division may shave a byte per stage, never add one.
+        assert!(total <= peak && total >= peak - 2, "apportioned {total} of {peak}");
+        // The projection-heavy tail stage stashes more than the embedding
+        // stage in this 2-way split of the analogue.
+        assert!(p.per_device[1].f_dat > 0 && p.per_device[0].f_dat > 0);
+    }
+
+    #[test]
+    fn self_prediction_reproduces_trace_profile_components() {
+        // Same invariant the simulator profile satisfies: predicting the
+        // profiled setting returns the profiled T_gpu unchanged.
+        let p = profiler().profile_events(&one_batch_events(), 4, 1, 1, 0);
+        let pred = predict(&p, p.m, p.n);
+        for (k, d) in p.per_device.iter().enumerate() {
+            let (tg, _, _) = pred.per_device_t[k];
+            assert!((tg - d.t_gpu_us).abs() < 1e-6 * d.t_gpu_us.max(1.0), "device {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no compute spans")]
+    fn missing_stage_spans_panic_with_a_hint() {
+        let events = vec![span("stage0", "fwd", 0, 10)];
+        profiler().profile_events(&events, 4, 1, 1, 0);
+    }
+}

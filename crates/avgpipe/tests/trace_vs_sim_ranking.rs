@@ -1,0 +1,90 @@
+//! Acceptance test for trace-driven tuning: the predictor must rank
+//! parallelism-degree candidates the same whether the profile came from
+//! the cluster simulator or from a *real* traced `ThreadedPipeline` run
+//! of the same model on the same `(m, n)` setting.
+//!
+//! Lives in its own test binary: it flips the process-wide trace level
+//! and drains the global span rings, so no other test may share the
+//! process.
+
+use avgpipe::{predict, Profile, Profiler, TraceProfiler};
+use ea_data::SyntheticTask;
+use ea_models::{analogue_partition, analogue_spec, gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::ThreadedPipeline;
+use ea_sim::ClusterConfig;
+use ea_tensor::TensorRng;
+use ea_trace::{set_level, Level};
+
+/// A cluster shaped like the machine the real run uses: every stage on
+/// one node (uniform fast links), with a device throughput low enough
+/// that the toy model's kernels take a comparable share of the horizon.
+fn analogue_cluster(stages: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 1,
+        gpus_per_node: stages,
+        gpu_flops: 2.0e9,
+        ..ClusterConfig::paper_testbed()
+    }
+}
+
+fn ranking(profile: &Profile, candidates: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut order: Vec<(f64, usize, usize)> =
+        candidates.iter().map(|&(ms, ns)| (predict(profile, ms, ns).t_us, ms, ns)).collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    order.into_iter().map(|(_, ms, ns)| (ms, ns)).collect()
+}
+
+#[test]
+fn trace_profile_ranks_settings_like_the_simulator() {
+    let cfg = AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 4, stages: 3 };
+    let (batch, m, n, batches) = (16usize, 4usize, 1usize, 6usize);
+
+    // Record a real profiling run of the GNMT analogue with spans on.
+    set_level(Level::Spans);
+    ea_trace::ring::clear();
+    let model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(42));
+    let opts: Vec<Box<dyn Optimizer>> =
+        (0..cfg.stages).map(|_| OptKind::Adam { lr: 1e-3 }.build()).collect();
+    let mut pipe = ThreadedPipeline::spawn(model.into_stages(), opts, m);
+    let task = SyntheticTask::copy_translate(cfg.vocab, cfg.seq, 9);
+    for b in 0..batches as u64 {
+        let loss = pipe.step(&task.batch(batch, b));
+        assert!(loss.is_finite());
+    }
+    drop(pipe); // quiesce the stage workers before draining their rings
+    set_level(Level::Off);
+
+    let spec = analogue_spec(cfg);
+    let partition = analogue_partition(cfg);
+    let cluster = analogue_cluster(cfg.stages);
+    let traced = TraceProfiler::new(
+        spec.clone(),
+        partition.clone(),
+        batch,
+        8, // Adam: two f32 states per parameter
+        cluster.intra_bw / 1e6,
+    )
+    .profile_recorded(m, n, batches);
+
+    // The measured profile carries real, non-zero busy time on every
+    // stage's φ(t).
+    for (k, d) in traced.per_device.iter().enumerate() {
+        assert!(d.t_gpu_us > 0.0, "stage {k} recorded no busy time");
+        assert!(d.trace.integral() > 0.0, "stage {k} has an empty utilization trace");
+        assert!(d.f_mod > 0);
+    }
+
+    // Simulator profile of the same model, partition and (m, n).
+    let sim = Profiler::new(spec, cluster, partition, batch, 8).profile(m, n, batches);
+
+    // Rank a mixed (m*, n*) grid through the shared predictor from both
+    // profiles. The acceptance bar is agreement on the top choice.
+    let candidates = [(2, 1), (4, 1), (4, 2), (8, 2), (8, 4), (16, 4), (4, 4), (2, 2)];
+    let traced_rank = ranking(&traced, &candidates);
+    let sim_rank = ranking(&sim, &candidates);
+    assert_eq!(
+        traced_rank[0], sim_rank[0],
+        "top tuning choice disagrees: traced {traced_rank:?} vs simulated {sim_rank:?}"
+    );
+}

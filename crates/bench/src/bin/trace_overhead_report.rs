@@ -1,0 +1,124 @@
+//! Overhead report for the ea-trace instrumentation: times the disabled
+//! span gate directly, then real `train_step`s under `EA_TRACE` levels
+//! off / counters / spans, and writes `BENCH_4.json`.
+//!
+//! Exits nonzero if the disabled gate costs more than a few nanoseconds
+//! per site or if disabling tracing is measurably *slower* than running
+//! with it on — the "near-zero overhead when disabled" contract of
+//! DESIGN.md §15.
+//!
+//! ```text
+//! cargo run -p bench --release --bin trace_overhead_report
+//! cargo run -p bench --release --bin trace_overhead_report -- --steps 40
+//! ```
+
+use ea_data::SyntheticTask;
+use ea_models::{gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::train_step;
+use ea_tensor::TensorRng;
+use ea_trace::{set_level, Category, Level, StaticName};
+use std::time::Instant;
+
+const CFG: AnalogueConfig = AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 3, stages: 3 };
+
+/// Ceiling for the disabled span site: one relaxed atomic load plus a
+/// branch, with a wide margin for noisy shared CI runners.
+const MAX_DISABLED_GATE_NS: f64 = 25.0;
+
+/// Nanoseconds per call of a span site while recording is off.
+fn disabled_gate_ns() -> f64 {
+    static GATE: StaticName = StaticName::new("overhead-probe");
+    set_level(Level::Off);
+    let calls = 10_000_000u64;
+    // Warm the level cache.
+    for _ in 0..1000 {
+        let _s = ea_trace::span(&GATE, Category::Compute);
+    }
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        let _s = std::hint::black_box(ea_trace::span(&GATE, Category::Compute));
+    }
+    t0.elapsed().as_secs_f64() / calls as f64 * 1e9
+}
+
+/// Median per-step seconds of `steps` training steps at a trace level.
+fn train_step_secs(level: Level, steps: usize) -> f64 {
+    set_level(level);
+    let mut model = gnmt_analogue(CFG, &mut TensorRng::seed_from_u64(0));
+    let mut opts: Vec<Box<dyn Optimizer>> =
+        (0..CFG.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect();
+    let task = SyntheticTask::copy_translate(32, 8, 1);
+    let batch = task.batch(16, 0);
+    let mut samples = Vec::with_capacity(steps);
+    for step in 1..=steps as u64 {
+        let t0 = Instant::now();
+        std::hint::black_box(train_step(&mut model, &mut opts, &batch, 4, step));
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut steps = 60usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--steps" => steps = args.next().expect("--steps value").parse().expect("integer"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!("== ea-trace overhead report ==");
+    let gate_ns = disabled_gate_ns();
+    println!("  disabled span gate: {gate_ns:.2} ns/site");
+
+    // Interleave level order so drift on a shared runner does not bias
+    // one level; warm one run first to populate the buffer pool.
+    train_step_secs(Level::Off, steps.min(10));
+    let off = train_step_secs(Level::Off, steps);
+    let counters = train_step_secs(Level::Counters, steps);
+    let spans = train_step_secs(Level::Spans, steps);
+    let off2 = train_step_secs(Level::Off, steps);
+    set_level(Level::Off);
+    let off_best = off.min(off2);
+    println!(
+        "  train_step  off {:.3} ms  counters {:.3} ms  spans {:.3} ms",
+        off_best * 1e3,
+        counters * 1e3,
+        spans * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"steps\": {steps},\n  \"disabled_gate_ns\": {gate_ns:.3},\n  \"train_step_ms\": {{\"off\": {:.4}, \"counters\": {:.4}, \"spans\": {:.4}}},\n  \"spans_over_off\": {:.3}\n}}\n",
+        off_best * 1e3,
+        counters * 1e3,
+        spans * 1e3,
+        spans / off_best,
+    );
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    println!("  [saved BENCH_4.json]");
+
+    let mut failed = false;
+    if gate_ns > MAX_DISABLED_GATE_NS {
+        eprintln!(
+            "FAIL: disabled span gate costs {gate_ns:.2} ns/site (limit {MAX_DISABLED_GATE_NS})"
+        );
+        failed = true;
+    }
+    // Off must never lose to full span recording: with tracing disabled
+    // the step should be at least as fast as with rings being written
+    // (10% tolerance for runner noise).
+    if off_best > spans * 1.10 {
+        eprintln!(
+            "FAIL: EA_TRACE=off train_step ({:.3} ms) is slower than EA_TRACE=spans ({:.3} ms)",
+            off_best * 1e3,
+            spans * 1e3
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

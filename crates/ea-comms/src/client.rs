@@ -175,6 +175,20 @@ impl ShardClient {
         };
         Ok(known.then_some(QuorumInfo { round, quorum, members }))
     }
+
+    /// Reads the server's health counters (the wire form of its
+    /// `ServerMetricsSnapshot`, in snapshot field order).
+    pub fn metrics(&mut self) -> Result<[u64; crate::wire::METRICS_COUNTERS], CommsError> {
+        let reply = request(
+            &mut *self.conn,
+            &self.retry,
+            Message::MetricsRequest,
+            "MetricsRequest",
+            |m| matches!(m, Message::MetricsReply { .. }),
+        )?;
+        let Message::MetricsReply { counters } = reply else { unreachable!() };
+        Ok(counters)
+    }
 }
 
 /// Sends `req` and waits for a reply satisfying `matches`, retransmitting
@@ -191,6 +205,7 @@ fn request(
     for attempt in 0..attempts {
         if attempt > 0 {
             conn.record_retry();
+            crate::trace::counters().on_retry();
         }
         conn.send(req.clone())?;
         let deadline = std::time::Instant::now() + retry.reply_timeout;
@@ -377,6 +392,29 @@ mod tests {
             ShardClient::handshake(Box::new(client_end), 0, RetryConfig::default()).unwrap();
         let w = client.pull(0, 4).unwrap();
         assert_eq!(w, vec![4.0f32; 70]);
+        drop(client);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_roundtrip_over_loopback() {
+        let (client_end, server_end) = loopback_pair();
+        let h = spawn_echo_server(server_end, |msg| match msg {
+            Message::Hello { proto, .. } => {
+                Some(Message::HelloAck { proto, n_shards: 1, n_pipelines: 1 })
+            }
+            Message::MetricsRequest => {
+                let mut counters = [0u64; crate::wire::METRICS_COUNTERS];
+                counters[4] = 7; // heartbeats
+                Some(Message::MetricsReply { counters })
+            }
+            _ => None,
+        });
+        let mut client =
+            ShardClient::handshake(Box::new(client_end), 0, RetryConfig::default()).unwrap();
+        let counters = client.metrics().unwrap();
+        assert_eq!(counters[4], 7);
+        assert_eq!(counters.iter().sum::<u64>(), 7);
         drop(client);
         h.join().unwrap();
     }

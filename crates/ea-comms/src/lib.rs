@@ -33,6 +33,7 @@ pub mod fault;
 pub mod frame;
 pub mod loopback;
 pub mod tcp;
+pub(crate) mod trace;
 pub mod transport;
 pub mod wire;
 

@@ -115,7 +115,9 @@ impl TcpTransport {
         let (msg_type, payload) = frame.ok_or(CommsError::Closed)?;
         let msg = Message::decode_payload(msg_type, &payload)?;
         self.stats.recvs += 1;
-        self.stats.bytes_recvd += (crate::frame::HEADER_LEN + payload.len() + 4) as u64;
+        let bytes = (crate::frame::HEADER_LEN + payload.len() + 4) as u64;
+        self.stats.bytes_recvd += bytes;
+        crate::trace::counters().on_recv(bytes);
         Ok(msg)
     }
 }
@@ -156,6 +158,7 @@ impl Transport for TcpTransport {
         self.payload_scratch = payload;
         self.stats.sends += 1;
         self.stats.bytes_sent += written as u64;
+        crate::trace::counters().on_send(written as u64);
         Ok(())
     }
 

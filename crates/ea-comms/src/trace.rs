@@ -1,0 +1,60 @@
+//! Process-wide traffic counters and trace marks for the transport layer.
+//!
+//! The per-connection [`crate::transport::TransportStats`] stay exact per
+//! connection; these aggregate across every connection in the process and
+//! land in `ea_trace::metrics::global()` so a Prometheus dump or Chrome
+//! trace shows total wire traffic. Trace marks ("send"/"recv" instants
+//! with byte counts, "retry" instants) are recorded only when spans are
+//! enabled via `EA_TRACE=spans`; the counters are always live and cost
+//! one relaxed atomic each.
+
+use ea_trace::{Category, Counter, StaticName};
+use std::sync::OnceLock;
+
+static SEND_MARK: StaticName = StaticName::new("send");
+static RECV_MARK: StaticName = StaticName::new("recv");
+static RETRY_MARK: StaticName = StaticName::new("retry");
+
+pub(crate) struct CommsCounters {
+    frames_sent: Counter,
+    frames_recvd: Counter,
+    bytes_sent: Counter,
+    bytes_recvd: Counter,
+    retries: Counter,
+}
+
+pub(crate) fn counters() -> &'static CommsCounters {
+    static COUNTERS: OnceLock<CommsCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = ea_trace::metrics::global();
+        CommsCounters {
+            frames_sent: r.counter("ea_comms_frames_sent_total"),
+            frames_recvd: r.counter("ea_comms_frames_recvd_total"),
+            bytes_sent: r.counter("ea_comms_bytes_sent_total"),
+            bytes_recvd: r.counter("ea_comms_bytes_recvd_total"),
+            retries: r.counter("ea_comms_retries_total"),
+        }
+    })
+}
+
+impl CommsCounters {
+    /// One serialized frame written (`bytes` = header + payload + CRC).
+    pub(crate) fn on_send(&self, bytes: u64) {
+        self.frames_sent.inc();
+        self.bytes_sent.add(bytes);
+        ea_trace::instant(&SEND_MARK, Category::Comm, bytes);
+    }
+
+    /// One serialized frame read.
+    pub(crate) fn on_recv(&self, bytes: u64) {
+        self.frames_recvd.inc();
+        self.bytes_recvd.add(bytes);
+        ea_trace::instant(&RECV_MARK, Category::Comm, bytes);
+    }
+
+    /// One request retransmission (any backend).
+    pub(crate) fn on_retry(&self) {
+        self.retries.inc();
+        ea_trace::instant(&RETRY_MARK, Category::Comm, 1);
+    }
+}

@@ -24,6 +24,10 @@
 //! * [`Message::RoundInfoRequest`] / [`Message::RoundInfoReply`] — the
 //!   per-round membership record: which pipelines' updates were folded
 //!   into a given completed round and the quorum it was applied under.
+//! * [`Message::MetricsRequest`] / [`Message::MetricsReply`] — remote
+//!   read of the server's health counters, for dashboards and tests.
+//!   The reply is a fixed array of counters in the server's snapshot
+//!   field order; the transport layer stays ignorant of their meaning.
 //!
 //! Payload encoding is little-endian and fixed-layout; the flat `f32`
 //! buffers use [`ea_optim::codec`] so decode lands in pooled storage.
@@ -65,7 +69,17 @@ pub enum Message {
     /// record was evicted from the bounded history (quorum/members are
     /// zero then).
     RoundInfoReply { shard: u32, round: u64, quorum: u32, members: u64, known: bool },
+    /// Client → server: dump the server's health counters.
+    MetricsRequest,
+    /// Server → client: counter values in `ServerMetricsSnapshot` field
+    /// order (disconnects, protocol_violations, crc_failures, io_errors,
+    /// heartbeats, evictions, rejoins, degraded_rounds, quorum_lost,
+    /// checkpoints_saved, checkpoint_restores).
+    MetricsReply { counters: [u64; METRICS_COUNTERS] },
 }
+
+/// Number of counters carried by [`Message::MetricsReply`].
+pub const METRICS_COUNTERS: usize = 11;
 
 /// Wire tags, one per message type.
 mod tag {
@@ -79,6 +93,8 @@ mod tag {
     pub const HEARTBEAT_ACK: u8 = 8;
     pub const ROUND_INFO_REQUEST: u8 = 9;
     pub const ROUND_INFO_REPLY: u8 = 10;
+    pub const METRICS_REQUEST: u8 = 11;
+    pub const METRICS_REPLY: u8 = 12;
 }
 
 impl Message {
@@ -95,6 +111,8 @@ impl Message {
             Message::HeartbeatAck { .. } => tag::HEARTBEAT_ACK,
             Message::RoundInfoRequest { .. } => tag::ROUND_INFO_REQUEST,
             Message::RoundInfoReply { .. } => tag::ROUND_INFO_REPLY,
+            Message::MetricsRequest => tag::METRICS_REQUEST,
+            Message::MetricsReply { .. } => tag::METRICS_REPLY,
         }
     }
 
@@ -111,6 +129,8 @@ impl Message {
             Message::HeartbeatAck { .. } => "HeartbeatAck",
             Message::RoundInfoRequest { .. } => "RoundInfoRequest",
             Message::RoundInfoReply { .. } => "RoundInfoReply",
+            Message::MetricsRequest => "MetricsRequest",
+            Message::MetricsReply { .. } => "MetricsReply",
         }
     }
 
@@ -169,6 +189,12 @@ impl Message {
                 out.extend_from_slice(&quorum.to_le_bytes());
                 out.extend_from_slice(&members.to_le_bytes());
                 out.push(u8::from(*known));
+            }
+            Message::MetricsRequest => {}
+            Message::MetricsReply { counters } => {
+                for c in counters {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
             }
         }
     }
@@ -264,6 +290,18 @@ impl Message {
                     known,
                 })
             }
+            tag::METRICS_REQUEST => {
+                fixed::<0>(payload)?;
+                Ok(Message::MetricsRequest)
+            }
+            tag::METRICS_REPLY => {
+                let p = fixed::<{ METRICS_COUNTERS * 8 }>(payload)?;
+                let mut counters = [0u64; METRICS_COUNTERS];
+                for (i, c) in counters.iter_mut().enumerate() {
+                    *c = le_u64(&p[i * 8..i * 8 + 8]);
+                }
+                Ok(Message::MetricsReply { counters })
+            }
             other => Err(FrameError::UnknownType(other)),
         }
     }
@@ -281,6 +319,8 @@ impl Message {
             Message::HeartbeatAck { .. } => 24,
             Message::RoundInfoRequest { .. } => 12,
             Message::RoundInfoReply { .. } => 25,
+            Message::MetricsRequest => 0,
+            Message::MetricsReply { .. } => METRICS_COUNTERS * 8,
         }
     }
 }
@@ -341,6 +381,12 @@ mod tests {
             members: 0,
             known: false,
         });
+        roundtrip(Message::MetricsRequest);
+        let mut counters = [0u64; METRICS_COUNTERS];
+        for (i, c) in counters.iter_mut().enumerate() {
+            *c = (i as u64 + 1) * 1000 + u64::from(i == 4) * u64::from(u32::MAX);
+        }
+        roundtrip(Message::MetricsReply { counters });
     }
 
     #[test]
@@ -351,7 +397,9 @@ mod tests {
 
     #[test]
     fn short_payloads_are_rejected() {
-        for ty in 1..=10u8 {
+        // Tag 11 (MetricsRequest) expects exactly zero bytes, so even it
+        // must reject a 3-byte payload.
+        for ty in 1..=12u8 {
             let err = Message::decode_payload(ty, &[0u8; 3]);
             assert!(err.is_err(), "type {ty} accepted a 3-byte payload");
         }

@@ -6,6 +6,7 @@
 //! statistical-efficiency experiments exercise the genuine architectures,
 //! just at laptop scale.
 
+use crate::spec::{LayerCost, ModelSpec};
 use ea_autograd::{
     Activation, ActivationKind, Dropout, Embedding, Layer, LayerNorm, Linear, LstmSeq, Residual,
     SelfAttention, Stage, StagedModel,
@@ -50,6 +51,79 @@ fn split_stages(mut layers: Vec<Box<dyn Layer>>, k: usize) -> StagedModel {
         layers = rest;
     }
     StagedModel::new(stages)
+}
+
+/// Cost-model twin of [`gnmt_analogue`]: a [`ModelSpec`] whose layer list
+/// matches the runnable analogue layer for layer, with per-layer costs
+/// computed by the same formulas as [`crate::spec::gnmt_spec`] at the
+/// analogue's scale (parameter bytes match the runnable stages exactly,
+/// bias terms included). A *real* traced run of the analogue and a
+/// *simulated* run of this spec then describe the same model, which is
+/// what lets the trace-driven profile be validated against the
+/// simulator-driven one.
+pub fn analogue_spec(cfg: AnalogueConfig) -> ModelSpec {
+    let h = cfg.hidden as u64;
+    let vocab = cfg.vocab as u64;
+    let seq = cfg.seq as u64;
+    let act = seq * h * 4;
+    let mut layers = vec![LayerCost {
+        name: "embedding".into(),
+        param_bytes: vocab * h * 4,
+        // Table lookup: one read per token, no MACs worth modeling.
+        fwd_flops: (seq * h) as f64,
+        act_stash_bytes: seq * 4,
+        out_bytes: act,
+    }];
+    for i in 0..cfg.blocks {
+        layers.push(LayerCost {
+            name: format!("lstm{i}"),
+            param_bytes: (4 * h * (2 * h) + 4 * h) * 4,
+            // 2 × [4h × (in + h)] MACs per token, `seq` tokens.
+            fwd_flops: (2 * seq * 4 * h * (2 * h)) as f64,
+            act_stash_bytes: seq * 24 * h * 4,
+            out_bytes: act,
+        });
+    }
+    layers.push(LayerCost {
+        name: "proj".into(),
+        param_bytes: (h * vocab + vocab) * 4,
+        fwd_flops: (2 * seq * h * vocab) as f64,
+        act_stash_bytes: act,
+        out_bytes: seq * vocab * 4,
+    });
+    ModelSpec {
+        name: format!("GNMT-analogue-{}x{}", cfg.blocks, cfg.hidden),
+        layers,
+        bwd_factor: 2.0,
+        // The analogue runs on CPU threads, but the saturation curve keeps
+        // GNMT's shape: recurrent kernels far below peak at small micros.
+        demand_half: 4.0,
+        demand_cap: 0.3,
+        default_batch: 16,
+        input_bytes: seq * 4,
+    }
+}
+
+/// The stage ranges the analogues' balanced splitter produces for
+/// [`gnmt_analogue`]'s `cfg.blocks + 2` layers: `cfg.stages` contiguous
+/// `(lo, hi)` ranges with earlier stages taking the remainder — the same
+/// split [`split_stages`] applies to the runnable model, expressed over
+/// [`analogue_spec`]'s layer indices.
+pub fn analogue_partition(cfg: AnalogueConfig) -> Vec<(usize, usize)> {
+    let n = cfg.blocks + 2;
+    let k = cfg.stages;
+    assert!(k >= 1, "need at least one stage");
+    assert!(n >= k, "cannot split {n} layers into {k} stages");
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut lo = 0;
+    for s in 0..k {
+        let take = base + usize::from(s < extra);
+        out.push((lo, lo + take));
+        lo += take;
+    }
+    out
 }
 
 /// GNMT analogue: embedding → stacked LSTMs → vocabulary projection,
@@ -177,5 +251,33 @@ mod tests {
         let cfg = AnalogueConfig { vocab: 8, seq: 2, hidden: 4, blocks: 1, stages: 10 };
         let mut rng = TensorRng::seed_from_u64(4);
         gnmt_analogue(cfg, &mut rng);
+    }
+
+    #[test]
+    fn analogue_spec_matches_runnable_params_exactly() {
+        let cfg = AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 4, stages: 3 };
+        let spec = analogue_spec(cfg);
+        assert_eq!(spec.num_layers(), cfg.blocks + 2);
+        let mut rng = TensorRng::seed_from_u64(12);
+        let model = gnmt_analogue(cfg, &mut rng);
+        for (k, &(lo, hi)) in analogue_partition(cfg).iter().enumerate() {
+            let (param_bytes, flops, stash, _) = spec.stage_cost(lo, hi);
+            assert_eq!(
+                param_bytes,
+                model.stage(k).num_params() as u64 * 4,
+                "stage {k} ({lo}..{hi}) parameter bytes diverge from the runnable stage"
+            );
+            assert!(flops > 0.0 && stash > 0);
+        }
+    }
+
+    #[test]
+    fn analogue_partition_is_balanced_and_contiguous() {
+        let cfg = AnalogueConfig { vocab: 8, seq: 2, hidden: 4, blocks: 5, stages: 3 };
+        // 7 layers into 3 stages → 3 + 2 + 2.
+        let part = analogue_partition(cfg);
+        assert_eq!(part, vec![(0, 3), (3, 5), (5, 7)]);
+        let one = analogue_partition(AnalogueConfig { stages: 1, ..cfg });
+        assert_eq!(one, vec![(0, 7)]);
     }
 }

@@ -14,5 +14,7 @@
 pub mod analogue;
 pub mod spec;
 
-pub use analogue::{awd_analogue, bert_analogue, gnmt_analogue, AnalogueConfig};
+pub use analogue::{
+    analogue_partition, analogue_spec, awd_analogue, bert_analogue, gnmt_analogue, AnalogueConfig,
+};
 pub use spec::{awd_spec, bert_spec, gnmt_spec, LayerCost, ModelSpec, Workload};

@@ -17,6 +17,7 @@ use ea_autograd::{Stage, StagedModel};
 use ea_comms::{CommsError, QuorumInfo, ShardChannel};
 use ea_data::Batch;
 use ea_optim::Optimizer;
+use ea_trace::{Category, StaticName};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock};
@@ -24,6 +25,12 @@ use std::time::{Duration, Instant};
 
 /// How many per-round membership records a shard retains.
 const RECORD_CAP: usize = 1024;
+
+static ROUND_APPLIED_MARK: StaticName = StaticName::new("round_applied");
+static DEGRADED_MARK: StaticName = StaticName::new("degraded_round");
+static ROUND_SPAN: StaticName = StaticName::new("round");
+static PULL_REF_SPAN: StaticName = StaticName::new("pull");
+static SUBMIT_DELTA_SPAN: StaticName = StaticName::new("submit");
 
 /// Membership of one applied round: who contributed to the average.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -267,7 +274,9 @@ impl RefShard {
             if let Some(m) = self.metrics.get() {
                 m.inc_degraded_rounds();
             }
+            ea_trace::instant(&DEGRADED_MARK, Category::Runtime, k as u64);
         }
+        ea_trace::instant(&ROUND_APPLIED_MARK, Category::Runtime, st.version);
         st.version += 1;
         self.cv.notify_all();
     }
@@ -577,16 +586,21 @@ impl ElasticTrainer {
             let mut joins = Vec::new();
             for (p, (pipe, batch)) in self.pipelines.iter_mut().zip(batches.iter()).enumerate() {
                 joins.push(scope.spawn(move || {
+                    let _round_span = ea_trace::span_arg(&ROUND_SPAN, Category::Runtime, round);
                     // Fetch the round-r reference up front: the version
                     // cannot advance past r until this pipeline submits,
                     // so this observes exactly the pre-round weights.
                     let references: Vec<Vec<f32>> = (0..k)
-                        .map(|s| channel.pull(p, s, round).expect("reference pull failed"))
+                        .map(|s| {
+                            let _s = ea_trace::span_arg(&PULL_REF_SPAN, Category::Comm, round);
+                            channel.pull(p, s, round).expect("reference pull failed")
+                        })
                         .collect();
                     // Steps ❶–❷ run worker-side in one fused pass; Δ comes
                     // back per stage for Step ❸.
                     let (loss, deltas) = pipe.step_elastic(batch, references, alpha);
                     for (s, delta) in deltas.into_iter().enumerate() {
+                        let _s = ea_trace::span_arg(&SUBMIT_DELTA_SPAN, Category::Comm, round);
                         channel.submit(p, s, round, delta).expect("delta submit failed");
                     }
                     loss

@@ -4,24 +4,31 @@
 use crate::Trainer;
 use ea_autograd::cross_entropy_loss;
 use ea_data::{accuracy, SyntheticTask};
-use std::sync::atomic::{AtomicU64, Ordering};
+use ea_trace::{Counter, Registry};
+use std::sync::Arc;
 
 /// Health and fault counters exposed by `RefShardServer`: connection
 /// failures are *counted and logged*, never silently swallowed, so tests
 /// (and operators) can assert on what the server actually observed.
-#[derive(Debug, Default)]
+///
+/// Each counter is an [`ea_trace::Counter`] registered in a per-instance
+/// [`ea_trace::Registry`] under an `ea_server_*_total` name, so the same
+/// numbers the typed [`snapshot`](ServerMetrics::snapshot) reports are
+/// also renderable as Prometheus text exposition (and stay isolated
+/// between server instances, one per test).
 pub struct ServerMetrics {
-    disconnects: AtomicU64,
-    protocol_violations: AtomicU64,
-    crc_failures: AtomicU64,
-    io_errors: AtomicU64,
-    heartbeats: AtomicU64,
-    evictions: AtomicU64,
-    rejoins: AtomicU64,
-    degraded_rounds: AtomicU64,
-    quorum_lost: AtomicU64,
-    checkpoints_saved: AtomicU64,
-    checkpoint_restores: AtomicU64,
+    registry: Arc<Registry>,
+    disconnects: Counter,
+    protocol_violations: Counter,
+    crc_failures: Counter,
+    io_errors: Counter,
+    heartbeats: Counter,
+    evictions: Counter,
+    rejoins: Counter,
+    degraded_rounds: Counter,
+    quorum_lost: Counter,
+    checkpoints_saved: Counter,
+    checkpoint_restores: Counter,
 }
 
 /// A point-in-time copy of [`ServerMetrics`], for assertions and logs.
@@ -51,19 +58,73 @@ pub struct ServerMetricsSnapshot {
     pub checkpoint_restores: u64,
 }
 
+impl ServerMetricsSnapshot {
+    /// Packs the counters into the fixed wire order of
+    /// [`ea_comms::Message::MetricsReply`] (field declaration order).
+    pub fn to_wire(self) -> [u64; ea_comms::wire::METRICS_COUNTERS] {
+        [
+            self.disconnects,
+            self.protocol_violations,
+            self.crc_failures,
+            self.io_errors,
+            self.heartbeats,
+            self.evictions,
+            self.rejoins,
+            self.degraded_rounds,
+            self.quorum_lost,
+            self.checkpoints_saved,
+            self.checkpoint_restores,
+        ]
+    }
+
+    /// Inverse of [`to_wire`](Self::to_wire), for clients reading a
+    /// remote server's counters.
+    pub fn from_wire(counters: [u64; ea_comms::wire::METRICS_COUNTERS]) -> Self {
+        let [disconnects, protocol_violations, crc_failures, io_errors, heartbeats, evictions, rejoins, degraded_rounds, quorum_lost, checkpoints_saved, checkpoint_restores] =
+            counters;
+        ServerMetricsSnapshot {
+            disconnects,
+            protocol_violations,
+            crc_failures,
+            io_errors,
+            heartbeats,
+            evictions,
+            rejoins,
+            degraded_rounds,
+            quorum_lost,
+            checkpoints_saved,
+            checkpoint_restores,
+        }
+    }
+}
+
 macro_rules! counter {
     ($inc:ident, $field:ident) => {
         /// Increments the corresponding counter.
         pub fn $inc(&self) {
-            self.$field.fetch_add(1, Ordering::Relaxed);
+            self.$field.inc();
         }
     };
 }
 
 impl ServerMetrics {
-    /// Fresh, all-zero counters.
+    /// Fresh, all-zero counters in a private registry.
     pub fn new() -> Self {
-        ServerMetrics::default()
+        let registry = Arc::new(Registry::new());
+        ServerMetrics {
+            disconnects: registry.counter("ea_server_disconnects_total"),
+            protocol_violations: registry.counter("ea_server_protocol_violations_total"),
+            crc_failures: registry.counter("ea_server_crc_failures_total"),
+            io_errors: registry.counter("ea_server_io_errors_total"),
+            heartbeats: registry.counter("ea_server_heartbeats_total"),
+            evictions: registry.counter("ea_server_evictions_total"),
+            rejoins: registry.counter("ea_server_rejoins_total"),
+            degraded_rounds: registry.counter("ea_server_degraded_rounds_total"),
+            quorum_lost: registry.counter("ea_server_quorum_lost_total"),
+            checkpoints_saved: registry.counter("ea_server_checkpoints_saved_total"),
+            checkpoint_restores: registry.counter("ea_server_checkpoint_restores_total"),
+            registry,
+        }
     }
 
     counter!(inc_disconnects, disconnects);
@@ -78,21 +139,39 @@ impl ServerMetrics {
     counter!(inc_checkpoints_saved, checkpoints_saved);
     counter!(inc_checkpoint_restores, checkpoint_restores);
 
+    /// The registry the counters live in — servers mount per-instance
+    /// histograms (round/pull latencies) next to them.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// A consistent-enough copy of all counters (relaxed reads).
     pub fn snapshot(&self) -> ServerMetricsSnapshot {
         ServerMetricsSnapshot {
-            disconnects: self.disconnects.load(Ordering::Relaxed),
-            protocol_violations: self.protocol_violations.load(Ordering::Relaxed),
-            crc_failures: self.crc_failures.load(Ordering::Relaxed),
-            io_errors: self.io_errors.load(Ordering::Relaxed),
-            heartbeats: self.heartbeats.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            rejoins: self.rejoins.load(Ordering::Relaxed),
-            degraded_rounds: self.degraded_rounds.load(Ordering::Relaxed),
-            quorum_lost: self.quorum_lost.load(Ordering::Relaxed),
-            checkpoints_saved: self.checkpoints_saved.load(Ordering::Relaxed),
-            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+            disconnects: self.disconnects.get(),
+            protocol_violations: self.protocol_violations.get(),
+            crc_failures: self.crc_failures.get(),
+            io_errors: self.io_errors.get(),
+            heartbeats: self.heartbeats.get(),
+            evictions: self.evictions.get(),
+            rejoins: self.rejoins.get(),
+            degraded_rounds: self.degraded_rounds.get(),
+            quorum_lost: self.quorum_lost.get(),
+            checkpoints_saved: self.checkpoints_saved.get(),
+            checkpoint_restores: self.checkpoint_restores.get(),
         }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
     }
 }
 
@@ -244,5 +323,22 @@ mod tests {
         assert_eq!(s.rejoins, 1);
         assert_eq!(s.degraded_rounds, 1);
         assert_eq!(s.protocol_violations, 0);
+    }
+
+    #[test]
+    fn server_metrics_render_through_their_registry() {
+        let m = ServerMetrics::new();
+        m.inc_evictions();
+        m.inc_evictions();
+        m.inc_heartbeats();
+        let text = m.registry().render_prometheus();
+        assert!(text
+            .contains("# TYPE ea_server_evictions_total counter\nea_server_evictions_total 2\n"));
+        assert!(text.contains("ea_server_heartbeats_total 1\n"));
+        // Instances are isolated: a second server starts from zero.
+        assert!(ServerMetrics::new()
+            .registry()
+            .render_prometheus()
+            .contains("ea_server_evictions_total 0\n"));
     }
 }

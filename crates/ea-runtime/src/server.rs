@@ -49,6 +49,7 @@ use ea_comms::{
 };
 use ea_data::Batch;
 use ea_optim::Optimizer;
+use ea_trace::{log_event, Category, Histogram, RateLimit, StaticName};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -97,6 +98,25 @@ struct ServerCtx {
     pull_wait: Option<Duration>,
     membership: Membership,
     metrics: Arc<ServerMetrics>,
+    /// Server-side time spent answering reference pulls (µs), including
+    /// any wait for the round to complete.
+    pull_us: Histogram,
+    /// Server-side time spent folding delta submissions (µs).
+    submit_us: Histogram,
+}
+
+impl ServerCtx {
+    fn build(
+        shards: Vec<Arc<RefShard>>,
+        n_pipelines: usize,
+        pull_wait: Option<Duration>,
+        membership: Membership,
+        metrics: Arc<ServerMetrics>,
+    ) -> ServerCtx {
+        let pull_us = metrics.registry().histogram("ea_server_pull_us");
+        let submit_us = metrics.registry().histogram("ea_server_submit_us");
+        ServerCtx { shards, n_pipelines, pull_wait, membership, metrics, pull_us, submit_us }
+    }
 }
 
 /// Serves a set of reference shards to remote pipelines over any
@@ -120,13 +140,13 @@ impl RefShardServer {
             sh.set_metrics(Arc::clone(&metrics));
         }
         RefShardServer {
-            ctx: Arc::new(ServerCtx {
+            ctx: Arc::new(ServerCtx::build(
                 shards,
                 n_pipelines,
-                pull_wait: None,
-                membership: Membership::new(n_pipelines, NO_LEASE),
+                None,
+                Membership::new(n_pipelines, NO_LEASE),
                 metrics,
-            }),
+            )),
             checkpoint: None,
             reaper_stop: Arc::new(AtomicBool::new(false)),
             reaper: None,
@@ -159,13 +179,13 @@ impl RefShardServer {
     /// and optional periodic checkpointing. Call before serving.
     pub fn with_fault_tolerance(self, cfg: FtConfig) -> Self {
         let old = &self.ctx;
-        let ctx = Arc::new(ServerCtx {
-            shards: old.shards.clone(),
-            n_pipelines: old.n_pipelines,
-            pull_wait: Some(cfg.pull_wait),
-            membership: Membership::new(old.n_pipelines, cfg.lease),
-            metrics: Arc::clone(&old.metrics),
-        });
+        let ctx = Arc::new(ServerCtx::build(
+            old.shards.clone(),
+            old.n_pipelines,
+            Some(cfg.pull_wait),
+            Membership::new(old.n_pipelines, cfg.lease),
+            Arc::clone(&old.metrics),
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let reaper = {
             let ctx = Arc::clone(&ctx);
@@ -188,6 +208,15 @@ impl RefShardServer {
     /// Point-in-time copy of the health/fault counters.
     pub fn metrics(&self) -> ServerMetricsSnapshot {
         self.ctx.metrics.snapshot()
+    }
+
+    /// One-shot Prometheus text exposition dump: this server's private
+    /// counters and latency histograms, followed by the process-wide
+    /// [`ea_trace::metrics::global`] registry (pool stats, log totals).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.ctx.metrics.registry().render_prometheus();
+        out.push_str(&ea_trace::metrics::global().render_prometheus());
+        out
     }
 
     /// Live-membership count as seen by the lease tracker.
@@ -252,6 +281,17 @@ impl Drop for RefShardServer {
     }
 }
 
+static EVICT_MARK: StaticName = StaticName::new("evict");
+static REJOIN_MARK: StaticName = StaticName::new("rejoin");
+static PULL_SPAN: StaticName = StaticName::new("pull");
+static SUBMIT_SPAN: StaticName = StaticName::new("submit");
+static WORKER_ROUND_SPAN: StaticName = StaticName::new("round");
+
+/// Evictions are per-lease-expiry events: a flapping cluster can emit
+/// them in storms, so the log line (not the counter, not the trace
+/// event) is capped.
+static EVICT_LOG_LIMIT: RateLimit = RateLimit::new(10);
+
 /// The reaper: expires leases, evicts dead pipelines from the shard
 /// quorums (completing stalled rounds degraded), and periodically
 /// persists a consistent reference checkpoint.
@@ -282,17 +322,22 @@ fn reaper_loop(
                     Ok(false) => {}
                     Err(Error::QuorumLost { live, round }) => {
                         quorum_lost = true;
-                        eprintln!(
-                            "[refshard] refusing to evict pipe {p}: quorum would be lost \
+                        log_event!(
+                            Warn,
+                            "refshard",
+                            "refusing to evict pipe {p}: quorum would be lost \
                              ({live} live at round {round})"
                         );
                     }
-                    Err(e) => eprintln!("[refshard] evicting pipe {p}: {e}"),
+                    Err(e) => log_event!(Error, "refshard", "evicting pipe {p}: {e}"),
                 }
             }
             if evicted {
                 ctx.metrics.inc_evictions();
-                eprintln!("[refshard] EVICTED pipe={p} (lease expired)");
+                ea_trace::instant(&EVICT_MARK, Category::Runtime, p as u64);
+                if EVICT_LOG_LIMIT.allow() {
+                    log_event!(Warn, "refshard", "EVICTED pipe={p} (lease expired)");
+                }
             }
             if quorum_lost {
                 ctx.metrics.inc_quorum_lost();
@@ -305,7 +350,7 @@ fn reaper_loop(
                 match save_consistent_checkpoint(ctx, path) {
                     Ok(true) => ctx.metrics.inc_checkpoints_saved(),
                     Ok(false) => {} // mid-round; next tick will catch it
-                    Err(e) => eprintln!("[refshard] checkpoint write failed: {e}"),
+                    Err(e) => log_event!(Error, "refshard", "checkpoint write failed: {e}"),
                 }
             }
         }
@@ -353,7 +398,8 @@ fn touch(ctx: &ServerCtx, p: usize) {
     }
     if readmitted {
         ctx.metrics.inc_rejoins();
-        eprintln!("[refshard] REJOIN pipe={p}");
+        ea_trace::instant(&REJOIN_MARK, Category::Runtime, p as u64);
+        log_event!(Info, "refshard", "REJOIN pipe={p}");
     }
 }
 
@@ -372,20 +418,22 @@ fn serve_conn(ctx: &ServerCtx, mut conn: Box<dyn Transport>) {
             }
             Err(CommsError::Frame(FrameError::BadCrc { expected, got })) => {
                 ctx.metrics.inc_crc_failures();
-                eprintln!(
-                    "[refshard] dropping conn (pipe {pipe:?}): frame CRC mismatch \
+                log_event!(
+                    Error,
+                    "refshard",
+                    "dropping conn (pipe {pipe:?}): frame CRC mismatch \
                      (expected {expected:#010x}, got {got:#010x})"
                 );
                 return;
             }
             Err(CommsError::Frame(e)) => {
                 ctx.metrics.inc_protocol_violations();
-                eprintln!("[refshard] dropping conn (pipe {pipe:?}): bad frame: {e}");
+                log_event!(Error, "refshard", "dropping conn (pipe {pipe:?}): bad frame: {e}");
                 return;
             }
             Err(e) => {
                 ctx.metrics.inc_io_errors();
-                eprintln!("[refshard] dropping conn (pipe {pipe:?}): receive failed: {e}");
+                log_event!(Error, "refshard", "dropping conn (pipe {pipe:?}): receive failed: {e}");
                 return;
             }
         };
@@ -410,7 +458,7 @@ fn serve_conn(ctx: &ServerCtx, mut conn: Box<dyn Transport>) {
                 // state is untouched (bad submissions are rejected
                 // atomically).
                 ctx.metrics.inc_protocol_violations();
-                eprintln!("[refshard] dropping conn (pipe {pipe:?}): {e}");
+                log_event!(Warn, "refshard", "dropping conn (pipe {pipe:?}): {e}");
                 return;
             }
         }
@@ -435,6 +483,8 @@ fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> 
             }))
         }
         Message::PullRequest { shard, version } => {
+            let _t = ctx.pull_us.start_timer();
+            let _span = ea_trace::span_arg(&PULL_SPAN, Category::Comm, version);
             let sh = lookup(shards, shard)?;
             if version == u64::MAX {
                 // Latest-snapshot sentinel: a rejoining worker asking
@@ -464,6 +514,8 @@ fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> 
             }
         }
         Message::SubmitDelta { shard, round, pipe, delta } => {
+            let _t = ctx.submit_us.start_timer();
+            let _span = ea_trace::span_arg(&SUBMIT_SPAN, Category::Comm, round);
             let sh = lookup(shards, shard)?;
             match sh.submit_at(round, pipe as usize, delta) {
                 Ok(outcome) => Ok(Some(Message::Ack {
@@ -505,6 +557,9 @@ fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> 
                     Message::RoundInfoReply { shard, round, quorum: 0, members: 0, known: false }
                 }
             }))
+        }
+        Message::MetricsRequest => {
+            Ok(Some(Message::MetricsReply { counters: ctx.metrics.snapshot().to_wire() }))
         }
         other => Err(CommsError::Protocol(format!("unexpected {} from peer", other.name()))),
     }
@@ -556,11 +611,16 @@ impl ElasticWorker {
     /// peer pipelines finish the current one.
     pub fn round(&mut self, batch: &Batch) -> Result<f32, CommsError> {
         let round = self.round;
+        let _round_span = ea_trace::span_arg(&WORKER_ROUND_SPAN, Category::Runtime, round);
         let references: Vec<Vec<f32>> = (0..self.n_shards)
-            .map(|s| self.channel.pull(self.pipe, s, round))
+            .map(|s| {
+                let _s = ea_trace::span_arg(&PULL_SPAN, Category::Comm, round);
+                self.channel.pull(self.pipe, s, round)
+            })
             .collect::<Result<_, _>>()?;
         let (loss, deltas) = self.pipeline.step_elastic(batch, references, self.alpha);
         for (s, delta) in deltas.into_iter().enumerate() {
+            let _s = ea_trace::span_arg(&SUBMIT_SPAN, Category::Comm, round);
             self.channel.submit(self.pipe, s, round, delta)?;
         }
         self.round += 1;
@@ -866,6 +926,41 @@ mod tests {
         drop(back);
         drop(hub); // closes the listener; the accept loop exits
         accept.join().unwrap();
+    }
+
+    #[test]
+    fn prometheus_dump_reflects_served_traffic() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2);
+        let (hub, h, server) = serve_loopback(server, 1);
+        let mut c = connect(&hub, 0);
+        let _ = c.heartbeat(0).unwrap();
+        c.submit(0, 0, vec![1.0]).unwrap();
+        server.shards()[0].submit(1, vec![1.0]).unwrap();
+        assert_eq!(c.pull(0, 1).unwrap(), vec![1.0]);
+        drop(c);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
+        let text = server.render_prometheus();
+        assert!(text.contains("ea_server_heartbeats_total 1\n"), "dump:\n{text}");
+        assert!(text.contains("# TYPE ea_server_pull_us summary\n"), "dump:\n{text}");
+        assert!(text.contains("ea_server_submit_us_count"), "dump:\n{text}");
+    }
+
+    #[test]
+    fn metrics_message_reads_the_live_snapshot_remotely() {
+        let server = RefShardServer::from_initial_weights(vec![vec![0.0]], 2);
+        let (hub, h, server) = serve_loopback(server, 1);
+        let mut c = connect(&hub, 0);
+        let _ = c.heartbeat(0).unwrap();
+        let _ = c.heartbeat(1).unwrap();
+        let remote = crate::ServerMetricsSnapshot::from_wire(c.metrics().unwrap());
+        assert_eq!(remote, server.metrics());
+        assert_eq!(remote.heartbeats, 2);
+        drop(c);
+        for conn in h.join().unwrap() {
+            conn.join().unwrap();
+        }
     }
 
     #[test]

@@ -21,9 +21,13 @@ use crate::server::ElasticWorker;
 use crate::Error;
 use ea_comms::{CommsError, QuorumInfo, ShardChannel};
 use ea_data::Batch;
+use ea_trace::{log_event, Category, StaticName};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
+
+static RETRY_MARK: StaticName = StaticName::new("retry");
+static RESYNC_MARK: StaticName = StaticName::new("resync");
 
 /// Builds a fresh [`ShardChannel`] after a connection loss (typically:
 /// dial the server, re-handshake, wrap in `RemoteShards`).
@@ -158,14 +162,19 @@ impl SupervisedWorker {
                 Ok(Err(e)) => {
                     self.failures += 1;
                     retries += 1;
-                    eprintln!(
-                        "[worker] round {} failed ({} consecutive): {e}",
+                    ea_trace::instant(&RETRY_MARK, Category::Comm, self.failures as u64);
+                    log_event!(
+                        Warn,
+                        "worker",
+                        "round {} failed ({} consecutive): {e}",
                         self.worker.rounds_done(),
                         self.failures
                     );
                     if self.failures > self.cfg.max_comms_failures {
-                        eprintln!(
-                            "[worker] comms budget exhausted after {} failures; \
+                        log_event!(
+                            Error,
+                            "worker",
+                            "comms budget exhausted after {} failures; \
                              falling back to LOCAL-ONLY training",
                             self.failures
                         );
@@ -186,12 +195,17 @@ impl SupervisedWorker {
                             self.worker.reconnect(channel);
                             match self.worker.resync() {
                                 Ok(round) => {
-                                    eprintln!("[worker] reconnected; resynced to round {round}")
+                                    ea_trace::instant(&RESYNC_MARK, Category::Comm, round);
+                                    log_event!(
+                                        Info,
+                                        "worker",
+                                        "reconnected; resynced to round {round}"
+                                    )
                                 }
-                                Err(e) => eprintln!("[worker] resync failed: {e}"),
+                                Err(e) => log_event!(Warn, "worker", "resync failed: {e}"),
                             }
                         }
-                        Err(e) => eprintln!("[worker] reconnect failed: {e}"),
+                        Err(e) => log_event!(Warn, "worker", "reconnect failed: {e}"),
                     }
                 }
             }

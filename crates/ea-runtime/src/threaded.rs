@@ -13,8 +13,26 @@ use ea_autograd::{cross_entropy_loss, ForwardCtx, Stage, StageSaved};
 use ea_data::Batch;
 use ea_optim::{step_pull_delta, Optimizer};
 use ea_tensor::{pool, Tensor};
+use ea_trace::{Category, StaticName};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
+
+// Trace names shared by every stage worker. `fwd`/`bwd` spans carry the
+// micro-batch index (rendering as `F{m}`/`B{m}` like the simulator);
+// `xfer_*` instants carry the payload size in bytes, recorded on the
+// *sending* thread right before the channel send.
+static FWD_SPAN: StaticName = StaticName::new("fwd");
+static BWD_SPAN: StaticName = StaticName::new("bwd");
+static OPT_SPAN: StaticName = StaticName::new("opt");
+static EA_SPAN: StaticName = StaticName::new("ea");
+static XFER_FWD_MARK: StaticName = StaticName::new("xfer_fwd");
+static XFER_BWD_MARK: StaticName = StaticName::new("xfer_bwd");
+
+/// End-to-end pipeline step latency (µs) in the global registry.
+fn step_hist() -> &'static ea_trace::Histogram {
+    static H: std::sync::OnceLock<ea_trace::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| ea_trace::metrics::global().histogram("ea_step_us"))
+}
 
 /// A micro-batch flowing forward: `(micro index, activation, targets)`.
 /// Targets ride along so the last stage can compute the loss locally, as
@@ -103,10 +121,15 @@ impl Worker {
     /// crashed driver tears the whole pipeline down without aborting the
     /// process.
     fn handle_fwd(&mut self, (micro, x, targets, ctx): FwdMsg) -> bool {
-        let (y, saved) = self.stage.forward(&x, &ctx);
+        let (y, saved) = {
+            let _s = ea_trace::span_arg(&FWD_SPAN, Category::Compute, micro);
+            self.stage.forward(&x, &ctx)
+        };
         match (&self.fwd_out, &self.losses) {
             (Some(next), _) => {
                 self.stash.insert(micro, (saved, None));
+                let bytes = y.numel() as u64 * 4;
+                ea_trace::instant(&XFER_FWD_MARK, Category::Comm, bytes);
                 next.send((micro, y, targets, ctx)).is_ok()
             }
             (None, Some(losses)) => {
@@ -115,12 +138,19 @@ impl Worker {
                 if losses.send(out.loss).is_err() {
                     return false;
                 }
-                let dx = self.stage.backward(&saved, &out.grad);
+                let dx = {
+                    let _s = ea_trace::span_arg(&BWD_SPAN, Category::Compute, micro);
+                    self.stage.backward(&saved, &out.grad)
+                };
                 if !self.after_bwd() {
                     return false;
                 }
                 match &self.bwd_out {
-                    Some(prev) => prev.send((micro, dx)).is_ok(),
+                    Some(prev) => {
+                        let bytes = dx.numel() as u64 * 4;
+                        ea_trace::instant(&XFER_BWD_MARK, Category::Comm, bytes);
+                        prev.send((micro, dx)).is_ok()
+                    }
                     None => true,
                 }
             }
@@ -130,12 +160,19 @@ impl Worker {
 
     fn handle_bwd(&mut self, (micro, dy): BwdMsg) -> bool {
         let (saved, _) = self.stash.remove(&micro).expect("backward without stash");
-        let dx = self.stage.backward(&saved, &dy);
+        let dx = {
+            let _s = ea_trace::span_arg(&BWD_SPAN, Category::Compute, micro);
+            self.stage.backward(&saved, &dy)
+        };
         if !self.after_bwd() {
             return false;
         }
         match &self.bwd_out {
-            Some(prev) => prev.send((micro, dx)).is_ok(),
+            Some(prev) => {
+                let bytes = dx.numel() as u64 * 4;
+                ea_trace::instant(&XFER_BWD_MARK, Category::Comm, bytes);
+                prev.send((micro, dx)).is_ok()
+            }
             None => true,
         }
     }
@@ -166,6 +203,7 @@ impl Worker {
     }
 
     fn apply_opt(&mut self, scale: f32) {
+        let _s = ea_trace::span(&OPT_SPAN, Category::Compute);
         self.stage.grads_flat_scaled_into(scale, &mut self.grads_scratch);
         self.stage.params_flat_into(&mut self.params_scratch);
         self.opt.step(&mut self.params_scratch, &self.grads_scratch);
@@ -176,6 +214,7 @@ impl Worker {
 
     /// Fused Steps ❶–❸ on this stage; returns Δ in a pooled buffer.
     fn apply_opt_pull_delta(&mut self, scale: f32, reference: &[f32], alpha: f32) -> Vec<f32> {
+        let _s = ea_trace::span(&EA_SPAN, Category::Compute);
         self.stage.grads_flat_scaled_into(scale, &mut self.grads_scratch);
         self.stage.params_flat_into(&mut self.params_scratch);
         let mut delta = pool::take_cleared(self.params_scratch.len());
@@ -374,6 +413,7 @@ impl ThreadedPipeline {
     /// surfaces as [`Error::WorkerFailed`] instead of a panic, so a
     /// supervisor can rebuild the pipeline.
     pub fn try_step(&mut self, batch: &Batch) -> Result<f32, Error> {
+        let _t = step_hist().start_timer();
         let micro_size = batch.batch_size.div_ceil(self.micros);
         let parts = batch.split_micro(micro_size);
         let m = parts.len();
@@ -426,6 +466,7 @@ impl ThreadedPipeline {
         references: Vec<Vec<f32>>,
         alpha: f32,
     ) -> Result<(f32, Vec<Vec<f32>>), Error> {
+        let _t = step_hist().start_timer();
         assert_eq!(references.len(), self.stages, "one reference per stage");
         let micro_size = batch.batch_size.div_ceil(self.micros);
         let parts = batch.split_micro(micro_size);

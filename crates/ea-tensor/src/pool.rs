@@ -43,9 +43,24 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static RECYCLED: AtomicU64 = AtomicU64::new(0);
 static DISCARDED: AtomicU64 = AtomicU64::new(0);
+static POOLED_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_POOLED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 fn shards() -> &'static [Mutex<Shard>] {
-    POOL.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect())
+    POOL.get_or_init(|| {
+        // First pool touch: expose the counters to the process-wide
+        // metrics registry as render-time callbacks, so a Prometheus
+        // dump or the trace profiler sees pool behaviour without the
+        // pool paying for a second set of counters.
+        let r = ea_trace::metrics::global();
+        r.register_gauge_fn("ea_pool_hits", || HITS.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_pool_misses", || MISSES.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_pool_recycled", || RECYCLED.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_pool_discarded", || DISCARDED.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_pool_pooled_bytes", || POOLED_BYTES.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_pool_peak_pooled_bytes", || PEAK_POOLED_BYTES.load(Relaxed) as i64);
+        (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect()
+    })
 }
 
 fn shard_for(len: usize) -> &'static Mutex<Shard> {
@@ -55,6 +70,9 @@ fn shard_for(len: usize) -> &'static Mutex<Shard> {
 }
 
 /// Counters describing pool behaviour since the last [`reset_stats`].
+/// The byte fields are exempt from resets: `pooled_bytes` is live state
+/// (bytes sitting idle in the pool right now) and `peak_pooled_bytes`
+/// is a process-lifetime high-water mark.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// `take_*` calls served from a pooled buffer.
@@ -65,6 +83,11 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Buffers dropped because their bucket was full.
     pub discarded: u64,
+    /// Bytes currently held by pooled (idle) buffers.
+    pub pooled_bytes: u64,
+    /// High-water mark of `pooled_bytes` since process start — a lower
+    /// bound on the scratch memory the workload cycles through the pool.
+    pub peak_pooled_bytes: u64,
 }
 
 impl PoolStats {
@@ -86,6 +109,8 @@ pub fn stats() -> PoolStats {
         misses: MISSES.load(Relaxed),
         recycled: RECYCLED.load(Relaxed),
         discarded: DISCARDED.load(Relaxed),
+        pooled_bytes: POOLED_BYTES.load(Relaxed),
+        peak_pooled_bytes: PEAK_POOLED_BYTES.load(Relaxed),
     }
 }
 
@@ -100,7 +125,10 @@ pub fn reset_stats() {
 /// Releases every pooled buffer back to the allocator.
 pub fn clear() {
     for shard in shards() {
-        shard.lock().unwrap().buckets.clear();
+        let mut shard = shard.lock().unwrap();
+        let freed: usize = shard.buckets.values().flatten().map(|b| b.len() * 4).sum();
+        shard.buckets.clear();
+        POOLED_BYTES.fetch_sub(freed as u64, Relaxed);
     }
 }
 
@@ -109,6 +137,7 @@ fn try_pop(len: usize) -> Option<Vec<f32>> {
     let buf = shard.buckets.get_mut(&len)?.pop();
     if buf.is_some() {
         HITS.fetch_add(1, Relaxed);
+        POOLED_BYTES.fetch_sub(len as u64 * 4, Relaxed);
     }
     buf
 }
@@ -165,6 +194,8 @@ pub fn recycle(buf: Vec<f32>) {
     }
     bucket.push(buf);
     RECYCLED.fetch_add(1, Relaxed);
+    let now = POOLED_BYTES.fetch_add(len as u64 * 4, Relaxed) + len as u64 * 4;
+    PEAK_POOLED_BYTES.fetch_max(now, Relaxed);
 }
 
 #[cfg(test)]
@@ -231,9 +262,34 @@ mod tests {
     }
 
     #[test]
+    fn byte_accounting_tracks_pool_occupancy() {
+        // Other tests churn the global pool concurrently, so only
+        // monotone properties are asserted here; the exact-delta checks
+        // live in `tests/pool_reuse.rs`, which owns its process.
+        let n = 16411; // odd prime size, unused by other tests
+        recycle(vec![0.0f32; n]);
+        // This buffer sat in the pool at some instant, so the lifetime
+        // high-water mark must cover it.
+        assert!(stats().peak_pooled_bytes >= n as u64 * 4);
+        let buf = take_buf(n);
+        assert_eq!(buf.len(), n);
+        drop(buf);
+    }
+
+    #[test]
+    fn pool_gauges_are_registered_globally() {
+        let n = 32771;
+        recycle(vec![0.0f32; n]); // ensures the pool (and gauges) exist
+        let text = ea_trace::metrics::global().render_prometheus();
+        for g in ["ea_pool_hits", "ea_pool_misses", "ea_pool_pooled_bytes"] {
+            assert!(text.contains(&format!("# TYPE {g} gauge\n")), "missing {g} in:\n{text}");
+        }
+    }
+
+    #[test]
     fn hit_rate_is_well_defined() {
         assert_eq!(PoolStats::default().hit_rate(), 0.0);
-        let s = PoolStats { hits: 3, misses: 1, recycled: 0, discarded: 0 };
+        let s = PoolStats { hits: 3, misses: 1, ..PoolStats::default() };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

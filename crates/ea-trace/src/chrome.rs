@@ -1,0 +1,111 @@
+//! Chrome Trace Event Format export of real runtime spans.
+//!
+//! Follows the conventions of `ea-sim::chrome` for *simulated*
+//! timelines — `thread_name` metadata events, `ph:"X"` spans with µs
+//! timestamps, `compute`/`comm` categories, `F{micro}`/`B{micro}`
+//! labels — so a recorded real run and its simulation open side by side
+//! in `chrome://tracing` / Perfetto. Real threads map to Chrome `tid`s
+//! within one process (`pid` 0); stage workers carry their `stage{k}`
+//! thread names.
+
+use crate::ring::TraceEvent;
+
+/// The display label of an event, mirroring `ea-sim`'s span labels:
+/// forward/backward spans render as `F{micro}`/`B{micro}`, transfers
+/// show their byte count.
+fn label_of(ev: &TraceEvent) -> String {
+    match ev.name {
+        "fwd" => format!("F{}", ev.arg),
+        "bwd" => format!("B{}", ev.arg),
+        "xfer_fwd" | "xfer_bwd" | "send" | "recv" => format!("{} ({} B)", ev.name, ev.arg),
+        other => other.to_string(),
+    }
+}
+
+/// Renders drained [`TraceEvent`]s as a Chrome Trace Event Format JSON
+/// document (hand-formatted, like the simulator's exporter — the format
+/// is too simple to need a serializer).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = Vec::new();
+    let mut named: Vec<u32> = Vec::new();
+    for ev in events {
+        if !named.contains(&ev.tid) {
+            named.push(ev.tid);
+            out.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":{:?}}}}}"#,
+                ev.tid, ev.thread
+            ));
+        }
+    }
+    for ev in events {
+        if ev.t1_us == ev.t0_us {
+            // Instant event (eviction, rejoin, retry, …).
+            out.push(format!(
+                r#"{{"name":{:?},"cat":"{}","ph":"i","s":"t","ts":{},"pid":0,"tid":{},"args":{{"arg":{}}}}}"#,
+                label_of(ev),
+                ev.cat.as_str(),
+                ev.t0_us,
+                ev.tid,
+                ev.arg
+            ));
+        } else {
+            out.push(format!(
+                r#"{{"name":{:?},"cat":"{}","ph":"X","ts":{},"dur":{},"pid":0,"tid":{},"args":{{"arg":{}}}}}"#,
+                label_of(ev),
+                ev.cat.as_str(),
+                ev.t0_us,
+                ev.dur_us().max(1),
+                ev.tid,
+                ev.arg
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", out.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Category;
+
+    fn ev(name: &'static str, thread: &str, tid: u32, t0: u64, t1: u64, arg: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: Category::Compute,
+            thread: thread.to_string(),
+            tid,
+            t0_us: t0,
+            t1_us: t1,
+            arg,
+        }
+    }
+
+    #[test]
+    fn export_is_wellformed_json_with_sim_conventions() {
+        let events = vec![
+            ev("fwd", "stage0", 0, 10, 25, 0),
+            ev("bwd", "stage0", 0, 30, 55, 0),
+            ev("fwd", "stage1", 1, 26, 40, 1),
+            ev("round", "main", 2, 0, 100, 3),
+            ev("evict", "reaper", 3, 60, 60, 1), // instant
+        ];
+        let json = chrome_trace_json(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed["traceEvents"].as_array().unwrap();
+        // 4 thread_name metadata + 5 events.
+        assert_eq!(arr.len(), 9);
+        assert!(arr.iter().any(|e| e["name"] == "F0"));
+        assert!(arr.iter().any(|e| e["name"] == "B0"));
+        assert!(arr.iter().any(|e| e["name"] == "F1"));
+        assert!(arr.iter().any(|e| e["ph"] == "i"));
+        assert!(arr.iter().any(|e| e["name"] == "thread_name" && e["args"]["name"] == "stage1"));
+    }
+
+    #[test]
+    fn zero_duration_x_spans_get_minimum_width() {
+        let events = vec![ev("opt", "stage0", 0, 5, 5, 0)];
+        // t0 == t1 renders as an instant, not a zero-width X.
+        let json = chrome_trace_json(&events);
+        assert!(json.contains(r#""ph":"i""#));
+    }
+}

@@ -1,0 +1,36 @@
+//! A process-wide monotonic clock in microseconds.
+//!
+//! All spans and histograms share one epoch (the first call into the
+//! clock), so timestamps from different threads land on one timeline and
+//! the Chrome export needs no renormalization.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Pins the epoch now (optional; the first timestamp does it anyway).
+pub fn init() {
+    let _ = epoch();
+}
+
+/// Microseconds since the process trace epoch.
+#[inline]
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,87 @@
+//! The `EA_TRACE` switch: a single atomic the hot paths load once.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the tracing layer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Record nothing; span sites cost one relaxed load.
+    Off = 0,
+    /// Counters and timing histograms, no spans.
+    Counters = 1,
+    /// Everything, including per-thread span rings.
+    Spans = 2,
+}
+
+/// Sentinel meaning "environment not consulted yet".
+const UNINIT: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The active trace level (reads `EA_TRACE` on first call).
+#[inline]
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Counters,
+        2 => Level::Spans,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> Level {
+    let lvl = match std::env::var("EA_TRACE").ok().as_deref() {
+        Some("counters") | Some("1") => Level::Counters,
+        Some("spans") | Some("2") | Some("on") | Some("all") => Level::Spans,
+        _ => Level::Off,
+    };
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+    lvl
+}
+
+/// Overrides the level (tests, tools); wins over the environment.
+pub fn set_level(lvl: Level) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+/// True when counters and histograms should record.
+#[inline]
+pub fn counters_enabled() -> bool {
+    level() >= Level::Counters
+}
+
+/// True when spans should record into the ring buffers.
+#[inline]
+pub fn spans_enabled() -> bool {
+    level() >= Level::Spans
+}
+
+/// Serializes tests (across this crate) that mutate the global level,
+/// so the parallel test runner cannot interleave them.
+#[cfg(test)]
+pub(crate) fn test_level_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_level_round_trips() {
+        let _guard = test_level_lock();
+        let before = level();
+        set_level(Level::Spans);
+        assert!(spans_enabled());
+        assert!(counters_enabled());
+        set_level(Level::Counters);
+        assert!(!spans_enabled());
+        assert!(counters_enabled());
+        set_level(Level::Off);
+        assert!(!counters_enabled());
+        set_level(before);
+    }
+}

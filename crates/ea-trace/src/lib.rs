@@ -1,0 +1,49 @@
+//! Runtime observability: spans, counters, histograms, and exporters.
+//!
+//! The §5 tuning loop is driven by *observed* signals — the utilization
+//! curve φᵏ(t), `T_gpu`, communication totals and the memory split — so
+//! the runtime needs a measurement layer that is always compiled in,
+//! near-free when disabled, and cheap enough to leave on in production
+//! runs. This crate provides it:
+//!
+//! * **Spans and events** ([`span`], [`instant`]) recorded into
+//!   lock-free per-thread ring buffers ([`ring`]). A disabled span site
+//!   costs one relaxed atomic load; an enabled one costs two clock reads
+//!   and a ring write, no allocation, no lock.
+//! * **Metrics** ([`metrics`]): monotonic [`Counter`]s, [`Gauge`]s and
+//!   log-linear-bucket timing [`Histogram`]s (p50/p95/p99), collected in
+//!   [`Registry`] instances plus a process-wide [`metrics::global`]
+//!   registry, all renderable as Prometheus text exposition.
+//! * **Exporters**: [`chrome::chrome_trace_json`] renders drained spans
+//!   in the Chrome Trace Event Format with the *same* conventions as
+//!   `ea-sim`'s simulated timelines (`F{m}`/`B{m}` labels, `compute` /
+//!   `comm` categories), so a real run and its simulation open
+//!   side-by-side in `chrome://tracing`.
+//! * **Leveled logging** ([`log`]): the runtime's stderr diagnostics
+//!   routed through one API that also counts per-level totals and
+//!   rate-limits repetitive sites (lease-eviction spam).
+//!
+//! # Switches
+//!
+//! `EA_TRACE=off` (default) disables recording; `EA_TRACE=counters`
+//! enables counters and timing histograms; `EA_TRACE=spans` additionally
+//! records spans into the ring buffers. Tests and tools can override the
+//! environment with [`set_level`].
+
+pub mod chrome;
+pub mod clock;
+pub mod level;
+pub mod log;
+pub mod metrics;
+pub mod name;
+pub mod ring;
+pub mod span;
+
+pub use chrome::chrome_trace_json;
+pub use clock::now_us;
+pub use level::{counters_enabled, level, set_level, spans_enabled, Level};
+pub use log::{LogLevel, RateLimit};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use name::StaticName;
+pub use ring::{drain, Category, TraceEvent};
+pub use span::{instant, span, span_arg, SpanGuard};

@@ -1,0 +1,150 @@
+//! Leveled runtime logging with per-site rate limiting.
+//!
+//! The runtime's stderr diagnostics route through [`log`] (usually via
+//! the [`log_event!`](crate::log_event) macro): every message still
+//! reaches stderr — the examples and chaos scripts grep for them — but
+//! each one also bumps a per-level counter in the global metrics
+//! registry and, at the `spans` level, records an instant event on the
+//! logging thread's timeline. Chatty sites (lease-eviction storms) wrap
+//! their call in a [`RateLimit`] so a misbehaving cluster cannot flood
+//! stderr; suppressed messages are counted, never silently lost.
+
+use crate::clock;
+use crate::metrics;
+use crate::name::StaticName;
+use crate::ring::Category;
+use crate::span::instant;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Severity of a runtime log event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or data-affecting conditions.
+    Error,
+    /// Degraded-but-continuing conditions (evictions, retries).
+    Warn,
+    /// Lifecycle milestones (rejoins, checkpoints, reconnects).
+    Info,
+}
+
+impl LogLevel {
+    fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+        }
+    }
+}
+
+static LOG_MARK: StaticName = StaticName::new("log");
+
+/// Emits one leveled log line: prints `[target] message` to stderr,
+/// bumps `ea_log_{level}_total` in the global registry, and records an
+/// instant event when spans are on. Prefer the
+/// [`log_event!`](crate::log_event) macro at call sites.
+pub fn log(level: LogLevel, target: &str, args: fmt::Arguments<'_>) {
+    metrics::global().counter(&format!("ea_log_{}_total", level.as_str())).inc();
+    instant(&LOG_MARK, Category::Runtime, level as u64);
+    eprintln!("[{target}] {args}");
+}
+
+/// Formats and emits a leveled log event:
+///
+/// ```
+/// ea_trace::log_event!(Warn, "refshard", "EVICTED pipe={} round={}", 1, 7);
+/// ```
+#[macro_export]
+macro_rules! log_event {
+    ($lvl:ident, $target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::LogLevel::$lvl, $target, format_args!($($arg)*))
+    };
+}
+
+/// A token-bucket-per-window rate limiter for one log site.
+///
+/// Allows `max_per_window` events per window (1 s); the rest are
+/// suppressed and counted. Declare one `static` per chatty site.
+pub struct RateLimit {
+    window_start_us: AtomicU64,
+    in_window: AtomicU64,
+    suppressed: AtomicU64,
+    max_per_window: u64,
+}
+
+/// The rate-limit window (µs).
+const WINDOW_US: u64 = 1_000_000;
+
+impl RateLimit {
+    /// A limiter allowing `max_per_sec` events per second.
+    pub const fn new(max_per_sec: u64) -> Self {
+        RateLimit {
+            window_start_us: AtomicU64::new(0),
+            in_window: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            max_per_window: max_per_sec,
+        }
+    }
+
+    /// True if this event fits the budget; false (and counted as
+    /// suppressed) otherwise.
+    pub fn allow(&self) -> bool {
+        self.allow_at(clock::now_us())
+    }
+
+    fn allow_at(&self, now: u64) -> bool {
+        let start = self.window_start_us.load(Relaxed);
+        if now.saturating_sub(start) >= WINDOW_US {
+            // A new window. One winner resets the count; racers just
+            // spend from the fresh budget.
+            if self.window_start_us.compare_exchange(start, now, Relaxed, Relaxed).is_ok() {
+                self.in_window.store(0, Relaxed);
+            }
+        }
+        if self.in_window.fetch_add(1, Relaxed) < self.max_per_window {
+            true
+        } else {
+            self.suppressed.fetch_add(1, Relaxed);
+            false
+        }
+    }
+
+    /// Events suppressed since construction.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_per_level() {
+        let c = metrics::global().counter("ea_log_warn_total");
+        let before = c.get();
+        log(LogLevel::Warn, "test", format_args!("something degraded"));
+        crate::log_event!(Warn, "test", "degraded {}", 2);
+        assert_eq!(c.get(), before + 2);
+    }
+
+    #[test]
+    fn rate_limit_caps_a_burst_and_counts_suppressed() {
+        let rl = RateLimit::new(5);
+        let allowed = (0..20).filter(|_| rl.allow()).count();
+        assert_eq!(allowed, 5);
+        assert_eq!(rl.suppressed(), 15);
+    }
+
+    #[test]
+    fn rate_limit_window_refills() {
+        let rl = RateLimit::new(1);
+        assert!(rl.allow_at(10));
+        assert!(!rl.allow_at(20), "budget of 1 spent");
+        // A full window later the budget refills.
+        assert!(rl.allow_at(WINDOW_US + 30));
+        assert!(!rl.allow_at(WINDOW_US + 40));
+        assert_eq!(rl.suppressed(), 2);
+    }
+}

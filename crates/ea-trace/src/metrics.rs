@@ -1,0 +1,487 @@
+//! Metrics: counters, gauges, log-linear timing histograms, registries.
+//!
+//! Handles are cheap `Arc`-backed clones safe to share across threads;
+//! recording is a handful of relaxed atomic operations, so metrics stay
+//! on even when tracing is `off`. A [`Registry`] names a set of metrics
+//! and renders them in the Prometheus text exposition format; the
+//! process-wide [`global`] registry holds cross-cutting metrics (pool,
+//! comms), while components with per-instance counters (one server per
+//! test) own private registries.
+
+use crate::clock;
+use crate::level::counters_enabled;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh zero counter (standalone; registries create their own).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram: 16 linear sub-buckets per power of two, like
+// HdrHistogram. Relative quantile error is bounded by 1/16 ≈ 6%.
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Index of the last bucket a `u64` value can land in.
+const N_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize; // ≥ SUB_BITS
+        let shift = msb as u32 - SUB_BITS;
+        let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+        (msb - SUB_BITS as usize + 1) * SUB + sub
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB {
+        (i as u64, i as u64)
+    } else {
+        let major = (i / SUB) as u32; // ≥ 1
+        let sub = (i % SUB) as u64;
+        let shift = major - 1;
+        let lo = (SUB as u64 + sub) << shift;
+        (lo, lo + ((1u64 << shift) - 1))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log-linear-bucket histogram for timings (µs) or sizes.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let h = &*self.0;
+        h.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        h.count.fetch_add(1, Relaxed);
+        h.sum.fetch_add(v, Relaxed);
+        h.min.fetch_min(v, Relaxed);
+        h.max.fetch_max(v, Relaxed);
+    }
+
+    /// Starts a timer that records its elapsed µs on drop; inert (no
+    /// clock reads) unless `EA_TRACE` is at least `counters`.
+    pub fn start_timer(&self) -> HistTimer {
+        if !counters_enabled() {
+            return HistTimer { hist: None, t0: 0 };
+        }
+        HistTimer { hist: Some(self.clone()), t0: clock::now_us() }
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &*self.0;
+        HistogramSnapshot {
+            buckets: h.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count: h.count.load(Relaxed),
+            sum: h.sum.load(Relaxed),
+            min: h.min.load(Relaxed),
+            max: h.max.load(Relaxed),
+        }
+    }
+}
+
+/// Times a scope into a [`Histogram`].
+#[must_use = "a timer measures the scope it is bound to"]
+pub struct HistTimer {
+    hist: Option<Histogram>,
+    t0: u64,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record(clock::now_us().saturating_sub(self.t0));
+        }
+    }
+}
+
+/// A consistent-enough copy of a [`Histogram`] (relaxed reads).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, as the upper bound of the
+    /// bucket holding that rank (≤ 1/16 relative error), clamped to the
+    /// observed `[min, max]`. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+type GaugeFn = Box<dyn Fn() -> i64 + Send + Sync>;
+
+/// A named set of metrics, renderable as Prometheus text exposition.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    gauge_fns: Mutex<BTreeMap<String, GaugeFn>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Registers a callback gauge sampled at render time — how
+    /// components with their own atomics (the tensor pool) expose state
+    /// without double-counting.
+    pub fn register_gauge_fn(&self, name: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
+        let mut m = self.gauge_fns.lock().unwrap_or_else(|e| e.into_inner());
+        m.insert(name.to_string(), Box::new(f));
+    }
+
+    /// All counters as `(name, value)` pairs, name-sorted.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let m = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        m.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    /// Histograms render as summaries (p50/p95/p99 quantiles).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, f) in self.gauge_fns.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", f()));
+        }
+        for (name, h) in self.histograms.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let s = h.snapshot();
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(&format!("{name}{{quantile=\"{label}\"}} {}\n", s.percentile(q)));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", s.sum, s.count));
+        }
+        out
+    }
+}
+
+/// The process-wide registry for cross-cutting metrics.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("c_total").get(), 5);
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(r.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        for v in (0u64..200).chain([1 << 20, u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        // Buckets tile the axis without gaps.
+        for i in 0..N_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(lo_next, hi + 1, "gap after bucket {i}");
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_for_small_values() {
+        // Values < 16 land in exact single-value buckets.
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 5);
+        assert_eq!(s.percentile(1.0), 10);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert!((s.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        let h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, exact) in [(0.5, 5000.0), (0.95, 9500.0), (0.99, 9900.0)] {
+            let got = s.percentile(q) as f64;
+            assert!((got - exact).abs() <= exact / 16.0 + 1.0, "p{q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn timer_is_inert_when_off() {
+        let _guard = crate::level::test_level_lock();
+        let before = crate::level::level();
+        crate::level::set_level(crate::Level::Off);
+        let h = Histogram::new();
+        drop(h.start_timer());
+        assert_eq!(h.snapshot().count, 0);
+        crate::level::set_level(crate::Level::Counters);
+        drop(h.start_timer());
+        assert_eq!(h.snapshot().count, 1);
+        crate::level::set_level(before);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_all_families() {
+        let r = Registry::new();
+        r.counter("requests_total").add(3);
+        r.gauge("live").set(2);
+        r.register_gauge_fn("sampled", || 9);
+        r.histogram("latency_us").record(120);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter\nrequests_total 3\n"));
+        assert!(text.contains("# TYPE live gauge\nlive 2\n"));
+        assert!(text.contains("sampled 9\n"));
+        assert!(text.contains("# TYPE latency_us summary\n"));
+        assert!(text.contains("latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("latency_us_count 1\n"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn values() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(0u64..1_000_000_000, 1..200)
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone_and_bounded(vals in values()) {
+            let h = Histogram::new();
+            for &v in &vals { h.record(v); }
+            let s = h.snapshot();
+            let mut last = 0u64;
+            for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                let p = s.percentile(q);
+                prop_assert!(p >= last, "quantiles must be monotone");
+                prop_assert!(p >= s.min && p <= s.max);
+                last = p;
+            }
+        }
+
+        #[test]
+        fn percentile_has_bounded_relative_error(vals in values()) {
+            let h = Histogram::new();
+            for &v in &vals { h.record(v); }
+            let s = h.snapshot();
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.95, 0.99] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+                let exact = sorted[rank] as f64;
+                let got = s.percentile(q) as f64;
+                // Log-linear buckets with 16 sub-buckets: ≤ 1/16 relative
+                // error (plus 1 for integer edges).
+                prop_assert!(
+                    (got - exact).abs() <= exact / 16.0 + 1.0,
+                    "q={} got={} exact={}", q, got, exact
+                );
+            }
+        }
+
+        #[test]
+        fn merge_equals_recording_everything_in_one(a in values(), b in values()) {
+            let ha = Histogram::new();
+            for &v in &a { ha.record(v); }
+            let hb = Histogram::new();
+            for &v in &b { hb.record(v); }
+            let hall = Histogram::new();
+            for &v in a.iter().chain(&b) { hall.record(v); }
+            let mut merged = ha.snapshot();
+            merged.merge(&hb.snapshot());
+            prop_assert_eq!(merged, hall.snapshot());
+        }
+
+        #[test]
+        fn count_sum_min_max_are_exact(vals in values()) {
+            let h = Histogram::new();
+            for &v in &vals { h.record(v); }
+            let s = h.snapshot();
+            prop_assert_eq!(s.count, vals.len() as u64);
+            prop_assert_eq!(s.sum, vals.iter().sum::<u64>());
+            prop_assert_eq!(s.min, *vals.iter().min().unwrap());
+            prop_assert_eq!(s.max, *vals.iter().max().unwrap());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Span-name interning: `&'static str` → `u32` once, per site.
+//!
+//! Ring-buffer events are fixed-size `Copy` records, so names travel as
+//! small integers. A [`StaticName`] caches its id in a per-site atomic,
+//! making the steady-state cost of naming a span one relaxed load.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+
+fn table() -> &'static Mutex<Vec<&'static str>> {
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interns `name`, returning its id (ids start at 1; 0 means "unset").
+/// The table is tiny (one entry per instrumentation site), so a linear
+/// scan beats a hash map here.
+pub fn intern(name: &'static str) -> u32 {
+    let mut t = table().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = t.iter().position(|n| *n == name) {
+        return i as u32 + 1;
+    }
+    t.push(name);
+    t.len() as u32
+}
+
+/// The string behind an interned id (`"?"` for unknown ids).
+pub fn name_of(id: u32) -> &'static str {
+    if id == 0 {
+        return "?";
+    }
+    let t = table().lock().unwrap_or_else(|e| e.into_inner());
+    t.get(id as usize - 1).copied().unwrap_or("?")
+}
+
+/// A span/event name declared once at an instrumentation site:
+///
+/// ```
+/// use ea_trace::StaticName;
+/// static FWD: StaticName = StaticName::new("fwd");
+/// assert_eq!(FWD.as_str(), "fwd");
+/// ```
+pub struct StaticName {
+    name: &'static str,
+    id: AtomicU32,
+}
+
+impl StaticName {
+    /// Declares a name; interning happens lazily on first use.
+    pub const fn new(name: &'static str) -> Self {
+        StaticName { name, id: AtomicU32::new(0) }
+    }
+
+    /// The interned id, cached at the site after the first call.
+    #[inline]
+    pub fn id(&self) -> u32 {
+        match self.id.load(Ordering::Relaxed) {
+            0 => {
+                let id = intern(self.name);
+                self.id.store(id, Ordering::Relaxed);
+                id
+            }
+            id => id,
+        }
+    }
+
+    /// The name itself.
+    pub fn as_str(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("test-name-a");
+        let b = intern("test-name-a");
+        assert_eq!(a, b);
+        assert_eq!(name_of(a), "test-name-a");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let a = intern("test-name-b");
+        let b = intern("test-name-c");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn static_name_caches_its_id() {
+        static N: StaticName = StaticName::new("test-name-d");
+        let first = N.id();
+        assert_eq!(N.id(), first);
+        assert_eq!(name_of(first), "test-name-d");
+    }
+
+    #[test]
+    fn unknown_id_is_a_question_mark() {
+        assert_eq!(name_of(0), "?");
+        assert_eq!(name_of(u32::MAX), "?");
+    }
+}

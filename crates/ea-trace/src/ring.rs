@@ -1,0 +1,322 @@
+//! Lock-free per-thread span rings and the process-wide drain.
+//!
+//! Each recording thread owns one fixed-capacity [`RawEvent`] ring; only
+//! the owner writes, so pushes are wait-free (no CAS, no lock). Readers
+//! drain concurrently through a per-slot sequence lock: a slot's
+//! sequence number is odd while the owner rewrites it, and a reader
+//! retries or skips any slot whose sequence changed under it. When the
+//! ring wraps, the oldest events are overwritten — tracing favours
+//! recency over completeness, like every flight recorder.
+//!
+//! Rings register themselves in a global registry on first use and stay
+//! registered after their thread exits, so a pipeline's stage workers
+//! can be drained after the pipeline is dropped.
+
+use crate::clock;
+use crate::level::spans_enabled;
+use crate::name;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events per thread ring. Power of two; at 48 B per slot a ring costs
+/// ~400 KiB, and 8192 events cover several thousand micro-batches.
+pub const RING_CAPACITY: usize = 8192;
+
+/// What a span or event was doing, mapped onto the Chrome trace
+/// categories used by `ea-sim` (`compute` / `comm`) plus `runtime` for
+/// control-plane activity (rounds, leases, logging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Category {
+    /// Forward/backward/optimizer work on a device.
+    Compute = 0,
+    /// Bytes moving between stages or over the wire.
+    Comm = 1,
+    /// Control plane: round lifecycle, leases, logs.
+    Runtime = 2,
+}
+
+impl Category {
+    /// The Chrome trace `cat` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Compute => "compute",
+            Category::Comm => "comm",
+            Category::Runtime => "runtime",
+        }
+    }
+
+    fn from_u8(v: u8) -> Category {
+        match v {
+            0 => Category::Compute,
+            1 => Category::Comm,
+            _ => Category::Runtime,
+        }
+    }
+}
+
+/// The fixed-size record a ring slot holds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RawEvent {
+    /// Interned name id ([`crate::name`]).
+    pub name: u32,
+    /// [`Category`] as a byte.
+    pub cat: u8,
+    /// Start (µs since the trace epoch).
+    pub t0_us: u64,
+    /// End (µs); equal to `t0_us` for instant events.
+    pub t1_us: u64,
+    /// Site-defined argument (micro index, byte count, round, …).
+    pub arg: u64,
+}
+
+/// A decoded event from a drain, ready for export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Category.
+    pub cat: Category,
+    /// Name of the thread that recorded it.
+    pub thread: String,
+    /// Stable per-ring ordinal (Chrome `tid`).
+    pub tid: u32,
+    /// Start (µs since the trace epoch).
+    pub t0_us: u64,
+    /// End (µs).
+    pub t1_us: u64,
+    /// Site-defined argument.
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Duration in µs (zero for instant events).
+    pub fn dur_us(&self) -> u64 {
+        self.t1_us.saturating_sub(self.t0_us)
+    }
+}
+
+struct Slot {
+    /// Even = stable generation, odd = being written.
+    seq: AtomicU32,
+    ev: UnsafeCell<RawEvent>,
+}
+
+/// One thread's ring. Only the owning thread calls [`ThreadRing::push`];
+/// any thread may snapshot.
+pub struct ThreadRing {
+    slots: Box<[Slot]>,
+    /// Total events ever pushed; the write cursor is `head % capacity`.
+    head: AtomicU64,
+    thread: String,
+    tid: u32,
+}
+
+// The UnsafeCell is protected by the per-slot seqlock.
+unsafe impl Sync for ThreadRing {}
+unsafe impl Send for ThreadRing {}
+
+impl ThreadRing {
+    fn new(thread: String, tid: u32) -> Self {
+        let slots = (0..RING_CAPACITY)
+            .map(|_| Slot { seq: AtomicU32::new(0), ev: UnsafeCell::new(RawEvent::default()) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ThreadRing { slots, head: AtomicU64::new(0), thread, tid }
+    }
+
+    /// Records one event. Owner thread only.
+    fn push(&self, ev: RawEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h as usize) & (RING_CAPACITY - 1)];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        // Mark the slot unstable, publish the write, mark it stable.
+        slot.seq.store(seq.wrapping_add(1), Ordering::Release);
+        unsafe { std::ptr::write(slot.ev.get(), ev) };
+        slot.seq.store(seq.wrapping_add(2), Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Snapshots the ring's currently stable events, oldest first.
+    /// Events overwritten or mid-write during the snapshot are skipped.
+    fn snapshot(&self) -> Vec<RawEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let n = head.min(RING_CAPACITY as u64) as usize;
+        let start = head - n as u64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = &self.slots[((start + i as u64) as usize) & (RING_CAPACITY - 1)];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                continue; // being rewritten right now
+            }
+            let ev = unsafe { std::ptr::read_volatile(slot.ev.get()) };
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 == s2 {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static RING: std::cell::OnceCell<Arc<ThreadRing>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_ring(f: impl FnOnce(&ThreadRing)) {
+    RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            let tid = reg.len() as u32;
+            let thread = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread{tid}"));
+            let ring = Arc::new(ThreadRing::new(thread, tid));
+            reg.push(ring.clone());
+            ring
+        });
+        f(ring);
+    });
+}
+
+/// Records an event into the calling thread's ring (no-op unless
+/// `EA_TRACE=spans`).
+#[inline]
+pub fn record(ev: RawEvent) {
+    if !spans_enabled() {
+        return;
+    }
+    with_ring(|r| r.push(ev));
+}
+
+/// Drains every thread's ring into one decoded, time-sorted event list.
+/// Concurrent recording is tolerated (torn slots are skipped); for an
+/// exact cut, drain after the traced threads have quiesced.
+pub fn drain() -> Vec<TraceEvent> {
+    let rings: Vec<Arc<ThreadRing>> = registry().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut out = Vec::new();
+    for ring in rings {
+        for ev in ring.snapshot() {
+            out.push(TraceEvent {
+                name: name::name_of(ev.name),
+                cat: Category::from_u8(ev.cat),
+                thread: ring.thread.clone(),
+                tid: ring.tid,
+                t0_us: ev.t0_us,
+                t1_us: ev.t1_us,
+                arg: ev.arg,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.t0_us.cmp(&b.t0_us).then(a.tid.cmp(&b.tid)));
+    out
+}
+
+/// Drops all recorded events (ring allocations are kept). Only sound
+/// while no traced thread is mid-push; meant for test isolation and for
+/// resetting between profiling windows.
+pub fn clear() {
+    let rings: Vec<Arc<ThreadRing>> = registry().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    for ring in rings {
+        ring.head.store(0, Ordering::Release);
+        for slot in ring.slots.iter() {
+            slot.seq.store(0, Ordering::Release);
+            unsafe { std::ptr::write(slot.ev.get(), RawEvent::default()) };
+        }
+    }
+}
+
+/// Records an instant event with the current timestamp.
+pub fn record_instant(name_id: u32, cat: Category, arg: u64) {
+    if !spans_enabled() {
+        return;
+    }
+    let t = clock::now_us();
+    record(RawEvent { name: name_id, cat: cat as u8, t0_us: t, t1_us: t, arg });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, Level};
+    use crate::name::intern;
+
+    fn ev(name: u32, t: u64) -> RawEvent {
+        RawEvent { name, cat: 0, t0_us: t, t1_us: t + 1, arg: t }
+    }
+
+    #[test]
+    fn ring_returns_events_in_order() {
+        let ring = ThreadRing::new("t".into(), 0);
+        for i in 0..10 {
+            ring.push(ev(1, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 10);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.t0_us, i as u64);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events() {
+        let ring = ThreadRing::new("t".into(), 0);
+        let total = RING_CAPACITY as u64 + 100;
+        for i in 0..total {
+            ring.push(ev(1, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), RING_CAPACITY);
+        // The oldest surviving event is `total - capacity`.
+        assert_eq!(snap.first().unwrap().t0_us, total - RING_CAPACITY as u64);
+        assert_eq!(snap.last().unwrap().t0_us, total - 1);
+        // Order is preserved across the wrap.
+        for w in snap.windows(2) {
+            assert_eq!(w[1].t0_us, w[0].t0_us + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_drain_never_sees_torn_events() {
+        let ring = Arc::new(ThreadRing::new("t".into(), 0));
+        let writer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for i in 0..200_000u64 {
+                    // arg mirrors t0 so tearing is detectable.
+                    ring.push(RawEvent { name: 7, cat: 0, t0_us: i, t1_us: i, arg: i });
+                }
+            })
+        };
+        for _ in 0..50 {
+            for e in ring.snapshot() {
+                assert_eq!(e.t0_us, e.arg, "torn slot observed");
+                assert_eq!(e.name, 7);
+            }
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn record_respects_the_level_gate() {
+        let _guard = crate::level::test_level_lock();
+        let before = crate::level::level();
+        set_level(Level::Off);
+        let id = intern("gated-event");
+        record(ev(id, 1));
+        assert!(!drain().iter().any(|e| e.name == "gated-event"));
+        set_level(Level::Spans);
+        record(ev(id, 2));
+        assert!(drain().iter().any(|e| e.name == "gated-event"));
+        set_level(before);
+    }
+}

@@ -1,0 +1,126 @@
+//! Span guards: time a scope, record it on drop.
+//!
+//! ```
+//! use ea_trace::{span, Category, StaticName};
+//! static FWD: StaticName = StaticName::new("fwd");
+//!
+//! fn forward_one_micro(micro: u64) {
+//!     let _span = span(&FWD, Category::Compute).with_arg(micro);
+//!     // ... the work being timed ...
+//! }
+//! ```
+//!
+//! When tracing is off the guard is inert: construction is one relaxed
+//! atomic load and drop does nothing.
+
+use crate::clock;
+use crate::level::spans_enabled;
+use crate::name::StaticName;
+use crate::ring::{self, Category, RawEvent};
+
+/// An in-flight span; records itself into the thread ring when dropped.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct SpanGuard {
+    name: u32,
+    cat: Category,
+    arg: u64,
+    t0: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Attaches a site-defined argument (micro index, bytes, round …).
+    pub fn with_arg(mut self, arg: u64) -> SpanGuard {
+        self.arg = arg;
+        self
+    }
+
+    /// Sets the argument on an already-bound guard.
+    pub fn set_arg(&mut self, arg: u64) {
+        self.arg = arg;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let t1 = clock::now_us();
+            ring::record(RawEvent {
+                name: self.name,
+                cat: self.cat as u8,
+                t0_us: self.t0,
+                t1_us: t1,
+                arg: self.arg,
+            });
+        }
+    }
+}
+
+/// Opens a span; the returned guard records `[now, drop]` when tracing
+/// is at the `spans` level, and is inert otherwise.
+#[inline]
+pub fn span(name: &StaticName, cat: Category) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard { name: 0, cat, arg: 0, t0: 0, active: false };
+    }
+    SpanGuard { name: name.id(), cat, arg: 0, t0: clock::now_us(), active: true }
+}
+
+/// [`span`] with the argument set up front.
+#[inline]
+pub fn span_arg(name: &StaticName, cat: Category, arg: u64) -> SpanGuard {
+    span(name, cat).with_arg(arg)
+}
+
+/// Records a zero-duration event at the current time.
+#[inline]
+pub fn instant(name: &StaticName, cat: Category, arg: u64) {
+    if !spans_enabled() {
+        return;
+    }
+    ring::record_instant(name.id(), cat, arg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, test_level_lock, Level};
+
+    static TEST_SPAN: StaticName = StaticName::new("span-test-scope");
+    static TEST_MARK: StaticName = StaticName::new("span-test-mark");
+
+    #[test]
+    fn spans_and_instants_reach_the_ring() {
+        let _guard = test_level_lock();
+        let before = crate::level::level();
+        set_level(Level::Spans);
+        {
+            let _s = span_arg(&TEST_SPAN, Category::Compute, 42);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        instant(&TEST_MARK, Category::Runtime, 7);
+        let events = ring::drain();
+        let s = events.iter().find(|e| e.name == "span-test-scope").expect("span recorded");
+        assert_eq!(s.arg, 42);
+        assert_eq!(s.cat, Category::Compute);
+        assert!(s.t1_us > s.t0_us, "sleep must give the span visible duration");
+        let m = events.iter().find(|e| e.name == "span-test-mark").expect("instant recorded");
+        assert_eq!(m.t0_us, m.t1_us);
+        assert_eq!(m.arg, 7);
+        set_level(before);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_level_lock();
+        let before = crate::level::level();
+        set_level(Level::Off);
+        static OFF_SPAN: StaticName = StaticName::new("span-test-off");
+        {
+            let _s = span(&OFF_SPAN, Category::Compute);
+        }
+        instant(&OFF_SPAN, Category::Compute, 0);
+        assert!(!ring::drain().iter().any(|e| e.name == "span-test-off"));
+        set_level(before);
+    }
+}

@@ -1,0 +1,85 @@
+//! Traced training: record a real pipelined run through `ea-trace`,
+//! export a Chrome trace and a Prometheus metrics dump, and feed the
+//! measured φ(t) profile into the §5 tuner.
+//!
+//! ```text
+//! cargo run --release --example traced_training [trace.json [metrics.prom]]
+//! ```
+//!
+//! Open the trace in `chrome://tracing` or <https://ui.perfetto.dev>; it
+//! uses the same `F{m}`/`B{m}` span conventions as the simulator's
+//! timelines, so a simulated schedule opens side by side.
+
+use avgpipe::{predict, TraceProfiler};
+use ea_data::SyntheticTask;
+use ea_models::{analogue_partition, analogue_spec, gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::ThreadedPipeline;
+use ea_tensor::TensorRng;
+use ea_trace::{chrome_trace_json, set_level, Level};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trace_path = args.next().unwrap_or_else(|| "trace.json".into());
+    let metrics_path = args.next().unwrap_or_else(|| "metrics.prom".into());
+
+    // Record spans regardless of the EA_TRACE environment default.
+    set_level(Level::Spans);
+
+    let cfg = AnalogueConfig { vocab: 32, seq: 8, hidden: 32, blocks: 4, stages: 3 };
+    let (batch, m, n, batches) = (16usize, 4usize, 1usize, 8usize);
+    let model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(7));
+    let opts: Vec<Box<dyn Optimizer>> =
+        (0..cfg.stages).map(|_| OptKind::Adam { lr: 1e-3 }.build()).collect();
+    let mut pipe = ThreadedPipeline::spawn(model.into_stages(), opts, m);
+    let task = SyntheticTask::copy_translate(cfg.vocab, cfg.seq, 3);
+
+    println!("running {batches} traced batches (batch {batch}, m={m}, n={n})");
+    for b in 0..batches as u64 {
+        let loss = pipe.step(&task.batch(batch, b));
+        println!("  batch {b}: loss {loss:.4}");
+    }
+    drop(pipe); // join the stage workers so their rings are quiescent
+
+    let events = ea_trace::drain();
+    std::fs::write(&trace_path, chrome_trace_json(&events)).expect("write trace");
+    std::fs::write(&metrics_path, ea_trace::metrics::global().render_prometheus())
+        .expect("write metrics");
+    println!("wrote {} events to {trace_path}, metrics to {metrics_path}", events.len());
+
+    // The measured-φ(t) path into the §5 tuner: derive the profile from
+    // the recorded spans and rank candidate (m*, n*) settings through
+    // the same predictor the simulator profile feeds.
+    let profiler = TraceProfiler::new(
+        analogue_spec(cfg),
+        analogue_partition(cfg),
+        batch,
+        8, // Adam: two f32 states per parameter
+        12_000.0,
+    );
+    let peak = ea_tensor::pool::stats().peak_pooled_bytes;
+    let profile = profiler.profile_events(&events, m, n, batches, peak);
+    for (k, d) in profile.per_device.iter().enumerate() {
+        println!(
+            "stage{k}: T_gpu {:>6.0} µs/batch, 𝕋 {:>5.1} µs/batch, φ̄ {:.3}, F_mod {} KiB, F_dat {} KiB",
+            d.t_gpu_us,
+            d.t_comm_total_us,
+            d.trace.mean_over(d.horizon_us),
+            d.f_mod / 1024,
+            d.f_dat / 1024,
+        );
+    }
+
+    let candidates = [(2, 1), (4, 1), (4, 2), (8, 2), (8, 4), (16, 4)];
+    let mut best: Option<(f64, usize, usize)> = None;
+    println!("predicted per-batch time from the measured profile:");
+    for (ms, ns) in candidates {
+        let p = predict(&profile, ms, ns);
+        println!("  M={ms:<2} N={ns}: {:>8.0} µs", p.t_us);
+        if best.is_none_or(|(t, _, _)| p.t_us < t) {
+            best = Some((p.t_us, ms, ns));
+        }
+    }
+    let (_, ms, ns) = best.unwrap();
+    println!("tuner pick from the measured profile: M={ms} N={ns}");
+}

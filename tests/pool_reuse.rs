@@ -56,4 +56,36 @@ fn steady_state_training_reuses_pooled_buffers() {
         stats.misses,
         steps
     );
+
+    // Byte accounting: between steps the scratch buffers are back in the
+    // pool, so the pool holds real memory and the high-water mark covers
+    // the current occupancy.
+    assert!(stats.pooled_bytes > 0, "no bytes pooled after a training loop");
+    assert!(
+        stats.peak_pooled_bytes >= stats.pooled_bytes,
+        "peak {} below live occupancy {}",
+        stats.peak_pooled_bytes,
+        stats.pooled_bytes
+    );
+    // Draining the pool returns the bytes to the allocator and the
+    // accounting follows exactly.
+    pool::clear();
+    let drained = pool::stats();
+    assert_eq!(drained.pooled_bytes, 0, "clear() left bytes accounted: {drained:?}");
+    assert_eq!(
+        drained.peak_pooled_bytes, stats.peak_pooled_bytes,
+        "clear() must not move the peak"
+    );
+
+    // The same numbers are visible through the process-wide metrics
+    // registry (render-time gauges).
+    let text = ea_trace::metrics::global().render_prometheus();
+    for g in ["ea_pool_hits", "ea_pool_misses", "ea_pool_pooled_bytes", "ea_pool_peak_pooled_bytes"]
+    {
+        assert!(text.contains(&format!("# TYPE {g} gauge\n")), "missing {g} in:\n{text}");
+    }
+    assert!(
+        text.contains(&format!("ea_pool_peak_pooled_bytes {}\n", stats.peak_pooled_bytes)),
+        "registry gauge disagrees with pool::stats():\n{text}"
+    );
 }

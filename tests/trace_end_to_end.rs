@@ -1,0 +1,73 @@
+//! End-to-end tracing: a real threaded pipeline run recorded under
+//! `EA_TRACE=spans` must export a well-formed Chrome trace with the
+//! expected span vocabulary and carry non-zero φ(t) busy time into the
+//! trace-driven profile.
+//!
+//! Kept in its own test binary: it flips the process-wide trace level
+//! and drains the global span rings.
+
+use avgpipe::TraceProfiler;
+use ea_data::SyntheticTask;
+use ea_models::{analogue_partition, analogue_spec, gnmt_analogue, AnalogueConfig};
+use ea_optim::{OptKind, Optimizer};
+use ea_runtime::ThreadedPipeline;
+use ea_tensor::TensorRng;
+use ea_trace::{chrome_trace_json, set_level, Level};
+
+#[test]
+fn traced_run_exports_chrome_json_and_a_busy_profile() {
+    let cfg = AnalogueConfig { vocab: 16, seq: 4, hidden: 16, blocks: 2, stages: 2 };
+    let (batch, m, batches) = (8usize, 2usize, 3usize);
+
+    set_level(Level::Spans);
+    let model = gnmt_analogue(cfg, &mut TensorRng::seed_from_u64(3));
+    let opts: Vec<Box<dyn Optimizer>> =
+        (0..cfg.stages).map(|_| OptKind::Adam { lr: 1e-2 }.build()).collect();
+    let mut pipe = ThreadedPipeline::spawn(model.into_stages(), opts, m);
+    let task = SyntheticTask::copy_translate(cfg.vocab, cfg.seq, 5);
+    for b in 0..batches as u64 {
+        assert!(pipe.step(&task.batch(batch, b)).is_finite());
+    }
+    drop(pipe); // quiesce the stage workers before draining
+    set_level(Level::Off);
+
+    let events = ea_trace::drain();
+    // The span vocabulary of the instrumented hot path, on the named
+    // stage worker threads.
+    for name in ["fwd", "bwd", "opt", "xfer_fwd", "xfer_bwd"] {
+        assert!(events.iter().any(|e| e.name == name), "no {name:?} event recorded");
+    }
+    for thread in ["stage0", "stage1"] {
+        assert!(events.iter().any(|e| e.thread == thread), "no events from {thread}");
+    }
+    // Every batch forwards `m` micro-batches through each of the two
+    // stages.
+    let fwd_spans = events.iter().filter(|e| e.name == "fwd").count();
+    assert_eq!(fwd_spans, batches * m * cfg.stages, "unexpected forward span count");
+    // Transfer marks carry the boundary activation size in bytes.
+    let boundary = (batch / m * cfg.seq * cfg.hidden * 4) as u64;
+    assert!(
+        events.iter().filter(|e| e.name == "xfer_fwd").all(|e| e.arg == boundary),
+        "xfer_fwd bytes disagree with the stage boundary size"
+    );
+
+    // The trace-driven profile sees real, non-zero busy time on every
+    // stage's φ(t).
+    let profile = TraceProfiler::new(analogue_spec(cfg), analogue_partition(cfg), batch, 8, 100.0)
+        .profile_events(&events, m, 1, batches, 0);
+    for (k, d) in profile.per_device.iter().enumerate() {
+        assert!(d.t_gpu_us > 0.0, "stage {k} busy time is zero");
+        assert!(d.trace.integral() > 0.0, "stage {k} φ(t) integral is zero");
+        assert!(d.horizon_us > 0.0);
+    }
+
+    // The export is well-formed JSON following the simulator's span
+    // conventions (F{m}/B{m} labels, compute/comm categories).
+    let json = chrome_trace_json(&events);
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("well-formed JSON");
+    let arr = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!arr.is_empty());
+    assert!(arr.iter().any(|e| e["name"] == "F0" && e["cat"] == "compute"));
+    assert!(arr.iter().any(|e| e["name"] == "B0" && e["cat"] == "compute"));
+    assert!(arr.iter().any(|e| e["name"] == "thread_name" && e["args"]["name"] == "stage1"));
+}
