@@ -32,9 +32,19 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_softmax(c: &mut Criterion) {
-    let mut rng = TensorRng::seed_from_u64(1);
-    let x = uniform(&[256, 512], -2.0, 2.0, &mut rng);
-    c.bench_function("softmax_rows/256x512", |b| b.iter(|| softmax_rows(std::hint::black_box(&x))));
+    // Forced-level pairs, like bench_matmul: "softmax" is the detected
+    // SIMD path (vectorized exp + fixed-tree sum), "softmax_scalar"
+    // forces the scalar instantiation of the same kernel for run-to-run
+    // speedup tracking.
+    for (group_name, level) in [("softmax", None), ("softmax_scalar", Some(simd::Level::Scalar))] {
+        simd::force_level(level);
+        let mut group = c.benchmark_group(group_name);
+        let mut rng = TensorRng::seed_from_u64(1);
+        let x = uniform(&[256, 512], -2.0, 2.0, &mut rng);
+        group.bench_function("rows/256x512", |b| b.iter(|| softmax_rows(std::hint::black_box(&x))));
+        group.finish();
+        simd::force_level(None);
+    }
 }
 
 criterion_group!(benches, bench_matmul, bench_softmax);

@@ -1,0 +1,146 @@
+//! Size-bucketed recycling pool for the reactor's frame buffers.
+//!
+//! The event loop assembles one inbound payload buffer and one encoded
+//! outbound frame per message; at thousand-worker fan-in that is tens of
+//! thousands of transient allocations per second, almost all of a few
+//! recurring sizes (acks, pulls, and the one or two delta lengths of the
+//! model). This pool is the byte-buffer sibling of `ea_tensor::pool`:
+//! buffers are bucketed by power-of-two capacity class, each class keeps a
+//! bounded free list, and hit/miss/recycle counters are registered as
+//! gauges in the global [`ea_trace::metrics`] registry.
+//!
+//! Unlike the tensor pool, buffers are stored *full-length* (len ==
+//! capacity, contents stale) so a take never re-zeroes: the caller always
+//! overwrites the bytes it asked for, either from `read(2)` or from a
+//! frame encoder that clears first.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// Smallest pooled capacity class; asks below this round up to it.
+const MIN_CLASS: usize = 64;
+/// Largest pooled capacity class (1 MiB); bigger buffers are not pooled.
+const MAX_CLASS: usize = 1 << 20;
+/// Free-list bound per class — beyond this, recycled buffers are freed.
+const MAX_BUFS_PER_CLASS: usize = 64;
+
+const N_CLASSES: usize = (MAX_CLASS.ilog2() - MIN_CLASS.ilog2() + 1) as usize;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn classes() -> &'static Mutex<Vec<Vec<Vec<u8>>>> {
+    static CLASSES: OnceLock<Mutex<Vec<Vec<Vec<u8>>>>> = OnceLock::new();
+    CLASSES.get_or_init(|| {
+        let r = ea_trace::metrics::global();
+        r.register_gauge_fn("ea_comms_bytepool_hits", || HITS.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_comms_bytepool_misses", || MISSES.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_comms_bytepool_recycled", || RECYCLED.load(Relaxed) as i64);
+        r.register_gauge_fn("ea_comms_bytepool_dropped", || DROPPED.load(Relaxed) as i64);
+        Mutex::new(vec![Vec::new(); N_CLASSES])
+    })
+}
+
+/// The capacity class index for a request of `len` bytes, or `None` when
+/// the request is outside the pooled range.
+fn class_of(len: usize) -> Option<usize> {
+    if len > MAX_CLASS {
+        return None;
+    }
+    let cap = len.max(MIN_CLASS).next_power_of_two();
+    Some((cap.ilog2() - MIN_CLASS.ilog2()) as usize)
+}
+
+/// A buffer of exactly `len` bytes with arbitrary contents — the caller
+/// must overwrite every byte it reads back.
+pub(crate) fn take(len: usize) -> Vec<u8> {
+    let mut buf = take_empty(len);
+    // Pooled buffers are stored full-length, so the truncate path (a pool
+    // hit) never re-touches memory; only fresh allocations pay the zeroing
+    // resize.
+    if buf.len() >= len {
+        buf.truncate(len);
+    } else {
+        buf.resize(len, 0);
+    }
+    buf
+}
+
+/// An empty buffer with at least `cap` capacity, for encoders that clear
+/// and extend.
+pub(crate) fn take_empty(cap: usize) -> Vec<u8> {
+    if let Some(class) = class_of(cap) {
+        if let Some(mut buf) = classes().lock().expect("bytepool poisoned")[class].pop() {
+            HITS.fetch_add(1, Relaxed);
+            buf.clear();
+            return buf;
+        }
+    }
+    MISSES.fetch_add(1, Relaxed);
+    Vec::with_capacity(cap.max(MIN_CLASS).next_power_of_two().max(cap))
+}
+
+/// Returns a buffer to its capacity class. Buffers outside the pooled
+/// range, or landing in a full class, are simply dropped.
+pub(crate) fn recycle(mut buf: Vec<u8>) {
+    let cap = buf.capacity();
+    if !(MIN_CLASS..=MAX_CLASS).contains(&cap) || !cap.is_power_of_two() {
+        DROPPED.fetch_add(1, Relaxed);
+        return;
+    }
+    // Store full-length (initialized via resize) so `take` can hand out
+    // any shorter view with a plain truncate.
+    buf.resize(cap, 0);
+    let class = (cap.ilog2() - MIN_CLASS.ilog2()) as usize;
+    let mut classes = classes().lock().expect("bytepool poisoned");
+    if classes[class].len() < MAX_BUFS_PER_CLASS {
+        classes[class].push(buf);
+        RECYCLED.fetch_add(1, Relaxed);
+    } else {
+        DROPPED.fetch_add(1, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_exact_length() {
+        for len in [0, 1, 63, 64, 65, 1000, 4096, MAX_CLASS, MAX_CLASS + 1] {
+            let buf = take(len);
+            assert_eq!(buf.len(), len);
+        }
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_for_its_class() {
+        let buf = take(300);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        assert_eq!(cap, 512, "300-byte ask rounds to the 512 class");
+        recycle(buf);
+        // Same class → same storage comes back (unless a parallel test
+        // drained the class first).
+        let again = take(400);
+        if again.capacity() == cap {
+            assert_eq!(again.as_ptr(), ptr);
+        }
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let buf = take(MAX_CLASS + 1);
+        assert!(buf.capacity() > MAX_CLASS);
+        recycle(buf); // must not panic; silently dropped
+    }
+
+    #[test]
+    fn take_empty_has_capacity_but_no_length() {
+        let buf = take_empty(100);
+        assert_eq!(buf.len(), 0);
+        assert!(buf.capacity() >= 100);
+    }
+}

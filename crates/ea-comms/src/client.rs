@@ -7,6 +7,14 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 /// Retry policy for unanswered requests.
+///
+/// Retransmissions are spaced by *decorrelated jitter*: before attempt
+/// `k+1`, the client sleeps a uniformly random duration in
+/// `[base, min(cap, 3 × previous_sleep)]` where `base` is
+/// `reply_timeout / 8` and `cap` is `reply_timeout`. Under thousand-worker
+/// fan-in a server hiccup would otherwise resynchronize every worker's
+/// retry clock and turn one slow round into a retransmission storm; the
+/// jitter decorrelates the herd while keeping the first retry prompt.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryConfig {
     /// How long to wait for a matching reply before retransmitting.
@@ -202,10 +210,18 @@ fn request(
     matches: impl Fn(&Message) -> bool,
 ) -> Result<Message, CommsError> {
     let attempts = retry.max_attempts.max(1);
+    // Decorrelated-jitter state (see `RetryConfig` docs): each retry
+    // sleeps uniformly in [base, min(cap, 3 × previous sleep)].
+    let base = (retry.reply_timeout / 8).max(Duration::from_millis(1));
+    let cap = retry.reply_timeout.max(base);
+    let mut prev_sleep = base;
     for attempt in 0..attempts {
         if attempt > 0 {
             conn.record_retry();
             crate::trace::counters().on_retry();
+            let sleep = jitter_backoff(base, cap, prev_sleep);
+            std::thread::sleep(sleep);
+            prev_sleep = sleep;
         }
         conn.send(req.clone())?;
         let deadline = std::time::Instant::now() + retry.reply_timeout;
@@ -231,6 +247,34 @@ fn request(
         }
     }
     Err(CommsError::RetriesExhausted { what, attempts })
+}
+
+/// One decorrelated-jitter draw: uniform in `[base, min(cap, 3 × prev)]`.
+fn jitter_backoff(base: Duration, cap: Duration, prev: Duration) -> Duration {
+    let hi = (prev * 3).clamp(base, cap);
+    let span_ns = hi.saturating_sub(base).as_nanos() as u64;
+    base + Duration::from_nanos(if span_ns == 0 { 0 } else { jitter_u64() % (span_ns + 1) })
+}
+
+/// Cheap per-thread SplitMix64 for retry jitter. Seeded from a global
+/// counter (not the clock), so runs are deterministic given a thread
+/// spawn order while distinct threads still draw uncorrelated streams —
+/// no external RNG dependency on the hot protocol path.
+fn jitter_u64() -> u64 {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_SEED: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
+    thread_local! {
+        static STATE: Cell<u64> =
+            Cell::new(NEXT_SEED.fetch_add(0xA076_1D64_78BD_642F, Ordering::Relaxed));
+    }
+    STATE.with(|s| {
+        let mut z = s.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    })
 }
 
 /// The trainer-facing abstraction: pull reference weights and submit local
@@ -343,6 +387,26 @@ mod tests {
                 }
             }
         })
+    }
+
+    #[test]
+    fn jitter_backoff_stays_within_the_decorrelated_envelope() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut prev = base;
+        for _ in 0..200 {
+            let sleep = jitter_backoff(base, cap, prev);
+            assert!(sleep >= base, "{sleep:?} below base");
+            assert!(sleep <= (prev * 3).clamp(base, cap), "{sleep:?} above 3×prev");
+            assert!(sleep <= cap, "{sleep:?} above cap");
+            prev = sleep;
+        }
+    }
+
+    #[test]
+    fn jitter_draws_are_not_constant() {
+        let draws: Vec<u64> = (0..16).map(|_| jitter_u64()).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "RNG returned a constant");
     }
 
     #[test]

@@ -119,6 +119,28 @@ pub fn encode_frame(msg_type: u8, payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&crc32(payload).to_le_bytes());
 }
 
+/// Validates a fixed 12-byte header, returning `(msg_type, payload_len)`.
+/// Shared by the blocking reader below and the reactor's incremental
+/// connection state machine, so both paths enforce identical checks.
+pub(crate) fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), FrameError> {
+    let magic: [u8; 4] = header[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if header[4] != PROTO_VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    if flags != 0 {
+        return Err(FrameError::BadFlags(flags));
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::TooLarge(len));
+    }
+    Ok((header[5], len))
+}
+
 /// Reads exactly one frame from a byte stream.
 ///
 /// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer closed
@@ -131,22 +153,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ReadFrameE
         Eof::Partial => return Err(ReadFrameError::Frame(FrameError::Truncated)),
         Eof::Filled => {}
     }
-    let magic: [u8; 4] = header[0..4].try_into().unwrap();
-    if magic != MAGIC {
-        return Err(ReadFrameError::Frame(FrameError::BadMagic(magic)));
-    }
-    if header[4] != PROTO_VERSION {
-        return Err(ReadFrameError::Frame(FrameError::BadVersion(header[4])));
-    }
-    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if flags != 0 {
-        return Err(ReadFrameError::Frame(FrameError::BadFlags(flags)));
-    }
-    let msg_type = header[5];
-    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(ReadFrameError::Frame(FrameError::TooLarge(len)));
-    }
+    let (msg_type, len) = parse_header(&header).map_err(ReadFrameError::Frame)?;
     let mut payload = vec![0u8; len];
     match read_exact_or_eof(r, &mut payload)? {
         Eof::Filled => {}

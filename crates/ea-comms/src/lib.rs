@@ -23,15 +23,27 @@
 //!   retry + idempotency design keeps training byte-identical under loss,
 //!   plus a round-scheduled chaos harness ([`ChaosConfig`]: crash, stall,
 //!   partition) for the fault-tolerance tests.
+//! * [`reactor`] — the nonblocking server core: an epoll event loop
+//!   multiplexing every accepted connection across a small set of
+//!   threads, with incremental zero-copy frame assembly into pooled
+//!   buffers, write-side backpressure with slow-consumer eviction, and
+//!   idle-timeout reaping. The client side is untouched — the reactor
+//!   speaks the same `frame` + `wire` protocol.
 //! * [`client`] — [`ShardClient`] (request/reply with bounded retry) and
 //!   the [`ShardChannel`] abstraction the trainer runs against;
 //!   `ea-runtime` provides the in-process implementation
 //!   (`LocalShards`) and the `RefShardServer` that serves these messages.
 
+pub(crate) mod bytepool;
 pub mod client;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) mod conn;
 pub mod fault;
 pub mod frame;
 pub mod loopback;
+pub mod reactor;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) mod sys;
 pub mod tcp;
 pub(crate) mod trace;
 pub mod transport;
@@ -43,6 +55,7 @@ pub use frame::{crc32, FrameError, PROTO_VERSION};
 pub use loopback::{
     loopback_endpoint, loopback_pair, LoopbackHub, LoopbackListener, LoopbackTransport,
 };
+pub use reactor::{ConnId, DisconnectReason, Outbox, Reactor, ReactorConfig, ReactorHandler};
 pub use tcp::{TcpConfig, TcpServer, TcpTransport};
 pub use transport::{CommsError, Listener, Transport, TransportStats};
 pub use wire::Message;

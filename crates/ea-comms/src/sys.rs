@@ -1,0 +1,256 @@
+//! Minimal raw-syscall epoll bindings for the reactor (Linux only).
+//!
+//! The workspace links no C FFI crate, so the four syscalls the event
+//! loop needs — `epoll_create1`, `epoll_ctl`, `epoll_wait`/`epoll_pwait`
+//! and `close` — are issued directly via inline assembly on the two
+//! supported kernels' ABIs (x86_64 and aarch64). Everything else the
+//! reactor touches (nonblocking sockets, `UnixStream` wake pipes) goes
+//! through `std::net`/`std::os::unix`.
+//!
+//! Kernel ABI note: `struct epoll_event` is `__attribute__((packed))` on
+//! x86_64 only; every other architecture uses natural alignment (4 bytes
+//! of padding between `events` and `data`). The two layouts below mirror
+//! that exactly.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable (or a connection is waiting on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (both halves closed).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half — lets the loop learn of a half-close
+/// without waiting for `read` to return 0.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: usize = 0x8_0000;
+const EINTR: i32 = 4;
+
+/// One readiness event, in the kernel's wire layout.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+/// One readiness event, in the kernel's wire layout.
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_WAIT: usize = 232;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const CLOSE: usize = 57;
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc #0",
+        in("x8") n,
+        inlateout("x0") a1 as isize => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x5") a6,
+        options(nostack),
+    );
+    ret
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// An epoll instance. Closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Epoll> {
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        Ok(Epoll { fd: check(ret)? as RawFd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        let ptr = if op == EPOLL_CTL_DEL { 0 } else { &mut ev as *mut EpollEvent as usize };
+        let ret = unsafe {
+            syscall6(nr::EPOLL_CTL, self.fd as usize, op as usize, fd as usize, ptr, 0, 0)
+        };
+        check(ret).map(|_| ())
+    }
+
+    /// Starts watching `fd` for `events`, tagging readiness with `data`.
+    pub fn add(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    /// Changes the interest set of an already-watched `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    /// Stops watching `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (-1 = forever) for readiness; fills
+    /// `events` and returns how many fired. A signal interruption is
+    /// reported as zero events, not an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = unsafe {
+            #[cfg(target_arch = "x86_64")]
+            {
+                syscall6(
+                    nr::EPOLL_WAIT,
+                    self.fd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                    0,
+                )
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                // aarch64 has no plain epoll_wait; epoll_pwait with a null
+                // sigmask is equivalent.
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.fd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                    8,
+                )
+            }
+        };
+        if ret == -(EINTR as isize) {
+            return Ok(0);
+        }
+        check(ret)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = syscall6(nr::CLOSE, self.fd as usize, 0, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readable_pipe() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let mut evs = [EpollEvent::default(); 4];
+        // Nothing readable yet: a zero-timeout wait returns no events.
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (events, data) = (evs[0].events, evs[0].data);
+        assert_ne!(events & EPOLLIN, 0);
+        assert_eq!(data, 42);
+    }
+
+    #[test]
+    fn modify_and_delete_change_the_interest_set() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 1).unwrap();
+        a.write_all(b"x").unwrap();
+        // Watching only EPOLLOUT hides the pending read.
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 1).unwrap();
+        let mut evs = [EpollEvent::default(); 4];
+        let n = ep.wait(&mut evs, 100).unwrap();
+        assert_eq!(n, 1);
+        let events = evs[0].events;
+        assert_eq!(events & EPOLLIN, 0);
+        assert_ne!(events & EPOLLOUT, 0);
+        ep.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+    }
+}

@@ -74,12 +74,13 @@ pub enum Message {
     /// Server → client: counter values in `ServerMetricsSnapshot` field
     /// order (disconnects, protocol_violations, crc_failures, io_errors,
     /// heartbeats, evictions, rejoins, degraded_rounds, quorum_lost,
-    /// checkpoints_saved, checkpoint_restores).
+    /// checkpoints_saved, checkpoint_restores, slow_consumer_evictions,
+    /// idle_timeouts).
     MetricsReply { counters: [u64; METRICS_COUNTERS] },
 }
 
 /// Number of counters carried by [`Message::MetricsReply`].
-pub const METRICS_COUNTERS: usize = 11;
+pub const METRICS_COUNTERS: usize = 13;
 
 /// Wire tags, one per message type.
 mod tag {

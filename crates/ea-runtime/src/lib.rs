@@ -44,6 +44,7 @@ mod error;
 mod json;
 mod membership;
 mod metrics;
+mod reactor_server;
 pub mod semantic;
 mod server;
 mod supervisor;
@@ -56,6 +57,7 @@ pub use membership::Membership;
 pub use metrics::{
     epochs_to_target, evaluate, EpochsToTarget, EvalResult, ServerMetrics, ServerMetricsSnapshot,
 };
+pub use reactor_server::ReactorDispatch;
 pub use semantic::{train_step, ElasticSemantic, StaleTrainer, SyncTrainer, Trainer};
 pub use server::{ElasticWorker, FtConfig, RefShardServer};
 pub use supervisor::{ChannelFactory, RoundReport, SupervisedWorker, SupervisorConfig, WorkerMode};

@@ -29,6 +29,8 @@ pub struct ServerMetrics {
     quorum_lost: Counter,
     checkpoints_saved: Counter,
     checkpoint_restores: Counter,
+    slow_consumer_evictions: Counter,
+    idle_timeouts: Counter,
 }
 
 /// A point-in-time copy of [`ServerMetrics`], for assertions and logs.
@@ -56,6 +58,10 @@ pub struct ServerMetricsSnapshot {
     pub checkpoints_saved: u64,
     /// Server startups that restored shards from a checkpoint.
     pub checkpoint_restores: u64,
+    /// Connections dropped by the reactor for unbounded outbound queues.
+    pub slow_consumer_evictions: u64,
+    /// Connections reaped by the reactor's idle timeout.
+    pub idle_timeouts: u64,
 }
 
 impl ServerMetricsSnapshot {
@@ -74,13 +80,15 @@ impl ServerMetricsSnapshot {
             self.quorum_lost,
             self.checkpoints_saved,
             self.checkpoint_restores,
+            self.slow_consumer_evictions,
+            self.idle_timeouts,
         ]
     }
 
     /// Inverse of [`to_wire`](Self::to_wire), for clients reading a
     /// remote server's counters.
     pub fn from_wire(counters: [u64; ea_comms::wire::METRICS_COUNTERS]) -> Self {
-        let [disconnects, protocol_violations, crc_failures, io_errors, heartbeats, evictions, rejoins, degraded_rounds, quorum_lost, checkpoints_saved, checkpoint_restores] =
+        let [disconnects, protocol_violations, crc_failures, io_errors, heartbeats, evictions, rejoins, degraded_rounds, quorum_lost, checkpoints_saved, checkpoint_restores, slow_consumer_evictions, idle_timeouts] =
             counters;
         ServerMetricsSnapshot {
             disconnects,
@@ -94,6 +102,8 @@ impl ServerMetricsSnapshot {
             quorum_lost,
             checkpoints_saved,
             checkpoint_restores,
+            slow_consumer_evictions,
+            idle_timeouts,
         }
     }
 }
@@ -123,6 +133,8 @@ impl ServerMetrics {
             quorum_lost: registry.counter("ea_server_quorum_lost_total"),
             checkpoints_saved: registry.counter("ea_server_checkpoints_saved_total"),
             checkpoint_restores: registry.counter("ea_server_checkpoint_restores_total"),
+            slow_consumer_evictions: registry.counter("ea_server_slow_consumer_evictions_total"),
+            idle_timeouts: registry.counter("ea_server_idle_timeouts_total"),
             registry,
         }
     }
@@ -138,6 +150,8 @@ impl ServerMetrics {
     counter!(inc_quorum_lost, quorum_lost);
     counter!(inc_checkpoints_saved, checkpoints_saved);
     counter!(inc_checkpoint_restores, checkpoint_restores);
+    counter!(inc_slow_consumer_evictions, slow_consumer_evictions);
+    counter!(inc_idle_timeouts, idle_timeouts);
 
     /// The registry the counters live in — servers mount per-instance
     /// histograms (round/pull latencies) next to them.
@@ -159,6 +173,8 @@ impl ServerMetrics {
             quorum_lost: self.quorum_lost.get(),
             checkpoints_saved: self.checkpoints_saved.get(),
             checkpoint_restores: self.checkpoint_restores.get(),
+            slow_consumer_evictions: self.slow_consumer_evictions.get(),
+            idle_timeouts: self.idle_timeouts.get(),
         }
     }
 }

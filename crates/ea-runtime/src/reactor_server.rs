@@ -1,0 +1,219 @@
+//! Reactor-backed serving path for [`RefShardServer`]: the same protocol
+//! logic as the thread-per-connection `serve_conn` loop, dispatched from
+//! the `ea-comms` epoll event loop.
+//!
+//! Everything flows through the *same* [`handle`] function the blocking
+//! server uses, so the two paths cannot drift: idempotency keys, version
+//! echoes, membership touches, and error-to-metric mapping are shared
+//! code. The one behavior the event loop cannot reuse is the *blocking*
+//! reference pull (`weights_at_least` / `weights_within` park the calling
+//! thread until the round completes — deadly on a reactor thread that
+//! owns hundreds of other sockets). Those pulls are intercepted and
+//! **parked**: the request is recorded, the callback returns, and the
+//! reply is sent the moment a delta submission completes the round
+//! (checked inline after every submit, so no polling latency lands on the
+//! training critical path). In fault-tolerant mode a parked pull expires
+//! after `FtConfig::pull_wait`, exactly like the blocking server's
+//! `Ok(None)` — the client retransmits.
+//!
+//! Byte-exactness: arrival *order* of deltas never affects results —
+//! [`RefShard`](crate::RefShard) folds a round's deltas in pipe order at
+//! completion time — so multiplexing thousands of workers onto a few
+//! event-loop threads yields bit-identical reference weights to the
+//! thread-per-connection server and to a single-process run.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ea_comms::reactor::{ConnId, DisconnectReason, Outbox, Reactor, ReactorConfig, ReactorHandler};
+use ea_comms::wire::Message;
+use ea_comms::FrameError;
+use ea_trace::log_event;
+
+use crate::server::{handle, lookup, msg_pipe, touch, RefShardServer, ServerCtx};
+
+/// A blocking pull deferred until its round completes (or expires).
+struct Parked {
+    conn: ConnId,
+    shard: u32,
+    version: u64,
+    /// `Some` in fault-tolerant mode (`pull_wait` bound); `None` parks
+    /// until satisfied, matching the blocking `weights_at_least`.
+    deadline: Option<Instant>,
+    /// Arrival time, for the `ea_server_pull_us` histogram.
+    t0: Instant,
+}
+
+/// [`ReactorHandler`] adapter around [`RefShardServer`]'s shared state.
+pub struct ReactorDispatch {
+    ctx: Arc<ServerCtx>,
+    /// Last self-identified pipeline per connection (lease renewal).
+    pipes: Mutex<HashMap<ConnId, usize>>,
+    parked: Mutex<Vec<Parked>>,
+    /// Lock-free fast path: `has_deferred` and the post-submit check skip
+    /// the `parked` lock entirely while nothing is parked.
+    parked_count: AtomicUsize,
+}
+
+impl ReactorDispatch {
+    pub(crate) fn new(ctx: Arc<ServerCtx>) -> ReactorDispatch {
+        ReactorDispatch {
+            ctx,
+            pipes: Mutex::new(HashMap::new()),
+            parked: Mutex::new(Vec::new()),
+            parked_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether a pull for `(shard, version)` can be answered without
+    /// blocking (round already complete, or the latest-snapshot sentinel).
+    fn pull_ready(&self, shard: u32, version: u64) -> bool {
+        version == u64::MAX
+            || lookup(&self.ctx.shards, shard).map_or(true, |sh| sh.version() >= version)
+    }
+
+    /// Sends replies for every parked pull whose round has since
+    /// completed; expires overdue ones silently (client retransmits).
+    fn complete_parked(&self, out: &mut Outbox) {
+        if self.parked_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut parked = self.parked.lock().expect("parked list poisoned");
+        let now = Instant::now();
+        parked.retain(|p| {
+            let Ok(sh) = lookup(&self.ctx.shards, p.shard) else {
+                return false;
+            };
+            if sh.version() >= p.version {
+                let (actual, weights) = sh.weights_at_least(p.version);
+                self.ctx.pull_us.record(p.t0.elapsed().as_micros() as u64);
+                out.send(p.conn, Message::PullReply { shard: p.shard, version: actual, weights });
+                false
+            } else if p.deadline.is_some_and(|d| now >= d) {
+                // Bounded wait expired: drop the request, exactly the
+                // blocking server's `Ok(None)` — no reply is owed and the
+                // client's retry (which renews its lease) asks again.
+                self.ctx.pull_us.record(p.t0.elapsed().as_micros() as u64);
+                false
+            } else {
+                true
+            }
+        });
+        self.parked_count.store(parked.len(), Ordering::Release);
+    }
+}
+
+impl ReactorHandler for ReactorDispatch {
+    fn on_message(&self, conn: ConnId, msg: Message, out: &mut Outbox) {
+        let ctx = &self.ctx;
+        // Lease renewal, identical to the per-connection loop: the first
+        // self-identifying message names the pipe; every later message on
+        // the connection renews that pipe's lease.
+        let pipe = {
+            let mut pipes = self.pipes.lock().expect("pipe map poisoned");
+            if let Some(p) = msg_pipe(&msg) {
+                if p < ctx.n_pipelines {
+                    pipes.insert(conn, p);
+                }
+            }
+            pipes.get(&conn).copied()
+        };
+        if let Some(p) = pipe {
+            touch(ctx, p);
+        }
+
+        // Park pulls that would block the event loop.
+        if let Message::PullRequest { shard, version } = msg {
+            if !self.pull_ready(shard, version) {
+                let deadline = ctx.pull_wait.map(|w| Instant::now() + w);
+                let mut parked = self.parked.lock().expect("parked list poisoned");
+                parked.push(Parked { conn, shard, version, deadline, t0: Instant::now() });
+                self.parked_count.store(parked.len(), Ordering::Release);
+                return;
+            }
+        }
+
+        let was_submit = matches!(msg, Message::SubmitDelta { .. });
+        match handle(ctx, msg) {
+            Ok(Some(reply)) => out.send(conn, reply),
+            Ok(None) => {} // bounded pull expired inside handle()
+            Err(e) => {
+                ctx.metrics.inc_protocol_violations();
+                log_event!(Warn, "refshard", "dropping conn (pipe {pipe:?}): {e}");
+                out.close(conn, e.to_string());
+                return;
+            }
+        }
+        // A recorded submission may have completed a round: satisfy
+        // parked pulls *now*, on the same callback, so round latency
+        // never includes a poll interval.
+        if was_submit {
+            self.complete_parked(out);
+        }
+    }
+
+    fn on_disconnect(&self, conn: ConnId, reason: &DisconnectReason) {
+        self.pipes.lock().expect("pipe map poisoned").remove(&conn);
+        if self.parked_count.load(Ordering::Acquire) > 0 {
+            let mut parked = self.parked.lock().expect("parked list poisoned");
+            parked.retain(|p| p.conn != conn);
+            self.parked_count.store(parked.len(), Ordering::Release);
+        }
+        // Same error→counter mapping as the blocking `serve_conn` loop.
+        let m = &self.ctx.metrics;
+        match reason {
+            DisconnectReason::PeerClosed => m.inc_disconnects(),
+            DisconnectReason::Frame(FrameError::BadCrc { .. }) => m.inc_crc_failures(),
+            DisconnectReason::Frame(e) => {
+                m.inc_protocol_violations();
+                log_event!(Error, "refshard", "dropping conn: bad frame: {e}");
+            }
+            DisconnectReason::Io(e) => {
+                m.inc_io_errors();
+                log_event!(Error, "refshard", "dropping conn: receive failed: {e}");
+            }
+            DisconnectReason::SlowConsumer { queued_bytes } => {
+                m.inc_slow_consumer_evictions();
+                log_event!(
+                    Warn,
+                    "refshard",
+                    "evicting slow consumer ({queued_bytes} bytes queued)"
+                );
+            }
+            DisconnectReason::IdleTimeout => m.inc_idle_timeouts(),
+            // Counted when the close was requested / initiated.
+            DisconnectReason::HandlerClosed(_) | DisconnectReason::Shutdown => {}
+        }
+    }
+
+    fn poll(&self, out: &mut Outbox) {
+        // Covers rounds completed by the *reaper* (degraded quorum) and
+        // pull_wait expiry — neither arrives via on_message.
+        self.complete_parked(out);
+    }
+
+    fn has_deferred(&self) -> bool {
+        self.parked_count.load(Ordering::Acquire) > 0
+    }
+}
+
+impl RefShardServer {
+    /// Serves `listener` on the `ea-comms` reactor: all connections
+    /// multiplexed over `cfg.threads` event-loop threads instead of one
+    /// thread each. Protocol semantics, metrics, and resulting reference
+    /// weights are identical to [`serve_background`]; see the module docs
+    /// for how blocking pulls are deferred.
+    ///
+    /// The returned [`Reactor`] serves until dropped or
+    /// [`shutdown`](Reactor::shutdown).
+    ///
+    /// [`serve_background`]: RefShardServer::serve_background
+    pub fn serve_reactor(&self, listener: TcpListener, cfg: ReactorConfig) -> io::Result<Reactor> {
+        let dispatch = Arc::new(ReactorDispatch::new(Arc::clone(&self.ctx)));
+        Reactor::spawn(listener, dispatch, cfg)
+    }
+}

@@ -90,19 +90,20 @@ impl Default for FtConfig {
 /// until `with_fault_tolerance` replaces it.
 const NO_LEASE: Duration = Duration::from_secs(365 * 24 * 3600);
 
-/// Everything a connection thread needs, shared with the reaper.
-struct ServerCtx {
-    shards: Vec<Arc<RefShard>>,
-    n_pipelines: usize,
+/// Everything a connection thread (or reactor dispatcher) needs, shared
+/// with the reaper.
+pub(crate) struct ServerCtx {
+    pub(crate) shards: Vec<Arc<RefShard>>,
+    pub(crate) n_pipelines: usize,
     /// `Some` in fault-tolerant mode: bounded pull waits.
-    pull_wait: Option<Duration>,
-    membership: Membership,
-    metrics: Arc<ServerMetrics>,
+    pub(crate) pull_wait: Option<Duration>,
+    pub(crate) membership: Membership,
+    pub(crate) metrics: Arc<ServerMetrics>,
     /// Server-side time spent answering reference pulls (µs), including
     /// any wait for the round to complete.
-    pull_us: Histogram,
+    pub(crate) pull_us: Histogram,
     /// Server-side time spent folding delta submissions (µs).
-    submit_us: Histogram,
+    pub(crate) submit_us: Histogram,
 }
 
 impl ServerCtx {
@@ -122,7 +123,7 @@ impl ServerCtx {
 /// Serves a set of reference shards to remote pipelines over any
 /// transport backend.
 pub struct RefShardServer {
-    ctx: Arc<ServerCtx>,
+    pub(crate) ctx: Arc<ServerCtx>,
     checkpoint: Option<(PathBuf, Duration)>,
     reaper_stop: Arc<AtomicBool>,
     reaper: Option<JoinHandle<()>>,
@@ -371,7 +372,7 @@ fn save_consistent_checkpoint(ctx: &ServerCtx, path: &std::path::Path) -> std::i
 }
 
 /// The pipeline id a message identifies itself with, if any.
-fn msg_pipe(msg: &Message) -> Option<usize> {
+pub(crate) fn msg_pipe(msg: &Message) -> Option<usize> {
     match msg {
         Message::Hello { pipe, .. }
         | Message::SubmitDelta { pipe, .. }
@@ -384,7 +385,7 @@ fn msg_pipe(msg: &Message) -> Option<usize> {
 /// readmission runs even when the membership entry is already live, to
 /// heal the (benign) race where the reaper evicted a pipe that rejoined
 /// between the lease check and the eviction.
-fn touch(ctx: &ServerCtx, p: usize) {
+pub(crate) fn touch(ctx: &ServerCtx, p: usize) {
     let was_dead = ctx.membership.join(p);
     let mut readmitted = was_dead;
     // One join boundary for all shards: past the highest in-flight round,
@@ -467,7 +468,7 @@ fn serve_conn(ctx: &ServerCtx, mut conn: Box<dyn Transport>) {
 
 /// Computes the reply for one request. `Err` means the connection must be
 /// closed; `Ok(None)` means no reply is owed (the peer retransmits).
-fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> {
+pub(crate) fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> {
     let shards = &ctx.shards;
     match msg {
         Message::Hello { proto, pipe: _ } => {
@@ -565,7 +566,7 @@ fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, CommsError> 
     }
 }
 
-fn lookup(shards: &[Arc<RefShard>], shard: u32) -> Result<&Arc<RefShard>, CommsError> {
+pub(crate) fn lookup(shards: &[Arc<RefShard>], shard: u32) -> Result<&Arc<RefShard>, CommsError> {
     shards.get(shard as usize).ok_or_else(|| CommsError::Protocol(format!("no shard {shard}")))
 }
 

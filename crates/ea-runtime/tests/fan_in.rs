@@ -1,0 +1,166 @@
+//! Fan-in stress test: 64 concurrent TCP workers against the reactor
+//! server, checked for byte-identical reference weights against an
+//! in-process replay.
+//!
+//! This is the end-to-end guarantee the reactor must preserve: arrival
+//! order of deltas under heavy multiplexing (parked pulls, cross-thread
+//! sends, partial reads) must not change a single bit of the reference,
+//! because `RefShard` folds each round's deltas in pipe order at round
+//! completion. The test also asserts the server observed *zero* protocol
+//! violations and CRC failures — multiplexed frame reassembly must be
+//! byte-perfect under concurrency, not merely eventually consistent.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use ea_comms::reactor::ReactorConfig;
+use ea_comms::tcp::{TcpConfig, TcpTransport};
+use ea_comms::{RetryConfig, ShardClient};
+use ea_runtime::{RefShard, RefShardServer, ServerMetricsSnapshot};
+
+const WORKERS: usize = 64;
+const ROUNDS: u64 = 3;
+const DIM: usize = 256;
+
+/// Deterministic per-(pipe, round) delta, distinct in every element.
+fn delta(pipe: usize, round: u64) -> Vec<f32> {
+    (0..DIM)
+        .map(|i| ((pipe as f32) - 31.5) * 0.125 + (round as f32) * 0.01 + (i as f32) * 1e-4)
+        .collect()
+}
+
+#[test]
+fn sixty_four_tcp_workers_produce_byte_identical_reference() {
+    let init = vec![0.5f32; DIM];
+
+    // In-process replay: the ground truth the reactor must reproduce.
+    let reference = RefShard::new(init.clone(), WORKERS);
+    for round in 0..ROUNDS {
+        for pipe in 0..WORKERS {
+            reference.submit_at(round, pipe, delta(pipe, round)).unwrap();
+        }
+    }
+    let expected: Vec<Vec<f32>> = (0..=ROUNDS).map(|v| reference.weights_at_least(v).1).collect();
+
+    // Reactor server on 2 event-loop threads.
+    let server = RefShardServer::from_initial_weights(vec![init], WORKERS);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let reactor = server
+        .serve_reactor(listener, ReactorConfig { threads: 2, ..ReactorConfig::default() })
+        .unwrap();
+    let addr = reactor.local_addr();
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|pipe| {
+            std::thread::Builder::new()
+                .name(format!("fanin-worker-{pipe}"))
+                .stack_size(256 * 1024)
+                .spawn(move || {
+                    let conn = TcpTransport::connect(addr, TcpConfig::default()).unwrap();
+                    let retry =
+                        RetryConfig { reply_timeout: Duration::from_secs(5), max_attempts: 10 };
+                    let mut client = ShardClient::handshake(Box::new(conn), pipe, retry).unwrap();
+                    for round in 0..ROUNDS {
+                        // Step ❷: blocks (parked server-side) until every
+                        // pipeline finished round-1 — the contended path.
+                        let pulled = client.pull(0, round).unwrap();
+                        assert_eq!(pulled.len(), DIM);
+                        client.submit(0, round, delta(pipe, round)).unwrap();
+                    }
+                    // Final pull: reference after all rounds.
+                    client.pull(0, ROUNDS).unwrap()
+                })
+                .unwrap()
+        })
+        .collect();
+
+    for (pipe, w) in workers.into_iter().enumerate() {
+        let final_pull = w.join().unwrap_or_else(|_| panic!("worker {pipe} panicked"));
+        assert_eq!(final_pull.len(), DIM);
+        for (i, (got, want)) in final_pull.iter().zip(expected[ROUNDS as usize].iter()).enumerate()
+        {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "worker {pipe}: final weights differ at element {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    // The server's own shard state is bit-identical to the replay.
+    let served = server.shards()[0].weights_at_least(ROUNDS).1;
+    for (i, (got, want)) in served.iter().zip(expected[ROUNDS as usize].iter()).enumerate() {
+        assert_eq!(got.to_bits(), want.to_bits(), "server shard differs at element {i}");
+    }
+
+    // Frame reassembly under fan-in must be flawless.
+    let m: ServerMetricsSnapshot = server.metrics();
+    assert_eq!(m.protocol_violations, 0, "protocol violations: {m:?}");
+    assert_eq!(m.crc_failures, 0, "CRC failures: {m:?}");
+    assert_eq!(m.slow_consumer_evictions, 0, "slow-consumer evictions: {m:?}");
+
+    reactor.shutdown();
+}
+
+/// Every intermediate version pulled by every worker matches the replay —
+/// not just the final state. Uses fewer workers so parked pulls resolve
+/// through both completion paths (inline after submit, and handler poll).
+#[test]
+fn intermediate_pulls_match_the_replay_bit_for_bit() {
+    const N: usize = 8;
+    let init = vec![-1.25f32; DIM];
+
+    // Snapshot the replay after every round: `weights_at_least` returns
+    // the *current* weights, so the history must be captured as it forms.
+    let reference = RefShard::new(init.clone(), N);
+    let mut expected: Vec<Vec<f32>> = vec![reference.weights_at_least(0).1];
+    for round in 0..ROUNDS {
+        for pipe in 0..N {
+            reference.submit_at(round, pipe, delta(pipe, round)).unwrap();
+        }
+        expected.push(reference.weights_at_least(round + 1).1);
+    }
+
+    let server = RefShardServer::from_initial_weights(vec![init], N);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let reactor = server
+        .serve_reactor(listener, ReactorConfig { threads: 1, ..ReactorConfig::default() })
+        .unwrap();
+    let addr = reactor.local_addr();
+
+    let workers: Vec<_> = (0..N)
+        .map(|pipe| {
+            std::thread::spawn(move || {
+                let conn = TcpTransport::connect(addr, TcpConfig::default()).unwrap();
+                let retry = RetryConfig { reply_timeout: Duration::from_secs(5), max_attempts: 10 };
+                let mut client = ShardClient::handshake(Box::new(conn), pipe, retry).unwrap();
+                let mut pulls = Vec::new();
+                for round in 0..ROUNDS {
+                    pulls.push(client.pull(0, round).unwrap());
+                    client.submit(0, round, delta(pipe, round)).unwrap();
+                }
+                pulls.push(client.pull(0, ROUNDS).unwrap());
+                pulls
+            })
+        })
+        .collect();
+
+    for (pipe, w) in workers.into_iter().enumerate() {
+        let pulls = w.join().unwrap_or_else(|_| panic!("worker {pipe} panicked"));
+        for (v, pulled) in pulls.iter().enumerate() {
+            assert_eq!(pulled.len(), DIM, "worker {pipe} version {v}");
+            for (i, (got, want)) in pulled.iter().zip(expected[v].iter()).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "worker {pipe}, version {v}, element {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.protocol_violations, 0);
+    assert_eq!(m.crc_failures, 0);
+    reactor.shutdown();
+}

@@ -4,14 +4,18 @@
 //! caller-supplied tensor, reusing its buffer when possible; the
 //! allocating forms wrap them with a pooled output.
 //!
-//! Vectorization policy (DESIGN.md §13): the softmax kernels stay
-//! bit-identical to their scalar originals — the row max is a
-//! vectorized reduction whose *value* equals the sequential fold for
-//! non-NaN rows, the exp-and-sum pass stays scalar because
-//! reassociating it would change losses, and the final scale/shift is
-//! element-wise. `row_sums` uses the deterministic lane-blocked sum
-//! (level-independent, but reassociated relative to the old sequential
-//! sum); it feeds no training-path computation.
+//! Vectorization policy (DESIGN.md §13): every kernel here is
+//! *level-independent* — identical bits whether dispatch picks scalar,
+//! AVX2 or NEON. [`softmax_rows`] uses the fully vectorized
+//! [`simd::softmax_row`]: a polynomial `exp` whose lanes are
+//! bit-identical to its scalar form on every level, and the fixed
+//! 8-lane reduction tree for the denominator (deterministic, but
+//! reassociated relative to the old sequential `libm` version — a
+//! one-time value change covered by the §13 policy).
+//! [`log_softmax_rows`] keeps the scalar-sequential `exp`-sum: its
+//! log-sum term lands directly in every training loss, so it stays on
+//! the conservative path. `row_sums` uses the deterministic
+//! lane-blocked sum; it feeds no training-path computation.
 
 use crate::simd;
 use crate::Tensor;
@@ -67,19 +71,7 @@ pub fn col_sums(t: &Tensor) -> Tensor {
 }
 
 fn softmax_row(row: &mut [f32]) {
-    // Vectorized max: value-identical to the sequential fold (max is
-    // association-free for non-NaN input, and an eventual ±0.0 sign
-    // difference cannot change exp(x - max)).
-    let max = simd::max_value(row);
-    // The exp-and-sum pass stays scalar-sequential: `sum` feeds the
-    // training loss, and a lane-reassociated sum would change it.
-    let mut sum = 0.0;
-    for x in row.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    let inv = 1.0 / sum;
-    simd::scale(row, inv);
+    simd::softmax_row(row);
 }
 
 /// Numerically-stable softmax per row of the matrix view, written into
@@ -112,8 +104,9 @@ pub fn log_softmax_rows_into(t: &Tensor, out: &mut Tensor) {
     for i in 0..r {
         let row = &mut obuf[i * c..(i + 1) * c];
         let max = simd::max_value(row);
-        // Scalar-sequential exp-sum, as in softmax_row: the log-sum term
-        // lands in every loss value, so its accumulation order is fixed.
+        // Scalar-sequential libm exp-sum: the log-sum term lands in
+        // every loss value, so its accumulation order stays fixed (the
+        // vectorized softmax path is not reused here on purpose).
         let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
         simd::sub_scalar(row, log_sum);
     }

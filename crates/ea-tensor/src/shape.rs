@@ -49,7 +49,16 @@ impl Shape {
             1 => (1, self.dims[0]),
             _ => {
                 let cols = *self.dims.last().unwrap();
-                (self.numel() / cols.max(1), cols)
+                if cols == 0 {
+                    // `numel() / cols` is undefined here, but the row count
+                    // is still the product of the leading dims — so a
+                    // `[16, 0]` operand stays a 16-row, 0-column matrix
+                    // instead of collapsing to (0, 0) and tripping the
+                    // matmul inner-dimension check.
+                    (self.dims[..self.dims.len() - 1].iter().product(), 0)
+                } else {
+                    (self.numel() / cols, cols)
+                }
             }
         }
     }

@@ -179,6 +179,13 @@ pub(crate) trait V: Copy {
     unsafe fn div(self, o: Self) -> Self;
     unsafe fn vsqrt(self) -> Self;
     unsafe fn vmax(self, o: Self) -> Self;
+    unsafe fn vmin(self, o: Self) -> Self;
+    /// Per-lane `floor`. Correctly rounded on every level.
+    unsafe fn vfloor(self) -> Self;
+    /// Per-lane `2^n` for lanes holding exact integers in `[-126, 127]`,
+    /// built by placing `n + 127` in the exponent field. Exact, so
+    /// identical across levels.
+    unsafe fn pow2i(self) -> Self;
     /// Writes the lanes to an array (for the shared horizontal reducers).
     unsafe fn to_array(self) -> [f32; LANES];
 }
@@ -260,6 +267,26 @@ impl V for S8 {
         self.map2(o, f32::max)
     }
     #[inline(always)]
+    unsafe fn vmin(self, o: Self) -> Self {
+        self.map2(o, f32::min)
+    }
+    #[inline(always)]
+    unsafe fn vfloor(self) -> Self {
+        let mut out = [0.0; LANES];
+        for (dst, a) in out.iter_mut().zip(&self.0) {
+            *dst = a.floor();
+        }
+        S8(out)
+    }
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        let mut out = [0.0; LANES];
+        for (dst, a) in out.iter_mut().zip(&self.0) {
+            *dst = pow2i_scalar(*a);
+        }
+        S8(out)
+    }
+    #[inline(always)]
     unsafe fn to_array(self) -> [f32; LANES] {
         self.0
     }
@@ -315,6 +342,20 @@ mod avx2 {
         #[inline(always)]
         unsafe fn vmax(self, o: Self) -> Self {
             A8(_mm256_max_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vmin(self, o: Self) -> Self {
+            A8(_mm256_min_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn vfloor(self) -> Self {
+            A8(_mm256_floor_ps(self.0))
+        }
+        #[inline(always)]
+        unsafe fn pow2i(self) -> Self {
+            let n = _mm256_cvtps_epi32(self.0);
+            let e = _mm256_slli_epi32::<23>(_mm256_add_epi32(n, _mm256_set1_epi32(127)));
+            A8(_mm256_castsi256_ps(e))
         }
         #[inline(always)]
         unsafe fn to_array(self) -> [f32; LANES] {
@@ -378,6 +419,22 @@ mod neon {
         #[inline(always)]
         unsafe fn vmax(self, o: Self) -> Self {
             N8(vmaxq_f32(self.0, o.0), vmaxq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn vmin(self, o: Self) -> Self {
+            N8(vminq_f32(self.0, o.0), vminq_f32(self.1, o.1))
+        }
+        #[inline(always)]
+        unsafe fn vfloor(self) -> Self {
+            N8(vrndmq_f32(self.0), vrndmq_f32(self.1))
+        }
+        #[inline(always)]
+        unsafe fn pow2i(self) -> Self {
+            // vcvtq truncates, which is exact for the integer-valued input.
+            let bias = vdupq_n_s32(127);
+            let lo = vshlq_n_s32::<23>(vaddq_s32(vcvtq_s32_f32(self.0), bias));
+            let hi = vshlq_n_s32::<23>(vaddq_s32(vcvtq_s32_f32(self.1), bias));
+            N8(vreinterpretq_f32_s32(lo), vreinterpretq_f32_s32(hi))
         }
         #[inline(always)]
         unsafe fn to_array(self) -> [f32; LANES] {
@@ -671,6 +728,119 @@ unsafe fn sum_squares_impl<Vv: V>(x: &[f32]) -> f32 {
     sum
 }
 trampolines!(sum_squares_impl / sum_squares_avx2 / sum_squares_neon(x: &[f32]) -> f32);
+
+// ---------------------------------------------------------------------
+// Softmax: vectorized exp with level-independent bits.
+// ---------------------------------------------------------------------
+//
+// `exp` is approximated by the classic Cephes range reduction
+// (x = n·ln2 + r, |r| ≤ ln2/2) with a degree-5 polynomial in r and an
+// exponent-field rebuild for 2^n — about 2 ulps of relative error.
+// Every operation (mul, add, sub, max, floor, int-convert, shift) is
+// correctly rounded or exact, and multiplies/adds are never contracted
+// to FMA, so the vector lanes compute *bit-identical* results to
+// [`exp_lane`], which the scalar level and all tail loops use. The
+// softmax sum then uses the same fixed 8-lane tree as [`sum_f32`]:
+// deterministic and identical on every level.
+
+/// Lower clamp: ln(2^-126), the last input whose `2^n` stays a normal
+/// float. Softmax feeds `x - max ≤ 0`, so no upper clamp is needed; the
+/// kernel clamps anyway to keep `exp_lane` total.
+const EXP_LO: f32 = -87.336_54;
+/// Upper clamp: ln(2^127), the largest input whose `2^n` factor fits
+/// the exponent-field rebuild. Softmax inputs are ≤ 0; the clamp only
+/// keeps `exp_lane` total for out-of-range callers.
+const EXP_HI: f32 = 88.029_69;
+const EXP_LOG2E: f32 = std::f32::consts::LOG2_E;
+/// ln2 split into a high part exact in f32 (355/512) and a low
+/// correction, so `x - n*C1 - n*C2` loses no bits for |n| ≤ 127.
+#[allow(clippy::excessive_precision)]
+const EXP_C1: f32 = 0.693_359_375;
+const EXP_C2: f32 = -2.121_944_4e-4;
+const EXP_P0: f32 = 1.987_569_2e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_4e-1;
+
+/// `2^n` for an exact integer-valued `n` in `[-126, 127]`.
+#[inline(always)]
+fn pow2i_scalar(n: f32) -> f32 {
+    f32::from_bits((((n as i32) + 127) << 23) as u32)
+}
+
+/// Scalar `exp` with exactly the lane operation sequence of [`vexp`]:
+/// the tail loop and the scalar dispatch level both call this, so all
+/// levels produce the same bits.
+#[inline(always)]
+pub(crate) fn exp_lane(x: f32) -> f32 {
+    // max-then-min (not `clamp`): must mirror the vector lane ops,
+    // which have max/min NaN semantics, not clamp's.
+    #[allow(clippy::manual_clamp)]
+    let x = x.max(EXP_LO).min(EXP_HI);
+    let n = (x * EXP_LOG2E + 0.5).floor();
+    let r = x - n * EXP_C1;
+    let r = r - n * EXP_C2;
+    let z = r * r;
+    let mut y = EXP_P0;
+    y = y * r + EXP_P1;
+    y = y * r + EXP_P2;
+    y = y * r + EXP_P3;
+    y = y * r + EXP_P4;
+    y = y * r + EXP_P5;
+    (y * z + r + 1.0) * pow2i_scalar(n)
+}
+
+/// Eight [`exp_lane`]s at once. Per-lane bit-identical to the scalar
+/// form: every step is a correctly-rounded IEEE operation in the same
+/// order (no FMA contraction — see the module docs).
+#[inline(always)]
+unsafe fn vexp<Vv: V>(x: Vv) -> Vv {
+    let x = x.vmax(Vv::splat(EXP_LO)).vmin(Vv::splat(EXP_HI));
+    let n = x.mul(Vv::splat(EXP_LOG2E)).add(Vv::splat(0.5)).vfloor();
+    let r = x.sub(n.mul(Vv::splat(EXP_C1)));
+    let r = r.sub(n.mul(Vv::splat(EXP_C2)));
+    let z = r.mul(r);
+    let mut y = Vv::splat(EXP_P0);
+    y = y.mul(r).add(Vv::splat(EXP_P1));
+    y = y.mul(r).add(Vv::splat(EXP_P2));
+    y = y.mul(r).add(Vv::splat(EXP_P3));
+    y = y.mul(r).add(Vv::splat(EXP_P4));
+    y = y.mul(r).add(Vv::splat(EXP_P5));
+    y.mul(z).add(r).add(Vv::splat(1.0)).mul(n.pow2i())
+}
+
+/// Numerically-stable in-place softmax of one row: subtract the row max,
+/// exponentiate, normalize. Identical bits on every dispatch level (the
+/// reduction uses the fixed [`sum_f32`] tree; see DESIGN.md §13).
+pub fn softmax_row(row: &mut [f32]) {
+    dispatch_call!(softmax_row_impl / softmax_row_avx2 / softmax_row_neon(row))
+}
+#[inline(always)]
+unsafe fn softmax_row_impl<Vv: V>(row: &mut [f32]) {
+    let max = max_value_impl::<Vv>(row);
+    let n = row.len();
+    let main = n - n % LANES;
+    let p = row.as_mut_ptr();
+    let maxv = Vv::splat(max);
+    let mut acc = Vv::zero();
+    let mut i = 0;
+    while i < main {
+        let e = vexp::<Vv>(Vv::load(p.add(i)).sub(maxv));
+        e.store(p.add(i));
+        acc = acc.add(e);
+        i += LANES;
+    }
+    let mut sum = hsum_tree(acc.to_array());
+    for x in &mut row[main..] {
+        let e = exp_lane(*x - max);
+        *x = e;
+        sum += e;
+    }
+    scale_impl::<Vv>(row, 1.0 / sum);
+}
+trampolines!(softmax_row_impl / softmax_row_avx2 / softmax_row_neon(row: &mut [f32]));
 
 // ---------------------------------------------------------------------
 // Optimizer / elastic-averaging kernels. Per-parameter lanes are fully
@@ -984,6 +1154,42 @@ mod tests {
             assert_eq!(bits(&a.2), bits(&b.2), "v n={n}");
             assert_eq!(bits(&a.3), bits(&b.3), "avg n={n}");
             assert_eq!(bits(&a.4), bits(&b.4), "d n={n}");
+        }
+    }
+
+    #[test]
+    fn exp_lane_tracks_libm_exp() {
+        // ~2 ulps of relative error across the softmax input range, and
+        // exact at 0 (the row-max element must map to exactly 1.0).
+        assert_eq!(exp_lane(0.0).to_bits(), 1.0f32.to_bits());
+        for i in 0..2000 {
+            let x = -90.0 + (i as f32) * 0.05;
+            let got = exp_lane(x);
+            let want = x.exp();
+            let tol = (want * 1e-6).max(f32::MIN_POSITIVE);
+            assert!((got - want).abs() <= tol, "exp({x}): {got} vs {want}");
+        }
+        // Clamped tails stay finite and monotone-safe.
+        assert!(exp_lane(-1000.0) > 0.0);
+        assert!(exp_lane(1000.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_row_matches_across_levels_bitwise() {
+        for n in [1usize, 3, 7, 8, 9, 64, 137, 512] {
+            let (a, b) = on_both(|| {
+                let mut x = data(n, 0.8);
+                // Widen the dynamic range to exercise the range reduction.
+                for (i, v) in x.iter_mut().enumerate() {
+                    *v *= 1.0 + (i % 11) as f32;
+                }
+                softmax_row(&mut x);
+                x
+            });
+            assert_eq!(bits(&a), bits(&b), "n={n}");
+            let sum: f32 = b.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "n={n} sum={sum}");
+            assert!(b.iter().all(|v| *v >= 0.0 && v.is_finite()), "n={n}");
         }
     }
 

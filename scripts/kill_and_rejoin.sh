@@ -30,7 +30,12 @@ SERVER=./target/release/examples/elastic_server
 WORKER=./target/release/examples/elastic_worker
 
 cleanup() {
-  kill "${SERVER_PID:-0}" "${W0_PID:-0}" "${W1_PID:-0}" "${W1B_PID:-0}" 2>/dev/null || true
+  # No `kill 0` fallback: an unset pid must not signal the process group.
+  for pid in "${SERVER_PID:-}" "${W0_PID:-}" "${W1_PID:-}" "${W1B_PID:-}"; do
+    if [ -n "$pid" ]; then
+      kill "$pid" 2>/dev/null || true
+    fi
+  done
 }
 trap cleanup EXIT
 
