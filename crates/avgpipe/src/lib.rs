@@ -28,6 +28,7 @@
 mod api;
 mod predictor;
 mod profiler;
+mod serving;
 mod system;
 mod trace_profiler;
 mod tuner;
@@ -35,6 +36,7 @@ mod tuner;
 pub use api::{AvgPipe, AvgPipeBuilder};
 pub use predictor::{predict, Prediction};
 pub use profiler::{DeviceProfile, Profile, Profiler};
+pub use serving::serve_batch_cap;
 pub use system::{run_avgpipe, run_baseline, BaselineKind, SystemReport};
 pub use trace_profiler::TraceProfiler;
 pub use tuner::{tune, TuneMethod, TuneOutcome};

@@ -1,0 +1,151 @@
+//! Serving-side batch sizing from the §5 arithmetic-intensity model.
+//!
+//! The tuner's profiling method (§5.2) rests on one observation: a
+//! device's utilization is a saturating function of the micro-batch
+//! size — [`ModelSpec::demand`] rises steeply while the batch is small
+//! and flattens once the kernels saturate the device. Training uses the
+//! curve to pick micro-batch *counts*; inference serving reads the same
+//! curve from the other end. A dynamic micro-batcher coalescing queued
+//! requests gains throughput only while the demand curve still climbs:
+//! past the saturation knee, a larger batch buys no more utilization
+//! but every queued request still pays the full batch's latency.
+//!
+//! [`serve_batch_cap`] combines that model-derived ceiling with a
+//! *measured* latency budget (BaPipe-style sizing against an observed
+//! cost model): the cap is the largest batch that (a) the demand curve
+//! still rewards and (b) a forward pass can execute inside the caller's
+//! latency budget, interpolated from measured `(batch, µs)` points.
+//!
+//! [`ModelSpec::demand`]: ea_models::ModelSpec::demand
+
+use ea_models::ModelSpec;
+
+/// Fraction of the demand cap treated as "saturated": batches past the
+/// smallest size reaching `SATURATION * demand_cap` are not worth
+/// coalescing further.
+const SATURATION: f64 = 0.95;
+
+/// Linear interpolation (and edge extrapolation) of the measured
+/// forward-pass cost at batch size `m`. `measured` must be sorted by
+/// batch size and non-empty.
+fn interp_cost_us(measured: &[(usize, f64)], m: usize) -> f64 {
+    let x = m as f64;
+    let (first, last) = (measured[0], measured[measured.len() - 1]);
+    if measured.len() == 1 {
+        // One calibration point: scale proportionally (cost through the
+        // origin), the conservative choice for a compute-bound forward.
+        return first.1 * x / (first.0 as f64).max(1.0);
+    }
+    // Below/above the measured range: extend the nearest segment.
+    let seg = if x <= first.0 as f64 {
+        (measured[0], measured[1])
+    } else if x >= last.0 as f64 {
+        (measured[measured.len() - 2], last)
+    } else {
+        let hi = measured.iter().position(|&(b, _)| (b as f64) >= x).unwrap();
+        (measured[hi - 1], measured[hi])
+    };
+    let ((x0, y0), (x1, y1)) = (seg.0, seg.1);
+    let span = (x1 as f64 - x0 as f64).max(1e-9);
+    y0 + (y1 - y0) * (x - x0 as f64) / span
+}
+
+/// Largest worthwhile micro-batch for serving `spec` under a per-batch
+/// execution budget of `budget_us`, given measured forward-pass costs
+/// `measured` (sorted `(batch_size, micros)` calibration points).
+///
+/// The cap is `min(saturation cutoff, latency cutoff)`, clamped to at
+/// least 1:
+///
+/// * **saturation cutoff** — the smallest batch whose
+///   [`demand`](ea_models::ModelSpec::demand) reaches 95% of the
+///   model's `demand_cap`. Beyond it the device is saturated and
+///   batching further only adds queueing latency.
+/// * **latency cutoff** — the largest batch whose interpolated cost
+///   stays within `budget_us`. With an empty `measured` (no
+///   calibration yet) this cutoff is skipped and the saturation
+///   cutoff alone decides.
+pub fn serve_batch_cap(spec: &ModelSpec, measured: &[(usize, f64)], budget_us: f64) -> usize {
+    // Saturation cutoff: demand(m) is monotonically increasing, so walk
+    // up from 1. The curve is cheap (one division per probe) and the
+    // knee for every paper model sits far below 10k.
+    let target = SATURATION * spec.demand_cap;
+    let mut saturation = 1usize;
+    while saturation < 10_000 && spec.demand(saturation) < target {
+        saturation += 1;
+    }
+
+    let mut cap = saturation;
+    if !measured.is_empty() && budget_us > 0.0 {
+        // Latency cutoff: cost(m) grows with m, so binary-search the
+        // largest m within budget.
+        let (mut lo, mut hi) = (0usize, cap.max(1));
+        while interp_cost_us(measured, hi) <= budget_us && hi < cap {
+            hi = (hi * 2).min(cap);
+        }
+        if interp_cost_us(measured, hi) <= budget_us {
+            lo = hi;
+        } else {
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if interp_cost_us(measured, mid) <= budget_us {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+        cap = cap.min(lo);
+    }
+    cap.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_models::{awd_spec, bert_spec, gnmt_spec};
+
+    #[test]
+    fn interpolation_hits_measured_points_and_midpoints() {
+        let measured = [(1, 100.0), (8, 400.0), (32, 1600.0)];
+        assert!((interp_cost_us(&measured, 1) - 100.0).abs() < 1e-9);
+        assert!((interp_cost_us(&measured, 8) - 400.0).abs() < 1e-9);
+        // Midpoint of the second segment.
+        assert!((interp_cost_us(&measured, 20) - 1000.0).abs() < 1e-9);
+        // Extrapolation continues the last segment's slope (50 µs/item).
+        assert!((interp_cost_us(&measured, 64) - 3200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_cutoff_tracks_the_demand_knee() {
+        // demand(m) = cap·m/(m+half); 95% of cap needs m = 19·half.
+        for spec in [gnmt_spec(), bert_spec(), awd_spec()] {
+            let cap = serve_batch_cap(&spec, &[], f64::INFINITY);
+            assert!(
+                spec.demand(cap) >= 0.95 * spec.demand_cap - 1e-9,
+                "{}: cap {cap} below the knee",
+                spec.name
+            );
+            assert!(
+                cap == 1 || spec.demand(cap - 1) < 0.95 * spec.demand_cap,
+                "{}: cap {cap} is not the smallest saturating batch",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn latency_budget_tightens_the_cap() {
+        let spec = gnmt_spec();
+        // 10 µs per row, measured exactly.
+        let measured: Vec<(usize, f64)> =
+            (0..8).map(|i| (1 << i, (1 << i) as f64 * 10.0)).collect();
+        let unbounded = serve_batch_cap(&spec, &measured, f64::INFINITY);
+        let bounded = serve_batch_cap(&spec, &measured, 200.0);
+        assert!(bounded <= 20, "200 µs at 10 µs/row admits at most 20 rows, got {bounded}");
+        assert!(bounded >= 19, "interpolated cutoff should land near 20, got {bounded}");
+        assert!(bounded <= unbounded);
+        // A budget below a single row still serves batch=1 (never 0).
+        assert_eq!(serve_batch_cap(&spec, &measured, 1.0), 1);
+    }
+}

@@ -2,7 +2,9 @@
 //! the real-execution (threads-as-GPUs) experiments.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ea_tensor::{matmul, matmul_a_bt, matmul_at_b, simd, softmax_rows, uniform, TensorRng};
+use ea_tensor::{
+    log_softmax_rows, matmul, matmul_a_bt, matmul_at_b, simd, softmax_rows, uniform, TensorRng,
+};
 
 fn bench_matmul(c: &mut Criterion) {
     // One group per dispatch level: "matmul" is the auto-detected SIMD
@@ -47,5 +49,24 @@ fn bench_softmax(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax);
+fn bench_log_softmax(c: &mut Criterion) {
+    // Same forced-level pairing as bench_softmax: "log_softmax" is the
+    // vectorized exp-sum + scalar ln, "log_softmax_scalar" the scalar
+    // instantiation of the identical kernel (bit-equal by §13).
+    for (group_name, level) in
+        [("log_softmax", None), ("log_softmax_scalar", Some(simd::Level::Scalar))]
+    {
+        simd::force_level(level);
+        let mut group = c.benchmark_group(group_name);
+        let mut rng = TensorRng::seed_from_u64(2);
+        let x = uniform(&[256, 512], -2.0, 2.0, &mut rng);
+        group.bench_function("rows/256x512", |b| {
+            b.iter(|| log_softmax_rows(std::hint::black_box(&x)))
+        });
+        group.finish();
+        simd::force_level(None);
+    }
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_log_softmax);
 criterion_main!(benches);

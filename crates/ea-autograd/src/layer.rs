@@ -72,12 +72,15 @@ impl Saved {
 /// A differentiable module with explicit activation stashing.
 ///
 /// Contract:
-/// * `forward` must not mutate parameters.
+/// * `forward` must not mutate parameters — layers hold no interior
+///   mutability (randomness comes from [`ForwardCtx`]), which is what
+///   makes the `Sync` bound sound and lets inference serving share a
+///   read-only model snapshot across threads.
 /// * `backward(saved, dy)` must (a) add this layer's parameter gradients
 ///   into its [`Param::grad`] accumulators and (b) return `dx`, the
 ///   gradient w.r.t. the layer input, given `saved` produced by a
 ///   `forward` call on that same input with the same [`ForwardCtx`].
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Runs the layer on `x`, returning the output and the activation
     /// stash needed for the matching `backward`.
     fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, Saved);

@@ -55,7 +55,9 @@ pub use frame::{crc32, FrameError, PROTO_VERSION};
 pub use loopback::{
     loopback_endpoint, loopback_pair, LoopbackHub, LoopbackListener, LoopbackTransport,
 };
-pub use reactor::{ConnId, DisconnectReason, Outbox, Reactor, ReactorConfig, ReactorHandler};
+pub use reactor::{
+    ConnId, DisconnectReason, Outbox, Reactor, ReactorConfig, ReactorHandler, ReactorWaker,
+};
 pub use tcp::{TcpConfig, TcpServer, TcpTransport};
 pub use transport::{CommsError, Listener, Transport, TransportStats};
 pub use wire::Message;

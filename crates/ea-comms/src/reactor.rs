@@ -20,6 +20,13 @@
 //!   [`ReactorConfig::max_outbound_bytes`] is evicted as a slow consumer.
 //! * An optional idle timeout reaps silent connections via a coarse
 //!   timer wheel, without per-connection timers.
+//! * [`Reactor::shutdown_graceful`] drains before closing: the handler
+//!   gets one [`ReactorHandler::on_shutdown`] callback to complete or
+//!   reject deferred work, new connections are refused, and queued
+//!   write buffers are flushed (bounded by a caller-chosen timeout)
+//!   before sockets close. [`Reactor::waker`] hands out a cloneable
+//!   [`ReactorWaker`] that cuts short the event loops' sleep, so work
+//!   completed on external threads is flushed immediately.
 //!
 //! The *client* side — [`crate::transport::Transport`], [`ShardClient`],
 //! loopback, fault injection — is untouched: the reactor speaks exactly
@@ -46,7 +53,7 @@ mod imp;
 #[path = "reactor_threaded.rs"]
 mod imp;
 
-pub use imp::Reactor;
+pub use imp::{Reactor, ReactorWaker};
 
 /// Stable identity of one accepted connection.
 ///
@@ -69,6 +76,14 @@ impl ConnId {
                 | (((gen & GEN_MASK) as u64) << 32)
                 | (slot as u64 & 0xFFFF_FFFF),
         )
+    }
+
+    /// An id from a raw `u64`, for tagging requests *outside* a reactor
+    /// (an embedder's direct-submit path, unit tests). Raw ids share the
+    /// packed namespace with reactor-issued ones, so never feed one back
+    /// into an [`Outbox`] — use it only as an opaque correlation key.
+    pub fn from_raw(raw: u64) -> ConnId {
+        ConnId(raw)
     }
 
     pub(crate) fn thread(self) -> usize {
@@ -189,6 +204,14 @@ pub trait ReactorHandler: Send + Sync + 'static {
     fn has_deferred(&self) -> bool {
         false
     }
+
+    /// Graceful-shutdown notice: the reactor is about to drain and stop.
+    /// Complete or reject deferred work here — replies staged in `out`
+    /// are flushed (within [`Reactor::shutdown_graceful`]'s bounded
+    /// wait) before connections are closed. Called at most once, from
+    /// the thread driving the shutdown, and only on the graceful path;
+    /// plain [`Reactor::shutdown`] and drop skip it.
+    fn on_shutdown(&self, _out: &mut Outbox) {}
 }
 
 /// Reactor tuning knobs. `Default` is sensible for tests and demos.
@@ -241,6 +264,9 @@ pub(crate) fn recycle_message(msg: Message) {
     match msg {
         Message::PullReply { weights, .. } => ea_tensor::pool::recycle(weights),
         Message::SubmitDelta { delta, .. } => ea_tensor::pool::recycle(delta),
+        Message::Infer { input, .. } => ea_tensor::pool::recycle(input),
+        Message::InferReply { output, .. } => ea_tensor::pool::recycle(output),
+        Message::WeightsUpdate { weights, .. } => ea_tensor::pool::recycle(weights),
         _ => {}
     }
 }

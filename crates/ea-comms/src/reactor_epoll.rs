@@ -61,6 +61,9 @@ struct Inbox {
 struct ThreadShared {
     inbox: Mutex<Inbox>,
     wake_tx: UnixStream,
+    /// Set by the owning worker while draining: every locally-owned
+    /// connection has flushed its outbound queue and the inbox is empty.
+    drained: AtomicBool,
 }
 
 struct Shared {
@@ -69,6 +72,9 @@ struct Shared {
     max_outbound_bytes: usize,
     handler_poll: Duration,
     stop: AtomicBool,
+    /// Graceful-shutdown phase: refuse new connections, flush what is
+    /// queued, report per-thread drain status.
+    draining: AtomicBool,
     threads: Vec<ThreadShared>,
     /// Round-robin cursor for dealing accepted connections to threads.
     rr: AtomicUsize,
@@ -80,6 +86,57 @@ impl Shared {
         // A full (nonblocking) pipe means a wake is already pending —
         // that is exactly the state we want, so the error is ignored.
         let _ = (&self.threads[thread].wake_tx).write(&[1]);
+    }
+
+    fn wake_all(&self) {
+        for t in 0..self.threads.len() {
+            self.wake(t);
+        }
+    }
+
+    /// Routes an outbox produced *outside* any event-loop thread (the
+    /// graceful-shutdown path): everything goes through the owning
+    /// thread's inbox, followed by a wake.
+    fn route_external(&self, outbox: &mut Outbox) {
+        let n = self.threads.len();
+        for (to, msg) in outbox.sends.drain(..) {
+            let t = to.thread();
+            if t < n {
+                self.threads[t].inbox.lock().expect("reactor inbox poisoned").sends.push((to, msg));
+            } else {
+                recycle_message(msg);
+            }
+        }
+        for (to, why) in outbox.closes.drain(..) {
+            let t = to.thread();
+            if t < n {
+                self.threads[t]
+                    .inbox
+                    .lock()
+                    .expect("reactor inbox poisoned")
+                    .closes
+                    .push((to, why));
+            }
+        }
+        self.wake_all();
+    }
+}
+
+/// Cloneable handle that cuts short every event-loop thread's
+/// `epoll_wait` sleep, so deferred work completed outside the reactor
+/// (e.g. an inference engine finishing a batch on its own thread) is
+/// picked up by [`ReactorHandler::poll`] immediately instead of at the
+/// next `handler_poll` tick. Safe to call from any thread, at any rate:
+/// redundant wakes coalesce in the wake pipe.
+#[derive(Clone)]
+pub struct ReactorWaker {
+    shared: Arc<Shared>,
+}
+
+impl ReactorWaker {
+    /// Wakes every event-loop thread.
+    pub fn wake(&self) {
+        self.shared.wake_all();
     }
 }
 
@@ -111,7 +168,11 @@ impl Reactor {
             let (tx, rx) = UnixStream::pair()?;
             tx.set_nonblocking(true)?;
             rx.set_nonblocking(true)?;
-            thread_shared.push(ThreadShared { inbox: Mutex::new(Inbox::default()), wake_tx: tx });
+            thread_shared.push(ThreadShared {
+                inbox: Mutex::new(Inbox::default()),
+                wake_tx: tx,
+                drained: AtomicBool::new(false),
+            });
             wake_rxs.push(rx);
         }
 
@@ -121,6 +182,7 @@ impl Reactor {
             max_outbound_bytes: cfg.max_outbound_bytes,
             handler_poll: cfg.handler_poll,
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             threads: thread_shared,
             rr: AtomicUsize::new(0),
             live_conns: AtomicUsize::new(0),
@@ -149,10 +211,39 @@ impl Reactor {
         self.shared.live_conns.load(Ordering::Relaxed)
     }
 
+    /// A handle that wakes the event loops from any thread. See
+    /// [`ReactorWaker`].
+    pub fn waker(&self) -> ReactorWaker {
+        ReactorWaker { shared: Arc::clone(&self.shared) }
+    }
+
     /// Stops the event loops, closing every connection with
     /// [`DisconnectReason::Shutdown`] (after a best-effort final flush),
     /// and joins the threads.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Graceful shutdown: gives the handler one [`on_shutdown`] callback
+    /// to complete or reject its deferred work, stops accepting new
+    /// connections, waits (up to `timeout`) until every connection's
+    /// queued write buffer has drained to the socket, then closes
+    /// everything with [`DisconnectReason::Shutdown`].
+    ///
+    /// [`on_shutdown`]: ReactorHandler::on_shutdown
+    pub fn shutdown_graceful(mut self, timeout: Duration) {
+        let mut outbox = Outbox::default();
+        self.shared.handler.on_shutdown(&mut outbox);
+        self.shared.route_external(&mut outbox);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.shared.threads.iter().all(|t| t.drained.load(Ordering::SeqCst)) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
         self.stop_and_join();
     }
 
@@ -307,8 +398,27 @@ impl Worker {
             self.drain_inbox();
             self.poll_handler();
             self.reap_idle();
+            if self.shared.draining.load(Ordering::SeqCst) {
+                self.update_drained();
+            }
         }
         self.teardown();
+    }
+
+    /// Draining phase: close the listener (refusing new connections) and
+    /// report whether everything this thread owns has flushed. The flag
+    /// may regress if a late inbox send re-queues bytes; the shutdown
+    /// driver samples it until all threads agree or its deadline passes.
+    fn update_drained(&mut self) {
+        if let Some(l) = self.listener.take() {
+            let _ = self.ep.delete(l.as_raw_fd());
+        }
+        let inbox_empty = {
+            let g = self.shared.threads[self.idx].inbox.lock().expect("reactor inbox poisoned");
+            g.conns.is_empty() && g.sends.is_empty() && g.closes.is_empty()
+        };
+        let flushed = self.slab.iter().flatten().all(|c| c.queued_bytes() == 0);
+        self.shared.threads[self.idx].drained.store(inbox_empty && flushed, Ordering::SeqCst);
     }
 
     /// Sleep budget for the next `epoll_wait`: bounded by the handler's
@@ -763,6 +873,97 @@ mod tests {
             assert!(Instant::now() < deadline, "no disconnect recorded");
             std::thread::sleep(Duration::from_millis(10));
         }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn slow_consumer_is_evicted() {
+        // Handler that answers one Hello with a ~64 MiB flood of
+        // PullReplys — far past both the 1 MiB outbound bound and any
+        // kernel socket buffer — at a client that never reads.
+        struct FloodHandler {
+            disconnects: Mutex<Vec<String>>,
+        }
+        impl ReactorHandler for FloodHandler {
+            fn on_message(&self, conn: ConnId, msg: Message, out: &mut Outbox) {
+                if matches!(msg, Message::Hello { .. }) {
+                    for version in 0..64u64 {
+                        out.send(
+                            conn,
+                            Message::PullReply { shard: 0, version, weights: vec![0.5; 256 << 10] },
+                        );
+                    }
+                }
+            }
+            fn on_disconnect(&self, _conn: ConnId, reason: &DisconnectReason) {
+                self.disconnects.lock().unwrap().push(reason.to_string());
+            }
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handler = Arc::new(FloodHandler { disconnects: Mutex::new(Vec::new()) });
+        let reactor = Reactor::spawn(
+            listener,
+            handler.clone(),
+            ReactorConfig { max_outbound_bytes: 1 << 20, ..ReactorConfig::default() },
+        )
+        .unwrap();
+        let mut t = connect(reactor.local_addr());
+        t.send(Message::Hello { proto: crate::frame::PROTO_VERSION as u16, pipe: 0 }).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let drops = handler.disconnects.lock().unwrap().clone();
+            if !drops.is_empty() {
+                assert!(drops.iter().any(|d| d.contains("slow consumer")), "got: {drops:?}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "no slow-consumer eviction recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(reactor.live_connections(), 0);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn idle_reaper_reschedules_after_activity() {
+        // With timeout = 150ms the wheel's first liveness check for a
+        // fresh connection lands ~170ms after accept. Activity at
+        // ~100ms means that check finds the connection only ~70ms idle,
+        // exercising the reschedule branch (`insert_at`); the *second*
+        // check must then evict it — so eviction cannot land before
+        // last-activity + timeout (~250ms after connect).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handler = Arc::new(EchoHandler::new());
+        let reactor = Reactor::spawn(
+            listener,
+            handler.clone(),
+            ReactorConfig {
+                idle_timeout: Some(Duration::from_millis(150)),
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let mut t = connect(reactor.local_addr());
+        std::thread::sleep(Duration::from_millis(100));
+        t.send(Message::Hello { proto: crate::frame::PROTO_VERSION as u16, pipe: 0 }).unwrap();
+        assert!(matches!(t.recv().unwrap(), Message::HelloAck { .. }));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let reaped_at = loop {
+            let drops = handler.disconnects.lock().unwrap().clone();
+            if !drops.is_empty() {
+                assert!(drops.iter().any(|d| d.contains("idle timeout")), "got: {drops:?}");
+                break t0.elapsed();
+            }
+            assert!(Instant::now() < deadline, "idle connection never reaped");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        // A buggy no-reschedule reaper would evict at the first check
+        // (~170ms); the reschedule pushes it past activity + timeout.
+        assert!(
+            reaped_at >= Duration::from_millis(230),
+            "reaped too early ({reaped_at:?}): first-wheel-check eviction ignored activity"
+        );
         reactor.shutdown();
     }
 

@@ -14,7 +14,7 @@ use std::io;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,6 +36,10 @@ struct ConnEntry {
     stream: TcpStream,
     last_activity: Arc<Mutex<Instant>>,
     queued_bytes: Arc<AtomicUsize>,
+    /// Frames handed to the writer thread but not yet written — the
+    /// drain criterion for graceful shutdown (`queued_bytes` only counts
+    /// frames the writer has started encoding).
+    inflight: Arc<AtomicUsize>,
 }
 
 struct Shared {
@@ -44,10 +48,17 @@ struct Shared {
     max_outbound_bytes: usize,
     handler_poll: Duration,
     stop: AtomicBool,
+    /// Graceful-shutdown phase: refuse new connections while queued
+    /// writes drain.
+    draining: AtomicBool,
     conns: Mutex<HashMap<u64, ConnEntry>>,
     next_slot: AtomicUsize,
     gen: AtomicU32,
     live_conns: AtomicUsize,
+    /// The ticker waits on this instead of a plain sleep, so a
+    /// [`ReactorWaker`] can force an immediate handler poll.
+    tick: Mutex<()>,
+    tick_cv: Condvar,
 }
 
 impl Shared {
@@ -65,8 +76,10 @@ impl Shared {
                         recycle_message(msg);
                         continue;
                     }
+                    entry.inflight.fetch_add(1, Ordering::SeqCst);
                     if entry.tx.send(WriteCmd::Frame(msg)).is_err() {
                         // Writer gone; reader thread handles teardown.
+                        entry.inflight.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
                 None => recycle_message(msg),
@@ -111,10 +124,13 @@ impl Reactor {
             max_outbound_bytes: cfg.max_outbound_bytes,
             handler_poll: cfg.handler_poll,
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_slot: AtomicUsize::new(0),
             gen: AtomicU32::new(0),
             live_conns: AtomicUsize::new(0),
+            tick: Mutex::new(()),
+            tick_cv: Condvar::new(),
         });
 
         // Bounded accept timeout so the loop notices `stop`.
@@ -147,9 +163,41 @@ impl Reactor {
         self.shared.live_conns.load(Ordering::Relaxed)
     }
 
+    /// A handle that wakes the ticker thread from any thread. See
+    /// [`ReactorWaker`].
+    pub fn waker(&self) -> ReactorWaker {
+        ReactorWaker { shared: Arc::clone(&self.shared) }
+    }
+
     /// Stops the server, closing every connection with
     /// [`DisconnectReason::Shutdown`].
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Graceful shutdown: gives the handler one [`on_shutdown`] callback
+    /// to complete or reject its deferred work, stops accepting new
+    /// connections, waits (up to `timeout`) until every frame handed to
+    /// a writer thread has been written, then closes everything.
+    ///
+    /// [`on_shutdown`]: ReactorHandler::on_shutdown
+    pub fn shutdown_graceful(mut self, timeout: Duration) {
+        let mut outbox = Outbox::default();
+        self.shared.handler.on_shutdown(&mut outbox);
+        self.shared.route_outbox(&mut outbox);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.tick_cv.notify_all();
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            let pending = {
+                let conns = self.shared.conns.lock().expect("reactor conns poisoned");
+                conns.values().any(|e| e.inflight.load(Ordering::SeqCst) > 0)
+            };
+            if !pending {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
         self.stop_and_join();
     }
 
@@ -187,6 +235,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    drop(stream); // refused: graceful shutdown in progress
+                    continue;
+                }
                 let _ = stream.set_nodelay(true);
                 spawn_conn(stream, &shared);
             }
@@ -199,9 +251,28 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// Cloneable handle that cuts short the ticker thread's sleep, so
+/// deferred work completed outside the reactor is picked up by
+/// [`ReactorHandler::poll`] immediately instead of at the next
+/// `handler_poll` tick. Safe to call from any thread, at any rate.
+#[derive(Clone)]
+pub struct ReactorWaker {
+    shared: Arc<Shared>,
+}
+
+impl ReactorWaker {
+    /// Wakes the ticker thread.
+    pub fn wake(&self) {
+        self.shared.tick_cv.notify_all();
+    }
+}
+
 fn ticker_loop(shared: Arc<Shared>) {
     while !shared.stop.load(Ordering::SeqCst) {
-        std::thread::sleep(shared.handler_poll);
+        {
+            let guard = shared.tick.lock().expect("reactor ticker poisoned");
+            let _ = shared.tick_cv.wait_timeout(guard, shared.handler_poll);
+        }
         if shared.handler.has_deferred() {
             let mut outbox = Outbox::default();
             shared.handler.poll(&mut outbox);
@@ -228,6 +299,7 @@ fn spawn_conn(stream: TcpStream, shared: &Arc<Shared>) {
     let (tx, rx) = mpsc::channel::<WriteCmd>();
     let last_activity = Arc::new(Mutex::new(Instant::now()));
     let queued_bytes = Arc::new(AtomicUsize::new(0));
+    let inflight = Arc::new(AtomicUsize::new(0));
 
     let write_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -244,12 +316,14 @@ fn spawn_conn(stream: TcpStream, shared: &Arc<Shared>) {
             stream: reg_stream,
             last_activity: Arc::clone(&last_activity),
             queued_bytes: Arc::clone(&queued_bytes),
+            inflight: Arc::clone(&inflight),
         },
     );
     shared.live_conns.fetch_add(1, Ordering::Relaxed);
 
     // Writer thread: drains the channel, encodes and writes frames.
     let wq = Arc::clone(&queued_bytes);
+    let winflight = Arc::clone(&inflight);
     let writer = std::thread::Builder::new().name("ea-reactor-writer".into()).spawn(move || {
         let mut stream = write_stream;
         let mut scratch = Vec::new();
@@ -264,6 +338,7 @@ fn spawn_conn(stream: TcpStream, shared: &Arc<Shared>) {
                     wq.fetch_add(wire.len(), Ordering::Relaxed);
                     let ok = std::io::Write::write_all(&mut stream, &wire).is_ok();
                     wq.fetch_sub(wire.len().min(wq.load(Ordering::Relaxed)), Ordering::Relaxed);
+                    winflight.fetch_sub(1, Ordering::SeqCst);
                     if !ok {
                         break;
                     }

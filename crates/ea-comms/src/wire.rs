@@ -29,6 +29,29 @@
 //!   The reply is a fixed array of counters in the server's snapshot
 //!   field order; the transport layer stays ignorant of their meaning.
 //!
+//! The **serving extension** (tags 13–16) lets one reactor fleet carry
+//! inference traffic next to the trainer protocol above:
+//!
+//! * [`Message::Infer`] / [`Message::InferReply`] — one inference
+//!   request (flat input rows) and its output rows, matched on a
+//!   client-chosen `id` so requests can be pipelined on one connection.
+//!   A reply with `shed = true` carries no output: admission control
+//!   rejected the request (bounded queue full) and the client should
+//!   back off — precisely *not* the silent drop a retrying trainer
+//!   tolerates.
+//! * [`Message::SubscribeWeights`] / [`Message::WeightsUpdate`] — a
+//!   **read-only** subscription to a reference shard: the server
+//!   replies immediately with the current snapshot and pushes another
+//!   `WeightsUpdate` at every elastic round boundary. Unlike `Hello`/
+//!   `SubmitDelta`/`Heartbeat`, a subscription carries no pipeline id
+//!   and never registers lease membership — an inference replica can
+//!   come and go without ever stalling a training quorum.
+//!
+//! The extension is versioned by the frame header's `PROTO_VERSION`
+//! plus tag range: a pre-serving peer rejects tags 13–16 as
+//! `UnknownType` and closes, so mixed deployments fail loudly at the
+//! first serving message instead of corrupting training state.
+//!
 //! Payload encoding is little-endian and fixed-layout; the flat `f32`
 //! buffers use [`ea_optim::codec`] so decode lands in pooled storage.
 
@@ -77,6 +100,22 @@ pub enum Message {
     /// checkpoints_saved, checkpoint_restores, slow_consumer_evictions,
     /// idle_timeouts).
     MetricsReply { counters: [u64; METRICS_COUNTERS] },
+    /// Client → server: one inference request. `input` is the flat
+    /// input rows in the served model's layout; `id` is echoed in the
+    /// reply so requests can be pipelined on one connection.
+    Infer { id: u64, input: Vec<f32> },
+    /// Server → client: the output rows for request `id`, computed
+    /// against reference `version`. `shed = true` means admission
+    /// control rejected the request (queue full); `output` is empty.
+    InferReply { id: u64, version: u64, shed: bool, output: Vec<f32> },
+    /// Client → server: read-only subscription to `shard`'s reference
+    /// weights. Carries no pipeline id and does **not** register lease
+    /// membership. Answered immediately with the current snapshot, then
+    /// pushed again at every round boundary.
+    SubscribeWeights { shard: u32 },
+    /// Server → client: pushed snapshot of `shard`'s reference weights
+    /// as of `version` completed rounds.
+    WeightsUpdate { shard: u32, version: u64, weights: Vec<f32> },
 }
 
 /// Number of counters carried by [`Message::MetricsReply`].
@@ -96,7 +135,14 @@ mod tag {
     pub const ROUND_INFO_REPLY: u8 = 10;
     pub const METRICS_REQUEST: u8 = 11;
     pub const METRICS_REPLY: u8 = 12;
+    pub const INFER: u8 = 13;
+    pub const INFER_REPLY: u8 = 14;
+    pub const SUBSCRIBE_WEIGHTS: u8 = 15;
+    pub const WEIGHTS_UPDATE: u8 = 16;
 }
+
+/// Highest wire tag currently assigned (tests sweep `1..=MAX_TAG`).
+pub const MAX_TAG: u8 = tag::WEIGHTS_UPDATE;
 
 impl Message {
     /// The frame tag for this message.
@@ -114,6 +160,10 @@ impl Message {
             Message::RoundInfoReply { .. } => tag::ROUND_INFO_REPLY,
             Message::MetricsRequest => tag::METRICS_REQUEST,
             Message::MetricsReply { .. } => tag::METRICS_REPLY,
+            Message::Infer { .. } => tag::INFER,
+            Message::InferReply { .. } => tag::INFER_REPLY,
+            Message::SubscribeWeights { .. } => tag::SUBSCRIBE_WEIGHTS,
+            Message::WeightsUpdate { .. } => tag::WEIGHTS_UPDATE,
         }
     }
 
@@ -132,6 +182,10 @@ impl Message {
             Message::RoundInfoReply { .. } => "RoundInfoReply",
             Message::MetricsRequest => "MetricsRequest",
             Message::MetricsReply { .. } => "MetricsReply",
+            Message::Infer { .. } => "Infer",
+            Message::InferReply { .. } => "InferReply",
+            Message::SubscribeWeights { .. } => "SubscribeWeights",
+            Message::WeightsUpdate { .. } => "WeightsUpdate",
         }
     }
 
@@ -196,6 +250,24 @@ impl Message {
                 for c in counters {
                     out.extend_from_slice(&c.to_le_bytes());
                 }
+            }
+            Message::Infer { id, input } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                encode_f32s_le(input, out);
+            }
+            Message::InferReply { id, version, shed, output } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.push(u8::from(*shed));
+                encode_f32s_le(output, out);
+            }
+            Message::SubscribeWeights { shard } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            Message::WeightsUpdate { shard, version, weights } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                encode_f32s_le(weights, out);
             }
         }
     }
@@ -303,6 +375,48 @@ impl Message {
                 }
                 Ok(Message::MetricsReply { counters })
             }
+            tag::INFER => {
+                if payload.len() < 8 {
+                    return Err(bad("Infer shorter than its fixed fields"));
+                }
+                let input = decode_f32s_le(&payload[8..])
+                    .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+                Ok(Message::Infer { id: le_u64(&payload[0..8]), input })
+            }
+            tag::INFER_REPLY => {
+                if payload.len() < 17 {
+                    return Err(bad("InferReply shorter than its fixed fields"));
+                }
+                let shed = match payload[16] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(bad("InferReply shed flag out of range")),
+                };
+                let output = decode_f32s_le(&payload[17..])
+                    .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+                Ok(Message::InferReply {
+                    id: le_u64(&payload[0..8]),
+                    version: le_u64(&payload[8..16]),
+                    shed,
+                    output,
+                })
+            }
+            tag::SUBSCRIBE_WEIGHTS => {
+                let p = fixed::<4>(payload)?;
+                Ok(Message::SubscribeWeights { shard: le_u32(&p[0..4]) })
+            }
+            tag::WEIGHTS_UPDATE => {
+                if payload.len() < 12 {
+                    return Err(bad("WeightsUpdate shorter than its fixed fields"));
+                }
+                let weights = decode_f32s_le(&payload[12..])
+                    .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+                Ok(Message::WeightsUpdate {
+                    shard: le_u32(&payload[0..4]),
+                    version: le_u64(&payload[4..12]),
+                    weights,
+                })
+            }
             other => Err(FrameError::UnknownType(other)),
         }
     }
@@ -322,6 +436,10 @@ impl Message {
             Message::RoundInfoReply { .. } => 25,
             Message::MetricsRequest => 0,
             Message::MetricsReply { .. } => METRICS_COUNTERS * 8,
+            Message::Infer { input, .. } => 8 + 4 * input.len(),
+            Message::InferReply { output, .. } => 17 + 4 * output.len(),
+            Message::SubscribeWeights { .. } => 4,
+            Message::WeightsUpdate { weights, .. } => 12 + 4 * weights.len(),
         }
     }
 }
@@ -388,19 +506,26 @@ mod tests {
             *c = (i as u64 + 1) * 1000 + u64::from(i == 4) * u64::from(u32::MAX);
         }
         roundtrip(Message::MetricsReply { counters });
+        roundtrip(Message::Infer { id: 77, input: vec![0.5, -1.5, 3.0] });
+        roundtrip(Message::InferReply { id: 77, version: 12, shed: false, output: vec![9.0; 7] });
+        roundtrip(Message::InferReply { id: 78, version: 12, shed: true, output: vec![] });
+        roundtrip(Message::SubscribeWeights { shard: 3 });
+        roundtrip(Message::WeightsUpdate { shard: 3, version: 41, weights: vec![0.25; 33] });
     }
 
     #[test]
     fn empty_weight_vectors_roundtrip() {
         roundtrip(Message::PullReply { shard: 0, version: 0, weights: vec![] });
         roundtrip(Message::SubmitDelta { shard: 0, round: 0, pipe: 0, delta: vec![] });
+        roundtrip(Message::Infer { id: 0, input: vec![] });
+        roundtrip(Message::WeightsUpdate { shard: 0, version: 0, weights: vec![] });
     }
 
     #[test]
     fn short_payloads_are_rejected() {
         // Tag 11 (MetricsRequest) expects exactly zero bytes, so even it
         // must reject a 3-byte payload.
-        for ty in 1..=12u8 {
+        for ty in 1..=MAX_TAG {
             let err = Message::decode_payload(ty, &[0u8; 3]);
             assert!(err.is_err(), "type {ty} accepted a 3-byte payload");
         }
@@ -431,6 +556,15 @@ mod tests {
         msg.encode_payload(&mut payload);
         payload[16] = 2;
         assert!(Message::decode_payload(tag::ACK, &payload).is_err());
+    }
+
+    #[test]
+    fn infer_reply_shed_flag_out_of_range_is_rejected() {
+        let msg = Message::InferReply { id: 1, version: 2, shed: false, output: vec![1.0] };
+        let mut payload = Vec::new();
+        msg.encode_payload(&mut payload);
+        payload[16] = 2;
+        assert!(Message::decode_payload(tag::INFER_REPLY, &payload).is_err());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Graceful-shutdown behavior of the reactor, exercised through the
+//! public API so both the epoll and the thread-per-connection fallback
+//! implementations are covered.
+//!
+//! The contract under test: `Reactor::shutdown_graceful` gives the
+//! handler one `on_shutdown` callback to complete (or reject) deferred
+//! work, then drains queued write buffers to the sockets before closing
+//! them — a client that was owed a reply receives it, then sees a clean
+//! EOF. `Reactor::waker` lets work completed on external threads be
+//! flushed without waiting for the `handler_poll` cadence.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ea_comms::{
+    ConnId, Message, Outbox, Reactor, ReactorConfig, ReactorHandler, TcpConfig, TcpTransport,
+    Transport, PROTO_VERSION,
+};
+
+/// Parks every Heartbeat instead of answering it, simulating a handler
+/// whose replies depend on slow external work. `poll` only completes
+/// the parked requests once `release` is set; `on_shutdown` completes
+/// them unconditionally.
+struct ParkingHandler {
+    parked: Mutex<Vec<(ConnId, u32, u64)>>,
+    parked_count: AtomicUsize,
+    release: AtomicBool,
+}
+
+impl ParkingHandler {
+    fn new() -> ParkingHandler {
+        ParkingHandler {
+            parked: Mutex::new(Vec::new()),
+            parked_count: AtomicUsize::new(0),
+            release: AtomicBool::new(false),
+        }
+    }
+
+    fn complete_all(&self, out: &mut Outbox) {
+        let mut parked = self.parked.lock().unwrap();
+        for (conn, pipe, round) in parked.drain(..) {
+            out.send(conn, Message::HeartbeatAck { pipe, round, quorum: 1, members: 1 });
+        }
+        self.parked_count.store(0, Ordering::SeqCst);
+    }
+}
+
+impl ReactorHandler for ParkingHandler {
+    fn on_message(&self, conn: ConnId, msg: Message, out: &mut Outbox) {
+        match msg {
+            Message::Hello { proto, .. } => {
+                out.send(conn, Message::HelloAck { proto, n_shards: 1, n_pipelines: 1 });
+            }
+            Message::Heartbeat { pipe, round } => {
+                self.parked.lock().unwrap().push((conn, pipe, round));
+                self.parked_count.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => out.close(conn, "unexpected message"),
+        }
+    }
+
+    fn poll(&self, out: &mut Outbox) {
+        if self.release.load(Ordering::SeqCst) {
+            self.complete_all(out);
+        }
+    }
+
+    fn has_deferred(&self) -> bool {
+        self.parked_count.load(Ordering::SeqCst) > 0
+    }
+
+    fn on_shutdown(&self, out: &mut Outbox) {
+        self.complete_all(out);
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpTransport {
+    TcpTransport::connect(addr, TcpConfig::default()).expect("connect")
+}
+
+fn handshake(t: &mut TcpTransport) {
+    t.send(Message::Hello { proto: PROTO_VERSION as u16, pipe: 0 }).unwrap();
+    assert!(matches!(t.recv().unwrap(), Message::HelloAck { .. }));
+}
+
+#[test]
+fn graceful_shutdown_completes_parked_work_before_close() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handler = Arc::new(ParkingHandler::new());
+    let reactor = Reactor::spawn(listener, handler.clone(), ReactorConfig::default()).unwrap();
+    let mut t = connect(reactor.local_addr());
+    handshake(&mut t);
+
+    t.send(Message::Heartbeat { pipe: 7, round: 3 }).unwrap();
+    // Wait until the request is parked server-side, so the shutdown
+    // races with genuinely-deferred (not merely in-flight) work.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handler.parked_count.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "request never parked");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    reactor.shutdown_graceful(Duration::from_secs(5));
+
+    // The parked reply was completed by on_shutdown and flushed before
+    // the connection closed.
+    let reply = t.recv().expect("owed reply lost in shutdown");
+    assert_eq!(reply, Message::HeartbeatAck { pipe: 7, round: 3, quorum: 1, members: 1 });
+    assert!(t.recv().is_err(), "expected EOF after drained shutdown");
+}
+
+#[test]
+fn graceful_shutdown_is_clean_with_no_deferred_work() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handler = Arc::new(ParkingHandler::new());
+    let reactor = Reactor::spawn(listener, handler, ReactorConfig::default()).unwrap();
+    let mut t = connect(reactor.local_addr());
+    handshake(&mut t);
+    let t0 = Instant::now();
+    reactor.shutdown_graceful(Duration::from_secs(5));
+    // Nothing was queued: the drain must not burn the full timeout.
+    assert!(t0.elapsed() < Duration::from_secs(4), "idle drain waited for the deadline");
+    assert!(t.recv().is_err(), "expected EOF after shutdown");
+}
+
+#[test]
+fn waker_flushes_externally_completed_work() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handler = Arc::new(ParkingHandler::new());
+    // Glacial handler_poll: without a wake, the parked reply would sit
+    // until the coarse fallback tick.
+    let reactor = Reactor::spawn(
+        listener,
+        handler.clone(),
+        ReactorConfig { handler_poll: Duration::from_secs(30), ..ReactorConfig::default() },
+    )
+    .unwrap();
+    let waker = reactor.waker();
+    let mut t = connect(reactor.local_addr());
+    handshake(&mut t);
+    t.send(Message::Heartbeat { pipe: 1, round: 9 }).unwrap();
+
+    // "External completion": another thread finishes the work, then
+    // wakes the reactor so poll() publishes the result.
+    let h = Arc::clone(&handler);
+    let external = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while h.parked_count.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "request never parked");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        h.release.store(true, Ordering::SeqCst);
+        waker.wake();
+    });
+
+    let reply = t.recv().expect("reply after wake");
+    assert_eq!(reply, Message::HeartbeatAck { pipe: 1, round: 9, quorum: 1, members: 1 });
+    external.join().unwrap();
+    reactor.shutdown();
+}

@@ -57,6 +57,13 @@ pub struct ReactorDispatch {
     /// Lock-free fast path: `has_deferred` and the post-submit check skip
     /// the `parked` lock entirely while nothing is parked.
     parked_count: AtomicUsize,
+    /// Read-only weight subscribers (serving replicas): connection →
+    /// shard → last published version. Entirely outside the lease
+    /// machinery — a subscriber coming or going never affects quorum.
+    subs: Mutex<HashMap<ConnId, HashMap<u32, u64>>>,
+    /// Lock-free fast path mirroring `parked_count`, counting
+    /// subscribed connections.
+    subs_count: AtomicUsize,
 }
 
 impl ReactorDispatch {
@@ -66,6 +73,8 @@ impl ReactorDispatch {
             pipes: Mutex::new(HashMap::new()),
             parked: Mutex::new(Vec::new()),
             parked_count: AtomicUsize::new(0),
+            subs: Mutex::new(HashMap::new()),
+            subs_count: AtomicUsize::new(0),
         }
     }
 
@@ -96,7 +105,7 @@ impl ReactorDispatch {
             } else if p.deadline.is_some_and(|d| now >= d) {
                 // Bounded wait expired: drop the request, exactly the
                 // blocking server's `Ok(None)` — no reply is owed and the
-                // client's retry (which renews its lease) asks again.
+                // client's retry (which renewed its lease) asks again.
                 self.ctx.pull_us.record(p.t0.elapsed().as_micros() as u64);
                 false
             } else {
@@ -104,6 +113,34 @@ impl ReactorDispatch {
             }
         });
         self.parked_count.store(parked.len(), Ordering::Release);
+    }
+
+    /// Pushes a `WeightsUpdate` to every subscriber whose shard advanced
+    /// past its last published version — the round-boundary hot-swap
+    /// signal for serving replicas. Cheap when nothing advanced: one
+    /// atomic load, then per-shard version compares under the subs lock.
+    fn publish_updates(&self, out: &mut Outbox) {
+        if self.subs_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut subs = self.subs.lock().expect("subs map poisoned");
+        for (shard_idx, sh) in self.ctx.shards.iter().enumerate() {
+            let shard = shard_idx as u32;
+            let current = sh.version();
+            for (conn, per_shard) in subs.iter_mut() {
+                let Some(last) = per_shard.get_mut(&shard) else {
+                    continue;
+                };
+                if *last < current {
+                    // Each push owns its buffer; re-snapshot per
+                    // subscriber (the version may advance mid-loop, which
+                    // is fine — `last` records what was actually sent).
+                    let (version, weights) = sh.versioned_snapshot();
+                    *last = version;
+                    out.send(*conn, Message::WeightsUpdate { shard, version, weights });
+                }
+            }
+        }
     }
 }
 
@@ -138,8 +175,20 @@ impl ReactorHandler for ReactorDispatch {
         }
 
         let was_submit = matches!(msg, Message::SubmitDelta { .. });
+        let sub_shard =
+            if let Message::SubscribeWeights { shard } = msg { Some(shard) } else { None };
         match handle(ctx, msg) {
-            Ok(Some(reply)) => out.send(conn, reply),
+            Ok(Some(reply)) => {
+                // A subscription's immediate snapshot also registers the
+                // connection for round-boundary pushes, seeded with the
+                // version just sent so the next round triggers a push.
+                if let (Some(shard), Message::WeightsUpdate { version, .. }) = (sub_shard, &reply) {
+                    let mut subs = self.subs.lock().expect("subs map poisoned");
+                    subs.entry(conn).or_default().insert(shard, *version);
+                    self.subs_count.store(subs.len(), Ordering::Release);
+                }
+                out.send(conn, reply);
+            }
             Ok(None) => {} // bounded pull expired inside handle()
             Err(e) => {
                 ctx.metrics.inc_protocol_violations();
@@ -150,9 +199,11 @@ impl ReactorHandler for ReactorDispatch {
         }
         // A recorded submission may have completed a round: satisfy
         // parked pulls *now*, on the same callback, so round latency
-        // never includes a poll interval.
+        // never includes a poll interval — and push the new reference
+        // snapshot to serving subscribers at the same boundary.
         if was_submit {
             self.complete_parked(out);
+            self.publish_updates(out);
         }
     }
 
@@ -162,6 +213,11 @@ impl ReactorHandler for ReactorDispatch {
             let mut parked = self.parked.lock().expect("parked list poisoned");
             parked.retain(|p| p.conn != conn);
             self.parked_count.store(parked.len(), Ordering::Release);
+        }
+        if self.subs_count.load(Ordering::Acquire) > 0 {
+            let mut subs = self.subs.lock().expect("subs map poisoned");
+            subs.remove(&conn);
+            self.subs_count.store(subs.len(), Ordering::Release);
         }
         // Same error→counter mapping as the blocking `serve_conn` loop.
         let m = &self.ctx.metrics;
@@ -192,12 +248,28 @@ impl ReactorHandler for ReactorDispatch {
 
     fn poll(&self, out: &mut Outbox) {
         // Covers rounds completed by the *reaper* (degraded quorum) and
-        // pull_wait expiry — neither arrives via on_message.
+        // pull_wait expiry — neither arrives via on_message. Subscribers
+        // likewise need reaper-completed rounds pushed.
         self.complete_parked(out);
+        self.publish_updates(out);
     }
 
     fn has_deferred(&self) -> bool {
-        self.parked_count.load(Ordering::Acquire) > 0
+        self.parked_count.load(Ordering::Acquire) > 0 || self.subs_count.load(Ordering::Acquire) > 0
+    }
+
+    fn on_shutdown(&self, out: &mut Outbox) {
+        // Answer every parked pull whose round is ready; the rest are
+        // dropped — no reply is owed and a surviving client's retry
+        // logic treats it like a bounded-wait expiry.
+        self.complete_parked(out);
+        let mut parked = self.parked.lock().expect("parked list poisoned");
+        parked.clear();
+        self.parked_count.store(0, Ordering::Release);
+        // Give subscribers one final consistent snapshot if a round
+        // landed since their last push.
+        drop(parked);
+        self.publish_updates(out);
     }
 }
 
@@ -213,7 +285,15 @@ impl RefShardServer {
     ///
     /// [`serve_background`]: RefShardServer::serve_background
     pub fn serve_reactor(&self, listener: TcpListener, cfg: ReactorConfig) -> io::Result<Reactor> {
-        let dispatch = Arc::new(ReactorDispatch::new(Arc::clone(&self.ctx)));
-        Reactor::spawn(listener, dispatch, cfg)
+        Reactor::spawn(listener, self.dispatch(), cfg)
+    }
+
+    /// A fresh [`ReactorDispatch`] over this server's shared state, for
+    /// embedding in a *composite* [`ReactorHandler`] — e.g. an inference
+    /// frontend that routes `Infer` to its own engine and delegates the
+    /// whole trainer protocol (plus weight subscriptions) here. Every
+    /// dispatch shares the underlying shards, membership, and metrics.
+    pub fn dispatch(&self) -> Arc<ReactorDispatch> {
+        Arc::new(ReactorDispatch::new(Arc::clone(&self.ctx)))
     }
 }

@@ -562,6 +562,17 @@ pub(crate) fn handle(ctx: &ServerCtx, msg: Message) -> Result<Option<Message>, C
         Message::MetricsRequest => {
             Ok(Some(Message::MetricsReply { counters: ctx.metrics.snapshot().to_wire() }))
         }
+        Message::SubscribeWeights { shard } => {
+            // Read-only subscription (serving replicas): answer with the
+            // current snapshot immediately. Deliberately *not* in
+            // `msg_pipe`, so a subscriber never registers lease
+            // membership and cannot stall a training quorum. Round-
+            // boundary pushes are layered on by the reactor dispatch;
+            // on the blocking path a subscriber re-requests to poll.
+            let sh = lookup(shards, shard)?;
+            let (version, weights) = sh.versioned_snapshot();
+            Ok(Some(Message::WeightsUpdate { shard, version, weights }))
+        }
         other => Err(CommsError::Protocol(format!("unexpected {} from peer", other.name()))),
     }
 }

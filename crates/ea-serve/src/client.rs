@@ -1,0 +1,161 @@
+//! Client-side serving protocol: a blocking inference client and the
+//! weight-subscription pump that keeps a serving replica hot.
+//!
+//! [`InferClient`] is the closed-loop requester the load generator and
+//! tests use: send `Infer`, block for the matching `InferReply`
+//! (correlation by id, so a client may interleave with other traffic on
+//! its own connection). A `shed` reply surfaces as
+//! [`InferOutcome::shed`] — the caller decides whether to back off or
+//! retry.
+//!
+//! [`WeightsSubscriber`] is the hot-swap feed: it connects to a
+//! reference-shard server (trainer side), subscribes to every shard,
+//! and pumps each `WeightsUpdate` push into
+//! [`ServeEngine::publish_stage`] — which swaps the served model the
+//! moment a full version (an elastic round boundary) has landed.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ea_comms::tcp::{TcpConfig, TcpTransport};
+use ea_comms::wire::Message;
+use ea_comms::{CommsError, Transport};
+
+use crate::engine::ServeEngine;
+
+/// One answered inference request.
+#[derive(Clone, Debug)]
+pub struct InferOutcome {
+    /// Weight version that produced the output (or was current when shed).
+    pub version: u64,
+    /// True if the server dropped the request under load.
+    pub shed: bool,
+    /// Flat output rows; empty when shed.
+    pub output: Vec<f32>,
+}
+
+/// Blocking request/reply client for the serving frontend.
+pub struct InferClient {
+    transport: Box<dyn Transport>,
+    next_id: u64,
+}
+
+impl InferClient {
+    /// Connects to a serving frontend.
+    pub fn connect(addr: SocketAddr, cfg: TcpConfig) -> Result<InferClient, CommsError> {
+        Ok(InferClient { transport: Box::new(TcpTransport::connect(addr, cfg)?), next_id: 1 })
+    }
+
+    /// A client over an existing transport (in-process tests).
+    pub fn over(transport: Box<dyn Transport>) -> InferClient {
+        InferClient { transport, next_id: 1 }
+    }
+
+    /// Sends one request and blocks for its reply.
+    pub fn infer(&mut self, input: Vec<f32>) -> Result<InferOutcome, CommsError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.transport.send(Message::Infer { id, input })?;
+        loop {
+            match self.transport.recv()? {
+                Message::InferReply { id: rid, version, shed, output } if rid == id => {
+                    return Ok(InferOutcome { version, shed, output });
+                }
+                // A stale reply (e.g. from an abandoned earlier id) is
+                // discarded; anything else is a protocol violation.
+                Message::InferReply { .. } => continue,
+                other => {
+                    return Err(CommsError::Protocol(format!(
+                        "expected InferReply, got {}",
+                        other.name()
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a running weight-subscription pump.
+pub struct SubscriberHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl SubscriberHandle {
+    /// Signals the pump to stop and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            j.join().expect("weights subscriber panicked");
+        }
+    }
+}
+
+impl Drop for SubscriberHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// The hot-swap feed from trainer to serving replica.
+pub struct WeightsSubscriber;
+
+impl WeightsSubscriber {
+    /// Spawns a pump subscribing to every shard of the reference server
+    /// at `addr`, publishing each push into `engine`. Reconnects (with
+    /// the transport's own backoff) if the trainer goes away; stops via
+    /// the returned handle.
+    pub fn spawn(addr: SocketAddr, cfg: TcpConfig, engine: Arc<ServeEngine>) -> SubscriberHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("ea-serve-subscriber".into())
+            .spawn(move || Self::pump(addr, cfg, engine, flag))
+            .expect("spawn weights subscriber");
+        SubscriberHandle { stop, join: Some(join) }
+    }
+
+    fn pump(addr: SocketAddr, cfg: TcpConfig, engine: Arc<ServeEngine>, stop: Arc<AtomicBool>) {
+        while !stop.load(Ordering::Acquire) {
+            let mut conn = match TcpTransport::connect(addr, cfg) {
+                Ok(c) => c,
+                Err(_) if stop.load(Ordering::Acquire) => return,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue;
+                }
+            };
+            let mut subscribed = true;
+            for shard in 0..engine.shards() as u32 {
+                if conn.send(Message::SubscribeWeights { shard }).is_err() {
+                    subscribed = false;
+                    break;
+                }
+            }
+            if !subscribed {
+                continue;
+            }
+            // Receive pushes until stop or a broken stream. The short
+            // timeout bounds how long a stop signal waits.
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                match conn.recv_timeout(Duration::from_millis(200)) {
+                    Ok(Message::WeightsUpdate { shard, version, weights }) => {
+                        engine.publish_stage(shard as usize, version, weights);
+                    }
+                    Ok(_) => {} // ignore anything else on this feed
+                    Err(CommsError::Timeout) => {}
+                    Err(_) => break, // reconnect
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Double-buffered served model with atomic hot swap.
+//!
+//! Serving must satisfy two properties the training path never needed:
+//!
+//! 1. **Readers never block on a swap.** A forward pass can take
+//!    milliseconds; holding a lock across it would stall every other
+//!    request and the weight-update path alike. Readers therefore grab
+//!    an `Arc` to an immutable [`ServedSnapshot`] (one brief lock to
+//!    clone the pointer) and compute entirely outside any lock.
+//! 2. **No mixed-version outputs.** The reference weights arrive one
+//!    *shard* (pipeline stage) at a time over the wire. A batch must
+//!    never see stage 0 at version `v+1` and stage 1 at version `v` —
+//!    that composite model exists nowhere in training. Incoming shard
+//!    payloads are therefore *staged* per version and swapped into the
+//!    served snapshot only once **every** shard has reported the same
+//!    version — which is exactly an elastic round boundary, since
+//!    `RefShardServer` advances all shards' versions at round
+//!    completion.
+//!
+//! The buffer rotation is hand-rolled (no `arc-swap` in the tree):
+//! `active` holds the serving snapshot; `free` holds idle model
+//! instances; swapped-out snapshots park in `retired` until the last
+//! in-flight reader drops its `Arc`, at which point the instance is
+//! reclaimed into `free`. With two model instances (the constructor's
+//! contract) a swap is always possible as long as no reader holds a
+//! snapshot older than the previous swap — and if one does, the swap
+//! simply *defers*: the staged weights are kept and retried on the next
+//! [`publish_stage`](SnapshotStore::publish_stage) or
+//! [`try_swap`](SnapshotStore::try_swap) call. Readers are wait-free;
+//! the writer is at worst late, never wrong.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ea_autograd::StagedModel;
+
+/// An immutable (version, model) pair handed to readers.
+pub struct ServedSnapshot {
+    /// Reference-weight version this model's parameters correspond to.
+    pub version: u64,
+    /// Forward-only model; one stage per reference shard.
+    pub model: StagedModel,
+}
+
+/// Rotating double buffer of [`ServedSnapshot`]s with per-shard staging.
+pub struct SnapshotStore {
+    shards: usize,
+    active: Mutex<Arc<ServedSnapshot>>,
+    /// Cache of `active`'s version, readable without the lock.
+    version: AtomicU64,
+    /// Model instances available for the next swap.
+    free: Mutex<Vec<StagedModel>>,
+    /// Swapped-out snapshots still (possibly) held by readers.
+    retired: Mutex<Vec<Arc<ServedSnapshot>>>,
+    /// version → per-shard staged weights (`None` until that shard
+    /// reports). BTreeMap so the *newest* fully-staged version wins.
+    staged: Mutex<BTreeMap<u64, Vec<Option<Vec<f32>>>>>,
+    swaps: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// A store serving `active` at `version`, with `spare` as the swap
+    /// target. Both models must have the same shape: one stage per
+    /// shard, equal parameter counts (they are the same architecture
+    /// instantiated twice).
+    pub fn new(active: StagedModel, spare: StagedModel, version: u64) -> SnapshotStore {
+        assert_eq!(
+            active.num_stages(),
+            spare.num_stages(),
+            "active and spare must have the same stage count"
+        );
+        assert_eq!(
+            active.num_params(),
+            spare.num_params(),
+            "active and spare must have the same parameter count"
+        );
+        let shards = active.num_stages();
+        SnapshotStore {
+            shards,
+            version: AtomicU64::new(version),
+            active: Mutex::new(Arc::new(ServedSnapshot { version, model: active })),
+            free: Mutex::new(vec![spare]),
+            retired: Mutex::new(Vec::new()),
+            staged: Mutex::new(BTreeMap::new()),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (stages) a full version requires.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The currently served snapshot. One pointer clone under a brief
+    /// lock; the forward pass runs entirely outside it.
+    pub fn current(&self) -> Arc<ServedSnapshot> {
+        Arc::clone(&self.active.lock().expect("active snapshot poisoned"))
+    }
+
+    /// Version of the currently served snapshot (lock-free).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Completed swaps since construction.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Stages `weights` for `(shard, version)` and attempts a swap.
+    /// Returns `true` if the served snapshot advanced (to `version` or
+    /// any newer fully-staged one). Stale versions (≤ current) are
+    /// discarded outright.
+    pub fn publish_stage(&self, shard: usize, version: u64, weights: Vec<f32>) -> bool {
+        assert!(shard < self.shards, "shard {shard} out of range ({})", self.shards);
+        if version <= self.version() {
+            return false;
+        }
+        {
+            let mut staged = self.staged.lock().expect("staged map poisoned");
+            let slots = staged.entry(version).or_insert_with(|| vec![None; self.shards]);
+            slots[shard] = Some(weights);
+        }
+        self.try_swap()
+    }
+
+    /// Swaps in the newest version for which **all** shards are staged,
+    /// if a free model instance is available (reclaiming retired
+    /// snapshots no reader holds). Returns whether a swap happened.
+    /// Cheap no-op when nothing is fully staged.
+    pub fn try_swap(&self) -> bool {
+        let mut staged = self.staged.lock().expect("staged map poisoned");
+        let current = self.version();
+        // Newest fully-staged version strictly ahead of what's served.
+        let Some(target) = staged
+            .iter()
+            .rev()
+            .find(|(v, slots)| **v > current && slots.iter().all(Option::is_some))
+            .map(|(v, _)| *v)
+        else {
+            return false;
+        };
+        self.reclaim_retired();
+        let Some(mut model) = self.free.lock().expect("free list poisoned").pop() else {
+            // Every instance is pinned by a reader: defer. The staged
+            // weights stay; the next publish/try_swap retries.
+            return false;
+        };
+        let slots = staged.remove(&target).expect("target version vanished");
+        for (stage, weights) in slots.into_iter().enumerate() {
+            model.stage_mut(stage).set_params_flat(&weights.expect("fully staged"));
+        }
+        // Everything at or below the swapped-in version is now stale.
+        staged.retain(|v, _| *v > target);
+        drop(staged);
+
+        let fresh = Arc::new(ServedSnapshot { version: target, model });
+        let old = {
+            let mut active = self.active.lock().expect("active snapshot poisoned");
+            std::mem::replace(&mut *active, fresh)
+        };
+        self.version.store(target, Ordering::Release);
+        self.retired.lock().expect("retired list poisoned").push(old);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        // Opportunistically reclaim: the old snapshot is often already
+        // unreferenced (no request mid-flight).
+        self.reclaim_retired();
+        true
+    }
+
+    /// Moves retired snapshots no reader references back into `free`.
+    fn reclaim_retired(&self) {
+        let mut retired = self.retired.lock().expect("retired list poisoned");
+        let mut free = self.free.lock().expect("free list poisoned");
+        retired.retain_mut(|snap| {
+            if Arc::strong_count(snap) > 1 {
+                return true;
+            }
+            // Sole owner: recover the model instance.
+            // (A reader cannot appear between the count check and the
+            // unwrap — new readers only see `active`.)
+            match Arc::try_unwrap(std::mem::replace(
+                snap,
+                Arc::new(ServedSnapshot { version: 0, model: StagedModel::new(vec![]) }),
+            )) {
+                Ok(s) => {
+                    free.push(s.model);
+                    false
+                }
+                Err(original) => {
+                    *snap = original;
+                    true
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_autograd::{Layer, Linear, Stage};
+    use ea_tensor::TensorRng;
+
+    fn tiny_model(seed: u64) -> StagedModel {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let stages = (0..2)
+            .map(|_| {
+                let layers: Vec<Box<dyn Layer>> = vec![Box::new(Linear::new(2, 2, &mut rng))];
+                Stage::new(layers)
+            })
+            .collect();
+        StagedModel::new(stages)
+    }
+
+    fn store() -> SnapshotStore {
+        SnapshotStore::new(tiny_model(1), tiny_model(2), 0)
+    }
+
+    #[test]
+    fn partial_staging_never_swaps() {
+        let s = store();
+        assert!(!s.publish_stage(0, 1, vec![1.0; 6]));
+        assert_eq!(s.version(), 0);
+        // Completing the version swaps atomically.
+        assert!(s.publish_stage(1, 1, vec![2.0; 6]));
+        assert_eq!(s.version(), 1);
+        let snap = s.current();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.model.stage(0).params_flat(), vec![1.0; 6]);
+        assert_eq!(snap.model.stage(1).params_flat(), vec![2.0; 6]);
+    }
+
+    #[test]
+    fn swap_defers_while_a_reader_pins_the_old_snapshot() {
+        let s = store();
+        let pinned = s.current(); // reader holds version 0
+        assert!(!s.publish_stage(0, 1, vec![1.0; 6]));
+        assert!(s.publish_stage(1, 1, vec![2.0; 6]));
+        assert_eq!(s.version(), 1);
+        // Both instances are now accounted for: one serving v1, one
+        // pinned by `pinned`. Staging v2 fully cannot swap yet.
+        assert!(!s.publish_stage(0, 2, vec![3.0; 6]));
+        assert!(!s.publish_stage(1, 2, vec![4.0; 6]));
+        assert_eq!(s.version(), 1);
+        // Reader finishes → deferred swap lands on the next attempt.
+        drop(pinned);
+        assert!(s.try_swap());
+        assert_eq!(s.version(), 2);
+        assert_eq!(s.current().model.stage(1).params_flat(), vec![4.0; 6]);
+    }
+
+    #[test]
+    fn newest_fully_staged_version_wins_and_stale_versions_are_dropped() {
+        let s = store();
+        // v1 only half-staged; v2 fully staged.
+        assert!(!s.publish_stage(0, 1, vec![1.0; 6]));
+        assert!(!s.publish_stage(0, 2, vec![5.0; 6]));
+        assert!(s.publish_stage(1, 2, vec![6.0; 6]));
+        assert_eq!(s.version(), 2);
+        // Finishing v1 later is a no-op: it is older than what's served.
+        assert!(!s.publish_stage(1, 1, vec![9.0; 6]));
+        assert_eq!(s.version(), 2);
+        assert_eq!(s.swap_count(), 1);
+    }
+
+    #[test]
+    fn readers_see_old_then_new_but_never_a_mix() {
+        let s = Arc::new(store());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = s.current();
+                        let v = snap.version;
+                        let p0 = snap.model.stage(0).params_flat();
+                        let p1 = snap.model.stage(1).params_flat();
+                        if v > 0 {
+                            // Version v was staged as (v, v+0.5) per stage.
+                            assert_eq!(p0, vec![v as f32; 6], "stage 0 torn at v{v}");
+                            assert_eq!(p1, vec![v as f32 + 0.5; 6], "stage 1 torn at v{v}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=50u64 {
+            s.publish_stage(0, v, vec![v as f32; 6]);
+            s.publish_stage(1, v, vec![v as f32 + 0.5; 6]);
+            // Retry deferred swaps until this version (or newer) serves.
+            while s.version() < v {
+                if !s.try_swap() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(s.version(), 50);
+    }
+}

@@ -6,16 +6,17 @@
 //!
 //! Vectorization policy (DESIGN.md §13): every kernel here is
 //! *level-independent* — identical bits whether dispatch picks scalar,
-//! AVX2 or NEON. [`softmax_rows`] uses the fully vectorized
-//! [`simd::softmax_row`]: a polynomial `exp` whose lanes are
-//! bit-identical to its scalar form on every level, and the fixed
-//! 8-lane reduction tree for the denominator (deterministic, but
-//! reassociated relative to the old sequential `libm` version — a
-//! one-time value change covered by the §13 policy).
-//! [`log_softmax_rows`] keeps the scalar-sequential `exp`-sum: its
-//! log-sum term lands directly in every training loss, so it stays on
-//! the conservative path. `row_sums` uses the deterministic
-//! lane-blocked sum; it feeds no training-path computation.
+//! AVX2 or NEON. [`softmax_rows`] and [`log_softmax_rows`] use the
+//! fully vectorized [`simd::softmax_row`] / [`simd::log_softmax_row`]:
+//! a polynomial `exp` whose lanes are bit-identical to its scalar form
+//! on every level, and the fixed 8-lane reduction tree for the
+//! denominator (deterministic, but reassociated relative to the old
+//! sequential `libm` version — a one-time value change covered by the
+//! §13 policy; log-softmax made the same switch one PR after softmax,
+//! so its log-sum term, which lands directly in every training loss,
+//! changed values once at that point). `row_sums` uses the
+//! deterministic lane-blocked sum; it feeds no training-path
+//! computation.
 
 use crate::simd;
 use crate::Tensor;
@@ -102,13 +103,7 @@ pub fn log_softmax_rows_into(t: &Tensor, out: &mut Tensor) {
     let obuf = out.data_mut();
     obuf.copy_from_slice(t.data());
     for i in 0..r {
-        let row = &mut obuf[i * c..(i + 1) * c];
-        let max = simd::max_value(row);
-        // Scalar-sequential libm exp-sum: the log-sum term lands in
-        // every loss value, so its accumulation order stays fixed (the
-        // vectorized softmax path is not reused here on purpose).
-        let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
-        simd::sub_scalar(row, log_sum);
+        simd::log_softmax_row(&mut obuf[i * c..(i + 1) * c]);
     }
 }
 

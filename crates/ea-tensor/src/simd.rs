@@ -842,6 +842,37 @@ unsafe fn softmax_row_impl<Vv: V>(row: &mut [f32]) {
 }
 trampolines!(softmax_row_impl / softmax_row_avx2 / softmax_row_neon(row: &mut [f32]));
 
+/// Numerically-stable in-place log-softmax of one row:
+/// `x_i ← x_i − (max + ln Σ exp(x_j − max))`. The exp-sum uses the same
+/// [`vexp`]/[`exp_lane`] lanes and fixed 8-lane tree as
+/// [`softmax_row`] — without storing the exponentials, since the logits
+/// themselves survive into the subtraction — and the single `ln` is one
+/// scalar libm call on a value that is already identical across levels.
+/// Identical bits on every dispatch level (DESIGN.md §13).
+pub fn log_softmax_row(row: &mut [f32]) {
+    dispatch_call!(log_softmax_row_impl / log_softmax_row_avx2 / log_softmax_row_neon(row))
+}
+#[inline(always)]
+unsafe fn log_softmax_row_impl<Vv: V>(row: &mut [f32]) {
+    let max = max_value_impl::<Vv>(row);
+    let n = row.len();
+    let main = n - n % LANES;
+    let p = row.as_ptr();
+    let maxv = Vv::splat(max);
+    let mut acc = Vv::zero();
+    let mut i = 0;
+    while i < main {
+        acc = acc.add(vexp::<Vv>(Vv::load(p.add(i)).sub(maxv)));
+        i += LANES;
+    }
+    let mut sum = hsum_tree(acc.to_array());
+    for &x in &row[main..] {
+        sum += exp_lane(x - max);
+    }
+    sub_scalar_impl::<Vv>(row, sum.ln() + max);
+}
+trampolines!(log_softmax_row_impl / log_softmax_row_avx2 / log_softmax_row_neon(row: &mut [f32]));
+
 // ---------------------------------------------------------------------
 // Optimizer / elastic-averaging kernels. Per-parameter lanes are fully
 // independent, so these are bit-identical to the scalar loops they
@@ -1190,6 +1221,37 @@ mod tests {
             let sum: f32 = b.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "n={n} sum={sum}");
             assert!(b.iter().all(|v| *v >= 0.0 && v.is_finite()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_row_matches_across_levels_bitwise() {
+        for n in [1usize, 3, 7, 8, 9, 64, 137, 512] {
+            let (a, b) = on_both(|| {
+                let mut x = data(n, 0.8);
+                // Widen the dynamic range to exercise the range reduction.
+                for (i, v) in x.iter_mut().enumerate() {
+                    *v *= 1.0 + (i % 11) as f32;
+                }
+                log_softmax_row(&mut x);
+                x
+            });
+            assert_eq!(bits(&a), bits(&b), "n={n}");
+            // logsumexp of a log-softmax row is 0 by construction.
+            let lse: f32 = b.iter().map(|v| v.exp()).sum::<f32>().ln();
+            assert!(lse.abs() < 1e-5, "n={n} lse={lse}");
+            assert!(b.iter().all(|v| *v <= 0.0 + 1e-6 && v.is_finite()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_row_tracks_log_of_softmax() {
+        let mut lsm = data(137, 0.45);
+        let mut sm = lsm.clone();
+        log_softmax_row(&mut lsm);
+        softmax_row(&mut sm);
+        for (i, (l, s)) in lsm.iter().zip(&sm).enumerate() {
+            assert!((l - s.ln()).abs() < 1e-5, "element {i}: {l} vs ln {}", s.ln());
         }
     }
 

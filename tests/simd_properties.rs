@@ -227,6 +227,35 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The vectorized log-softmax is consistent with softmax in *value*
+    /// (not just level-independent in bits): each row's logsumexp is 0
+    /// and `log_softmax ≈ ln(softmax)` elementwise. Guards against a
+    /// kernel that is bit-identical across levels but simply wrong.
+    #[test]
+    fn log_softmax_is_log_of_softmax(r in 1usize..16, c in 1usize..40, seed in 0u64..u64::MAX) {
+        let t = mat(seed, r, c);
+        let mut sm = dirty_out();
+        softmax_rows_into(&t, &mut sm);
+        let mut lsm = dirty_out();
+        log_softmax_rows_into(&t, &mut lsm);
+        for i in 0..r {
+            let row = &lsm.data()[i * c..(i + 1) * c];
+            let lse: f32 = row.iter().map(|v| v.exp()).sum::<f32>().ln();
+            prop_assert!(lse.abs() < 1e-5, "row {i}: logsumexp {lse}");
+            for (j, &got) in row.iter().enumerate() {
+                let want = sm.data()[i * c + j].ln();
+                // ln of a subnormal softmax output is noisy; compare
+                // where softmax has headroom.
+                if want > -80.0 {
+                    prop_assert!((got - want).abs() < 1e-4,
+                        "({i},{j}): log_softmax {got} vs ln(softmax) {want}");
+                }
+            }
+        }
+    }
+}
+
 /// Fixed regression shapes: the microkernel's partial-tile paths (1-row,
 /// 1-col, sub-NR right edge, k = 0) must all agree with scalar exactly.
 #[test]
