@@ -78,11 +78,8 @@ pub fn serve_batch_cap(spec: &ModelSpec, measured: &[(usize, f64)], budget_us: f
     let mut cap = saturation;
     if !measured.is_empty() && budget_us > 0.0 {
         // Latency cutoff: cost(m) grows with m, so binary-search the
-        // largest m within budget.
+        // largest m within budget over [0, cap].
         let (mut lo, mut hi) = (0usize, cap.max(1));
-        while interp_cost_us(measured, hi) <= budget_us && hi < cap {
-            hi = (hi * 2).min(cap);
-        }
         if interp_cost_us(measured, hi) <= budget_us {
             lo = hi;
         } else {

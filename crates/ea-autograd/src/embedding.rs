@@ -93,6 +93,10 @@ impl Layer for Embedding {
     fn name(&self) -> &'static str {
         "Embedding"
     }
+
+    fn input_vocab(&self) -> Option<usize> {
+        Some(self.vocab)
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,15 @@ pub trait Layer: Send + Sync {
     fn flops_per_row(&self) -> u64 {
         0
     }
+
+    /// Vocabulary size if this layer consumes f32-encoded token ids
+    /// (values that must round into `[0, vocab)`); `None` for layers
+    /// taking dense inputs. Serving admission queries the model's first
+    /// layer so malformed remote inputs can be shed before `forward`
+    /// would assert on them.
+    fn input_vocab(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Convenience: a layer with no parameters visits nothing.

@@ -38,6 +38,12 @@ impl Stage {
         self.layers.len()
     }
 
+    /// The first layer's [`Layer::input_vocab`]: the token-id domain
+    /// this stage's input must satisfy, if any.
+    pub fn input_vocab(&self) -> Option<usize> {
+        self.layers.first().and_then(|l| l.input_vocab())
+    }
+
     /// Runs the stage forward, returning output and the activation stash.
     pub fn forward(&self, x: &Tensor, ctx: &ForwardCtx) -> (Tensor, StageSaved) {
         let mut cur = x.clone();
@@ -203,6 +209,10 @@ impl Layer for Residual {
     fn name(&self) -> &'static str {
         "Residual"
     }
+
+    fn input_vocab(&self) -> Option<usize> {
+        self.inner.input_vocab()
+    }
 }
 
 /// A model partitioned into consecutive stages.
@@ -264,6 +274,12 @@ impl StagedModel {
             cur = st.backward(s, &cur);
         }
         cur
+    }
+
+    /// The model's token-id input domain: the first (non-empty) stage's
+    /// [`Stage::input_vocab`]. `None` means dense inputs.
+    pub fn input_vocab(&self) -> Option<usize> {
+        self.stages.iter().find(|s| s.num_layers() > 0).and_then(Stage::input_vocab)
     }
 
     /// Total scalar parameter count over all stages.

@@ -119,26 +119,59 @@ impl ReactorDispatch {
     /// past its last published version — the round-boundary hot-swap
     /// signal for serving replicas. Cheap when nothing advanced: one
     /// atomic load, then per-shard version compares under the subs lock.
+    ///
+    /// This runs on the reactor callback that completes a round, so it
+    /// keeps the expensive part off the lock: each advanced shard is
+    /// snapshotted **once** per call and shared across subscribers, and
+    /// the per-subscriber weight copies happen outside the subs lock.
     fn publish_updates(&self, out: &mut Outbox) {
         if self.subs_count.load(Ordering::Acquire) == 0 {
             return;
         }
-        let mut subs = self.subs.lock().expect("subs map poisoned");
-        for (shard_idx, sh) in self.ctx.shards.iter().enumerate() {
-            let shard = shard_idx as u32;
-            let current = sh.version();
-            for (conn, per_shard) in subs.iter_mut() {
-                let Some(last) = per_shard.get_mut(&shard) else {
-                    continue;
-                };
-                if *last < current {
-                    // Each push owns its buffer; re-snapshot per
-                    // subscriber (the version may advance mid-loop, which
-                    // is fine — `last` records what was actually sent).
-                    let (version, weights) = sh.versioned_snapshot();
-                    *last = version;
-                    out.send(*conn, Message::WeightsUpdate { shard, version, weights });
+        // Pass 1 (subs lock, no copying): which subscribers lag which
+        // shard?
+        let lagging: Vec<(ConnId, u32)> = {
+            let subs = self.subs.lock().expect("subs map poisoned");
+            let mut lagging = Vec::new();
+            for (shard_idx, sh) in self.ctx.shards.iter().enumerate() {
+                let shard = shard_idx as u32;
+                let current = sh.version();
+                for (conn, per_shard) in subs.iter() {
+                    if per_shard.get(&shard).is_some_and(|&last| last < current) {
+                        lagging.push((*conn, shard));
+                    }
                 }
+            }
+            lagging
+        };
+        if lagging.is_empty() {
+            return;
+        }
+        // One consistent snapshot per advanced shard, shared by every
+        // lagging subscriber of that shard.
+        let mut snaps: HashMap<u32, (u64, Vec<f32>)> = HashMap::new();
+        for &(_, shard) in &lagging {
+            snaps
+                .entry(shard)
+                .or_insert_with(|| self.ctx.shards[shard as usize].versioned_snapshot());
+        }
+        let mut sent = Vec::with_capacity(lagging.len());
+        for (conn, shard) in lagging {
+            let (version, weights) = &snaps[&shard];
+            out.send(
+                conn,
+                Message::WeightsUpdate { shard, version: *version, weights: weights.clone() },
+            );
+            sent.push((conn, shard, *version));
+        }
+        // Record what was sent. A concurrent publish from another
+        // reactor thread may have pushed (and recorded) a newer version
+        // meanwhile — keep the max; a stale push is harmless because the
+        // subscriber discards versions at or below what it serves.
+        let mut subs = self.subs.lock().expect("subs map poisoned");
+        for (conn, shard, version) in sent {
+            if let Some(last) = subs.get_mut(&conn).and_then(|m| m.get_mut(&shard)) {
+                *last = (*last).max(version);
             }
         }
     }

@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -109,6 +109,9 @@ pub struct ServeEngine {
     store: SnapshotStore,
     batcher: Batcher,
     cfg: ServeConfig,
+    /// Token-id domain of the served model's first layer (`None` for
+    /// dense inputs); admission validates against it.
+    vocab: Option<usize>,
     batch_cap: AtomicUsize,
     completions: Mutex<VecDeque<Completion>>,
     waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
@@ -139,6 +142,7 @@ impl ServeEngine {
         cfg: ServeConfig,
     ) -> Arc<ServeEngine> {
         assert!(cfg.input_len >= 1, "input_len must be positive");
+        let vocab = active.input_vocab();
         let store = SnapshotStore::new(active, spare, initial_version);
 
         // Calibrate: time real forwards at a few sizes. One warmup per
@@ -166,6 +170,7 @@ impl ServeEngine {
         let engine = Arc::new(ServeEngine {
             store,
             batcher: Batcher::new(cfg.queue_cap),
+            vocab,
             batch_cap: AtomicUsize::new(cap),
             completions: Mutex::new(VecDeque::new()),
             waker: Mutex::new(None),
@@ -182,36 +187,40 @@ impl ServeEngine {
             cfg,
         });
 
-        let runner = Arc::clone(&engine);
+        let runner = Arc::downgrade(&engine);
         let handle = std::thread::Builder::new()
             .name("ea-serve-exec".into())
-            .spawn(move || runner.run())
+            .spawn(move || ServeEngine::run(runner))
             .expect("spawn serving executor");
         *engine.worker.lock().expect("worker handle poisoned") = Some(handle);
         engine
     }
 
     /// Worker loop: coalesce → forward → complete, retrying deferred
-    /// swaps on idle ticks.
-    fn run(self: Arc<Self>) {
+    /// swaps on idle ticks. Holds only a [`Weak`] between iterations, so
+    /// dropping the last external handle (even without
+    /// [`shutdown`](ServeEngine::shutdown)) ends the loop within one
+    /// idle tick instead of leaking a spinning thread.
+    fn run(weak: Weak<Self>) {
         loop {
-            let batch = self.batcher.next_batch(
-                self.batch_cap.load(Ordering::Relaxed),
-                self.cfg.max_coalesce_delay,
+            let Some(engine) = weak.upgrade() else { return };
+            let batch = engine.batcher.next_batch(
+                engine.batch_cap.load(Ordering::Relaxed),
+                engine.cfg.max_coalesce_delay,
                 Duration::from_millis(20),
             );
             if batch.is_empty() {
                 // Idle housekeeping: a swap deferred because a reader
                 // pinned the old snapshot can land now.
-                if self.store.try_swap() {
-                    self.swaps.inc();
+                if engine.store.try_swap() {
+                    engine.swaps.inc();
                 }
-                if self.batcher.is_stopped() {
+                if engine.batcher.is_stopped() {
                     return;
                 }
                 continue;
             }
-            self.execute(batch);
+            engine.execute(batch);
         }
     }
 
@@ -227,7 +236,20 @@ impl ServeEngine {
         for req in &batch {
             input.extend_from_slice(&req.input);
         }
-        let out = snap.model.forward_eval(&Tensor::from_vec(input, &[k * self.cfg.input_len]));
+        // Admission already validated the inputs, but a forward panic
+        // must never kill the executor — a dead worker turns every later
+        // accepted request into a client that blocks forever. Shed the
+        // batch instead and keep serving.
+        let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            snap.model.forward_eval(&Tensor::from_vec(input, &[k * self.cfg.input_len]))
+        }));
+        let out = match forward {
+            Ok(out) => out,
+            Err(_) => {
+                self.complete_shed(batch, snap.version);
+                return;
+            }
+        };
         self.exec_us.record(exec_start.elapsed().as_micros() as u64);
         self.batch_rows.record(k as u64);
         self.batches.inc();
@@ -255,9 +277,47 @@ impl ServeEngine {
         }
     }
 
-    /// Admits a request, shedding on overload or malformed input.
+    /// Answers every request of a failed batch with a `shed` completion.
+    fn complete_shed(&self, batch: Vec<InferRequest>, version: u64) {
+        let n = batch.len() as u64;
+        {
+            let mut completions = self.completions.lock().expect("completion queue poisoned");
+            for req in batch {
+                completions.push_back(Completion {
+                    conn: req.conn,
+                    id: req.id,
+                    version,
+                    output: Vec::new(),
+                    shed: true,
+                });
+            }
+        }
+        self.shed.add(n);
+        if let Some(wake) = self.waker.lock().expect("waker poisoned").as_ref() {
+            wake();
+        }
+    }
+
+    /// Whether `input` is servable: the configured length, every value
+    /// finite, and — for token models — every value rounding into
+    /// `[0, vocab)`. Mirrors the `Embedding` forward's assertion so a
+    /// malformed remote frame is shed here instead of panicking the
+    /// executor thread.
+    fn admissible(&self, input: &[f32]) -> bool {
+        input.len() == self.cfg.input_len
+            && input.iter().all(|&v| {
+                v.is_finite()
+                    && self.vocab.map_or(true, |vocab| {
+                        let id = v.round();
+                        id >= 0.0 && (id as usize) < vocab
+                    })
+            })
+    }
+
+    /// Admits a request, shedding on overload or malformed input
+    /// (wrong length, non-finite values, out-of-vocabulary token ids).
     pub fn submit(&self, conn: ConnId, id: u64, input: Vec<f32>) -> Admission {
-        if input.len() != self.cfg.input_len {
+        if !self.admissible(&input) {
             self.shed.inc();
             return Admission::Shed;
         }
@@ -354,9 +414,12 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
+        // The worker holds only a Weak between iterations, so this runs
+        // once the last handle (external, or the worker's per-iteration
+        // upgrade) is gone; stop() lets a concurrently blocked
+        // next_batch return promptly. No join: Drop may run on the
+        // worker thread itself.
         self.batcher.stop();
-        // Worker holds an Arc, so Drop only runs after the thread's
-        // clone is gone (post-join or post-exit); nothing to join here.
     }
 }
 
@@ -457,6 +520,79 @@ mod tests {
         assert_eq!(engine.slo().shed, 1);
         assert_eq!(engine.slo().served, 0);
         engine.shutdown();
+    }
+
+    #[test]
+    fn malformed_values_are_shed_and_the_worker_survives() {
+        let engine = start_engine(ServeConfig {
+            input_len: 4,
+            max_coalesce_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        // Out-of-vocab (vocab is 8), negative, non-finite: all shed at
+        // admission instead of panicking the executor in Embedding.
+        let conn = ConnId::from_raw(1);
+        assert_eq!(engine.submit(conn, 1, vec![8.0, 0.0, 0.0, 0.0]), Admission::Shed);
+        assert_eq!(engine.submit(conn, 2, vec![0.0, -1.0, 0.0, 0.0]), Admission::Shed);
+        assert_eq!(engine.submit(conn, 3, vec![f32::NAN, 0.0, 0.0, 0.0]), Admission::Shed);
+        assert_eq!(engine.submit(conn, 4, vec![0.0, f32::INFINITY, 0.0, 0.0]), Admission::Shed);
+        assert_eq!(engine.slo().shed, 4);
+        // The executor is still alive and serving valid traffic.
+        assert_eq!(engine.submit(conn, 5, vec![0.0, 1.0, 2.0, 3.0]), Admission::Accepted);
+        let done = wait_completions(&engine, 1);
+        assert_eq!(done[0].id, 5);
+        assert!(!done[0].shed);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn panicking_forward_sheds_the_batch_instead_of_killing_the_worker() {
+        // A dense (no-embedding) model whose first Linear wants width 4,
+        // served with input_len 3: admission has no vocab to check, so
+        // the request reaches forward_eval, which asserts on the width
+        // mismatch. The catch_unwind net must convert that into a shed
+        // completion and keep the executor alive for shutdown to join.
+        let mut rng = TensorRng::seed_from_u64(11);
+        let mk = |rng: &mut TensorRng| {
+            let layers: Vec<Box<dyn Layer>> = vec![Box::new(Linear::new(4, 4, rng))];
+            StagedModel::new(vec![Stage::new(layers)])
+        };
+        let spec = analogue_spec(AnalogueConfig::small(1));
+        let engine = ServeEngine::start(
+            mk(&mut rng),
+            mk(&mut rng),
+            0,
+            &spec,
+            ServeConfig {
+                input_len: 3,
+                max_coalesce_delay: Duration::from_millis(1),
+                // No calibration: startup's own timing forwards would
+                // hit the same width mismatch before the worker spawns.
+                calibration_sizes: Vec::new(),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(engine.submit(ConnId::from_raw(1), 1, vec![0.5; 3]), Admission::Accepted);
+        let done = wait_completions(&engine, 1);
+        assert_eq!(done[0].id, 1);
+        assert!(done[0].shed, "a panicking forward must answer shed");
+        assert!(done[0].output.is_empty());
+        assert_eq!(engine.slo().shed, 1);
+        // Worker survived: shutdown joins without propagating the panic.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn dropping_all_handles_stops_the_worker_without_shutdown() {
+        let engine = start_engine(ServeConfig { input_len: 4, ..ServeConfig::default() });
+        let handle = engine.worker.lock().unwrap().take().unwrap();
+        drop(engine);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !handle.is_finished() {
+            assert!(Instant::now() < deadline, "worker leaked after the last handle dropped");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.join().unwrap();
     }
 
     #[test]

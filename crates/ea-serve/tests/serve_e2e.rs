@@ -196,3 +196,80 @@ fn mid_traffic_hot_swap_is_atomic_and_bit_exact() {
     reactor.shutdown_graceful(Duration::from_secs(5));
     engine.shutdown();
 }
+
+/// Regression test: a remote `Infer` frame carrying values the model
+/// cannot consume (out-of-vocabulary token ids, NaN, infinities) must be
+/// answered with a `shed` reply — not panic the executor thread, which
+/// would leave every later accepted request blocking forever and make
+/// shutdown propagate the panic.
+#[test]
+fn malformed_remote_infer_is_shed_and_serving_survives() {
+    let trained = model();
+    let init: Vec<Vec<f32>> =
+        (0..trained.num_stages()).map(|k| trained.stage(k).params_flat()).collect();
+    let server = RefShardServer::from_initial_weights(init.clone(), 1);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let engine = ServeEngine::start(
+        model(),
+        model(),
+        0,
+        &ea_models::analogue_spec(CFG),
+        ServeConfig {
+            input_len: CFG.seq,
+            max_coalesce_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let reactor =
+        spawn_serving(listener, ReactorConfig::default(), Arc::clone(&engine), &server).unwrap();
+    let mut client = InferClient::connect(reactor.local_addr(), TcpConfig::default()).unwrap();
+
+    // Every malformed shape the wire can carry: wrong length, token id
+    // at/above vocab, negative id, NaN, infinity.
+    let vocab = CFG.vocab as f32;
+    let malformed: Vec<Vec<f32>> = vec![
+        vec![0.0; CFG.seq - 1],
+        {
+            let mut v = request_input(0);
+            v[0] = vocab;
+            v
+        },
+        {
+            let mut v = request_input(1);
+            v[2] = -1.0;
+            v
+        },
+        {
+            let mut v = request_input(2);
+            v[1] = f32::NAN;
+            v
+        },
+        {
+            let mut v = request_input(3);
+            v[3] = f32::INFINITY;
+            v
+        },
+    ];
+    for (n, input) in malformed.into_iter().enumerate() {
+        let outcome = client.infer(input).unwrap();
+        assert!(outcome.shed, "malformed request {n} must be shed, not served");
+        assert!(outcome.output.is_empty());
+    }
+    assert_eq!(engine.slo().shed, 5);
+
+    // The executor survived: valid traffic on the same connection is
+    // still served bit-exactly.
+    for i in 0..4u64 {
+        let outcome = client.infer(request_input(i)).unwrap();
+        assert!(!outcome.shed, "valid request {i} shed after malformed traffic");
+        assert_bits_eq(
+            &outcome.output,
+            &reference_forward(&init, &request_input(i)),
+            "post-malformed reply",
+        );
+    }
+
+    // Pre-fix this join panicked with "serving executor panicked".
+    reactor.shutdown_graceful(Duration::from_secs(5));
+    engine.shutdown();
+}
